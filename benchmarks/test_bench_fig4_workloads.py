@@ -1,0 +1,65 @@
+"""Fig. 4 -- heat-flux distributions of the single-channel case studies.
+
+Fig. 4 defines the two workloads applied to the test structure of Fig. 2:
+Test A is a uniform 50 W/cm^2 flux on both active layers; Test B splits the
+1 cm strip into segments, each drawing a random flux in [50, 250] W/cm^2.
+The benchmark regenerates both and checks their defining properties (flux
+levels, segment ranges, total power) while timing the workload generation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+# Builders are aliased so pytest does not collect the library functions
+# (their names start with ``test_``) as test items.
+from repro.floorplan.workloads import (
+    TEST_A_FLUX,
+    test_a_structure as build_test_a_structure,
+    test_b_fluxes as build_test_b_fluxes,
+    test_b_structure as build_test_b_structure,
+)
+
+
+def test_fig4a_uniform_strip(benchmark, config):
+    structure = benchmark(lambda: build_test_a_structure(config))
+    pitch = config.params.channel_pitch
+    assert TEST_A_FLUX == pytest.approx(50.0)
+    assert structure.heat_top.mean_areal_flux(pitch) == pytest.approx(50.0, rel=1e-6)
+    assert structure.heat_bottom.mean_areal_flux(pitch) == pytest.approx(
+        50.0, rel=1e-6
+    )
+    assert structure.total_power == pytest.approx(1.0, rel=1e-6)
+    print()
+    print(
+        f"Fig. 4(a): Test A strip, {TEST_A_FLUX:.0f} W/cm^2 on both layers, "
+        f"d = {structure.length * 100:.0f} cm, total power "
+        f"{structure.total_power:.2f} W per channel"
+    )
+
+
+def test_fig4b_random_strip(benchmark, config):
+    top, bottom = benchmark(lambda: build_test_b_fluxes(config))
+    low, high = config.test_b_flux_range
+    for fluxes in (top, bottom):
+        assert fluxes.shape == (config.test_b_segments,)
+        assert fluxes.min() >= low
+        assert fluxes.max() <= high
+    # The random draw must actually exercise a wide part of the range.
+    assert (top.max() - top.min()) > 0.3 * (high - low)
+
+    structure = build_test_b_structure(config)
+    print()
+    print("Fig. 4(b): Test B per-segment heat fluxes (W/cm^2):")
+    rows = [
+        {
+            "segment": index,
+            "top_layer": float(top[index]),
+            "bottom_layer": float(bottom[index]),
+        }
+        for index in range(config.test_b_segments)
+    ]
+    print(format_table(rows))
+    print(f"total power per channel: {structure.total_power:.2f} W")

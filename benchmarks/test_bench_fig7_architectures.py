@@ -1,0 +1,62 @@
+"""Fig. 7 -- layouts of the two-die 3D-MPSoCs used in the evaluation.
+
+Fig. 7 sketches the three stackings of UltraSPARC T1 components evaluated in
+Sec. V-B.  The benchmark regenerates the three architectures, checks the
+properties the experiments rely on (die size 1.0 cm x 1.1 cm, heat fluxes in
+the 8-64 W/cm^2 band, peak power well above average power, distinct stacking
+strategies), prints their summaries, and times the construction of a cavity
+model from an architecture (floorplan rasterization + channel clustering).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.floorplan import architecture_names, get_architecture
+
+
+def test_fig7_architectures(benchmark, config):
+    rows = []
+    architectures = {name: get_architecture(name) for name in architecture_names()}
+    assert list(architectures) == ["arch1", "arch2", "arch3"]
+
+    for name, architecture in architectures.items():
+        # Die dimensions of Sec. V-B: 1 cm x 1.1 cm.
+        assert architecture.die_length == pytest.approx(1.0e-2)
+        assert architecture.die_width == pytest.approx(1.1e-2)
+        # Heat-flux band quoted in the paper (8-64 W/cm^2), with a small
+        # allowance for the background fill.
+        for die in (architecture.top_die, architecture.bottom_die):
+            low, high = die.power_density_range("peak")
+            assert high <= 64.0 + 1e-9
+            assert low >= 5.0 - 1e-9
+        assert architecture.total_power("peak") > architecture.total_power("average")
+        rows.append(architecture.summary())
+
+    # The three stackings must actually differ: Arch. 1 concentrates the
+    # cores in one die, Arch. 2/3 split them.
+    arch1 = architectures["arch1"]
+    assert len(arch1.top_die.blocks_of_kind("core")) == 8
+    assert len(arch1.bottom_die.blocks_of_kind("core")) == 0
+    for name in ("arch2", "arch3"):
+        architecture = architectures[name]
+        assert len(architecture.top_die.blocks_of_kind("core")) == 4
+        assert len(architecture.bottom_die.blocks_of_kind("core")) == 4
+
+    def build_cavity():
+        return architectures["arch1"].cavity(
+            "peak", config=config, n_lanes=config.n_lanes, n_cols=40
+        )
+
+    cavity = benchmark(build_cavity)
+    assert cavity.total_power == pytest.approx(
+        architectures["arch1"].total_power("peak"), rel=0.05
+    )
+
+    print()
+    print("Fig. 7: two-die 3D-MPSoC architectures")
+    print(format_table(rows))
+    for name, architecture in architectures.items():
+        print(f"{name}: {architecture.description}")

@@ -1,0 +1,138 @@
+"""Fig. 8 -- thermal gradients of the 3D-MPSoC architectures.
+
+Fig. 8 is the paper's headline experiment: for each of the three Fig. 7
+architectures, at both peak and average heat-flux levels, it compares the
+thermal gradients of the minimum-width, maximum-width and optimally
+modulated channel designs.  The paper reports a 31% gradient reduction at
+peak power (23 C -> 16 C) and 21% with the same design under average power,
+and observes that the optimal design's peak temperature matches the
+minimum-width design's peak temperature.
+
+The benchmark regenerates the full 3 architectures x 2 power levels x 3
+designs grid from the session-scoped optimizations, asserts the qualitative
+findings, prints the Fig. 8 rows, and times the evaluation of one candidate
+design (the inner loop of the design flow).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import ExperimentReport, format_table, paper_comparison_row
+
+#: Headline numbers reported in Sec. V-B of the paper.
+PAPER_PEAK_REDUCTION = 0.31
+PAPER_AVERAGE_REDUCTION = 0.21
+PAPER_PEAK_GRADIENTS = {"uniform": 23.0, "optimal": 16.0}
+
+
+def test_fig8_mpsoc_thermal_gradients(benchmark, mpsoc_designs, config):
+    report = ExperimentReport(title="Fig. 8: thermal gradients of the 3D-MPSoCs")
+    peak_reductions = {}
+    average_reductions = {}
+
+    for name, bundle in mpsoc_designs.items():
+        architecture = bundle["architecture"]
+        designer = bundle["designer"]
+        result = bundle["result"]
+
+        # --- peak power rows (the designs were optimized at peak power) ---
+        for evaluation in result.baselines + [result.optimal]:
+            report.add_design_evaluation("fig8", f"{name}-peak", evaluation)
+        peak_reductions[name] = result.gradient_reduction
+
+        # --- average power rows: re-evaluate the same geometry -------------
+        average_cavity = architecture.cavity(
+            "average", config=config, n_lanes=config.n_lanes, n_cols=40
+        )
+        from repro.core import ChannelModulationDesigner
+
+        average_designer = ChannelModulationDesigner(
+            average_cavity, designer.settings
+        )
+        average_minimum = average_designer.uniform_minimum()
+        average_maximum = average_designer.uniform_maximum()
+        average_optimal = average_designer.evaluate_profiles(
+            result.optimal.width_profiles, "optimal modulation"
+        )
+        for evaluation in (average_minimum, average_maximum, average_optimal):
+            report.add_design_evaluation("fig8", f"{name}-average", evaluation)
+        average_reference = max(
+            average_minimum.thermal_gradient, average_maximum.thermal_gradient
+        )
+        average_reductions[name] = (
+            1.0 - average_optimal.thermal_gradient / average_reference
+        )
+
+        # --- qualitative assertions per architecture -----------------------
+        minimum = result.baseline("uniform minimum")
+        maximum = result.baseline("uniform maximum")
+        # Both uniform designs show similar gradients.
+        assert minimum.thermal_gradient == pytest.approx(
+            maximum.thermal_gradient, rel=0.2
+        )
+        # The optimal design reduces the gradient at peak power.
+        assert result.gradient_reduction > 0.08
+        # Pressure constraint holds for the optimized design.
+        assert result.optimal.max_pressure_drop <= (
+            config.params.max_pressure_drop * 1.01
+        )
+        # Peak-temperature observation of Sec. V-B: the optimal design's peak
+        # is below the maximum-width design's and close to the minimum-width
+        # design's.
+        assert result.optimal.peak_temperature < maximum.peak_temperature
+        assert result.optimal.peak_temperature == pytest.approx(
+            minimum.peak_temperature, abs=3.0
+        )
+        # The design optimized at peak power still helps at average power.
+        assert average_reductions[name] > 0.05
+
+    best_peak = max(peak_reductions.values())
+    best_average = max(average_reductions.values())
+
+    # Benchmark the inner-loop unit of work: evaluating one candidate design
+    # of the first architecture.
+    first = next(iter(mpsoc_designs.values()))
+
+    def evaluate_candidate():
+        return first["designer"].evaluate_profiles(
+            first["result"].optimal.width_profiles, "timed candidate"
+        )
+
+    evaluation = benchmark.pedantic(evaluate_candidate, rounds=3, iterations=1)
+    assert evaluation.thermal_gradient > 0.0
+
+    print()
+    print(report.to_text())
+    print()
+    print("paper-vs-measured (best architecture):")
+    print(
+        format_table(
+            [
+                paper_comparison_row(
+                    "fig8", "peak-power gradient reduction", PAPER_PEAK_REDUCTION,
+                    best_peak,
+                ),
+                paper_comparison_row(
+                    "fig8",
+                    "average-power gradient reduction",
+                    PAPER_AVERAGE_REDUCTION,
+                    best_average,
+                ),
+            ]
+        )
+    )
+    print("per-architecture reductions at peak power:")
+    print(
+        format_table(
+            [
+                {
+                    "architecture": name,
+                    "peak_reduction_pct": peak_reductions[name] * 100.0,
+                    "average_reduction_pct": average_reductions[name] * 100.0,
+                }
+                for name in mpsoc_designs
+            ]
+        )
+    )

@@ -1,0 +1,106 @@
+"""Pressure-drop check (Sec. V text) -- "well below their safe limits".
+
+The paper's abstract and Sec. V note that the optimally modulated designs
+keep the channel pressure drops well below the 10-bar limit of Table I, and
+Eq. (10) requires all channels fed by the common reservoir to see the same
+pressure drop.  The benchmark evaluates the hydraulics of the single-channel
+and 3D-MPSoC optimal designs, asserts both statements, and times the Eq. (9)
+pressure integral (the per-candidate hydraulic cost of the design loop).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.hydraulics import FlowNetwork, pressure_drop
+from repro.thermal.geometry import ChannelGeometry, WidthProfile
+
+
+def test_pressure_drops_of_optimal_designs(
+    benchmark, test_a_design, test_b_design, mpsoc_designs, config
+):
+    params = config.params
+    geometry = ChannelGeometry.from_parameters(params)
+    limit = params.max_pressure_drop
+
+    rows = []
+    designs = {
+        "test A optimal": test_a_design.optimal,
+        "test B optimal": test_b_design.optimal,
+    }
+    for name, bundle in mpsoc_designs.items():
+        designs[f"{name} optimal"] = bundle["result"].optimal
+
+    for label, evaluation in designs.items():
+        # Eq. (9): every lane stays below the limit.
+        assert evaluation.max_pressure_drop <= limit * 1.01, label
+        # Eq. (10): lanes of one cavity stay hydraulically balanced.
+        assert evaluation.pressure_imbalance <= 0.25, label
+        rows.append(
+            {
+                "design": label,
+                "max_pressure_drop_bar": evaluation.max_pressure_drop / 1e5,
+                "pressure_limit_bar": limit / 1e5,
+                "imbalance": evaluation.pressure_imbalance,
+            }
+        )
+
+    # The conventional maximum-width design has a large pressure margin; the
+    # uniform minimum-width design (the thermal bracket) violates the limit,
+    # which is why it is not a practical design point.
+    wide = pressure_drop(
+        WidthProfile.uniform(params.max_channel_width, geometry.length),
+        geometry,
+        params.flow_rate_per_channel,
+    )
+    narrow = pressure_drop(
+        WidthProfile.uniform(params.min_channel_width, geometry.length),
+        geometry,
+        params.flow_rate_per_channel,
+    )
+    assert wide < limit
+    assert narrow > limit
+    rows.append(
+        {
+            "design": "uniform maximum (baseline)",
+            "max_pressure_drop_bar": wide / 1e5,
+            "pressure_limit_bar": limit / 1e5,
+            "imbalance": 0.0,
+        }
+    )
+    rows.append(
+        {
+            "design": "uniform minimum (thermal bracket)",
+            "max_pressure_drop_bar": narrow / 1e5,
+            "pressure_limit_bar": limit / 1e5,
+            "imbalance": 0.0,
+        }
+    )
+
+    # A single-reservoir network built from the Test A optimal profile.
+    network = FlowNetwork(
+        geometry,
+        test_a_design.optimal.width_profiles,
+        params.flow_rate_per_channel,
+    )
+    assert network.max_pressure_drop <= limit * 1.01
+
+    profile = test_a_design.optimal.width_profiles[0]
+
+    def integrate_pressure():
+        return pressure_drop(
+            profile, geometry, params.flow_rate_per_channel, params.coolant
+        )
+
+    drop = benchmark(integrate_pressure)
+    assert drop == pytest.approx(test_a_design.optimal.max_pressure_drop, rel=1e-3)
+
+    print()
+    print("pressure drops of the optimized designs (limit: 10 bar):")
+    print(format_table(rows))
+    print(
+        f"pumping power of the Test A optimal channel: "
+        f"{network.total_pumping_power * 1e3:.3f} mW per channel"
+    )

@@ -1,0 +1,58 @@
+"""Table I -- values of the system parameters.
+
+Table I of the paper is the input parameter set, not a result; the benchmark
+verifies that the library's defaults reproduce it exactly and times how fast
+a full per-unit-length circuit evaluation (Eq. 2) is, since every solver call
+is built out of those evaluations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.floorplan import test_a_structure as build_test_a_structure
+from repro.thermal.conductances import evaluate_conductances
+from repro.thermal.properties import TABLE_I
+
+
+EXPECTED_TABLE_I = {
+    "k_Si [W/m.K]": 130.0,
+    "W [um]": 100.0,
+    "H_Si [um]": 50.0,
+    "H_C [um]": 100.0,
+    "c_v [J/m^3.K]": 4.17e6,
+    "V_dot [ml/min/channel]": 4.8,
+    "T_C,in [K]": 300.0,
+    "dP_max [Pa]": 10e5,
+    "w_Cmin [um]": 10.0,
+    "w_Cmax [um]": 50.0,
+}
+
+
+def test_table1_parameters(benchmark, config):
+    table = TABLE_I.as_table()
+    for key, expected in EXPECTED_TABLE_I.items():
+        assert table[key] == pytest.approx(expected), key
+
+    structure = build_test_a_structure(config)
+
+    def evaluate_circuit():
+        # One full Eq. (2) evaluation at mid-channel.
+        return evaluate_conductances(structure, z=0.005)
+
+    record = benchmark(evaluate_circuit)
+    assert record.g_layer_to_coolant > 0.0
+
+    print()
+    print("Table I (library defaults vs paper):")
+    rows = [
+        {"parameter": key, "paper": value, "library": table[key]}
+        for key, value in EXPECTED_TABLE_I.items()
+    ]
+    print(format_table(rows))
+    print(
+        "note: experiments use an effective per-channel flow rate of "
+        f"{config.params.flow_rate_ml_per_min:.2f} ml/min "
+        "(see EXPERIMENTS.md for the consistency analysis)"
+    )

@@ -1,0 +1,50 @@
+"""Model validation (Sec. III) -- analytical model vs the grid simulator.
+
+The paper validates its analytical state-space model against the 3D-ICE
+numerical simulator.  This benchmark reproduces that step with the library's
+own finite-volume substrate: the two models are solved on the same
+single-channel strip and compared, for the conventional and a narrow channel
+width and for two heat-flux levels.  The benchmark times the analytical BVP
+solve, which is the model the optimal-control formulation is built on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.floorplan import test_a_structure as build_test_a_structure
+from repro.ice import validate_against_analytical
+from repro.thermal.bvp import solve_trapezoidal
+
+
+def test_analytical_model_matches_grid_simulator(benchmark, config):
+    cases = [
+        {"flux": 50.0, "width": config.params.max_channel_width},
+        {"flux": 50.0, "width": 20e-6},
+        {"flux": 150.0, "width": config.params.max_channel_width},
+    ]
+    rows = []
+    for case in cases:
+        report = validate_against_analytical(
+            flux_w_per_cm2=case["flux"],
+            channel_width=case["width"],
+            config=config,
+            n_cols=80,
+        )
+        # The two substrates must agree to a small fraction of the gradient.
+        assert report.max_abs_error < 0.05 * report.analytical_gradient + 0.2
+        assert report.simulator_gradient == pytest.approx(
+            report.analytical_gradient, rel=0.05
+        )
+        row = {"flux_W_per_cm2": case["flux"], "width_um": case["width"] * 1e6}
+        row.update(report.as_dict())
+        rows.append(row)
+
+    structure = build_test_a_structure(config)
+    solution = benchmark(lambda: solve_trapezoidal(structure, n_points=401))
+    assert solution.thermal_gradient > 0.0
+
+    print()
+    print("analytical model vs finite-volume simulator (Sec. III validation):")
+    print(format_table(rows))

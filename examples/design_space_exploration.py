@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Design-space exploration: flow rate, pressure budget and segment count.
+
+The paper frames channel modulation as "an additional dimension in the
+design-space exploration".  This example walks that design space on the
+Test A structure:
+
+1. a sweep of *uniform* channel widths (the conventional single knob),
+2. the effect of the pressure-drop budget on the achievable gradient
+   reduction,
+3. the effect of the coolant flow rate on the gradient of the optimal
+   design, and
+4. the effect of the number of piecewise-constant control segments
+   (discretization of the direct sequential method).
+
+Run it with ``python examples/design_space_exploration.py``.
+"""
+
+from __future__ import annotations
+
+from repro import ChannelModulationDesigner, OptimizerSettings, test_a_structure
+from repro.analysis import format_table
+from repro.config import DEFAULT_EXPERIMENT, paper_parameters
+from repro.thermal.properties import ml_per_min_to_m3_per_s
+
+
+def uniform_width_sweep() -> None:
+    """1. The conventional design space: one constant width per design."""
+    designer = ChannelModulationDesigner(test_a_structure())
+    rows = []
+    for evaluation in designer.width_sweep(n_candidates=9):
+        summary = evaluation.summary()
+        summary["width_um"] = (
+            evaluation.width_profiles[0].segment_widths[0] * 1e6
+        )
+        rows.append(summary)
+    print("uniform width sweep (Test A):")
+    print(
+        format_table(
+            rows,
+            columns=[
+                "width_um",
+                "thermal_gradient_K",
+                "peak_temperature_C",
+                "max_pressure_drop_Pa",
+            ],
+        )
+    )
+    print()
+
+
+def pressure_budget_sweep() -> None:
+    """2. How the allowed pressure drop limits the achievable balancing."""
+    rows = []
+    for budget_bar in (2.0, 5.0, 10.0, 20.0):
+        designer = ChannelModulationDesigner(
+            test_a_structure(),
+            OptimizerSettings(n_segments=8, max_iterations=50),
+            max_pressure_drop=budget_bar * 1e5,
+        )
+        result = designer.design()
+        rows.append(
+            {
+                "pressure_budget_bar": budget_bar,
+                "optimal_gradient_K": result.optimal.thermal_gradient,
+                "gradient_reduction_pct": result.gradient_reduction * 100.0,
+                "used_pressure_bar": result.optimal.max_pressure_drop / 1e5,
+            }
+        )
+    print("pressure budget sweep (Test A):")
+    print(format_table(rows))
+    print()
+
+
+def flow_rate_sweep() -> None:
+    """3. Higher flow rate means lower coolant rise, hence lower gradients."""
+    rows = []
+    for flow_ml_per_min in (0.3, 0.6, 1.2, 2.4):
+        params = paper_parameters().with_overrides(
+            flow_rate_per_channel=ml_per_min_to_m3_per_s(flow_ml_per_min)
+        )
+        config = DEFAULT_EXPERIMENT.with_overrides(params=params)
+        from repro.floorplan import test_a_structure as build_structure
+
+        designer = ChannelModulationDesigner(
+            build_structure(config),
+            OptimizerSettings(n_segments=8, max_iterations=50),
+        )
+        result = designer.design()
+        rows.append(
+            {
+                "flow_ml_per_min": flow_ml_per_min,
+                "uniform_gradient_K": result.reference_gradient,
+                "optimal_gradient_K": result.optimal.thermal_gradient,
+                "gradient_reduction_pct": result.gradient_reduction * 100.0,
+                "pressure_bar": result.optimal.max_pressure_drop / 1e5,
+            }
+        )
+    print("coolant flow-rate sweep (Test A):")
+    print(format_table(rows))
+    print()
+
+
+def segment_count_sweep() -> None:
+    """4. Control discretization of the direct sequential method."""
+    rows = []
+    for n_segments in (2, 4, 8, 16):
+        designer = ChannelModulationDesigner(
+            test_a_structure(),
+            OptimizerSettings(n_segments=n_segments, max_iterations=60),
+        )
+        result = designer.design()
+        rows.append(
+            {
+                "n_segments": n_segments,
+                "optimal_gradient_K": result.optimal.thermal_gradient,
+                "gradient_reduction_pct": result.gradient_reduction * 100.0,
+                "cost_J": result.optimal.cost,
+            }
+        )
+    print("control segment count sweep (Test A):")
+    print(format_table(rows))
+
+
+def main() -> None:
+    uniform_width_sweep()
+    pressure_budget_sweep()
+    flow_rate_sweep()
+    segment_count_sweep()
+
+
+if __name__ == "__main__":
+    main()

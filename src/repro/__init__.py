@@ -1,0 +1,90 @@
+"""repro -- Thermal balancing of liquid-cooled 3D-MPSoCs using channel modulation.
+
+A from-scratch Python reproduction of the DATE 2012 paper by Sabry, Sridhar
+and Atienza.  The package contains:
+
+* :mod:`repro.thermal` -- the analytical per-unit-length thermal model of a
+  microchannel-cooled 3D IC (Sec. III), its state-space/BVP form and a
+  multi-channel finite-difference solver;
+* :mod:`repro.hydraulics` -- pressure drop (Eq. 9), pumping power and the
+  single-reservoir flow network (Eq. 10);
+* :mod:`repro.ice` -- a 3D-ICE-like finite-volume thermal simulator used
+  for validation and full-die thermal maps;
+* :mod:`repro.floorplan` -- UltraSPARC T1 floorplans, the Fig. 7 stackings
+  and the Fig. 4 synthetic workloads;
+* :mod:`repro.core` -- the paper's contribution: the optimal channel-width
+  modulation design flow (Sec. IV);
+* :mod:`repro.analysis` -- metrics, ASCII map rendering and experiment
+  reporting.
+
+Quickstart::
+
+    from repro import ChannelModulationDesigner, test_a_structure
+
+    designer = ChannelModulationDesigner(test_a_structure())
+    result = designer.design()
+    print(result.summary()["gradient_reduction"])
+"""
+
+from .config import (
+    DEFAULT_EXPERIMENT,
+    EFFECTIVE_FLOW_RATE_ML_PER_MIN,
+    ExperimentConfig,
+    paper_parameters,
+)
+from .core import (
+    ChannelModulationDesigner,
+    ChannelModulationOptimizer,
+    DesignEvaluation,
+    ModulationResult,
+    OptimizerSettings,
+)
+from .floorplan import (
+    Architecture,
+    architecture_names,
+    get_architecture,
+    test_a_structure,
+    test_b_structure,
+)
+from .thermal import (
+    ChannelGeometry,
+    HeatInputProfile,
+    MultiChannelStructure,
+    PaperParameters,
+    TABLE_I,
+    TestStructure,
+    ThermalSolution,
+    WidthProfile,
+    solve_single_channel,
+    solve_structure,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_EXPERIMENT",
+    "EFFECTIVE_FLOW_RATE_ML_PER_MIN",
+    "ExperimentConfig",
+    "paper_parameters",
+    "ChannelModulationDesigner",
+    "ChannelModulationOptimizer",
+    "DesignEvaluation",
+    "ModulationResult",
+    "OptimizerSettings",
+    "Architecture",
+    "architecture_names",
+    "get_architecture",
+    "test_a_structure",
+    "test_b_structure",
+    "ChannelGeometry",
+    "HeatInputProfile",
+    "MultiChannelStructure",
+    "PaperParameters",
+    "TABLE_I",
+    "TestStructure",
+    "ThermalSolution",
+    "WidthProfile",
+    "solve_single_channel",
+    "solve_structure",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Metrics, map rendering and experiment reporting."""
+
+from .metrics import (
+    gradient_reduction,
+    kelvin_to_celsius,
+    peak_temperature,
+    spatial_gradient_magnitude,
+    summarize_designs,
+    thermal_gradient,
+    thermal_stress_proxy,
+)
+from .maps import (
+    TEMPERATURE_RAMP,
+    format_table,
+    render_map,
+    render_profile,
+    render_width_profile,
+)
+from .reporting import ExperimentReport, ExperimentRow, paper_comparison_row
+
+__all__ = [
+    "gradient_reduction",
+    "kelvin_to_celsius",
+    "peak_temperature",
+    "spatial_gradient_magnitude",
+    "summarize_designs",
+    "thermal_gradient",
+    "thermal_stress_proxy",
+    "TEMPERATURE_RAMP",
+    "format_table",
+    "render_map",
+    "render_profile",
+    "render_width_profile",
+    "ExperimentReport",
+    "ExperimentRow",
+    "paper_comparison_row",
+]

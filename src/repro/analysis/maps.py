@@ -1,0 +1,161 @@
+"""Rendering of thermal maps and profiles in a terminal-friendly form.
+
+The paper's Figs. 1, 5, 6 and 9 are images; in a library without plotting
+dependencies the same information is exposed as
+
+* numpy arrays (for downstream tooling and the tests), and
+* compact ASCII renderings (for the examples and the benchmark logs), where
+  each cell of a map is drawn with a character from a temperature ramp.
+
+The ASCII renderings are intentionally small (they down-sample the map) so
+that a benchmark run stays readable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "TEMPERATURE_RAMP",
+    "render_map",
+    "render_profile",
+    "render_width_profile",
+    "format_table",
+]
+
+#: Characters from cold to hot used by the ASCII map renderer.
+TEMPERATURE_RAMP: str = " .:-=+*#%@"
+
+
+def _downsample(values: np.ndarray, max_rows: int, max_cols: int) -> np.ndarray:
+    rows, cols = values.shape
+    row_step = max(int(np.ceil(rows / max_rows)), 1)
+    col_step = max(int(np.ceil(cols / max_cols)), 1)
+    trimmed = values[: (rows // row_step) * row_step, : (cols // col_step) * col_step]
+    reshaped = trimmed.reshape(
+        trimmed.shape[0] // row_step, row_step, trimmed.shape[1] // col_step, col_step
+    )
+    return reshaped.mean(axis=(1, 3))
+
+
+def render_map(
+    temperature_map: np.ndarray,
+    *,
+    vmin: Optional[float] = None,
+    vmax: Optional[float] = None,
+    max_rows: int = 20,
+    max_cols: int = 60,
+    celsius: bool = True,
+    title: Optional[str] = None,
+) -> str:
+    """Render a 2-D temperature map as an ASCII picture.
+
+    ``vmin``/``vmax`` fix the color scale (Kelvin) so that several maps can
+    be compared on identical scales, as the paper does for Fig. 9.
+    """
+    values = np.asarray(temperature_map, dtype=float)
+    if values.ndim != 2:
+        raise ValueError("temperature_map must be a 2-D array")
+    small = _downsample(values, max_rows, max_cols)
+    low = float(np.min(values)) if vmin is None else float(vmin)
+    high = float(np.max(values)) if vmax is None else float(vmax)
+    span = max(high - low, 1e-12)
+    indices = np.clip(
+        ((small - low) / span * (len(TEMPERATURE_RAMP) - 1)).round().astype(int),
+        0,
+        len(TEMPERATURE_RAMP) - 1,
+    )
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    unit = "C" if celsius else "K"
+    display_low = low - 273.15 if celsius else low
+    display_high = high - 273.15 if celsius else high
+    lines.append(
+        f"scale: '{TEMPERATURE_RAMP[0]}' = {display_low:.1f} {unit}   "
+        f"'{TEMPERATURE_RAMP[-1]}' = {display_high:.1f} {unit}"
+    )
+    # Row 0 of the array is y = 0; draw it at the bottom like a plot.
+    for row in indices[::-1]:
+        lines.append("".join(TEMPERATURE_RAMP[i] for i in row))
+    return "\n".join(lines)
+
+
+def render_profile(
+    z: np.ndarray,
+    values: np.ndarray,
+    *,
+    label: str = "",
+    width: int = 60,
+    height: int = 12,
+    unit: str = "K",
+) -> str:
+    """Render a 1-D profile (e.g. temperature vs distance) as an ASCII chart."""
+    z = np.asarray(z, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if z.shape != values.shape:
+        raise ValueError("z and values must have the same shape")
+    if z.size < 2:
+        raise ValueError("a profile needs at least two points")
+    columns = np.interp(
+        np.linspace(z[0], z[-1], width), z, values
+    )
+    low, high = float(np.min(columns)), float(np.max(columns))
+    span = max(high - low, 1e-12)
+    rows = np.clip(
+        ((columns - low) / span * (height - 1)).round().astype(int), 0, height - 1
+    )
+    canvas = [[" "] * width for _ in range(height)]
+    for col, row in enumerate(rows):
+        canvas[height - 1 - row][col] = "*"
+    lines = []
+    if label:
+        lines.append(label)
+    lines.append(f"max = {high:.2f} {unit}")
+    lines.extend("".join(row) for row in canvas)
+    lines.append(f"min = {low:.2f} {unit}   (inlet -> outlet)")
+    return "\n".join(lines)
+
+
+def render_width_profile(
+    width_profile,
+    *,
+    n_samples: int = 60,
+    height: int = 10,
+) -> str:
+    """Render a channel width profile ``w_C(z)`` as an ASCII chart (um)."""
+    z = np.linspace(0.0, width_profile.length, n_samples)
+    widths = np.atleast_1d(width_profile(z)) * 1e6
+    return render_profile(
+        z, widths, label="channel width profile", unit="um", height=height
+    )
+
+
+def format_table(rows: Sequence[dict], columns: Optional[Sequence[str]] = None) -> str:
+    """Format a list of dictionaries as an aligned plain-text table."""
+    rows = list(rows)
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered: List[List[str]] = [[str(column) for column in columns]]
+    for row in rows:
+        rendered.append(
+            [
+                f"{row.get(column, ''):.4g}"
+                if isinstance(row.get(column), float)
+                else str(row.get(column, ""))
+                for column in columns
+            ]
+        )
+    widths = [max(len(line[i]) for line in rendered) for i in range(len(columns))]
+    lines = []
+    for index, line in enumerate(rendered):
+        lines.append(
+            "  ".join(value.ljust(width) for value, width in zip(line, widths))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Thermal metrics used throughout the paper's evaluation.
+
+All metrics work on either :class:`~repro.thermal.solution.ThermalSolution`
+objects (analytical / finite-difference solvers) or plain temperature arrays
+(the finite-volume simulator maps), so the benchmarks can report the same
+numbers regardless of which substrate produced them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Union
+
+import numpy as np
+
+from ..thermal.solution import ThermalSolution
+
+__all__ = [
+    "thermal_gradient",
+    "peak_temperature",
+    "gradient_reduction",
+    "spatial_gradient_magnitude",
+    "thermal_stress_proxy",
+    "kelvin_to_celsius",
+    "summarize_designs",
+]
+
+TemperatureField = Union[ThermalSolution, np.ndarray]
+
+
+def _as_array(field: TemperatureField) -> np.ndarray:
+    if isinstance(field, ThermalSolution):
+        return field.temperatures
+    return np.asarray(field, dtype=float)
+
+
+def thermal_gradient(field: TemperatureField) -> float:
+    """Max - min temperature over the field (K) -- the paper's gradient metric."""
+    values = _as_array(field)
+    return float(np.max(values) - np.min(values))
+
+
+def peak_temperature(field: TemperatureField) -> float:
+    """Maximum temperature of the field (K)."""
+    return float(np.max(_as_array(field)))
+
+
+def gradient_reduction(reference: TemperatureField, optimized: TemperatureField) -> float:
+    """Fractional gradient reduction of ``optimized`` versus ``reference``.
+
+    The paper's headline figure of merit: 0.31 for the 3D-MPSoC at peak
+    power, about 0.32 for the single-channel tests.
+    """
+    ref = thermal_gradient(reference)
+    if ref == 0.0:
+        return 0.0
+    return 1.0 - thermal_gradient(optimized) / ref
+
+
+def spatial_gradient_magnitude(
+    temperature_map: np.ndarray, cell_length: float, cell_width: float
+) -> np.ndarray:
+    """Pointwise ``|grad T|`` (K/m) of a 2-D thermal map.
+
+    Used on finite-volume maps to locate where on the die the strongest
+    gradients (and hence thermo-mechanical stresses) occur.
+    """
+    temperature_map = np.asarray(temperature_map, dtype=float)
+    if temperature_map.ndim != 2:
+        raise ValueError("temperature_map must be a 2-D array")
+    if cell_length <= 0.0 or cell_width <= 0.0:
+        raise ValueError("cell dimensions must be positive")
+    d_dy, d_dx = np.gradient(temperature_map, cell_width, cell_length)
+    return np.sqrt(d_dx**2 + d_dy**2)
+
+
+def thermal_stress_proxy(
+    temperature_map: np.ndarray, cell_length: float, cell_width: float
+) -> float:
+    """A scalar proxy for thermally-induced stress: mean ``|grad T|`` (K/m).
+
+    The paper motivates gradient minimization by the uneven thermal stresses
+    that gradients induce (Sec. I); this proxy lets the benchmarks report a
+    stress-flavoured number alongside the max-min gradient.
+    """
+    return float(
+        np.mean(spatial_gradient_magnitude(temperature_map, cell_length, cell_width))
+    )
+
+
+def kelvin_to_celsius(value: Union[float, np.ndarray]):
+    """Convert Kelvin to degrees Celsius."""
+    return np.asarray(value, dtype=float) - 273.15 if np.ndim(value) else value - 273.15
+
+
+def summarize_designs(designs: Iterable) -> Dict[str, Dict[str, float]]:
+    """Summaries of a collection of ``DesignEvaluation`` objects, keyed by label."""
+    out: Dict[str, Dict[str, float]] = {}
+    for design in designs:
+        summary = design.summary()
+        out[str(summary.pop("label"))] = summary
+    return out

@@ -1,0 +1,117 @@
+"""Experiment reporting helpers.
+
+The benchmarks regenerate the paper's tables and figures as plain-text
+reports; this module centralizes the formatting so that every benchmark
+produces rows with the same columns and the EXPERIMENTS.md comparison can be
+assembled mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .maps import format_table
+
+__all__ = ["ExperimentRow", "ExperimentReport", "paper_comparison_row"]
+
+
+@dataclass
+class ExperimentRow:
+    """One row of an experiment report (one design or one configuration)."""
+
+    experiment: str
+    case: str
+    design: str
+    thermal_gradient_K: float
+    peak_temperature_C: float
+    max_pressure_drop_bar: Optional[float] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten the row (including extras) into one dictionary."""
+        row: Dict[str, object] = {
+            "experiment": self.experiment,
+            "case": self.case,
+            "design": self.design,
+            "thermal_gradient_K": self.thermal_gradient_K,
+            "peak_temperature_C": self.peak_temperature_C,
+        }
+        if self.max_pressure_drop_bar is not None:
+            row["max_pressure_drop_bar"] = self.max_pressure_drop_bar
+        row.update(self.extra)
+        return row
+
+
+@dataclass
+class ExperimentReport:
+    """A titled collection of experiment rows with optional notes."""
+
+    title: str
+    rows: List[ExperimentRow] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, row: ExperimentRow) -> None:
+        """Append a row to the report."""
+        self.rows.append(row)
+
+    def add_design_evaluation(
+        self,
+        experiment: str,
+        case: str,
+        evaluation,
+        extra: Optional[Dict[str, float]] = None,
+    ) -> None:
+        """Append a row built from a ``DesignEvaluation``."""
+        summary = evaluation.summary()
+        self.rows.append(
+            ExperimentRow(
+                experiment=experiment,
+                case=case,
+                design=str(summary["label"]),
+                thermal_gradient_K=float(summary["thermal_gradient_K"]),
+                peak_temperature_C=float(summary["peak_temperature_C"]),
+                max_pressure_drop_bar=float(summary["max_pressure_drop_Pa"]) / 1e5,
+                extra=dict(extra or {}),
+            )
+        )
+
+    def add_note(self, note: str) -> None:
+        """Append a free-form note printed below the table."""
+        self.notes.append(note)
+
+    def to_text(self) -> str:
+        """Render the report as an aligned plain-text table."""
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(format_table([row.as_dict() for row in self.rows]))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def gradients_by_design(self) -> Dict[str, Dict[str, float]]:
+        """``{case: {design: gradient}}`` -- the structure plotted in Fig. 8."""
+        out: Dict[str, Dict[str, float]] = {}
+        for row in self.rows:
+            out.setdefault(row.case, {})[row.design] = row.thermal_gradient_K
+        return out
+
+
+def paper_comparison_row(
+    experiment: str,
+    metric: str,
+    paper_value: float,
+    measured_value: float,
+    unit: str = "",
+) -> Dict[str, object]:
+    """One row of the paper-vs-measured comparison used in EXPERIMENTS.md."""
+    deviation = None
+    if paper_value not in (0.0, None):
+        deviation = (measured_value - paper_value) / abs(paper_value)
+    return {
+        "experiment": experiment,
+        "metric": metric,
+        "paper": paper_value,
+        "measured": measured_value,
+        "unit": unit,
+        "relative_deviation": deviation if deviation is not None else "n/a",
+    }

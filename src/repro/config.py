@@ -1,0 +1,107 @@
+"""Experiment-level configuration shared by examples, benchmarks and tests.
+
+The physical constants of Table I live in
+:class:`repro.thermal.properties.PaperParameters` (and its module-level
+instance :data:`repro.thermal.properties.TABLE_I`).  This module layers the
+*experiment* configuration on top: channel counts, grid resolutions,
+optimizer settings, and one reproduction-specific adjustment documented
+below.
+
+Flow-rate consistency note
+--------------------------
+Table I of the paper quotes a coolant flow rate of 4.8 ml/min **per
+channel**.  That value is not consistent with the paper's own reported
+results: with 4.8 ml/min per 100 um channel the coolant capacity rate is
+``c_v * V_dot = 0.33 W/K``, so the ~1 W absorbed by one channel of the
+uniform 50 W/cm^2 Test A raises the coolant by only ~3 K -- yet Fig. 5(a)
+reports a 28 C silicon gradient, and Test B (average ~3 W/channel) reports
+72 C.  Both reported gradients are reproduced almost exactly if the
+*effective* per-channel flow rate is about 0.6 ml/min (i.e. 4.8 ml/min
+shared by a cluster of 8 channels): Test A then gives a ~24 K coolant rise
+and Test B ~72 K.  The same effective flow also makes the pressure-drop
+constraint meaningful (at 4.8 ml/min/channel even the *maximum*-width
+channel already exceeds the 10 bar limit of Table I, which would leave no
+feasible design at all).
+
+We therefore default the experiments to an effective flow rate of
+0.6 ml/min per channel and record the substitution here and in
+EXPERIMENTS.md.  The literal Table I value remains available as
+``TABLE_I.flow_rate_per_channel`` and every experiment accepts an explicit
+override, so the sensitivity of the results to this choice can be explored
+with the flow-rate ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .thermal.properties import PaperParameters, TABLE_I, ml_per_min_to_m3_per_s
+
+__all__ = [
+    "EFFECTIVE_FLOW_RATE_ML_PER_MIN",
+    "ExperimentConfig",
+    "DEFAULT_EXPERIMENT",
+    "paper_parameters",
+]
+
+#: Effective per-channel flow rate (ml/min) that reproduces the paper's
+#: reported coolant temperature rises; see the module docstring.
+EFFECTIVE_FLOW_RATE_ML_PER_MIN: float = 0.6
+
+
+def paper_parameters(effective_flow: bool = True) -> PaperParameters:
+    """Table I parameters, optionally with the effective per-channel flow rate.
+
+    ``effective_flow=True`` (default) replaces the per-channel flow rate by
+    the 0.6 ml/min effective value discussed in the module docstring;
+    ``False`` returns the literal Table I record.
+    """
+    if not effective_flow:
+        return TABLE_I
+    return TABLE_I.with_overrides(
+        flow_rate_per_channel=ml_per_min_to_m3_per_s(EFFECTIVE_FLOW_RATE_ML_PER_MIN)
+    )
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Settings shared by the paper-reproduction experiments.
+
+    Attributes
+    ----------
+    params:
+        Physical parameters (Table I with the effective flow rate).
+    n_grid_points:
+        Points of the z-grid used by the thermal solvers.
+    n_segments:
+        Number of piecewise-constant width segments given to the direct
+        sequential optimizer (the paper does not state its discretization;
+        10 segments over the 1 cm channel resolves the Fig. 6 profiles).
+    n_lanes:
+        Number of modeled channel lanes for the 3D-MPSoC cavities (physical
+        channels are clustered into this many lanes, as allowed by the
+        multi-channel extension in Sec. III).
+    test_b_segments:
+        Number of random heat-flux segments of the Test B strip (Fig. 4b).
+    test_b_flux_range:
+        Low/high bounds (W/cm^2) of the Test B random heat fluxes.
+    random_seed:
+        Seed used for the Test B workload generator so that runs are
+        reproducible.
+    """
+
+    params: PaperParameters = field(default_factory=paper_parameters)
+    n_grid_points: int = 241
+    n_segments: int = 10
+    n_lanes: int = 5
+    test_b_segments: int = 10
+    test_b_flux_range: tuple = (50.0, 250.0)
+    random_seed: int = 2012
+
+    def with_overrides(self, **kwargs) -> "ExperimentConfig":
+        """Return a copy with the given attributes replaced."""
+        return replace(self, **kwargs)
+
+
+#: Default experiment configuration used by examples and benchmarks.
+DEFAULT_EXPERIMENT = ExperimentConfig()

@@ -1,0 +1,51 @@
+"""Optimal channel-width modulation -- the paper's primary contribution.
+
+The subpackage turns the thermal substrate (:mod:`repro.thermal`) and the
+hydraulics (:mod:`repro.hydraulics`) into the design-time thermal-balancing
+flow of the paper: a control-vector parameterization of ``w_C(z)``, the
+Eq. (7) cost, the Eq. (8)-(10) constraints, a direct sequential NLP solve,
+and the baseline designs used in Sec. V.
+"""
+
+from .parameterization import WidthParameterization
+from .objectives import (
+    OBJECTIVES,
+    get_objective,
+    gradient_norm_cost,
+    heat_flow_cost,
+    peak_temperature,
+    softmax_temperature_range,
+    temperature_range,
+)
+from .constraints import PressureConstraints
+from .results import DesignEvaluation, ModulationResult, OptimizationTrace
+from .optimizer import ChannelModulationOptimizer, OptimizerSettings
+from .baselines import (
+    best_uniform_design,
+    per_lane_uniform_design,
+    uniform_maximum_design,
+    uniform_minimum_design,
+)
+from .designer import ChannelModulationDesigner
+
+__all__ = [
+    "WidthParameterization",
+    "OBJECTIVES",
+    "get_objective",
+    "gradient_norm_cost",
+    "heat_flow_cost",
+    "peak_temperature",
+    "softmax_temperature_range",
+    "temperature_range",
+    "PressureConstraints",
+    "DesignEvaluation",
+    "ModulationResult",
+    "OptimizationTrace",
+    "ChannelModulationOptimizer",
+    "OptimizerSettings",
+    "best_uniform_design",
+    "per_lane_uniform_design",
+    "uniform_maximum_design",
+    "uniform_minimum_design",
+    "ChannelModulationDesigner",
+]

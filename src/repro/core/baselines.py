@@ -1,0 +1,142 @@
+"""Baseline channel designs the paper compares against.
+
+Section V evaluates the optimal modulation against the two uniform-width
+extremes, which bracket every temperature distribution achievable by any
+modulation scheme:
+
+* *uniform minimum width* (``w_Cmin`` everywhere) -- maximum cooling
+  efficiency, maximum pressure drop;
+* *uniform maximum width* (``w_Cmax`` everywhere) -- the conventional design
+  used by prior 3D-MPSoC liquid-cooling work (Sec. V notes 50 um is the most
+  common choice).
+
+Two further baselines are provided for richer comparisons and the ablation
+benchmarks:
+
+* *best uniform width* -- the single constant width that minimizes the
+  objective while respecting the pressure limit (a 1-D design-space sweep);
+* *per-lane uniform widths* -- each lane gets its own constant width (no
+  modulation along ``z``), which is the closest analogue to the
+  channel-density / clustering approaches of the related work (Shi et al.,
+  Qian et al.) that only differentiate cooling *across* the die, not along
+  the flow path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..thermal.geometry import WidthProfile
+from .optimizer import ChannelModulationOptimizer, OptimizerSettings
+from .results import DesignEvaluation
+
+__all__ = [
+    "uniform_minimum_design",
+    "uniform_maximum_design",
+    "best_uniform_design",
+    "per_lane_uniform_design",
+]
+
+
+def uniform_minimum_design(
+    optimizer: ChannelModulationOptimizer,
+) -> DesignEvaluation:
+    """Evaluate the uniform ``w_Cmin`` design."""
+    return optimizer.evaluate_uniform(
+        optimizer.structure.geometry.min_width, "uniform minimum"
+    )
+
+
+def uniform_maximum_design(
+    optimizer: ChannelModulationOptimizer,
+) -> DesignEvaluation:
+    """Evaluate the uniform ``w_Cmax`` design (the conventional baseline)."""
+    return optimizer.evaluate_uniform(
+        optimizer.structure.geometry.max_width, "uniform maximum"
+    )
+
+
+def best_uniform_design(
+    optimizer: ChannelModulationOptimizer,
+    n_candidates: int = 17,
+    respect_pressure_limit: bool = True,
+) -> DesignEvaluation:
+    """Sweep constant widths and return the best feasible one.
+
+    A uniform width is the conventional single-variable design space; this
+    baseline shows how much of the optimal-modulation benefit could have
+    been obtained without modulation at all.
+    """
+    geometry = optimizer.structure.geometry
+    widths = np.linspace(geometry.min_width, geometry.max_width, n_candidates)
+    best: Optional[DesignEvaluation] = None
+    best_value = np.inf
+    for width in widths:
+        evaluation = optimizer.evaluate_uniform(float(width))
+        if respect_pressure_limit and (
+            evaluation.max_pressure_drop > optimizer.pressure.max_pressure_drop
+        ):
+            continue
+        value = evaluation.cost
+        if value < best_value:
+            best_value = value
+            best = evaluation
+    if best is None:
+        # Even the widest channel violates the limit; report it anyway so the
+        # caller can see the violation explicitly.
+        best = uniform_maximum_design(optimizer)
+    best.label = "best uniform"
+    return best
+
+
+def per_lane_uniform_design(
+    optimizer: ChannelModulationOptimizer,
+    n_candidates: int = 9,
+    respect_pressure_limit: bool = True,
+) -> DesignEvaluation:
+    """Choose one constant width per lane (no modulation along the channel).
+
+    Lanes are treated greedily and independently: for each lane the constant
+    width minimizing that lane's peak silicon temperature is selected from a
+    sweep, subject to the pressure limit.  This mimics the related-work
+    approaches that adapt the cooling laterally (channel density/clustering)
+    but cannot react to hotspots distributed *along* a channel.
+    """
+    structure = optimizer.structure
+    geometry = structure.geometry
+    widths = np.linspace(geometry.min_width, geometry.max_width, n_candidates)
+
+    chosen: List[WidthProfile] = []
+    base_profiles = [
+        WidthProfile.uniform(geometry.max_width, geometry.length)
+        for _ in range(structure.n_lanes)
+    ]
+    for lane in range(structure.n_lanes):
+        best_width = geometry.max_width
+        best_peak = np.inf
+        for width in widths:
+            trial_profiles = list(base_profiles)
+            trial_profiles[lane] = WidthProfile.uniform(
+                float(width), geometry.length
+            )
+            evaluation = optimizer.evaluate_design(
+                trial_profiles, f"lane {lane} trial"
+            )
+            if respect_pressure_limit and (
+                evaluation.max_pressure_drop
+                > optimizer.pressure.max_pressure_drop
+            ):
+                continue
+            lane_peak = float(
+                np.max(evaluation.solution.temperatures[:, lane, :])
+            )
+            if lane_peak < best_peak:
+                best_peak = lane_peak
+                best_width = float(width)
+        chosen.append(WidthProfile.uniform(best_width, geometry.length))
+        base_profiles[lane] = chosen[-1]
+
+    evaluation = optimizer.evaluate_design(chosen, "per-lane uniform")
+    return evaluation

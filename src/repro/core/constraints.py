@@ -1,0 +1,171 @@
+"""Design constraints of the optimal channel-modulation problem.
+
+Section IV-B of the paper imposes three constraints on the width
+trajectories:
+
+1. *Boundedness of channel widths* (Eq. 8): ``w_Cmin <= w_C(z) <= w_Cmax``
+   everywhere.  With the piecewise-constant parameterization this is a plain
+   box constraint on the decision vector and is handled by the NLP solver's
+   bounds, not by penalty terms.
+2. *Maximum pressure drop* (Eq. 9): the Darcy-Weisbach pressure drop of every
+   channel, at the fixed per-channel flow rate, must not exceed ``dP_max``.
+3. *Equal pressure drops* (Eq. 10): all channels fed by the common reservoir
+   must exhibit the same pressure drop, so that the constant-flow assumption
+   is hydraulically consistent.
+
+This module evaluates constraints 2 and 3 for a decision vector and exposes
+them in the formats expected by :func:`scipy.optimize.minimize` (dictionaries
+with ``type``/``fun`` entries).  Constraint values are scaled to order one so
+that SLSQP's merit function treats them on an equal footing with the cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..hydraulics.pressure import pressure_drop
+from ..thermal.geometry import ChannelGeometry
+from ..thermal.properties import Coolant
+from .parameterization import WidthParameterization
+
+__all__ = ["PressureConstraints"]
+
+
+@dataclass
+class PressureConstraints:
+    """Pressure-related constraints evaluated on the decision vector.
+
+    Attributes
+    ----------
+    parameterization:
+        The width parameterization that decodes decision vectors.
+    geometry:
+        Channel geometry (provides the channel height and length).
+    coolant:
+        Coolant whose viscosity enters the Darcy-Weisbach expression.
+    flow_rate:
+        Volumetric flow rate per physical channel (m^3/s), fixed by the
+        paper's assumption 3.
+    max_pressure_drop:
+        ``dP_max`` of Eq. (9), in Pa.
+    enforce_equal_pressure:
+        Whether to add the Eq. (10) equality constraints.  They are only
+        meaningful for multi-lane problems with per-lane trajectories.
+    equal_pressure_tolerance:
+        Relative tolerance used when the equality is enforced as a pair of
+        inequalities (SLSQP handles equalities natively; other solvers get
+        the relaxed form).
+    n_samples:
+        Sample count of the trapezoidal pressure integral.
+    """
+
+    parameterization: WidthParameterization
+    geometry: ChannelGeometry
+    coolant: Coolant
+    flow_rate: float
+    max_pressure_drop: float
+    enforce_equal_pressure: bool = True
+    equal_pressure_tolerance: float = 0.05
+    n_samples: int = 513
+
+    def __post_init__(self) -> None:
+        if self.flow_rate <= 0.0:
+            raise ValueError("flow rate must be positive")
+        if self.max_pressure_drop <= 0.0:
+            raise ValueError("max pressure drop must be positive")
+        if not (0.0 < self.equal_pressure_tolerance < 1.0):
+            raise ValueError("equal_pressure_tolerance must lie in (0, 1)")
+
+    # -- raw evaluations -----------------------------------------------------------
+
+    def pressure_drops(self, vector: np.ndarray) -> np.ndarray:
+        """Per-lane pressure drops (Pa) for a decision vector."""
+        profiles = self.parameterization.profiles_from_vector(vector)
+        if self.parameterization.shared:
+            # All lanes share the same trajectory, evaluate once.
+            drop = pressure_drop(
+                profiles[0],
+                self.geometry,
+                self.flow_rate,
+                self.coolant,
+                self.n_samples,
+            )
+            return np.full(self.parameterization.n_lanes, drop)
+        return np.array(
+            [
+                pressure_drop(
+                    profile,
+                    self.geometry,
+                    self.flow_rate,
+                    self.coolant,
+                    self.n_samples,
+                )
+                for profile in profiles
+            ]
+        )
+
+    def max_drop(self, vector: np.ndarray) -> float:
+        """Largest per-lane pressure drop (Pa)."""
+        return float(np.max(self.pressure_drops(vector)))
+
+    def imbalance(self, vector: np.ndarray) -> float:
+        """Relative pressure imbalance ``(max - min)/dP_max`` across lanes."""
+        drops = self.pressure_drops(vector)
+        return float((np.max(drops) - np.min(drops)) / self.max_pressure_drop)
+
+    def is_feasible(self, vector: np.ndarray, slack: float = 1e-6) -> bool:
+        """True when both Eq. (9) and (when enforced) Eq. (10) hold."""
+        drops = self.pressure_drops(vector)
+        if np.max(drops) > self.max_pressure_drop * (1.0 + slack):
+            return False
+        if self.enforce_equal_pressure and drops.size > 1:
+            spread = (np.max(drops) - np.min(drops)) / self.max_pressure_drop
+            if spread > self.equal_pressure_tolerance + slack:
+                return False
+        return True
+
+    # -- scipy constraint dictionaries ------------------------------------------------
+
+    def _normalized_margin(self, vector: np.ndarray) -> np.ndarray:
+        """``1 - dP_i / dP_max`` per lane; non-negative when feasible."""
+        return 1.0 - self.pressure_drops(vector) / self.max_pressure_drop
+
+    def as_scipy_constraints(self) -> List[Dict]:
+        """Constraint dictionaries for :func:`scipy.optimize.minimize` (SLSQP).
+
+        The Eq. (9) limit becomes one vector-valued inequality (one entry
+        per lane).  The Eq. (10) equal-pressure requirement is expressed as
+        a relaxed inequality ``tolerance - (max - min)/dP_max >= 0``: a strict
+        equality across many lanes over-constrains the problem numerically,
+        while the relaxed form keeps designs hydraulically balanced to
+        within ``equal_pressure_tolerance`` of the allowed budget (the
+        benchmarks report the achieved imbalance).
+        """
+        constraints: List[Dict] = [
+            {"type": "ineq", "fun": self._normalized_margin}
+        ]
+        multi_lane = (
+            self.parameterization.n_lanes > 1 and not self.parameterization.shared
+        )
+        if self.enforce_equal_pressure and multi_lane:
+            tolerance = self.equal_pressure_tolerance
+
+            def balance(vector: np.ndarray) -> float:
+                return tolerance - self.imbalance(vector)
+
+            constraints.append({"type": "ineq", "fun": balance})
+        return constraints
+
+    def summary(self, vector: np.ndarray) -> Dict[str, float]:
+        """Scalar constraint metrics for reports."""
+        drops = self.pressure_drops(vector)
+        return {
+            "max_pressure_drop_Pa": float(np.max(drops)),
+            "min_pressure_drop_Pa": float(np.min(drops)),
+            "pressure_limit_Pa": self.max_pressure_drop,
+            "pressure_margin": float(1.0 - np.max(drops) / self.max_pressure_drop),
+            "pressure_imbalance": self.imbalance(vector),
+        }

@@ -1,0 +1,135 @@
+"""High-level public API: :class:`ChannelModulationDesigner`.
+
+This is the front door of the library: it wraps structure construction,
+baseline evaluation, the direct sequential optimization and the comparison
+reporting into a handful of calls, so that the examples and the benchmarks
+read like the paper's experimental protocol::
+
+    designer = ChannelModulationDesigner(structure)
+    result = designer.design()
+    print(result.summary()["gradient_reduction"])     # ~0.2-0.35
+
+The designer also exposes the individual baseline designs (uniform minimum /
+maximum / best uniform / per-lane uniform) for design-space exploration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..thermal.geometry import (
+    MultiChannelStructure,
+    TestStructure,
+    WidthProfile,
+)
+from . import baselines as baseline_designs
+from .optimizer import ChannelModulationOptimizer, OptimizerSettings
+from .results import DesignEvaluation, ModulationResult
+
+__all__ = ["ChannelModulationDesigner"]
+
+
+class ChannelModulationDesigner:
+    """Design-time thermal balancing of a liquid-cooled cavity.
+
+    Parameters
+    ----------
+    structure:
+        The cavity to balance (a single-channel
+        :class:`~repro.thermal.geometry.TestStructure` or a multi-lane
+        :class:`~repro.thermal.geometry.MultiChannelStructure`).
+    settings:
+        Optimizer settings; the defaults reproduce the paper's formulation
+        (Eq. 7 objective, piecewise-constant control, SLSQP direct
+        sequential solve with pressure constraints).
+    max_pressure_drop:
+        Optional override of the Table I pressure limit (Pa).
+    """
+
+    def __init__(
+        self,
+        structure,
+        settings: OptimizerSettings = OptimizerSettings(),
+        max_pressure_drop: Optional[float] = None,
+    ) -> None:
+        self.optimizer = ChannelModulationOptimizer(structure, settings)
+        if max_pressure_drop is not None:
+            if max_pressure_drop <= 0.0:
+                raise ValueError("max_pressure_drop must be positive")
+            self.optimizer.pressure.max_pressure_drop = float(max_pressure_drop)
+
+    # -- convenience accessors ------------------------------------------------------
+
+    @property
+    def structure(self) -> MultiChannelStructure:
+        """The cavity being designed."""
+        return self.optimizer.structure
+
+    @property
+    def settings(self) -> OptimizerSettings:
+        """The optimizer settings in use."""
+        return self.optimizer.settings
+
+    # -- designs -----------------------------------------------------------------------
+
+    def design(
+        self,
+        initial_profiles: Optional[Sequence[WidthProfile]] = None,
+    ) -> ModulationResult:
+        """Run the optimal channel-modulation design and return the result.
+
+        ``initial_profiles`` optionally warm-starts the NLP from an existing
+        design (for example the output of a previous run with fewer
+        segments).
+        """
+        initial_vector = None
+        if initial_profiles is not None:
+            initial_vector = self.optimizer.parameterization.vector_from_profiles(
+                list(initial_profiles)
+            )
+        return self.optimizer.optimize(initial_vector=initial_vector)
+
+    def evaluate_uniform(self, width: float) -> DesignEvaluation:
+        """Evaluate a uniform-width design at the given width (meters)."""
+        return self.optimizer.evaluate_uniform(width)
+
+    def evaluate_profiles(
+        self, profiles: Sequence[WidthProfile], label: str = "custom"
+    ) -> DesignEvaluation:
+        """Evaluate an arbitrary set of per-lane width profiles."""
+        return self.optimizer.evaluate_design(list(profiles), label)
+
+    def uniform_minimum(self) -> DesignEvaluation:
+        """The uniform ``w_Cmin`` bracket design."""
+        return baseline_designs.uniform_minimum_design(self.optimizer)
+
+    def uniform_maximum(self) -> DesignEvaluation:
+        """The uniform ``w_Cmax`` bracket design (conventional baseline)."""
+        return baseline_designs.uniform_maximum_design(self.optimizer)
+
+    def best_uniform(self, n_candidates: int = 17) -> DesignEvaluation:
+        """The best single constant width under the pressure limit."""
+        return baseline_designs.best_uniform_design(
+            self.optimizer, n_candidates=n_candidates
+        )
+
+    def per_lane_uniform(self, n_candidates: int = 9) -> DesignEvaluation:
+        """One constant width per lane (lateral-only adaptation baseline)."""
+        return baseline_designs.per_lane_uniform_design(
+            self.optimizer, n_candidates=n_candidates
+        )
+
+    # -- design-space exploration ---------------------------------------------------------
+
+    def width_sweep(self, n_candidates: int = 9) -> List[DesignEvaluation]:
+        """Evaluate a sweep of uniform widths between the fabrication bounds.
+
+        Returns one evaluation per width; used by the examples to show the
+        extra design dimension the paper adds on top of the conventional
+        single-width choice.
+        """
+        geometry = self.structure.geometry
+        widths = np.linspace(geometry.min_width, geometry.max_width, n_candidates)
+        return [self.optimizer.evaluate_uniform(float(width)) for width in widths]

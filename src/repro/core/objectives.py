@@ -1,0 +1,94 @@
+"""Objective functions for the optimal channel-modulation problem.
+
+The paper's cost is the accumulated squared temperature gradient along the
+flow path (Eq. 7)::
+
+    J = Int_0^d || dT/dz ||^2 dz
+
+summed over every silicon node of the model (two per modeled lane).  As
+noted in Sec. IV-A, the same quantity can be expressed with the longitudinal
+heat flows (``q_i = -g_l dT_i/dz``), which is numerically smoother when the
+temperature field comes from a discrete solver; both forms are provided and
+agree up to the discretization error (verified in the tests).
+
+Two auxiliary objectives are included for design-space exploration and the
+ablation benchmarks: the *temperature range* (the paper's reported metric --
+what is minimized implicitly) and the *peak temperature*.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..thermal.solution import ThermalSolution
+
+__all__ = [
+    "gradient_norm_cost",
+    "heat_flow_cost",
+    "temperature_range",
+    "peak_temperature",
+    "softmax_temperature_range",
+    "OBJECTIVES",
+    "get_objective",
+]
+
+
+def gradient_norm_cost(solution: ThermalSolution) -> float:
+    """The paper's Eq. (7) cost, ``J = Int ||T'||^2 dz`` (K^2/m)."""
+    return solution.cost
+
+
+def heat_flow_cost(solution: ThermalSolution) -> float:
+    """The equivalent heat-flow form ``Int ||q||^2 dz`` (W^2.m)."""
+    return solution.heat_flow_cost
+
+
+def temperature_range(solution: ThermalSolution) -> float:
+    """Max - min silicon temperature (K) -- the thermal gradient the paper reports."""
+    return solution.thermal_gradient
+
+
+def peak_temperature(solution: ThermalSolution) -> float:
+    """Maximum silicon temperature (K)."""
+    return solution.peak_temperature
+
+
+def softmax_temperature_range(
+    solution: ThermalSolution, sharpness: float = 2.0
+) -> float:
+    """A smooth surrogate of the temperature range for gradient-based solvers.
+
+    ``(1/s) log sum exp(s (T - T_ref)) - (-1/s) log sum exp(-s (T - T_ref))``
+    converges to ``max T - min T`` as ``sharpness`` grows while staying
+    differentiable; useful when optimizing the range directly instead of the
+    paper's integral cost.
+    """
+    if sharpness <= 0.0:
+        raise ValueError("sharpness must be positive")
+    temperatures = solution.temperatures.ravel()
+    reference = float(np.mean(temperatures))
+    shifted = temperatures - reference
+    upper = np.log(np.sum(np.exp(sharpness * shifted))) / sharpness
+    lower = -np.log(np.sum(np.exp(-sharpness * shifted))) / sharpness
+    return float(upper - lower)
+
+
+OBJECTIVES: Dict[str, Callable[[ThermalSolution], float]] = {
+    "gradient_norm": gradient_norm_cost,
+    "heat_flow": heat_flow_cost,
+    "temperature_range": temperature_range,
+    "softmax_range": softmax_temperature_range,
+    "peak_temperature": peak_temperature,
+}
+
+
+def get_objective(name: str) -> Callable[[ThermalSolution], float]:
+    """Look up an objective by name; raise a helpful error for unknown names."""
+    try:
+        return OBJECTIVES[name]
+    except KeyError as error:
+        raise ValueError(
+            f"unknown objective {name!r}; available: {sorted(OBJECTIVES)}"
+        ) from error

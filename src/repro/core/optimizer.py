@@ -1,0 +1,360 @@
+"""Direct sequential solver for the optimal channel-modulation problem.
+
+The paper (Sec. IV-C) solves the optimal control problem with the *direct
+sequential* method: the control ``w_C(z)`` is parameterized as piecewise
+constant, the state equation is solved exactly for every candidate control,
+and the resulting finite-dimensional nonlinear program
+
+    min_x  J(x)     subject to  0 <= x <= 1,  dP_i(x) <= dP_max,
+                                dP_i(x) = dP_j(x)
+
+is handed to a gradient-based NLP solver.  The paper leaves the choice of
+NLP solver open; we use SciPy's SLSQP (with finite-difference gradients) and
+optionally refine from several starting points, which is sufficient for the
+problem sizes of the paper's experiments.
+
+The expensive part of every evaluation is the steady-state thermal solve, so
+evaluations are memoized on the decision vector; SLSQP evaluates the cost
+and the constraints at the same iterates, and the cache removes the
+redundant solves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+from scipy import optimize
+
+from ..hydraulics.pressure import pressure_drop
+from ..thermal.fdm import solve_structure
+from ..thermal.geometry import (
+    MultiChannelStructure,
+    TestStructure,
+    WidthProfile,
+)
+from ..thermal.solution import ThermalSolution
+from .constraints import PressureConstraints
+from .objectives import get_objective
+from .parameterization import WidthParameterization
+from .results import DesignEvaluation, ModulationResult, OptimizationTrace
+
+__all__ = ["OptimizerSettings", "ChannelModulationOptimizer"]
+
+
+@dataclass(frozen=True)
+class OptimizerSettings:
+    """Knobs of the direct sequential solve.
+
+    Attributes
+    ----------
+    n_segments:
+        Piecewise-constant segments per lane trajectory.
+    shared_profile:
+        If True, all lanes share one trajectory (fewer variables).
+    objective:
+        Name of the objective in :mod:`repro.core.objectives`
+        (``"gradient_norm"`` is the paper's Eq. 7).
+    n_grid_points:
+        z-grid resolution of the thermal solves.
+    max_iterations:
+        SLSQP iteration limit.
+    tolerance:
+        SLSQP convergence tolerance (on the scaled cost).
+    finite_difference_step:
+        Relative step of the finite-difference gradients.
+    multistart:
+        Number of starting points.  The first start is always the uniform
+        mid-width design; additional starts interpolate between the uniform
+        minimum and maximum width designs.
+    enforce_equal_pressure:
+        Add the Eq. (10) hydraulic balance constraint for multi-lane,
+        per-lane problems.
+    equal_pressure_tolerance:
+        Allowed relative pressure imbalance when balancing is enforced.
+    """
+
+    n_segments: int = 10
+    shared_profile: bool = False
+    objective: str = "gradient_norm"
+    n_grid_points: int = 241
+    max_iterations: int = 80
+    tolerance: float = 1e-8
+    finite_difference_step: float = 1e-3
+    multistart: int = 1
+    enforce_equal_pressure: bool = True
+    equal_pressure_tolerance: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.n_segments < 1:
+            raise ValueError("n_segments must be at least 1")
+        if self.n_grid_points < 3:
+            raise ValueError("n_grid_points must be at least 3")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be at least 1")
+        if self.multistart < 1:
+            raise ValueError("multistart must be at least 1")
+
+
+class ChannelModulationOptimizer:
+    """Direct sequential optimizer for one cavity (single- or multi-channel).
+
+    Parameters
+    ----------
+    structure:
+        The cavity to optimize.  A plain
+        :class:`~repro.thermal.geometry.TestStructure` is treated as a
+        one-lane cavity.
+    settings:
+        Optimizer settings; defaults reproduce the paper's formulation.
+    """
+
+    def __init__(
+        self,
+        structure,
+        settings: OptimizerSettings = OptimizerSettings(),
+    ) -> None:
+        if isinstance(structure, TestStructure):
+            structure = MultiChannelStructure.single(structure)
+        if not isinstance(structure, MultiChannelStructure):
+            raise TypeError(
+                "structure must be a TestStructure or MultiChannelStructure"
+            )
+        self.structure = structure
+        self.settings = settings
+        self.parameterization = WidthParameterization(
+            geometry=structure.geometry,
+            n_segments=settings.n_segments,
+            n_lanes=structure.n_lanes,
+            shared=settings.shared_profile,
+        )
+        self._objective = get_objective(settings.objective)
+        self.pressure = PressureConstraints(
+            parameterization=self.parameterization,
+            geometry=structure.geometry,
+            coolant=structure.coolant,
+            flow_rate=structure.lanes[0].flow_rate,
+            max_pressure_drop=self._max_pressure_drop(),
+            enforce_equal_pressure=settings.enforce_equal_pressure,
+            equal_pressure_tolerance=settings.equal_pressure_tolerance,
+        )
+        self._solution_cache: Dict[bytes, ThermalSolution] = {}
+        self._cost_scale: Optional[float] = None
+
+    def _max_pressure_drop(self) -> float:
+        """Pressure limit, taken from the Table I default unless overridden."""
+        # The limit is a property of the delivery network, not of the lanes,
+        # so it is stored on the optimizer; designers can override it by
+        # assigning ``optimizer.pressure.max_pressure_drop`` before running.
+        from ..thermal.properties import TABLE_I
+
+        return TABLE_I.max_pressure_drop
+
+    # -- evaluation ----------------------------------------------------------------
+
+    def solve_candidate(self, vector: np.ndarray) -> ThermalSolution:
+        """Steady-state thermal solution of the design encoded by ``vector``."""
+        key = np.asarray(vector, dtype=float).tobytes()
+        cached = self._solution_cache.get(key)
+        if cached is not None:
+            return cached
+        profiles = self.parameterization.profiles_from_vector(vector)
+        candidate = self.structure.with_width_profiles(profiles)
+        solution = solve_structure(
+            candidate, n_points=self.settings.n_grid_points
+        )
+        if len(self._solution_cache) > 4096:
+            self._solution_cache.clear()
+        self._solution_cache[key] = solution
+        return solution
+
+    def cost(self, vector: np.ndarray) -> float:
+        """Objective value (unscaled) for a decision vector."""
+        return float(self._objective(self.solve_candidate(vector)))
+
+    def _scaled_cost(self, vector: np.ndarray) -> float:
+        """Objective scaled to order one for the NLP solver."""
+        value = self.cost(vector)
+        if self._cost_scale is None or self._cost_scale == 0.0:
+            return value
+        return value / self._cost_scale
+
+    def evaluate_design(
+        self, profiles: Sequence[WidthProfile], label: str
+    ) -> DesignEvaluation:
+        """Full thermal + hydraulic evaluation of an explicit design."""
+        candidate = self.structure.with_width_profiles(list(profiles))
+        solution = solve_structure(
+            candidate, n_points=self.settings.n_grid_points
+        )
+        flow_rate = self.structure.lanes[0].flow_rate
+        drops = np.array(
+            [
+                pressure_drop(
+                    profile,
+                    self.structure.geometry,
+                    flow_rate,
+                    self.structure.coolant,
+                )
+                for profile in profiles
+            ]
+        )
+        return DesignEvaluation(
+            label=label,
+            width_profiles=list(profiles),
+            solution=solution,
+            pressure_drops=drops,
+            metadata={
+                "objective": self.settings.objective,
+                "n_grid_points": self.settings.n_grid_points,
+                "cluster_size": self.structure.cluster_size,
+            },
+        )
+
+    def evaluate_uniform(self, width: float, label: Optional[str] = None) -> DesignEvaluation:
+        """Evaluate a uniform-width design (used for the paper's baselines)."""
+        profile = WidthProfile.uniform(width, self.structure.geometry.length)
+        label = label or f"uniform {width * 1e6:.0f} um"
+        return self.evaluate_design([profile] * self.structure.n_lanes, label)
+
+    # -- starting points --------------------------------------------------------------
+
+    def _starting_points(self) -> List[np.ndarray]:
+        """Decision vectors used as multistart initial guesses."""
+        starts = [self.parameterization.midpoint_vector()]
+        extra = self.settings.multistart - 1
+        if extra > 0:
+            fractions = np.linspace(0.15, 0.85, extra)
+            for fraction in fractions:
+                starts.append(
+                    np.full(self.parameterization.n_variables, float(fraction))
+                )
+        return starts
+
+    # -- feasibility repair -----------------------------------------------------------------
+
+    def _repair_feasibility(self, vector: np.ndarray) -> np.ndarray:
+        """Project a slightly infeasible iterate back into the feasible set.
+
+        SLSQP iterates can end a run (e.g. at the iteration limit) with a
+        small violation of the pressure constraints.  Channel widening
+        monotonically reduces both the pressure drop and the imbalance, so
+        blending the candidate toward the all-maximum-width design is a
+        cheap, physically meaningful projection: a bisection on the blend
+        factor finds the closest feasible point along that segment.  Feasible
+        candidates are returned unchanged.
+        """
+        if self.pressure.is_feasible(vector, slack=1e-9):
+            return vector
+        widest = np.ones_like(vector)
+        if not self.pressure.is_feasible(widest, slack=1e-9):
+            # Even the widest channels violate the limit; nothing to repair.
+            return vector
+        low, high = 0.0, 1.0
+        for _ in range(30):
+            mid = 0.5 * (low + high)
+            blended = (1.0 - mid) * vector + mid * widest
+            if self.pressure.is_feasible(blended, slack=1e-9):
+                high = mid
+            else:
+                low = mid
+        return (1.0 - high) * vector + high * widest
+
+    # -- main entry point ----------------------------------------------------------------
+
+    def optimize(
+        self,
+        initial_vector: Optional[np.ndarray] = None,
+        callback: Optional[Callable[[np.ndarray], None]] = None,
+    ) -> ModulationResult:
+        """Run the direct sequential optimization and return the full result.
+
+        Parameters
+        ----------
+        initial_vector:
+            Optional explicit starting point (normalized decision vector);
+            when omitted the multistart schedule of the settings is used.
+        callback:
+            Optional callable invoked with the decision vector at every
+            accepted SLSQP iterate (after the built-in trace recording).
+        """
+        geometry = self.structure.geometry
+        minimum = self.evaluate_uniform(geometry.min_width, "uniform minimum")
+        maximum = self.evaluate_uniform(geometry.max_width, "uniform maximum")
+        baselines = [minimum, maximum]
+
+        # Scale the objective by the best uniform design so SLSQP sees O(1)
+        # values regardless of which objective form is selected.
+        uniform_costs = [
+            self.cost(self.parameterization.uniform_vector(geometry.min_width)),
+            self.cost(self.parameterization.uniform_vector(geometry.max_width)),
+        ]
+        self._cost_scale = max(min(uniform_costs), np.finfo(float).tiny)
+
+        starts = (
+            [np.asarray(initial_vector, dtype=float)]
+            if initial_vector is not None
+            else self._starting_points()
+        )
+
+        best_vector: Optional[np.ndarray] = None
+        best_cost = np.inf
+        best_trace = OptimizationTrace()
+        constraints = self.pressure.as_scipy_constraints()
+        bounds = [(0.0, 1.0)] * self.parameterization.n_variables
+
+        for start in starts:
+            trace = OptimizationTrace()
+
+            def record(vector: np.ndarray, trace=trace) -> None:
+                solution = self.solve_candidate(vector)
+                trace.record(self._objective(solution), solution.thermal_gradient)
+                if callback is not None:
+                    callback(vector)
+
+            result = optimize.minimize(
+                self._scaled_cost,
+                start,
+                method="SLSQP",
+                bounds=bounds,
+                constraints=constraints,
+                callback=record,
+                options={
+                    "maxiter": self.settings.max_iterations,
+                    "ftol": self.settings.tolerance,
+                    "eps": self.settings.finite_difference_step,
+                },
+            )
+            trace.converged = bool(result.success)
+            trace.message = str(result.message)
+            trace.n_evaluations = int(result.get("nfev", 0))
+            candidate_vector = np.clip(np.asarray(result.x, dtype=float), 0.0, 1.0)
+            candidate_vector = self._repair_feasibility(candidate_vector)
+            candidate_cost = self.cost(candidate_vector)
+            feasible = self.pressure.is_feasible(candidate_vector, slack=1e-2)
+            if feasible and candidate_cost < best_cost:
+                best_cost = candidate_cost
+                best_vector = candidate_vector
+                best_trace = trace
+
+        if best_vector is None:
+            # No start produced a feasible optimum; fall back to the best
+            # feasible uniform design (the widest channel is always feasible
+            # whenever the problem admits any feasible design at all).
+            fallback = self.parameterization.uniform_vector(geometry.max_width)
+            best_vector = fallback
+            best_trace.message = (
+                best_trace.message + " | no feasible optimum; fell back to the "
+                "uniform maximum-width design"
+            )
+            best_trace.converged = False
+
+        optimal_profiles = self.parameterization.profiles_from_vector(best_vector)
+        optimal = self.evaluate_design(optimal_profiles, "optimal modulation")
+        return ModulationResult(
+            optimal=optimal,
+            baselines=baselines,
+            decision_vector=best_vector,
+            trace=best_trace,
+        )

@@ -1,0 +1,193 @@
+"""Result records produced by the channel-modulation optimizer.
+
+Two records are defined:
+
+* :class:`DesignEvaluation` -- the full thermal and hydraulic evaluation of
+  one candidate design (a set of width profiles): the steady-state solution,
+  the scalar metrics the paper reports, and the pressure summary.
+* :class:`ModulationResult` -- what the optimizer returns: the optimal
+  design evaluation, the baselines it was compared against, the decision
+  vector, the optimization trace, and the gradient-reduction figures of
+  merit quoted throughout Sec. V of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..thermal.geometry import WidthProfile
+from ..thermal.solution import ThermalSolution
+
+__all__ = ["DesignEvaluation", "ModulationResult", "OptimizationTrace"]
+
+
+@dataclass
+class DesignEvaluation:
+    """Thermal and hydraulic evaluation of one channel-width design.
+
+    Attributes
+    ----------
+    label:
+        Human readable design name (``"optimal"``, ``"uniform minimum"`` ...).
+    width_profiles:
+        One width profile per modeled lane.
+    solution:
+        Steady-state thermal solution of the design.
+    pressure_drops:
+        Per-lane pressure drops at the nominal per-channel flow rate (Pa).
+    metadata:
+        Free-form extra information (solver settings, cluster size, ...).
+    """
+
+    label: str
+    width_profiles: List[WidthProfile]
+    solution: ThermalSolution
+    pressure_drops: np.ndarray
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def thermal_gradient(self) -> float:
+        """Max - min silicon temperature (K), the paper's reported metric."""
+        return self.solution.thermal_gradient
+
+    @property
+    def peak_temperature(self) -> float:
+        """Maximum silicon temperature (K)."""
+        return self.solution.peak_temperature
+
+    @property
+    def cost(self) -> float:
+        """The Eq. (7) cost of the design."""
+        return self.solution.cost
+
+    @property
+    def max_pressure_drop(self) -> float:
+        """Largest per-lane pressure drop (Pa)."""
+        return float(np.max(self.pressure_drops))
+
+    @property
+    def pressure_imbalance(self) -> float:
+        """Relative spread of per-lane pressure drops."""
+        top = float(np.max(self.pressure_drops))
+        if top == 0.0:
+            return 0.0
+        return float((top - np.min(self.pressure_drops)) / top)
+
+    def summary(self) -> Dict[str, float]:
+        """Scalar metrics for experiment tables."""
+        return {
+            "label": self.label,
+            "thermal_gradient_K": self.thermal_gradient,
+            "peak_temperature_K": self.peak_temperature,
+            "peak_temperature_C": self.peak_temperature - 273.15,
+            "cost_J": self.cost,
+            "max_pressure_drop_Pa": self.max_pressure_drop,
+            "pressure_imbalance": self.pressure_imbalance,
+        }
+
+
+@dataclass
+class OptimizationTrace:
+    """Iteration history of the NLP solve (for diagnostics and benchmarks)."""
+
+    cost_history: List[float] = field(default_factory=list)
+    gradient_history: List[float] = field(default_factory=list)
+    n_evaluations: int = 0
+    n_iterations: int = 0
+    converged: bool = False
+    message: str = ""
+
+    def record(self, cost: float, thermal_gradient: float) -> None:
+        """Append one accepted iterate to the history."""
+        self.cost_history.append(float(cost))
+        self.gradient_history.append(float(thermal_gradient))
+        self.n_iterations = len(self.cost_history)
+
+
+@dataclass
+class ModulationResult:
+    """Outcome of one optimal channel-modulation design run.
+
+    Attributes
+    ----------
+    optimal:
+        Evaluation of the optimized design.
+    baselines:
+        Evaluations of the comparison designs (uniform minimum and maximum
+        widths by default, as in Sec. V of the paper).
+    decision_vector:
+        The optimizer's final (normalized) decision vector.
+    trace:
+        Iteration history of the NLP solve.
+    """
+
+    optimal: DesignEvaluation
+    baselines: List[DesignEvaluation]
+    decision_vector: np.ndarray
+    trace: OptimizationTrace
+
+    def baseline(self, label: str) -> DesignEvaluation:
+        """Look up a baseline evaluation by its label."""
+        for evaluation in self.baselines:
+            if evaluation.label == label:
+                return evaluation
+        raise KeyError(
+            f"no baseline labelled {label!r}; available: "
+            f"{[b.label for b in self.baselines]}"
+        )
+
+    @property
+    def reference_gradient(self) -> float:
+        """Thermal gradient of the worst uniform-width baseline (K).
+
+        The paper reports reductions relative to the uniform channel width
+        case; the minimum- and maximum-width baselines have nearly identical
+        gradients (Sec. V-A), so the larger of the two is used as the
+        reference.
+        """
+        return max(evaluation.thermal_gradient for evaluation in self.baselines)
+
+    @property
+    def gradient_reduction(self) -> float:
+        """Fractional thermal-gradient reduction versus the uniform baseline.
+
+        This is the paper's headline metric (0.31 for the 3D-MPSoC at peak
+        power, about 0.32 for the single-channel tests).
+        """
+        reference = self.reference_gradient
+        if reference == 0.0:
+            return 0.0
+        return 1.0 - self.optimal.thermal_gradient / reference
+
+    @property
+    def peak_temperature_reduction(self) -> float:
+        """Peak-temperature reduction versus the maximum-width baseline (K)."""
+        try:
+            reference = self.baseline("uniform maximum").peak_temperature
+        except KeyError:
+            reference = max(
+                evaluation.peak_temperature for evaluation in self.baselines
+            )
+        return reference - self.optimal.peak_temperature
+
+    def comparison_table(self) -> List[Dict[str, float]]:
+        """Rows (one per design) with the metrics plotted in Figs. 5 and 8."""
+        rows = [evaluation.summary() for evaluation in self.baselines]
+        rows.append(self.optimal.summary())
+        return rows
+
+    def summary(self) -> Dict[str, float]:
+        """Headline scalars of the run."""
+        return {
+            "optimal_gradient_K": self.optimal.thermal_gradient,
+            "reference_gradient_K": self.reference_gradient,
+            "gradient_reduction": self.gradient_reduction,
+            "optimal_peak_C": self.optimal.peak_temperature - 273.15,
+            "peak_temperature_reduction_K": self.peak_temperature_reduction,
+            "max_pressure_drop_Pa": self.optimal.max_pressure_drop,
+            "n_iterations": self.trace.n_iterations,
+            "converged": self.trace.converged,
+        }

@@ -1,0 +1,51 @@
+"""Floorplans, power models and synthetic workloads.
+
+Provides the block-level UltraSPARC T1 (Niagara-1) floorplan and power
+model, the three two-die 3D-MPSoC stackings of Fig. 7, and the Test A /
+Test B synthetic workloads of Fig. 4.
+"""
+
+from .blocks import Block, Floorplan
+from .niagara import (
+    DIE_LENGTH,
+    DIE_WIDTH,
+    compute_die,
+    full_niagara_die,
+    memory_die,
+    mixed_die,
+)
+from .architectures import (
+    ARCHITECTURES,
+    Architecture,
+    architecture_names,
+    get_architecture,
+)
+from .workloads import (
+    TEST_A_FLUX,
+    random_die_maps,
+    test_a_structure,
+    test_b_fluxes,
+    test_b_structure,
+    uniform_die_maps,
+)
+
+__all__ = [
+    "Block",
+    "Floorplan",
+    "DIE_LENGTH",
+    "DIE_WIDTH",
+    "compute_die",
+    "full_niagara_die",
+    "memory_die",
+    "mixed_die",
+    "ARCHITECTURES",
+    "Architecture",
+    "architecture_names",
+    "get_architecture",
+    "TEST_A_FLUX",
+    "random_die_maps",
+    "test_a_structure",
+    "test_b_fluxes",
+    "test_b_structure",
+    "uniform_die_maps",
+]

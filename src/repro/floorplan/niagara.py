@@ -1,0 +1,325 @@
+"""Approximate UltraSPARC T1 (Niagara-1) floorplan and power model.
+
+The paper builds its 3D-MPSoC case studies (Fig. 7) from the 90 nm
+UltraSPARC T1 processor: eight SPARC cores, a banked shared L2 cache, a
+crossbar connecting cores and cache banks, a floating-point unit and the
+usual I/O and memory-controller periphery.  We do not have the authors'
+measured per-block power traces, so this module provides a *behavioural
+equivalent*: a block-level floorplan scaled to the paper's die size
+(1.0 cm along the coolant flow, 1.1 cm across it) with peak and average
+heat-flux densities spanning the 8-64 W/cm^2 range quoted in Sec. V-B.
+The qualitative structure that drives the thermal results is preserved:
+
+* compute blocks (SPARC cores) are small, hot (64 W/cm^2 peak) and grouped,
+* cache banks are large and cool (~8-10 W/cm^2),
+* the crossbar/FPU sit in between (~20-35 W/cm^2),
+* the two power scenarios scale the hot blocks by roughly 2x while leaving
+  the cool blocks nearly unchanged, which reproduces the peak-vs-average
+  contrast of Fig. 8.
+
+The module exposes the individual block groups so the three stacking
+architectures of Fig. 7 can shuffle cores and cache banks between the two
+dies of the stack.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .blocks import Block, Floorplan
+
+__all__ = [
+    "DIE_LENGTH",
+    "DIE_WIDTH",
+    "core_blocks",
+    "cache_blocks",
+    "interconnect_blocks",
+    "periphery_blocks",
+    "compute_die",
+    "memory_die",
+    "mixed_die",
+    "full_niagara_die",
+]
+
+#: Die extent along the coolant-flow direction (meters) -- 1.0 cm in Sec. V-B.
+DIE_LENGTH: float = 1.0e-2
+#: Die extent across the flow direction (meters) -- 1.1 cm in Sec. V-B.
+DIE_WIDTH: float = 1.1e-2
+
+# Peak / average heat-flux densities (W/cm^2) per block category.  The span
+# matches the 8-64 W/cm^2 range given in the paper for the two dies.
+_CORE_PEAK, _CORE_AVG = 64.0, 30.0
+_CROSSBAR_PEAK, _CROSSBAR_AVG = 36.0, 22.0
+_FPU_PEAK, _FPU_AVG = 30.0, 14.0
+_CACHE_PEAK, _CACHE_AVG = 10.0, 8.0
+_PERIPHERY_PEAK, _PERIPHERY_AVG = 8.0, 6.0
+_BACKGROUND = 5.0
+
+
+def core_blocks(
+    count: int = 8,
+    x0: float = 0.0,
+    y0: float = 0.0,
+    region_length: float = DIE_LENGTH,
+    region_width: float = DIE_WIDTH,
+    prefix: str = "sparc",
+) -> List[Block]:
+    """SPARC core blocks tiled into a rectangular region.
+
+    Cores are laid out in two rows of ``count / 2`` (matching the Niagara
+    die photo where four cores sit along each long edge); for odd counts the
+    extra core goes to the first row.
+    """
+    if count < 1:
+        raise ValueError("at least one core is required")
+    rows = 2 if count > 1 else 1
+    per_row = (count + rows - 1) // rows
+    core_width = region_length / per_row
+    core_height = region_width / rows
+    blocks = []
+    for index in range(count):
+        row, col = divmod(index, per_row)
+        blocks.append(
+            Block(
+                name=f"{prefix}{index}",
+                x=x0 + col * core_width,
+                y=y0 + row * core_height,
+                width=core_width,
+                height=core_height,
+                peak_power_density=_CORE_PEAK,
+                average_power_density=_CORE_AVG,
+                kind="core",
+            )
+        )
+    return blocks
+
+
+def cache_blocks(
+    count: int = 4,
+    x0: float = 0.0,
+    y0: float = 0.0,
+    region_length: float = DIE_LENGTH,
+    region_width: float = DIE_WIDTH,
+    prefix: str = "l2_bank",
+) -> List[Block]:
+    """L2 cache bank blocks tiled into a rectangular region (single row)."""
+    if count < 1:
+        raise ValueError("at least one cache bank is required")
+    bank_width = region_length / count
+    blocks = []
+    for index in range(count):
+        blocks.append(
+            Block(
+                name=f"{prefix}{index}",
+                x=x0 + index * bank_width,
+                y=y0,
+                width=bank_width,
+                height=region_width,
+                peak_power_density=_CACHE_PEAK,
+                average_power_density=_CACHE_AVG,
+                kind="cache",
+            )
+        )
+    return blocks
+
+
+def interconnect_blocks(
+    x0: float,
+    y0: float,
+    region_length: float,
+    region_width: float,
+) -> List[Block]:
+    """Crossbar and FPU blocks filling a central strip."""
+    crossbar_length = region_length * 0.7
+    return [
+        Block(
+            name="crossbar",
+            x=x0,
+            y=y0,
+            width=crossbar_length,
+            height=region_width,
+            peak_power_density=_CROSSBAR_PEAK,
+            average_power_density=_CROSSBAR_AVG,
+            kind="interconnect",
+        ),
+        Block(
+            name="fpu",
+            x=x0 + crossbar_length,
+            y=y0,
+            width=region_length - crossbar_length,
+            height=region_width,
+            peak_power_density=_FPU_PEAK,
+            average_power_density=_FPU_AVG,
+            kind="interconnect",
+        ),
+    ]
+
+
+def periphery_blocks(
+    x0: float,
+    y0: float,
+    region_length: float,
+    region_width: float,
+    prefix: str = "io",
+) -> List[Block]:
+    """I/O pads, DRAM controllers and miscellaneous periphery."""
+    half = region_length / 2.0
+    return [
+        Block(
+            name=f"{prefix}_dram",
+            x=x0,
+            y=y0,
+            width=half,
+            height=region_width,
+            peak_power_density=_PERIPHERY_PEAK,
+            average_power_density=_PERIPHERY_AVG,
+            kind="other",
+        ),
+        Block(
+            name=f"{prefix}_misc",
+            x=x0 + half,
+            y=y0,
+            width=region_length - half,
+            height=region_width,
+            peak_power_density=_PERIPHERY_PEAK,
+            average_power_density=_PERIPHERY_AVG,
+            kind="other",
+        ),
+    ]
+
+
+def compute_die(name: str = "niagara-compute") -> Floorplan:
+    """A die holding all eight SPARC cores plus the crossbar and FPU.
+
+    This is die ``A`` of Arch. 1 in Fig. 7: the hottest die of the stack,
+    with the cores occupying the two outer bands and the interconnect in the
+    central strip.
+    """
+    core_band = 0.4 * DIE_WIDTH
+    middle = DIE_WIDTH - 2.0 * core_band
+    blocks = []
+    blocks += core_blocks(
+        4, x0=0.0, y0=0.0, region_length=DIE_LENGTH, region_width=core_band,
+        prefix="sparc_bottom",
+    )
+    blocks += interconnect_blocks(
+        x0=0.0, y0=core_band, region_length=DIE_LENGTH, region_width=middle
+    )
+    blocks += core_blocks(
+        4,
+        x0=0.0,
+        y0=core_band + middle,
+        region_length=DIE_LENGTH,
+        region_width=core_band,
+        prefix="sparc_top",
+    )
+    return Floorplan(
+        name=name,
+        die_length=DIE_LENGTH,
+        die_width=DIE_WIDTH,
+        blocks=tuple(blocks),
+        background_power_density=_BACKGROUND,
+    )
+
+
+def memory_die(name: str = "niagara-memory") -> Floorplan:
+    """A die holding the L2 cache banks and the periphery (die ``B`` of Arch. 1)."""
+    cache_band = 0.75 * DIE_WIDTH
+    blocks = []
+    blocks += cache_blocks(
+        4, x0=0.0, y0=0.0, region_length=DIE_LENGTH, region_width=cache_band
+    )
+    blocks += periphery_blocks(
+        x0=0.0,
+        y0=cache_band,
+        region_length=DIE_LENGTH,
+        region_width=DIE_WIDTH - cache_band,
+    )
+    return Floorplan(
+        name=name,
+        die_length=DIE_LENGTH,
+        die_width=DIE_WIDTH,
+        blocks=tuple(blocks),
+        background_power_density=_BACKGROUND,
+    )
+
+
+def mixed_die(name: str = "niagara-mixed", cores_at_bottom: bool = True) -> Floorplan:
+    """A die holding four cores and half of the L2 cache.
+
+    ``cores_at_bottom`` selects which half of the die the core band occupies
+    (the lateral ``y`` direction); combining one die of each orientation
+    gives the complementary stacking of Arch. 2, while two identical copies
+    give the aligned stacking of Arch. 3.
+    """
+    core_band = 0.45 * DIE_WIDTH
+    cache_band = DIE_WIDTH - core_band
+    blocks = []
+    if cores_at_bottom:
+        blocks += core_blocks(
+            4, x0=0.0, y0=0.0, region_length=DIE_LENGTH, region_width=core_band,
+            prefix="sparc",
+        )
+        blocks += cache_blocks(
+            2,
+            x0=0.0,
+            y0=core_band,
+            region_length=DIE_LENGTH,
+            region_width=cache_band,
+        )
+    else:
+        blocks += cache_blocks(
+            2, x0=0.0, y0=0.0, region_length=DIE_LENGTH, region_width=cache_band
+        )
+        blocks += core_blocks(
+            4,
+            x0=0.0,
+            y0=cache_band,
+            region_length=DIE_LENGTH,
+            region_width=core_band,
+            prefix="sparc",
+        )
+    return Floorplan(
+        name=name,
+        die_length=DIE_LENGTH,
+        die_width=DIE_WIDTH,
+        blocks=tuple(blocks),
+        background_power_density=_BACKGROUND,
+    )
+
+
+def full_niagara_die(name: str = "niagara-2d") -> Floorplan:
+    """A single-die (2D) Niagara floorplan: cores, crossbar, L2 and periphery.
+
+    Used by the Fig. 1(b) benchmark, which shows the thermal map of the
+    UltraSPARC T1 power distribution on a liquid-cooled stack.
+    """
+    core_band = 0.28 * DIE_WIDTH
+    interconnect_band = 0.12 * DIE_WIDTH
+    cache_band = DIE_WIDTH - 2.0 * core_band - interconnect_band
+    y_cursor = 0.0
+    blocks = []
+    blocks += core_blocks(
+        4, x0=0.0, y0=y_cursor, region_length=DIE_LENGTH, region_width=core_band,
+        prefix="sparc_bottom",
+    )
+    y_cursor += core_band
+    blocks += cache_blocks(
+        4, x0=0.0, y0=y_cursor, region_length=DIE_LENGTH, region_width=cache_band
+    )
+    y_cursor += cache_band
+    blocks += interconnect_blocks(
+        x0=0.0, y0=y_cursor, region_length=DIE_LENGTH, region_width=interconnect_band
+    )
+    y_cursor += interconnect_band
+    blocks += core_blocks(
+        4, x0=0.0, y0=y_cursor, region_length=DIE_LENGTH, region_width=core_band,
+        prefix="sparc_top",
+    )
+    return Floorplan(
+        name=name,
+        die_length=DIE_LENGTH,
+        die_width=DIE_WIDTH,
+        blocks=tuple(blocks),
+        background_power_density=_BACKGROUND,
+    )

@@ -1,0 +1,161 @@
+"""Synthetic heat-flux workloads of the paper's evaluation section.
+
+Three workload families are provided:
+
+* **Test A** (Fig. 4a): a uniform 50 W/cm^2 heat flux applied to both
+  active layers of the single-channel test structure.
+* **Test B** (Fig. 4b): the strip along the channel is split into equal
+  segments and each segment draws a random heat flux in [50, 250] W/cm^2,
+  independently for the top and bottom layers.  The paper uses this
+  deliberately unrealistic map to stress the optimizer with hotspots placed
+  *along* the flow path.
+* **Uniform die maps** (Fig. 1a): a whole-die uniform heat flux (the 14 mm
+  x 15 mm illustration die with 50 W/cm^2 combined flux), used by the
+  finite-volume simulator benchmark.
+
+All generators are deterministic given the seed stored in the experiment
+configuration so that tests and benchmarks are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..config import DEFAULT_EXPERIMENT, ExperimentConfig
+from ..thermal.geometry import (
+    ChannelGeometry,
+    HeatInputProfile,
+    TestStructure,
+    WidthProfile,
+)
+
+__all__ = [
+    "test_a_structure",
+    "test_b_structure",
+    "test_b_fluxes",
+    "uniform_die_maps",
+    "random_die_maps",
+]
+
+#: Heat flux (W/cm^2) applied to each active layer in Test A.
+TEST_A_FLUX: float = 50.0
+
+
+def _geometry(config: ExperimentConfig) -> ChannelGeometry:
+    return ChannelGeometry.from_parameters(config.params)
+
+
+def test_a_structure(
+    config: ExperimentConfig = DEFAULT_EXPERIMENT,
+    width_profile: Optional[WidthProfile] = None,
+) -> TestStructure:
+    """The Test A single-channel structure: uniform 50 W/cm^2 on both layers."""
+    geometry = _geometry(config)
+    if width_profile is None:
+        width_profile = WidthProfile.uniform(geometry.max_width, geometry.length)
+    heat = HeatInputProfile.from_areal_flux(
+        TEST_A_FLUX, geometry.pitch, geometry.length
+    )
+    return TestStructure(
+        geometry=geometry,
+        width_profile=width_profile,
+        heat_top=heat,
+        heat_bottom=heat,
+        silicon=config.params.silicon,
+        coolant=config.params.coolant,
+        flow_rate=config.params.flow_rate_per_channel,
+        inlet_temperature=config.params.inlet_temperature,
+    )
+
+
+def test_b_fluxes(
+    config: ExperimentConfig = DEFAULT_EXPERIMENT,
+    seed: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Random per-segment heat fluxes (W/cm^2) of Test B, for both layers.
+
+    Returns ``(top, bottom)`` arrays of length ``config.test_b_segments``
+    drawn uniformly from ``config.test_b_flux_range``.
+    """
+    rng = np.random.default_rng(config.random_seed if seed is None else seed)
+    low, high = config.test_b_flux_range
+    if low > high:
+        raise ValueError("test_b_flux_range must be (low, high) with low <= high")
+    shape = (2, config.test_b_segments)
+    fluxes = rng.uniform(low, high, size=shape)
+    return fluxes[0], fluxes[1]
+
+
+def test_b_structure(
+    config: ExperimentConfig = DEFAULT_EXPERIMENT,
+    seed: Optional[int] = None,
+    width_profile: Optional[WidthProfile] = None,
+) -> TestStructure:
+    """The Test B single-channel structure: random segment fluxes in [50, 250]."""
+    geometry = _geometry(config)
+    if width_profile is None:
+        width_profile = WidthProfile.uniform(geometry.max_width, geometry.length)
+    top_fluxes, bottom_fluxes = test_b_fluxes(config, seed)
+    heat_top = HeatInputProfile.from_segment_fluxes(
+        top_fluxes, geometry.pitch, geometry.length
+    )
+    heat_bottom = HeatInputProfile.from_segment_fluxes(
+        bottom_fluxes, geometry.pitch, geometry.length
+    )
+    return TestStructure(
+        geometry=geometry,
+        width_profile=width_profile,
+        heat_top=heat_top,
+        heat_bottom=heat_bottom,
+        silicon=config.params.silicon,
+        coolant=config.params.coolant,
+        flow_rate=config.params.flow_rate_per_channel,
+        inlet_temperature=config.params.inlet_temperature,
+    )
+
+
+def uniform_die_maps(
+    combined_flux_w_per_cm2: float = 50.0,
+    n_cols: int = 56,
+    n_rows: int = 60,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Uniform (top, bottom) heat-flux maps splitting a combined flux equally.
+
+    Fig. 1(a) of the paper shows a two-die IC with a *combined* heat flux of
+    50 W/cm^2; the two returned maps each carry half of it.
+    """
+    if combined_flux_w_per_cm2 < 0.0:
+        raise ValueError("heat flux must be non-negative")
+    per_layer = combined_flux_w_per_cm2 / 2.0
+    top = np.full((n_rows, n_cols), per_layer)
+    return top, top.copy()
+
+
+def random_die_maps(
+    n_cols: int = 56,
+    n_rows: int = 60,
+    flux_range: Tuple[float, float] = (50.0, 250.0),
+    block_size: int = 8,
+    seed: int = 2012,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Random blocky (top, bottom) heat-flux maps for stress experiments.
+
+    The die is tiled with ``block_size x block_size``-cell patches, each
+    drawing a flux uniformly from ``flux_range``; this is the 2-D analogue
+    of the Test B strips and is used by the ablation benchmarks.
+    """
+    low, high = flux_range
+    if low > high:
+        raise ValueError("flux_range must be (low, high) with low <= high")
+    rng = np.random.default_rng(seed)
+    maps = []
+    for _ in range(2):
+        coarse_rows = int(np.ceil(n_rows / block_size))
+        coarse_cols = int(np.ceil(n_cols / block_size))
+        coarse = rng.uniform(low, high, size=(coarse_rows, coarse_cols))
+        fine = np.kron(coarse, np.ones((block_size, block_size)))
+        maps.append(fine[:n_rows, :n_cols])
+    return maps[0], maps[1]

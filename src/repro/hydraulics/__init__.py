@@ -1,0 +1,24 @@
+"""Hydraulics of the microchannel coolant delivery.
+
+Implements the pressure-drop model of Eq. (9) of the paper (and a
+rectangular-duct refinement), pumping power, and the single-reservoir flow
+network used to check the equal-pressure-drop constraint of Eq. (10).
+"""
+
+from .pressure import (
+    local_pressure_gradient,
+    pressure_drop,
+    pressure_drop_rectangular,
+    uniform_width_pressure_drop,
+)
+from .network import ChannelHydraulics, FlowNetwork, pumping_power
+
+__all__ = [
+    "ChannelHydraulics",
+    "FlowNetwork",
+    "local_pressure_gradient",
+    "pressure_drop",
+    "pressure_drop_rectangular",
+    "pumping_power",
+    "uniform_width_pressure_drop",
+]

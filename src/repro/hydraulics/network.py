@@ -1,0 +1,185 @@
+"""Fluid delivery network of a liquid-cooled 3D IC.
+
+The paper assumes all channels of a cavity are fed from a single coolant
+reservoir (Sec. IV-B-2), so that
+
+* every channel sees the same inlet-to-outlet pressure difference, and
+* the paper's assumption 3 fixes the volumetric flow rate per channel.
+
+These two statements are only simultaneously consistent if the channel
+geometries are balanced; the optimizer enforces the equal-pressure-drop
+constraint of Eq. (10) explicitly.  This module provides the bookkeeping for
+that flow network: per-channel hydraulic resistance, the flow split that a
+*real* common-plenum network would produce for a given set of width
+profiles, pumping power, and the imbalance metric used by tests and
+benchmarks to verify that optimized designs are hydraulically balanced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..thermal.geometry import ChannelGeometry, WidthProfile
+from ..thermal.properties import Coolant, TABLE_I
+from .pressure import pressure_drop
+
+__all__ = [
+    "ChannelHydraulics",
+    "FlowNetwork",
+    "pumping_power",
+]
+
+
+def pumping_power(pressure_drop_pa: float, flow_rate: float) -> float:
+    """Hydraulic pumping power ``P = dP * V_dot`` in W for one channel."""
+    if pressure_drop_pa < 0.0 or flow_rate < 0.0:
+        raise ValueError("pressure drop and flow rate must be non-negative")
+    return pressure_drop_pa * flow_rate
+
+
+@dataclass(frozen=True)
+class ChannelHydraulics:
+    """Hydraulic summary of one (possibly width-modulated) channel."""
+
+    pressure_drop: float
+    flow_rate: float
+    hydraulic_resistance: float
+    pumping_power: float
+
+    @classmethod
+    def from_profile(
+        cls,
+        width_profile: WidthProfile,
+        geometry: ChannelGeometry,
+        flow_rate: float,
+        coolant: Coolant = TABLE_I.coolant,
+    ) -> "ChannelHydraulics":
+        """Evaluate Eq. (9) for a width profile at the given flow rate."""
+        drop = pressure_drop(width_profile, geometry, flow_rate, coolant)
+        resistance = drop / flow_rate if flow_rate > 0.0 else float("inf")
+        return cls(
+            pressure_drop=drop,
+            flow_rate=flow_rate,
+            hydraulic_resistance=resistance,
+            pumping_power=pumping_power(drop, flow_rate),
+        )
+
+
+class FlowNetwork:
+    """A single-reservoir network feeding ``N`` parallel channels.
+
+    Laminar flow makes every channel a linear hydraulic resistor
+    ``R_i = dP_i / V_dot_i`` (evaluated at the nominal flow rate), so the
+    common-plenum flow split for a fixed *total* flow is proportional to
+    ``1 / R_i``.  The network exposes:
+
+    * the constant-flow pressure drops the paper's constraint (Eq. 9/10)
+      reasons about,
+    * the natural (equal-pressure) flow split that the same geometry would
+      produce, together with an imbalance metric, and
+    * total pumping power.
+    """
+
+    def __init__(
+        self,
+        geometry: ChannelGeometry,
+        width_profiles: Sequence[WidthProfile],
+        flow_rate_per_channel: float = TABLE_I.flow_rate_per_channel,
+        coolant: Coolant = TABLE_I.coolant,
+    ) -> None:
+        if not width_profiles:
+            raise ValueError("a flow network needs at least one channel")
+        if flow_rate_per_channel <= 0.0:
+            raise ValueError("flow rate per channel must be positive")
+        self.geometry = geometry
+        self.coolant = coolant
+        self.flow_rate_per_channel = float(flow_rate_per_channel)
+        self.width_profiles: List[WidthProfile] = list(width_profiles)
+        self.channels: List[ChannelHydraulics] = [
+            ChannelHydraulics.from_profile(
+                profile, geometry, flow_rate_per_channel, coolant
+            )
+            for profile in self.width_profiles
+        ]
+
+    # -- constant-flow view (the paper's constraint) ---------------------------
+
+    @property
+    def n_channels(self) -> int:
+        """Number of parallel channels."""
+        return len(self.channels)
+
+    @property
+    def pressure_drops(self) -> np.ndarray:
+        """Per-channel pressure drops at the nominal per-channel flow (Pa)."""
+        return np.array([channel.pressure_drop for channel in self.channels])
+
+    @property
+    def max_pressure_drop(self) -> float:
+        """Largest per-channel pressure drop (Pa) -- the Eq. (9) constraint."""
+        return float(np.max(self.pressure_drops))
+
+    @property
+    def pressure_imbalance(self) -> float:
+        """Relative spread of per-channel pressure drops (Eq. 10 residual).
+
+        ``(max - min) / max`` of the constant-flow pressure drops; zero for a
+        perfectly balanced design.
+        """
+        drops = self.pressure_drops
+        top = float(np.max(drops))
+        if top == 0.0:
+            return 0.0
+        return float((top - np.min(drops)) / top)
+
+    @property
+    def total_flow_rate(self) -> float:
+        """Total coolant flow delivered by the reservoir (m^3/s)."""
+        return self.flow_rate_per_channel * self.n_channels
+
+    @property
+    def total_pumping_power(self) -> float:
+        """Total hydraulic pumping power across channels (W)."""
+        return float(sum(channel.pumping_power for channel in self.channels))
+
+    # -- equal-pressure (natural) flow split ------------------------------------
+
+    def natural_flow_split(self) -> np.ndarray:
+        """Flow rates per channel for a common plenum delivering the same total flow.
+
+        Laminar hydraulic resistances are flow-independent, so for a shared
+        pressure head the flow through channel ``i`` is proportional to
+        ``1 / R_i``; the split is normalized to conserve the total flow.
+        """
+        resistances = np.array(
+            [channel.hydraulic_resistance for channel in self.channels]
+        )
+        conductances = 1.0 / resistances
+        return self.total_flow_rate * conductances / conductances.sum()
+
+    def flow_imbalance(self) -> float:
+        """Relative deviation of the natural split from the uniform split.
+
+        ``max |V_i - V_nominal| / V_nominal``.  Small values mean the
+        equal-flow assumption (paper assumption 3) and the equal-pressure
+        constraint (Eq. 10) are mutually consistent for this design.
+        """
+        split = self.natural_flow_split()
+        return float(
+            np.max(np.abs(split - self.flow_rate_per_channel))
+            / self.flow_rate_per_channel
+        )
+
+    def summary(self) -> Dict[str, float]:
+        """Scalar metrics used by reports and benchmarks."""
+        return {
+            "n_channels": float(self.n_channels),
+            "max_pressure_drop_Pa": self.max_pressure_drop,
+            "pressure_imbalance": self.pressure_imbalance,
+            "flow_imbalance": self.flow_imbalance(),
+            "total_pumping_power_W": self.total_pumping_power,
+            "total_flow_rate_m3_per_s": self.total_flow_rate,
+        }

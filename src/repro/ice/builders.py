@@ -1,0 +1,127 @@
+"""Convenience builders for common layer stacks.
+
+The experiments of the paper all use the same packaging template: two
+active silicon dies facing a single inter-tier microchannel cavity (Fig. 2
+at channel scale, Figs. 1 and 9 at die scale).  These helpers build that
+stack from heat-flux maps, floorplans or architecture objects so that the
+benchmarks and examples stay short.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..config import DEFAULT_EXPERIMENT, ExperimentConfig
+from ..floorplan.architectures import Architecture
+from ..floorplan.blocks import Floorplan, PowerScenario
+from ..thermal.geometry import WidthProfile
+from .stack import CavityLayer, LayerStack, SolidLayer
+
+__all__ = [
+    "two_die_stack_from_maps",
+    "two_die_stack_from_floorplans",
+    "two_die_stack_from_architecture",
+]
+
+
+def two_die_stack_from_maps(
+    top_flux_w_per_cm2: Union[float, np.ndarray],
+    bottom_flux_w_per_cm2: Union[float, np.ndarray],
+    die_length: float,
+    die_width: float,
+    *,
+    config: ExperimentConfig = DEFAULT_EXPERIMENT,
+    n_cols: int = 50,
+    n_rows: int = 55,
+    width_profile: Union[WidthProfile, Sequence[WidthProfile], None] = None,
+) -> LayerStack:
+    """Two active dies around one cavity, driven by heat-flux maps (W/cm^2).
+
+    The default channel geometry, coolant and flow rate come from the
+    experiment configuration; ``width_profile`` selects the channel design
+    (uniform maximum width when omitted).
+    """
+    params = config.params
+    top_die = SolidLayer(
+        name="top_die",
+        material=params.silicon,
+        thickness=params.silicon_height,
+        heat_source=top_flux_w_per_cm2,
+    )
+    bottom_die = SolidLayer(
+        name="bottom_die",
+        material=params.silicon,
+        thickness=params.silicon_height,
+        heat_source=bottom_flux_w_per_cm2,
+    )
+    cavity = CavityLayer(
+        name="cavity",
+        channel_height=params.channel_height,
+        channel_pitch=params.channel_pitch,
+        width_profile=width_profile,
+        flow_rate_per_channel=params.flow_rate_per_channel,
+        coolant=params.coolant,
+        inlet_temperature=params.inlet_temperature,
+        wall_material=params.silicon,
+    )
+    return LayerStack(
+        die_length=die_length,
+        die_width=die_width,
+        layers=[bottom_die, cavity, top_die],
+        n_cols=n_cols,
+        n_rows=n_rows,
+        ambient_temperature=params.inlet_temperature,
+    )
+
+
+def two_die_stack_from_floorplans(
+    top: Floorplan,
+    bottom: Floorplan,
+    scenario: PowerScenario = "peak",
+    *,
+    config: ExperimentConfig = DEFAULT_EXPERIMENT,
+    n_cols: int = 50,
+    n_rows: int = 55,
+    width_profile: Union[WidthProfile, Sequence[WidthProfile], None] = None,
+) -> LayerStack:
+    """Two-die stack whose heat sources are rasterized floorplans."""
+    if (
+        abs(top.die_length - bottom.die_length) > 1e-12
+        or abs(top.die_width - bottom.die_width) > 1e-12
+    ):
+        raise ValueError("the two dies must have identical extents")
+    top_map = top.power_density_map(n_cols, n_rows, scenario)
+    bottom_map = bottom.power_density_map(n_cols, n_rows, scenario)
+    return two_die_stack_from_maps(
+        top_map,
+        bottom_map,
+        top.die_length,
+        top.die_width,
+        config=config,
+        n_cols=n_cols,
+        n_rows=n_rows,
+        width_profile=width_profile,
+    )
+
+
+def two_die_stack_from_architecture(
+    architecture: Architecture,
+    scenario: PowerScenario = "peak",
+    *,
+    config: ExperimentConfig = DEFAULT_EXPERIMENT,
+    n_cols: int = 50,
+    n_rows: int = 55,
+    width_profile: Union[WidthProfile, Sequence[WidthProfile], None] = None,
+) -> LayerStack:
+    """Two-die stack of one of the Fig. 7 architectures."""
+    return two_die_stack_from_floorplans(
+        architecture.top_die,
+        architecture.bottom_die,
+        scenario,
+        config=config,
+        n_cols=n_cols,
+        n_rows=n_rows,
+        width_profile=width_profile,
+    )

@@ -1,0 +1,130 @@
+"""Result containers of the finite-volume thermal simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["ThermalMapResult", "TransientResult"]
+
+
+@dataclass
+class ThermalMapResult:
+    """Steady-state temperature maps of a layer stack.
+
+    Attributes
+    ----------
+    layer_maps:
+        Temperature map (Kelvin) per solid layer, keyed by layer name; each
+        map has shape ``(n_rows, n_cols)`` with columns along the coolant
+        flow direction.
+    coolant_maps:
+        Coolant temperature map (Kelvin) per cavity layer, keyed by name.
+    metadata:
+        Solver metadata (grid size, unknown count, residual norm, ...).
+    """
+
+    layer_maps: Dict[str, np.ndarray]
+    coolant_maps: Dict[str, np.ndarray] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.layer_maps:
+            raise ValueError("at least one layer map is required")
+        shapes = {name: m.shape for name, m in self.layer_maps.items()}
+        first = next(iter(shapes.values()))
+        for name, shape in shapes.items():
+            if shape != first:
+                raise ValueError(
+                    f"layer map {name!r} has shape {shape}, expected {first}"
+                )
+
+    # -- per-layer metrics -----------------------------------------------------
+
+    def layer(self, name: str) -> np.ndarray:
+        """Temperature map of one solid layer (K)."""
+        return self.layer_maps[name]
+
+    def layer_names(self) -> List[str]:
+        """Names of the solid layers."""
+        return list(self.layer_maps)
+
+    def peak_temperature(self, layer: Optional[str] = None) -> float:
+        """Maximum temperature of one layer, or of the whole stack (K)."""
+        if layer is not None:
+            return float(np.max(self.layer_maps[layer]))
+        return float(max(np.max(m) for m in self.layer_maps.values()))
+
+    def min_temperature(self, layer: Optional[str] = None) -> float:
+        """Minimum temperature of one layer, or of the whole stack (K)."""
+        if layer is not None:
+            return float(np.min(self.layer_maps[layer]))
+        return float(min(np.min(m) for m in self.layer_maps.values()))
+
+    def thermal_gradient(self, layer: Optional[str] = None) -> float:
+        """Max - min temperature of one layer or of the whole stack (K)."""
+        return self.peak_temperature(layer) - self.min_temperature(layer)
+
+    def gradient_along_flow(self, layer: str) -> np.ndarray:
+        """Column-mean temperature profile along the flow direction (K)."""
+        return np.mean(self.layer_maps[layer], axis=0)
+
+    def summary(self) -> Dict[str, float]:
+        """Scalar metrics for reports."""
+        result: Dict[str, float] = {
+            "peak_temperature_K": self.peak_temperature(),
+            "thermal_gradient_K": self.thermal_gradient(),
+        }
+        for name in self.layer_maps:
+            result[f"{name}_gradient_K"] = self.thermal_gradient(name)
+            result[f"{name}_peak_K"] = self.peak_temperature(name)
+        return result
+
+
+@dataclass
+class TransientResult:
+    """Transient simulation output: a time series of thermal maps.
+
+    Attributes
+    ----------
+    times:
+        Simulation times in seconds, shape ``(n_steps + 1,)`` (including the
+        initial condition at ``t = 0``).
+    layer_histories:
+        Per-layer temperature history, keyed by layer name, each of shape
+        ``(n_steps + 1, n_rows, n_cols)`` in Kelvin.
+    metadata:
+        Solver metadata (time step, grid size, ...).
+    """
+
+    times: np.ndarray
+    layer_histories: Dict[str, np.ndarray]
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=float)
+        for name, history in self.layer_histories.items():
+            if history.shape[0] != self.times.size:
+                raise ValueError(
+                    f"history of layer {name!r} does not match the time grid"
+                )
+
+    @property
+    def n_steps(self) -> int:
+        """Number of time steps taken."""
+        return self.times.size - 1
+
+    def final_maps(self) -> ThermalMapResult:
+        """The last snapshot wrapped as a steady-style result."""
+        return ThermalMapResult(
+            layer_maps={
+                name: history[-1] for name, history in self.layer_histories.items()
+            },
+            metadata=dict(self.metadata),
+        )
+
+    def peak_history(self, layer: str) -> np.ndarray:
+        """Peak temperature of one layer over time (K)."""
+        return np.max(self.layer_histories[layer], axis=(1, 2))

@@ -1,0 +1,304 @@
+"""Steady-state finite-volume solver for layer stacks.
+
+The solver discretizes each layer of a :class:`~repro.ice.stack.LayerStack`
+into ``n_rows x n_cols`` cells and assembles one energy balance per cell:
+
+* solid cells exchange heat by conduction with their four lateral
+  neighbours and with the cells directly above/below (series combination of
+  the half-layer resistances), and receive the layer's heat-source map;
+* cavity cells contain both the solid channel walls (vertical conduction
+  between the neighbouring dies through the wall fraction ``1 - w_C/W``)
+  and a coolant node.  The coolant node exchanges heat by convection with
+  the die cells above and below (heat-transfer coefficient from the Shah &
+  London correlations, wetted area of the channels crossing the cell) and
+  advects enthalpy downstream along ``x`` with the capacity rate of the
+  channels crossing the cell;
+* all outer surfaces are adiabatic, exactly as in the analytical model, so
+  the coolant is the only heat sink.
+
+This mirrors the structure of the 3D-ICE compact model used by the paper
+for validation and map rendering while remaining a few hundred lines of
+Python.  The resulting sparse linear system is solved with SuperLU.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Union
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import spsolve
+
+from ..thermal import correlations
+from .results import ThermalMapResult
+from .stack import CavityLayer, LayerStack, SolidLayer
+
+__all__ = ["SteadyStateSolver", "AssembledSystem"]
+
+
+class AssembledSystem:
+    """The assembled sparse system ``A T = b`` plus the cell bookkeeping.
+
+    Exposed separately so that the transient solver can reuse the exact same
+    conduction/convection/advection matrix and only add capacitances.
+    """
+
+    def __init__(self, stack: LayerStack) -> None:
+        self.stack = stack
+        self.n_cells_per_layer = stack.n_rows * stack.n_cols
+        self.n_unknowns = stack.n_layers * self.n_cells_per_layer
+        self._rows: List[int] = []
+        self._cols: List[int] = []
+        self._values: List[float] = []
+        self.rhs = np.zeros(self.n_unknowns)
+        self.capacitances = np.zeros(self.n_unknowns)
+        self._assemble()
+
+    # -- indexing ----------------------------------------------------------------
+
+    def index(self, layer: int, row: int, col: int) -> int:
+        """Flat unknown index of cell ``(row, col)`` of ``layer``."""
+        return (layer * self.stack.n_rows + row) * self.stack.n_cols + col
+
+    def _add(self, row: int, col: int, value: float) -> None:
+        if value != 0.0:
+            self._rows.append(row)
+            self._cols.append(col)
+            self._values.append(value)
+
+    # -- conductance helpers ---------------------------------------------------------
+
+    def _vertical_conductance_between(
+        self, lower: Union[SolidLayer, CavityLayer], upper: Union[SolidLayer, CavityLayer]
+    ) -> float:
+        """Solid-solid vertical conductance per cell between adjacent layers (W/K)."""
+        area = self.stack.cell_area
+        resistance = 0.0
+        for layer in (lower, upper):
+            if layer.is_cavity:
+                raise ValueError("use the cavity coupling for cavity layers")
+            resistance += layer.thickness / (
+                2.0 * layer.material.thermal_conductivity * area
+            )
+        return 1.0 / resistance
+
+    def _lateral_conductances(self, layer: SolidLayer) -> Tuple[float, float]:
+        """(x-direction, y-direction) lateral conductances per cell face (W/K)."""
+        k = layer.material.thermal_conductivity
+        t = layer.thickness
+        g_x = k * t * self.stack.cell_width / self.stack.cell_length
+        g_y = k * t * self.stack.cell_length / self.stack.cell_width
+        return g_x, g_y
+
+    # -- assembly -------------------------------------------------------------------------
+
+    def _assemble(self) -> None:
+        stack = self.stack
+        n_rows, n_cols = stack.n_rows, stack.n_cols
+        cell_area = stack.cell_area
+        x_centers = stack.x_centers()
+
+        for layer_idx, layer in enumerate(stack.layers):
+            if layer.is_cavity:
+                self._assemble_cavity_layer(layer_idx, layer, x_centers)
+            else:
+                self._assemble_solid_layer(layer_idx, layer)
+
+        # Vertical coupling between directly adjacent solid layers (no cavity
+        # in between).
+        for lower_idx in range(stack.n_layers - 1):
+            lower = stack.layers[lower_idx]
+            upper = stack.layers[lower_idx + 1]
+            if lower.is_cavity or upper.is_cavity:
+                continue
+            g_vertical = self._vertical_conductance_between(lower, upper)
+            for row in range(n_rows):
+                for col in range(n_cols):
+                    a = self.index(lower_idx, row, col)
+                    b = self.index(lower_idx + 1, row, col)
+                    self._add(a, a, g_vertical)
+                    self._add(a, b, -g_vertical)
+                    self._add(b, b, g_vertical)
+                    self._add(b, a, -g_vertical)
+
+    def _assemble_solid_layer(self, layer_idx: int, layer: SolidLayer) -> None:
+        stack = self.stack
+        n_rows, n_cols = stack.n_rows, stack.n_cols
+        g_x, g_y = self._lateral_conductances(layer)
+        heat = layer.heat_map(n_rows, n_cols) * 1e4 * stack.cell_area  # W per cell
+        capacitance = (
+            layer.material.volumetric_heat_capacity
+            * layer.thickness
+            * stack.cell_area
+        )
+        for row in range(n_rows):
+            for col in range(n_cols):
+                here = self.index(layer_idx, row, col)
+                self.rhs[here] += heat[row, col]
+                self.capacitances[here] = capacitance
+                if col + 1 < n_cols:
+                    neighbour = self.index(layer_idx, row, col + 1)
+                    self._add(here, here, g_x)
+                    self._add(here, neighbour, -g_x)
+                    self._add(neighbour, neighbour, g_x)
+                    self._add(neighbour, here, -g_x)
+                if row + 1 < n_rows:
+                    neighbour = self.index(layer_idx, row + 1, col)
+                    self._add(here, here, g_y)
+                    self._add(here, neighbour, -g_y)
+                    self._add(neighbour, neighbour, g_y)
+                    self._add(neighbour, here, -g_y)
+
+    def _assemble_cavity_layer(
+        self, layer_idx: int, layer: CavityLayer, x_centers: np.ndarray
+    ) -> None:
+        stack = self.stack
+        n_rows, n_cols = stack.n_rows, stack.n_cols
+        lower_idx, upper_idx = layer_idx - 1, layer_idx + 1
+        lower = stack.layers[lower_idx]
+        upper = stack.layers[upper_idx]
+        if lower.is_cavity or upper.is_cavity:
+            raise ValueError("a cavity layer must sit between two solid layers")
+
+        n_channels = stack.channels_per_cavity()
+        channels_per_row = n_channels / n_rows
+        widths = layer.widths_for_channels(n_channels, stack.die_length, x_centers)
+        # Average channel width seen by each cell row (channels are grouped
+        # uniformly onto the rows of the cell grid).
+        row_of_channel = np.minimum(
+            (np.arange(n_channels) * n_rows) // max(n_channels, 1), n_rows - 1
+        )
+        row_widths = np.zeros((n_rows, n_cols))
+        counts = np.zeros(n_rows)
+        for channel in range(n_channels):
+            row_widths[row_of_channel[channel]] += widths[channel]
+            counts[row_of_channel[channel]] += 1
+        counts[counts == 0] = 1.0
+        row_widths /= counts[:, None]
+
+        capacity_rate_cell = (
+            layer.coolant.volumetric_heat_capacity
+            * layer.flow_rate_per_channel
+            * channels_per_row
+        )
+        fluid_capacitance = (
+            layer.coolant.volumetric_heat_capacity
+            * layer.channel_height
+            * stack.cell_area
+        )
+
+        for row in range(n_rows):
+            for col in range(n_cols):
+                width = float(row_widths[row, col])
+                coolant_node = self.index(layer_idx, row, col)
+                below_node = self.index(lower_idx, row, col)
+                above_node = self.index(upper_idx, row, col)
+                self.capacitances[coolant_node] = fluid_capacitance
+
+                # Convective conductance channel->coolant for the channels
+                # crossing this cell, per adjacent die (half of the wetted
+                # perimeter each), in series with the half-thickness
+                # conduction of the adjacent solid layer.
+                h = correlations.heat_transfer_coefficient(
+                    width, layer.channel_height, layer.coolant
+                )
+                wetted_per_layer = (width + layer.channel_height) * (
+                    stack.cell_length * channels_per_row
+                )
+                g_convection = h * wetted_per_layer
+                for solid_idx, solid_node in (
+                    (lower_idx, below_node),
+                    (upper_idx, above_node),
+                ):
+                    solid = stack.layers[solid_idx]
+                    half_resistance = solid.thickness / (
+                        2.0
+                        * solid.material.thermal_conductivity
+                        * stack.cell_area
+                    )
+                    g_total = 1.0 / (half_resistance + 1.0 / g_convection)
+                    self._add(solid_node, solid_node, g_total)
+                    self._add(solid_node, coolant_node, -g_total)
+                    self._add(coolant_node, coolant_node, g_total)
+                    self._add(coolant_node, solid_node, -g_total)
+
+                # Vertical conduction through the solid channel walls
+                # (fraction 1 - w/W of the cell footprint), connecting the
+                # two dies directly.
+                wall_fraction = max(1.0 - width / layer.channel_pitch, 0.0)
+                if wall_fraction > 0.0:
+                    wall_area = wall_fraction * stack.cell_area
+                    resistance = (
+                        lower.thickness
+                        / (2.0 * lower.material.thermal_conductivity * wall_area)
+                        + layer.channel_height
+                        / (layer.wall_material.thermal_conductivity * wall_area)
+                        + upper.thickness
+                        / (2.0 * upper.material.thermal_conductivity * wall_area)
+                    )
+                    g_wall = 1.0 / resistance
+                    self._add(below_node, below_node, g_wall)
+                    self._add(below_node, above_node, -g_wall)
+                    self._add(above_node, above_node, g_wall)
+                    self._add(above_node, below_node, -g_wall)
+
+                # Coolant advection (upwind along +x).
+                self._add(coolant_node, coolant_node, capacity_rate_cell)
+                if col == 0:
+                    self.rhs[coolant_node] += (
+                        capacity_rate_cell * layer.inlet_temperature
+                    )
+                else:
+                    upstream = self.index(layer_idx, row, col - 1)
+                    self._add(coolant_node, upstream, -capacity_rate_cell)
+
+    # -- matrix access -----------------------------------------------------------------------
+
+    def matrix(self) -> sparse.csr_matrix:
+        """The assembled steady-state matrix ``A`` (CSR)."""
+        return sparse.csr_matrix(
+            (self._values, (self._rows, self._cols)),
+            shape=(self.n_unknowns, self.n_unknowns),
+        )
+
+    def split_solution(self, vector: np.ndarray) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray]]:
+        """Split a flat solution vector into per-layer maps."""
+        stack = self.stack
+        layer_maps: Dict[str, np.ndarray] = {}
+        coolant_maps: Dict[str, np.ndarray] = {}
+        for layer_idx, layer in enumerate(stack.layers):
+            start = self.index(layer_idx, 0, 0)
+            stop = start + self.n_cells_per_layer
+            grid = vector[start:stop].reshape(stack.n_rows, stack.n_cols)
+            if layer.is_cavity:
+                coolant_maps[layer.name] = grid
+            else:
+                layer_maps[layer.name] = grid
+        return layer_maps, coolant_maps
+
+
+class SteadyStateSolver:
+    """Solve the steady-state temperature field of a layer stack."""
+
+    def __init__(self, stack: LayerStack) -> None:
+        self.stack = stack
+        self.system = AssembledSystem(stack)
+
+    def solve(self) -> ThermalMapResult:
+        """Assemble and solve ``A T = b``; return per-layer thermal maps."""
+        matrix = self.system.matrix()
+        solution = spsolve(matrix.tocsc(), self.system.rhs)
+        if not np.all(np.isfinite(solution)):
+            raise RuntimeError("steady-state solve produced non-finite values")
+        residual = matrix @ solution - self.system.rhs
+        layer_maps, coolant_maps = self.system.split_solution(solution)
+        return ThermalMapResult(
+            layer_maps=layer_maps,
+            coolant_maps=coolant_maps,
+            metadata={
+                "solver": "ice-steady",
+                "n_unknowns": self.system.n_unknowns,
+                "grid": (self.stack.n_rows, self.stack.n_cols),
+                "residual_norm": float(np.max(np.abs(residual))),
+            },
+        )

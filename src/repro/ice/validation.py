@@ -1,0 +1,131 @@
+"""Cross-validation between the finite-volume simulator and the analytical model.
+
+The paper states that its analytical state-space model was validated against
+the 3D-ICE numerical simulator.  This module reproduces that step inside the
+library: a narrow strip of the finite-volume model (one channel pitch wide)
+is compared against the single-channel analytical BVP solution for the same
+heat input, geometry and flow settings.  The comparison is exposed both as a
+callable (used by the integration tests) and as a small report structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..config import DEFAULT_EXPERIMENT, ExperimentConfig
+from ..thermal.bvp import solve_trapezoidal
+from ..thermal.geometry import (
+    ChannelGeometry,
+    HeatInputProfile,
+    TestStructure,
+    WidthProfile,
+)
+from .builders import two_die_stack_from_maps
+from .solver import SteadyStateSolver
+
+__all__ = ["ValidationReport", "validate_against_analytical"]
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of one analytical-vs-finite-volume comparison.
+
+    Attributes
+    ----------
+    max_abs_error:
+        Maximum absolute difference between the column-mean finite-volume
+        die temperature and the analytical layer temperature (K).
+    rms_error:
+        Root-mean-square of the same difference (K).
+    analytical_gradient / simulator_gradient:
+        The max-min thermal gradients of the two models (K).
+    coolant_rise_error:
+        Difference in the coolant inlet-to-outlet temperature rise (K).
+    """
+
+    max_abs_error: float
+    rms_error: float
+    analytical_gradient: float
+    simulator_gradient: float
+    coolant_rise_error: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain dictionary (for reports and EXPERIMENTS.md tables)."""
+        return {
+            "max_abs_error_K": self.max_abs_error,
+            "rms_error_K": self.rms_error,
+            "analytical_gradient_K": self.analytical_gradient,
+            "simulator_gradient_K": self.simulator_gradient,
+            "coolant_rise_error_K": self.coolant_rise_error,
+        }
+
+
+def validate_against_analytical(
+    flux_w_per_cm2: float = 50.0,
+    channel_width: float = None,
+    config: ExperimentConfig = DEFAULT_EXPERIMENT,
+    n_cols: int = 80,
+) -> ValidationReport:
+    """Compare the finite-volume and analytical models on a uniform strip.
+
+    A strip one channel pitch wide with a uniform areal heat flux on both
+    dies is solved with (a) the analytical single-channel BVP and (b) the
+    finite-volume simulator restricted to a single row of cells.  Because
+    the strip has no lateral variation, the two models describe exactly the
+    same physics and should agree closely; the report quantifies how
+    closely.
+    """
+    params = config.params
+    if channel_width is None:
+        channel_width = params.max_channel_width
+    geometry = ChannelGeometry.from_parameters(params)
+    width_profile = WidthProfile.uniform(channel_width, geometry.length)
+    heat = HeatInputProfile.from_areal_flux(
+        flux_w_per_cm2, geometry.pitch, geometry.length
+    )
+    structure = TestStructure(
+        geometry=geometry,
+        width_profile=width_profile,
+        heat_top=heat,
+        heat_bottom=heat,
+        silicon=params.silicon,
+        coolant=params.coolant,
+        flow_rate=params.flow_rate_per_channel,
+        inlet_temperature=params.inlet_temperature,
+    )
+    analytical = solve_trapezoidal(structure, n_points=max(n_cols * 4 + 1, 201))
+
+    stack = two_die_stack_from_maps(
+        flux_w_per_cm2,
+        flux_w_per_cm2,
+        die_length=geometry.length,
+        die_width=geometry.pitch,
+        config=config,
+        n_cols=n_cols,
+        n_rows=1,
+        width_profile=width_profile,
+    )
+    simulator = SteadyStateSolver(stack).solve()
+
+    x_centers = stack.x_centers()
+    analytical_top = np.interp(
+        x_centers, analytical.z, analytical.temperatures[0, 0]
+    )
+    simulated_top = simulator.layer("top_die")[0]
+    error = simulated_top - analytical_top
+
+    coolant_map = simulator.coolant_maps["cavity"][0]
+    simulator_rise = float(coolant_map[-1] - params.inlet_temperature)
+
+    return ValidationReport(
+        max_abs_error=float(np.max(np.abs(error))),
+        rms_error=float(np.sqrt(np.mean(error**2))),
+        analytical_gradient=analytical.thermal_gradient,
+        simulator_gradient=simulator.thermal_gradient("top_die"),
+        coolant_rise_error=float(
+            simulator_rise - analytical.coolant_temperature_rise
+        ),
+    )

@@ -1,0 +1,31 @@
+"""Related-work baselines and flow-routing extensions.
+
+Implementations of the alternative thermal-balancing techniques the paper
+discusses in its related-work section, built on the same cavity model and
+metrics so they can be compared directly against optimal channel-width
+modulation: variable-flow channel clustering (Qian et al.), non-uniform
+channel density (Shi et al.) and counterflow channel arrangements
+(flow-direction engineering in the spirit of Brunschwiler et al.).
+"""
+
+from .flow_allocation import FlowClusteringOptimizer, proportional_allocation
+from .channel_density import (
+    allocate_channels,
+    evaluate_density,
+    power_proportional_density,
+    uniform_density,
+)
+from .counterflow import alternating_counterflow, evaluate_flow_directions
+from .comparison import compare_techniques
+
+__all__ = [
+    "FlowClusteringOptimizer",
+    "proportional_allocation",
+    "allocate_channels",
+    "evaluate_density",
+    "power_proportional_density",
+    "uniform_density",
+    "alternating_counterflow",
+    "evaluate_flow_directions",
+    "compare_techniques",
+]

@@ -1,0 +1,142 @@
+"""Non-uniform channel density (the Shi et al. related-work baseline).
+
+Section II of the paper discusses the customized channel-allocation approach
+of Shi et al.: instead of modulating the width of individual channels, the
+*number* of etched microchannels per unit die width is varied so that
+regions with higher cooling demands receive more channels.  The paper notes
+that this lateral-only adaptation cannot react to hotspots distributed along
+a channel's pathway.
+
+The baseline is implemented on the same multi-channel cavity model by
+re-distributing a fixed total number of physical channels across the modeled
+lanes (each lane represents one lateral die region):
+
+* :func:`power_proportional_density` -- allocate channels to lanes in
+  proportion to the power they must remove (with a minimum per lane), the
+  heuristic the related work motivates;
+* :func:`uniform_density` -- the reference allocation with equally many
+  channels per lane (identical to the conventional design, used as the
+  sanity anchor in tests).
+
+Per-lane channel counts are mapped onto the solver through the
+``lane_cluster_sizes`` field of :class:`MultiChannelStructure`, so all
+thermal and hydraulic metrics remain directly comparable with the
+channel-modulation designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.results import DesignEvaluation
+from ..hydraulics.pressure import pressure_drop
+from ..thermal.fdm import solve_finite_difference
+from ..thermal.geometry import MultiChannelStructure
+
+__all__ = [
+    "allocate_channels",
+    "power_proportional_density",
+    "uniform_density",
+    "evaluate_density",
+]
+
+
+def allocate_channels(
+    weights: Sequence[float], total_channels: int, minimum_per_lane: int = 1
+) -> List[int]:
+    """Integer allocation of ``total_channels`` proportional to ``weights``.
+
+    Uses the largest-remainder method so the counts always sum exactly to the
+    total while respecting the per-lane minimum.
+    """
+    weights = np.asarray(weights, dtype=float)
+    if weights.ndim != 1 or weights.size == 0:
+        raise ValueError("weights must be a non-empty 1-D sequence")
+    if np.any(weights < 0.0):
+        raise ValueError("weights must be non-negative")
+    n_lanes = weights.size
+    if total_channels < minimum_per_lane * n_lanes:
+        raise ValueError(
+            "not enough channels to give every lane the minimum allocation"
+        )
+    if weights.sum() == 0.0:
+        weights = np.ones(n_lanes)
+
+    distributable = total_channels - minimum_per_lane * n_lanes
+    ideal = weights / weights.sum() * distributable
+    base = np.floor(ideal).astype(int)
+    remainder = distributable - int(base.sum())
+    # Hand the leftover channels to the lanes with the largest fractional part.
+    order = np.argsort(-(ideal - base))
+    for index in order[:remainder]:
+        base[index] += 1
+    return list(minimum_per_lane + base)
+
+
+def evaluate_density(
+    structure: MultiChannelStructure,
+    channels_per_lane: Sequence[int],
+    label: str,
+    n_points: int = 161,
+) -> DesignEvaluation:
+    """Evaluate the cavity with an explicit per-lane channel allocation.
+
+    The heat entering each lane is a property of the floorplan band above it
+    and therefore does not change with the allocation; only the cooling
+    capacity (channel count, hence conductances and coolant flow) does.
+    """
+    counts = [int(count) for count in channels_per_lane]
+    if len(counts) != structure.n_lanes:
+        raise ValueError("one channel count per lane is required")
+    if any(count < 1 for count in counts):
+        raise ValueError("every lane needs at least one channel")
+    candidate = replace(structure, lane_cluster_sizes=tuple(counts))
+    solution = solve_finite_difference(candidate, n_points=n_points)
+    flow = structure.lanes[0].flow_rate
+    drops = np.array(
+        [
+            pressure_drop(
+                lane.width_profile, structure.geometry, flow, structure.coolant
+            )
+            for lane in structure.lanes
+        ]
+    )
+    return DesignEvaluation(
+        label=label,
+        width_profiles=[lane.width_profile for lane in structure.lanes],
+        solution=solution,
+        pressure_drops=drops,
+        metadata={
+            "technique": "non-uniform channel density",
+            "channels_per_lane": counts,
+        },
+    )
+
+
+def uniform_density(
+    structure: MultiChannelStructure, n_points: int = 161
+) -> DesignEvaluation:
+    """The reference allocation: the structure's own per-lane channel counts."""
+    counts = [
+        structure.cluster_size_of_lane(lane) for lane in range(structure.n_lanes)
+    ]
+    return evaluate_density(structure, counts, "uniform channel density", n_points)
+
+
+def power_proportional_density(
+    structure: MultiChannelStructure,
+    total_channels: Optional[int] = None,
+    minimum_per_lane: int = 1,
+    n_points: int = 161,
+) -> DesignEvaluation:
+    """Allocate channels to lanes in proportion to the power they remove."""
+    if total_channels is None:
+        total_channels = structure.n_physical_channels
+    powers = [lane.total_power for lane in structure.lanes]
+    counts = allocate_channels(powers, total_channels, minimum_per_lane)
+    return evaluate_density(
+        structure, counts, "power-proportional channel density", n_points
+    )

@@ -1,0 +1,221 @@
+"""Variable-flow channel clustering (the Qian et al. related-work baseline).
+
+Section II of the paper discusses the channel-clustering approach of Qian et
+al.: microchannels are grouped into clusters, and micro-pumps inject a
+*different coolant flow rate* into each cluster so that the cooling effort
+matches the local computing load.  The paper contrasts it with channel
+modulation (which needs no extra pumps and can also react to hotspots lying
+*along* a channel).
+
+This module implements that baseline on top of the same multi-channel cavity
+model so the comparison benchmark can put the techniques side by side:
+
+* :func:`proportional_allocation` -- the intuitive heuristic: give each lane
+  a flow rate proportional to the power it must remove, under a fixed total
+  flow budget.
+* :class:`FlowClusteringOptimizer` -- a small NLP (SLSQP) that tunes the
+  per-lane flow rates to minimize the thermal gradient (or the Eq. 7 cost)
+  under the total-flow budget and per-lane pressure limit.
+
+Both return :class:`~repro.core.results.DesignEvaluation`-compatible results
+(evaluated with the same solver and metrics as the channel-modulation
+designs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+from scipy import optimize
+
+from ..core.objectives import get_objective
+from ..core.results import DesignEvaluation
+from ..hydraulics.pressure import pressure_drop
+from ..thermal.fdm import solve_finite_difference
+from ..thermal.geometry import MultiChannelStructure
+from ..thermal.properties import TABLE_I
+
+__all__ = ["proportional_allocation", "FlowClusteringOptimizer"]
+
+
+def _evaluate_with_flows(
+    structure: MultiChannelStructure,
+    flow_rates: Sequence[float],
+    label: str,
+    n_points: int,
+) -> DesignEvaluation:
+    """Evaluate the cavity with per-lane flow rates (one per modeled lane)."""
+    if len(flow_rates) != structure.n_lanes:
+        raise ValueError("one flow rate per lane is required")
+    lanes = [
+        lane.with_flow_rate(float(flow))
+        for lane, flow in zip(structure.lanes, flow_rates)
+    ]
+    candidate = replace(structure, lanes=tuple(lanes))
+    solution = solve_finite_difference(candidate, n_points=n_points)
+    drops = np.array(
+        [
+            pressure_drop(
+                lane.width_profile,
+                structure.geometry,
+                float(flow),
+                structure.coolant,
+            )
+            for lane, flow in zip(structure.lanes, flow_rates)
+        ]
+    )
+    return DesignEvaluation(
+        label=label,
+        width_profiles=[lane.width_profile for lane in structure.lanes],
+        solution=solution,
+        pressure_drops=drops,
+        metadata={
+            "technique": "variable-flow clustering",
+            "flow_rates_m3_per_s": [float(flow) for flow in flow_rates],
+        },
+    )
+
+
+def proportional_allocation(
+    structure: MultiChannelStructure,
+    total_flow: Optional[float] = None,
+    minimum_fraction: float = 0.25,
+    n_points: int = 161,
+) -> DesignEvaluation:
+    """Split the total flow across lanes in proportion to their power.
+
+    ``minimum_fraction`` guarantees every lane at least that fraction of the
+    uniform per-lane share, mirroring the practical requirement that no
+    cluster is ever starved of coolant.
+    """
+    if not (0.0 <= minimum_fraction <= 1.0):
+        raise ValueError("minimum_fraction must lie in [0, 1]")
+    n_lanes = structure.n_lanes
+    nominal = structure.lanes[0].flow_rate
+    if total_flow is None:
+        total_flow = nominal * n_lanes
+    powers = np.array([lane.total_power for lane in structure.lanes])
+    if powers.sum() <= 0.0:
+        shares = np.full(n_lanes, 1.0 / n_lanes)
+    else:
+        shares = powers / powers.sum()
+    floor = minimum_fraction * total_flow / n_lanes
+    flows = floor + shares * (total_flow - floor * n_lanes)
+    return _evaluate_with_flows(
+        structure, flows, "variable-flow (proportional)", n_points
+    )
+
+
+@dataclass
+class FlowClusteringOptimizer:
+    """Optimize per-lane flow rates under a total-flow budget.
+
+    Attributes
+    ----------
+    structure:
+        The multi-channel cavity (width profiles stay fixed -- typically the
+        conventional uniform maximum width).
+    total_flow:
+        Total coolant budget in m^3/s; defaults to ``n_lanes`` times the
+        nominal per-lane flow so the comparison against channel modulation
+        is iso-flow.
+    objective:
+        Objective name from :mod:`repro.core.objectives`.
+    max_pressure_drop:
+        Per-lane pressure limit (Table I value by default).
+    minimum_fraction:
+        Lower bound on each lane's share of the uniform split.
+    n_grid_points:
+        z-grid resolution of the thermal evaluations.
+    max_iterations:
+        SLSQP iteration limit.
+    """
+
+    structure: MultiChannelStructure
+    total_flow: Optional[float] = None
+    objective: str = "temperature_range"
+    max_pressure_drop: float = TABLE_I.max_pressure_drop
+    minimum_fraction: float = 0.25
+    n_grid_points: int = 161
+    max_iterations: int = 30
+
+    def __post_init__(self) -> None:
+        if self.total_flow is None:
+            self.total_flow = (
+                self.structure.lanes[0].flow_rate * self.structure.n_lanes
+            )
+        if self.total_flow <= 0.0:
+            raise ValueError("total_flow must be positive")
+        if not (0.0 <= self.minimum_fraction < 1.0):
+            raise ValueError("minimum_fraction must lie in [0, 1)")
+        self._objective: Callable = get_objective(self.objective)
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _flows_from_shares(self, shares: np.ndarray) -> np.ndarray:
+        """Map free share variables onto feasible per-lane flows.
+
+        The shares are normalized so the budget is met exactly; the minimum
+        fraction is then enforced by construction.
+        """
+        shares = np.clip(np.asarray(shares, dtype=float), 1e-6, None)
+        shares = shares / shares.sum()
+        floor = self.minimum_fraction * self.total_flow / self.structure.n_lanes
+        return floor + shares * (
+            self.total_flow - floor * self.structure.n_lanes
+        )
+
+    def _cost(self, shares: np.ndarray) -> float:
+        flows = self._flows_from_shares(shares)
+        lanes = [
+            lane.with_flow_rate(float(flow))
+            for lane, flow in zip(self.structure.lanes, flows)
+        ]
+        candidate = replace(self.structure, lanes=tuple(lanes))
+        solution = solve_finite_difference(candidate, n_points=self.n_grid_points)
+        return float(self._objective(solution))
+
+    def _pressure_margin(self, shares: np.ndarray) -> np.ndarray:
+        flows = self._flows_from_shares(shares)
+        drops = np.array(
+            [
+                pressure_drop(
+                    lane.width_profile,
+                    self.structure.geometry,
+                    float(flow),
+                    self.structure.coolant,
+                )
+                for lane, flow in zip(self.structure.lanes, flows)
+            ]
+        )
+        return 1.0 - drops / self.max_pressure_drop
+
+    # -- main entry point --------------------------------------------------------------
+
+    def optimize(self) -> DesignEvaluation:
+        """Run the flow allocation and return the evaluated design."""
+        n_lanes = self.structure.n_lanes
+        start = np.full(n_lanes, 1.0 / n_lanes)
+        result = optimize.minimize(
+            self._cost,
+            start,
+            method="SLSQP",
+            bounds=[(1e-6, 1.0)] * n_lanes,
+            constraints=[{"type": "ineq", "fun": self._pressure_margin}],
+            options={"maxiter": self.max_iterations, "ftol": 1e-6},
+        )
+        best_shares = np.asarray(result.x, dtype=float)
+        flows = self._flows_from_shares(best_shares)
+        evaluation = _evaluate_with_flows(
+            self.structure, flows, "variable-flow (optimized)", self.n_grid_points
+        )
+        evaluation.metadata.update(
+            {
+                "converged": bool(result.success),
+                "n_iterations": int(result.get("nit", 0)),
+                "total_flow_m3_per_s": float(self.total_flow),
+            }
+        )
+        return evaluation

@@ -1,0 +1,211 @@
+"""Boundary-value solvers for the single-channel analytical model.
+
+The steady-state model of Sec. III is a two-point boundary-value problem:
+the ODE of :mod:`repro.thermal.state_space` with the adiabatic boundary
+conditions ``q_1(0) = q_2(0) = 0`` and ``q_1(d) = q_2(d) = 0`` (Eq. 5), plus
+the coolant inlet condition ``T_C(0) = T_Cin``.
+
+The problem is *stiff*: longitudinal conduction in the thin silicon layers
+gives the homogeneous solutions growth rates of order
+``sqrt(g_v / g_l) ~ 1e4 1/m``, i.e. boundary layers a few hundred microns
+wide next to growth factors around ``exp(80)`` over a 1 cm channel.  Single
+shooting is therefore numerically useless and only *global* methods are
+provided:
+
+* :func:`solve_trapezoidal` -- exploits the linearity of the ODE.  The
+  augmented 5-state system ``dX/dz = A(z) X + b(z)`` is discretized with the
+  (A-stable) trapezoidal rule on a uniform grid, the boundary conditions are
+  appended, and the resulting banded sparse linear system is solved in one
+  shot.  Second-order accurate, unconditionally stable, and fast; this is
+  the default.
+* :func:`solve_collocation` -- a thin wrapper around
+  :func:`scipy.integrate.solve_bvp` (adaptive collocation), used for
+  cross-validation in the test-suite.
+
+Both return a :class:`~repro.thermal.solution.ThermalSolution` sampled on a
+uniform grid.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import sparse
+from scipy.integrate import solve_bvp
+from scipy.sparse.linalg import spsolve
+
+from .geometry import TestStructure
+from .solution import ThermalSolution
+from .state_space import SingleChannelStateSpace
+
+__all__ = ["solve_trapezoidal", "solve_collocation", "solve_single_channel"]
+
+_N_STATES = 5  # T1, T2, q1, q2, TC
+
+
+def solve_trapezoidal(
+    structure: TestStructure,
+    n_points: int = 401,
+) -> ThermalSolution:
+    """Solve the single-channel BVP with a global trapezoidal discretization.
+
+    The augmented linear system ``dX/dz = A(z) X + b(z)`` is enforced on
+    every interval of a uniform grid with the trapezoidal rule::
+
+        X_{k+1} - X_k = (dz / 2) * (A_k X_k + b_k + A_{k+1} X_{k+1} + b_{k+1})
+
+    and the five boundary conditions (``q_1(0) = q_2(0) = 0``,
+    ``T_C(0) = T_Cin``, ``q_1(d) = q_2(d) = 0``) close the square system.
+    Being a global method it is immune to the stiffness that defeats
+    shooting approaches.
+    """
+    if n_points < 3:
+        raise ValueError("n_points must be at least 3")
+    model = SingleChannelStateSpace(structure)
+    z_grid = np.linspace(0.0, structure.length, n_points)
+    dz = z_grid[1] - z_grid[0]
+
+    a_all, b_all = model.linear_coefficients(z_grid)
+
+    n_unknowns = _N_STATES * n_points
+    rows, cols, values = [], [], []
+    rhs = np.zeros(n_unknowns)
+
+    def state_index(point: int, state: int) -> int:
+        return point * _N_STATES + state
+
+    def add(row: int, col: int, value: float) -> None:
+        if value != 0.0:
+            rows.append(row)
+            cols.append(col)
+            values.append(value)
+
+    identity = np.eye(_N_STATES)
+    row_counter = 0
+    for k in range(n_points - 1):
+        # X_{k+1} - X_k - dz/2 (A_k X_k + A_{k+1} X_{k+1}) = dz/2 (b_k + b_{k+1})
+        left = -identity - 0.5 * dz * a_all[k]
+        right = identity - 0.5 * dz * a_all[k + 1]
+        forcing = 0.5 * dz * (b_all[k] + b_all[k + 1])
+        for i in range(_N_STATES):
+            row = row_counter + i
+            for j in range(_N_STATES):
+                add(row, state_index(k, j), left[i, j])
+                add(row, state_index(k + 1, j), right[i, j])
+            rhs[row] = forcing[i]
+        row_counter += _N_STATES
+
+    # Boundary conditions: q1(0) = q2(0) = 0, TC(0) = T_Cin, q1(d) = q2(d) = 0.
+    boundary_rows = [
+        (state_index(0, 2), 0.0),
+        (state_index(0, 3), 0.0),
+        (state_index(0, 4), structure.inlet_temperature),
+        (state_index(n_points - 1, 2), 0.0),
+        (state_index(n_points - 1, 3), 0.0),
+    ]
+    for column, value in boundary_rows:
+        add(row_counter, column, 1.0)
+        rhs[row_counter] = value
+        row_counter += 1
+
+    matrix = sparse.csr_matrix(
+        (values, (rows, cols)), shape=(n_unknowns, n_unknowns)
+    )
+    solution_vector = spsolve(matrix, rhs)
+    if not np.all(np.isfinite(solution_vector)):
+        raise RuntimeError("trapezoidal BVP solve produced non-finite values")
+    states = solution_vector.reshape(n_points, _N_STATES).T
+
+    temperatures = states[0:2, :][:, np.newaxis, :]
+    heat_flows = states[2:4, :][:, np.newaxis, :]
+    coolant = states[4, :][np.newaxis, :]
+    residual = matrix @ solution_vector - rhs
+    return ThermalSolution(
+        z=z_grid,
+        temperatures=temperatures,
+        heat_flows=heat_flows,
+        coolant_temperatures=coolant,
+        inlet_temperature=structure.inlet_temperature,
+        metadata={
+            "solver": "trapezoidal",
+            "n_points": n_points,
+            "linear_residual": float(np.max(np.abs(residual))),
+        },
+    )
+
+
+def solve_collocation(
+    structure: TestStructure,
+    n_points: int = 201,
+    tol: float = 1e-6,
+    max_nodes: int = 500_000,
+    initial_guess: Optional[np.ndarray] = None,
+) -> ThermalSolution:
+    """Solve the single-channel BVP with SciPy's adaptive collocation solver.
+
+    Slower than :func:`solve_trapezoidal` but fully independent of our
+    discretization choices, which makes it a good cross-check (the test
+    suite asserts the two agree).
+    """
+    model = SingleChannelStateSpace(structure)
+    z_grid = np.linspace(0.0, structure.length, n_points)
+
+    def rhs(z, state):
+        return model.augmented_rhs(z, state)
+
+    def boundary(inlet_state, outlet_state):
+        return model.boundary_residual(inlet_state, outlet_state)
+
+    if initial_guess is None:
+        initial_guess = np.zeros((_N_STATES, z_grid.size))
+        initial_guess[0:2, :] = structure.inlet_temperature + 10.0
+        initial_guess[4, :] = structure.inlet_temperature
+    result = solve_bvp(
+        rhs, boundary, z_grid, initial_guess, tol=tol, max_nodes=max_nodes
+    )
+    if not result.success:
+        raise RuntimeError(f"collocation BVP solve failed: {result.message}")
+
+    evaluated = result.sol(z_grid)
+    temperatures = evaluated[0:2, :][:, np.newaxis, :]
+    heat_flows = evaluated[2:4, :][:, np.newaxis, :]
+    coolant = evaluated[4, :][np.newaxis, :]
+    return ThermalSolution(
+        z=z_grid,
+        temperatures=temperatures,
+        heat_flows=heat_flows,
+        coolant_temperatures=coolant,
+        inlet_temperature=structure.inlet_temperature,
+        metadata={
+            "solver": "collocation",
+            "n_points": n_points,
+            "rms_residuals": float(np.max(result.rms_residuals)),
+        },
+    )
+
+
+def solve_single_channel(
+    structure: TestStructure,
+    n_points: int = 401,
+    method: str = "trapezoidal",
+    **kwargs,
+) -> ThermalSolution:
+    """Solve a single-channel structure with the requested method.
+
+    ``method`` is ``"trapezoidal"`` (default), ``"collocation"`` or
+    ``"fdm"`` (the finite-difference workhorse from
+    :mod:`repro.thermal.fdm`, which also handles multi-channel cavities).
+    """
+    if method == "trapezoidal":
+        return solve_trapezoidal(structure, n_points=n_points, **kwargs)
+    if method == "collocation":
+        return solve_collocation(structure, n_points=n_points, **kwargs)
+    if method == "fdm":
+        from .fdm import solve_finite_difference
+        from .geometry import MultiChannelStructure
+
+        return solve_finite_difference(
+            MultiChannelStructure.single(structure), n_points=n_points, **kwargs
+        )
+    raise ValueError(f"unknown solver method: {method!r}")

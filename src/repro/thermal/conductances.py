@@ -1,0 +1,199 @@
+"""Per-unit-length thermal network parameters of the analytical model.
+
+These are the electrical-analogy circuit parameters of Eq. (2) of the paper,
+evaluated for a given channel cross-section:
+
+* ``g_l``      -- longitudinal conduction inside one active silicon layer,
+                  parallel to the channel (units W.m).
+* ``g_w(z)``   -- vertical conduction between the two active layers through
+                  the solid silicon side walls of the channel (W/(m.K)).
+* ``g_v_si``   -- vertical conduction from an active layer to the wetted
+                  channel wall through the silicon slab (W/(m.K)).
+* ``h_hat(z)`` -- convective conductance from the channel walls into the
+                  coolant bulk, per unit length (W/(m.K)).
+* ``g_v(z)``   -- series combination of ``g_v_si`` and ``h_hat`` -- the total
+                  active-layer-to-coolant conductance per unit length.
+* ``capacity_rate`` -- the coolant capacity rate ``c_v * V_dot`` (W/K) that
+                  advects heat downstream.
+
+The paper's Eq. (2) swaps the textual labels of ``g_w`` and ``g_v_si``
+relative to its own ``g_v`` definition; we use the physically consistent
+reading documented in DESIGN.md (Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from . import correlations
+from .geometry import ChannelGeometry, TestStructure
+from .properties import Coolant, SolidMaterial
+
+__all__ = [
+    "ElementConductances",
+    "longitudinal_conductance",
+    "sidewall_conductance",
+    "slab_conductance",
+    "convective_conductance",
+    "layer_to_coolant_conductance",
+    "capacity_rate",
+    "evaluate_conductances",
+    "lateral_conductance",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def longitudinal_conductance(geometry: ChannelGeometry, silicon: SolidMaterial) -> float:
+    """``g_l = k_Si * W * H_Si`` -- longitudinal conduction, in W.m.
+
+    The heat flowing along one active layer obeys ``q = -g_l * dT/dz``.
+    """
+    return silicon.thermal_conductivity * geometry.pitch * geometry.silicon_height
+
+
+def sidewall_conductance(
+    geometry: ChannelGeometry, silicon: SolidMaterial, channel_width: ArrayLike
+) -> ArrayLike:
+    """``g_w(z) = k_Si (W - w_C) / (2 H_Si + H_C)`` in W/(m.K).
+
+    Conduction between the two active layers through the solid side walls
+    left beside the channel; narrower channels leave wider walls and couple
+    the two layers more strongly.
+    """
+    wall = geometry.pitch - np.asarray(channel_width, dtype=float)
+    path = 2.0 * geometry.silicon_height + geometry.channel_height
+    return silicon.thermal_conductivity * wall / path
+
+
+def slab_conductance(geometry: ChannelGeometry, silicon: SolidMaterial) -> float:
+    """``g_v,Si = k_Si W / H_Si`` in W/(m.K).
+
+    Conduction from the active layer through the silicon slab of height
+    ``H_Si`` down to the wetted channel wall, over the full cell pitch.
+    """
+    return (
+        silicon.thermal_conductivity * geometry.pitch / geometry.silicon_height
+    )
+
+
+def convective_conductance(
+    geometry: ChannelGeometry,
+    coolant: Coolant,
+    channel_width: ArrayLike,
+    flow_rate: float,
+    distance: ArrayLike = 0.0,
+    developing: bool = False,
+) -> ArrayLike:
+    """``h_hat(z)`` -- wall-to-coolant convective conductance per unit length.
+
+    The convective exchange area of one active layer, per unit channel
+    length, is half of the wetted perimeter: the channel floor (or ceiling)
+    of width ``w_C`` plus one channel side wall of height ``H_C``.  The heat
+    transfer coefficient comes from the Shah & London correlations
+    (:mod:`repro.thermal.correlations`).
+    """
+    width = np.asarray(channel_width, dtype=float)
+    z = np.asarray(distance, dtype=float)
+    width_b, z_b = np.broadcast_arrays(width, z)
+    h = np.empty(width_b.shape, dtype=float)
+    flat_w = width_b.ravel()
+    flat_z = z_b.ravel()
+    flat_h = h.ravel()
+    for index in range(flat_w.size):
+        flat_h[index] = correlations.heat_transfer_coefficient(
+            float(flat_w[index]),
+            geometry.channel_height,
+            coolant,
+            flow_rate=flow_rate,
+            distance=float(flat_z[index]),
+            developing=developing,
+        )
+    perimeter = width_b + geometry.channel_height
+    result = h * perimeter
+    if np.isscalar(channel_width) and np.isscalar(distance):
+        return float(result.ravel()[0])
+    return result
+
+
+def layer_to_coolant_conductance(
+    geometry: ChannelGeometry,
+    silicon: SolidMaterial,
+    coolant: Coolant,
+    channel_width: ArrayLike,
+    flow_rate: float,
+    distance: ArrayLike = 0.0,
+    developing: bool = False,
+) -> ArrayLike:
+    """``g_v(z) = (g_v,Si^-1 + h_hat(z)^-1)^-1`` in W/(m.K)."""
+    g_slab = slab_conductance(geometry, silicon)
+    h_hat = convective_conductance(
+        geometry, coolant, channel_width, flow_rate, distance, developing
+    )
+    return 1.0 / (1.0 / g_slab + 1.0 / np.asarray(h_hat, dtype=float))
+
+
+def capacity_rate(coolant: Coolant, flow_rate: float) -> float:
+    """Coolant capacity rate ``c_v * V_dot`` in W/K."""
+    return coolant.volumetric_heat_capacity * flow_rate
+
+
+def lateral_conductance(
+    geometry: ChannelGeometry, silicon: SolidMaterial, lane_pitch: float = None
+) -> float:
+    """Lane-to-lane lateral conduction in one active layer, W/(m.K).
+
+    Adjacent channel lanes are coupled laterally (y direction) through the
+    active silicon layer: a slab of height ``H_Si`` and unit length along z,
+    over a center-to-center distance of one lane pitch.
+    """
+    pitch = geometry.pitch if lane_pitch is None else lane_pitch
+    if pitch <= 0.0:
+        raise ValueError("lane pitch must be positive")
+    return silicon.thermal_conductivity * geometry.silicon_height / pitch
+
+
+@dataclass(frozen=True)
+class ElementConductances:
+    """All per-unit-length parameters evaluated at one position ``z``."""
+
+    g_longitudinal: float
+    g_sidewall: float
+    g_slab: float
+    h_convective: float
+    g_layer_to_coolant: float
+    capacity_rate: float
+
+
+def evaluate_conductances(
+    structure: TestStructure, z: float
+) -> ElementConductances:
+    """Evaluate every Eq. (2) parameter of a test structure at position ``z``.
+
+    Convenience wrapper used by tests and reports; the solvers evaluate the
+    vectorized functions above directly for speed.
+    """
+    width = float(np.atleast_1d(structure.width_profile(z))[0])
+    geometry = structure.geometry
+    silicon = structure.silicon
+    coolant = structure.coolant
+    h_hat = convective_conductance(
+        geometry,
+        coolant,
+        width,
+        structure.flow_rate,
+        z,
+        structure.developing_flow,
+    )
+    g_slab = slab_conductance(geometry, silicon)
+    return ElementConductances(
+        g_longitudinal=longitudinal_conductance(geometry, silicon),
+        g_sidewall=float(sidewall_conductance(geometry, silicon, width)),
+        g_slab=g_slab,
+        h_convective=float(h_hat),
+        g_layer_to_coolant=float(1.0 / (1.0 / g_slab + 1.0 / h_hat)),
+        capacity_rate=capacity_rate(coolant, structure.flow_rate),
+    )

@@ -1,0 +1,245 @@
+"""Laminar forced-convection correlations for rectangular microchannels.
+
+The paper computes the convective heat-transfer coefficient from the Nusselt
+number correlations of Shah & London (1978) for fully developed laminar flow
+in rectangular ducts, written as a polynomial in the duct aspect ratio.  The
+same reference also provides the friction-factor correlation (f.Re product)
+used by the hydraulics subsystem.
+
+All correlations here are pure functions of geometry and fluid properties;
+they are shared by the analytical ODE model (`repro.thermal`), the
+finite-volume simulator (`repro.ice`) and the pressure-drop model
+(`repro.hydraulics`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .properties import Coolant
+
+__all__ = [
+    "aspect_ratio",
+    "hydraulic_diameter",
+    "nusselt_fully_developed_h1",
+    "nusselt_fully_developed_t",
+    "friction_factor_times_reynolds",
+    "mean_velocity",
+    "reynolds_number",
+    "prandtl_number",
+    "graetz_number",
+    "nusselt_developing",
+    "heat_transfer_coefficient",
+    "ChannelFlowState",
+]
+
+# Polynomial coefficients of the Shah & London fully-developed laminar
+# Nusselt number for rectangular ducts.  ``H1`` is the constant axial heat
+# flux / constant peripheral temperature boundary condition (the one that
+# applies to microchannel heat sinks etched in silicon, whose walls are much
+# more conductive than the fluid); ``T`` is the constant wall temperature
+# condition, included for completeness and used in tests as a sanity bound.
+_SHAH_LONDON_H1 = (1.0, -2.0421, 3.0853, -2.4765, 1.0578, -0.1861)
+_SHAH_LONDON_T = (1.0, -2.610, 4.970, -5.119, 2.702, -0.548)
+_NU_H1_INFINITE_PLATES = 8.235
+_NU_T_INFINITE_PLATES = 7.541
+
+# Shah & London friction factor correlation for rectangular ducts,
+# f.Re = 24 * poly(alpha) with f the Darcy friction factor divided by 4
+# (Fanning); we return the product for the *Fanning* factor and convert in
+# the hydraulics module where needed.
+_SHAH_LONDON_FRE = (1.0, -1.3553, 1.9467, -1.7012, 0.9564, -0.2537)
+_FRE_INFINITE_PLATES = 24.0
+
+
+def aspect_ratio(width: float, height: float) -> float:
+    """Duct aspect ratio ``alpha = min(w, h) / max(w, h)`` in (0, 1].
+
+    Shah & London define the aspect ratio as the short side divided by the
+    long side so that the correlation is symmetric in width and height.
+    """
+    if width <= 0.0 or height <= 0.0:
+        raise ValueError("channel width and height must be positive")
+    short, long_ = sorted((width, height))
+    return short / long_
+
+
+def hydraulic_diameter(width: float, height: float) -> float:
+    """Hydraulic diameter ``D_h = 4 A / P`` of a rectangular duct in meters."""
+    if width <= 0.0 or height <= 0.0:
+        raise ValueError("channel width and height must be positive")
+    return 2.0 * width * height / (width + height)
+
+
+def _polynomial(alpha: float, coefficients) -> float:
+    acc = 0.0
+    for power, coefficient in enumerate(coefficients):
+        acc += coefficient * alpha**power
+    return acc
+
+
+def nusselt_fully_developed_h1(width: float, height: float) -> float:
+    """Fully developed laminar Nusselt number, H1 boundary condition.
+
+    ``Nu = 8.235 * (1 - 2.0421 a + 3.0853 a^2 - 2.4765 a^3 + 1.0578 a^4 -
+    0.1861 a^5)`` with ``a`` the aspect ratio.  ``Nu -> 8.235`` for parallel
+    plates (a -> 0) and ``Nu ~ 3.61`` for a square duct (a = 1).
+    """
+    alpha = aspect_ratio(width, height)
+    return _NU_H1_INFINITE_PLATES * _polynomial(alpha, _SHAH_LONDON_H1)
+
+
+def nusselt_fully_developed_t(width: float, height: float) -> float:
+    """Fully developed laminar Nusselt number, constant wall temperature."""
+    alpha = aspect_ratio(width, height)
+    return _NU_T_INFINITE_PLATES * _polynomial(alpha, _SHAH_LONDON_T)
+
+
+def friction_factor_times_reynolds(width: float, height: float) -> float:
+    """Fanning friction factor times Reynolds number, ``f.Re``.
+
+    ``f.Re = 24 (1 - 1.3553 a + 1.9467 a^2 - 1.7012 a^3 + 0.9564 a^4 -
+    0.2537 a^5)``; 24 for parallel plates, about 14.23 for a square duct.
+    """
+    alpha = aspect_ratio(width, height)
+    return _FRE_INFINITE_PLATES * _polynomial(alpha, _SHAH_LONDON_FRE)
+
+
+def mean_velocity(flow_rate: float, width: float, height: float) -> float:
+    """Mean flow velocity ``u = V_dot / (w * h)`` in m/s."""
+    if flow_rate < 0.0:
+        raise ValueError("flow rate must be non-negative")
+    return flow_rate / (width * height)
+
+
+def reynolds_number(
+    flow_rate: float, width: float, height: float, coolant: Coolant
+) -> float:
+    """Reynolds number based on the hydraulic diameter."""
+    velocity = mean_velocity(flow_rate, width, height)
+    d_h = hydraulic_diameter(width, height)
+    return coolant.density * velocity * d_h / coolant.dynamic_viscosity
+
+
+def prandtl_number(coolant: Coolant) -> float:
+    """Prandtl number of the coolant (stored on the coolant object)."""
+    return coolant.prandtl
+
+
+def graetz_number(
+    distance: float, flow_rate: float, width: float, height: float, coolant: Coolant
+) -> float:
+    """Inverse Graetz number ``z* = z / (D_h Re Pr)`` used for developing flow.
+
+    ``z*`` grows from 0 at the inlet; the flow is thermally fully developed
+    for ``z* >~ 0.05``.
+    """
+    if distance < 0.0:
+        raise ValueError("distance from the inlet must be non-negative")
+    re = reynolds_number(flow_rate, width, height, coolant)
+    d_h = hydraulic_diameter(width, height)
+    if re == 0.0:
+        return math.inf
+    return distance / (d_h * re * coolant.prandtl)
+
+
+def nusselt_developing(
+    distance: float,
+    flow_rate: float,
+    width: float,
+    height: float,
+    coolant: Coolant,
+) -> float:
+    """Local Nusselt number including the thermal entrance effect.
+
+    Uses a Hausen-type superposition on top of the fully developed H1 value:
+    ``Nu(z*) = Nu_fd + 0.0668 / (z*^(2/3) (0.04 + z*^(1/3)))`` with
+    ``z* = z / (D_h Re Pr)``.  At the inlet (z* -> 0) the local Nusselt
+    number is large and it decays monotonically to the fully developed value.
+    The expression is clamped so that it never falls below the fully
+    developed asymptote.
+    """
+    nu_fd = nusselt_fully_developed_h1(width, height)
+    z_star = graetz_number(distance, flow_rate, width, height, coolant)
+    if math.isinf(z_star):
+        return nu_fd
+    # Guard the singular inlet point: cap the entrance enhancement at 5x.
+    z_star = max(z_star, 1e-6)
+    enhancement = 0.0668 / (z_star ** (2.0 / 3.0) * (0.04 + z_star ** (1.0 / 3.0)))
+    return min(nu_fd + enhancement, 5.0 * nu_fd)
+
+
+def heat_transfer_coefficient(
+    width: float,
+    height: float,
+    coolant: Coolant,
+    flow_rate: float = 0.0,
+    distance: float = 0.0,
+    developing: bool = False,
+) -> float:
+    """Convective heat-transfer coefficient ``h = Nu k_f / D_h`` in W/(m^2.K).
+
+    Parameters
+    ----------
+    width, height:
+        Local channel cross-section in meters.
+    coolant:
+        Coolant property record.
+    flow_rate:
+        Per-channel volumetric flow rate in m^3/s.  Only needed when
+        ``developing`` is True.
+    distance:
+        Distance from the inlet in meters.  Only needed when ``developing``
+        is True.
+    developing:
+        If True, include the thermal entrance-region enhancement; the
+        default (False) matches the paper's assumption of fully developed
+        flow everywhere.
+    """
+    if developing:
+        nu = nusselt_developing(distance, flow_rate, width, height, coolant)
+    else:
+        nu = nusselt_fully_developed_h1(width, height)
+    return nu * coolant.thermal_conductivity / hydraulic_diameter(width, height)
+
+
+@dataclass(frozen=True)
+class ChannelFlowState:
+    """Snapshot of the hydrodynamic state of one channel cross-section.
+
+    Convenience record produced by :func:`characterize_flow` and used by
+    reports and tests to check that the flow stays laminar (the correlations
+    above are only valid for laminar flow, Re < ~2300).
+    """
+
+    width: float
+    height: float
+    flow_rate: float
+    velocity: float
+    reynolds: float
+    nusselt: float
+    heat_transfer_coefficient: float
+    hydraulic_diameter: float
+
+    @property
+    def is_laminar(self) -> bool:
+        """True when the Reynolds number is inside the laminar regime."""
+        return self.reynolds < 2300.0
+
+
+def characterize_flow(
+    width: float, height: float, flow_rate: float, coolant: Coolant
+) -> ChannelFlowState:
+    """Build a :class:`ChannelFlowState` for a cross-section and flow rate."""
+    velocity = mean_velocity(flow_rate, width, height)
+    return ChannelFlowState(
+        width=width,
+        height=height,
+        flow_rate=flow_rate,
+        velocity=velocity,
+        reynolds=reynolds_number(flow_rate, width, height, coolant),
+        nusselt=nusselt_fully_developed_h1(width, height),
+        heat_transfer_coefficient=heat_transfer_coefficient(width, height, coolant),
+        hydraulic_diameter=hydraulic_diameter(width, height),
+    )

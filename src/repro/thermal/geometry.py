@@ -1,0 +1,527 @@
+"""Geometry descriptions for microchannel-cooled 3D stacks.
+
+Three geometric concepts are defined here:
+
+* :class:`ChannelGeometry` -- the cross-sectional dimensions of one channel
+  "cell" of the cavity (Fig. 2 of the paper): channel pitch ``W``, channel
+  height ``H_C``, silicon slab height ``H_Si`` and channel length ``d``.
+* :class:`WidthProfile` -- the channel width as a function of the distance
+  ``z`` from the inlet, ``w_C(z)``.  This is the control variable of the
+  paper's optimal design problem.  Uniform, piecewise-constant and arbitrary
+  callable profiles are supported; the piecewise-constant form is what the
+  direct sequential optimizer manipulates.
+* :class:`TestStructure` / :class:`MultiChannelStructure` -- a complete
+  thermal problem: geometry + width profiles + per-layer heat inputs +
+  coolant and flow rate.  The single-channel :class:`TestStructure`
+  reproduces Fig. 2; the multi-channel structure adds adjacent lanes with
+  lateral heat spreading and optional channel clustering (end of Sec. III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from .._compat import trapezoid
+
+from .properties import Coolant, PaperParameters, SolidMaterial, TABLE_I
+
+__all__ = [
+    "ChannelGeometry",
+    "WidthProfile",
+    "HeatInputProfile",
+    "TestStructure",
+    "MultiChannelStructure",
+]
+
+
+@dataclass(frozen=True)
+class ChannelGeometry:
+    """Cross-sectional geometry of one microchannel cell.
+
+    Attributes
+    ----------
+    pitch:
+        ``W`` -- lateral pitch of the channel cell in meters.  One cell is
+        one channel plus its share of the silicon side walls.
+    channel_height:
+        ``H_C`` -- channel height in meters.
+    silicon_height:
+        ``H_Si`` -- height of the silicon slab above and below the channel.
+    length:
+        ``d`` -- channel length from inlet to outlet in meters.
+    min_width / max_width:
+        Fabrication bounds ``w_Cmin`` / ``w_Cmax`` on the channel width.
+    """
+
+    pitch: float = TABLE_I.channel_pitch
+    channel_height: float = TABLE_I.channel_height
+    silicon_height: float = TABLE_I.silicon_height
+    length: float = TABLE_I.channel_length
+    min_width: float = TABLE_I.min_channel_width
+    max_width: float = TABLE_I.max_channel_width
+
+    def __post_init__(self) -> None:
+        for attr in ("pitch", "channel_height", "silicon_height", "length"):
+            if getattr(self, attr) <= 0.0:
+                raise ValueError(f"{attr} must be positive")
+        if not (0.0 < self.min_width < self.max_width < self.pitch):
+            raise ValueError(
+                "channel width bounds must satisfy 0 < w_Cmin < w_Cmax < W"
+            )
+
+    @classmethod
+    def from_parameters(cls, params: PaperParameters) -> "ChannelGeometry":
+        """Build the geometry from a :class:`PaperParameters` record."""
+        return cls(
+            pitch=params.channel_pitch,
+            channel_height=params.channel_height,
+            silicon_height=params.silicon_height,
+            length=params.channel_length,
+            min_width=params.min_channel_width,
+            max_width=params.max_channel_width,
+        )
+
+    def wall_width(self, channel_width: float) -> float:
+        """Solid silicon width ``W - w_C`` remaining beside the channel."""
+        return self.pitch - channel_width
+
+    def clamp_width(self, channel_width: Union[float, np.ndarray]):
+        """Clamp a width (or array of widths) to the fabrication bounds."""
+        return np.clip(channel_width, self.min_width, self.max_width)
+
+
+class WidthProfile:
+    """Channel width as a function of the distance from the inlet, ``w_C(z)``.
+
+    The profile may be uniform, piecewise constant over equal-length
+    segments (the representation used by the direct sequential optimizer) or
+    an arbitrary callable.  Evaluation is vectorized over ``z``.
+    """
+
+    def __init__(
+        self,
+        length: float,
+        *,
+        uniform: Optional[float] = None,
+        segments: Optional[Sequence[float]] = None,
+        function: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ) -> None:
+        if length <= 0.0:
+            raise ValueError("channel length must be positive")
+        provided = sum(value is not None for value in (uniform, segments, function))
+        if provided != 1:
+            raise ValueError(
+                "exactly one of uniform=, segments= or function= must be given"
+            )
+        self.length = float(length)
+        self._uniform = None if uniform is None else float(uniform)
+        self._segments = None if segments is None else np.asarray(segments, dtype=float)
+        self._function = function
+        if self._uniform is not None and self._uniform <= 0.0:
+            raise ValueError("uniform channel width must be positive")
+        if self._segments is not None:
+            if self._segments.ndim != 1 or self._segments.size == 0:
+                raise ValueError("segments must be a non-empty 1-D sequence")
+            if np.any(self._segments <= 0.0):
+                raise ValueError("all segment widths must be positive")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def uniform(cls, width: float, length: float) -> "WidthProfile":
+        """A constant-width channel (the paper's baseline designs)."""
+        return cls(length, uniform=width)
+
+    @classmethod
+    def piecewise_constant(
+        cls, widths: Sequence[float], length: float
+    ) -> "WidthProfile":
+        """Equal-length piecewise-constant segments from inlet to outlet."""
+        return cls(length, segments=widths)
+
+    @classmethod
+    def from_function(
+        cls, function: Callable[[np.ndarray], np.ndarray], length: float
+    ) -> "WidthProfile":
+        """An arbitrary width function of ``z`` (vectorized callable)."""
+        return cls(length, function=function)
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def is_uniform(self) -> bool:
+        """True for constant-width profiles."""
+        return self._uniform is not None
+
+    @property
+    def n_segments(self) -> int:
+        """Number of piecewise-constant segments (1 for uniform profiles)."""
+        if self._segments is not None:
+            return int(self._segments.size)
+        return 1
+
+    @property
+    def segment_widths(self) -> np.ndarray:
+        """The piecewise-constant segment values (copies, never views)."""
+        if self._segments is not None:
+            return self._segments.copy()
+        if self._uniform is not None:
+            return np.array([self._uniform])
+        raise AttributeError("a callable width profile has no segment widths")
+
+    def __call__(self, z: Union[float, np.ndarray]) -> np.ndarray:
+        """Evaluate the width at distance(s) ``z`` from the inlet."""
+        z_arr = np.atleast_1d(np.asarray(z, dtype=float))
+        if np.any(z_arr < -1e-12) or np.any(z_arr > self.length * (1 + 1e-9)):
+            raise ValueError("z must lie inside [0, channel length]")
+        z_arr = np.clip(z_arr, 0.0, self.length)
+        if self._uniform is not None:
+            out = np.full_like(z_arr, self._uniform)
+        elif self._segments is not None:
+            index = np.minimum(
+                (z_arr / self.length * self._segments.size).astype(int),
+                self._segments.size - 1,
+            )
+            out = self._segments[index]
+        else:
+            out = np.asarray(self._function(z_arr), dtype=float)
+            if out.shape != z_arr.shape:
+                out = np.broadcast_to(out, z_arr.shape).copy()
+        if np.isscalar(z) or np.ndim(z) == 0:
+            return float(out[0])
+        return out
+
+    def resampled(self, n_segments: int) -> "WidthProfile":
+        """Return a piecewise-constant approximation with ``n_segments`` pieces."""
+        if n_segments <= 0:
+            raise ValueError("n_segments must be positive")
+        edges = np.linspace(0.0, self.length, n_segments + 1)
+        centers = 0.5 * (edges[:-1] + edges[1:])
+        widths = np.atleast_1d(self(centers))
+        return WidthProfile.piecewise_constant(widths, self.length)
+
+    def mean_width(self, n_samples: int = 512) -> float:
+        """Average width along the channel (trapezoidal sampling)."""
+        z = np.linspace(0.0, self.length, n_samples)
+        return float(trapezoid(np.atleast_1d(self(z)), z) / self.length)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        if self._uniform is not None:
+            return f"WidthProfile(uniform={self._uniform * 1e6:.1f}um, d={self.length})"
+        if self._segments is not None:
+            return (
+                f"WidthProfile(piecewise, n={self._segments.size}, "
+                f"d={self.length})"
+            )
+        return f"WidthProfile(callable, d={self.length})"
+
+
+class HeatInputProfile:
+    """Heat input per unit channel length for one active layer, ``q_hat(z)``.
+
+    The paper measures the inputs ``q_hat_i1(z)`` and ``q_hat_i2(z)`` in W/m
+    -- the power entering the channel cell per meter along the flow
+    direction.  Profiles can be built directly in W/m, from an areal heat
+    flux in W/cm^2 combined with the channel pitch, or from per-segment
+    areal fluxes (the Test B workload of Fig. 4).
+    """
+
+    def __init__(
+        self,
+        length: float,
+        *,
+        uniform: Optional[float] = None,
+        segments: Optional[Sequence[float]] = None,
+        function: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ) -> None:
+        if length <= 0.0:
+            raise ValueError("channel length must be positive")
+        provided = sum(value is not None for value in (uniform, segments, function))
+        if provided != 1:
+            raise ValueError(
+                "exactly one of uniform=, segments= or function= must be given"
+            )
+        self.length = float(length)
+        self._uniform = None if uniform is None else float(uniform)
+        self._segments = None if segments is None else np.asarray(segments, dtype=float)
+        self._function = function
+        if self._uniform is not None and self._uniform < 0.0:
+            raise ValueError("heat input must be non-negative")
+        if self._segments is not None and np.any(self._segments < 0.0):
+            raise ValueError("heat input must be non-negative")
+
+    @classmethod
+    def uniform(cls, linear_density: float, length: float) -> "HeatInputProfile":
+        """Constant heat input of ``linear_density`` W/m along the channel."""
+        return cls(length, uniform=linear_density)
+
+    @classmethod
+    def from_areal_flux(
+        cls, flux_w_per_cm2: float, pitch: float, length: float
+    ) -> "HeatInputProfile":
+        """Uniform areal heat flux (W/cm^2) over a strip of width ``pitch``."""
+        return cls(length, uniform=flux_w_per_cm2 * 1e4 * pitch)
+
+    @classmethod
+    def from_segment_fluxes(
+        cls, fluxes_w_per_cm2: Sequence[float], pitch: float, length: float
+    ) -> "HeatInputProfile":
+        """Piecewise-constant areal fluxes (W/cm^2), e.g. the Test B strips."""
+        linear = [flux * 1e4 * pitch for flux in fluxes_w_per_cm2]
+        return cls(length, segments=linear)
+
+    @classmethod
+    def piecewise_constant(
+        cls, linear_densities: Sequence[float], length: float
+    ) -> "HeatInputProfile":
+        """Equal-length piecewise-constant heat inputs in W/m."""
+        return cls(length, segments=linear_densities)
+
+    @classmethod
+    def from_function(
+        cls, function: Callable[[np.ndarray], np.ndarray], length: float
+    ) -> "HeatInputProfile":
+        """Arbitrary heat-input function of ``z`` (vectorized, W/m)."""
+        return cls(length, function=function)
+
+    def __call__(self, z: Union[float, np.ndarray]) -> np.ndarray:
+        """Evaluate the linear heat density (W/m) at distance(s) ``z``."""
+        z_arr = np.atleast_1d(np.asarray(z, dtype=float))
+        z_arr = np.clip(z_arr, 0.0, self.length)
+        if self._uniform is not None:
+            out = np.full_like(z_arr, self._uniform)
+        elif self._segments is not None:
+            index = np.minimum(
+                (z_arr / self.length * self._segments.size).astype(int),
+                self._segments.size - 1,
+            )
+            out = self._segments[index]
+        else:
+            out = np.asarray(self._function(z_arr), dtype=float)
+            if out.shape != z_arr.shape:
+                out = np.broadcast_to(out, z_arr.shape).copy()
+        if np.isscalar(z) or np.ndim(z) == 0:
+            return float(out[0])
+        return out
+
+    def total_power(self, n_samples: int = 2048) -> float:
+        """Total power (W) injected into this layer over the channel length."""
+        z = np.linspace(0.0, self.length, n_samples)
+        return float(trapezoid(np.atleast_1d(self(z)), z))
+
+    def mean_areal_flux(self, pitch: float) -> float:
+        """Average areal heat flux in W/cm^2 for a strip of width ``pitch``."""
+        return self.total_power() / (self.length * pitch) / 1e4
+
+
+@dataclass(frozen=True)
+class TestStructure:
+    """The single-channel, two-active-layer test structure of Fig. 2.
+
+    Attributes
+    ----------
+    geometry:
+        Cross-sectional geometry of the channel cell.
+    width_profile:
+        The channel width ``w_C(z)``.
+    heat_top / heat_bottom:
+        Heat inputs ``q_hat_i1(z)`` and ``q_hat_i2(z)`` of the two active
+        layers (top and bottom) in W/m.
+    silicon:
+        Solid material of the dies and channel walls.
+    coolant:
+        The coolant flowing through the channel.
+    flow_rate:
+        Volumetric flow rate through this channel in m^3/s.
+    inlet_temperature:
+        Coolant inlet temperature in Kelvin.
+    developing_flow:
+        If True, use the thermally-developing Nusselt correlation; the
+        paper's default is fully developed flow.
+    """
+
+    geometry: ChannelGeometry
+    width_profile: WidthProfile
+    heat_top: HeatInputProfile
+    heat_bottom: HeatInputProfile
+    silicon: SolidMaterial = TABLE_I.silicon
+    coolant: Coolant = TABLE_I.coolant
+    flow_rate: float = TABLE_I.flow_rate_per_channel
+    inlet_temperature: float = TABLE_I.inlet_temperature
+    developing_flow: bool = False
+    flow_reversed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.flow_rate <= 0.0:
+            raise ValueError("flow rate must be positive")
+        if self.inlet_temperature <= 0.0:
+            raise ValueError("inlet temperature must be positive (Kelvin)")
+        for profile in (self.width_profile, self.heat_top, self.heat_bottom):
+            if abs(profile.length - self.geometry.length) > 1e-12:
+                raise ValueError(
+                    "width and heat profiles must cover the full channel length"
+                )
+
+    @property
+    def length(self) -> float:
+        """Channel length ``d`` in meters."""
+        return self.geometry.length
+
+    @property
+    def total_power(self) -> float:
+        """Total power injected by both active layers (W)."""
+        return self.heat_top.total_power() + self.heat_bottom.total_power()
+
+    def with_width_profile(self, width_profile: WidthProfile) -> "TestStructure":
+        """Return a copy of the structure with a different width profile."""
+        return replace(self, width_profile=width_profile)
+
+    def with_flow_rate(self, flow_rate: float) -> "TestStructure":
+        """Return a copy of the structure with a different flow rate."""
+        return replace(self, flow_rate=flow_rate)
+
+    def with_flow_reversed(self, reversed_: bool = True) -> "TestStructure":
+        """Return a copy with the coolant flowing from z = d toward z = 0.
+
+        Used by the counterflow extension: alternating the flow direction of
+        neighbouring channels places every hot outlet next to a cold inlet,
+        which is another way of attacking the inlet-to-outlet gradient.
+        """
+        return replace(self, flow_reversed=reversed_)
+
+
+@dataclass(frozen=True)
+class MultiChannelStructure:
+    """A cavity with ``N`` adjacent channel lanes between two active layers.
+
+    Each lane has its own width profile and its own pair of heat inputs; the
+    lanes are thermally coupled by lateral conduction in the active silicon
+    layers (the multi-channel extension described at the end of Sec. III of
+    the paper).  ``cluster_size`` physical channels may be merged under one
+    node pair; the per-unit-length parameters are scaled accordingly.
+
+    Attributes
+    ----------
+    geometry:
+        Geometry of one physical channel cell.
+    lanes:
+        One :class:`TestStructure`-like lane description per modeled lane.
+        For convenience each lane is itself a :class:`TestStructure` whose
+        geometry/coolant/flow settings must agree with the cavity-level
+        settings.
+    cluster_size:
+        Number of physical channels represented by each modeled lane.
+    lateral_coupling:
+        If False, lateral conduction between lanes is disabled (each lane is
+        then an independent single-channel problem).
+    """
+
+    geometry: ChannelGeometry
+    lanes: Sequence[TestStructure] = field(default_factory=list)
+    cluster_size: int = 1
+    lateral_coupling: bool = True
+    lane_cluster_sizes: Optional[Sequence[int]] = None
+
+    def __post_init__(self) -> None:
+        if not self.lanes:
+            raise ValueError("a multi-channel structure needs at least one lane")
+        if self.cluster_size < 1:
+            raise ValueError("cluster_size must be at least 1")
+        if self.lane_cluster_sizes is not None:
+            sizes = tuple(int(size) for size in self.lane_cluster_sizes)
+            if len(sizes) != len(self.lanes):
+                raise ValueError(
+                    "lane_cluster_sizes must provide one entry per lane"
+                )
+            if any(size < 1 for size in sizes):
+                raise ValueError("every lane cluster size must be at least 1")
+            object.__setattr__(self, "lane_cluster_sizes", sizes)
+        first = self.lanes[0]
+        for lane in self.lanes:
+            if abs(lane.geometry.length - self.geometry.length) > 1e-12:
+                raise ValueError("all lanes must have the cavity channel length")
+            if lane.coolant is not first.coolant:
+                raise ValueError("all lanes must share the same coolant")
+            if abs(lane.inlet_temperature - first.inlet_temperature) > 1e-9:
+                raise ValueError("all lanes must share the same inlet temperature")
+
+    @property
+    def n_lanes(self) -> int:
+        """Number of modeled lanes."""
+        return len(self.lanes)
+
+    @property
+    def n_physical_channels(self) -> int:
+        """Number of physical channels represented by the structure."""
+        if self.lane_cluster_sizes is not None:
+            return int(sum(self.lane_cluster_sizes))
+        return self.n_lanes * self.cluster_size
+
+    def cluster_size_of_lane(self, lane: int) -> int:
+        """Physical channels represented by one modeled lane."""
+        if not (0 <= lane < self.n_lanes):
+            raise IndexError(f"lane index {lane} out of range")
+        if self.lane_cluster_sizes is not None:
+            return int(self.lane_cluster_sizes[lane])
+        return self.cluster_size
+
+    @property
+    def coolant(self) -> Coolant:
+        """The (shared) coolant."""
+        return self.lanes[0].coolant
+
+    @property
+    def silicon(self) -> SolidMaterial:
+        """The (shared) solid material."""
+        return self.lanes[0].silicon
+
+    @property
+    def inlet_temperature(self) -> float:
+        """The (shared) coolant inlet temperature in Kelvin."""
+        return self.lanes[0].inlet_temperature
+
+    @property
+    def length(self) -> float:
+        """Channel length ``d`` in meters."""
+        return self.geometry.length
+
+    @property
+    def total_power(self) -> float:
+        """Total power injected into the cavity (W).
+
+        Lane heat profiles carry the *total* power of all physical channels
+        merged into the lane (see :func:`repro.thermal.multichannel.build_cavity`),
+        so the cavity power is simply the sum over lanes.
+        """
+        return sum(lane.total_power for lane in self.lanes)
+
+    def width_profiles(self) -> List[WidthProfile]:
+        """The per-lane width profiles in lane order."""
+        return [lane.width_profile for lane in self.lanes]
+
+    def with_width_profiles(
+        self, profiles: Sequence[WidthProfile]
+    ) -> "MultiChannelStructure":
+        """Return a copy with the lane width profiles replaced."""
+        if len(profiles) != self.n_lanes:
+            raise ValueError(
+                f"expected {self.n_lanes} width profiles, got {len(profiles)}"
+            )
+        new_lanes = [
+            lane.with_width_profile(profile)
+            for lane, profile in zip(self.lanes, profiles)
+        ]
+        return replace(self, lanes=tuple(new_lanes))
+
+    def with_uniform_width(self, width: float) -> "MultiChannelStructure":
+        """Return a copy where every lane uses a constant width."""
+        profile = WidthProfile.uniform(width, self.geometry.length)
+        return self.with_width_profiles([profile] * self.n_lanes)
+
+    @classmethod
+    def single(cls, structure: TestStructure) -> "MultiChannelStructure":
+        """Wrap a single-channel test structure as a one-lane cavity."""
+        return cls(geometry=structure.geometry, lanes=(structure,))

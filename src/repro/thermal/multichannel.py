@@ -1,0 +1,251 @@
+"""Builders for multi-channel cavity models.
+
+The analytical model of the paper describes one channel; Sec. III explains
+how it extends to many adjacent channels (two extra nodes per channel,
+lateral heat spreading in the y direction) and how several physical channels
+can be *combined* under one pair of nodes by scaling the per-unit-length
+parameters.  This module builds :class:`MultiChannelStructure` instances
+from per-lane heat descriptions, handling the clustering bookkeeping so the
+floorplan layer and the optimizer never have to repeat it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .geometry import (
+    ChannelGeometry,
+    HeatInputProfile,
+    MultiChannelStructure,
+    TestStructure,
+    WidthProfile,
+)
+from .properties import Coolant, PaperParameters, SolidMaterial, TABLE_I
+
+__all__ = [
+    "build_cavity",
+    "cavity_from_flux_maps",
+    "cluster_line_densities",
+]
+
+
+def build_cavity(
+    geometry: ChannelGeometry,
+    heat_top: Sequence[HeatInputProfile],
+    heat_bottom: Sequence[HeatInputProfile],
+    width_profiles: Optional[Sequence[WidthProfile]] = None,
+    *,
+    silicon: SolidMaterial = TABLE_I.silicon,
+    coolant: Coolant = TABLE_I.coolant,
+    flow_rate: float = TABLE_I.flow_rate_per_channel,
+    inlet_temperature: float = TABLE_I.inlet_temperature,
+    cluster_size: int = 1,
+    lateral_coupling: bool = True,
+    developing_flow: bool = False,
+) -> MultiChannelStructure:
+    """Assemble a cavity from per-lane heat inputs and width profiles.
+
+    Parameters
+    ----------
+    geometry:
+        Geometry of one *physical* channel cell.
+    heat_top, heat_bottom:
+        One heat-input profile per modeled lane for the top and bottom
+        active layers.  When ``cluster_size > 1`` the profiles must already
+        contain the total power of all physical channels merged into the
+        lane (use :func:`cluster_line_densities` to aggregate them).
+    width_profiles:
+        One width profile per lane; defaults to the maximum channel width
+        everywhere (the common design used by prior work, per Sec. V).
+    flow_rate:
+        Volumetric flow rate per *physical* channel (paper assumption 3).
+    cluster_size:
+        Number of physical channels per modeled lane.
+    """
+    if len(heat_top) != len(heat_bottom):
+        raise ValueError("heat_top and heat_bottom must have the same lane count")
+    n_lanes = len(heat_top)
+    if n_lanes == 0:
+        raise ValueError("at least one lane is required")
+    if width_profiles is None:
+        width_profiles = [
+            WidthProfile.uniform(geometry.max_width, geometry.length)
+            for _ in range(n_lanes)
+        ]
+    if len(width_profiles) != n_lanes:
+        raise ValueError("one width profile per lane is required")
+
+    lanes = []
+    for top, bottom, width in zip(heat_top, heat_bottom, width_profiles):
+        lanes.append(
+            TestStructure(
+                geometry=geometry,
+                width_profile=width,
+                heat_top=top,
+                heat_bottom=bottom,
+                silicon=silicon,
+                coolant=coolant,
+                flow_rate=flow_rate,
+                inlet_temperature=inlet_temperature,
+                developing_flow=developing_flow,
+            )
+        )
+    return MultiChannelStructure(
+        geometry=geometry,
+        lanes=tuple(lanes),
+        cluster_size=cluster_size,
+        lateral_coupling=lateral_coupling,
+    )
+
+
+def cluster_line_densities(
+    per_channel_densities: np.ndarray, cluster_size: int
+) -> np.ndarray:
+    """Aggregate per-physical-channel line heat densities into lane totals.
+
+    ``per_channel_densities`` has shape ``(n_channels, n_samples)`` in W/m;
+    consecutive groups of ``cluster_size`` channels are summed.  A trailing
+    partial group is scaled up to a full cluster so that the total power of
+    the cavity is preserved (this mirrors how a designer would pad the last
+    cluster with the same average load).
+    """
+    densities = np.asarray(per_channel_densities, dtype=float)
+    if densities.ndim != 2:
+        raise ValueError("per_channel_densities must be 2-D")
+    if cluster_size < 1:
+        raise ValueError("cluster_size must be at least 1")
+    n_channels = densities.shape[0]
+    n_lanes = int(np.ceil(n_channels / cluster_size))
+    lanes = np.zeros((n_lanes, densities.shape[1]))
+    for lane in range(n_lanes):
+        start = lane * cluster_size
+        stop = min(start + cluster_size, n_channels)
+        group = densities[start:stop]
+        total = group.sum(axis=0)
+        if stop - start < cluster_size:
+            total = total * (cluster_size / (stop - start))
+        lanes[lane] = total
+    return lanes
+
+
+def cavity_from_flux_maps(
+    flux_top_w_per_cm2: np.ndarray,
+    flux_bottom_w_per_cm2: np.ndarray,
+    *,
+    params: PaperParameters = TABLE_I,
+    die_length: Optional[float] = None,
+    die_width: Optional[float] = None,
+    cluster_size: int = 1,
+    width_profiles: Optional[Sequence[WidthProfile]] = None,
+    lateral_coupling: bool = True,
+    developing_flow: bool = False,
+) -> MultiChannelStructure:
+    """Build a cavity model from two areal heat-flux maps (W/cm^2).
+
+    The maps are 2-D arrays with the flow direction along axis 1 (columns,
+    inlet at column 0) and the lateral direction along axis 0 (rows); each
+    row band of the map is projected onto the physical channels underneath
+    it.  This is the bridge between the floorplan/power subsystem (which
+    rasterizes block powers onto a grid) and the analytical cavity model.
+
+    Parameters
+    ----------
+    flux_top_w_per_cm2, flux_bottom_w_per_cm2:
+        Heat flux maps of the two active layers, same shape.
+    die_length:
+        Die extent along the flow direction (meters); defaults to the
+        channel length in ``params``.
+    die_width:
+        Die extent across the flow direction (meters); defaults to
+        ``n_channels * W`` for the number of physical channels that fit.
+    cluster_size:
+        Physical channels merged per modeled lane.
+    """
+    top = np.asarray(flux_top_w_per_cm2, dtype=float)
+    bottom = np.asarray(flux_bottom_w_per_cm2, dtype=float)
+    if top.shape != bottom.shape:
+        raise ValueError("top and bottom flux maps must have the same shape")
+    if top.ndim != 2:
+        raise ValueError("flux maps must be 2-D arrays")
+
+    length = params.channel_length if die_length is None else float(die_length)
+    geometry = ChannelGeometry.from_parameters(params).__class__(
+        pitch=params.channel_pitch,
+        channel_height=params.channel_height,
+        silicon_height=params.silicon_height,
+        length=length,
+        min_width=params.min_channel_width,
+        max_width=params.max_channel_width,
+    )
+
+    n_rows, n_cols = top.shape
+    if die_width is None:
+        die_width = n_rows * params.channel_pitch
+    n_channels = max(int(round(die_width / params.channel_pitch)), 1)
+
+    # Project the flux maps onto per-physical-channel line densities (W/m):
+    # each channel integrates the flux over its own pitch-wide band.
+    row_edges = np.linspace(0.0, die_width, n_rows + 1)
+    channel_edges = np.linspace(0.0, die_width, n_channels + 1)
+    densities_top = np.zeros((n_channels, n_cols))
+    densities_bottom = np.zeros((n_channels, n_cols))
+    for channel in range(n_channels):
+        lo, hi = channel_edges[channel], channel_edges[channel + 1]
+        overlap = np.clip(
+            np.minimum(hi, row_edges[1:]) - np.maximum(lo, row_edges[:-1]),
+            0.0,
+            None,
+        )
+        # overlap[r] is the width (m) of map row r covered by this channel.
+        densities_top[channel] = (top * 1e4 * overlap[:, None]).sum(axis=0)
+        densities_bottom[channel] = (bottom * 1e4 * overlap[:, None]).sum(axis=0)
+
+    lane_top = cluster_line_densities(densities_top, cluster_size)
+    lane_bottom = cluster_line_densities(densities_bottom, cluster_size)
+
+    column_centers = (np.arange(n_cols) + 0.5) * length / n_cols
+    heat_top_profiles = []
+    heat_bottom_profiles = []
+    for lane in range(lane_top.shape[0]):
+        top_values = lane_top[lane]
+        bottom_values = lane_bottom[lane]
+        heat_top_profiles.append(
+            HeatInputProfile.from_function(
+                _step_interpolator(column_centers, top_values, length), length
+            )
+        )
+        heat_bottom_profiles.append(
+            HeatInputProfile.from_function(
+                _step_interpolator(column_centers, bottom_values, length), length
+            )
+        )
+
+    return build_cavity(
+        geometry,
+        heat_top_profiles,
+        heat_bottom_profiles,
+        width_profiles,
+        silicon=params.silicon,
+        coolant=params.coolant,
+        flow_rate=params.flow_rate_per_channel,
+        inlet_temperature=params.inlet_temperature,
+        cluster_size=cluster_size,
+        lateral_coupling=lateral_coupling,
+        developing_flow=developing_flow,
+    )
+
+
+def _step_interpolator(centers: np.ndarray, values: np.ndarray, length: float):
+    """Nearest-column (piecewise-constant) interpolation of map columns."""
+    centers = np.asarray(centers, dtype=float)
+    values = np.asarray(values, dtype=float)
+    n = centers.size
+
+    def interpolate(z: np.ndarray) -> np.ndarray:
+        z = np.asarray(z, dtype=float)
+        index = np.clip((z / length * n).astype(int), 0, n - 1)
+        return values[index]
+
+    return interpolate

@@ -1,0 +1,264 @@
+"""Material and coolant property library.
+
+The paper (assumption 2 in Section IV) treats all fluid and solid properties
+as temperature independent, which makes every property in this module a plain
+number attached to a named material.  The values used throughout the paper's
+experiments are collected in :class:`PaperParameters` (Table I of the paper),
+which every other subsystem imports as its default configuration.
+
+Units are SI throughout: W/(m.K) for thermal conductivity, J/(m^3.K) for
+volumetric heat capacity, Pa.s for dynamic viscosity, kg/m^3 for density,
+meters for lengths, m^3/s for volumetric flow rates, Kelvin for temperatures
+and Pascal for pressures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class SolidMaterial:
+    """A solid material described by bulk thermal properties.
+
+    Attributes
+    ----------
+    name:
+        Human readable material name.
+    thermal_conductivity:
+        Bulk thermal conductivity ``k`` in W/(m.K).
+    volumetric_heat_capacity:
+        Volumetric heat capacity ``rho * c_p`` in J/(m^3.K).  Only used by
+        the transient finite-volume solver; the analytical model of the
+        paper is a steady-state model.
+    """
+
+    name: str
+    thermal_conductivity: float
+    volumetric_heat_capacity: float
+
+    def __post_init__(self) -> None:
+        if self.thermal_conductivity <= 0.0:
+            raise ValueError(
+                f"thermal conductivity of {self.name!r} must be positive, "
+                f"got {self.thermal_conductivity}"
+            )
+        if self.volumetric_heat_capacity <= 0.0:
+            raise ValueError(
+                f"volumetric heat capacity of {self.name!r} must be positive, "
+                f"got {self.volumetric_heat_capacity}"
+            )
+
+
+@dataclass(frozen=True)
+class Coolant:
+    """A single-phase liquid coolant with temperature-independent properties.
+
+    Attributes
+    ----------
+    name:
+        Human readable coolant name.
+    thermal_conductivity:
+        Thermal conductivity ``k_f`` in W/(m.K).
+    volumetric_heat_capacity:
+        Volumetric heat capacity ``c_v = rho * c_p`` in J/(m^3.K).  Table I
+        lists ``4.17e6`` for water.
+    dynamic_viscosity:
+        Dynamic viscosity ``mu`` in Pa.s.
+    density:
+        Mass density ``rho`` in kg/m^3.
+    prandtl:
+        Prandtl number ``Pr = mu * c_p / k_f`` (dimensionless).  Stored
+        explicitly so that callers do not need the specific heat separately.
+    """
+
+    name: str
+    thermal_conductivity: float
+    volumetric_heat_capacity: float
+    dynamic_viscosity: float
+    density: float
+    prandtl: float
+
+    def __post_init__(self) -> None:
+        for attr in (
+            "thermal_conductivity",
+            "volumetric_heat_capacity",
+            "dynamic_viscosity",
+            "density",
+            "prandtl",
+        ):
+            value = getattr(self, attr)
+            if value <= 0.0:
+                raise ValueError(
+                    f"{attr} of coolant {self.name!r} must be positive, got {value}"
+                )
+
+    @property
+    def specific_heat(self) -> float:
+        """Specific heat capacity ``c_p`` in J/(kg.K)."""
+        return self.volumetric_heat_capacity / self.density
+
+    @property
+    def kinematic_viscosity(self) -> float:
+        """Kinematic viscosity ``nu = mu / rho`` in m^2/s."""
+        return self.dynamic_viscosity / self.density
+
+
+# --- Canonical materials -------------------------------------------------
+
+SILICON = SolidMaterial(
+    name="silicon",
+    thermal_conductivity=130.0,  # W/(m.K), Table I
+    volumetric_heat_capacity=1.628e6,  # J/(m^3.K)
+)
+
+SILICON_DIOXIDE = SolidMaterial(
+    name="silicon dioxide",
+    thermal_conductivity=1.4,
+    volumetric_heat_capacity=1.65e6,
+)
+
+COPPER = SolidMaterial(
+    name="copper",
+    thermal_conductivity=400.0,
+    volumetric_heat_capacity=3.45e6,
+)
+
+BEOL = SolidMaterial(
+    name="back-end-of-line (Cu/low-k stack)",
+    thermal_conductivity=2.25,
+    volumetric_heat_capacity=2.175e6,
+)
+
+WATER = Coolant(
+    name="water",
+    thermal_conductivity=0.6,
+    volumetric_heat_capacity=4.17e6,  # Table I
+    dynamic_viscosity=8.9e-4,
+    density=998.0,
+    prandtl=6.2,
+)
+
+MATERIAL_LIBRARY: Dict[str, SolidMaterial] = {
+    material.name: material
+    for material in (SILICON, SILICON_DIOXIDE, COPPER, BEOL)
+}
+
+COOLANT_LIBRARY: Dict[str, Coolant] = {WATER.name: WATER}
+
+
+def ml_per_min_to_m3_per_s(ml_per_min: float) -> float:
+    """Convert a flow rate from ml/min (as quoted in Table I) to m^3/s."""
+    return ml_per_min * 1e-6 / 60.0
+
+
+def m3_per_s_to_ml_per_min(m3_per_s: float) -> float:
+    """Convert a flow rate from m^3/s back to ml/min for reporting."""
+    return m3_per_s * 60.0 / 1e-6
+
+
+@dataclass(frozen=True)
+class PaperParameters:
+    """The system parameters of Table I of the paper.
+
+    The defaults reproduce Table I exactly.  Instances are immutable; use
+    :meth:`with_overrides` to derive a modified configuration (for example
+    for the ablation benchmarks that sweep the flow rate or the pressure
+    limit).
+
+    Attributes
+    ----------
+    silicon:
+        Solid material of the dies and channel walls (k_Si = 130 W/m.K).
+    coolant:
+        The coolant (water, c_v = 4.17e6 J/m^3.K).
+    channel_pitch:
+        ``W`` -- the lateral pitch of one channel cell in meters (100 um).
+    silicon_height:
+        ``H_Si`` -- silicon slab height above and below the cavity (50 um).
+    channel_height:
+        ``H_C`` -- microchannel height (100 um).
+    flow_rate_per_channel:
+        ``V_dot`` -- volumetric flow rate per channel in m^3/s
+        (4.8 ml/min/channel in Table I).
+    inlet_temperature:
+        ``T_C,in`` -- coolant inlet temperature in Kelvin (300 K).
+    max_pressure_drop:
+        ``dP_max`` -- maximum allowed pressure drop in Pa (10e5 Pa).
+    min_channel_width:
+        ``w_Cmin`` in meters (10 um).
+    max_channel_width:
+        ``w_Cmax`` in meters (50 um).
+    channel_length:
+        ``d`` -- channel length from inlet to outlet in meters.  The single
+        channel test structures of the paper use d = 1 cm.
+    """
+
+    silicon: SolidMaterial = SILICON
+    coolant: Coolant = WATER
+    channel_pitch: float = 100e-6
+    silicon_height: float = 50e-6
+    channel_height: float = 100e-6
+    flow_rate_per_channel: float = field(
+        default_factory=lambda: ml_per_min_to_m3_per_s(4.8)
+    )
+    inlet_temperature: float = 300.0
+    max_pressure_drop: float = 10e5
+    min_channel_width: float = 10e-6
+    max_channel_width: float = 50e-6
+    channel_length: float = 1e-2
+
+    def __post_init__(self) -> None:
+        positive = (
+            "channel_pitch",
+            "silicon_height",
+            "channel_height",
+            "flow_rate_per_channel",
+            "inlet_temperature",
+            "max_pressure_drop",
+            "min_channel_width",
+            "max_channel_width",
+            "channel_length",
+        )
+        for attr in positive:
+            value = getattr(self, attr)
+            if value <= 0.0:
+                raise ValueError(f"{attr} must be positive, got {value}")
+        if self.min_channel_width >= self.max_channel_width:
+            raise ValueError(
+                "min_channel_width must be strictly smaller than max_channel_width"
+            )
+        if self.max_channel_width >= self.channel_pitch:
+            raise ValueError(
+                "max_channel_width must leave a solid wall: it must be smaller "
+                "than the channel pitch W"
+            )
+
+    def with_overrides(self, **kwargs) -> "PaperParameters":
+        """Return a copy with the given attributes replaced."""
+        return replace(self, **kwargs)
+
+    @property
+    def flow_rate_ml_per_min(self) -> float:
+        """Per-channel flow rate expressed in ml/min (for reporting)."""
+        return m3_per_s_to_ml_per_min(self.flow_rate_per_channel)
+
+    def as_table(self) -> Dict[str, float]:
+        """Return the Table I rows as a plain dictionary (for reporting)."""
+        return {
+            "k_Si [W/m.K]": self.silicon.thermal_conductivity,
+            "W [um]": self.channel_pitch * 1e6,
+            "H_Si [um]": self.silicon_height * 1e6,
+            "H_C [um]": self.channel_height * 1e6,
+            "c_v [J/m^3.K]": self.coolant.volumetric_heat_capacity,
+            "V_dot [ml/min/channel]": self.flow_rate_ml_per_min,
+            "T_C,in [K]": self.inlet_temperature,
+            "dP_max [Pa]": self.max_pressure_drop,
+            "w_Cmin [um]": self.min_channel_width * 1e6,
+            "w_Cmax [um]": self.max_channel_width * 1e6,
+        }
+
+
+#: Module-level immutable default configuration (Table I).
+TABLE_I = PaperParameters()

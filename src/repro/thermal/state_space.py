@@ -1,0 +1,235 @@
+"""State-space form of the analytical heat-transfer model (Eq. 3 of the paper).
+
+The paper writes the steady-state heat transfer of the single-channel test
+structure (Fig. 2) as an ordinary differential equation in the distance
+``z`` from the inlet,
+
+    dX/dz = F(z, w_C(z), X(z)) + G(q_hat_i(z), T_Cin),
+
+with state ``X = [T1, T2, q1, q2]`` (silicon temperatures and longitudinal
+heat flows of the two active layers).  The coolant temperature ``T_C(z)`` is
+eliminated from the state using the integral energy balance over ``[0, z]``
+together with the adiabatic boundary conditions ``q_i(0) = 0``:
+
+    T_C(z) = T_Cin + [ Int_0^z (q_hat_i1 + q_hat_i2) dz' - q1(z) - q2(z) ] / (c_v V_dot)
+
+This module provides both the paper's *reduced* 4-state right-hand side and
+an *augmented* 5-state form in which ``T_C`` is kept as an explicit state
+with the initial condition ``T_C(0) = T_Cin``.  The two forms are
+mathematically equivalent (the tests cross-validate them); the augmented
+form is more convenient for generic boundary-value solvers, the reduced form
+is the one quoted in the paper.
+
+Because all circuit parameters are independent of temperature (paper
+assumption 2), both right-hand sides are *linear* in the state; the solvers
+in :mod:`repro.thermal.bvp` and :mod:`repro.thermal.fdm` exploit this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+from . import conductances
+from .geometry import TestStructure
+
+__all__ = [
+    "SingleChannelStateSpace",
+    "REDUCED_STATE_NAMES",
+    "AUGMENTED_STATE_NAMES",
+]
+
+REDUCED_STATE_NAMES: Tuple[str, ...] = ("T1", "T2", "q1", "q2")
+AUGMENTED_STATE_NAMES: Tuple[str, ...] = ("T1", "T2", "q1", "q2", "TC")
+
+
+@dataclass
+class SingleChannelStateSpace:
+    """Right-hand-side evaluator for the single-channel analytical model.
+
+    Parameters
+    ----------
+    structure:
+        The test structure (geometry, width profile, heat inputs, coolant
+        and flow settings) whose thermal response is being modeled.
+    """
+
+    structure: TestStructure
+
+    def __post_init__(self) -> None:
+        geometry = self.structure.geometry
+        silicon = self.structure.silicon
+        self._g_l = conductances.longitudinal_conductance(geometry, silicon)
+        self._g_slab = conductances.slab_conductance(geometry, silicon)
+        self._capacity_rate = conductances.capacity_rate(
+            self.structure.coolant, self.structure.flow_rate
+        )
+
+    # -- per-position circuit parameters --------------------------------------
+
+    @property
+    def longitudinal_conductance(self) -> float:
+        """``g_l`` in W.m (constant along the channel)."""
+        return self._g_l
+
+    @property
+    def capacity_rate(self) -> float:
+        """Coolant capacity rate ``c_v V_dot`` in W/K."""
+        return self._capacity_rate
+
+    def local_conductances(self, z) -> Tuple[np.ndarray, np.ndarray]:
+        """``(g_v(z), g_w(z))`` evaluated at position(s) ``z`` (W/(m.K))."""
+        structure = self.structure
+        width = np.atleast_1d(structure.width_profile(z))
+        g_v = conductances.layer_to_coolant_conductance(
+            structure.geometry,
+            structure.silicon,
+            structure.coolant,
+            width,
+            structure.flow_rate,
+            np.atleast_1d(np.asarray(z, dtype=float)),
+            structure.developing_flow,
+        )
+        g_w = conductances.sidewall_conductance(
+            structure.geometry, structure.silicon, width
+        )
+        return np.atleast_1d(g_v), np.atleast_1d(g_w)
+
+    def heat_inputs(self, z) -> Tuple[np.ndarray, np.ndarray]:
+        """``(q_hat_i1(z), q_hat_i2(z))`` in W/m."""
+        top = np.atleast_1d(self.structure.heat_top(z))
+        bottom = np.atleast_1d(self.structure.heat_bottom(z))
+        return top, bottom
+
+    def cumulative_heat_input(self, z) -> np.ndarray:
+        """``Int_0^z (q_hat_i1 + q_hat_i2) dz'`` in W, vectorized over ``z``.
+
+        Needed by the reduced 4-state form to reconstruct the coolant
+        temperature from the energy balance.  Computed by trapezoidal
+        integration on a fine internal grid.
+        """
+        z_arr = np.atleast_1d(np.asarray(z, dtype=float))
+        grid = np.linspace(0.0, self.structure.length, 2049)
+        total = np.atleast_1d(self.structure.heat_top(grid)) + np.atleast_1d(
+            self.structure.heat_bottom(grid)
+        )
+        cumulative = np.concatenate(
+            ([0.0], np.cumsum(0.5 * (total[1:] + total[:-1]) * np.diff(grid)))
+        )
+        return np.interp(z_arr, grid, cumulative)
+
+    # -- coolant temperature reconstruction ------------------------------------
+
+    def coolant_temperature_from_state(self, z, q1, q2) -> np.ndarray:
+        """Coolant temperature implied by the reduced state (energy balance)."""
+        injected = self.cumulative_heat_input(z)
+        q1 = np.atleast_1d(np.asarray(q1, dtype=float))
+        q2 = np.atleast_1d(np.asarray(q2, dtype=float))
+        return self.structure.inlet_temperature + (injected - q1 - q2) / (
+            self._capacity_rate
+        )
+
+    # -- right-hand sides ---------------------------------------------------------
+
+    def reduced_rhs(self, z, state) -> np.ndarray:
+        """The paper's 4-state right-hand side ``dX/dz``.
+
+        ``state`` has shape ``(4,)`` or ``(4, n)`` for vectorized evaluation
+        (as used by :func:`scipy.integrate.solve_bvp`).
+        """
+        state = np.atleast_2d(np.asarray(state, dtype=float))
+        if state.shape[0] != 4:
+            state = state.T
+        t1, t2, q1, q2 = state
+        z_arr = np.atleast_1d(np.asarray(z, dtype=float))
+        g_v, g_w = self.local_conductances(z_arr)
+        q_top, q_bottom = self.heat_inputs(z_arr)
+        t_coolant = self.coolant_temperature_from_state(z_arr, q1, q2)
+
+        dt1 = -q1 / self._g_l
+        dt2 = -q2 / self._g_l
+        dq1 = q_top - g_v * (t1 - t_coolant) - g_w * (t1 - t2)
+        dq2 = q_bottom - g_v * (t2 - t_coolant) - g_w * (t2 - t1)
+        out = np.vstack([dt1, dt2, dq1, dq2])
+        if out.shape[1] == 1 and np.ndim(z) == 0:
+            return out[:, 0]
+        return out
+
+    def augmented_rhs(self, z, state) -> np.ndarray:
+        """The 5-state right-hand side with the coolant temperature as a state."""
+        state = np.atleast_2d(np.asarray(state, dtype=float))
+        if state.shape[0] != 5:
+            state = state.T
+        t1, t2, q1, q2, t_coolant = state
+        z_arr = np.atleast_1d(np.asarray(z, dtype=float))
+        g_v, g_w = self.local_conductances(z_arr)
+        q_top, q_bottom = self.heat_inputs(z_arr)
+
+        dt1 = -q1 / self._g_l
+        dt2 = -q2 / self._g_l
+        dq1 = q_top - g_v * (t1 - t_coolant) - g_w * (t1 - t2)
+        dq2 = q_bottom - g_v * (t2 - t_coolant) - g_w * (t2 - t1)
+        dtc = (g_v * (t1 - t_coolant) + g_v * (t2 - t_coolant)) / self._capacity_rate
+        out = np.vstack([dt1, dt2, dq1, dq2, dtc])
+        if out.shape[1] == 1 and np.ndim(z) == 0:
+            return out[:, 0]
+        return out
+
+    # -- linear-system view -------------------------------------------------------
+
+    def linear_coefficients(self, z) -> Tuple[np.ndarray, np.ndarray]:
+        """Matrices ``A(z)`` and vectors ``b(z)`` of the augmented linear ODE.
+
+        The augmented right-hand side is linear in the state:
+        ``dX/dz = A(z) X + b(z)``.  Returns ``A`` with shape ``(n, 5, 5)``
+        and ``b`` with shape ``(n, 5)`` for each of the ``n`` requested
+        positions.  Used by the superposition (linear shooting) solver and by
+        the tests that verify linearity.
+        """
+        z_arr = np.atleast_1d(np.asarray(z, dtype=float))
+        g_v, g_w = self.local_conductances(z_arr)
+        q_top, q_bottom = self.heat_inputs(z_arr)
+        n = z_arr.size
+        a = np.zeros((n, 5, 5))
+        b = np.zeros((n, 5))
+        inv_gl = 1.0 / self._g_l
+        inv_cap = 1.0 / self._capacity_rate
+        # dT1/dz = -q1/g_l ; dT2/dz = -q2/g_l
+        a[:, 0, 2] = -inv_gl
+        a[:, 1, 3] = -inv_gl
+        # dq1/dz = q_top - g_v (T1 - TC) - g_w (T1 - T2)
+        a[:, 2, 0] = -(g_v + g_w)
+        a[:, 2, 1] = g_w
+        a[:, 2, 4] = g_v
+        b[:, 2] = q_top
+        # dq2/dz = q_bottom - g_v (T2 - TC) - g_w (T2 - T1)
+        a[:, 3, 1] = -(g_v + g_w)
+        a[:, 3, 0] = g_w
+        a[:, 3, 4] = g_v
+        b[:, 3] = q_bottom
+        # dTC/dz = [g_v (T1 - TC) + g_v (T2 - TC)] / (c_v V_dot)
+        a[:, 4, 0] = g_v * inv_cap
+        a[:, 4, 1] = g_v * inv_cap
+        a[:, 4, 4] = -2.0 * g_v * inv_cap
+        return a, b
+
+    def boundary_residual(self, state_at_inlet, state_at_outlet) -> np.ndarray:
+        """Residual of the boundary conditions for the augmented form.
+
+        The paper's boundary conditions (Eq. 5) are adiabatic ends of the
+        silicon layers, ``q_i(0) = q_i(d) = 0``; the augmented form adds the
+        coolant inlet condition ``T_C(0) = T_Cin``.
+        """
+        inlet = np.asarray(state_at_inlet, dtype=float)
+        outlet = np.asarray(state_at_outlet, dtype=float)
+        return np.array(
+            [
+                inlet[2],
+                inlet[3],
+                inlet[4] - self.structure.inlet_temperature,
+                outlet[2],
+                outlet[3],
+            ]
+        )

@@ -1,0 +1,113 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (solved thermal fields, optimization results) are built
+once per session so that the many tests exercising their invariants stay
+fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_EXPERIMENT, paper_parameters
+from repro.core import ChannelModulationDesigner, OptimizerSettings
+from repro.floorplan import get_architecture, test_a_structure, test_b_structure
+from repro.thermal import (
+    ChannelGeometry,
+    HeatInputProfile,
+    TestStructure,
+    WidthProfile,
+    solve_structure,
+    solve_trapezoidal,
+)
+
+
+@pytest.fixture(scope="session")
+def params():
+    """Table I parameters with the effective per-channel flow rate."""
+    return paper_parameters()
+
+
+@pytest.fixture(scope="session")
+def geometry(params):
+    """Channel geometry of the single-channel test structure."""
+    return ChannelGeometry.from_parameters(params)
+
+
+@pytest.fixture(scope="session")
+def config():
+    """Default experiment configuration."""
+    return DEFAULT_EXPERIMENT
+
+
+@pytest.fixture(scope="session")
+def test_a(config):
+    """The Test A structure (uniform 50 W/cm^2, maximum channel width)."""
+    return test_a_structure(config)
+
+
+@pytest.fixture(scope="session")
+def test_b(config):
+    """The Test B structure (random segment fluxes, maximum channel width)."""
+    return test_b_structure(config)
+
+
+@pytest.fixture(scope="session")
+def test_a_solution(test_a):
+    """Solved Test A thermal field (trapezoidal BVP solver)."""
+    return solve_trapezoidal(test_a, n_points=401)
+
+
+@pytest.fixture(scope="session")
+def test_a_fdm_solution(test_a):
+    """Solved Test A thermal field (finite-difference solver)."""
+    return solve_structure(test_a, n_points=401)
+
+
+@pytest.fixture(scope="session")
+def test_a_result(test_a):
+    """Optimal modulation result for Test A (coarse settings to stay fast)."""
+    designer = ChannelModulationDesigner(
+        test_a,
+        OptimizerSettings(n_segments=8, max_iterations=40, n_grid_points=181),
+    )
+    return designer.design()
+
+
+@pytest.fixture(scope="session")
+def arch1():
+    """The segregated two-die architecture of Fig. 7."""
+    return get_architecture("arch1")
+
+
+@pytest.fixture(scope="session")
+def arch1_cavity(arch1, config):
+    """Arch. 1 cavity model at peak power with a handful of lanes."""
+    return arch1.cavity("peak", config=config, n_lanes=4, n_cols=30)
+
+
+def make_structure(
+    geometry,
+    params,
+    width: float = None,
+    flux_top: float = 50.0,
+    flux_bottom: float = 50.0,
+):
+    """Helper used by several test modules to build simple structures."""
+    if width is None:
+        width = geometry.max_width
+    return TestStructure(
+        geometry=geometry,
+        width_profile=WidthProfile.uniform(width, geometry.length),
+        heat_top=HeatInputProfile.from_areal_flux(
+            flux_top, geometry.pitch, geometry.length
+        ),
+        heat_bottom=HeatInputProfile.from_areal_flux(
+            flux_bottom, geometry.pitch, geometry.length
+        ),
+        silicon=params.silicon,
+        coolant=params.coolant,
+        flow_rate=params.flow_rate_per_channel,
+        inlet_temperature=params.inlet_temperature,
+    )

@@ -1,0 +1,142 @@
+"""Tests of metrics, ASCII rendering and experiment reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ExperimentReport,
+    ExperimentRow,
+    format_table,
+    gradient_reduction,
+    paper_comparison_row,
+    peak_temperature,
+    render_map,
+    render_profile,
+    render_width_profile,
+    spatial_gradient_magnitude,
+    summarize_designs,
+    thermal_gradient,
+    thermal_stress_proxy,
+)
+from repro.thermal.geometry import WidthProfile
+
+
+class TestMetrics:
+    def test_thermal_gradient_on_array(self):
+        field = np.array([[300.0, 310.0], [305.0, 320.0]])
+        assert thermal_gradient(field) == pytest.approx(20.0)
+
+    def test_thermal_gradient_on_solution(self, test_a_solution):
+        assert thermal_gradient(test_a_solution) == pytest.approx(
+            test_a_solution.thermal_gradient
+        )
+
+    def test_peak_temperature(self, test_a_solution):
+        assert peak_temperature(test_a_solution) == pytest.approx(
+            test_a_solution.peak_temperature
+        )
+
+    def test_gradient_reduction(self):
+        reference = np.array([300.0, 320.0])
+        optimized = np.array([300.0, 310.0])
+        assert gradient_reduction(reference, optimized) == pytest.approx(0.5)
+
+    def test_spatial_gradient_of_linear_ramp(self):
+        x = np.linspace(0.0, 1.0, 11)
+        field = np.tile(300.0 + 10.0 * x, (5, 1))
+        # 10 K over 1 m sampled every 0.1 m: |grad T| = 10 K/m everywhere.
+        magnitude = spatial_gradient_magnitude(field, cell_length=0.1, cell_width=0.1)
+        np.testing.assert_allclose(magnitude, 10.0, rtol=1e-6)
+
+    def test_stress_proxy_positive_for_nonuniform_field(self):
+        field = np.random.default_rng(0).normal(320.0, 5.0, size=(8, 8))
+        assert thermal_stress_proxy(field, 1e-3, 1e-3) > 0.0
+
+    def test_spatial_gradient_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            spatial_gradient_magnitude(np.zeros(5), 1e-3, 1e-3)
+        with pytest.raises(ValueError):
+            spatial_gradient_magnitude(np.zeros((5, 5)), 0.0, 1e-3)
+
+    def test_summarize_designs(self, test_a_result):
+        summaries = summarize_designs(
+            test_a_result.baselines + [test_a_result.optimal]
+        )
+        assert "uniform minimum" in summaries
+        assert "optimal modulation" in summaries
+
+
+class TestRendering:
+    def test_render_map_contains_scale_and_rows(self):
+        field = np.linspace(300.0, 330.0, 50).reshape(5, 10)
+        text = render_map(field, title="demo map")
+        assert "demo map" in text
+        assert "scale:" in text
+        assert len(text.splitlines()) >= 6
+
+    def test_render_map_fixed_scale_clamps(self):
+        field = np.full((4, 4), 400.0)
+        text = render_map(field, vmin=300.0, vmax=350.0)
+        assert "@" in text  # everything saturates at the hot end
+
+    def test_render_map_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            render_map(np.zeros(5))
+
+    def test_render_profile_shows_extremes(self):
+        z = np.linspace(0.0, 1.0, 20)
+        text = render_profile(z, 300.0 + 10.0 * z, label="ramp")
+        assert "ramp" in text
+        assert "max = 310.00" in text
+        assert "min = 300.00" in text
+
+    def test_render_profile_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            render_profile(np.zeros(5), np.zeros(6))
+
+    def test_render_width_profile(self):
+        text = render_width_profile(WidthProfile.uniform(30e-6, 0.01))
+        assert "um" in text
+
+    def test_format_table_alignment_and_missing_keys(self):
+        rows = [{"a": 1.0, "b": "x"}, {"a": 2.5}]
+        text = format_table(rows)
+        assert "a" in text and "b" in text
+        assert len(text.splitlines()) == 4
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(empty table)"
+
+
+class TestReporting:
+    def test_experiment_report_rows_and_text(self, test_a_result):
+        report = ExperimentReport(title="Test A")
+        for evaluation in test_a_result.baselines + [test_a_result.optimal]:
+            report.add_design_evaluation("fig5", "test A", evaluation)
+        report.add_note("paper reports 28 C for the uniform designs")
+        text = report.to_text()
+        assert "Test A" in text
+        assert "uniform minimum" in text
+        assert "note:" in text
+        assert len(report.rows) == 3
+
+    def test_gradients_by_design(self):
+        report = ExperimentReport(title="fig8")
+        report.add_row(
+            ExperimentRow("fig8", "arch1-peak", "uniform maximum", 20.0, 55.0)
+        )
+        report.add_row(
+            ExperimentRow("fig8", "arch1-peak", "optimal", 14.0, 50.0)
+        )
+        grouped = report.gradients_by_design()
+        assert grouped["arch1-peak"]["optimal"] == pytest.approx(14.0)
+
+    def test_paper_comparison_row_deviation(self):
+        row = paper_comparison_row("fig8", "gradient reduction", 0.31, 0.28)
+        assert row["relative_deviation"] == pytest.approx((0.28 - 0.31) / 0.31)
+
+    def test_paper_comparison_row_handles_zero_reference(self):
+        row = paper_comparison_row("x", "metric", 0.0, 1.0)
+        assert row["relative_deviation"] == "n/a"

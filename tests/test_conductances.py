@@ -1,0 +1,118 @@
+"""Unit tests for the per-unit-length thermal network parameters (Eq. 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.thermal import conductances
+from repro.thermal.properties import SILICON, TABLE_I, WATER
+
+WIDTHS = st.floats(min_value=10e-6, max_value=50e-6)
+
+
+class TestStaticConductances:
+    def test_longitudinal_conductance_value(self, geometry):
+        # g_l = k_Si * W * H_Si = 130 * 100e-6 * 50e-6
+        expected = 130.0 * 100e-6 * 50e-6
+        assert conductances.longitudinal_conductance(geometry, SILICON) == pytest.approx(
+            expected
+        )
+
+    def test_slab_conductance_value(self, geometry):
+        # g_v,Si = k_Si * W / H_Si = 130 * 100e-6 / 50e-6 = 260 W/m.K
+        assert conductances.slab_conductance(geometry, SILICON) == pytest.approx(260.0)
+
+    def test_sidewall_conductance_value(self, geometry):
+        # g_w = k_Si (W - w_C) / (2 H_Si + H_C) for w_C = 50 um
+        expected = 130.0 * 50e-6 / 200e-6
+        assert conductances.sidewall_conductance(
+            geometry, SILICON, 50e-6
+        ) == pytest.approx(expected)
+
+    def test_sidewall_conductance_increases_for_narrow_channels(self, geometry):
+        wide = conductances.sidewall_conductance(geometry, SILICON, 50e-6)
+        narrow = conductances.sidewall_conductance(geometry, SILICON, 10e-6)
+        assert narrow > wide
+
+    def test_capacity_rate(self, params):
+        expected = WATER.volumetric_heat_capacity * params.flow_rate_per_channel
+        assert conductances.capacity_rate(WATER, params.flow_rate_per_channel) == (
+            pytest.approx(expected)
+        )
+
+    def test_lateral_conductance_default_pitch(self, geometry):
+        expected = 130.0 * 50e-6 / 100e-6
+        assert conductances.lateral_conductance(geometry, SILICON) == pytest.approx(
+            expected
+        )
+
+    def test_lateral_conductance_rejects_bad_pitch(self, geometry):
+        with pytest.raises(ValueError):
+            conductances.lateral_conductance(geometry, SILICON, lane_pitch=0.0)
+
+
+class TestConvectiveConductance:
+    def test_narrower_channel_has_higher_conductance(self, geometry, params):
+        """The central mechanism of the paper: narrow channels cool better."""
+        wide = conductances.convective_conductance(
+            geometry, WATER, 50e-6, params.flow_rate_per_channel
+        )
+        narrow = conductances.convective_conductance(
+            geometry, WATER, 10e-6, params.flow_rate_per_channel
+        )
+        assert narrow > wide
+
+    @given(width=WIDTHS)
+    @settings(max_examples=40, deadline=None)
+    def test_layer_to_coolant_below_both_series_elements(self, geometry, params, width):
+        """The series combination is below both the slab and convective parts."""
+        g_v = conductances.layer_to_coolant_conductance(
+            geometry, SILICON, WATER, width, params.flow_rate_per_channel
+        )
+        g_slab = conductances.slab_conductance(geometry, SILICON)
+        h_hat = conductances.convective_conductance(
+            geometry, WATER, width, params.flow_rate_per_channel
+        )
+        assert g_v < g_slab
+        assert g_v < h_hat
+        assert g_v > 0.0
+
+    def test_vectorized_evaluation_matches_scalar(self, geometry, params):
+        widths = np.array([10e-6, 30e-6, 50e-6])
+        vectorized = conductances.convective_conductance(
+            geometry, WATER, widths, params.flow_rate_per_channel
+        )
+        for index, width in enumerate(widths):
+            scalar = conductances.convective_conductance(
+                geometry, WATER, float(width), params.flow_rate_per_channel
+            )
+            assert vectorized[index] == pytest.approx(scalar)
+
+    def test_monotonic_in_width(self, geometry, params):
+        widths = np.linspace(10e-6, 50e-6, 9)
+        values = conductances.convective_conductance(
+            geometry, WATER, widths, params.flow_rate_per_channel
+        )
+        assert np.all(np.diff(values) < 0.0)
+
+
+class TestEvaluateConductances:
+    def test_summary_record_fields(self, test_a):
+        record = conductances.evaluate_conductances(test_a, z=0.005)
+        assert record.g_longitudinal == pytest.approx(130.0 * 100e-6 * 50e-6)
+        assert record.g_slab == pytest.approx(260.0)
+        assert record.g_layer_to_coolant < record.h_convective
+        assert record.capacity_rate > 0.0
+
+    def test_position_dependence_for_modulated_channel(self, test_a, geometry):
+        from repro.thermal.geometry import WidthProfile
+
+        modulated = test_a.with_width_profile(
+            WidthProfile.piecewise_constant([50e-6, 10e-6], geometry.length)
+        )
+        near_inlet = conductances.evaluate_conductances(modulated, z=0.001)
+        near_outlet = conductances.evaluate_conductances(modulated, z=0.009)
+        assert near_outlet.g_layer_to_coolant > near_inlet.g_layer_to_coolant
+        assert near_outlet.g_sidewall > near_inlet.g_sidewall

@@ -1,0 +1,74 @@
+"""Tests of the experiment configuration and the top-level public API."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.config import (
+    DEFAULT_EXPERIMENT,
+    EFFECTIVE_FLOW_RATE_ML_PER_MIN,
+    ExperimentConfig,
+    paper_parameters,
+)
+from repro.thermal.properties import TABLE_I, m3_per_s_to_ml_per_min
+
+
+class TestPaperParametersHelper:
+    def test_literal_table_i_available(self):
+        literal = paper_parameters(effective_flow=False)
+        assert literal.flow_rate_ml_per_min == pytest.approx(4.8)
+        assert literal is TABLE_I
+
+    def test_effective_flow_rate_applied_by_default(self):
+        effective = paper_parameters()
+        assert m3_per_s_to_ml_per_min(
+            effective.flow_rate_per_channel
+        ) == pytest.approx(EFFECTIVE_FLOW_RATE_ML_PER_MIN)
+
+    def test_other_table_i_values_unchanged(self):
+        effective = paper_parameters()
+        assert effective.max_pressure_drop == pytest.approx(TABLE_I.max_pressure_drop)
+        assert effective.min_channel_width == pytest.approx(TABLE_I.min_channel_width)
+
+
+class TestExperimentConfig:
+    def test_defaults(self):
+        assert DEFAULT_EXPERIMENT.n_segments == 10
+        assert DEFAULT_EXPERIMENT.test_b_flux_range == (50.0, 250.0)
+
+    def test_with_overrides(self):
+        modified = DEFAULT_EXPERIMENT.with_overrides(n_lanes=7)
+        assert modified.n_lanes == 7
+        assert DEFAULT_EXPERIMENT.n_lanes == 5
+
+    def test_is_immutable(self):
+        with pytest.raises(Exception):
+            DEFAULT_EXPERIMENT.n_lanes = 3
+
+    def test_custom_config(self):
+        config = ExperimentConfig(n_segments=4, random_seed=1)
+        assert config.n_segments == 4
+        assert config.random_seed == 1
+
+
+class TestPublicApi:
+    def test_version_string(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_quickstart_objects_importable(self):
+        from repro import (
+            ChannelModulationDesigner,
+            OptimizerSettings,
+            test_a_structure,
+        )
+
+        designer = ChannelModulationDesigner(
+            test_a_structure(), OptimizerSettings(n_segments=3, n_grid_points=101)
+        )
+        evaluation = designer.uniform_maximum()
+        assert evaluation.thermal_gradient > 0.0

@@ -1,0 +1,141 @@
+"""Unit and property tests for the Shah & London convective correlations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.thermal import correlations
+from repro.thermal.properties import TABLE_I, WATER
+
+WIDTHS = st.floats(min_value=5e-6, max_value=95e-6)
+HEIGHTS = st.floats(min_value=20e-6, max_value=400e-6)
+
+
+class TestAspectRatioAndDiameter:
+    def test_aspect_ratio_is_symmetric(self):
+        assert correlations.aspect_ratio(20e-6, 100e-6) == pytest.approx(
+            correlations.aspect_ratio(100e-6, 20e-6)
+        )
+
+    def test_aspect_ratio_of_square_duct_is_one(self):
+        assert correlations.aspect_ratio(50e-6, 50e-6) == pytest.approx(1.0)
+
+    def test_aspect_ratio_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            correlations.aspect_ratio(0.0, 100e-6)
+
+    def test_hydraulic_diameter_square_duct(self):
+        # For a square duct D_h equals the side length.
+        assert correlations.hydraulic_diameter(80e-6, 80e-6) == pytest.approx(80e-6)
+
+    def test_hydraulic_diameter_table_i_channel(self):
+        d_h = correlations.hydraulic_diameter(50e-6, 100e-6)
+        assert d_h == pytest.approx(2 * 50e-6 * 100e-6 / 150e-6)
+
+    @given(width=WIDTHS, height=HEIGHTS)
+    @settings(max_examples=50, deadline=None)
+    def test_hydraulic_diameter_bounded_by_min_side(self, width, height):
+        d_h = correlations.hydraulic_diameter(width, height)
+        assert d_h <= 2.0 * min(width, height) + 1e-15
+        assert d_h > 0.0
+
+
+class TestNusseltCorrelations:
+    def test_parallel_plate_limit(self):
+        # alpha -> 0 recovers the parallel-plates H1 value of 8.235.
+        nu = correlations.nusselt_fully_developed_h1(1e-9, 100e-6)
+        assert nu == pytest.approx(8.235, rel=1e-3)
+
+    def test_square_duct_value(self):
+        # Shah & London give Nu_H1 ~ 3.61 for a square duct.
+        nu = correlations.nusselt_fully_developed_h1(100e-6, 100e-6)
+        assert nu == pytest.approx(3.6, abs=0.15)
+
+    def test_constant_wall_temperature_below_h1(self):
+        nu_t = correlations.nusselt_fully_developed_t(50e-6, 100e-6)
+        nu_h1 = correlations.nusselt_fully_developed_h1(50e-6, 100e-6)
+        assert nu_t < nu_h1
+
+    @given(width=WIDTHS)
+    @settings(max_examples=50, deadline=None)
+    def test_nusselt_decreases_with_aspect_ratio(self, width):
+        """Narrower channels (smaller alpha) have higher Nusselt numbers."""
+        height = TABLE_I.channel_height
+        narrower = correlations.nusselt_fully_developed_h1(width * 0.5, height)
+        wider = correlations.nusselt_fully_developed_h1(width, height)
+        if width <= height:  # both widths below the height: alpha ordering holds
+            assert narrower >= wider - 1e-9
+
+    def test_friction_factor_parallel_plates(self):
+        f_re = correlations.friction_factor_times_reynolds(1e-9, 100e-6)
+        assert f_re == pytest.approx(24.0, rel=1e-3)
+
+    def test_friction_factor_square_duct(self):
+        f_re = correlations.friction_factor_times_reynolds(100e-6, 100e-6)
+        assert f_re == pytest.approx(14.23, rel=0.02)
+
+
+class TestFlowNumbers:
+    def test_mean_velocity(self):
+        velocity = correlations.mean_velocity(8e-8, 50e-6, 100e-6)
+        assert velocity == pytest.approx(8e-8 / 5e-9)
+
+    def test_reynolds_number_is_laminar_for_paper_flow(self):
+        re = correlations.reynolds_number(
+            TABLE_I.flow_rate_per_channel, 50e-6, 100e-6, WATER
+        )
+        assert 0.0 < re < 2300.0
+
+    def test_characterize_flow_reports_laminar(self):
+        state = correlations.characterize_flow(
+            50e-6, 100e-6, TABLE_I.flow_rate_per_channel, WATER
+        )
+        assert state.is_laminar
+        assert state.heat_transfer_coefficient > 0.0
+
+    def test_graetz_number_rejects_negative_distance(self):
+        with pytest.raises(ValueError):
+            correlations.graetz_number(-1.0, 8e-8, 50e-6, 100e-6, WATER)
+
+
+class TestHeatTransferCoefficient:
+    def test_narrower_channel_has_higher_h(self):
+        """The key physical effect behind channel modulation (Sec. I)."""
+        h_wide = correlations.heat_transfer_coefficient(50e-6, 100e-6, WATER)
+        h_narrow = correlations.heat_transfer_coefficient(10e-6, 100e-6, WATER)
+        assert h_narrow > h_wide
+
+    @given(width=WIDTHS)
+    @settings(max_examples=50, deadline=None)
+    def test_h_positive_and_finite(self, width):
+        h = correlations.heat_transfer_coefficient(width, 100e-6, WATER)
+        assert np.isfinite(h)
+        assert h > 0.0
+
+    def test_developing_flow_enhances_h_near_inlet(self):
+        flow = TABLE_I.flow_rate_per_channel
+        h_inlet = correlations.heat_transfer_coefficient(
+            50e-6, 100e-6, WATER, flow_rate=flow, distance=1e-4, developing=True
+        )
+        h_fd = correlations.heat_transfer_coefficient(50e-6, 100e-6, WATER)
+        assert h_inlet > h_fd
+
+    def test_developing_flow_decays_to_fully_developed(self):
+        flow = TABLE_I.flow_rate_per_channel
+        h_far = correlations.heat_transfer_coefficient(
+            50e-6, 100e-6, WATER, flow_rate=flow, distance=0.5, developing=True
+        )
+        h_fd = correlations.heat_transfer_coefficient(50e-6, 100e-6, WATER)
+        assert h_far == pytest.approx(h_fd, rel=0.05)
+
+    @given(width=WIDTHS, distance=st.floats(min_value=1e-5, max_value=1e-2))
+    @settings(max_examples=50, deadline=None)
+    def test_developing_h_never_below_fully_developed(self, width, distance):
+        flow = TABLE_I.flow_rate_per_channel
+        h_dev = correlations.heat_transfer_coefficient(
+            width, 100e-6, WATER, flow_rate=flow, distance=distance, developing=True
+        )
+        h_fd = correlations.heat_transfer_coefficient(width, 100e-6, WATER)
+        assert h_dev >= h_fd - 1e-9

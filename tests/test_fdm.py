@@ -1,0 +1,180 @@
+"""Tests of the multi-channel finite-difference solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.thermal.conductances import capacity_rate
+from repro.thermal.fdm import solve_finite_difference, solve_structure
+from repro.thermal.geometry import (
+    HeatInputProfile,
+    MultiChannelStructure,
+    TestStructure,
+    WidthProfile,
+)
+from repro.thermal.multichannel import build_cavity
+
+
+def _uniform_lane_cavity(geometry, params, n_lanes, flux=50.0, cluster_size=1):
+    heat = [
+        HeatInputProfile.from_areal_flux(flux, geometry.pitch, geometry.length)
+        for _ in range(n_lanes)
+    ]
+    return build_cavity(
+        geometry,
+        heat,
+        heat,
+        flow_rate=params.flow_rate_per_channel,
+        inlet_temperature=params.inlet_temperature,
+        cluster_size=cluster_size,
+    )
+
+
+class TestSingleLaneAgreement:
+    def test_matches_trapezoidal_solver(self, test_a, test_a_solution):
+        fdm = solve_structure(test_a, n_points=401)
+        assert fdm.thermal_gradient == pytest.approx(
+            test_a_solution.thermal_gradient, rel=2e-2
+        )
+        assert fdm.peak_temperature == pytest.approx(
+            test_a_solution.peak_temperature, abs=0.3
+        )
+
+    def test_energy_conservation(self, test_a):
+        fdm = solve_structure(test_a, n_points=401)
+        rate = capacity_rate(test_a.coolant, test_a.flow_rate)
+        assert fdm.absorbed_power(rate) == pytest.approx(
+            test_a.total_power, rel=2e-2
+        )
+
+    def test_rejects_bad_grid(self, test_a):
+        with pytest.raises(ValueError):
+            solve_structure(test_a, n_points=2)
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            solve_structure(object())
+
+
+class TestMultiLane:
+    def test_identical_lanes_have_identical_fields(self, geometry, params):
+        cavity = _uniform_lane_cavity(geometry, params, n_lanes=3)
+        solution = solve_finite_difference(cavity, n_points=161)
+        for lane in range(1, 3):
+            np.testing.assert_allclose(
+                solution.temperatures[:, lane, :],
+                solution.temperatures[:, 0, :],
+                rtol=1e-9,
+            )
+
+    def test_energy_conservation_multi_lane(self, geometry, params):
+        cavity = _uniform_lane_cavity(geometry, params, n_lanes=4)
+        solution = solve_finite_difference(cavity, n_points=161)
+        rate = capacity_rate(params.coolant, params.flow_rate_per_channel)
+        assert solution.absorbed_power(rate) == pytest.approx(
+            cavity.total_power, rel=2e-2
+        )
+
+    def test_hot_lane_is_hotter_than_cold_lane(self, geometry, params):
+        hot = HeatInputProfile.from_areal_flux(150.0, geometry.pitch, geometry.length)
+        cold = HeatInputProfile.from_areal_flux(20.0, geometry.pitch, geometry.length)
+        cavity = build_cavity(
+            geometry,
+            [hot, cold],
+            [hot, cold],
+            flow_rate=params.flow_rate_per_channel,
+            inlet_temperature=params.inlet_temperature,
+        )
+        solution = solve_finite_difference(cavity, n_points=161)
+        assert solution.temperatures[:, 0, :].max() > solution.temperatures[:, 1, :].max()
+
+    def test_lateral_coupling_reduces_lane_contrast(self, geometry, params):
+        hot = HeatInputProfile.from_areal_flux(150.0, geometry.pitch, geometry.length)
+        cold = HeatInputProfile.from_areal_flux(20.0, geometry.pitch, geometry.length)
+
+        def lane_contrast(lateral):
+            cavity = build_cavity(
+                geometry,
+                [hot, cold],
+                [hot, cold],
+                flow_rate=params.flow_rate_per_channel,
+                inlet_temperature=params.inlet_temperature,
+                lateral_coupling=lateral,
+            )
+            solution = solve_finite_difference(cavity, n_points=121)
+            return (
+                solution.temperatures[:, 0, :].max()
+                - solution.temperatures[:, 1, :].max()
+            )
+
+        assert lane_contrast(True) < lane_contrast(False)
+
+    def test_cluster_scaling_preserves_per_area_results(self, geometry, params):
+        """A lane representing m channels with m-fold power behaves like one channel."""
+        single = _uniform_lane_cavity(geometry, params, n_lanes=1, flux=50.0)
+        single_solution = solve_finite_difference(single, n_points=201)
+
+        clustered_heat = [
+            HeatInputProfile.from_areal_flux(
+                50.0, geometry.pitch * 5, geometry.length
+            )
+        ]
+        clustered = build_cavity(
+            geometry,
+            clustered_heat,
+            clustered_heat,
+            flow_rate=params.flow_rate_per_channel,
+            inlet_temperature=params.inlet_temperature,
+            cluster_size=5,
+        )
+        clustered_solution = solve_finite_difference(clustered, n_points=201)
+        assert clustered_solution.thermal_gradient == pytest.approx(
+            single_solution.thermal_gradient, rel=1e-6
+        )
+        assert clustered_solution.peak_temperature == pytest.approx(
+            single_solution.peak_temperature, rel=1e-9
+        )
+
+
+class TestWidthModulationEffects:
+    def test_narrowing_profile_flattens_field(self, geometry, params):
+        cavity = _uniform_lane_cavity(geometry, params, n_lanes=2)
+        uniform_solution = solve_finite_difference(cavity, n_points=161)
+        narrowing = WidthProfile.from_function(
+            lambda z: 50e-6 - (38e-6 / geometry.length) * z, geometry.length
+        )
+        modulated = cavity.with_width_profiles([narrowing, narrowing])
+        modulated_solution = solve_finite_difference(modulated, n_points=161)
+        assert (
+            modulated_solution.thermal_gradient < uniform_solution.thermal_gradient
+        )
+
+    def test_per_lane_widths_cool_their_own_lane(self, geometry, params):
+        # Lateral coupling is disabled so the comparison isolates the effect
+        # of the channel width on its own lane (with coupling the better
+        # channel also drains its neighbour's heat, blurring the contrast).
+        heat = [
+            HeatInputProfile.from_areal_flux(50.0, geometry.pitch, geometry.length)
+            for _ in range(2)
+        ]
+        cavity = build_cavity(
+            geometry,
+            heat,
+            heat,
+            flow_rate=params.flow_rate_per_channel,
+            inlet_temperature=params.inlet_temperature,
+            lateral_coupling=False,
+        )
+        narrow_first = cavity.with_width_profiles(
+            [
+                WidthProfile.uniform(geometry.min_width, geometry.length),
+                WidthProfile.uniform(geometry.max_width, geometry.length),
+            ]
+        )
+        solution = solve_finite_difference(narrow_first, n_points=161)
+        # The lane with the narrow (better cooled) channel ends up cooler.
+        assert (
+            solution.temperatures[:, 0, :].max()
+            < solution.temperatures[:, 1, :].max()
+        )

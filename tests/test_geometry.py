@@ -1,0 +1,206 @@
+"""Unit and property tests for geometry, width profiles and heat inputs."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.thermal.geometry import (
+    ChannelGeometry,
+    HeatInputProfile,
+    MultiChannelStructure,
+    TestStructure,
+    WidthProfile,
+)
+from repro.thermal.properties import TABLE_I
+
+
+class TestChannelGeometry:
+    def test_from_parameters_matches_table_i(self, geometry):
+        assert geometry.pitch == pytest.approx(100e-6)
+        assert geometry.channel_height == pytest.approx(100e-6)
+        assert geometry.silicon_height == pytest.approx(50e-6)
+        assert geometry.min_width == pytest.approx(10e-6)
+        assert geometry.max_width == pytest.approx(50e-6)
+
+    def test_wall_width(self, geometry):
+        assert geometry.wall_width(30e-6) == pytest.approx(70e-6)
+
+    def test_clamp_width(self, geometry):
+        assert geometry.clamp_width(5e-6) == pytest.approx(geometry.min_width)
+        assert geometry.clamp_width(80e-6) == pytest.approx(geometry.max_width)
+        clamped = geometry.clamp_width(np.array([5e-6, 30e-6, 80e-6]))
+        assert clamped[1] == pytest.approx(30e-6)
+
+    def test_rejects_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            ChannelGeometry(min_width=60e-6, max_width=50e-6)
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            ChannelGeometry(length=-1.0)
+
+    def test_is_frozen(self, geometry):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            geometry.pitch = 1.0
+
+
+class TestWidthProfile:
+    def test_uniform_profile_evaluation(self):
+        profile = WidthProfile.uniform(30e-6, 0.01)
+        assert profile(0.0) == pytest.approx(30e-6)
+        assert profile(0.01) == pytest.approx(30e-6)
+        assert profile.is_uniform
+        assert profile.n_segments == 1
+
+    def test_piecewise_profile_segment_lookup(self):
+        profile = WidthProfile.piecewise_constant([10e-6, 20e-6, 30e-6, 40e-6], 0.01)
+        z = np.array([0.0005, 0.003, 0.006, 0.009])
+        np.testing.assert_allclose(profile(z), [10e-6, 20e-6, 30e-6, 40e-6])
+
+    def test_piecewise_profile_right_endpoint(self):
+        profile = WidthProfile.piecewise_constant([10e-6, 20e-6], 0.01)
+        assert profile(0.01) == pytest.approx(20e-6)
+
+    def test_callable_profile(self):
+        profile = WidthProfile.from_function(
+            lambda z: 50e-6 - 4e-3 * z, 0.01
+        )
+        assert profile(0.0) == pytest.approx(50e-6)
+        assert profile(0.01) == pytest.approx(10e-6)
+
+    def test_rejects_out_of_range_z(self):
+        profile = WidthProfile.uniform(30e-6, 0.01)
+        with pytest.raises(ValueError):
+            profile(0.02)
+
+    def test_rejects_multiple_specifications(self):
+        with pytest.raises(ValueError):
+            WidthProfile(0.01, uniform=30e-6, segments=[30e-6])
+
+    def test_rejects_non_positive_widths(self):
+        with pytest.raises(ValueError):
+            WidthProfile.piecewise_constant([10e-6, 0.0], 0.01)
+
+    def test_resampled_preserves_uniform_value(self):
+        profile = WidthProfile.uniform(25e-6, 0.01).resampled(7)
+        np.testing.assert_allclose(profile.segment_widths, 25e-6)
+
+    def test_mean_width_of_linear_profile(self):
+        profile = WidthProfile.from_function(lambda z: 10e-6 + 4e-3 * z, 0.01)
+        assert profile.mean_width() == pytest.approx(30e-6, rel=1e-3)
+
+    @given(
+        widths=st.lists(
+            st.floats(min_value=10e-6, max_value=50e-6), min_size=1, max_size=12
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_segment_round_trip(self, widths):
+        profile = WidthProfile.piecewise_constant(widths, 0.01)
+        recovered = profile.resampled(len(widths)).segment_widths
+        np.testing.assert_allclose(recovered, widths)
+
+    @given(
+        widths=st.lists(
+            st.floats(min_value=10e-6, max_value=50e-6), min_size=1, max_size=12
+        ),
+        z=st.floats(min_value=0.0, max_value=0.01),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_profile_values_within_segment_range(self, widths, z):
+        profile = WidthProfile.piecewise_constant(widths, 0.01)
+        value = profile(z)
+        assert min(widths) - 1e-12 <= value <= max(widths) + 1e-12
+
+
+class TestHeatInputProfile:
+    def test_from_areal_flux_linear_density(self):
+        profile = HeatInputProfile.from_areal_flux(50.0, 100e-6, 0.01)
+        # 50 W/cm^2 = 5e5 W/m^2, over a 100 um pitch -> 50 W/m.
+        assert profile(0.005) == pytest.approx(50.0)
+
+    def test_total_power_uniform(self):
+        profile = HeatInputProfile.from_areal_flux(50.0, 100e-6, 0.01)
+        assert profile.total_power() == pytest.approx(0.5, rel=1e-6)
+
+    def test_total_power_segments(self):
+        profile = HeatInputProfile.piecewise_constant([100.0, 200.0], 0.01)
+        assert profile.total_power() == pytest.approx(1.5, rel=1e-3)
+
+    def test_mean_areal_flux_round_trip(self):
+        profile = HeatInputProfile.from_areal_flux(73.0, 100e-6, 0.01)
+        assert profile.mean_areal_flux(100e-6) == pytest.approx(73.0, rel=1e-6)
+
+    def test_from_segment_fluxes(self):
+        profile = HeatInputProfile.from_segment_fluxes([50.0, 250.0], 100e-6, 0.01)
+        assert profile(0.002) == pytest.approx(50.0 * 1e4 * 100e-6)
+        assert profile(0.008) == pytest.approx(250.0 * 1e4 * 100e-6)
+
+    def test_rejects_negative_heat(self):
+        with pytest.raises(ValueError):
+            HeatInputProfile.uniform(-1.0, 0.01)
+
+    @given(
+        fluxes=st.lists(
+            st.floats(min_value=0.0, max_value=300.0), min_size=1, max_size=10
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_total_power_matches_mean_flux(self, fluxes):
+        profile = HeatInputProfile.from_segment_fluxes(fluxes, 100e-6, 0.01)
+        expected = np.mean(fluxes) * 1e4 * 100e-6 * 0.01
+        assert profile.total_power() == pytest.approx(expected, rel=2e-2, abs=1e-9)
+
+
+class TestTestStructure:
+    def test_total_power(self, test_a):
+        # Test A: 50 W/cm^2 on each of two layers over 1 cm x 100 um.
+        assert test_a.total_power == pytest.approx(1.0, rel=1e-6)
+
+    def test_with_width_profile_returns_copy(self, test_a, geometry):
+        new_profile = WidthProfile.uniform(geometry.min_width, geometry.length)
+        modified = test_a.with_width_profile(new_profile)
+        assert modified is not test_a
+        assert modified.width_profile is new_profile
+        assert test_a.width_profile is not new_profile
+
+    def test_rejects_profile_length_mismatch(self, test_a, geometry):
+        with pytest.raises(ValueError):
+            test_a.with_width_profile(WidthProfile.uniform(30e-6, geometry.length * 2))
+
+    def test_rejects_non_positive_flow(self, test_a):
+        with pytest.raises(ValueError):
+            test_a.with_flow_rate(0.0)
+
+
+class TestMultiChannelStructure:
+    def test_single_wrapping(self, test_a):
+        cavity = MultiChannelStructure.single(test_a)
+        assert cavity.n_lanes == 1
+        assert cavity.n_physical_channels == 1
+        assert cavity.total_power == pytest.approx(test_a.total_power)
+
+    def test_with_uniform_width(self, test_a, geometry):
+        cavity = MultiChannelStructure.single(test_a).with_uniform_width(20e-6)
+        assert cavity.lanes[0].width_profile(0.005) == pytest.approx(20e-6)
+
+    def test_with_width_profiles_validates_count(self, test_a, geometry):
+        cavity = MultiChannelStructure.single(test_a)
+        with pytest.raises(ValueError):
+            cavity.with_width_profiles(
+                [WidthProfile.uniform(20e-6, geometry.length)] * 2
+            )
+
+    def test_rejects_empty_lane_list(self, geometry):
+        with pytest.raises(ValueError):
+            MultiChannelStructure(geometry=geometry, lanes=())
+
+    def test_rejects_invalid_cluster_size(self, test_a, geometry):
+        with pytest.raises(ValueError):
+            MultiChannelStructure(
+                geometry=geometry, lanes=(test_a,), cluster_size=0
+            )

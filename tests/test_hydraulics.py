@@ -1,0 +1,175 @@
+"""Tests of the pressure-drop model (Eq. 9/10) and the flow network."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hydraulics import (
+    ChannelHydraulics,
+    FlowNetwork,
+    local_pressure_gradient,
+    pressure_drop,
+    pressure_drop_rectangular,
+    pumping_power,
+    uniform_width_pressure_drop,
+)
+from repro.thermal.geometry import WidthProfile
+from repro.thermal.properties import TABLE_I, WATER
+
+WIDTHS = st.floats(min_value=10e-6, max_value=50e-6)
+
+
+class TestLocalPressureGradient:
+    def test_matches_eq9_by_hand(self):
+        """Check the Eq. (9) integrand against a hand-computed value."""
+        width, height = 50e-6, 100e-6
+        flow, mu = 8e-8, WATER.dynamic_viscosity
+        expected = 8.0 * mu * flow * (height + width) ** 2 / (height * width) ** 3
+        assert local_pressure_gradient(width, height, flow, mu) == pytest.approx(
+            expected
+        )
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(ValueError):
+            local_pressure_gradient(0.0, 100e-6, 8e-8, 1e-3)
+
+    @given(width=WIDTHS)
+    @settings(max_examples=50, deadline=None)
+    def test_narrower_channels_resist_more(self, width):
+        wide = local_pressure_gradient(width, 100e-6, 8e-8, 1e-3)
+        narrow = local_pressure_gradient(width * 0.5, 100e-6, 8e-8, 1e-3)
+        assert narrow > wide
+
+    @given(width=WIDTHS, factor=st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=50, deadline=None)
+    def test_linear_in_flow_rate(self, width, factor):
+        base = local_pressure_gradient(width, 100e-6, 8e-8, 1e-3)
+        scaled = local_pressure_gradient(width, 100e-6, 8e-8 * factor, 1e-3)
+        assert scaled == pytest.approx(base * factor, rel=1e-9)
+
+
+class TestPressureDropIntegral:
+    def test_uniform_profile_matches_closed_form(self, geometry, params):
+        profile = WidthProfile.uniform(30e-6, geometry.length)
+        integral = pressure_drop(
+            profile, geometry, params.flow_rate_per_channel, params.coolant
+        )
+        closed = uniform_width_pressure_drop(
+            30e-6, geometry, params.flow_rate_per_channel, params.coolant
+        )
+        assert integral == pytest.approx(closed, rel=1e-6)
+
+    def test_piecewise_profile_is_mean_of_segments(self, geometry, params):
+        profile = WidthProfile.piecewise_constant([20e-6, 40e-6], geometry.length)
+        drop = pressure_drop(
+            profile, geometry, params.flow_rate_per_channel, params.coolant
+        )
+        narrow = uniform_width_pressure_drop(
+            20e-6, geometry, params.flow_rate_per_channel, params.coolant
+        )
+        wide = uniform_width_pressure_drop(
+            40e-6, geometry, params.flow_rate_per_channel, params.coolant
+        )
+        assert drop == pytest.approx(0.5 * (narrow + wide), rel=1e-2)
+
+    def test_maximum_width_design_is_well_below_limit(self, geometry, params):
+        """With the effective flow rate the conventional design has margin."""
+        profile = WidthProfile.uniform(geometry.max_width, geometry.length)
+        drop = pressure_drop(
+            profile, geometry, params.flow_rate_per_channel, params.coolant
+        )
+        assert drop < TABLE_I.max_pressure_drop / 2.0
+
+    def test_rectangular_correlation_same_order(self, geometry, params):
+        """The refined f.Re correlation agrees with Eq. (9) within ~2x."""
+        profile = WidthProfile.uniform(30e-6, geometry.length)
+        paper = pressure_drop(
+            profile, geometry, params.flow_rate_per_channel, params.coolant
+        )
+        refined = pressure_drop_rectangular(
+            profile, geometry, params.flow_rate_per_channel, params.coolant
+        )
+        assert 0.5 < refined / paper < 2.0
+
+    @given(width=WIDTHS)
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_decreasing_in_width(self, geometry, params, width):
+        if width >= geometry.max_width:
+            return
+        narrow = uniform_width_pressure_drop(
+            width, geometry, params.flow_rate_per_channel, params.coolant
+        )
+        wide = uniform_width_pressure_drop(
+            geometry.max_width, geometry, params.flow_rate_per_channel, params.coolant
+        )
+        assert narrow >= wide
+
+
+class TestPumpingPowerAndChannelHydraulics:
+    def test_pumping_power_product(self):
+        assert pumping_power(1e5, 1e-8) == pytest.approx(1e-3)
+
+    def test_pumping_power_rejects_negative(self):
+        with pytest.raises(ValueError):
+            pumping_power(-1.0, 1e-8)
+
+    def test_channel_hydraulics_from_profile(self, geometry, params):
+        profile = WidthProfile.uniform(30e-6, geometry.length)
+        hydraulics = ChannelHydraulics.from_profile(
+            profile, geometry, params.flow_rate_per_channel, params.coolant
+        )
+        assert hydraulics.pressure_drop > 0.0
+        assert hydraulics.hydraulic_resistance == pytest.approx(
+            hydraulics.pressure_drop / params.flow_rate_per_channel
+        )
+        assert hydraulics.pumping_power == pytest.approx(
+            hydraulics.pressure_drop * params.flow_rate_per_channel
+        )
+
+
+class TestFlowNetwork:
+    def _network(self, geometry, params, widths):
+        profiles = [WidthProfile.uniform(w, geometry.length) for w in widths]
+        return FlowNetwork(
+            geometry, profiles, params.flow_rate_per_channel, params.coolant
+        )
+
+    def test_balanced_network_has_zero_imbalance(self, geometry, params):
+        network = self._network(geometry, params, [30e-6, 30e-6, 30e-6])
+        assert network.pressure_imbalance == pytest.approx(0.0)
+        assert network.flow_imbalance() == pytest.approx(0.0, abs=1e-12)
+
+    def test_unbalanced_network_reports_imbalance(self, geometry, params):
+        network = self._network(geometry, params, [20e-6, 50e-6])
+        assert network.pressure_imbalance > 0.3
+        assert network.flow_imbalance() > 0.1
+
+    def test_natural_split_conserves_total_flow(self, geometry, params):
+        network = self._network(geometry, params, [20e-6, 30e-6, 50e-6])
+        split = network.natural_flow_split()
+        assert split.sum() == pytest.approx(network.total_flow_rate, rel=1e-9)
+
+    def test_natural_split_favours_wide_channels(self, geometry, params):
+        network = self._network(geometry, params, [20e-6, 50e-6])
+        split = network.natural_flow_split()
+        assert split[1] > split[0]
+
+    def test_total_pumping_power(self, geometry, params):
+        network = self._network(geometry, params, [30e-6, 30e-6])
+        expected = 2.0 * pumping_power(
+            network.channels[0].pressure_drop, params.flow_rate_per_channel
+        )
+        assert network.total_pumping_power == pytest.approx(expected, rel=1e-9)
+
+    def test_summary_keys(self, geometry, params):
+        network = self._network(geometry, params, [30e-6])
+        summary = network.summary()
+        assert "max_pressure_drop_Pa" in summary
+        assert "flow_imbalance" in summary
+        assert summary["n_channels"] == pytest.approx(1.0)
+
+    def test_empty_network_rejected(self, geometry, params):
+        with pytest.raises(ValueError):
+            FlowNetwork(geometry, [], params.flow_rate_per_channel)

@@ -1,0 +1,125 @@
+"""End-to-end integration tests mirroring the paper's experimental protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ChannelModulationDesigner, OptimizerSettings, get_architecture
+from repro.analysis import gradient_reduction
+from repro.config import DEFAULT_EXPERIMENT
+from repro.hydraulics import FlowNetwork
+from repro.ice import SteadyStateSolver, two_die_stack_from_architecture
+from repro.thermal.properties import TABLE_I
+
+
+class TestSingleChannelEndToEnd:
+    """Test A / Test B flow: structure -> optimization -> checks (Sec. V-A)."""
+
+    def test_test_a_reproduces_paper_shape(self, test_a_result):
+        minimum = test_a_result.baseline("uniform minimum")
+        maximum = test_a_result.baseline("uniform maximum")
+        optimal = test_a_result.optimal
+
+        # 1. Uniform min and max widths bracket the achievable distributions
+        #    and have similar gradients (Sec. V-A).
+        assert abs(minimum.thermal_gradient - maximum.thermal_gradient) < 3.0
+
+        # 2. The optimal design reduces the gradient substantially
+        #    (paper: ~32%; accept > 15% at the coarse test settings).
+        assert test_a_result.gradient_reduction > 0.15
+
+        # 3. The pressure stays below the Table I limit.
+        assert optimal.max_pressure_drop <= TABLE_I.max_pressure_drop * 1.01
+
+        # 4. The optimal peak temperature tracks the minimum-width peak and
+        #    is below the maximum-width peak.
+        assert optimal.peak_temperature < maximum.peak_temperature
+
+    def test_optimal_profile_feeds_back_into_flow_network(self, test_a_result):
+        """The optimized profiles must form a hydraulically consistent network."""
+        from repro.thermal.geometry import ChannelGeometry
+
+        structure = test_a_result.optimal
+        network = FlowNetwork(
+            geometry=ChannelGeometry.from_parameters(DEFAULT_EXPERIMENT.params),
+            width_profiles=structure.width_profiles,
+            flow_rate_per_channel=DEFAULT_EXPERIMENT.params.flow_rate_per_channel,
+        )
+        assert network.max_pressure_drop == pytest.approx(
+            structure.max_pressure_drop, rel=1e-3
+        )
+        assert network.total_pumping_power < 0.1  # a few mW per channel
+
+
+class TestMPSoCEndToEnd:
+    """Arch. 1 flow at peak power, then re-evaluated at average power (Fig. 8)."""
+
+    @pytest.fixture(scope="class")
+    def peak_result(self, arch1_cavity):
+        designer = ChannelModulationDesigner(
+            arch1_cavity,
+            OptimizerSettings(n_segments=4, max_iterations=25, n_grid_points=121),
+        )
+        return designer.design()
+
+    def test_peak_power_gradient_reduction(self, peak_result):
+        assert peak_result.gradient_reduction > 0.08
+
+    def test_design_also_helps_at_average_power(self, peak_result, arch1, config):
+        """The paper applies the peak-power design to the average scenario."""
+        average_cavity = arch1.cavity(
+            "average", config=config, n_lanes=4, n_cols=30
+        )
+        designer = ChannelModulationDesigner(
+            average_cavity, OptimizerSettings(n_segments=4, n_grid_points=121)
+        )
+        optimal = designer.evaluate_profiles(
+            peak_result.optimal.width_profiles, "optimal (peak design)"
+        )
+        uniform = designer.uniform_maximum()
+        reduction = 1.0 - optimal.thermal_gradient / uniform.thermal_gradient
+        assert reduction > 0.05
+
+    def test_finite_volume_maps_confirm_flattening(self, peak_result, arch1, config):
+        """Fig. 9: thermal maps of the optimal design are flatter than uniform."""
+        n_channels = int(
+            round(arch1.die_width / config.params.channel_pitch)
+        )
+        profiles = peak_result.optimal.width_profiles
+        per_channel = [
+            profiles[min(i * len(profiles) // n_channels, len(profiles) - 1)]
+            for i in range(n_channels)
+        ]
+        uniform_stack = two_die_stack_from_architecture(
+            arch1, "peak", config=config, n_cols=30, n_rows=33
+        )
+        optimal_stack = two_die_stack_from_architecture(
+            arch1, "peak", config=config, n_cols=30, n_rows=33,
+            width_profile=per_channel,
+        )
+        uniform_map = SteadyStateSolver(uniform_stack).solve().layer("top_die")
+        optimal_map = SteadyStateSolver(optimal_stack).solve().layer("top_die")
+        assert gradient_reduction(uniform_map, optimal_map) > 0.05
+
+
+class TestCrossSolverConsistency:
+    def test_cavity_and_fv_simulator_agree_on_trends(self, arch1, config):
+        """Both substrates must rank the architectures' gradients identically."""
+        from repro.thermal.fdm import solve_structure
+
+        cavity_gradients = {}
+        fv_gradients = {}
+        for name in ("arch1", "arch3"):
+            architecture = get_architecture(name)
+            cavity = architecture.cavity("peak", config=config, n_lanes=4, n_cols=30)
+            cavity_gradients[name] = solve_structure(
+                cavity, n_points=121
+            ).thermal_gradient
+            stack = two_die_stack_from_architecture(
+                architecture, "peak", config=config, n_cols=30, n_rows=33
+            )
+            fv_gradients[name] = SteadyStateSolver(stack).solve().thermal_gradient()
+        assert (cavity_gradients["arch3"] > cavity_gradients["arch1"]) == (
+            fv_gradients["arch3"] > fv_gradients["arch1"]
+        )

@@ -1,0 +1,131 @@
+"""Tests of the multi-channel cavity builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.thermal.geometry import HeatInputProfile, WidthProfile
+from repro.thermal.multichannel import (
+    build_cavity,
+    cavity_from_flux_maps,
+    cluster_line_densities,
+)
+
+
+class TestClusterLineDensities:
+    def test_exact_grouping(self):
+        densities = np.ones((6, 4)) * 10.0
+        lanes = cluster_line_densities(densities, cluster_size=3)
+        assert lanes.shape == (2, 4)
+        np.testing.assert_allclose(lanes, 30.0)
+
+    def test_partial_last_group_is_scaled(self):
+        densities = np.ones((5, 2)) * 10.0
+        lanes = cluster_line_densities(densities, cluster_size=3)
+        assert lanes.shape == (2, 2)
+        np.testing.assert_allclose(lanes[0], 30.0)
+        # Last lane holds 2 channels scaled up to a full cluster of 3.
+        np.testing.assert_allclose(lanes[1], 30.0)
+
+    def test_cluster_size_one_is_identity(self):
+        densities = np.arange(12.0).reshape(4, 3)
+        lanes = cluster_line_densities(densities, cluster_size=1)
+        np.testing.assert_allclose(lanes, densities)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            cluster_line_densities(np.ones(5), cluster_size=2)
+        with pytest.raises(ValueError):
+            cluster_line_densities(np.ones((5, 2)), cluster_size=0)
+
+
+class TestBuildCavity:
+    def test_default_width_is_maximum(self, geometry, params):
+        heat = [
+            HeatInputProfile.from_areal_flux(50.0, geometry.pitch, geometry.length)
+        ]
+        cavity = build_cavity(geometry, heat, heat)
+        assert cavity.lanes[0].width_profile(0.005) == pytest.approx(
+            geometry.max_width
+        )
+
+    def test_lane_count_mismatch_raises(self, geometry):
+        heat = [
+            HeatInputProfile.from_areal_flux(50.0, geometry.pitch, geometry.length)
+        ]
+        with pytest.raises(ValueError):
+            build_cavity(geometry, heat, heat * 2)
+
+    def test_width_profile_count_mismatch_raises(self, geometry):
+        heat = [
+            HeatInputProfile.from_areal_flux(50.0, geometry.pitch, geometry.length)
+        ] * 2
+        with pytest.raises(ValueError):
+            build_cavity(
+                geometry,
+                heat,
+                heat,
+                width_profiles=[WidthProfile.uniform(30e-6, geometry.length)],
+            )
+
+
+class TestCavityFromFluxMaps:
+    def test_power_is_conserved(self, params):
+        top = np.full((20, 10), 40.0)
+        bottom = np.full((20, 10), 20.0)
+        die_length, die_width = 0.01, 0.002  # 20 channels of 100 um pitch
+        cavity = cavity_from_flux_maps(
+            top,
+            bottom,
+            params=params,
+            die_length=die_length,
+            die_width=die_width,
+            cluster_size=4,
+        )
+        expected = (40.0 + 20.0) * 1e4 * die_length * die_width
+        assert cavity.total_power == pytest.approx(expected, rel=2e-2)
+
+    def test_lane_count_follows_cluster_size(self, params):
+        top = np.full((20, 10), 40.0)
+        cavity = cavity_from_flux_maps(
+            top,
+            top,
+            params=params,
+            die_length=0.01,
+            die_width=0.002,
+            cluster_size=5,
+        )
+        assert cavity.n_lanes == 4  # 20 channels / cluster of 5
+        assert cavity.cluster_size == 5
+
+    def test_hot_band_maps_to_hot_lane(self, params):
+        top = np.full((20, 10), 10.0)
+        top[:10, :] = 200.0  # the lower half of the die is hot
+        cavity = cavity_from_flux_maps(
+            top,
+            top,
+            params=params,
+            die_length=0.01,
+            die_width=0.002,
+            cluster_size=10,
+        )
+        assert cavity.n_lanes == 2
+        hot_power = cavity.lanes[0].total_power
+        cold_power = cavity.lanes[1].total_power
+        assert hot_power > 5.0 * cold_power
+
+    def test_shape_mismatch_raises(self, params):
+        with pytest.raises(ValueError):
+            cavity_from_flux_maps(
+                np.ones((4, 5)), np.ones((5, 4)), params=params
+            )
+
+    def test_heat_varies_along_flow_direction(self, params):
+        top = np.zeros((10, 10))
+        top[:, 5:] = 100.0  # the downstream half is hot
+        cavity = cavity_from_flux_maps(
+            top, top, params=params, die_length=0.01, die_width=0.001
+        )
+        lane = cavity.lanes[0]
+        assert lane.heat_top(0.008) > lane.heat_top(0.002)

@@ -1,0 +1,142 @@
+"""Tests of the objective functions and the pressure constraints."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import PressureConstraints
+from repro.core.objectives import (
+    OBJECTIVES,
+    get_objective,
+    gradient_norm_cost,
+    heat_flow_cost,
+    peak_temperature,
+    softmax_temperature_range,
+    temperature_range,
+)
+from repro.core.parameterization import WidthParameterization
+from repro.thermal.properties import TABLE_I
+
+
+class TestObjectives:
+    def test_gradient_norm_matches_solution_cost(self, test_a_solution):
+        assert gradient_norm_cost(test_a_solution) == pytest.approx(
+            test_a_solution.cost
+        )
+
+    def test_temperature_range_matches_gradient(self, test_a_solution):
+        assert temperature_range(test_a_solution) == pytest.approx(
+            test_a_solution.thermal_gradient
+        )
+
+    def test_peak_temperature(self, test_a_solution):
+        assert peak_temperature(test_a_solution) == pytest.approx(
+            test_a_solution.peak_temperature
+        )
+
+    def test_softmax_range_close_to_true_range(self, test_a_solution):
+        smooth = softmax_temperature_range(test_a_solution, sharpness=5.0)
+        true_range = test_a_solution.thermal_gradient
+        assert smooth == pytest.approx(true_range, rel=0.2)
+        # The softmax bound always over-estimates the true range.
+        assert smooth >= true_range - 1e-9
+
+    def test_softmax_rejects_bad_sharpness(self, test_a_solution):
+        with pytest.raises(ValueError):
+            softmax_temperature_range(test_a_solution, sharpness=0.0)
+
+    def test_heat_flow_cost_positive(self, test_a_solution):
+        assert heat_flow_cost(test_a_solution) > 0.0
+
+    def test_registry_lookup(self):
+        assert get_objective("gradient_norm") is gradient_norm_cost
+        assert set(OBJECTIVES) >= {
+            "gradient_norm",
+            "heat_flow",
+            "temperature_range",
+            "peak_temperature",
+        }
+
+    def test_unknown_objective_raises(self):
+        with pytest.raises(ValueError):
+            get_objective("does-not-exist")
+
+
+@pytest.fixture(scope="module")
+def pressure(geometry, params):
+    parameterization = WidthParameterization(geometry, n_segments=4, n_lanes=2)
+    return PressureConstraints(
+        parameterization=parameterization,
+        geometry=geometry,
+        coolant=params.coolant,
+        flow_rate=params.flow_rate_per_channel,
+        max_pressure_drop=TABLE_I.max_pressure_drop,
+    )
+
+
+class TestPressureConstraints:
+    def test_wide_channels_are_feasible(self, pressure):
+        vector = np.ones(pressure.parameterization.n_variables)
+        assert pressure.is_feasible(vector)
+        assert pressure.max_drop(vector) < pressure.max_pressure_drop
+
+    def test_minimum_width_everywhere_is_infeasible(self, pressure):
+        vector = np.zeros(pressure.parameterization.n_variables)
+        assert not pressure.is_feasible(vector)
+        assert pressure.max_drop(vector) > pressure.max_pressure_drop
+
+    def test_imbalanced_lanes_flagged_when_equality_enforced(self, pressure):
+        # Lane 0 fully narrow, lane 1 fully wide.
+        vector = np.concatenate([np.zeros(4), np.ones(4)])
+        assert pressure.imbalance(vector) > pressure.equal_pressure_tolerance
+        assert not pressure.is_feasible(vector)
+
+    def test_scipy_constraints_structure(self, pressure):
+        constraints = pressure.as_scipy_constraints()
+        assert len(constraints) == 2  # Eq. (9) margin + Eq. (10) balance
+        assert all(entry["type"] == "ineq" for entry in constraints)
+        vector = np.ones(pressure.parameterization.n_variables)
+        margins = np.atleast_1d(constraints[0]["fun"](vector))
+        assert np.all(margins > 0.0)
+
+    def test_summary_keys(self, pressure):
+        summary = pressure.summary(np.ones(pressure.parameterization.n_variables))
+        assert set(summary) >= {
+            "max_pressure_drop_Pa",
+            "pressure_limit_Pa",
+            "pressure_margin",
+            "pressure_imbalance",
+        }
+
+    def test_shared_parameterization_gets_single_constraint(self, geometry, params):
+        shared = WidthParameterization(
+            geometry, n_segments=4, n_lanes=3, shared=True
+        )
+        constraints = PressureConstraints(
+            parameterization=shared,
+            geometry=geometry,
+            coolant=params.coolant,
+            flow_rate=params.flow_rate_per_channel,
+            max_pressure_drop=TABLE_I.max_pressure_drop,
+        ).as_scipy_constraints()
+        assert len(constraints) == 1
+
+    def test_rejects_invalid_settings(self, geometry, params):
+        parameterization = WidthParameterization(geometry, n_segments=4)
+        with pytest.raises(ValueError):
+            PressureConstraints(
+                parameterization=parameterization,
+                geometry=geometry,
+                coolant=params.coolant,
+                flow_rate=-1.0,
+                max_pressure_drop=1e6,
+            )
+        with pytest.raises(ValueError):
+            PressureConstraints(
+                parameterization=parameterization,
+                geometry=geometry,
+                coolant=params.coolant,
+                flow_rate=params.flow_rate_per_channel,
+                max_pressure_drop=0.0,
+            )

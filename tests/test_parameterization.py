@@ -1,0 +1,124 @@
+"""Tests of the control-vector parameterization of width trajectories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.parameterization import WidthParameterization
+from repro.thermal.geometry import WidthProfile
+
+VECTORS = st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=6, max_size=6)
+
+
+@pytest.fixture(scope="module")
+def single_lane(geometry):
+    return WidthParameterization(geometry, n_segments=6, n_lanes=1)
+
+
+@pytest.fixture(scope="module")
+def three_lanes(geometry):
+    return WidthParameterization(geometry, n_segments=4, n_lanes=3)
+
+
+@pytest.fixture(scope="module")
+def shared(geometry):
+    return WidthParameterization(geometry, n_segments=5, n_lanes=3, shared=True)
+
+
+class TestSizes:
+    def test_per_lane_variable_count(self, three_lanes):
+        assert three_lanes.n_variables == 12
+
+    def test_shared_variable_count(self, shared):
+        assert shared.n_variables == 5
+
+    def test_rejects_bad_segment_count(self, geometry):
+        with pytest.raises(ValueError):
+            WidthParameterization(geometry, n_segments=0)
+
+
+class TestNormalization:
+    def test_bounds_round_trip(self, single_lane, geometry):
+        widths = np.array([geometry.min_width, geometry.max_width])
+        vector = single_lane.widths_to_vector(widths)
+        np.testing.assert_allclose(vector, [0.0, 1.0])
+        np.testing.assert_allclose(single_lane.vector_to_widths(vector), widths)
+
+    def test_out_of_box_values_are_clipped(self, single_lane, geometry):
+        widths = single_lane.vector_to_widths(np.array([-0.5, 1.5]))
+        assert widths[0] == pytest.approx(geometry.min_width)
+        assert widths[1] == pytest.approx(geometry.max_width)
+
+    @given(values=VECTORS)
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_is_identity_inside_box(self, geometry, values):
+        parameterization = WidthParameterization(geometry, n_segments=6)
+        vector = np.asarray(values)
+        widths = parameterization.vector_to_widths(vector)
+        recovered = parameterization.widths_to_vector(widths)
+        np.testing.assert_allclose(recovered, vector, atol=1e-12)
+
+    @given(values=VECTORS)
+    @settings(max_examples=50, deadline=None)
+    def test_decoded_widths_respect_fabrication_bounds(self, geometry, values):
+        parameterization = WidthParameterization(geometry, n_segments=6)
+        widths = parameterization.vector_to_widths(np.asarray(values))
+        assert np.all(widths >= geometry.min_width - 1e-15)
+        assert np.all(widths <= geometry.max_width + 1e-15)
+
+
+class TestProfileConstruction:
+    def test_single_lane_profile(self, single_lane, geometry):
+        vector = np.linspace(1.0, 0.0, 6)
+        profiles = single_lane.profiles_from_vector(vector)
+        assert len(profiles) == 1
+        assert profiles[0](0.0) == pytest.approx(geometry.max_width)
+        assert profiles[0](geometry.length) == pytest.approx(geometry.min_width)
+
+    def test_per_lane_profiles_are_independent(self, three_lanes, geometry):
+        vector = np.concatenate(
+            [np.zeros(4), np.full(4, 0.5), np.ones(4)]
+        )
+        profiles = three_lanes.profiles_from_vector(vector)
+        assert profiles[0](0.005) == pytest.approx(geometry.min_width)
+        assert profiles[2](0.005) == pytest.approx(geometry.max_width)
+
+    def test_shared_mode_returns_same_profile_objects(self, shared):
+        profiles = shared.profiles_from_vector(np.full(5, 0.25))
+        assert len(profiles) == 3
+        assert profiles[0] is profiles[1] is profiles[2]
+
+    def test_wrong_vector_length_raises(self, three_lanes):
+        with pytest.raises(ValueError):
+            three_lanes.profiles_from_vector(np.zeros(5))
+
+    def test_vector_from_profiles_round_trip(self, three_lanes, geometry):
+        vector = np.linspace(0.0, 1.0, 12)
+        profiles = three_lanes.profiles_from_vector(vector)
+        recovered = three_lanes.vector_from_profiles(profiles)
+        np.testing.assert_allclose(recovered, vector, atol=1e-12)
+
+    def test_vector_from_uniform_profiles(self, shared, geometry):
+        profile = WidthProfile.uniform(geometry.max_width, geometry.length)
+        vector = shared.vector_from_profiles([profile] * 3)
+        np.testing.assert_allclose(vector, 1.0)
+
+
+class TestStartingPoints:
+    def test_uniform_vector_for_known_width(self, single_lane, geometry):
+        mid = 0.5 * (geometry.min_width + geometry.max_width)
+        np.testing.assert_allclose(single_lane.uniform_vector(mid), 0.5)
+
+    def test_uniform_vector_rejects_out_of_bounds(self, single_lane, geometry):
+        with pytest.raises(ValueError):
+            single_lane.uniform_vector(geometry.max_width * 2.0)
+
+    def test_midpoint_vector(self, three_lanes):
+        np.testing.assert_allclose(three_lanes.midpoint_vector(), 0.5)
+
+    def test_lane_slice(self, three_lanes):
+        assert three_lanes.lane_slice(1) == slice(4, 8)
+        with pytest.raises(IndexError):
+            three_lanes.lane_slice(3)

@@ -1,0 +1,115 @@
+"""Unit tests for the material/coolant property library and Table I."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.thermal.properties import (
+    COOLANT_LIBRARY,
+    Coolant,
+    MATERIAL_LIBRARY,
+    PaperParameters,
+    SILICON,
+    SolidMaterial,
+    TABLE_I,
+    WATER,
+    m3_per_s_to_ml_per_min,
+    ml_per_min_to_m3_per_s,
+)
+
+
+class TestSolidMaterial:
+    def test_silicon_matches_table_i(self):
+        assert SILICON.thermal_conductivity == pytest.approx(130.0)
+
+    def test_rejects_non_positive_conductivity(self):
+        with pytest.raises(ValueError):
+            SolidMaterial("bad", thermal_conductivity=0.0, volumetric_heat_capacity=1.0)
+
+    def test_rejects_non_positive_heat_capacity(self):
+        with pytest.raises(ValueError):
+            SolidMaterial("bad", thermal_conductivity=1.0, volumetric_heat_capacity=-2.0)
+
+    def test_materials_are_immutable(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            SILICON.thermal_conductivity = 10.0
+
+    def test_library_contains_silicon_and_copper(self):
+        assert "silicon" in MATERIAL_LIBRARY
+        assert "copper" in MATERIAL_LIBRARY
+
+
+class TestCoolant:
+    def test_water_volumetric_heat_capacity_matches_table_i(self):
+        assert WATER.volumetric_heat_capacity == pytest.approx(4.17e6)
+
+    def test_specific_heat_consistency(self):
+        assert WATER.specific_heat == pytest.approx(
+            WATER.volumetric_heat_capacity / WATER.density
+        )
+
+    def test_kinematic_viscosity_consistency(self):
+        assert WATER.kinematic_viscosity == pytest.approx(
+            WATER.dynamic_viscosity / WATER.density
+        )
+
+    def test_rejects_non_positive_viscosity(self):
+        with pytest.raises(ValueError):
+            Coolant(
+                name="bad",
+                thermal_conductivity=0.6,
+                volumetric_heat_capacity=4e6,
+                dynamic_viscosity=0.0,
+                density=1000.0,
+                prandtl=6.0,
+            )
+
+    def test_library_contains_water(self):
+        assert "water" in COOLANT_LIBRARY
+
+
+class TestFlowRateConversions:
+    def test_round_trip(self):
+        assert m3_per_s_to_ml_per_min(ml_per_min_to_m3_per_s(4.8)) == pytest.approx(4.8)
+
+    def test_known_value(self):
+        # 60 ml/min is exactly 1 ml/s = 1e-6 m^3/s.
+        assert ml_per_min_to_m3_per_s(60.0) == pytest.approx(1e-6)
+
+
+class TestPaperParameters:
+    def test_table_i_defaults(self):
+        table = TABLE_I.as_table()
+        assert table["k_Si [W/m.K]"] == pytest.approx(130.0)
+        assert table["W [um]"] == pytest.approx(100.0)
+        assert table["H_Si [um]"] == pytest.approx(50.0)
+        assert table["H_C [um]"] == pytest.approx(100.0)
+        assert table["c_v [J/m^3.K]"] == pytest.approx(4.17e6)
+        assert table["V_dot [ml/min/channel]"] == pytest.approx(4.8)
+        assert table["T_C,in [K]"] == pytest.approx(300.0)
+        assert table["dP_max [Pa]"] == pytest.approx(10e5)
+        assert table["w_Cmin [um]"] == pytest.approx(10.0)
+        assert table["w_Cmax [um]"] == pytest.approx(50.0)
+
+    def test_with_overrides_returns_new_instance(self):
+        modified = TABLE_I.with_overrides(inlet_temperature=310.0)
+        assert modified.inlet_temperature == pytest.approx(310.0)
+        assert TABLE_I.inlet_temperature == pytest.approx(300.0)
+        assert modified is not TABLE_I
+
+    def test_rejects_inverted_width_bounds(self):
+        with pytest.raises(ValueError):
+            PaperParameters(min_channel_width=60e-6, max_channel_width=50e-6)
+
+    def test_rejects_width_equal_to_pitch(self):
+        with pytest.raises(ValueError):
+            PaperParameters(max_channel_width=100e-6, channel_pitch=100e-6)
+
+    def test_rejects_non_positive_dimensions(self):
+        with pytest.raises(ValueError):
+            PaperParameters(channel_height=0.0)
+
+    def test_flow_rate_reporting(self):
+        assert TABLE_I.flow_rate_ml_per_min == pytest.approx(4.8)

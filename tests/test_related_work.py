@@ -1,0 +1,225 @@
+"""Tests of the related-work baselines (flow clustering, channel density,
+counterflow) and of the per-lane model extensions they rely on."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.related import (
+    FlowClusteringOptimizer,
+    allocate_channels,
+    alternating_counterflow,
+    compare_techniques,
+    evaluate_density,
+    evaluate_flow_directions,
+    power_proportional_density,
+    proportional_allocation,
+    uniform_density,
+)
+from repro.thermal.fdm import solve_finite_difference
+from repro.thermal.geometry import HeatInputProfile, MultiChannelStructure
+from repro.thermal.multichannel import build_cavity
+
+
+@pytest.fixture(scope="module")
+def skewed_cavity(geometry, params):
+    """A two-lane cavity with one hot and one cool lane (clustered channels)."""
+    hot = HeatInputProfile.from_areal_flux(
+        140.0, geometry.pitch * 10, geometry.length
+    )
+    cold = HeatInputProfile.from_areal_flux(
+        20.0, geometry.pitch * 10, geometry.length
+    )
+    return build_cavity(
+        geometry,
+        [hot, cold],
+        [hot, cold],
+        flow_rate=params.flow_rate_per_channel,
+        inlet_temperature=params.inlet_temperature,
+        cluster_size=10,
+    )
+
+
+class TestPerLaneModelExtensions:
+    def test_lane_cluster_sizes_validation(self, skewed_cavity):
+        from dataclasses import replace
+
+        with pytest.raises(ValueError):
+            replace(skewed_cavity, lane_cluster_sizes=(5,))
+        with pytest.raises(ValueError):
+            replace(skewed_cavity, lane_cluster_sizes=(0, 20))
+
+    def test_cluster_size_of_lane(self, skewed_cavity):
+        from dataclasses import replace
+
+        custom = replace(skewed_cavity, lane_cluster_sizes=(14, 6))
+        assert custom.cluster_size_of_lane(0) == 14
+        assert custom.cluster_size_of_lane(1) == 6
+        assert custom.n_physical_channels == 20
+        with pytest.raises(IndexError):
+            custom.cluster_size_of_lane(2)
+
+    def test_reversed_lane_coolant_enters_at_far_end(self, test_a, params):
+        reversed_structure = test_a.with_flow_reversed()
+        cavity = MultiChannelStructure.single(reversed_structure)
+        solution = solve_finite_difference(cavity, n_points=161)
+        coolant = solution.coolant_temperatures[0]
+        # Inlet temperature now sits at z = d and the coolant heats up
+        # toward z = 0.
+        assert coolant[-1] == pytest.approx(params.inlet_temperature)
+        assert coolant[0] > coolant[-1]
+
+    def test_reversed_lane_mirrors_forward_solution(self, test_a):
+        forward = solve_finite_difference(
+            MultiChannelStructure.single(test_a), n_points=201
+        )
+        backward = solve_finite_difference(
+            MultiChannelStructure.single(test_a.with_flow_reversed()),
+            n_points=201,
+        )
+        # Uniform heating: the reversed solution is the mirror image of the
+        # forward one, so the scalar metrics coincide.
+        assert backward.thermal_gradient == pytest.approx(
+            forward.thermal_gradient, rel=1e-6
+        )
+        np.testing.assert_allclose(
+            backward.temperatures[0, 0],
+            forward.temperatures[0, 0, ::-1],
+            rtol=1e-6,
+        )
+
+
+class TestChannelAllocation:
+    def test_allocation_sums_to_total(self):
+        counts = allocate_channels([3.0, 1.0, 1.0], total_channels=20)
+        assert sum(counts) == 20
+        assert counts[0] > counts[1]
+
+    def test_allocation_respects_minimum(self):
+        counts = allocate_channels([100.0, 0.0], total_channels=10, minimum_per_lane=2)
+        assert min(counts) >= 2
+        assert sum(counts) == 10
+
+    def test_allocation_with_zero_weights_is_uniform(self):
+        counts = allocate_channels([0.0, 0.0, 0.0, 0.0], total_channels=12)
+        assert counts == [3, 3, 3, 3]
+
+    def test_allocation_rejects_impossible_minimum(self):
+        with pytest.raises(ValueError):
+            allocate_channels([1.0, 1.0], total_channels=1)
+
+    def test_allocation_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            allocate_channels([1.0, -1.0], total_channels=4)
+
+
+class TestChannelDensityBaseline:
+    def test_uniform_density_matches_plain_solve(self, skewed_cavity):
+        reference = solve_finite_difference(skewed_cavity, n_points=161)
+        uniform = uniform_density(skewed_cavity, n_points=161)
+        assert uniform.thermal_gradient == pytest.approx(
+            reference.thermal_gradient, rel=1e-9
+        )
+
+    def test_power_proportional_density_helps_skewed_load(self, skewed_cavity):
+        uniform = uniform_density(skewed_cavity, n_points=161)
+        adapted = power_proportional_density(skewed_cavity, n_points=161)
+        assert adapted.thermal_gradient < uniform.thermal_gradient
+        assert sum(adapted.metadata["channels_per_lane"]) == (
+            skewed_cavity.n_physical_channels
+        )
+
+    def test_evaluate_density_validates_inputs(self, skewed_cavity):
+        with pytest.raises(ValueError):
+            evaluate_density(skewed_cavity, [5], "bad")
+        with pytest.raises(ValueError):
+            evaluate_density(skewed_cavity, [0, 20], "bad")
+
+
+class TestVariableFlowBaseline:
+    def test_proportional_allocation_conserves_total_flow(self, skewed_cavity):
+        evaluation = proportional_allocation(skewed_cavity, n_points=121)
+        flows = evaluation.metadata["flow_rates_m3_per_s"]
+        total = skewed_cavity.lanes[0].flow_rate * skewed_cavity.n_lanes
+        assert sum(flows) == pytest.approx(total, rel=1e-9)
+        # The hot lane receives more coolant than the cool lane.
+        assert flows[0] > flows[1]
+
+    def test_proportional_allocation_lowers_peak_of_hot_lane(self, skewed_cavity):
+        """Giving the hot lane more coolant lowers the stack's peak temperature.
+
+        The max-min gradient is not guaranteed to improve (starving the cool
+        lane raises its own coolant rise), which is exactly the limitation of
+        flow clustering the paper points out -- so the assertion targets the
+        peak, where the technique genuinely helps.
+        """
+        uniform = uniform_density(skewed_cavity, n_points=161)
+        adapted = proportional_allocation(skewed_cavity, n_points=161)
+        assert adapted.peak_temperature < uniform.peak_temperature
+        assert adapted.thermal_gradient < uniform.thermal_gradient * 1.05
+
+    def test_optimizer_at_least_matches_heuristic(self, skewed_cavity):
+        heuristic = proportional_allocation(skewed_cavity, n_points=121)
+        optimizer = FlowClusteringOptimizer(
+            skewed_cavity,
+            n_grid_points=121,
+            max_iterations=15,
+        )
+        optimized = optimizer.optimize()
+        assert optimized.thermal_gradient <= heuristic.thermal_gradient * 1.10
+        assert optimized.max_pressure_drop <= optimizer.max_pressure_drop * 1.01
+
+    def test_invalid_settings_rejected(self, skewed_cavity):
+        with pytest.raises(ValueError):
+            FlowClusteringOptimizer(skewed_cavity, total_flow=0.0)
+        with pytest.raises(ValueError):
+            FlowClusteringOptimizer(skewed_cavity, minimum_fraction=1.0)
+        with pytest.raises(ValueError):
+            proportional_allocation(skewed_cavity, minimum_fraction=2.0)
+
+
+class TestCounterflow:
+    def test_direction_flags_validated(self, skewed_cavity):
+        with pytest.raises(ValueError):
+            evaluate_flow_directions(skewed_cavity, [True], "bad")
+
+    def test_alternating_counterflow_flattens_along_flow_profile(
+        self, geometry, params
+    ):
+        heat = [
+            HeatInputProfile.from_areal_flux(
+                60.0, geometry.pitch * 10, geometry.length
+            )
+            for _ in range(4)
+        ]
+        cavity = build_cavity(
+            geometry,
+            heat,
+            heat,
+            flow_rate=params.flow_rate_per_channel,
+            inlet_temperature=params.inlet_temperature,
+            cluster_size=10,
+        )
+        unidirectional = uniform_density(cavity, n_points=161)
+        counterflow = alternating_counterflow(cavity, n_points=161)
+        assert counterflow.thermal_gradient < unidirectional.thermal_gradient
+        assert counterflow.metadata["reversed_lanes"] == [False, True, False, True]
+
+
+class TestTechniqueComparison:
+    def test_compare_techniques_ranks_modulation_first(self, arch1_cavity):
+        from repro.core import OptimizerSettings
+
+        evaluations = compare_techniques(
+            arch1_cavity,
+            OptimizerSettings(n_segments=4, max_iterations=20, n_grid_points=121),
+            n_points=121,
+        )
+        labels = [evaluation.label for evaluation in evaluations]
+        assert "uniform maximum" in labels
+        assert "optimal modulation" in labels
+        gradients = {e.label: e.thermal_gradient for e in evaluations}
+        # Channel modulation beats the conventional design on the MPSoC
+        # cavity; the related-work baselines land in between (or worse).
+        assert gradients["optimal modulation"] < gradients["uniform maximum"]

@@ -1,0 +1,133 @@
+"""Tests of result records and the high-level designer API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ChannelModulationDesigner, OptimizerSettings
+from repro.core.results import DesignEvaluation, ModulationResult, OptimizationTrace
+from repro.thermal.geometry import WidthProfile
+from repro.thermal.solution import ThermalSolution
+
+
+def _fake_evaluation(label, gradient, peak, pressure):
+    z = np.linspace(0.0, 0.01, 5)
+    # Layer 1 sits at the peak temperature, layer 0 at peak - gradient, so
+    # the evaluation has exactly the requested gradient and peak.
+    temperatures = np.zeros((2, 1, 5))
+    temperatures[0, 0, :] = peak - gradient
+    temperatures[1, 0, :] = peak
+    solution = ThermalSolution(
+        z=z,
+        temperatures=temperatures,
+        heat_flows=np.zeros_like(temperatures),
+        coolant_temperatures=np.full((1, 5), 300.0),
+        inlet_temperature=300.0,
+    )
+    return DesignEvaluation(
+        label=label,
+        width_profiles=[WidthProfile.uniform(30e-6, 0.01)],
+        solution=solution,
+        pressure_drops=np.array([pressure]),
+    )
+
+
+class TestDesignEvaluation:
+    def test_scalar_properties(self):
+        evaluation = _fake_evaluation("x", gradient=10.0, peak=320.0, pressure=2e5)
+        assert evaluation.peak_temperature == pytest.approx(320.0)
+        assert evaluation.max_pressure_drop == pytest.approx(2e5)
+        assert evaluation.pressure_imbalance == pytest.approx(0.0)
+
+    def test_summary_contains_celsius(self):
+        evaluation = _fake_evaluation("x", 10.0, 320.0, 2e5)
+        summary = evaluation.summary()
+        assert summary["peak_temperature_C"] == pytest.approx(320.0 - 273.15)
+
+
+class TestModulationResult:
+    def _result(self):
+        baselines = [
+            _fake_evaluation("uniform minimum", 20.0, 325.0, 9e5),
+            _fake_evaluation("uniform maximum", 21.0, 331.0, 1e5),
+        ]
+        optimal = _fake_evaluation("optimal modulation", 14.0, 326.0, 8e5)
+        return ModulationResult(
+            optimal=optimal,
+            baselines=baselines,
+            decision_vector=np.full(6, 0.5),
+            trace=OptimizationTrace(converged=True),
+        )
+
+    def test_reference_is_worst_baseline(self):
+        result = self._result()
+        assert result.reference_gradient == pytest.approx(21.0)
+
+    def test_gradient_reduction(self):
+        result = self._result()
+        assert result.gradient_reduction == pytest.approx(1.0 - 14.0 / 21.0)
+
+    def test_peak_reduction_versus_maximum_width(self):
+        result = self._result()
+        assert result.peak_temperature_reduction == pytest.approx(331.0 - 326.0)
+
+    def test_baseline_lookup(self):
+        result = self._result()
+        assert result.baseline("uniform minimum").thermal_gradient == pytest.approx(
+            20.0
+        )
+        with pytest.raises(KeyError):
+            result.baseline("nope")
+
+    def test_comparison_table_has_three_rows(self):
+        assert len(self._result().comparison_table()) == 3
+
+    def test_trace_record(self):
+        trace = OptimizationTrace()
+        trace.record(10.0, 5.0)
+        trace.record(8.0, 4.0)
+        assert trace.n_iterations == 2
+        assert trace.cost_history == [10.0, 8.0]
+        assert trace.gradient_history == [5.0, 4.0]
+
+
+class TestDesignerAPI:
+    @pytest.fixture(scope="class")
+    def designer(self, test_a):
+        return ChannelModulationDesigner(
+            test_a, OptimizerSettings(n_segments=4, n_grid_points=121)
+        )
+
+    def test_structure_accessor(self, designer, test_a):
+        assert designer.structure.lanes[0].heat_top is test_a.heat_top
+
+    def test_uniform_designs(self, designer, geometry):
+        minimum = designer.uniform_minimum()
+        maximum = designer.uniform_maximum()
+        assert minimum.width_profiles[0](0.005) == pytest.approx(geometry.min_width)
+        assert maximum.width_profiles[0](0.005) == pytest.approx(geometry.max_width)
+
+    def test_width_sweep_size_and_order(self, designer, geometry):
+        sweep = designer.width_sweep(n_candidates=5)
+        assert len(sweep) == 5
+        widths = [e.width_profiles[0](0.0) for e in sweep]
+        assert widths[0] == pytest.approx(geometry.min_width)
+        assert widths[-1] == pytest.approx(geometry.max_width)
+
+    def test_evaluate_profiles_custom_label(self, designer, geometry):
+        profile = WidthProfile.uniform(30e-6, geometry.length)
+        evaluation = designer.evaluate_profiles([profile], label="my design")
+        assert evaluation.label == "my design"
+
+    def test_pressure_override(self, test_a):
+        designer = ChannelModulationDesigner(
+            test_a,
+            OptimizerSettings(n_segments=4, n_grid_points=121),
+            max_pressure_drop=3e5,
+        )
+        assert designer.optimizer.pressure.max_pressure_drop == pytest.approx(3e5)
+
+    def test_pressure_override_rejects_non_positive(self, test_a):
+        with pytest.raises(ValueError):
+            ChannelModulationDesigner(test_a, max_pressure_drop=0.0)

@@ -1,0 +1,123 @@
+"""Tests of the ThermalSolution container and its metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.thermal.solution import ThermalSolution
+
+
+def _toy_solution():
+    """A small hand-built solution with known metrics."""
+    z = np.linspace(0.0, 1.0, 5)
+    temperatures = np.zeros((2, 1, 5))
+    temperatures[0, 0] = 300.0 + 10.0 * z  # linear rise of 10 K
+    temperatures[1, 0] = 302.0 + 10.0 * z
+    heat_flows = np.zeros_like(temperatures)
+    coolant = 300.0 + 5.0 * z[np.newaxis, :]
+    return ThermalSolution(
+        z=z,
+        temperatures=temperatures,
+        heat_flows=heat_flows,
+        coolant_temperatures=coolant,
+        inlet_temperature=300.0,
+    )
+
+
+class TestShapes:
+    def test_basic_shape_queries(self):
+        solution = _toy_solution()
+        assert solution.n_layers == 2
+        assert solution.n_lanes == 1
+        assert solution.n_points == 5
+        assert solution.length == pytest.approx(1.0)
+
+    def test_rejects_mismatched_coolant_shape(self):
+        z = np.linspace(0.0, 1.0, 5)
+        with pytest.raises(ValueError):
+            ThermalSolution(
+                z=z,
+                temperatures=np.zeros((2, 1, 5)),
+                heat_flows=np.zeros((2, 1, 5)),
+                coolant_temperatures=np.zeros((2, 5)),
+                inlet_temperature=300.0,
+            )
+
+    def test_rejects_wrong_dimensionality(self):
+        z = np.linspace(0.0, 1.0, 5)
+        with pytest.raises(ValueError):
+            ThermalSolution(
+                z=z,
+                temperatures=np.zeros((2, 5)),
+                heat_flows=np.zeros((2, 5)),
+                coolant_temperatures=np.zeros((1, 5)),
+                inlet_temperature=300.0,
+            )
+
+
+class TestMetrics:
+    def test_thermal_gradient(self):
+        solution = _toy_solution()
+        # max = 312 (layer 1 at z=1), min = 300 (layer 0 at z=0).
+        assert solution.thermal_gradient == pytest.approx(12.0)
+
+    def test_peak_and_min(self):
+        solution = _toy_solution()
+        assert solution.peak_temperature == pytest.approx(312.0)
+        assert solution.min_temperature == pytest.approx(300.0)
+
+    def test_coolant_rise(self):
+        solution = _toy_solution()
+        assert solution.coolant_temperature_rise == pytest.approx(5.0)
+
+    def test_cost_of_linear_profiles(self):
+        solution = _toy_solution()
+        # Both layers have dT/dz = 10 K/m, over unit length: J = 2 * 100 = 200.
+        assert solution.cost == pytest.approx(200.0, rel=1e-6)
+
+    def test_temperature_change_from_inlet(self):
+        solution = _toy_solution()
+        change = solution.temperature_change_from_inlet()
+        assert change[0, 0, 0] == pytest.approx(0.0)
+        assert change[0, 0, -1] == pytest.approx(10.0)
+
+    def test_celsius_conversion(self):
+        solution = _toy_solution()
+        assert solution.temperatures_celsius()[0, 0, 0] == pytest.approx(
+            300.0 - 273.15
+        )
+
+    def test_absorbed_power(self):
+        solution = _toy_solution()
+        assert solution.absorbed_power(capacity_rate=2.0) == pytest.approx(10.0)
+
+    def test_summary_keys(self):
+        summary = _toy_solution().summary()
+        assert set(summary) == {
+            "peak_temperature_K",
+            "min_temperature_K",
+            "thermal_gradient_K",
+            "coolant_rise_K",
+            "cost_J",
+        }
+
+    def test_as_map_shape(self):
+        solution = _toy_solution()
+        assert solution.as_map(0).shape == (1, 5)
+
+    def test_lane_maximum(self):
+        solution = _toy_solution()
+        np.testing.assert_allclose(solution.lane_maximum(), [312.0])
+
+
+class TestCostEquivalence:
+    def test_gradient_and_heat_flow_costs_agree_on_real_solution(
+        self, test_a_solution, test_a
+    ):
+        """J expressed via dT/dz equals J via q/g_l (Sec. IV-A)."""
+        from repro.thermal.conductances import longitudinal_conductance
+
+        g_l = longitudinal_conductance(test_a.geometry, test_a.silicon)
+        from_heat_flows = test_a_solution.heat_flow_cost / g_l**2
+        assert from_heat_flows == pytest.approx(test_a_solution.cost, rel=0.05)

@@ -1,0 +1,130 @@
+"""Tests of the state-space ODE form (Eq. 3) and its internal consistency."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.thermal.state_space import (
+    AUGMENTED_STATE_NAMES,
+    REDUCED_STATE_NAMES,
+    SingleChannelStateSpace,
+)
+
+
+@pytest.fixture(scope="module")
+def model(test_a):
+    return SingleChannelStateSpace(test_a)
+
+
+class TestStateNames:
+    def test_reduced_state_has_four_entries(self):
+        assert REDUCED_STATE_NAMES == ("T1", "T2", "q1", "q2")
+
+    def test_augmented_state_adds_coolant(self):
+        assert AUGMENTED_STATE_NAMES == ("T1", "T2", "q1", "q2", "TC")
+
+
+class TestLocalParameters:
+    def test_longitudinal_conductance_positive(self, model):
+        assert model.longitudinal_conductance > 0.0
+
+    def test_capacity_rate_matches_inputs(self, model, test_a):
+        expected = (
+            test_a.coolant.volumetric_heat_capacity * test_a.flow_rate
+        )
+        assert model.capacity_rate == pytest.approx(expected)
+
+    def test_local_conductances_shapes(self, model):
+        g_v, g_w = model.local_conductances(np.linspace(0.0, 0.01, 5))
+        assert g_v.shape == (5,)
+        assert g_w.shape == (5,)
+        assert np.all(g_v > 0.0)
+        assert np.all(g_w > 0.0)
+
+    def test_cumulative_heat_input_total(self, model, test_a):
+        total = model.cumulative_heat_input(test_a.length)
+        assert total == pytest.approx(test_a.total_power, rel=1e-3)
+
+    def test_cumulative_heat_input_is_monotone(self, model):
+        z = np.linspace(0.0, 0.01, 11)
+        cumulative = model.cumulative_heat_input(z)
+        assert np.all(np.diff(cumulative) >= 0.0)
+
+
+class TestRightHandSides:
+    def test_reduced_and_augmented_agree_when_consistent(self, model, test_a):
+        """If TC equals the energy-balance value, the two forms must match."""
+        z = 0.004
+        q1, q2 = 0.0005, -0.0003
+        t_coolant = float(model.coolant_temperature_from_state(z, q1, q2)[0])
+        reduced = model.reduced_rhs(z, np.array([310.0, 312.0, q1, q2]))
+        augmented = model.augmented_rhs(
+            z, np.array([310.0, 312.0, q1, q2, t_coolant])
+        )
+        np.testing.assert_allclose(reduced, augmented[:4], rtol=1e-10)
+
+    def test_augmented_rhs_is_linear_in_state(self, model):
+        """Check dX/dz = A(z) X + b(z) against the explicit coefficients."""
+        z = 0.006
+        a, b = model.linear_coefficients(z)
+        rng = np.random.default_rng(7)
+        for _ in range(5):
+            state = rng.normal(size=5) * np.array([300, 300, 1e-3, 1e-3, 300])
+            direct = model.augmented_rhs(z, state)
+            linear = a[0] @ state + b[0]
+            np.testing.assert_allclose(direct, linear, rtol=1e-9, atol=1e-12)
+
+    def test_vectorized_rhs_matches_pointwise(self, model):
+        z = np.array([0.001, 0.005, 0.009])
+        states = np.vstack(
+            [
+                np.full(3, 310.0),
+                np.full(3, 315.0),
+                np.array([1e-4, 2e-4, -1e-4]),
+                np.array([0.0, -1e-4, 1e-4]),
+                np.full(3, 305.0),
+            ]
+        )
+        vectorized = model.augmented_rhs(z, states)
+        for index in range(3):
+            single = model.augmented_rhs(z[index], states[:, index])
+            np.testing.assert_allclose(vectorized[:, index], single, rtol=1e-9)
+
+    def test_uniform_heating_symmetric_layers(self, model):
+        """With equal layer temperatures and inputs, both layers see equal dq/dz."""
+        state = np.array([320.0, 320.0, 0.0, 0.0, 305.0])
+        derivative = model.augmented_rhs(0.005, state)
+        assert derivative[2] == pytest.approx(derivative[3])
+
+    def test_coolant_heats_up_when_silicon_is_hotter(self, model):
+        state = np.array([320.0, 320.0, 0.0, 0.0, 305.0])
+        derivative = model.augmented_rhs(0.005, state)
+        assert derivative[4] > 0.0
+
+    def test_boundary_residual_zero_for_exact_conditions(self, model, test_a):
+        inlet = np.array([310.0, 311.0, 0.0, 0.0, test_a.inlet_temperature])
+        outlet = np.array([315.0, 316.0, 0.0, 0.0, 320.0])
+        residual = model.boundary_residual(inlet, outlet)
+        np.testing.assert_allclose(residual, 0.0, atol=1e-12)
+
+    def test_boundary_residual_flags_violations(self, model, test_a):
+        inlet = np.array([310.0, 311.0, 0.5, 0.0, test_a.inlet_temperature])
+        outlet = np.array([315.0, 316.0, 0.0, 0.25, 320.0])
+        residual = model.boundary_residual(inlet, outlet)
+        assert residual[0] == pytest.approx(0.5)
+        assert residual[4] == pytest.approx(0.25)
+
+
+class TestCoolantReconstruction:
+    def test_inlet_value(self, model, test_a):
+        value = model.coolant_temperature_from_state(0.0, 0.0, 0.0)
+        assert value[0] == pytest.approx(test_a.inlet_temperature)
+
+    def test_outlet_value_matches_energy_balance(self, model, test_a):
+        """With zero heat flows at the outlet, all injected power is in the coolant."""
+        value = model.coolant_temperature_from_state(test_a.length, 0.0, 0.0)
+        expected_rise = test_a.total_power / model.capacity_rate
+        assert value[0] - test_a.inlet_temperature == pytest.approx(
+            expected_rise, rel=1e-3
+        )

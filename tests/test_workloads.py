@@ -1,0 +1,100 @@
+"""Tests of the synthetic workload generators (Fig. 4 and Fig. 1 inputs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_EXPERIMENT
+# The builders are aliased so pytest does not collect the library functions
+# (their names start with ``test_``) as test items.
+from repro.floorplan.workloads import (
+    TEST_A_FLUX,
+    random_die_maps,
+    test_a_structure as build_test_a_structure,
+    test_b_fluxes as build_test_b_fluxes,
+    test_b_structure as build_test_b_structure,
+    uniform_die_maps,
+)
+
+
+class TestTestA:
+    def test_flux_value(self):
+        assert TEST_A_FLUX == pytest.approx(50.0)
+
+    def test_structure_power(self):
+        structure = build_test_a_structure()
+        # 50 W/cm^2 on both layers over 1 cm x 100 um -> 1 W total.
+        assert structure.total_power == pytest.approx(1.0, rel=1e-6)
+
+    def test_uses_maximum_width_by_default(self):
+        structure = build_test_a_structure()
+        assert structure.width_profile(0.005) == pytest.approx(
+            DEFAULT_EXPERIMENT.params.max_channel_width
+        )
+
+    def test_heat_is_uniform(self):
+        structure = build_test_a_structure()
+        z = np.linspace(0.0, structure.length, 11)
+        np.testing.assert_allclose(structure.heat_top(z), structure.heat_top(0.0))
+
+
+class TestTestB:
+    def test_fluxes_within_configured_range(self, config):
+        top, bottom = build_test_b_fluxes(config)
+        low, high = config.test_b_flux_range
+        for fluxes in (top, bottom):
+            assert fluxes.shape == (config.test_b_segments,)
+            assert np.all(fluxes >= low)
+            assert np.all(fluxes <= high)
+
+    def test_deterministic_for_fixed_seed(self, config):
+        first = build_test_b_fluxes(config)
+        second = build_test_b_fluxes(config)
+        np.testing.assert_allclose(first[0], second[0])
+        np.testing.assert_allclose(first[1], second[1])
+
+    def test_different_seed_changes_fluxes(self, config):
+        base = build_test_b_fluxes(config)
+        other = build_test_b_fluxes(config, seed=99)
+        assert not np.allclose(base[0], other[0])
+
+    def test_structure_heat_varies_along_channel(self, test_b):
+        values = np.atleast_1d(test_b.heat_top(np.linspace(0.0, test_b.length, 50)))
+        assert values.max() > values.min() * 1.5
+
+    def test_structure_power_in_expected_band(self, test_b, config):
+        low, high = config.test_b_flux_range
+        pitch = config.params.channel_pitch
+        length = config.params.channel_length
+        minimum = 2 * low * 1e4 * pitch * length
+        maximum = 2 * high * 1e4 * pitch * length
+        assert minimum <= test_b.total_power <= maximum
+
+
+class TestDieMaps:
+    def test_uniform_maps_split_combined_flux(self):
+        top, bottom = uniform_die_maps(50.0, n_cols=10, n_rows=12)
+        assert top.shape == (12, 10)
+        np.testing.assert_allclose(top + bottom, 50.0)
+
+    def test_uniform_maps_reject_negative(self):
+        with pytest.raises(ValueError):
+            uniform_die_maps(-1.0)
+
+    def test_random_maps_range_and_shape(self):
+        top, bottom = random_die_maps(n_cols=30, n_rows=20, flux_range=(50.0, 250.0))
+        for die_map in (top, bottom):
+            assert die_map.shape == (20, 30)
+            assert die_map.min() >= 50.0
+            assert die_map.max() <= 250.0
+
+    def test_random_maps_deterministic(self):
+        first = random_die_maps(seed=5)
+        second = random_die_maps(seed=5)
+        np.testing.assert_allclose(first[0], second[0])
+
+    def test_random_maps_blocky_structure(self):
+        top, _ = random_die_maps(n_cols=16, n_rows=16, block_size=8, seed=1)
+        # Cells within one block share a value.
+        assert np.allclose(top[:8, :8], top[0, 0])
