@@ -13,9 +13,20 @@ and Atienza.  The package contains:
 * :mod:`repro.floorplan` -- UltraSPARC T1 floorplans, the Fig. 7 stackings
   and the Fig. 4 synthetic workloads;
 * :mod:`repro.core` -- the paper's contribution: the optimal channel-width
-  modulation design flow (Sec. IV);
+  modulation design flow (Sec. IV), served by a batched, LRU-cached
+  :class:`~repro.core.engine.EvaluationEngine`;
 * :mod:`repro.analysis` -- metrics, ASCII map rendering and experiment
   reporting.
+
+The finite-difference hot path is split into a vectorized sparse assembly
+(:mod:`repro.thermal.assembly`, with per-shape sparsity-pattern caching)
+and pluggable linear-solver backends (:mod:`repro.thermal.backends`):
+``"sparse-lu"`` (SuperLU with factorization reuse), ``"sparse-iterative"``
+(ILU-preconditioned GMRES), ``"dense"`` and ``"auto"``.  Select a backend
+via ``OptimizerSettings(solver_backend=...)``,
+``ExperimentConfig(solver_backend=...)`` or
+``solve_structure(..., backend=...)``; list them with
+:func:`available_backends`.
 
 Quickstart::
 
@@ -24,6 +35,7 @@ Quickstart::
     designer = ChannelModulationDesigner(test_a_structure())
     result = designer.design()
     print(result.summary()["gradient_reduction"])
+    print(designer.engine.stats()["hit_rate"])
 """
 
 from .config import (
@@ -36,6 +48,7 @@ from .core import (
     ChannelModulationDesigner,
     ChannelModulationOptimizer,
     DesignEvaluation,
+    EvaluationEngine,
     ModulationResult,
     OptimizerSettings,
 )
@@ -51,10 +64,15 @@ from .thermal import (
     HeatInputProfile,
     MultiChannelStructure,
     PaperParameters,
+    SolverBackend,
     TABLE_I,
     TestStructure,
     ThermalSolution,
     WidthProfile,
+    available_backends,
+    get_backend,
+    register_backend,
+    solve_finite_difference,
     solve_single_channel,
     solve_structure,
 )
@@ -69,6 +87,7 @@ __all__ = [
     "ChannelModulationDesigner",
     "ChannelModulationOptimizer",
     "DesignEvaluation",
+    "EvaluationEngine",
     "ModulationResult",
     "OptimizerSettings",
     "Architecture",
@@ -80,10 +99,15 @@ __all__ = [
     "HeatInputProfile",
     "MultiChannelStructure",
     "PaperParameters",
+    "SolverBackend",
     "TABLE_I",
     "TestStructure",
     "ThermalSolution",
     "WidthProfile",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "solve_finite_difference",
     "solve_single_channel",
     "solve_structure",
     "__version__",

@@ -88,6 +88,13 @@ class ExperimentConfig:
     random_seed:
         Seed used for the Test B workload generator so that runs are
         reproducible.
+    solver_backend:
+        Linear-solver backend of the thermal solves (a registry name from
+        :mod:`repro.thermal.backends`: ``"auto"``, ``"sparse-lu"``,
+        ``"sparse-iterative"`` or ``"dense"``).
+    n_workers:
+        Thread-pool width for batched candidate evaluation (multistart
+        warm-up and design-space sweeps); 1 solves sequentially.
     """
 
     params: PaperParameters = field(default_factory=paper_parameters)
@@ -97,10 +104,30 @@ class ExperimentConfig:
     test_b_segments: int = 10
     test_b_flux_range: tuple = (50.0, 250.0)
     random_seed: int = 2012
+    solver_backend: str = "auto"
+    n_workers: int = 1
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """Return a copy with the given attributes replaced."""
         return replace(self, **kwargs)
+
+    def optimizer_settings(self, **overrides):
+        """Build :class:`repro.core.OptimizerSettings` from this config.
+
+        The experiment-level knobs (segment count, grid resolution, solver
+        backend, worker count) are threaded through; any keyword override
+        wins over the config value.
+        """
+        from .core.optimizer import OptimizerSettings
+
+        values = {
+            "n_segments": self.n_segments,
+            "n_grid_points": self.n_grid_points,
+            "solver_backend": self.solver_backend,
+            "n_workers": self.n_workers,
+        }
+        values.update(overrides)
+        return OptimizerSettings(**values)
 
 
 #: Default experiment configuration used by examples and benchmarks.

@@ -7,6 +7,7 @@ Eq. (7) cost, the Eq. (8)-(10) constraints, a direct sequential NLP solve,
 and the baseline designs used in Sec. V.
 """
 
+from .engine import EvaluationEngine
 from .parameterization import WidthParameterization
 from .objectives import (
     OBJECTIVES,
@@ -29,6 +30,7 @@ from .baselines import (
 from .designer import ChannelModulationDesigner
 
 __all__ = [
+    "EvaluationEngine",
     "WidthParameterization",
     "OBJECTIVES",
     "get_objective",

@@ -46,6 +46,10 @@ class ChannelModulationDesigner:
         sequential solve with pressure constraints).
     max_pressure_drop:
         Optional override of the Table I pressure limit (Pa).
+    engine:
+        Optional shared :class:`~repro.core.engine.EvaluationEngine`; by
+        default the optimizer creates one from the settings
+        (``solver_backend``, ``cache_size``, ``n_workers``).
     """
 
     def __init__(
@@ -53,8 +57,9 @@ class ChannelModulationDesigner:
         structure,
         settings: OptimizerSettings = OptimizerSettings(),
         max_pressure_drop: Optional[float] = None,
+        engine=None,
     ) -> None:
-        self.optimizer = ChannelModulationOptimizer(structure, settings)
+        self.optimizer = ChannelModulationOptimizer(structure, settings, engine=engine)
         if max_pressure_drop is not None:
             if max_pressure_drop <= 0.0:
                 raise ValueError("max_pressure_drop must be positive")
@@ -71,6 +76,11 @@ class ChannelModulationDesigner:
     def settings(self) -> OptimizerSettings:
         """The optimizer settings in use."""
         return self.optimizer.settings
+
+    @property
+    def engine(self):
+        """The evaluation engine (solution cache + batching) in use."""
+        return self.optimizer.engine
 
     # -- designs -----------------------------------------------------------------------
 
@@ -128,8 +138,14 @@ class ChannelModulationDesigner:
 
         Returns one evaluation per width; used by the examples to show the
         extra design dimension the paper adds on top of the conventional
-        single-width choice.
+        single-width choice.  The thermal solves of the whole sweep are
+        batched through the evaluation engine (parallel when the settings
+        request ``n_workers > 1``) before the per-design hydraulics run.
         """
         geometry = self.structure.geometry
         widths = np.linspace(geometry.min_width, geometry.max_width, n_candidates)
+        candidates = [
+            self.structure.with_uniform_width(float(width)) for width in widths
+        ]
+        self.engine.solve_many(candidates, n_points=self.settings.n_grid_points)
         return [self.optimizer.evaluate_uniform(float(width)) for width in widths]

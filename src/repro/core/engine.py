@@ -1,0 +1,307 @@
+"""Batched, cached steady-state evaluation engine.
+
+Every experiment in the paper funnels through the finite-difference solver,
+and the direct-sequential optimizer calls it hundreds of times per SLSQP
+run through finite-difference gradients.  The :class:`EvaluationEngine`
+gives all of those callers one code path with three properties:
+
+* **bounded LRU solution cache** -- solutions are keyed on a structural
+  fingerprint of the cavity (per-lane width/heat profiles, flow, grid
+  size), so the optimizer's cost and constraint evaluations at the same
+  iterate, repeated baseline evaluations, and `evaluate_design` calls on
+  designs the optimizer already visited all reuse one solve.  Eviction is
+  one least-recently-used entry at a time (the previous per-optimizer dict
+  dropped all 4096 entries at once when it overflowed).
+* **batched evaluation** -- :meth:`solve_many` deduplicates a batch of
+  candidate structures and optionally fans the unique solves out over a
+  ``concurrent.futures`` thread pool (``n_workers > 1``); used by the
+  multistart schedule and the design-space-exploration sweeps.
+* **observability** -- solve and cache-hit counters (:meth:`stats`) feed
+  the scaling benchmarks and regression tests.
+
+The engine is thread-safe; the solver backend is selected by name from
+:mod:`repro.thermal.backends`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, Hashable, List, Optional, Sequence
+
+from ..thermal.fdm import solve_structure
+from ..thermal.geometry import MultiChannelStructure, TestStructure
+from ..thermal.solution import ThermalSolution
+
+__all__ = ["EvaluationEngine"]
+
+#: Sentinel meaning "derive the cache key from the structure fingerprint".
+_AUTO_KEY = object()
+
+
+class EvaluationEngine:
+    """One solve path for optimizer candidates, baselines and sweeps.
+
+    Parameters
+    ----------
+    solver_backend:
+        Name of the linear-solver backend (see
+        :func:`repro.thermal.backends.available_backends`) or a backend
+        instance; ``"auto"`` picks dense/sparse by system size.
+    cache_size:
+        Maximum number of cached :class:`ThermalSolution` objects; the
+        least recently used entry is evicted first.
+    n_workers:
+        Thread-pool width used by :meth:`solve_many`; 1 (default) solves
+        sequentially.
+    """
+
+    def __init__(
+        self,
+        solver_backend: str = "auto",
+        cache_size: int = 4096,
+        n_workers: int = 1,
+    ) -> None:
+        if cache_size < 1:
+            raise ValueError("cache_size must be at least 1")
+        if n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
+        self.solver_backend = solver_backend
+        self.cache_size = int(cache_size)
+        self.n_workers = int(n_workers)
+        self._cache: "OrderedDict[Hashable, ThermalSolution]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.n_solves = 0
+        self.n_cache_hits = 0
+        self.n_cache_misses = 0
+        self.n_evictions = 0
+        self.n_uncacheable = 0
+
+    # -- cache keys ---------------------------------------------------------
+
+    @staticmethod
+    def structure_key(structure, n_points: int) -> Optional[tuple]:
+        """Hashable fingerprint of a structure + grid, or None.
+
+        The key covers everything the finite-difference solver reads:
+        per-lane width/heat profiles, flow rates and directions, per-lane
+        geometry and material records (the solver evaluates conductances
+        per lane, and lanes are only validated to share length, coolant
+        and inlet temperature), clustering, lateral coupling, the
+        cavity-level geometry and the grid resolution.  Structures with
+        callable (non-fingerprintable) profiles return None and are never
+        cached.
+        """
+        if isinstance(structure, TestStructure):
+            structure = MultiChannelStructure.single(structure)
+        if not isinstance(structure, MultiChannelStructure):
+            return None
+        lanes = []
+        for lane in structure.lanes:
+            width = lane.width_profile.fingerprint()
+            heat_top = lane.heat_top.fingerprint()
+            heat_bottom = lane.heat_bottom.fingerprint()
+            if width is None or heat_top is None or heat_bottom is None:
+                return None
+            lanes.append(
+                (
+                    width,
+                    heat_top,
+                    heat_bottom,
+                    lane.flow_rate,
+                    lane.flow_reversed,
+                    lane.developing_flow,
+                    lane.inlet_temperature,
+                    lane.geometry,
+                    lane.silicon,
+                )
+            )
+        return (
+            int(n_points),
+            tuple(lanes),
+            structure.cluster_size,
+            structure.lane_cluster_sizes,
+            structure.lateral_coupling,
+            structure.geometry,
+            structure.coolant,
+        )
+
+    def _derive_key(self, structure, n_points: int, solver_kwargs) -> Optional[tuple]:
+        """Structure fingerprint extended with any extra solver options.
+
+        Options forwarded to the solver (``lane_pitch``, ``assembly_mode``,
+        ...) change the solution, so they must be part of the cache key;
+        unhashable option values make the call uncacheable.
+        """
+        base = self.structure_key(structure, n_points)
+        if base is None or not solver_kwargs:
+            return base
+        try:
+            extra = tuple(sorted(solver_kwargs.items()))
+            hash(extra)
+        except TypeError:
+            return None
+        return base + (extra,)
+
+    # -- solving ------------------------------------------------------------
+
+    def solve(
+        self,
+        structure=None,
+        *,
+        n_points: int,
+        key=_AUTO_KEY,
+        structure_factory: Optional[Callable[[], object]] = None,
+        **solver_kwargs,
+    ) -> ThermalSolution:
+        """Cached steady-state solve of one structure.
+
+        Either ``structure`` or ``structure_factory`` must be given; the
+        factory is only invoked on a cache miss (callers that would build a
+        candidate structure from a decision vector can skip that work when
+        the solution is already cached -- in that case pass an explicit
+        ``key``).  ``key=None`` disables caching for this call.
+        """
+        if structure is None and structure_factory is None:
+            raise ValueError("either structure or structure_factory is required")
+        if key is _AUTO_KEY:
+            if structure is None:
+                raise ValueError(
+                    "an explicit key is required when only a factory is given"
+                )
+            key = self._derive_key(structure, n_points, solver_kwargs)
+        if key is not None:
+            with self._lock:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache.move_to_end(key)
+                    self.n_cache_hits += 1
+                    return cached
+                self.n_cache_misses += 1
+        else:
+            with self._lock:
+                self.n_uncacheable += 1
+        if structure is None:
+            structure = structure_factory()
+        solution = solve_structure(
+            structure,
+            n_points=n_points,
+            backend=self.solver_backend,
+            **solver_kwargs,
+        )
+        with self._lock:
+            self.n_solves += 1
+            if key is not None:
+                self._cache[key] = solution
+                self._cache.move_to_end(key)
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+                    self.n_evictions += 1
+        return solution
+
+    def solve_many(
+        self,
+        structures: Sequence[object],
+        *,
+        n_points: int,
+        **solver_kwargs,
+    ) -> List[ThermalSolution]:
+        """Solve a batch of structures, deduplicated and optionally parallel.
+
+        Duplicate cacheable candidates (same fingerprint) are solved once;
+        all outstanding solves -- cacheable misses and uncacheable
+        (callable-profile) structures alike -- are fanned out over a
+        thread pool when the engine was created with ``n_workers > 1``.
+        Results come back in input order.
+        """
+        keys = [
+            self._derive_key(structure, n_points, solver_kwargs)
+            for structure in structures
+        ]
+        results: List[Optional[ThermalSolution]] = [None] * len(structures)
+        pending: Dict[Hashable, object] = {}
+        uncacheable: List[int] = []
+        for index, (structure, key) in enumerate(zip(structures, keys)):
+            if key is None:
+                uncacheable.append(index)
+                continue
+            with self._lock:
+                if key in self._cache:
+                    continue
+            pending.setdefault(key, structure)
+
+        def solve_cacheable(item):
+            key, structure = item
+            self.solve(structure, n_points=n_points, key=key, **solver_kwargs)
+
+        def solve_uncacheable(index):
+            results[index] = self.solve(
+                structures[index], n_points=n_points, key=None, **solver_kwargs
+            )
+
+        tasks = [lambda item=item: solve_cacheable(item) for item in pending.items()]
+        tasks += [lambda index=index: solve_uncacheable(index) for index in uncacheable]
+        if self.n_workers > 1 and len(tasks) > 1:
+            with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
+                list(pool.map(lambda task: task(), tasks))
+        else:
+            for task in tasks:
+                task()
+        return [
+            results[index]
+            if key is None
+            else self.solve(
+                structures[index], n_points=n_points, key=key, **solver_kwargs
+            )
+            for index, key in enumerate(keys)
+        ]
+
+    # -- management ---------------------------------------------------------
+
+    def clear_cache(self) -> None:
+        """Drop every cached solution (counters are kept)."""
+        with self._lock:
+            self._cache.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the solve/cache counters (the cache itself is kept)."""
+        with self._lock:
+            self.n_solves = 0
+            self.n_cache_hits = 0
+            self.n_cache_misses = 0
+            self.n_evictions = 0
+            self.n_uncacheable = 0
+
+    @property
+    def cache_len(self) -> int:
+        """Number of solutions currently cached."""
+        with self._lock:
+            return len(self._cache)
+
+    def stats(self) -> Dict[str, object]:
+        """Solve and cache counters for benchmarks and reports."""
+        with self._lock:
+            lookups = self.n_cache_hits + self.n_cache_misses
+            return {
+                "backend": getattr(
+                    self.solver_backend, "name", self.solver_backend
+                ),
+                "n_workers": self.n_workers,
+                "cache_size": self.cache_size,
+                "cache_len": len(self._cache),
+                "n_solves": self.n_solves,
+                "n_cache_hits": self.n_cache_hits,
+                "n_cache_misses": self.n_cache_misses,
+                "n_evictions": self.n_evictions,
+                "n_uncacheable": self.n_uncacheable,
+                "hit_rate": (self.n_cache_hits / lookups) if lookups else 0.0,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        stats = self.stats()
+        return (
+            f"<EvaluationEngine backend={stats['backend']!r} "
+            f"cache={stats['cache_len']}/{stats['cache_size']} "
+            f"hits={stats['n_cache_hits']} solves={stats['n_solves']}>"
+        )

@@ -22,13 +22,12 @@ redundant solves.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 from scipy import optimize
 
 from ..hydraulics.pressure import pressure_drop
-from ..thermal.fdm import solve_structure
 from ..thermal.geometry import (
     MultiChannelStructure,
     TestStructure,
@@ -36,6 +35,7 @@ from ..thermal.geometry import (
 )
 from ..thermal.solution import ThermalSolution
 from .constraints import PressureConstraints
+from .engine import EvaluationEngine
 from .objectives import get_objective
 from .parameterization import WidthParameterization
 from .results import DesignEvaluation, ModulationResult, OptimizationTrace
@@ -73,6 +73,15 @@ class OptimizerSettings:
         per-lane problems.
     equal_pressure_tolerance:
         Allowed relative pressure imbalance when balancing is enforced.
+    solver_backend:
+        Name of the linear-solver backend used for the thermal solves
+        (see :func:`repro.thermal.backends.available_backends`); ``"auto"``
+        picks dense/sparse by system size.
+    n_workers:
+        Thread-pool width of the evaluation engine for batched candidate
+        evaluation (multistart warm-up, sweeps); 1 solves sequentially.
+    cache_size:
+        Capacity of the engine's LRU solution cache.
     """
 
     n_segments: int = 10
@@ -85,6 +94,9 @@ class OptimizerSettings:
     multistart: int = 1
     enforce_equal_pressure: bool = True
     equal_pressure_tolerance: float = 0.05
+    solver_backend: str = "auto"
+    n_workers: int = 1
+    cache_size: int = 4096
 
     def __post_init__(self) -> None:
         if self.n_segments < 1:
@@ -95,6 +107,10 @@ class OptimizerSettings:
             raise ValueError("max_iterations must be at least 1")
         if self.multistart < 1:
             raise ValueError("multistart must be at least 1")
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
+        if self.cache_size < 1:
+            raise ValueError("cache_size must be at least 1")
 
 
 class ChannelModulationOptimizer:
@@ -108,12 +124,18 @@ class ChannelModulationOptimizer:
         one-lane cavity.
     settings:
         Optimizer settings; defaults reproduce the paper's formulation.
+    engine:
+        Optional shared :class:`~repro.core.engine.EvaluationEngine`;
+        passing one lets several optimizers (or an optimizer and external
+        sweeps) share one solution cache.  By default a private engine is
+        created from the settings.
     """
 
     def __init__(
         self,
         structure,
         settings: OptimizerSettings = OptimizerSettings(),
+        engine: Optional[EvaluationEngine] = None,
     ) -> None:
         if isinstance(structure, TestStructure):
             structure = MultiChannelStructure.single(structure)
@@ -139,7 +161,11 @@ class ChannelModulationOptimizer:
             enforce_equal_pressure=settings.enforce_equal_pressure,
             equal_pressure_tolerance=settings.equal_pressure_tolerance,
         )
-        self._solution_cache: Dict[bytes, ThermalSolution] = {}
+        self.engine = engine or EvaluationEngine(
+            solver_backend=settings.solver_backend,
+            cache_size=settings.cache_size,
+            n_workers=settings.n_workers,
+        )
         self._cost_scale: Optional[float] = None
 
     def _max_pressure_drop(self) -> float:
@@ -153,21 +179,38 @@ class ChannelModulationOptimizer:
 
     # -- evaluation ----------------------------------------------------------------
 
-    def solve_candidate(self, vector: np.ndarray) -> ThermalSolution:
-        """Steady-state thermal solution of the design encoded by ``vector``."""
-        key = np.asarray(vector, dtype=float).tobytes()
-        cached = self._solution_cache.get(key)
-        if cached is not None:
-            return cached
+    def candidate_structure(self, vector: np.ndarray) -> MultiChannelStructure:
+        """The cavity with the width profiles encoded by ``vector``."""
         profiles = self.parameterization.profiles_from_vector(vector)
-        candidate = self.structure.with_width_profiles(profiles)
-        solution = solve_structure(
-            candidate, n_points=self.settings.n_grid_points
+        return self.structure.with_width_profiles(profiles)
+
+    def solve_candidate(self, vector: np.ndarray) -> ThermalSolution:
+        """Steady-state thermal solution of the design encoded by ``vector``.
+
+        Solutions come from the evaluation engine's LRU cache, which is
+        shared with :meth:`evaluate_design` and the baselines: the repeated
+        cost/constraint evaluations of SLSQP at one iterate, and any later
+        re-evaluation of a design the optimizer already visited, reuse one
+        thermal solve.
+        """
+        return self.engine.solve(
+            self.candidate_structure(vector),
+            n_points=self.settings.n_grid_points,
         )
-        if len(self._solution_cache) > 4096:
-            self._solution_cache.clear()
-        self._solution_cache[key] = solution
-        return solution
+
+    def evaluate_candidates(
+        self, vectors: Sequence[np.ndarray]
+    ) -> List[ThermalSolution]:
+        """Batch-solve many decision vectors through the engine.
+
+        Duplicates are solved once; with ``settings.n_workers > 1`` the
+        unique solves run in parallel.  Used by the multistart schedule and
+        available to design-space-exploration sweeps.
+        """
+        candidates = [self.candidate_structure(vector) for vector in vectors]
+        return self.engine.solve_many(
+            candidates, n_points=self.settings.n_grid_points
+        )
 
     def cost(self, vector: np.ndarray) -> float:
         """Objective value (unscaled) for a decision vector."""
@@ -183,9 +226,15 @@ class ChannelModulationOptimizer:
     def evaluate_design(
         self, profiles: Sequence[WidthProfile], label: str
     ) -> DesignEvaluation:
-        """Full thermal + hydraulic evaluation of an explicit design."""
+        """Full thermal + hydraulic evaluation of an explicit design.
+
+        The thermal solve goes through the evaluation engine, so designs
+        the optimizer already visited (e.g. the optimum re-evaluated after
+        the SLSQP run, or a baseline evaluated twice) are served from the
+        solution cache instead of being re-solved.
+        """
         candidate = self.structure.with_width_profiles(list(profiles))
-        solution = solve_structure(
+        solution = self.engine.solve(
             candidate, n_points=self.settings.n_grid_points
         )
         flow_rate = self.structure.lanes[0].flow_rate
@@ -297,6 +346,10 @@ class ChannelModulationOptimizer:
             if initial_vector is not None
             else self._starting_points()
         )
+        if len(starts) > 1 and self.settings.n_workers > 1:
+            # Warm the solution cache for every starting point in parallel
+            # before the (sequential) SLSQP runs consume them.
+            self.evaluate_candidates(starts)
 
         best_vector: Optional[np.ndarray] = None
         best_cost = np.inf

@@ -60,6 +60,26 @@ from .state_space import (
     SingleChannelStateSpace,
 )
 from .solution import ThermalSolution
+from .assembly import (
+    AssembledSystem,
+    SparsityPattern,
+    assemble_system,
+    assemble_system_loop,
+    clear_pattern_cache,
+    pattern_cache_info,
+)
+from .backends import (
+    DEFAULT_BACKEND,
+    AutoBackend,
+    DenseBackend,
+    SolverBackend,
+    SparseIterativeBackend,
+    SparseLUBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
 from .bvp import solve_collocation, solve_single_channel, solve_trapezoidal
 from .fdm import solve_finite_difference, solve_structure
 from .multichannel import build_cavity, cavity_from_flux_maps, cluster_line_densities
@@ -109,6 +129,23 @@ __all__ = [
     "longitudinal_conductance",
     "sidewall_conductance",
     "slab_conductance",
+    # assembly & backends
+    "AssembledSystem",
+    "SparsityPattern",
+    "assemble_system",
+    "assemble_system_loop",
+    "clear_pattern_cache",
+    "pattern_cache_info",
+    "DEFAULT_BACKEND",
+    "AutoBackend",
+    "DenseBackend",
+    "SolverBackend",
+    "SparseIterativeBackend",
+    "SparseLUBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
     # state space & solvers
     "AUGMENTED_STATE_NAMES",
     "REDUCED_STATE_NAMES",

@@ -1,0 +1,506 @@
+"""Sparse assembly of the multi-channel finite-difference system.
+
+This module builds the linear system solved by
+:func:`repro.thermal.fdm.solve_finite_difference`.  Two assembly routes are
+provided:
+
+* :func:`assemble_system` -- the production path.  All coefficient (COO)
+  triplets are produced with vectorized NumPy operations, and the *static*
+  sparsity structure of the system -- which depends only on the problem
+  shape ``(n_lanes, n_points)``, the lateral-coupling flag and the per-lane
+  flow directions -- is computed once per shape and cached as a
+  :class:`SparsityPattern`.  Repeated solves of the same shape (the
+  optimizer evaluates hundreds of candidate designs on one grid) only
+  refresh the ``values`` array and reuse the precomputed CSR structure.
+* :func:`assemble_system_loop` -- the original per-grid-point Python-loop
+  assembly, kept as the reference implementation for the equivalence test
+  suite and the scaling benchmark.
+
+Both routes discretize the identical equations (see the module docstring of
+:mod:`repro.thermal.fdm`) and produce the same matrix up to floating-point
+round-off.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from . import conductances
+from .geometry import MultiChannelStructure
+
+__all__ = [
+    "AssembledSystem",
+    "LaneParameters",
+    "SparsityPattern",
+    "assemble_system",
+    "assemble_system_loop",
+    "clear_pattern_cache",
+    "get_pattern",
+    "lane_parameters",
+    "pattern_cache_info",
+]
+
+
+@dataclass(frozen=True)
+class LaneParameters:
+    """Per-unit-length parameters of every lane evaluated on the z-grid.
+
+    Arrays are stacked lane-major: ``g_v[j, k]`` is the layer-to-coolant
+    conductance of lane ``j`` at grid point ``k``.  Scalars per lane
+    (``g_l``, ``cap``) have shape ``(n_lanes,)``.
+    """
+
+    g_v: np.ndarray
+    g_w: np.ndarray
+    q_top: np.ndarray
+    q_bottom: np.ndarray
+    g_l: np.ndarray
+    cap: np.ndarray
+    reversed_flags: Tuple[bool, ...]
+
+
+def lane_parameters(
+    structure: MultiChannelStructure, z_grid: np.ndarray
+) -> LaneParameters:
+    """Evaluate every lane's per-unit-length parameters on the grid.
+
+    Channel clustering scales every parameter of a lane by the number of
+    physical channels the lane represents, exactly as in Sec. III of the
+    paper.
+    """
+    n_lanes = structure.n_lanes
+    n_points = z_grid.size
+    g_v = np.empty((n_lanes, n_points))
+    g_w = np.empty((n_lanes, n_points))
+    q_top = np.empty((n_lanes, n_points))
+    q_bottom = np.empty((n_lanes, n_points))
+    g_l = np.empty(n_lanes)
+    cap = np.empty(n_lanes)
+    for index, lane in enumerate(structure.lanes):
+        widths = np.atleast_1d(lane.width_profile(z_grid))
+        scale = float(structure.cluster_size_of_lane(index))
+        g_v[index] = (
+            np.asarray(
+                conductances.layer_to_coolant_conductance(
+                    lane.geometry,
+                    lane.silicon,
+                    lane.coolant,
+                    widths,
+                    lane.flow_rate,
+                    z_grid,
+                    lane.developing_flow,
+                ),
+                dtype=float,
+            )
+            * scale
+        )
+        g_w[index] = (
+            np.asarray(
+                conductances.sidewall_conductance(
+                    lane.geometry, lane.silicon, widths
+                ),
+                dtype=float,
+            )
+            * scale
+        )
+        q_top[index] = np.atleast_1d(lane.heat_top(z_grid))
+        q_bottom[index] = np.atleast_1d(lane.heat_bottom(z_grid))
+        g_l[index] = (
+            conductances.longitudinal_conductance(lane.geometry, lane.silicon)
+            * scale
+        )
+        cap[index] = conductances.capacity_rate(lane.coolant, lane.flow_rate) * scale
+    return LaneParameters(
+        g_v=g_v,
+        g_w=g_w,
+        q_top=q_top,
+        q_bottom=q_bottom,
+        g_l=g_l,
+        cap=cap,
+        reversed_flags=tuple(bool(lane.flow_reversed) for lane in structure.lanes),
+    )
+
+
+def lateral_conductance_of(
+    structure: MultiChannelStructure, lane_pitch: Optional[float] = None
+) -> float:
+    """The lane-to-lane lateral conductance of a cavity (0 when disabled).
+
+    Conduction between the centers of two adjacent lane bands: the
+    cross-section is one silicon slab of height ``H_Si`` per active layer
+    regardless of how many channels the band clusters, so the conductance
+    only depends on the band pitch.
+    """
+    if lane_pitch is None:
+        lane_pitch = structure.cluster_size * structure.geometry.pitch
+    if structure.lateral_coupling and structure.n_lanes > 1:
+        return conductances.lateral_conductance(
+            structure.geometry, structure.silicon, lane_pitch
+        )
+    return 0.0
+
+
+class SparsityPattern:
+    """Precomputed sparsity structure of the FDM system for one shape.
+
+    The unknown ordering is variable-major, then lane, then grid point
+    (variable 0 = top-layer temperature, 1 = bottom-layer temperature,
+    2 = coolant temperature)::
+
+        index(variable, lane, point) = (variable * n_lanes + lane) * n_points + point
+
+    The pattern owns the canonical CSR index arrays and the scatter map
+    from raw COO entry order to CSR data slots, so refreshing a system for
+    new parameter values is a single :func:`numpy.add.at` into a
+    preallocated data array -- no sorting, no duplicate folding, and a
+    bit-identical structure across solves (which the solver backends use to
+    recognize repeated matrices).
+    """
+
+    def __init__(
+        self,
+        n_lanes: int,
+        n_points: int,
+        lateral_coupling: bool,
+        reversed_flags: Tuple[bool, ...],
+    ) -> None:
+        if n_points < 3:
+            raise ValueError("n_points must be at least 3")
+        if n_lanes < 1:
+            raise ValueError("n_lanes must be at least 1")
+        if len(reversed_flags) != n_lanes:
+            raise ValueError("reversed_flags must provide one flag per lane")
+        self.n_lanes = int(n_lanes)
+        self.n_points = int(n_points)
+        self.lateral_coupling = bool(lateral_coupling) and n_lanes > 1
+        self.reversed_flags = tuple(bool(flag) for flag in reversed_flags)
+        self.n_unknowns = 3 * self.n_lanes * self.n_points
+        #: Hashable identity of this pattern; two systems assembled from the
+        #: same token share indptr/indices arrays.
+        self.token = (
+            "fdm",
+            self.n_lanes,
+            self.n_points,
+            self.lateral_coupling,
+            self.reversed_flags,
+        )
+
+        L, P = self.n_lanes, self.n_points
+        lanes = np.arange(L)[:, None]
+        points = np.arange(P)[None, :]
+        silicon = [(layer * L + lanes) * P + points for layer in (0, 1)]
+        coolant = (2 * L + lanes) * P + points
+        reversed_mask = np.asarray(self.reversed_flags, dtype=bool)
+        inlet_point = np.where(reversed_mask, P - 1, 0)[:, None]
+        upstream = np.where(reversed_mask, 1, -1)[:, None]
+        inlet_mask = points == inlet_point
+
+        rows, cols = [], []
+        for layer in (0, 1):
+            row = silicon[layer]
+            other = silicon[1 - layer]
+            # Longitudinal conduction neighbours (zero-flux ends).
+            rows += [row[:, 1:], row[:, :-1]]
+            cols += [row[:, :-1], row[:, 1:]]
+            # Layer-to-coolant and inter-layer sidewall couplings.
+            rows += [row, row]
+            cols += [coolant, other]
+            # Lateral conduction to the neighbouring lanes.
+            if self.lateral_coupling:
+                rows += [row[1:, :], row[:-1, :]]
+                cols += [row[:-1, :], row[1:, :]]
+            # Diagonal.
+            rows.append(row)
+            cols.append(row)
+        # Coolant advection: diagonal, upwind neighbour, both silicon layers.
+        # Inlet (Dirichlet) points redirect the off-diagonal slots onto the
+        # diagonal with zero coefficients so the structure stays static.
+        rows += [coolant] * 4
+        cols += [
+            coolant,
+            np.where(inlet_mask, coolant, coolant + upstream),
+            np.where(inlet_mask, coolant, silicon[0]),
+            np.where(inlet_mask, coolant, silicon[1]),
+        ]
+
+        raw_rows = np.concatenate([part.ravel() for part in rows])
+        raw_cols = np.concatenate([part.ravel() for part in cols])
+        self.n_entries = raw_rows.size
+
+        # Fold duplicate coordinates into canonical CSR slots once.
+        order = np.lexsort((raw_cols, raw_rows))
+        sorted_rows = raw_rows[order]
+        sorted_cols = raw_cols[order]
+        first = np.empty(self.n_entries, dtype=bool)
+        first[0] = True
+        first[1:] = (sorted_rows[1:] != sorted_rows[:-1]) | (
+            sorted_cols[1:] != sorted_cols[:-1]
+        )
+        slot_of_sorted = np.cumsum(first) - 1
+        entry_to_slot = np.empty(self.n_entries, dtype=np.intp)
+        entry_to_slot[order] = slot_of_sorted
+        self._entry_to_slot = entry_to_slot
+        unique_rows = sorted_rows[first]
+        self.nnz = int(unique_rows.size)
+        self._indices = sorted_cols[first].astype(np.int32, copy=True)
+        self._indptr = np.searchsorted(
+            unique_rows, np.arange(self.n_unknowns + 1)
+        ).astype(np.int32, copy=True)
+
+        self._inlet_mask = inlet_mask
+
+    # -- system refresh -----------------------------------------------------
+
+    def values(self, params: LaneParameters, g_lat: float, dz: float) -> np.ndarray:
+        """Raw COO coefficient values in the pattern's entry order."""
+        L, P = self.n_lanes, self.n_points
+        conduction = (params.g_l / dz**2)[:, None]
+        inlet = self._inlet_mask
+        advection = (params.cap / dz)[:, None]
+
+        parts = []
+        lateral = np.full((L - 1, P), g_lat) if self.lateral_coupling else None
+        for _layer in (0, 1):
+            neighbour = np.broadcast_to(conduction, (L, P - 1))
+            parts += [neighbour, neighbour, params.g_v, params.g_w]
+            diagonal = np.zeros((L, P))
+            diagonal[:, 1:] -= conduction
+            diagonal[:, :-1] -= conduction
+            diagonal -= params.g_v
+            diagonal -= params.g_w
+            if self.lateral_coupling:
+                parts += [lateral, lateral]
+                diagonal[1:, :] -= g_lat
+                diagonal[:-1, :] -= g_lat
+            parts.append(diagonal)
+        parts += [
+            np.where(inlet, 1.0, -(advection + 2.0 * params.g_v)),
+            np.where(inlet, 0.0, np.broadcast_to(advection, (L, P))),
+            np.where(inlet, 0.0, params.g_v),
+            np.where(inlet, 0.0, params.g_v),
+        ]
+        return np.concatenate([part.ravel() for part in parts])
+
+    def rhs(self, params: LaneParameters, inlet_temperature: float) -> np.ndarray:
+        """Right-hand side vector for the given parameters."""
+        rhs = np.empty(self.n_unknowns)
+        L, P = self.n_lanes, self.n_points
+        rhs[: L * P] = (-params.q_top).ravel()
+        rhs[L * P : 2 * L * P] = (-params.q_bottom).ravel()
+        rhs[2 * L * P :] = np.where(self._inlet_mask, inlet_temperature, 0.0).ravel()
+        return rhs
+
+    def matrix(self, values: np.ndarray) -> sparse.csr_matrix:
+        """Fold raw COO values into a CSR matrix with the static structure."""
+        if values.shape != (self.n_entries,):
+            raise ValueError(
+                f"expected {self.n_entries} coefficient values, got {values.shape}"
+            )
+        data = np.zeros(self.nnz)
+        np.add.at(data, self._entry_to_slot, values)
+        return sparse.csr_matrix(
+            (data, self._indices, self._indptr),
+            shape=(self.n_unknowns, self.n_unknowns),
+        )
+
+
+# -- pattern cache ---------------------------------------------------------
+
+_PATTERN_CACHE: "OrderedDict[tuple, SparsityPattern]" = OrderedDict()
+_PATTERN_CACHE_SIZE = 64
+_PATTERN_LOCK = threading.Lock()
+
+
+def get_pattern(
+    n_lanes: int,
+    n_points: int,
+    lateral_coupling: bool,
+    reversed_flags: Tuple[bool, ...],
+) -> SparsityPattern:
+    """Fetch (or build and cache) the pattern for one problem shape."""
+    key = (
+        int(n_lanes),
+        int(n_points),
+        bool(lateral_coupling) and n_lanes > 1,
+        tuple(bool(flag) for flag in reversed_flags),
+    )
+    with _PATTERN_LOCK:
+        pattern = _PATTERN_CACHE.get(key)
+        if pattern is not None:
+            _PATTERN_CACHE.move_to_end(key)
+            return pattern
+    pattern = SparsityPattern(n_lanes, n_points, lateral_coupling, reversed_flags)
+    with _PATTERN_LOCK:
+        _PATTERN_CACHE[key] = pattern
+        while len(_PATTERN_CACHE) > _PATTERN_CACHE_SIZE:
+            _PATTERN_CACHE.popitem(last=False)
+    return pattern
+
+
+def clear_pattern_cache() -> None:
+    """Drop every cached sparsity pattern (used by tests and benchmarks)."""
+    with _PATTERN_LOCK:
+        _PATTERN_CACHE.clear()
+
+
+def pattern_cache_info() -> dict:
+    """Current size and keys of the pattern cache."""
+    with _PATTERN_LOCK:
+        return {
+            "size": len(_PATTERN_CACHE),
+            "capacity": _PATTERN_CACHE_SIZE,
+            "keys": list(_PATTERN_CACHE.keys()),
+        }
+
+
+@dataclass
+class AssembledSystem:
+    """A ready-to-solve linear system plus the context needed afterwards."""
+
+    matrix: sparse.csr_matrix
+    rhs: np.ndarray
+    z_grid: np.ndarray
+    params: LaneParameters
+    lateral_conductance: float
+    pattern: Optional[SparsityPattern] = None
+
+    @property
+    def pattern_token(self) -> Optional[tuple]:
+        """Identity of the sparsity structure (None for loop assembly)."""
+        return None if self.pattern is None else self.pattern.token
+
+
+def assemble_system(
+    structure: MultiChannelStructure,
+    n_points: int = 201,
+    lane_pitch: Optional[float] = None,
+) -> AssembledSystem:
+    """Vectorized assembly of the finite-difference system.
+
+    Equivalent to :func:`assemble_system_loop` up to floating-point
+    round-off, but with no per-grid-point Python work: the sparsity
+    structure comes from the per-shape :class:`SparsityPattern` cache and
+    only the coefficient values are recomputed.
+    """
+    if n_points < 3:
+        raise ValueError("n_points must be at least 3")
+    z_grid = np.linspace(0.0, structure.length, n_points)
+    dz = z_grid[1] - z_grid[0]
+    g_lat = lateral_conductance_of(structure, lane_pitch)
+    params = lane_parameters(structure, z_grid)
+    pattern = get_pattern(
+        structure.n_lanes, n_points, structure.lateral_coupling, params.reversed_flags
+    )
+    matrix = pattern.matrix(pattern.values(params, g_lat, dz))
+    rhs = pattern.rhs(params, structure.inlet_temperature)
+    return AssembledSystem(
+        matrix=matrix,
+        rhs=rhs,
+        z_grid=z_grid,
+        params=params,
+        lateral_conductance=g_lat,
+        pattern=pattern,
+    )
+
+
+def assemble_system_loop(
+    structure: MultiChannelStructure,
+    n_points: int = 201,
+    lane_pitch: Optional[float] = None,
+) -> AssembledSystem:
+    """Reference per-grid-point loop assembly (the original implementation).
+
+    Kept verbatim for the equivalence tests and as the baseline of the
+    solver-scaling benchmark; production code uses :func:`assemble_system`.
+    """
+    if n_points < 3:
+        raise ValueError("n_points must be at least 3")
+    n_lanes = structure.n_lanes
+    z_grid = np.linspace(0.0, structure.length, n_points)
+    dz = z_grid[1] - z_grid[0]
+    g_lat = lateral_conductance_of(structure, lane_pitch)
+    params = lane_parameters(structure, z_grid)
+
+    def index(variable: int, lane: int, point: int) -> int:
+        return (variable * n_lanes + lane) * n_points + point
+
+    n_unknowns = 3 * n_lanes * n_points
+    rows, cols, values = [], [], []
+    rhs = np.zeros(n_unknowns)
+
+    def add(row: int, col: int, value: float) -> None:
+        rows.append(row)
+        cols.append(col)
+        values.append(value)
+
+    for lane_idx in range(n_lanes):
+        g_v = params.g_v[lane_idx]
+        g_w = params.g_w[lane_idx]
+        heat = (params.q_top[lane_idx], params.q_bottom[lane_idx])
+        conduction = params.g_l[lane_idx] / dz**2
+        cap = params.cap[lane_idx]
+        for layer in range(2):
+            other_layer = 1 - layer
+            for k in range(n_points):
+                row = index(layer, lane_idx, k)
+                diagonal = 0.0
+                # Longitudinal conduction with zero-flux (adiabatic) ends.
+                if k > 0:
+                    add(row, index(layer, lane_idx, k - 1), conduction)
+                    diagonal -= conduction
+                if k < n_points - 1:
+                    add(row, index(layer, lane_idx, k + 1), conduction)
+                    diagonal -= conduction
+                # Layer to coolant.
+                diagonal -= g_v[k]
+                add(row, index(2, lane_idx, k), g_v[k])
+                # Inter-layer sidewall conduction.
+                diagonal -= g_w[k]
+                add(row, index(other_layer, lane_idx, k), g_w[k])
+                # Lateral conduction to the neighbouring lanes.
+                if g_lat > 0.0:
+                    if lane_idx > 0:
+                        add(row, index(layer, lane_idx - 1, k), g_lat)
+                        diagonal -= g_lat
+                    if lane_idx < n_lanes - 1:
+                        add(row, index(layer, lane_idx + 1, k), g_lat)
+                        diagonal -= g_lat
+                add(row, row, diagonal)
+                rhs[row] = -heat[layer][k]
+
+        # Coolant advection, first-order upwind.  For a reversed lane the
+        # coolant enters at z = d and flows toward z = 0, so the inlet
+        # Dirichlet condition and the upwind neighbour are mirrored.
+        reversed_flow = structure.lanes[lane_idx].flow_reversed
+        inlet_point = n_points - 1 if reversed_flow else 0
+        upstream_offset = 1 if reversed_flow else -1
+        for k in range(n_points):
+            row = index(2, lane_idx, k)
+            if k == inlet_point:
+                add(row, row, 1.0)
+                rhs[row] = structure.inlet_temperature
+                continue
+            advection = cap / dz
+            add(row, row, -(advection + 2.0 * g_v[k]))
+            add(row, index(2, lane_idx, k + upstream_offset), advection)
+            add(row, index(0, lane_idx, k), g_v[k])
+            add(row, index(1, lane_idx, k), g_v[k])
+            rhs[row] = 0.0
+
+    matrix = sparse.csr_matrix(
+        (values, (rows, cols)), shape=(n_unknowns, n_unknowns)
+    )
+    return AssembledSystem(
+        matrix=matrix,
+        rhs=rhs,
+        z_grid=z_grid,
+        params=params,
+        lateral_conductance=g_lat,
+        pattern=None,
+    )

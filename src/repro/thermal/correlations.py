@@ -17,6 +17,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from .properties import Coolant
 
 __all__ = [
@@ -53,33 +55,49 @@ _SHAH_LONDON_FRE = (1.0, -1.3553, 1.9467, -1.7012, 0.9564, -0.2537)
 _FRE_INFINITE_PLATES = 24.0
 
 
-def aspect_ratio(width: float, height: float) -> float:
+def _is_scalar(*values) -> bool:
+    """True when every argument is a plain scalar (0-dimensional)."""
+    return all(np.ndim(value) == 0 for value in values)
+
+
+def aspect_ratio(width, height):
     """Duct aspect ratio ``alpha = min(w, h) / max(w, h)`` in (0, 1].
 
     Shah & London define the aspect ratio as the short side divided by the
     long side so that the correlation is symmetric in width and height.
+    Accepts scalars or arrays (broadcast elementwise); scalar inputs return
+    a plain float.
     """
-    if width <= 0.0 or height <= 0.0:
+    w = np.asarray(width, dtype=float)
+    h = np.asarray(height, dtype=float)
+    if np.any(w <= 0.0) or np.any(h <= 0.0):
         raise ValueError("channel width and height must be positive")
-    short, long_ = sorted((width, height))
-    return short / long_
+    ratio = np.minimum(w, h) / np.maximum(w, h)
+    if _is_scalar(width, height):
+        return float(ratio)
+    return ratio
 
 
-def hydraulic_diameter(width: float, height: float) -> float:
+def hydraulic_diameter(width, height):
     """Hydraulic diameter ``D_h = 4 A / P`` of a rectangular duct in meters."""
-    if width <= 0.0 or height <= 0.0:
+    w = np.asarray(width, dtype=float)
+    h = np.asarray(height, dtype=float)
+    if np.any(w <= 0.0) or np.any(h <= 0.0):
         raise ValueError("channel width and height must be positive")
-    return 2.0 * width * height / (width + height)
+    d_h = 2.0 * w * h / (w + h)
+    if _is_scalar(width, height):
+        return float(d_h)
+    return d_h
 
 
-def _polynomial(alpha: float, coefficients) -> float:
+def _polynomial(alpha, coefficients):
     acc = 0.0
     for power, coefficient in enumerate(coefficients):
         acc += coefficient * alpha**power
     return acc
 
 
-def nusselt_fully_developed_h1(width: float, height: float) -> float:
+def nusselt_fully_developed_h1(width, height):
     """Fully developed laminar Nusselt number, H1 boundary condition.
 
     ``Nu = 8.235 * (1 - 2.0421 a + 3.0853 a^2 - 2.4765 a^3 + 1.0578 a^4 -
@@ -90,13 +108,13 @@ def nusselt_fully_developed_h1(width: float, height: float) -> float:
     return _NU_H1_INFINITE_PLATES * _polynomial(alpha, _SHAH_LONDON_H1)
 
 
-def nusselt_fully_developed_t(width: float, height: float) -> float:
+def nusselt_fully_developed_t(width, height):
     """Fully developed laminar Nusselt number, constant wall temperature."""
     alpha = aspect_ratio(width, height)
     return _NU_T_INFINITE_PLATES * _polynomial(alpha, _SHAH_LONDON_T)
 
 
-def friction_factor_times_reynolds(width: float, height: float) -> float:
+def friction_factor_times_reynolds(width, height):
     """Fanning friction factor times Reynolds number, ``f.Re``.
 
     ``f.Re = 24 (1 - 1.3553 a + 1.9467 a^2 - 1.7012 a^3 + 0.9564 a^4 -
@@ -106,16 +124,14 @@ def friction_factor_times_reynolds(width: float, height: float) -> float:
     return _FRE_INFINITE_PLATES * _polynomial(alpha, _SHAH_LONDON_FRE)
 
 
-def mean_velocity(flow_rate: float, width: float, height: float) -> float:
+def mean_velocity(flow_rate: float, width, height):
     """Mean flow velocity ``u = V_dot / (w * h)`` in m/s."""
     if flow_rate < 0.0:
         raise ValueError("flow rate must be non-negative")
     return flow_rate / (width * height)
 
 
-def reynolds_number(
-    flow_rate: float, width: float, height: float, coolant: Coolant
-) -> float:
+def reynolds_number(flow_rate: float, width, height, coolant: Coolant):
     """Reynolds number based on the hydraulic diameter."""
     velocity = mean_velocity(flow_rate, width, height)
     d_h = hydraulic_diameter(width, height)
@@ -128,29 +144,38 @@ def prandtl_number(coolant: Coolant) -> float:
 
 
 def graetz_number(
-    distance: float, flow_rate: float, width: float, height: float, coolant: Coolant
-) -> float:
+    distance, flow_rate: float, width, height, coolant: Coolant
+):
     """Inverse Graetz number ``z* = z / (D_h Re Pr)`` used for developing flow.
 
     ``z*`` grows from 0 at the inlet; the flow is thermally fully developed
     for ``z* >~ 0.05``.
     """
-    if distance < 0.0:
+    if np.any(np.asarray(distance) < 0.0):
         raise ValueError("distance from the inlet must be non-negative")
     re = reynolds_number(flow_rate, width, height, coolant)
     d_h = hydraulic_diameter(width, height)
-    if re == 0.0:
-        return math.inf
-    return distance / (d_h * re * coolant.prandtl)
+    if _is_scalar(distance, width, height):
+        if re == 0.0:
+            return math.inf
+        return distance / (d_h * re * coolant.prandtl)
+    denominator = d_h * re * coolant.prandtl
+    with np.errstate(divide="ignore", invalid="ignore"):
+        z_star = np.where(
+            denominator > 0.0,
+            np.asarray(distance, dtype=float) / np.where(denominator > 0.0, denominator, 1.0),
+            np.inf,
+        )
+    return z_star
 
 
 def nusselt_developing(
-    distance: float,
+    distance,
     flow_rate: float,
-    width: float,
-    height: float,
+    width,
+    height,
     coolant: Coolant,
-) -> float:
+):
     """Local Nusselt number including the thermal entrance effect.
 
     Uses a Hausen-type superposition on top of the fully developed H1 value:
@@ -162,22 +187,25 @@ def nusselt_developing(
     """
     nu_fd = nusselt_fully_developed_h1(width, height)
     z_star = graetz_number(distance, flow_rate, width, height, coolant)
-    if math.isinf(z_star):
-        return nu_fd
     # Guard the singular inlet point: cap the entrance enhancement at 5x.
-    z_star = max(z_star, 1e-6)
+    # (0.0668 / inf evaluates to 0, recovering the fully developed value
+    # for zero flow.)
+    z_star = np.maximum(np.asarray(z_star, dtype=float), 1e-6)
     enhancement = 0.0668 / (z_star ** (2.0 / 3.0) * (0.04 + z_star ** (1.0 / 3.0)))
-    return min(nu_fd + enhancement, 5.0 * nu_fd)
+    nu = np.minimum(nu_fd + enhancement, 5.0 * nu_fd)
+    if _is_scalar(distance, width, height):
+        return float(nu)
+    return nu
 
 
 def heat_transfer_coefficient(
-    width: float,
-    height: float,
+    width,
+    height,
     coolant: Coolant,
     flow_rate: float = 0.0,
-    distance: float = 0.0,
+    distance=0.0,
     developing: bool = False,
-) -> float:
+):
     """Convective heat-transfer coefficient ``h = Nu k_f / D_h`` in W/(m^2.K).
 
     Parameters

@@ -31,60 +31,33 @@ Discretization summary (lane ``j``, layer ``i``, grid point ``k``):
 Channel clustering scales every per-unit-length parameter of a lane by the
 number of physical channels it represents, exactly as suggested at the end
 of Sec. III of the paper.
+
+The sparse system is produced by :mod:`repro.thermal.assembly` (vectorized
+triplet construction over a cached per-shape sparsity pattern) and solved by
+a pluggable backend from :mod:`repro.thermal.backends` (``sparse-lu`` with
+factorization reuse, ``sparse-iterative``, ``dense``, or ``auto``).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
-from scipy import sparse
-from scipy.sparse.linalg import spsolve
 
-from . import conductances
+from . import assembly
+from .backends import SolverBackend, resolve_backend
 from .geometry import MultiChannelStructure, TestStructure
 from .solution import ThermalSolution
 
 __all__ = ["solve_finite_difference", "solve_structure"]
 
 
-def _lane_parameters(
-    structure: MultiChannelStructure,
-    lane_index: int,
-    lane: TestStructure,
-    z_grid: np.ndarray,
-):
-    """Per-unit-length parameters of one lane evaluated on the grid."""
-    widths = np.atleast_1d(lane.width_profile(z_grid))
-    g_v = conductances.layer_to_coolant_conductance(
-        lane.geometry,
-        lane.silicon,
-        lane.coolant,
-        widths,
-        lane.flow_rate,
-        z_grid,
-        lane.developing_flow,
-    )
-    g_w = conductances.sidewall_conductance(lane.geometry, lane.silicon, widths)
-    q_top = np.atleast_1d(lane.heat_top(z_grid))
-    q_bottom = np.atleast_1d(lane.heat_bottom(z_grid))
-    g_l = conductances.longitudinal_conductance(lane.geometry, lane.silicon)
-    cap = conductances.capacity_rate(lane.coolant, lane.flow_rate)
-    scale = float(structure.cluster_size_of_lane(lane_index))
-    return (
-        np.asarray(g_v, dtype=float) * scale,
-        np.asarray(g_w, dtype=float) * scale,
-        q_top,
-        q_bottom,
-        g_l * scale,
-        cap * scale,
-    )
-
-
 def solve_finite_difference(
     structure: MultiChannelStructure,
     n_points: int = 201,
     lane_pitch: Optional[float] = None,
+    backend: Union[None, str, SolverBackend] = None,
+    assembly_mode: str = "vectorized",
 ) -> ThermalSolution:
     """Solve a multi-channel cavity and return a :class:`ThermalSolution`.
 
@@ -99,126 +72,40 @@ def solve_finite_difference(
     lane_pitch:
         Center-to-center distance between adjacent modeled lanes, used for
         the lateral conduction term.  Defaults to ``cluster_size * W``.
+    backend:
+        Linear-solver backend: a registry name from
+        :mod:`repro.thermal.backends` (``"auto"``, ``"sparse-lu"``,
+        ``"sparse-iterative"``, ``"dense"``), a backend instance, or None
+        for the default (``"auto"``).
+    assembly_mode:
+        ``"vectorized"`` (default) or ``"loop"`` (the reference Python-loop
+        assembly, retained for equivalence testing and benchmarks).
     """
     if n_points < 3:
         raise ValueError("n_points must be at least 3")
-    n_lanes = structure.n_lanes
-    z_grid = np.linspace(0.0, structure.length, n_points)
-    dz = z_grid[1] - z_grid[0]
-
-    if lane_pitch is None:
-        lane_pitch = structure.cluster_size * structure.geometry.pitch
-    if structure.lateral_coupling and n_lanes > 1:
-        # Conduction between the centers of two adjacent lane bands: the
-        # cross-section is one silicon slab of height H_Si per active layer
-        # regardless of how many channels the band clusters, so the
-        # conductance only depends on the band pitch.
-        g_lat = conductances.lateral_conductance(
-            structure.geometry, structure.silicon, lane_pitch
-        )
+    if assembly_mode == "vectorized":
+        system = assembly.assemble_system(structure, n_points, lane_pitch)
+    elif assembly_mode == "loop":
+        system = assembly.assemble_system_loop(structure, n_points, lane_pitch)
     else:
-        g_lat = 0.0
+        raise ValueError("assembly_mode must be 'vectorized' or 'loop'")
 
-    lane_params = [
-        _lane_parameters(structure, index, lane, z_grid)
-        for index, lane in enumerate(structure.lanes)
-    ]
-
-    # Unknown ordering: variable-major, then lane, then grid point.
-    # variable 0 = top-layer temperature, 1 = bottom-layer temperature,
-    # variable 2 = coolant temperature.
-    def index(variable: int, lane: int, point: int) -> int:
-        return (variable * n_lanes + lane) * n_points + point
-
-    n_unknowns = 3 * n_lanes * n_points
-    rows, cols, values = [], [], []
-    rhs = np.zeros(n_unknowns)
-
-    def add(row: int, col: int, value: float) -> None:
-        rows.append(row)
-        cols.append(col)
-        values.append(value)
-
-    for lane_idx in range(n_lanes):
-        g_v, g_w, q_top, q_bottom, g_l, cap = lane_params[lane_idx]
-        heat = (q_top, q_bottom)
-        conduction = g_l / dz**2
-        for layer in range(2):
-            other_layer = 1 - layer
-            for k in range(n_points):
-                row = index(layer, lane_idx, k)
-                diagonal = 0.0
-                # Longitudinal conduction with zero-flux (adiabatic) ends.
-                if k > 0:
-                    add(row, index(layer, lane_idx, k - 1), conduction)
-                    diagonal -= conduction
-                if k < n_points - 1:
-                    add(row, index(layer, lane_idx, k + 1), conduction)
-                    diagonal -= conduction
-                # Layer to coolant.
-                diagonal -= g_v[k]
-                add(row, index(2, lane_idx, k), g_v[k])
-                # Inter-layer sidewall conduction.
-                diagonal -= g_w[k]
-                add(row, index(other_layer, lane_idx, k), g_w[k])
-                # Lateral conduction to the neighbouring lanes.
-                if g_lat > 0.0:
-                    if lane_idx > 0:
-                        add(row, index(layer, lane_idx - 1, k), g_lat)
-                        diagonal -= g_lat
-                    if lane_idx < n_lanes - 1:
-                        add(row, index(layer, lane_idx + 1, k), g_lat)
-                        diagonal -= g_lat
-                add(row, row, diagonal)
-                rhs[row] = -heat[layer][k]
-
-        # Coolant advection, first-order upwind.  For a reversed lane the
-        # coolant enters at z = d and flows toward z = 0, so the inlet
-        # Dirichlet condition and the upwind neighbour are mirrored.
-        reversed_flow = structure.lanes[lane_idx].flow_reversed
-        inlet_point = n_points - 1 if reversed_flow else 0
-        upstream_offset = 1 if reversed_flow else -1
-        for k in range(n_points):
-            row = index(2, lane_idx, k)
-            if k == inlet_point:
-                add(row, row, 1.0)
-                rhs[row] = structure.inlet_temperature
-                continue
-            advection = cap / dz
-            add(row, row, -(advection + 2.0 * g_v[k]))
-            add(row, index(2, lane_idx, k + upstream_offset), advection)
-            add(row, index(0, lane_idx, k), g_v[k])
-            add(row, index(1, lane_idx, k), g_v[k])
-            rhs[row] = 0.0
-
-    matrix = sparse.csr_matrix(
-        (values, (rows, cols)), shape=(n_unknowns, n_unknowns)
-    )
-    solution_vector = spsolve(matrix, rhs)
+    solver = resolve_backend(backend)
+    solution_vector = solver.solve(system.matrix, system.rhs, system.pattern_token)
     if not np.all(np.isfinite(solution_vector)):
         raise RuntimeError("finite-difference solve produced non-finite values")
 
-    temperatures = np.empty((2, n_lanes, n_points))
-    coolant = np.empty((n_lanes, n_points))
-    for lane_idx in range(n_lanes):
-        for layer in range(2):
-            start = index(layer, lane_idx, 0)
-            temperatures[layer, lane_idx, :] = solution_vector[
-                start : start + n_points
-            ]
-        start = index(2, lane_idx, 0)
-        coolant[lane_idx, :] = solution_vector[start : start + n_points]
+    n_lanes = structure.n_lanes
+    fields = solution_vector.reshape(3, n_lanes, n_points)
+    temperatures = fields[:2].copy()
+    coolant = fields[2].copy()
 
     # Longitudinal heat flows recovered from the temperature field.
-    heat_flows = np.empty_like(temperatures)
-    for lane_idx in range(n_lanes):
-        g_l = lane_params[lane_idx][4]
-        for layer in range(2):
-            gradient = np.gradient(temperatures[layer, lane_idx], z_grid)
-            heat_flows[layer, lane_idx] = -g_l * gradient
+    gradient = np.gradient(temperatures, system.z_grid, axis=2)
+    heat_flows = -system.params.g_l[None, :, None] * gradient
 
     return ThermalSolution(
-        z=z_grid,
+        z=system.z_grid,
         temperatures=temperatures,
         heat_flows=heat_flows,
         coolant_temperatures=coolant,
@@ -228,7 +115,9 @@ def solve_finite_difference(
             "n_points": n_points,
             "n_lanes": n_lanes,
             "cluster_size": structure.cluster_size,
-            "lateral_conductance": float(g_lat),
+            "lateral_conductance": float(system.lateral_conductance),
+            "backend": solver.name,
+            "assembly": assembly_mode,
         },
     )
 
@@ -243,7 +132,8 @@ def solve_structure(
     Dispatches :class:`~repro.thermal.geometry.TestStructure` instances to
     the finite-difference solver by wrapping them in a one-lane cavity, so
     that callers (notably the optimizer) do not need to care which kind of
-    structure they are optimizing.
+    structure they are optimizing.  Keyword arguments (``backend``,
+    ``lane_pitch``, ...) are forwarded to :func:`solve_finite_difference`.
     """
     if isinstance(structure, TestStructure):
         structure = MultiChannelStructure.single(structure)

@@ -203,6 +203,20 @@ class WidthProfile:
         widths = np.atleast_1d(self(centers))
         return WidthProfile.piecewise_constant(widths, self.length)
 
+    def fingerprint(self) -> Optional[tuple]:
+        """Hashable identity of the profile, or None for callable profiles.
+
+        Two profiles with equal fingerprints evaluate identically at every
+        ``z``; the evaluation engine uses this to key its solution cache.
+        Callable profiles cannot be fingerprinted and return None
+        (solutions for them are simply not cached).
+        """
+        if self._uniform is not None:
+            return ("uniform", self.length, self._uniform)
+        if self._segments is not None:
+            return ("segments", self.length, self._segments.tobytes())
+        return None
+
     def mean_width(self, n_samples: int = 512) -> float:
         """Average width along the channel (trapezoidal sampling)."""
         z = np.linspace(0.0, self.length, n_samples)
@@ -306,6 +320,14 @@ class HeatInputProfile:
         if np.isscalar(z) or np.ndim(z) == 0:
             return float(out[0])
         return out
+
+    def fingerprint(self) -> Optional[tuple]:
+        """Hashable identity of the profile, or None for callable profiles."""
+        if self._uniform is not None:
+            return ("uniform", self.length, self._uniform)
+        if self._segments is not None:
+            return ("segments", self.length, self._segments.tobytes())
+        return None
 
     def total_power(self, n_samples: int = 2048) -> float:
         """Total power (W) injected into this layer over the channel length."""

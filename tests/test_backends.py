@@ -1,0 +1,171 @@
+"""Tests of the pluggable linear-solver backend registry.
+
+Every registered backend must reproduce the reference (loop-assembled,
+direct-solved) temperature fields within 1e-8 on representative fixtures,
+and the registry must reject unknown names and duplicate registrations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.thermal import assembly, backends
+from repro.thermal.fdm import solve_finite_difference, solve_structure
+from repro.thermal.geometry import HeatInputProfile
+from repro.thermal.multichannel import build_cavity
+
+
+@pytest.fixture(scope="module")
+def cavities(geometry, params):
+    def make(n_lanes, **kwargs):
+        heat = [
+            HeatInputProfile.from_areal_flux(
+                50.0 + 30.0 * j, geometry.pitch, geometry.length
+            )
+            for j in range(n_lanes)
+        ]
+        return build_cavity(
+            geometry,
+            heat,
+            heat,
+            flow_rate=params.flow_rate_per_channel,
+            inlet_temperature=params.inlet_temperature,
+            **kwargs,
+        )
+
+    return {
+        "single": make(1),
+        "multi": make(5),
+        "clustered": make(3, cluster_size=4),
+    }
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize(
+        "backend", ["dense", "sparse-lu", "sparse-iterative", "auto"]
+    )
+    def test_matches_reference_solution(self, cavities, backend):
+        for name, cavity in cavities.items():
+            reference = solve_finite_difference(
+                cavity, n_points=61, assembly_mode="loop", backend="sparse-lu"
+            )
+            solution = solve_finite_difference(cavity, n_points=61, backend=backend)
+            np.testing.assert_allclose(
+                solution.temperatures,
+                reference.temperatures,
+                rtol=0.0,
+                atol=1e-8,
+                err_msg=f"backend {backend!r} diverges on cavity {name!r}",
+            )
+            assert solution.metadata["backend"] == backend
+
+    def test_single_channel_structure_accepts_backend(self, test_a):
+        dense = solve_structure(test_a, n_points=101, backend="dense")
+        sparse_lu = solve_structure(test_a, n_points=101, backend="sparse-lu")
+        np.testing.assert_allclose(
+            dense.temperatures, sparse_lu.temperatures, rtol=0.0, atol=1e-8
+        )
+
+    def test_backend_instance_accepted(self, cavities):
+        backend = backends.SparseLUBackend()
+        solution = solve_finite_difference(
+            cavities["multi"], n_points=41, backend=backend
+        )
+        assert solution.metadata["backend"] == "sparse-lu"
+        assert backend.stats()["n_factorizations"] == 1
+
+
+class TestFactorizationReuse:
+    def test_identical_matrix_reuses_factorization(self, cavities):
+        backend = backends.SparseLUBackend()
+        system = assembly.assemble_system(cavities["multi"], n_points=41)
+        first = backend.solve(system.matrix, system.rhs, system.pattern_token)
+        second = backend.solve(system.matrix, system.rhs, system.pattern_token)
+        np.testing.assert_array_equal(first, second)
+        stats = backend.stats()
+        assert stats["n_factorizations"] == 1
+        assert stats["n_factorization_reuses"] == 1
+
+    def test_changed_values_refactorize(self, cavities, geometry):
+        backend = backends.SparseLUBackend()
+        cavity = cavities["multi"]
+        a = assembly.assemble_system(cavity, n_points=41)
+        b = assembly.assemble_system(
+            cavity.with_uniform_width(geometry.min_width), n_points=41
+        )
+        backend.solve(a.matrix, a.rhs, a.pattern_token)
+        backend.solve(b.matrix, b.rhs, b.pattern_token)
+        assert backend.stats()["n_factorizations"] == 2
+
+    def test_cache_bounded(self, cavities, geometry):
+        backend = backends.SparseLUBackend(factorization_cache_size=2)
+        cavity = cavities["multi"]
+        widths = np.linspace(geometry.min_width, geometry.max_width, 4)
+        for width in widths:
+            system = assembly.assemble_system(
+                cavity.with_uniform_width(float(width)), n_points=41
+            )
+            backend.solve(system.matrix, system.rhs, system.pattern_token)
+        assert backend.stats()["cached_factorizations"] == 2
+
+
+class TestIterativeBackend:
+    def test_solves_or_falls_back(self, cavities):
+        backend = backends.SparseIterativeBackend()
+        system = assembly.assemble_system(cavities["multi"], n_points=61)
+        solution = backend.solve(system.matrix, system.rhs, system.pattern_token)
+        residual = np.linalg.norm(system.matrix @ solution - system.rhs)
+        assert np.all(np.isfinite(solution))
+        stats = backend.stats()
+        assert stats["n_iterative_solves"] + stats["n_fallbacks"] == 1
+        assert residual <= 1e-6 * np.linalg.norm(system.rhs) + 1e-12
+
+
+class TestRegistry:
+    def test_available_backends(self):
+        names = backends.available_backends()
+        for expected in ("auto", "dense", "sparse-iterative", "sparse-lu"):
+            assert expected in names
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(KeyError, match="unknown solver backend"):
+            backends.get_backend("does-not-exist")
+        with pytest.raises(KeyError):
+            backends.resolve_backend("does-not-exist")
+
+    def test_resolve_none_gives_default(self):
+        assert backends.resolve_backend(None).name == backends.DEFAULT_BACKEND
+
+    def test_resolve_rejects_bad_spec(self):
+        with pytest.raises(TypeError):
+            backends.resolve_backend(123)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            backends.register_backend(backends.DenseBackend())
+
+    def test_custom_backend_roundtrip(self):
+        class EchoDense(backends.DenseBackend):
+            name = "test-echo-dense"
+
+        try:
+            backends.register_backend(EchoDense())
+            assert "test-echo-dense" in backends.available_backends()
+            assert backends.get_backend("test-echo-dense").name == "test-echo-dense"
+            # Re-registering with overwrite replaces the instance.
+            replacement = EchoDense()
+            backends.register_backend(replacement, overwrite=True)
+            assert backends.get_backend("test-echo-dense") is replacement
+        finally:
+            backends._REGISTRY.pop("test-echo-dense", None)
+
+    def test_backend_without_name_rejected(self):
+        class Nameless:
+            name = ""
+
+            def solve(self, matrix, rhs, pattern_token=None):
+                return rhs
+
+        with pytest.raises(ValueError):
+            backends.register_backend(Nameless())

@@ -51,6 +51,25 @@ class TestExperimentConfig:
         assert config.n_segments == 4
         assert config.random_seed == 1
 
+    def test_solver_defaults(self):
+        assert DEFAULT_EXPERIMENT.solver_backend == "auto"
+        assert DEFAULT_EXPERIMENT.n_workers == 1
+
+    def test_optimizer_settings_threads_solver_knobs(self):
+        config = ExperimentConfig(solver_backend="sparse-lu", n_workers=3)
+        settings = config.optimizer_settings()
+        assert settings.solver_backend == "sparse-lu"
+        assert settings.n_workers == 3
+        assert settings.n_segments == config.n_segments
+        assert settings.n_grid_points == config.n_grid_points
+
+    def test_optimizer_settings_overrides_win(self):
+        settings = DEFAULT_EXPERIMENT.optimizer_settings(
+            n_segments=4, solver_backend="dense"
+        )
+        assert settings.n_segments == 4
+        assert settings.solver_backend == "dense"
+
 
 class TestPublicApi:
     def test_version_string(self):
@@ -59,6 +78,12 @@ class TestPublicApi:
     def test_all_exports_resolve(self):
         for name in repro.__all__:
             assert hasattr(repro, name), f"missing export {name}"
+
+    def test_backend_api_exported(self):
+        assert "sparse-lu" in repro.available_backends()
+        assert repro.get_backend("sparse-lu").name == "sparse-lu"
+        engine = repro.EvaluationEngine(solver_backend="dense")
+        assert engine.stats()["backend"] == "dense"
 
     def test_quickstart_objects_importable(self):
         from repro import (
