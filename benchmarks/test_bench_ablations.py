@@ -10,7 +10,6 @@ figures do not exercise.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.analysis import format_table

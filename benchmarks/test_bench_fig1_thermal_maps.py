@@ -12,7 +12,6 @@ for (a) and a larger gradient for the non-uniform map (b).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis import render_map
 from repro.floorplan import full_niagara_die, uniform_die_maps

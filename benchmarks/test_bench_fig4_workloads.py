@@ -9,7 +9,6 @@ levels, segment ranges, total power) while timing the workload generation.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.analysis import format_table

@@ -14,7 +14,6 @@ prints the profiles and the paper-vs-measured comparison.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.analysis import format_table, paper_comparison_row, render_profile
@@ -78,7 +77,6 @@ def test_fig5a_test_a_profiles(benchmark, test_a_design):
     candidate = test_a_design.optimal
 
     def solve_once():
-        from repro.thermal.geometry import MultiChannelStructure
         from repro.floorplan import test_a_structure
 
         base = test_a_structure()

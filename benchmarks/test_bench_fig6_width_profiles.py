@@ -16,7 +16,6 @@ thermal solve).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis import format_table, render_width_profile
 from repro.floorplan import test_b_fluxes as build_test_b_fluxes

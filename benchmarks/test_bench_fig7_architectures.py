@@ -10,7 +10,6 @@ model from an architecture (floorplan rasterization + channel clustering).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.analysis import format_table

@@ -16,7 +16,6 @@ design (the inner loop of the design flow).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.analysis import ExperimentReport, format_table, paper_comparison_row

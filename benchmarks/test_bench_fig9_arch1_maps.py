@@ -13,8 +13,6 @@ map computation.
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from repro.analysis import format_table, render_map
 from repro.ice import SteadyStateSolver, two_die_stack_from_architecture

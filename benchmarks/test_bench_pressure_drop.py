@@ -10,7 +10,6 @@ pressure integral (the per-candidate hydraulic cost of the design loop).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.analysis import format_table

@@ -13,13 +13,11 @@ construction).
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import format_table
 from repro.core import ChannelModulationDesigner, OptimizerSettings
 from repro.floorplan import test_b_structure as build_test_b_structure
 from repro.related import compare_techniques
-from repro.thermal.geometry import MultiChannelStructure
 
 
 def test_related_work_comparison_on_arch1(benchmark, mpsoc_designs, config):

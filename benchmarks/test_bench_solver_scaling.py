@@ -24,7 +24,6 @@ import json
 import time
 
 import numpy as np
-import pytest
 
 from repro.analysis import format_table
 from repro.core import EvaluationEngine

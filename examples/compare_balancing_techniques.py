@@ -5,7 +5,8 @@ The paper's related-work section (Sec. II) discusses three alternative ways
 of fighting the liquid-cooling thermal gradient: per-cluster coolant flow
 rates (Qian et al.), non-uniform channel density (Shi et al.) and changed
 flow routing (Brunschwiler et al.).  This example evaluates all of them on
-the same two-die Niagara cavity, together with the paper's optimal
+the same two-die Niagara cavity -- built declaratively from the registered
+``niagara-arch*`` scenario -- together with the paper's optimal
 channel-width modulation, and prints a single ranking table.
 
 Run it with ``python examples/compare_balancing_techniques.py [arch1|arch2|arch3]``.
@@ -14,27 +15,30 @@ Run it with ``python examples/compare_balancing_techniques.py [arch1|arch2|arch3
 from __future__ import annotations
 
 import sys
+from dataclasses import replace
 
-from repro import OptimizerSettings, get_architecture
+from repro import get_scenario
 from repro.analysis import format_table
-from repro.config import DEFAULT_EXPERIMENT
 from repro.related import compare_techniques
 
 
 def main(architecture_name: str = "arch1") -> None:
-    config = DEFAULT_EXPERIMENT
-    architecture = get_architecture(architecture_name)
-    cavity = architecture.cavity("peak", config=config, n_lanes=5, n_cols=40)
+    base = get_scenario(f"niagara-{architecture_name}")
+    spec = base.with_overrides(
+        grid=replace(base.grid, n_grid_points=141, n_cols=40),
+        optimizer=replace(base.optimizer, n_segments=5, max_iterations=30),
+    )
+    cavity = spec.build_structure()
     print(
-        f"{architecture.name} at peak power: {cavity.n_lanes} lanes x "
+        f"{spec.name} at peak power: {cavity.n_lanes} lanes x "
         f"{cavity.cluster_size} channels, {cavity.total_power:.1f} W"
     )
 
     evaluations = compare_techniques(
         cavity,
-        OptimizerSettings(n_segments=5, max_iterations=30, n_grid_points=141),
+        spec.optimizer_settings(),
         optimize_flow=True,
-        n_points=141,
+        n_points=spec.grid.n_grid_points,
     )
     reference = next(
         e for e in evaluations if e.label == "uniform maximum"

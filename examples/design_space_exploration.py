@@ -3,7 +3,8 @@
 
 The paper frames channel modulation as "an additional dimension in the
 design-space exploration".  This example walks that design space on the
-Test A structure:
+Test A scenario by deriving declarative variants of the registered spec --
+every point of every sweep is itself a serializable scenario:
 
 1. a sweep of *uniform* channel widths (the conventional single knob),
 2. the effect of the pressure-drop budget on the achievable gradient
@@ -18,15 +19,20 @@ Run it with ``python examples/design_space_exploration.py``.
 
 from __future__ import annotations
 
-from repro import ChannelModulationDesigner, OptimizerSettings, test_a_structure
+from dataclasses import replace
+
+from repro import ChannelModulationDesigner, Session, get_scenario
 from repro.analysis import format_table
-from repro.config import DEFAULT_EXPERIMENT, paper_parameters
 from repro.thermal.properties import ml_per_min_to_m3_per_s
 
+BASE = get_scenario("test-a").with_overrides(name="test-a-dse")
 
-def uniform_width_sweep() -> None:
+
+def uniform_width_sweep(session: Session) -> None:
     """1. The conventional design space: one constant width per design."""
-    designer = ChannelModulationDesigner(test_a_structure())
+    designer = ChannelModulationDesigner.from_spec(
+        BASE, engine=session.engine_for(BASE)
+    )
     rows = []
     for evaluation in designer.width_sweep(n_candidates=9):
         summary = evaluation.summary()
@@ -49,16 +55,19 @@ def uniform_width_sweep() -> None:
     print()
 
 
-def pressure_budget_sweep() -> None:
+def pressure_budget_sweep(session: Session) -> None:
     """2. How the allowed pressure drop limits the achievable balancing."""
     rows = []
     for budget_bar in (2.0, 5.0, 10.0, 20.0):
-        designer = ChannelModulationDesigner(
-            test_a_structure(),
-            OptimizerSettings(n_segments=8, max_iterations=50),
-            max_pressure_drop=budget_bar * 1e5,
+        spec = BASE.with_overrides(
+            optimizer=replace(
+                BASE.optimizer,
+                n_segments=8,
+                max_iterations=50,
+                max_pressure_drop_Pa=budget_bar * 1e5,
+            )
         )
-        result = designer.design()
+        result = session.optimize(spec).result
         rows.append(
             {
                 "pressure_budget_bar": budget_bar,
@@ -72,21 +81,16 @@ def pressure_budget_sweep() -> None:
     print()
 
 
-def flow_rate_sweep() -> None:
+def flow_rate_sweep(session: Session) -> None:
     """3. Higher flow rate means lower coolant rise, hence lower gradients."""
     rows = []
     for flow_ml_per_min in (0.3, 0.6, 1.2, 2.4):
-        params = paper_parameters().with_overrides(
+        spec = BASE.with_params(
             flow_rate_per_channel=ml_per_min_to_m3_per_s(flow_ml_per_min)
+        ).with_overrides(
+            optimizer=replace(BASE.optimizer, n_segments=8, max_iterations=50)
         )
-        config = DEFAULT_EXPERIMENT.with_overrides(params=params)
-        from repro.floorplan import test_a_structure as build_structure
-
-        designer = ChannelModulationDesigner(
-            build_structure(config),
-            OptimizerSettings(n_segments=8, max_iterations=50),
-        )
-        result = designer.design()
+        result = session.optimize(spec).result
         rows.append(
             {
                 "flow_ml_per_min": flow_ml_per_min,
@@ -101,15 +105,16 @@ def flow_rate_sweep() -> None:
     print()
 
 
-def segment_count_sweep() -> None:
+def segment_count_sweep(session: Session) -> None:
     """4. Control discretization of the direct sequential method."""
     rows = []
     for n_segments in (2, 4, 8, 16):
-        designer = ChannelModulationDesigner(
-            test_a_structure(),
-            OptimizerSettings(n_segments=n_segments, max_iterations=60),
+        spec = BASE.with_overrides(
+            optimizer=replace(
+                BASE.optimizer, n_segments=n_segments, max_iterations=60
+            )
         )
-        result = designer.design()
+        result = session.optimize(spec).result
         rows.append(
             {
                 "n_segments": n_segments,
@@ -123,10 +128,13 @@ def segment_count_sweep() -> None:
 
 
 def main() -> None:
-    uniform_width_sweep()
-    pressure_budget_sweep()
-    flow_rate_sweep()
-    segment_count_sweep()
+    # One session for every sweep: identical candidate designs (e.g. the
+    # uniform baselines re-evaluated per sweep point) are solved once.
+    session = Session()
+    uniform_width_sweep(session)
+    pressure_budget_sweep(session)
+    flow_rate_sweep(session)
+    segment_count_sweep(session)
 
 
 if __name__ == "__main__":

@@ -2,70 +2,63 @@
 """Thermal balancing of a two-die UltraSPARC T1 (Niagara-1) 3D-MPSoC.
 
 This example reproduces the protocol of Sec. V-B of the paper on one of the
-Fig. 7 architectures:
+Fig. 7 architectures, end to end through the scenario API:
 
-1. build the two-die stack (compute die over memory die, Arch. 1) and its
-   peak-power heat-flux maps,
-2. project the maps onto the multi-channel cavity model (physical channels
-   clustered into a handful of modeled lanes),
-3. design the optimal per-lane channel-width modulation at peak power,
-4. re-evaluate the *same* width profiles under the average-power scenario
+1. fetch the registered ``niagara-arch*`` scenario (two-die stacking,
+   peak-power workload, channels clustered into a handful of modeled
+   lanes),
+2. design the optimal per-lane channel-width modulation at peak power with
+   ``Session.optimize``,
+3. re-evaluate the *same* width profiles under the average-power scenario
    (the paper applies the design-time solution to both load levels), and
-5. render the top-die thermal maps of the minimum / optimal / maximum width
-   designs with the finite-volume simulator (the content of Fig. 9).
+4. render the top-die thermal maps of the minimum / optimal / maximum width
+   designs with the finite-volume simulator (the content of Fig. 9) by
+   running design-pinned scenario variants with ``--solver ice`` semantics.
 
-Run it with ``python examples/niagara_3d_mpsoc.py [arch1|arch2|arch3]``.
+Run it with ``python examples/niagara_3d_mpsoc.py [arch1|arch2|arch3]``
+(or start from the shell: ``repro optimize niagara-arch1 --save-design
+opt.json && repro run opt.json --solver ice``).
 """
 
 from __future__ import annotations
 
 import sys
+from dataclasses import replace
 
-from repro import ChannelModulationDesigner, OptimizerSettings, get_architecture
+from repro import ChannelModulationDesigner, Session, get_scenario
 from repro.analysis import format_table, render_map
-from repro.config import DEFAULT_EXPERIMENT
-from repro.ice import SteadyStateSolver, two_die_stack_from_architecture
-from repro.thermal.geometry import WidthProfile
 
 
 def main(architecture_name: str = "arch1") -> None:
-    config = DEFAULT_EXPERIMENT
-    architecture = get_architecture(architecture_name)
-    print(f"{architecture.name}: {architecture.description}")
+    spec = get_scenario(f"niagara-{architecture_name}")
+    print(f"scenario {spec.name}: {spec.description}")
+
+    cavity = spec.build_structure()
     print(
-        f"  peak power {architecture.total_power('peak'):.1f} W, "
-        f"average power {architecture.total_power('average'):.1f} W"
+        f"  cavity: {cavity.n_lanes} modeled lanes x "
+        f"{cavity.cluster_size} physical channels, "
+        f"{cavity.total_power:.1f} W into the coolant"
     )
 
-    # 2. Cavity model at peak power (channels clustered into a few lanes).
-    peak_cavity = architecture.cavity("peak", config=config)
-    print(
-        f"  cavity: {peak_cavity.n_lanes} modeled lanes x "
-        f"{peak_cavity.cluster_size} physical channels, "
-        f"{peak_cavity.total_power:.1f} W into the coolant"
-    )
-
-    # 3. Optimal modulation at peak power.
-    designer = ChannelModulationDesigner(
-        peak_cavity,
-        OptimizerSettings(
-            n_segments=6, max_iterations=40, n_grid_points=161
-        ),
-    )
-    result = designer.design()
+    # 2. Optimal modulation at peak power (one session, shared caches).
+    session = Session()
+    outcome = session.optimize(spec)
+    result = outcome.result
     print()
     print("peak-power designs:")
     print(format_table(result.comparison_table()))
 
-    # 4. The same geometry under average power.
-    average_cavity = architecture.cavity(
-        "average", config=config, width_profiles=result.optimal.width_profiles
+    # 3. The same geometry under average power: pin the optimized design
+    # into the spec and flip the workload's power scenario.
+    average_spec = replace(
+        outcome.optimized_spec(),
+        workload=replace(spec.workload, power="average"),
     )
-    average_designer = ChannelModulationDesigner(
-        average_cavity, designer.settings
+    average_designer = ChannelModulationDesigner.from_spec(
+        replace(average_spec, design=None), engine=session.engine_for(spec)
     )
     average_optimal = average_designer.evaluate_profiles(
-        result.optimal.width_profiles, "optimal (peak design)"
+        average_spec.width_profiles(), "optimal (peak design)"
     )
     average_rows = [
         average_designer.uniform_minimum().summary(),
@@ -76,33 +69,19 @@ def main(architecture_name: str = "arch1") -> None:
     print("average-power evaluation of the same design:")
     print(format_table(average_rows))
 
-    # 5. Thermal maps of the top die (Fig. 9) on a common temperature scale.
+    # 4. Thermal maps of the top die (Fig. 9) on a common temperature
+    # scale: three design-pinned scenario variants through the
+    # finite-volume simulator.
+    geometry = cavity.geometry
+    variants = {
+        "minimum": spec.with_design([[geometry.min_width]] * cavity.n_lanes),
+        "optimal": outcome.optimized_spec(),
+        "maximum": spec.with_design([[geometry.max_width]] * cavity.n_lanes),
+    }
     scale = None
     maps = {}
-    for label, profile in (
-        ("minimum", WidthProfile.uniform(
-            peak_cavity.geometry.min_width, architecture.die_length)),
-        ("optimal", result.optimal.width_profiles),
-        ("maximum", WidthProfile.uniform(
-            peak_cavity.geometry.max_width, architecture.die_length)),
-    ):
-        if isinstance(profile, list):
-            # Expand the per-lane profiles onto the physical channels.
-            n_channels = int(
-                round(architecture.die_width / config.params.channel_pitch)
-            )
-            per_channel = [
-                profile[min(i * len(profile) // n_channels, len(profile) - 1)]
-                for i in range(n_channels)
-            ]
-            width_argument = per_channel
-        else:
-            width_argument = profile
-        stack = two_die_stack_from_architecture(
-            architecture, "peak", config=config, width_profile=width_argument,
-            n_cols=44, n_rows=44,
-        )
-        solved = SteadyStateSolver(stack).solve()
+    for label, variant in variants.items():
+        solved = session.run(variant, solver="ice").solution
         maps[label] = solved.layer("top_die")
         low = solved.min_temperature("top_die")
         high = solved.peak_temperature("top_die")

@@ -1,46 +1,65 @@
 #!/usr/bin/env python3
 """Quickstart: balance the temperature of one liquid-cooled microchannel.
 
-This example reproduces the paper's Test A scenario in a few lines of code:
+This example reproduces the paper's Test A scenario through the scenario
+API -- the same facade the ``repro`` CLI uses:
 
-1. build the single-channel, two-die test structure of Fig. 2 with a uniform
-   50 W/cm^2 heat flux on both active layers (Fig. 4a),
-2. evaluate the two conventional designs (uniform minimum / maximum channel
-   width),
-3. run the optimal channel-width modulation of Sec. IV, and
-4. print the resulting temperature profiles, width trajectory and metrics.
+1. fetch the registered, declarative ``test-a`` scenario (Fig. 2 structure,
+   Fig. 4a workload, Table I parameters),
+2. simulate the conventional (uniform-width) design with ``Session.run``,
+3. run the optimal channel-width modulation of Sec. IV with
+   ``Session.optimize``,
+4. cross-check the optimized design on the finite-volume (3D-ICE-like)
+   simulator, and
+5. print the resulting temperature profiles, width trajectory and metrics.
 
-Run it with ``python examples/quickstart.py``.
+Run it with ``python examples/quickstart.py`` (or reproduce steps 1-2 from
+the shell with ``repro run test-a --json``).
 """
 
 from __future__ import annotations
 
-from repro import ChannelModulationDesigner, OptimizerSettings, test_a_structure
+from repro import Session, get_scenario
 from repro.analysis import format_table, render_profile, render_width_profile
 
 
 def main() -> None:
-    # 1. The Test A structure (Table I parameters, uniform 50 W/cm^2 flux).
-    structure = test_a_structure()
+    # 1. The declarative Test A scenario (serializable: spec.to_json()).
+    spec = get_scenario("test-a")
+    print(f"scenario {spec.name}: {spec.description}")
+
+    # One session = shared solution caches across every call below.
+    session = Session()
+
+    # 2. The conventional design (uniform maximum width), simulated through
+    # the analytical finite-difference path.
+    uniform = session.run(spec)
     print(
-        f"Test structure: channel length {structure.length * 100:.1f} cm, "
-        f"total power {structure.total_power:.2f} W, "
-        f"flow rate {structure.flow_rate * 6e7:.2f} ml/min"
+        f"uniform design: gradient {uniform.thermal_gradient_K:.1f} K, "
+        f"peak {uniform.peak_temperature_K - 273.15:.1f} C, "
+        f"pressure drop {uniform.max_pressure_drop_Pa / 1e5:.2f} bar "
+        f"({uniform.simulator}, {uniform.provenance['backend']} backend)"
     )
 
-    # 2 + 3. Design: the designer evaluates the uniform baselines and runs
-    # the direct sequential optimization with the paper's cost and
-    # constraints.
-    designer = ChannelModulationDesigner(
-        structure, OptimizerSettings(n_segments=10, max_iterations=60)
-    )
-    result = designer.design()
+    # 3. The paper's contribution: optimal channel-width modulation.
+    outcome = session.optimize(spec)
+    result = outcome.result
 
-    # 4a. Comparison table (the content of Fig. 5a, in numbers).
+    # 4. Pin the optimized design into a spec and cross-check it on the
+    # finite-volume simulator (the validation move of the paper).
+    optimized_spec = outcome.optimized_spec()
+    ice = session.run(optimized_spec, solver="ice")
+    print(
+        f"optimized design on the finite-volume model: "
+        f"gradient {ice.thermal_gradient_K:.1f} K "
+        f"(analytical: {result.optimal.thermal_gradient:.1f} K)"
+    )
+
+    # 5a. Comparison table (the content of Fig. 5a, in numbers).
     print()
     print(format_table(result.comparison_table()))
 
-    # 4b. Temperature change from inlet to outlet for the optimal design.
+    # 5b. Temperature change from inlet to outlet for the optimal design.
     solution = result.optimal.solution
     print()
     print(
@@ -52,11 +71,11 @@ def main() -> None:
         )
     )
 
-    # 4c. The optimized channel width trajectory (Fig. 6a).
+    # 5c. The optimized channel width trajectory (Fig. 6a).
     print()
     print(render_width_profile(result.optimal.width_profiles[0]))
 
-    # 4d. Headline metrics.
+    # 5d. Headline metrics.
     summary = result.summary()
     print()
     print(
@@ -69,6 +88,12 @@ def main() -> None:
         f"{summary['max_pressure_drop_Pa'] / 1e5:.2f} bar "
         f"(limit: 10 bar)"
     )
+    stats = session.stats()
+    for engine, engine_stats in stats.items():
+        print(
+            f"engine {engine}: {engine_stats['n_solves']} solves, "
+            f"hit rate {engine_stats['hit_rate']:.0%}"
+        )
 
 
 if __name__ == "__main__":

@@ -7,41 +7,48 @@ placed *along* a single channel.  The paper's Test B (Fig. 4b) stresses
 exactly that case: the strip under one channel is split into segments, each
 drawing a random heat flux in [50, 250] W/cm^2.
 
-This example:
+This example drives the flow through the scenario API:
 
-1. generates the Test B workload (deterministic seed),
+1. fetches the registered ``test-b`` scenario (deterministic seed baked
+   into the spec, so the workload is reproducible from its JSON form),
 2. runs the optimal channel modulation,
 3. compares it against the uniform-width baselines *and* the "best uniform
    width" design (the strongest design available without modulation), and
 4. shows how the optimized channel narrows over the hot segments.
 
-Run it with ``python examples/test_structure_hotspots.py``.
+Run it with ``python examples/test_structure_hotspots.py`` (or get the raw
+numbers with ``repro optimize test-b --json``).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro import ChannelModulationDesigner, OptimizerSettings
+from repro import ChannelModulationDesigner, Session, get_scenario
 from repro.analysis import format_table, render_profile, render_width_profile
-from repro.config import DEFAULT_EXPERIMENT
-from repro.floorplan import test_b_fluxes, test_b_structure
+from repro.floorplan import test_b_fluxes
 
 
 def main() -> None:
-    config = DEFAULT_EXPERIMENT
+    spec = get_scenario("test-b")
+    config = spec.experiment_config()
     top_fluxes, bottom_fluxes = test_b_fluxes(config)
+    print(f"scenario {spec.name}: {spec.description}")
     print("Test B per-segment heat fluxes (W/cm^2):")
     print("  top layer:   ", np.round(top_fluxes, 0))
     print("  bottom layer:", np.round(bottom_fluxes, 0))
 
-    structure = test_b_structure(config)
-    designer = ChannelModulationDesigner(
-        structure,
-        OptimizerSettings(n_segments=config.test_b_segments, max_iterations=80),
-    )
+    # The session shares one solution cache between the optimization and
+    # the designer baselines below.
+    session = Session()
+    outcome = session.optimize(spec)
+    result = outcome.result
 
-    result = designer.design()
+    # The best-uniform baseline comes from the classic designer, built from
+    # the same spec (and sharing the session's evaluation engine).
+    designer = ChannelModulationDesigner.from_spec(
+        spec, engine=session.engine_for(spec)
+    )
     best_uniform = designer.best_uniform()
 
     rows = result.comparison_table()

@@ -1,8 +1,33 @@
 """repro -- Thermal balancing of liquid-cooled 3D-MPSoCs using channel modulation.
 
-A from-scratch Python reproduction of the DATE 2012 paper by Sabry, Sridhar
-and Atienza.  The package contains:
+The one way in is :func:`run`: every experiment of the DATE 2012 paper by
+Sabry, Sridhar and Atienza is a declarative, JSON-serializable
+:class:`~repro.scenarios.ScenarioSpec`, and ``run(spec)`` simulates it
+through either model family behind one simulator protocol::
 
+    from repro import run, optimize, get_scenario
+
+    result = run("test-a")                  # analytical FDM path
+    other = run("test-a", solver="ice")     # finite-volume cross-check
+    print(result.thermal_gradient_K, other.thermal_gradient_K)
+
+    best = optimize("test-a")               # Sec. IV design flow
+    run(best.optimized_spec(), solver="ice")
+
+Scenarios come from the registry (``test-a``, ``test-b`` and the Fig. 7
+``niagara-arch1..3`` stackings, see :func:`scenario_names`), from JSON
+files, or from :class:`~repro.scenarios.ScenarioSpec` built in code; a
+:class:`~repro.api.Session` keeps solution caches alive across calls, and
+the ``repro`` console script (:mod:`repro.cli`) exposes the same facade
+from the shell (``repro list``, ``repro run test-a --json``, ``repro
+optimize``, ``repro bench``).
+
+Under the facade the package contains:
+
+* :mod:`repro.scenarios` -- declarative scenario specs and the registry;
+* :mod:`repro.api` -- the simulator protocol (:class:`~repro.api.FDMSimulator`,
+  :class:`~repro.api.ICESimulator`), the shared
+  :class:`~repro.api.SimulationResult` schema and the session facade;
 * :mod:`repro.thermal` -- the analytical per-unit-length thermal model of a
   microchannel-cooled 3D IC (Sec. III), its state-space/BVP form and a
   multi-channel finite-difference solver;
@@ -18,31 +43,53 @@ and Atienza.  The package contains:
 * :mod:`repro.analysis` -- metrics, ASCII map rendering and experiment
   reporting.
 
+The classic programmatic entry points (:class:`ChannelModulationDesigner`,
+:func:`solve_structure`, :func:`test_a_structure`, ...) remain fully
+supported -- the scenario API is a facade over them, and
+``run("test-a")`` reproduces the designer path bit for bit.
+
 The finite-difference hot path is split into a vectorized sparse assembly
 (:mod:`repro.thermal.assembly`, with per-shape sparsity-pattern caching)
 and pluggable linear-solver backends (:mod:`repro.thermal.backends`):
 ``"sparse-lu"`` (SuperLU with factorization reuse), ``"sparse-iterative"``
 (ILU-preconditioned GMRES), ``"dense"`` and ``"auto"``.  Select a backend
-via ``OptimizerSettings(solver_backend=...)``,
-``ExperimentConfig(solver_backend=...)`` or
+via ``ScenarioSpec(solver=SolverSpec(backend=...))``,
+``OptimizerSettings(solver_backend=...)`` or
 ``solve_structure(..., backend=...)``; list them with
 :func:`available_backends`.
-
-Quickstart::
-
-    from repro import ChannelModulationDesigner, test_a_structure
-
-    designer = ChannelModulationDesigner(test_a_structure())
-    result = designer.design()
-    print(result.summary()["gradient_reduction"])
-    print(designer.engine.stats()["hit_rate"])
 """
 
+from .api import (
+    CrossValidationResult,
+    FDMSimulator,
+    ICESimulator,
+    OptimizationRunResult,
+    Session,
+    SimulationResult,
+    Simulator,
+    available_simulators,
+    cross_validate,
+    get_simulator,
+    optimize,
+    register_simulator,
+    run,
+)
 from .config import (
     DEFAULT_EXPERIMENT,
     EFFECTIVE_FLOW_RATE_ML_PER_MIN,
     ExperimentConfig,
     paper_parameters,
+)
+from .scenarios import (
+    GridSpec,
+    OptimizerSpec,
+    ScenarioSpec,
+    SolverSpec,
+    WorkloadSpec,
+    get_scenario,
+    register_scenario,
+    resolve_scenario,
+    scenario_names,
 )
 from .core import (
     ChannelModulationDesigner,
@@ -77,9 +124,31 @@ from .thermal import (
     solve_structure,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "CrossValidationResult",
+    "FDMSimulator",
+    "ICESimulator",
+    "OptimizationRunResult",
+    "Session",
+    "SimulationResult",
+    "Simulator",
+    "available_simulators",
+    "cross_validate",
+    "get_simulator",
+    "optimize",
+    "register_simulator",
+    "run",
+    "GridSpec",
+    "OptimizerSpec",
+    "ScenarioSpec",
+    "SolverSpec",
+    "WorkloadSpec",
+    "get_scenario",
+    "register_scenario",
+    "resolve_scenario",
+    "scenario_names",
     "DEFAULT_EXPERIMENT",
     "EFFECTIVE_FLOW_RATE_ML_PER_MIN",
     "ExperimentConfig",

@@ -9,7 +9,7 @@ assembled mechanically.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from .maps import format_table
 

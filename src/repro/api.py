@@ -1,0 +1,537 @@
+"""One simulator protocol over the analytical FDM and finite-volume paths.
+
+This module is the programmatic front door of the library.  Every scenario
+(a :class:`~repro.scenarios.ScenarioSpec`, a registered name or a scenario
+JSON file) can be
+
+* **run** through either simulator family behind one protocol --
+  :class:`FDMSimulator` (the analytical finite-difference path, served by
+  the batched, LRU-cached :class:`~repro.core.engine.EvaluationEngine`) or
+  :class:`ICESimulator` (the 3D-ICE-like finite-volume solver) -- both of
+  which return the same :class:`SimulationResult` schema;
+* **cross-validated** by running both simulators on the same spec and
+  comparing the reported metrics (:meth:`Session.cross_validate`);
+* **optimized** with the paper's channel-modulation design flow
+  (:meth:`Session.optimize`), yielding an :class:`OptimizationRunResult`
+  whose :meth:`~OptimizationRunResult.optimized_spec` pins the optimal
+  design back into a serializable scenario.
+
+Quick use::
+
+    from repro import run, optimize
+
+    result = run("test-a")                    # FDM by default
+    ice = run("test-a", solver="ice")         # same scenario, other model
+    best = optimize("test-a")                 # Sec. IV design flow
+
+A :class:`Session` keeps evaluation engines (and hence solution caches)
+alive across calls, so repeated runs, sweeps and optimizations share
+solves.
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+from .core.designer import ChannelModulationDesigner
+from .core.engine import EvaluationEngine
+from .core.results import ModulationResult
+from .hydraulics.network import FlowNetwork
+from .ice.solver import SteadyStateSolver
+from .scenarios import ScenarioSpec, resolve_scenario
+from .thermal.geometry import (
+    ChannelGeometry,
+    MultiChannelStructure,
+    TestStructure,
+    WidthProfile,
+)
+
+
+__all__ = [
+    "SimulationResult",
+    "Simulator",
+    "FDMSimulator",
+    "ICESimulator",
+    "CrossValidationResult",
+    "OptimizationRunResult",
+    "Session",
+    "available_simulators",
+    "get_simulator",
+    "register_simulator",
+    "run",
+    "optimize",
+    "cross_validate",
+]
+
+
+@dataclass
+class SimulationResult:
+    """Common result schema shared by every simulator backend.
+
+    Attributes
+    ----------
+    scenario / simulator:
+        Provenance labels: the scenario name and the simulator family
+        (``"fdm"`` or ``"ice"``) that produced the result.
+    peak_temperature_K / min_temperature_K / thermal_gradient_K:
+        Silicon temperature extrema and the paper's max-min gradient metric.
+    coolant_rise_K:
+        Largest coolant inlet-to-outlet temperature rise.
+    pressure_drops_Pa / max_pressure_drop_Pa:
+        Per-lane Eq. (9) pressure drops of the scenario's channel design
+        and their maximum.
+    wall_time_s:
+        Wall-clock time of the solve.
+    provenance:
+        Backend name, grid/unknown counts, cache statistics (FDM) or
+        residual norm (ICE), and anything else worth auditing.
+    solution:
+        The raw solver output (:class:`~repro.thermal.solution.ThermalSolution`
+        for FDM, :class:`~repro.ice.results.ThermalMapResult` for ICE);
+        excluded from :meth:`to_dict`.
+    """
+
+    scenario: str
+    simulator: str
+    peak_temperature_K: float
+    min_temperature_K: float
+    thermal_gradient_K: float
+    coolant_rise_K: float
+    pressure_drops_Pa: Tuple[float, ...]
+    max_pressure_drop_Pa: float
+    wall_time_s: float
+    provenance: Dict[str, object] = field(default_factory=dict)
+    solution: object = field(default=None, repr=False, compare=False)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible representation (without the raw solution)."""
+        return {
+            "scenario": self.scenario,
+            "simulator": self.simulator,
+            "peak_temperature_K": self.peak_temperature_K,
+            "peak_temperature_C": self.peak_temperature_K - 273.15,
+            "min_temperature_K": self.min_temperature_K,
+            "thermal_gradient_K": self.thermal_gradient_K,
+            "coolant_rise_K": self.coolant_rise_K,
+            "pressure_drops_Pa": list(self.pressure_drops_Pa),
+            "max_pressure_drop_Pa": self.max_pressure_drop_Pa,
+            "wall_time_s": self.wall_time_s,
+            "provenance": self.provenance,
+        }
+
+    def summary(self) -> Dict[str, float]:
+        """Headline scalars (the metrics the paper reports per design)."""
+        return {
+            "peak_temperature_K": self.peak_temperature_K,
+            "thermal_gradient_K": self.thermal_gradient_K,
+            "coolant_rise_K": self.coolant_rise_K,
+            "max_pressure_drop_Pa": self.max_pressure_drop_Pa,
+        }
+
+
+@runtime_checkable
+class Simulator(Protocol):
+    """Anything that can turn a :class:`ScenarioSpec` into a result."""
+
+    name: str
+
+    def run(self, spec: ScenarioSpec) -> SimulationResult:  # pragma: no cover
+        """Simulate the scenario and return the common result schema."""
+        ...
+
+
+def _lane_pressure_drops(structure: MultiChannelStructure) -> np.ndarray:
+    """Per-lane Eq. (9) pressure drops of a cavity's width profiles."""
+    network = FlowNetwork(
+        structure.geometry,
+        structure.width_profiles(),
+        flow_rate_per_channel=structure.lanes[0].flow_rate,
+        coolant=structure.coolant,
+    )
+    return network.pressure_drops
+
+
+def _scenario_pressure_drops(spec: ScenarioSpec, config) -> np.ndarray:
+    """Per-lane Eq. (9) pressure drops of a scenario's channel design.
+
+    Derives the hydraulic inputs (geometry with the scenario's channel
+    length, per-lane width profiles, per-channel flow rate) straight from
+    the spec, reproducing exactly what :func:`_lane_pressure_drops`
+    computes on the built cavity -- without paying for the flux-map
+    rasterization the cavity build performs.
+    """
+    params = config.params.with_overrides(channel_length=spec.channel_length())
+    geometry = ChannelGeometry.from_parameters(params)
+    profiles = spec.width_profiles()
+    if profiles is None:
+        profiles = [
+            WidthProfile.uniform(geometry.max_width, geometry.length)
+        ] * spec.n_lanes
+    network = FlowNetwork(
+        geometry,
+        profiles,
+        flow_rate_per_channel=params.flow_rate_per_channel,
+        coolant=params.coolant,
+    )
+    return network.pressure_drops
+
+
+class FDMSimulator:
+    """The analytical finite-difference path behind the simulator protocol.
+
+    Wraps the exact solve the programmatic
+    :class:`~repro.core.designer.ChannelModulationDesigner` path performs
+    (same grid, same backend, same pressure model), so results agree with
+    the legacy entry points bit for bit.
+
+    Parameters
+    ----------
+    engine:
+        Optional shared :class:`~repro.core.engine.EvaluationEngine`; by
+        default a private engine is built from the spec's solver settings
+        at every call.
+    """
+
+    name = "fdm"
+
+    def __init__(self, engine: Optional[EvaluationEngine] = None) -> None:
+        self.engine = engine
+
+    def _engine_for(self, spec: ScenarioSpec) -> EvaluationEngine:
+        if self.engine is not None:
+            return self.engine
+        return EvaluationEngine(
+            solver_backend=spec.solver.backend,
+            cache_size=spec.solver.cache_size,
+            n_workers=spec.solver.n_workers,
+        )
+
+    def run(self, spec: ScenarioSpec) -> SimulationResult:
+        spec = resolve_scenario(spec)
+        structure = spec.build_structure()
+        if isinstance(structure, TestStructure):
+            structure = MultiChannelStructure.single(structure)
+        engine = self._engine_for(spec)
+        start = time.perf_counter()
+        solution = engine.solve(structure, n_points=spec.grid.n_grid_points)
+        wall_time = time.perf_counter() - start
+        drops = _lane_pressure_drops(structure)
+        return SimulationResult(
+            scenario=spec.name,
+            simulator=self.name,
+            peak_temperature_K=solution.peak_temperature,
+            min_temperature_K=solution.min_temperature,
+            thermal_gradient_K=solution.thermal_gradient,
+            coolant_rise_K=solution.coolant_temperature_rise,
+            pressure_drops_Pa=tuple(float(drop) for drop in drops),
+            max_pressure_drop_Pa=float(np.max(drops)),
+            wall_time_s=wall_time,
+            provenance={
+                "backend": engine.stats()["backend"],
+                "n_grid_points": spec.grid.n_grid_points,
+                "n_lanes": structure.n_lanes,
+                "n_physical_channels": structure.n_physical_channels,
+                "cost_J": solution.cost,
+                "cache": engine.stats(),
+            },
+            solution=solution,
+        )
+
+
+class ICESimulator:
+    """The finite-volume (3D-ICE-like) path behind the simulator protocol."""
+
+    name = "ice"
+
+    def run(self, spec: ScenarioSpec) -> SimulationResult:
+        spec = resolve_scenario(spec)
+        stack = spec.build_stack()
+        start = time.perf_counter()
+        maps = SteadyStateSolver(stack).solve()
+        wall_time = time.perf_counter() - start
+        config = spec.experiment_config()
+        # The cavity's pressure drop is a property of the channel design,
+        # not of the thermal model, so both simulators report the same
+        # Eq. (9) values for the same scenario.
+        drops = _scenario_pressure_drops(spec, config)
+        inlet = config.params.inlet_temperature
+        coolant_rise = 0.0
+        if maps.coolant_maps:
+            coolant_rise = max(
+                float(np.max(grid[:, -1])) - inlet
+                for grid in maps.coolant_maps.values()
+            )
+        return SimulationResult(
+            scenario=spec.name,
+            simulator=self.name,
+            peak_temperature_K=maps.peak_temperature(),
+            min_temperature_K=maps.min_temperature(),
+            thermal_gradient_K=maps.thermal_gradient(),
+            coolant_rise_K=coolant_rise,
+            pressure_drops_Pa=tuple(float(drop) for drop in drops),
+            max_pressure_drop_Pa=float(np.max(drops)),
+            wall_time_s=wall_time,
+            provenance={
+                "backend": str(maps.metadata.get("solver", "ice-steady")),
+                "grid": list(maps.metadata.get("grid", ())),
+                "n_unknowns": maps.metadata.get("n_unknowns"),
+                "residual_norm": maps.metadata.get("residual_norm"),
+                "cache": None,
+            },
+            solution=maps,
+        )
+
+
+#: Registry of simulator factories keyed by family name.
+_SIMULATORS: Dict[str, Callable[..., Simulator]] = {
+    "fdm": FDMSimulator,
+    "ice": ICESimulator,
+}
+
+
+def available_simulators() -> List[str]:
+    """Names of the registered simulator families."""
+    return list(_SIMULATORS)
+
+
+def register_simulator(
+    name: str, factory: Callable[..., Simulator], overwrite: bool = False
+) -> None:
+    """Register a custom simulator factory under ``name``."""
+    if name in _SIMULATORS and not overwrite:
+        raise ValueError(
+            f"simulator {name!r} is already registered; "
+            "pass overwrite=True to replace it"
+        )
+    _SIMULATORS[name] = factory
+
+
+def _accepts_engine(factory: Callable[..., Simulator]) -> bool:
+    """True when a simulator factory takes an ``engine`` keyword."""
+    try:
+        parameters = inspect.signature(factory).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins only
+        return False
+    return "engine" in parameters or any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
+
+
+def get_simulator(
+    name: str, engine: Optional[EvaluationEngine] = None
+) -> Simulator:
+    """Build a simulator by family name (``"fdm"`` or ``"ice"``).
+
+    A shared evaluation engine is forwarded to any factory whose signature
+    accepts an ``engine`` keyword (not just the built-in FDM family), so
+    custom engine-backed simulators keep Session cache sharing.
+    """
+    try:
+        factory = _SIMULATORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown simulator {name!r}; available: {available_simulators()}"
+        ) from None
+    if engine is not None and _accepts_engine(factory):
+        return factory(engine=engine)
+    return factory()
+
+
+@dataclass
+class CrossValidationResult:
+    """Outcome of running both simulator families on one scenario."""
+
+    scenario: str
+    fdm: SimulationResult
+    ice: SimulationResult
+
+    @property
+    def peak_delta_K(self) -> float:
+        """ICE minus FDM peak temperature (K)."""
+        return self.ice.peak_temperature_K - self.fdm.peak_temperature_K
+
+    @property
+    def gradient_delta_K(self) -> float:
+        """ICE minus FDM thermal gradient (K)."""
+        return self.ice.thermal_gradient_K - self.fdm.thermal_gradient_K
+
+    @property
+    def coolant_rise_delta_K(self) -> float:
+        """ICE minus FDM coolant temperature rise (K)."""
+        return self.ice.coolant_rise_K - self.fdm.coolant_rise_K
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible representation of both results and the deltas."""
+        return {
+            "scenario": self.scenario,
+            "fdm": self.fdm.to_dict(),
+            "ice": self.ice.to_dict(),
+            "peak_delta_K": self.peak_delta_K,
+            "gradient_delta_K": self.gradient_delta_K,
+            "coolant_rise_delta_K": self.coolant_rise_delta_K,
+        }
+
+
+@dataclass
+class OptimizationRunResult:
+    """Outcome of running the Sec. IV design flow on one scenario.
+
+    Wraps the optimizer's :class:`~repro.core.results.ModulationResult`
+    with scenario provenance, and can pin the optimal design back into a
+    serializable spec via :meth:`optimized_spec`.
+    """
+
+    scenario: str
+    spec: ScenarioSpec
+    result: ModulationResult
+    wall_time_s: float
+    provenance: Dict[str, object] = field(default_factory=dict)
+
+    def optimized_spec(self) -> ScenarioSpec:
+        """The scenario with the optimal width design pinned into it."""
+        return self.spec.with_design(self.result.optimal.width_profiles)
+
+    def summary(self) -> Dict[str, object]:
+        """The optimizer's headline scalars plus provenance."""
+        summary = dict(self.result.summary())
+        summary["scenario"] = self.scenario
+        summary["wall_time_s"] = self.wall_time_s
+        return summary
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible representation of the full optimization run."""
+        return {
+            "scenario": self.scenario,
+            "summary": self.result.summary(),
+            "comparison": self.result.comparison_table(),
+            "optimal_design": self.result.optimal.to_dict(),
+            "wall_time_s": self.wall_time_s,
+            "provenance": self.provenance,
+        }
+
+
+class Session:
+    """A facade that keeps solution caches alive across scenario runs.
+
+    One evaluation engine is maintained per (backend, worker-count) pair,
+    so repeated runs of the same scenario -- or of design variants that
+    revisit previously solved candidates -- are served from the LRU
+    solution cache instead of re-solving.
+
+    Parameters
+    ----------
+    cache_size / n_workers:
+        Optional session-wide overrides of the per-spec solver settings.
+    """
+
+    def __init__(
+        self,
+        cache_size: Optional[int] = None,
+        n_workers: Optional[int] = None,
+    ) -> None:
+        self.cache_size = cache_size
+        self.n_workers = n_workers
+        # Keyed on (backend, n_workers, cache_size); see engine_for.
+        self._engines: Dict[Tuple[str, int, int], EvaluationEngine] = {}
+
+    def engine_for(self, spec: ScenarioSpec) -> EvaluationEngine:
+        """The session engine serving this spec's solver settings.
+
+        Engines are shared per (backend, worker count, cache capacity)
+        triple; specs that only differ in problem content therefore share
+        one solution cache, while a spec that asks for a different cache
+        capacity gets its own engine instead of silently inheriting
+        another spec's.
+        """
+        n_workers = self.n_workers or spec.solver.n_workers
+        cache_size = self.cache_size or spec.solver.cache_size
+        key = (spec.solver.backend, n_workers, cache_size)
+        if key not in self._engines:
+            self._engines[key] = EvaluationEngine(
+                solver_backend=spec.solver.backend,
+                cache_size=cache_size,
+                n_workers=n_workers,
+            )
+        return self._engines[key]
+
+    def run(self, scenario, solver: Optional[str] = None) -> SimulationResult:
+        """Run a scenario through the requested (or its default) simulator."""
+        spec = resolve_scenario(scenario)
+        name = solver or spec.solver.simulator
+        # Build/look up the shared engine only for simulators that accept
+        # one, so ICE-only sessions do not accumulate unused engines.
+        factory = _SIMULATORS.get(name)
+        engine = (
+            self.engine_for(spec)
+            if factory is not None and _accepts_engine(factory)
+            else None
+        )
+        return get_simulator(name, engine=engine).run(spec)
+
+    def optimize(self, scenario) -> OptimizationRunResult:
+        """Run the optimal channel-modulation design flow on a scenario."""
+        spec = resolve_scenario(scenario)
+        engine = self.engine_for(spec)
+        designer = ChannelModulationDesigner.from_spec(spec, engine=engine)
+        start = time.perf_counter()
+        result = designer.design()
+        wall_time = time.perf_counter() - start
+        return OptimizationRunResult(
+            scenario=spec.name,
+            spec=spec,
+            result=result,
+            wall_time_s=wall_time,
+            provenance={
+                "backend": engine.stats()["backend"],
+                "n_grid_points": spec.grid.n_grid_points,
+                "cache": engine.stats(),
+            },
+        )
+
+    def cross_validate(self, scenario) -> CrossValidationResult:
+        """Run both simulator families on one scenario and compare."""
+        spec = resolve_scenario(scenario)
+        return CrossValidationResult(
+            scenario=spec.name,
+            fdm=self.run(spec, solver="fdm"),
+            ice=self.run(spec, solver="ice"),
+        )
+
+    def stats(self) -> Dict[str, Dict[str, object]]:
+        """Cache/solve statistics of every engine the session created."""
+        report: Dict[str, Dict[str, object]] = {}
+        for (backend, workers, cache_size), engine in self._engines.items():
+            label = f"{backend}@{workers}"
+            if label in report:  # same backend/workers, other cache capacity
+                label = f"{backend}@{workers}/cache{cache_size}"
+            report[label] = engine.stats()
+        return report
+
+
+def run(
+    scenario, solver: Optional[str] = None, session: Optional[Session] = None
+) -> SimulationResult:
+    """Run a scenario (spec, registered name or JSON path) once.
+
+    ``solver`` overrides the spec's default simulator family; pass a
+    :class:`Session` to share solution caches across calls.
+    """
+    return (session or Session()).run(scenario, solver=solver)
+
+
+def optimize(scenario, session: Optional[Session] = None) -> OptimizationRunResult:
+    """Run the Sec. IV channel-modulation design flow on a scenario."""
+    return (session or Session()).optimize(scenario)
+
+
+def cross_validate(
+    scenario, session: Optional[Session] = None
+) -> CrossValidationResult:
+    """Run both the FDM and ICE simulators on a scenario and compare."""
+    return (session or Session()).cross_validate(scenario)

@@ -1,0 +1,293 @@
+"""The ``repro`` command line: reproduce any scenario from the shell.
+
+Every subcommand resolves its scenario argument the same way (a registered
+name such as ``test-a``, or a path to a scenario JSON file) and emits JSON
+with ``--json`` / ``--output``, so runs can be scripted and diffed:
+
+.. code-block:: console
+
+    repro list                               # registered scenarios
+    repro show test-a > my-scenario.json     # bootstrap a scenario file
+    repro run test-a --json                  # analytical FDM simulation
+    repro run my-scenario.json --solver ice  # same scenario, finite volume
+    repro validate test-a                    # FDM vs ICE cross-check
+    repro optimize test-a --save-design opt.json
+    repro run opt.json --solver ice          # render the optimized design
+    repro bench test-a --repeat 3            # wall times + cache stats
+
+The console script is installed by the package (``pyproject.toml``); the
+module also runs as ``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from .api import Session
+from .scenarios import SCENARIOS, ScenarioSpec, resolve_scenario
+
+__all__ = ["main", "build_parser"]
+
+
+def _emit(payload: Dict[str, object], args: argparse.Namespace) -> None:
+    """Write a JSON payload to stdout and/or the requested output file."""
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    output = getattr(args, "output", None)
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    if not output or getattr(args, "json", False):
+        print(text)
+
+
+def _resolve(argument: str) -> ScenarioSpec:
+    """Resolve a CLI scenario argument (registered name or JSON file)."""
+    return resolve_scenario(argument)
+
+
+def _print_metrics(prefix: str, payload: Dict[str, object]) -> None:
+    """Human-readable one-metric-per-line rendering of a result dict."""
+    print(prefix)
+    for key in (
+        "peak_temperature_K",
+        "thermal_gradient_K",
+        "coolant_rise_K",
+        "max_pressure_drop_Pa",
+        "wall_time_s",
+    ):
+        if key in payload:
+            print(f"  {key:24s} {payload[key]:.6g}")
+
+
+# -- subcommands ------------------------------------------------------------
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    """``repro list`` -- the registered scenarios."""
+    rows = [
+        {
+            "name": spec.name,
+            "workload": spec.workload.kind,
+            "simulator": spec.solver.simulator,
+            "description": spec.description,
+        }
+        for spec in SCENARIOS.values()
+    ]
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    width = max(len(row["name"]) for row in rows) if rows else 0
+    for row in rows:
+        print(
+            f"{row['name']:{width}s}  [{row['workload']}]  {row['description']}"
+        )
+    return 0
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    """``repro show`` -- emit a scenario spec as JSON."""
+    spec = _resolve(args.scenario)
+    _emit(spec.to_dict(), args)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """``repro run`` -- simulate a scenario through one simulator family."""
+    spec = _resolve(args.scenario)
+    result = Session().run(spec, solver=args.solver)
+    payload = result.to_dict()
+    if args.json or args.output:
+        _emit(payload, args)
+    else:
+        _print_metrics(
+            f"{payload['scenario']} via {payload['simulator']}", payload
+        )
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    """``repro validate`` -- cross-validate FDM against the ICE solver."""
+    spec = _resolve(args.scenario)
+    report = Session().cross_validate(spec)
+    payload = report.to_dict()
+    if args.json or args.output:
+        _emit(payload, args)
+    else:
+        _print_metrics(f"{spec.name} via fdm", payload["fdm"])
+        _print_metrics(f"{spec.name} via ice", payload["ice"])
+        print("deltas (ice - fdm)")
+        for key in ("peak_delta_K", "gradient_delta_K", "coolant_rise_delta_K"):
+            print(f"  {key:24s} {payload[key]:+.6g}")
+    return 0
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    """``repro optimize`` -- run the Sec. IV channel-modulation flow."""
+    spec = _resolve(args.scenario)
+    outcome = Session().optimize(spec)
+    if args.save_design:
+        outcome.optimized_spec().save(args.save_design)
+    payload = outcome.to_dict()
+    if args.json or args.output:
+        _emit(payload, args)
+    else:
+        summary = payload["summary"]
+        print(f"{spec.name}: optimal channel modulation")
+        for key, value in summary.items():
+            formatted = f"{value:.6g}" if isinstance(value, float) else value
+            print(f"  {key:28s} {formatted}")
+        if args.save_design:
+            print(f"  optimized scenario saved to {args.save_design}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench`` -- repeated runs: wall times and cache behaviour."""
+    if args.repeat < 1:
+        raise ValueError("--repeat must be at least 1")
+    spec = _resolve(args.scenario)
+    session = Session()
+    wall_times: List[float] = []
+    last = None
+    for _ in range(args.repeat):
+        last = session.run(spec, solver=args.solver)
+        wall_times.append(last.wall_time_s)
+    payload = {
+        "scenario": spec.name,
+        "simulator": last.simulator,
+        "repeat": args.repeat,
+        "wall_times_s": wall_times,
+        "cold_s": wall_times[0],
+        "best_s": min(wall_times),
+        "mean_s": sum(wall_times) / len(wall_times),
+        "metrics": last.summary(),
+        "provenance": last.provenance,
+        "session": session.stats(),
+    }
+    if args.json or args.output:
+        _emit(payload, args)
+    else:
+        print(
+            f"{spec.name} via {payload['simulator']}: "
+            f"cold {payload['cold_s'] * 1e3:.2f} ms, "
+            f"best of {args.repeat}: {payload['best_s'] * 1e3:.2f} ms"
+        )
+        for backend, stats in payload["session"].items():
+            print(
+                f"  engine {backend}: {stats['n_solves']} solves, "
+                f"{stats['n_cache_hits']} cache hits "
+                f"(hit rate {stats['hit_rate']:.0%})"
+            )
+    return 0
+
+
+# -- parser -----------------------------------------------------------------
+
+
+def _add_scenario_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "scenario",
+        help="registered scenario name (see 'repro list') or scenario JSON file",
+    )
+
+
+def _add_output_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON on stdout"
+    )
+    parser.add_argument(
+        "--output", metavar="FILE", help="also write the JSON payload to FILE"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for docs and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the channel-modulation experiments: run, "
+            "cross-validate, optimize and benchmark declarative scenarios."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser(
+        "list", help="list the registered scenarios"
+    )
+    list_parser.add_argument("--json", action="store_true")
+    list_parser.set_defaults(func=cmd_list)
+
+    show_parser = subparsers.add_parser(
+        "show", help="print a scenario spec as JSON (bootstrap scenario files)"
+    )
+    _add_scenario_argument(show_parser)
+    show_parser.add_argument("--output", metavar="FILE")
+    show_parser.set_defaults(func=cmd_show, json=True)
+
+    run_parser = subparsers.add_parser(
+        "run", help="simulate a scenario (FDM or ICE)"
+    )
+    _add_scenario_argument(run_parser)
+    run_parser.add_argument(
+        "--solver",
+        choices=("fdm", "ice"),
+        default=None,
+        help="simulator family (default: the scenario's own)",
+    )
+    _add_output_arguments(run_parser)
+    run_parser.set_defaults(func=cmd_run)
+
+    validate_parser = subparsers.add_parser(
+        "validate", help="cross-validate the FDM and ICE simulators"
+    )
+    _add_scenario_argument(validate_parser)
+    _add_output_arguments(validate_parser)
+    validate_parser.set_defaults(func=cmd_validate)
+
+    optimize_parser = subparsers.add_parser(
+        "optimize", help="run the optimal channel-modulation design flow"
+    )
+    _add_scenario_argument(optimize_parser)
+    optimize_parser.add_argument(
+        "--save-design",
+        metavar="FILE",
+        help="save the scenario with the optimized design pinned into it",
+    )
+    _add_output_arguments(optimize_parser)
+    optimize_parser.set_defaults(func=cmd_optimize)
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="repeated runs: wall times and cache statistics"
+    )
+    _add_scenario_argument(bench_parser)
+    bench_parser.add_argument(
+        "--solver", choices=("fdm", "ice"), default=None
+    )
+    bench_parser.add_argument("--repeat", type=int, default=3)
+    _add_output_arguments(bench_parser)
+    bench_parser.set_defaults(func=cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. `repro run ... | head`
+        return 0
+    except (ValueError, OSError) as error:
+        # User-input problems surface as ValueError (spec validation,
+        # unknown names, bad JSON) or OSError (unreadable/unwritable
+        # files); anything else is a bug and should show its traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

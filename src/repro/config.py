@@ -102,10 +102,50 @@ class ExperimentConfig:
     n_segments: int = 10
     n_lanes: int = 5
     test_b_segments: int = 10
-    test_b_flux_range: tuple = (50.0, 250.0)
+    test_b_flux_range: tuple[float, float] = (50.0, 250.0)
     random_seed: int = 2012
     solver_backend: str = "auto"
     n_workers: int = 1
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.params, PaperParameters):
+            raise ValueError(
+                f"params must be a PaperParameters record, "
+                f"got {type(self.params).__name__}"
+            )
+        for attr, minimum in (
+            ("n_grid_points", 3),
+            ("n_segments", 1),
+            ("n_lanes", 1),
+            ("test_b_segments", 1),
+            ("n_workers", 1),
+        ):
+            value = getattr(self, attr)
+            if int(value) != value:
+                raise ValueError(f"{attr} must be an integer, got {value!r}")
+            object.__setattr__(self, attr, int(value))
+            if getattr(self, attr) < minimum:
+                raise ValueError(
+                    f"{attr} must be at least {minimum}, got {getattr(self, attr)}"
+                )
+        flux_range = tuple(float(value) for value in self.test_b_flux_range)
+        if len(flux_range) != 2:
+            raise ValueError(
+                "test_b_flux_range must be a (low, high) pair, "
+                f"got {self.test_b_flux_range!r}"
+            )
+        if not (0.0 <= flux_range[0] <= flux_range[1]):
+            raise ValueError(
+                "test_b_flux_range must satisfy 0 <= low <= high, "
+                f"got {flux_range}"
+            )
+        object.__setattr__(self, "test_b_flux_range", flux_range)
+        object.__setattr__(self, "random_seed", int(self.random_seed))
+        if not isinstance(self.solver_backend, str) or not self.solver_backend:
+            raise ValueError(
+                "solver_backend must be a non-empty backend name, "
+                f"got {self.solver_backend!r}"
+            )
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """Return a copy with the given attributes replaced."""

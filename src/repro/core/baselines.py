@@ -29,7 +29,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..thermal.geometry import WidthProfile
-from .optimizer import ChannelModulationOptimizer, OptimizerSettings
+from .optimizer import ChannelModulationOptimizer
 from .results import DesignEvaluation
 
 __all__ = [

@@ -21,7 +21,6 @@ import numpy as np
 
 from ..thermal.geometry import (
     MultiChannelStructure,
-    TestStructure,
     WidthProfile,
 )
 from . import baselines as baseline_designs
@@ -64,6 +63,22 @@ class ChannelModulationDesigner:
             if max_pressure_drop <= 0.0:
                 raise ValueError("max_pressure_drop must be positive")
             self.optimizer.pressure.max_pressure_drop = float(max_pressure_drop)
+
+    @classmethod
+    def from_spec(cls, spec, engine=None) -> "ChannelModulationDesigner":
+        """Build a designer from a :class:`~repro.scenarios.ScenarioSpec`.
+
+        The scenario's workload becomes the structure, its grid/solver/
+        optimizer sections become the settings, and an optional shared
+        evaluation engine (e.g. from a :class:`~repro.api.Session`) can be
+        threaded through.
+        """
+        return cls(
+            spec.build_structure(),
+            spec.optimizer_settings(),
+            max_pressure_drop=spec.optimizer.max_pressure_drop_Pa,
+            engine=engine,
+        )
 
     # -- convenience accessors ------------------------------------------------------
 

@@ -14,7 +14,7 @@ Two records are defined:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 import numpy as np
 
@@ -86,6 +86,22 @@ class DesignEvaluation:
             "cost_J": self.cost,
             "max_pressure_drop_Pa": self.max_pressure_drop,
             "pressure_imbalance": self.pressure_imbalance,
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible record: metrics plus the serialized design.
+
+        Callable width profiles cannot be serialized; piecewise and uniform
+        profiles (everything the optimizer produces) round-trip through
+        :meth:`~repro.thermal.geometry.WidthProfile.to_dict`.
+        """
+        return {
+            **self.summary(),
+            "width_profiles": [
+                profile.to_dict() for profile in self.width_profiles
+            ],
+            "pressure_drops_Pa": [float(d) for d in self.pressure_drops],
+            "metadata": dict(self.metadata),
         }
 
 
@@ -178,6 +194,26 @@ class ModulationResult:
         rows = [evaluation.summary() for evaluation in self.baselines]
         rows.append(self.optimal.summary())
         return rows
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible record of the whole run (for the ``repro`` CLI)."""
+        return {
+            "summary": self.summary(),
+            "comparison": self.comparison_table(),
+            "optimal": self.optimal.to_dict(),
+            "baselines": [evaluation.summary() for evaluation in self.baselines],
+            "decision_vector": [float(x) for x in self.decision_vector],
+            "trace": {
+                "n_iterations": self.trace.n_iterations,
+                "n_evaluations": self.trace.n_evaluations,
+                "converged": self.trace.converged,
+                "message": self.trace.message,
+                "cost_history": [float(c) for c in self.trace.cost_history],
+                "gradient_history": [
+                    float(g) for g in self.trace.gradient_history
+                ],
+            },
+        }
 
     def summary(self) -> Dict[str, float]:
         """Headline scalars of the run."""

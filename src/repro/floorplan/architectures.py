@@ -32,7 +32,7 @@ from ..config import ExperimentConfig, DEFAULT_EXPERIMENT
 from ..thermal.geometry import MultiChannelStructure, WidthProfile
 from ..thermal.multichannel import cavity_from_flux_maps
 from .blocks import Floorplan, PowerScenario
-from .niagara import DIE_LENGTH, DIE_WIDTH, compute_die, memory_die, mixed_die
+from .niagara import compute_die, memory_die, mixed_die
 
 __all__ = ["Architecture", "ARCHITECTURES", "get_architecture", "architecture_names"]
 
@@ -112,6 +112,31 @@ class Architecture:
             cluster_size=cluster_size,
             width_profiles=width_profiles,
         )
+
+    def per_channel_width_profiles(
+        self,
+        lane_profiles: Sequence[WidthProfile],
+        config: ExperimentConfig = DEFAULT_EXPERIMENT,
+    ) -> List[WidthProfile]:
+        """Expand per-lane width profiles onto the physical channels.
+
+        The analytical cavity clusters the ``die_width / W`` physical
+        channels into a few modeled lanes; the finite-volume simulator
+        instead wants one profile per physical channel.  Each channel
+        inherits the profile of the lane it belongs to -- using the same
+        sequential ``ceil(n_channels / n_lanes)``-sized clusters as
+        :meth:`cavity` -- so a design optimized on the clustered model is
+        rendered (or re-validated) on exactly the geometry it describes.
+        """
+        profiles = list(lane_profiles)
+        if not profiles:
+            raise ValueError("at least one lane profile is required")
+        n_channels = int(round(self.die_width / config.params.channel_pitch))
+        cluster_size = max(int(np.ceil(n_channels / len(profiles))), 1)
+        return [
+            profiles[min(i // cluster_size, len(profiles) - 1)]
+            for i in range(n_channels)
+        ]
 
     def summary(self) -> Dict[str, float]:
         """Scalar metrics for reports."""

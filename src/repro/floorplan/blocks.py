@@ -16,7 +16,7 @@ maps have shape ``(n_rows, n_cols) = (n_y, n_x)`` with row 0 at ``y = 0``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 import numpy as np
 

@@ -19,7 +19,6 @@ configuration so that tests and benchmarks are reproducible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np

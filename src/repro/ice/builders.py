@@ -9,7 +9,7 @@ benchmarks and examples stay short.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple, Union
+from typing import Sequence, Union
 
 import numpy as np
 

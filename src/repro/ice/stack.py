@@ -20,7 +20,7 @@ Layers are listed bottom-up.  The lateral cell grid is shared by all layers
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 

@@ -19,7 +19,7 @@ top of the reproduction.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Sequence, Union
+from typing import Callable, Dict, Optional, Union
 
 import numpy as np
 from scipy import sparse
@@ -27,7 +27,7 @@ from scipy.sparse.linalg import factorized
 
 from .results import TransientResult
 from .solver import AssembledSystem
-from .stack import LayerStack, SolidLayer
+from .stack import LayerStack
 
 __all__ = ["TransientSolver"]
 

@@ -16,7 +16,7 @@ and the examples can print a single ranking table:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..core import ChannelModulationDesigner, OptimizerSettings
 from ..core.results import DesignEvaluation

@@ -1,0 +1,826 @@
+"""Declarative scenario specifications -- the serializable front door.
+
+Every experiment of the paper (the Fig. 4 Test A/B workloads, the Fig. 7
+Niagara stackings, the Sec. IV modulation flow) is described by one frozen
+:class:`ScenarioSpec`: the structure/stacking, the workload, the grids, the
+solver backend and the optimizer settings.  Specs round-trip losslessly
+through :meth:`ScenarioSpec.to_dict` / :meth:`ScenarioSpec.from_dict` (and
+their JSON twins), so a scenario can live in a file, travel over the wire,
+or be checked into a repository -- the same move 3D-ICE makes with its
+stack-description files.
+
+A spec knows how to build both model families of the library:
+
+* :meth:`ScenarioSpec.build_structure` -- the analytical multi-channel
+  cavity consumed by the finite-difference solver and the optimizer;
+* :meth:`ScenarioSpec.build_stack` -- the finite-volume layer stack
+  consumed by the 3D-ICE-like simulator.
+
+The module also keeps a process-wide registry of named scenarios,
+pre-populated with the paper's experiments (``test-a``, ``test-b`` and the
+three ``niagara-arch*`` stackings); :func:`resolve_scenario` turns a name,
+a JSON file path, a dictionary or a spec into a :class:`ScenarioSpec`.
+
+Example::
+
+    from repro.scenarios import get_scenario
+
+    spec = get_scenario("test-a")
+    assert ScenarioSpec.from_json(spec.to_json()) == spec
+    structure = spec.build_structure()      # analytical cavity
+    stack = spec.build_stack()              # finite-volume stack
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, fields, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .config import ExperimentConfig, paper_parameters
+from .core.optimizer import OptimizerSettings
+from .floorplan.architectures import architecture_names, get_architecture
+from .floorplan.workloads import (
+    TEST_A_FLUX,
+    test_a_structure,
+    test_b_fluxes,
+    test_b_structure,
+)
+from .ice.builders import two_die_stack_from_architecture, two_die_stack_from_maps
+from .ice.stack import LayerStack
+from .thermal.geometry import (
+    ChannelGeometry,
+    HeatInputProfile,
+    MultiChannelStructure,
+    TestStructure,
+    WidthProfile,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "GridSpec",
+    "SolverSpec",
+    "OptimizerSpec",
+    "ScenarioSpec",
+    "SCENARIOS",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "resolve_scenario",
+]
+
+#: Workload families a spec can describe.
+WORKLOAD_KINDS: Tuple[str, ...] = ("test-a", "test-b", "architecture")
+
+#: Simulator families a spec can request.
+SIMULATOR_KINDS: Tuple[str, ...] = ("fdm", "ice")
+
+#: Power scenarios of the floorplan power model.
+POWER_SCENARIOS: Tuple[str, ...] = ("peak", "average")
+
+#: PaperParameters fields a spec may override (all scalar, SI units).
+PARAMETER_OVERRIDE_FIELDS: Tuple[str, ...] = (
+    "channel_pitch",
+    "silicon_height",
+    "channel_height",
+    "flow_rate_per_channel",
+    "inlet_temperature",
+    "max_pressure_drop",
+    "min_channel_width",
+    "max_channel_width",
+    "channel_length",
+)
+
+
+def _check_keys(cls, data: Mapping, context: str) -> None:
+    """Reject unknown keys with a message listing the allowed ones."""
+    allowed = {field.name for field in fields(cls)}
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ValueError(
+            f"{context}: unknown field(s) {unknown}; allowed fields are "
+            f"{sorted(allowed)}"
+        )
+
+
+def _set(instance, **values) -> None:
+    """Assign coerced values on a frozen dataclass instance."""
+    for name, value in values.items():
+        object.__setattr__(instance, name, value)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """What heats the stack: a Fig. 4 test workload or a Fig. 7 stacking.
+
+    Attributes
+    ----------
+    kind:
+        ``"test-a"`` (uniform single-channel flux), ``"test-b"`` (random
+        per-segment single-channel fluxes) or ``"architecture"`` (one of
+        the two-die Niagara stackings).
+    flux_w_per_cm2:
+        Areal heat flux per active layer for ``"test-a"`` (W/cm^2).
+    segments / flux_range / seed:
+        Test B strip discretization, flux bounds (W/cm^2) and RNG seed.
+    architecture / power:
+        Stacking name (``"arch1"``..``"arch3"``) and power scenario
+        (``"peak"`` or ``"average"``) for ``"architecture"`` workloads.
+    """
+
+    kind: str = "test-a"
+    flux_w_per_cm2: float = TEST_A_FLUX
+    segments: int = 10
+    flux_range: Tuple[float, float] = (50.0, 250.0)
+    seed: int = 2012
+    architecture: str = ""
+    power: str = "peak"
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKLOAD_KINDS:
+            raise ValueError(
+                f"workload.kind must be one of {list(WORKLOAD_KINDS)}, "
+                f"got {self.kind!r}"
+            )
+        _set(self, flux_w_per_cm2=float(self.flux_w_per_cm2))
+        if self.flux_w_per_cm2 < 0.0:
+            raise ValueError(
+                f"workload.flux_w_per_cm2 must be non-negative, "
+                f"got {self.flux_w_per_cm2}"
+            )
+        _set(self, segments=int(self.segments), seed=int(self.seed))
+        if self.segments < 1:
+            raise ValueError(
+                f"workload.segments must be at least 1, got {self.segments}"
+            )
+        flux_range = tuple(float(value) for value in self.flux_range)
+        if len(flux_range) != 2:
+            raise ValueError(
+                "workload.flux_range must be a (low, high) pair, "
+                f"got {self.flux_range!r}"
+            )
+        if flux_range[0] > flux_range[1] or flux_range[0] < 0.0:
+            raise ValueError(
+                "workload.flux_range must satisfy 0 <= low <= high, "
+                f"got {flux_range}"
+            )
+        _set(self, flux_range=flux_range, power=str(self.power))
+        if self.power not in POWER_SCENARIOS:
+            raise ValueError(
+                f"workload.power must be one of {list(POWER_SCENARIOS)}, "
+                f"got {self.power!r}"
+            )
+        if self.kind == "architecture":
+            if self.architecture not in architecture_names():
+                raise ValueError(
+                    f"workload.architecture must be one of "
+                    f"{architecture_names()}, got {self.architecture!r}"
+                )
+
+    @property
+    def is_single_channel(self) -> bool:
+        """True for the single-channel Test A / Test B workloads."""
+        return self.kind in ("test-a", "test-b")
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Discretizations of the two model families.
+
+    Attributes
+    ----------
+    n_grid_points:
+        z-grid resolution of the analytical finite-difference solves.
+    n_lanes:
+        Modeled channel lanes of the analytical cavity (architecture
+        workloads cluster the physical channels into this many lanes;
+        single-channel workloads always use one lane).
+    n_rows / n_cols:
+        Finite-volume cell grid (rows across the flow, columns along it).
+        Single-channel workloads are a strip exactly one channel pitch
+        wide, so :class:`ScenarioSpec` normalizes ``n_rows`` to 1 for
+        them at construction.
+    """
+
+    n_grid_points: int = 241
+    n_lanes: int = 5
+    n_rows: int = 44
+    n_cols: int = 44
+
+    def __post_init__(self) -> None:
+        _set(
+            self,
+            n_grid_points=int(self.n_grid_points),
+            n_lanes=int(self.n_lanes),
+            n_rows=int(self.n_rows),
+            n_cols=int(self.n_cols),
+        )
+        if self.n_grid_points < 3:
+            raise ValueError(
+                f"grid.n_grid_points must be at least 3, got {self.n_grid_points}"
+            )
+        if self.n_lanes < 1:
+            raise ValueError(f"grid.n_lanes must be at least 1, got {self.n_lanes}")
+        if self.n_rows < 1:
+            raise ValueError(f"grid.n_rows must be at least 1, got {self.n_rows}")
+        if self.n_cols < 2:
+            raise ValueError(f"grid.n_cols must be at least 2, got {self.n_cols}")
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """Which simulator runs the scenario and how.
+
+    Attributes
+    ----------
+    simulator:
+        Default simulator for :func:`repro.api.run`: ``"fdm"`` (analytical
+        finite-difference path through the evaluation engine) or ``"ice"``
+        (finite-volume solver).
+    backend:
+        Linear-solver backend of the finite-difference solves (a registry
+        name from :mod:`repro.thermal.backends`).
+    n_workers:
+        Thread-pool width of the evaluation engine.
+    cache_size:
+        Capacity of the engine's LRU solution cache.
+    """
+
+    simulator: str = "fdm"
+    backend: str = "auto"
+    n_workers: int = 1
+    cache_size: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.simulator not in SIMULATOR_KINDS:
+            raise ValueError(
+                f"solver.simulator must be one of {list(SIMULATOR_KINDS)}, "
+                f"got {self.simulator!r}"
+            )
+        if not isinstance(self.backend, str) or not self.backend:
+            raise ValueError(
+                f"solver.backend must be a non-empty backend name, "
+                f"got {self.backend!r}"
+            )
+        _set(self, n_workers=int(self.n_workers), cache_size=int(self.cache_size))
+        if self.n_workers < 1:
+            raise ValueError(
+                f"solver.n_workers must be at least 1, got {self.n_workers}"
+            )
+        if self.cache_size < 1:
+            raise ValueError(
+                f"solver.cache_size must be at least 1, got {self.cache_size}"
+            )
+
+
+@dataclass(frozen=True)
+class OptimizerSpec:
+    """Settings of the optimal channel-modulation design flow (Sec. IV).
+
+    Mirrors the knobs of :class:`repro.core.optimizer.OptimizerSettings`
+    that define the experiment; grid resolution and solver backend are
+    taken from the scenario's :class:`GridSpec` / :class:`SolverSpec`.
+    """
+
+    n_segments: int = 10
+    max_iterations: int = 80
+    multistart: int = 1
+    tolerance: float = 1e-8
+    objective: str = "gradient_norm"
+    shared_profile: bool = False
+    enforce_equal_pressure: bool = True
+    max_pressure_drop_Pa: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _set(
+            self,
+            n_segments=int(self.n_segments),
+            max_iterations=int(self.max_iterations),
+            multistart=int(self.multistart),
+            tolerance=float(self.tolerance),
+            shared_profile=bool(self.shared_profile),
+            enforce_equal_pressure=bool(self.enforce_equal_pressure),
+        )
+        if self.n_segments < 1:
+            raise ValueError(
+                f"optimizer.n_segments must be at least 1, got {self.n_segments}"
+            )
+        if self.max_iterations < 1:
+            raise ValueError(
+                f"optimizer.max_iterations must be at least 1, "
+                f"got {self.max_iterations}"
+            )
+        if self.multistart < 1:
+            raise ValueError(
+                f"optimizer.multistart must be at least 1, got {self.multistart}"
+            )
+        if self.tolerance <= 0.0:
+            raise ValueError(
+                f"optimizer.tolerance must be positive, got {self.tolerance}"
+            )
+        if not isinstance(self.objective, str) or not self.objective:
+            raise ValueError(
+                f"optimizer.objective must be a non-empty objective name, "
+                f"got {self.objective!r}"
+            )
+        if self.max_pressure_drop_Pa is not None:
+            _set(self, max_pressure_drop_Pa=float(self.max_pressure_drop_Pa))
+            if self.max_pressure_drop_Pa <= 0.0:
+                raise ValueError(
+                    f"optimizer.max_pressure_drop_Pa must be positive, "
+                    f"got {self.max_pressure_drop_Pa}"
+                )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-specified, serializable experiment.
+
+    Attributes
+    ----------
+    name:
+        Scenario name (the registry key and the provenance label).
+    description:
+        One-line human description.
+    workload / grid / solver / optimizer:
+        The sub-specifications documented on their classes.
+    params:
+        Scalar :class:`~repro.thermal.properties.PaperParameters` overrides
+        in SI units, stored as a sorted tuple of ``(field, value)`` pairs
+        (accepts a mapping at construction).  Overrides are applied on top
+        of the effective-flow Table I defaults.
+    design:
+        Optional explicit channel-width design: one tuple of
+        piecewise-constant segment widths (meters) per modeled lane.
+        ``None`` means the uniform maximum-width (conventional) design.
+    """
+
+    name: str
+    description: str = ""
+    workload: WorkloadSpec = WorkloadSpec()
+    grid: GridSpec = GridSpec()
+    solver: SolverSpec = SolverSpec()
+    optimizer: OptimizerSpec = OptimizerSpec()
+    params: Tuple[Tuple[str, float], ...] = ()
+    design: Optional[Tuple[Tuple[float, ...], ...]] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError(f"scenario name must be a non-empty string, got {self.name!r}")
+        _set(self, description=str(self.description))
+        for attr, cls in (
+            ("workload", WorkloadSpec),
+            ("grid", GridSpec),
+            ("solver", SolverSpec),
+            ("optimizer", OptimizerSpec),
+        ):
+            if not isinstance(getattr(self, attr), cls):
+                raise ValueError(
+                    f"scenario.{attr} must be a {cls.__name__}, "
+                    f"got {type(getattr(self, attr)).__name__}"
+                )
+        # A single-channel workload is a strip exactly one channel pitch
+        # wide: the finite-volume grid has one row of cells by construction.
+        # Normalizing here keeps the spec equal to what actually runs
+        # (to_dict shows n_rows=1) instead of silently ignoring the field.
+        if self.workload.is_single_channel and self.grid.n_rows != 1:
+            _set(self, grid=replace(self.grid, n_rows=1))
+        overrides = self.params
+        if isinstance(overrides, Mapping):
+            overrides = tuple(overrides.items())
+        normalized = []
+        for pair in overrides:
+            try:
+                key, value = pair
+            except (TypeError, ValueError):
+                raise ValueError(
+                    "scenario.params must be a mapping or a sequence of "
+                    f"(field, value) pairs, got {self.params!r}"
+                ) from None
+            if key not in PARAMETER_OVERRIDE_FIELDS:
+                raise ValueError(
+                    f"scenario.params: unknown parameter {key!r}; "
+                    f"overridable parameters are {list(PARAMETER_OVERRIDE_FIELDS)}"
+                )
+            normalized.append((str(key), float(value)))
+        _set(self, params=tuple(sorted(normalized)))
+        # Building the parameter record eagerly surfaces range errors
+        # (negative lengths, inverted width bounds, ...) at spec
+        # construction instead of deep inside a solver.
+        try:
+            self._parameters()
+        except ValueError as error:
+            raise ValueError(f"scenario.params: {error}") from None
+        if self.design is not None:
+            design = []
+            for lane, segments in enumerate(self.design):
+                widths = tuple(float(width) for width in np.atleast_1d(segments))
+                if not widths:
+                    raise ValueError(
+                        f"scenario.design lane {lane} has no segment widths"
+                    )
+                if any(width <= 0.0 for width in widths):
+                    raise ValueError(
+                        f"scenario.design lane {lane}: all widths must be "
+                        f"positive, got {widths}"
+                    )
+                design.append(widths)
+            _set(self, design=tuple(design))
+
+    # -- derived configuration --------------------------------------------
+
+    def _parameters(self):
+        """Effective Table I parameters with the spec's overrides applied."""
+        return paper_parameters().with_overrides(**dict(self.params))
+
+    def experiment_config(self) -> ExperimentConfig:
+        """The :class:`~repro.config.ExperimentConfig` this spec describes."""
+        return ExperimentConfig(
+            params=self._parameters(),
+            n_grid_points=self.grid.n_grid_points,
+            n_segments=self.optimizer.n_segments,
+            n_lanes=self.grid.n_lanes,
+            test_b_segments=self.workload.segments,
+            test_b_flux_range=self.workload.flux_range,
+            random_seed=self.workload.seed,
+            solver_backend=self.solver.backend,
+            n_workers=self.solver.n_workers,
+        )
+
+    def optimizer_settings(self) -> OptimizerSettings:
+        """The :class:`~repro.core.optimizer.OptimizerSettings` of this spec."""
+        return OptimizerSettings(
+            n_segments=self.optimizer.n_segments,
+            shared_profile=self.optimizer.shared_profile,
+            objective=self.optimizer.objective,
+            n_grid_points=self.grid.n_grid_points,
+            max_iterations=self.optimizer.max_iterations,
+            tolerance=self.optimizer.tolerance,
+            multistart=self.optimizer.multistart,
+            enforce_equal_pressure=self.optimizer.enforce_equal_pressure,
+            solver_backend=self.solver.backend,
+            n_workers=self.solver.n_workers,
+            cache_size=self.solver.cache_size,
+        )
+
+    @property
+    def n_lanes(self) -> int:
+        """Modeled lanes of the analytical cavity for this workload."""
+        return 1 if self.workload.is_single_channel else self.grid.n_lanes
+
+    def channel_length(self) -> float:
+        """Channel length (m): the die length for stackings, ``d`` otherwise."""
+        if self.workload.kind == "architecture":
+            return get_architecture(self.workload.architecture).die_length
+        return self._parameters().channel_length
+
+    def width_profiles(self) -> Optional[List[WidthProfile]]:
+        """The explicit per-lane design as width profiles, or None."""
+        if self.design is None:
+            return None
+        if len(self.design) != self.n_lanes:
+            raise ValueError(
+                f"scenario {self.name!r}: design has {len(self.design)} lane "
+                f"profiles but the workload models {self.n_lanes} lane(s)"
+            )
+        length = self.channel_length()
+        profiles = []
+        for segments in self.design:
+            if len(segments) == 1:
+                profiles.append(WidthProfile.uniform(segments[0], length))
+            else:
+                profiles.append(
+                    WidthProfile.piecewise_constant(list(segments), length)
+                )
+        return profiles
+
+    # -- model builders ---------------------------------------------------
+
+    def build_structure(self) -> Union[TestStructure, MultiChannelStructure]:
+        """The analytical cavity model (finite-difference / optimizer path)."""
+        config = self.experiment_config()
+        workload = self.workload
+        profiles = self.width_profiles()
+        if workload.kind == "architecture":
+            return get_architecture(workload.architecture).cavity(
+                workload.power,
+                config=config,
+                n_lanes=self.grid.n_lanes,
+                n_cols=self.grid.n_cols,
+                width_profiles=profiles,
+            )
+        profile = profiles[0] if profiles is not None else None
+        if workload.kind == "test-a":
+            structure = test_a_structure(config, width_profile=profile)
+            if workload.flux_w_per_cm2 != TEST_A_FLUX:
+                heat = HeatInputProfile.from_areal_flux(
+                    workload.flux_w_per_cm2,
+                    structure.geometry.pitch,
+                    structure.geometry.length,
+                )
+                structure = replace(structure, heat_top=heat, heat_bottom=heat)
+            return structure
+        return test_b_structure(config, width_profile=profile)
+
+    def build_stack(self) -> LayerStack:
+        """The finite-volume layer stack (3D-ICE-like validation path)."""
+        config = self.experiment_config()
+        workload = self.workload
+        profiles = self.width_profiles()
+        if workload.kind == "architecture":
+            architecture = get_architecture(workload.architecture)
+            if profiles is None:
+                width_argument = None
+            elif len(profiles) == 1:
+                width_argument = profiles[0]
+            else:
+                width_argument = architecture.per_channel_width_profiles(
+                    profiles, config=config
+                )
+            return two_die_stack_from_architecture(
+                architecture,
+                workload.power,
+                config=config,
+                n_cols=self.grid.n_cols,
+                n_rows=self.grid.n_rows,
+                width_profile=width_argument,
+            )
+        geometry = ChannelGeometry.from_parameters(config.params)
+        n_cols = self.grid.n_cols
+        if workload.kind == "test-a":
+            top = bottom = workload.flux_w_per_cm2
+        else:
+            top_fluxes, bottom_fluxes = test_b_fluxes(config)
+            x_centers = (np.arange(n_cols) + 0.5) * geometry.length / n_cols
+            index = np.minimum(
+                (x_centers / geometry.length * workload.segments).astype(int),
+                workload.segments - 1,
+            )
+            top = top_fluxes[index][None, :]
+            bottom = bottom_fluxes[index][None, :]
+        return two_die_stack_from_maps(
+            top,
+            bottom,
+            die_length=geometry.length,
+            die_width=geometry.pitch,
+            config=config,
+            n_cols=n_cols,
+            n_rows=self.grid.n_rows,  # normalized to 1 in __post_init__
+            width_profile=profiles[0] if profiles is not None else None,
+        )
+
+    # -- functional updates ------------------------------------------------
+
+    def with_overrides(self, **kwargs) -> "ScenarioSpec":
+        """Return a copy with the given top-level fields replaced."""
+        return replace(self, **kwargs)
+
+    def with_solver(
+        self, simulator: Optional[str] = None, backend: Optional[str] = None
+    ) -> "ScenarioSpec":
+        """Return a copy with the simulator and/or backend replaced."""
+        updates = {}
+        if simulator is not None:
+            updates["simulator"] = simulator
+        if backend is not None:
+            updates["backend"] = backend
+        return replace(self, solver=replace(self.solver, **updates))
+
+    def with_design(
+        self, profiles: Sequence[Union[WidthProfile, Mapping, Sequence[float]]]
+    ) -> "ScenarioSpec":
+        """Return a copy pinning an explicit per-lane channel-width design.
+
+        Accepts :class:`WidthProfile` objects (uniform or piecewise), the
+        mappings :meth:`WidthProfile.to_dict` emits (e.g. lifted from a
+        ``repro optimize --json`` payload), or raw per-segment width
+        sequences in meters.
+        """
+        design = []
+        for profile in profiles:
+            if isinstance(profile, Mapping):
+                profile = WidthProfile.from_dict(profile)
+            if isinstance(profile, WidthProfile):
+                design.append(tuple(float(w) for w in profile.segment_widths))
+            else:
+                design.append(tuple(float(w) for w in np.atleast_1d(profile)))
+        return replace(self, design=tuple(design))
+
+    def with_params(self, **overrides) -> "ScenarioSpec":
+        """Return a copy with extra Table I parameter overrides merged in."""
+        merged = dict(self.params)
+        merged.update(overrides)
+        return replace(self, params=tuple(sorted(merged.items())))
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data (JSON-compatible) representation of the spec."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "workload": {
+                "kind": self.workload.kind,
+                "flux_w_per_cm2": self.workload.flux_w_per_cm2,
+                "segments": self.workload.segments,
+                "flux_range": list(self.workload.flux_range),
+                "seed": self.workload.seed,
+                "architecture": self.workload.architecture,
+                "power": self.workload.power,
+            },
+            "grid": {
+                "n_grid_points": self.grid.n_grid_points,
+                "n_lanes": self.grid.n_lanes,
+                "n_rows": self.grid.n_rows,
+                "n_cols": self.grid.n_cols,
+            },
+            "solver": {
+                "simulator": self.solver.simulator,
+                "backend": self.solver.backend,
+                "n_workers": self.solver.n_workers,
+                "cache_size": self.solver.cache_size,
+            },
+            "optimizer": {
+                "n_segments": self.optimizer.n_segments,
+                "max_iterations": self.optimizer.max_iterations,
+                "multistart": self.optimizer.multistart,
+                "tolerance": self.optimizer.tolerance,
+                "objective": self.optimizer.objective,
+                "shared_profile": self.optimizer.shared_profile,
+                "enforce_equal_pressure": self.optimizer.enforce_equal_pressure,
+                "max_pressure_drop_Pa": self.optimizer.max_pressure_drop_Pa,
+            },
+            "params": dict(self.params),
+            "design": (
+                None
+                if self.design is None
+                else [list(segments) for segments in self.design]
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output (with validation)."""
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"a scenario must be a mapping, got {type(data).__name__}"
+            )
+        _check_keys(cls, data, "scenario")
+        if "name" not in data:
+            raise ValueError("scenario: the 'name' field is required")
+        sections = {}
+        for attr, sub_cls in (
+            ("workload", WorkloadSpec),
+            ("grid", GridSpec),
+            ("solver", SolverSpec),
+            ("optimizer", OptimizerSpec),
+        ):
+            section = data.get(attr, {})
+            if isinstance(section, sub_cls):
+                sections[attr] = section
+                continue
+            if not isinstance(section, Mapping):
+                raise ValueError(
+                    f"scenario.{attr} must be a mapping, "
+                    f"got {type(section).__name__}"
+                )
+            _check_keys(sub_cls, section, f"scenario.{attr}")
+            sections[attr] = sub_cls(**section)
+        design = data.get("design")
+        return cls(
+            name=data["name"],
+            description=data.get("description", ""),
+            params=data.get("params", ()),
+            design=None if design is None else tuple(
+                tuple(segments) if not np.isscalar(segments) else (segments,)
+                for segments in design
+            ),
+            **sections,
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """JSON representation of the spec."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: Union[str, os.PathLike]) -> None:
+        """Write the spec to a JSON file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: Union[str, os.PathLike]) -> "ScenarioSpec":
+        """Read a spec from a JSON file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+
+# -- named-scenario registry ------------------------------------------------
+
+#: Process-wide registry of named scenarios.
+SCENARIOS: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec, overwrite: bool = False) -> ScenarioSpec:
+    """Add a scenario to the registry (refusing silent overwrites)."""
+    if not isinstance(spec, ScenarioSpec):
+        raise TypeError(f"expected a ScenarioSpec, got {type(spec).__name__}")
+    if spec.name in SCENARIOS and not overwrite:
+        raise ValueError(
+            f"scenario {spec.name!r} is already registered; "
+            "pass overwrite=True to replace it"
+        )
+    SCENARIOS[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; registered scenarios: {scenario_names()}"
+        ) from None
+
+
+def scenario_names() -> List[str]:
+    """Names of the registered scenarios, in registration order."""
+    return list(SCENARIOS)
+
+
+def resolve_scenario(
+    scenario: Union[ScenarioSpec, str, os.PathLike, Mapping]
+) -> ScenarioSpec:
+    """Turn a spec, registered name, JSON file path or mapping into a spec."""
+    if isinstance(scenario, ScenarioSpec):
+        return scenario
+    if isinstance(scenario, Mapping):
+        return ScenarioSpec.from_dict(scenario)
+    if isinstance(scenario, (str, os.PathLike)):
+        text = os.fspath(scenario)
+        if text in SCENARIOS:
+            return SCENARIOS[text]
+        if os.path.exists(text):
+            return ScenarioSpec.load(text)
+        raise ValueError(
+            f"{text!r} is neither a registered scenario nor a scenario file; "
+            f"registered scenarios: {scenario_names()}"
+        )
+    raise TypeError(
+        "scenario must be a ScenarioSpec, a registered name, a JSON file "
+        f"path or a mapping, got {type(scenario).__name__}"
+    )
+
+
+def _register_paper_scenarios() -> None:
+    """Pre-populate the registry with the paper's experiments."""
+    register_scenario(
+        ScenarioSpec(
+            name="test-a",
+            description=(
+                "Test A (Fig. 4a): uniform 50 W/cm^2 on both active layers "
+                "of the single-channel test structure"
+            ),
+            workload=WorkloadSpec(kind="test-a"),
+            grid=GridSpec(n_grid_points=241, n_lanes=1, n_rows=1, n_cols=80),
+            optimizer=OptimizerSpec(n_segments=10, max_iterations=60),
+        )
+    )
+    register_scenario(
+        ScenarioSpec(
+            name="test-b",
+            description=(
+                "Test B (Fig. 4b): random per-segment heat fluxes in "
+                "[50, 250] W/cm^2 along the single channel"
+            ),
+            workload=WorkloadSpec(kind="test-b", segments=10, seed=2012),
+            grid=GridSpec(n_grid_points=241, n_lanes=1, n_rows=1, n_cols=80),
+            optimizer=OptimizerSpec(n_segments=10, max_iterations=80),
+        )
+    )
+    descriptions = {
+        "arch1": "segregated two-die stack: compute die over memory die",
+        "arch2": "complementary mixed dies: core bands on opposite sides",
+        "arch3": "aligned mixed dies: identical dies, cores stacked",
+    }
+    for arch in ("arch1", "arch2", "arch3"):
+        register_scenario(
+            ScenarioSpec(
+                name=f"niagara-{arch}",
+                description=f"Fig. 7 {arch}: {descriptions[arch]} (peak power)",
+                workload=WorkloadSpec(kind="architecture", architecture=arch),
+                grid=GridSpec(n_grid_points=161, n_lanes=5, n_rows=44, n_cols=44),
+                optimizer=OptimizerSpec(n_segments=6, max_iterations=40),
+            )
+        )
+
+
+_register_paper_scenarios()

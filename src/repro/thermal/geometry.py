@@ -217,6 +217,45 @@ class WidthProfile:
             return ("segments", self.length, self._segments.tobytes())
         return None
 
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (uniform/piecewise profiles only).
+
+        Callable profiles have no finite description and raise; the
+        scenario/CLI layer serializes optimizer output, which is always
+        piecewise constant or uniform.
+        """
+        if self._uniform is not None:
+            return {"kind": "uniform", "length": self.length, "width": self._uniform}
+        if self._segments is not None:
+            return {
+                "kind": "piecewise",
+                "length": self.length,
+                "widths": [float(width) for width in self._segments],
+            }
+        raise ValueError("callable width profiles cannot be serialized")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WidthProfile":
+        """Rebuild a profile from :meth:`to_dict` output."""
+        try:
+            kind = data["kind"]
+            length = float(data["length"])
+            if kind == "uniform":
+                return cls.uniform(float(data["width"]), length)
+            if kind == "piecewise":
+                return cls.piecewise_constant(
+                    [float(width) for width in data["widths"]], length
+                )
+        except (KeyError, TypeError) as error:
+            raise ValueError(
+                "a width profile mapping needs 'kind', 'length' and "
+                f"'width'/'widths': {error!r}"
+            ) from None
+        raise ValueError(
+            f"unknown width profile kind {kind!r}; "
+            "expected 'uniform' or 'piecewise'"
+        )
+
     def mean_width(self, n_samples: int = 512) -> float:
         """Average width along the channel (trapezoidal sampling)."""
         z = np.linspace(0.0, self.length, n_samples)

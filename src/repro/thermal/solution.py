@@ -16,7 +16,7 @@ profiles ``dT/dz`` and the optimal-control cost ``J = \\int ||T'||^2 dz``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

@@ -28,7 +28,7 @@ in :mod:`repro.thermal.bvp` and :mod:`repro.thermal.fdm` exploit this.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Tuple
+from typing import Tuple
 
 import numpy as np
 

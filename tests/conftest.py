@@ -7,7 +7,6 @@ fast.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.config import DEFAULT_EXPERIMENT, paper_parameters

@@ -1,0 +1,155 @@
+"""Tests of the ``repro`` command line."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios import GridSpec, OptimizerSpec, ScenarioSpec, get_scenario
+
+
+@pytest.fixture()
+def small_spec_file(tmp_path):
+    """A fast Test A scenario written to a JSON file."""
+    spec = get_scenario("test-a").with_overrides(
+        name="test-a-small",
+        grid=GridSpec(n_grid_points=81, n_lanes=1, n_rows=1, n_cols=40),
+        optimizer=OptimizerSpec(n_segments=3, max_iterations=5),
+    )
+    path = tmp_path / "small.json"
+    spec.save(path)
+    return path
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestList:
+    def test_lists_registered_scenarios(self, capsys):
+        code, out, _ = run_cli(capsys, "list")
+        assert code == 0
+        for name in ("test-a", "test-b", "niagara-arch1"):
+            assert name in out
+
+    def test_json_mode(self, capsys):
+        code, out, _ = run_cli(capsys, "list", "--json")
+        assert code == 0
+        rows = json.loads(out)
+        assert {"test-a", "test-b"} <= {row["name"] for row in rows}
+
+
+class TestShow:
+    def test_show_round_trips(self, capsys):
+        code, out, _ = run_cli(capsys, "show", "test-a")
+        assert code == 0
+        assert ScenarioSpec.from_json(out) == get_scenario("test-a")
+
+
+class TestRun:
+    def test_run_test_a_json_matches_designer_path(self, capsys):
+        """Acceptance: `repro run test-a --json` == the programmatic path."""
+        from repro import ChannelModulationDesigner, test_a_structure
+
+        code, out, _ = run_cli(capsys, "run", "test-a", "--json")
+        assert code == 0
+        payload = json.loads(out)
+        evaluation = ChannelModulationDesigner(
+            test_a_structure()
+        ).uniform_maximum()
+        assert payload["peak_temperature_K"] == pytest.approx(
+            evaluation.peak_temperature, abs=1e-9
+        )
+        assert payload["thermal_gradient_K"] == pytest.approx(
+            evaluation.thermal_gradient, abs=1e-9
+        )
+        assert payload["simulator"] == "fdm"
+
+    def test_run_with_ice_solver(self, capsys, small_spec_file):
+        code, out, _ = run_cli(
+            capsys, "run", str(small_spec_file), "--solver", "ice", "--json"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["simulator"] == "ice"
+        assert payload["scenario"] == "test-a-small"
+
+    def test_run_writes_output_file(self, capsys, small_spec_file, tmp_path):
+        out_file = tmp_path / "result.json"
+        code, out, _ = run_cli(
+            capsys, "run", str(small_spec_file), "--output", str(out_file)
+        )
+        assert code == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["scenario"] == "test-a-small"
+
+    def test_human_output(self, capsys, small_spec_file):
+        code, out, _ = run_cli(capsys, "run", str(small_spec_file))
+        assert code == 0
+        assert "thermal_gradient_K" in out
+
+    def test_unknown_scenario_is_an_error(self, capsys):
+        code, _, err = run_cli(capsys, "run", "no-such-scenario")
+        assert code == 2
+        assert "registered scenarios" in err
+
+
+class TestValidate:
+    def test_validate_emits_both_results(self, capsys, small_spec_file):
+        code, out, _ = run_cli(
+            capsys, "validate", str(small_spec_file), "--json"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["fdm"]["simulator"] == "fdm"
+        assert payload["ice"]["simulator"] == "ice"
+        assert abs(payload["gradient_delta_K"]) < 2.0
+
+
+class TestOptimize:
+    def test_optimize_and_save_design(self, capsys, small_spec_file, tmp_path):
+        design_file = tmp_path / "optimized.json"
+        code, out, _ = run_cli(
+            capsys,
+            "optimize",
+            str(small_spec_file),
+            "--json",
+            "--save-design",
+            str(design_file),
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert "gradient_reduction" in payload["summary"]
+        pinned = ScenarioSpec.load(design_file)
+        assert pinned.design is not None
+        # The saved scenario is directly runnable.
+        code, out, _ = run_cli(capsys, "run", str(design_file), "--json")
+        assert code == 0
+        assert json.loads(out)["thermal_gradient_K"] == pytest.approx(
+            payload["summary"]["optimal_gradient_K"], abs=1e-9
+        )
+
+
+class TestBench:
+    def test_bench_reports_cache_reuse(self, capsys, small_spec_file):
+        code, out, _ = run_cli(
+            capsys, "bench", str(small_spec_file), "--repeat", "3", "--json"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["repeat"] == 3
+        assert len(payload["wall_times_s"]) == 3
+        stats = next(iter(payload["session"].values()))
+        assert stats["n_solves"] == 1
+        assert stats["n_cache_hits"] == 2
+
+    def test_bench_rejects_bad_repeat(self, capsys, small_spec_file):
+        code, _, err = run_cli(
+            capsys, "bench", str(small_spec_file), "--repeat", "0"
+        )
+        assert code == 2
+        assert "repeat" in err

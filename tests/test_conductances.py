@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.thermal import conductances
-from repro.thermal.properties import SILICON, TABLE_I, WATER
+from repro.thermal.properties import SILICON, WATER
 
 WIDTHS = st.floats(min_value=10e-6, max_value=50e-6)
 

@@ -70,10 +70,43 @@ class TestExperimentConfig:
         assert settings.n_segments == 4
         assert settings.solver_backend == "dense"
 
+    def test_flux_range_is_coerced_to_float_pair(self):
+        config = ExperimentConfig(test_b_flux_range=[60, 120])
+        assert config.test_b_flux_range == (60.0, 120.0)
+        assert all(
+            isinstance(value, float) for value in config.test_b_flux_range
+        )
+
+    def test_flux_range_validation(self):
+        with pytest.raises(ValueError, match="low, high"):
+            ExperimentConfig(test_b_flux_range=(50.0, 100.0, 200.0))
+        with pytest.raises(ValueError, match="low <= high"):
+            ExperimentConfig(test_b_flux_range=(250.0, 50.0))
+        with pytest.raises(ValueError, match="low <= high"):
+            ExperimentConfig(test_b_flux_range=(-1.0, 50.0))
+
+    def test_integer_field_validation(self):
+        with pytest.raises(ValueError, match="n_grid_points"):
+            ExperimentConfig(n_grid_points=2)
+        with pytest.raises(ValueError, match="n_lanes"):
+            ExperimentConfig(n_lanes=0)
+        with pytest.raises(ValueError, match="n_workers"):
+            ExperimentConfig(n_workers=0)
+        with pytest.raises(ValueError, match="integer"):
+            ExperimentConfig(n_segments=2.5)
+
+    def test_solver_backend_validation(self):
+        with pytest.raises(ValueError, match="solver_backend"):
+            ExperimentConfig(solver_backend="")
+
+    def test_params_type_validation(self):
+        with pytest.raises(ValueError, match="PaperParameters"):
+            ExperimentConfig(params={"channel_pitch": 1e-4})
+
 
 class TestPublicApi:
     def test_version_string(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:
@@ -97,3 +130,20 @@ class TestPublicApi:
         )
         evaluation = designer.uniform_maximum()
         assert evaluation.thermal_gradient > 0.0
+
+    def test_scenario_api_exported(self):
+        spec = repro.get_scenario("test-a")
+        assert isinstance(spec, repro.ScenarioSpec)
+        assert "test-a" in repro.scenario_names()
+        assert set(repro.available_simulators()) >= {"fdm", "ice"}
+
+    def test_classic_entry_points_still_work_under_the_facade(self):
+        # The scenario API is a facade, not a replacement: the legacy
+        # programmatic path must keep producing identical numbers.
+        evaluation = repro.ChannelModulationDesigner(
+            repro.test_a_structure()
+        ).uniform_maximum()
+        result = repro.run("test-a")
+        assert result.peak_temperature_K == pytest.approx(
+            evaluation.peak_temperature, abs=1e-9
+        )

@@ -9,8 +9,6 @@ from repro.thermal.conductances import capacity_rate
 from repro.thermal.fdm import solve_finite_difference, solve_structure
 from repro.thermal.geometry import (
     HeatInputProfile,
-    MultiChannelStructure,
-    TestStructure,
     WidthProfile,
 )
 from repro.thermal.multichannel import build_cavity

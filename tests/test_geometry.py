@@ -12,10 +12,8 @@ from repro.thermal.geometry import (
     ChannelGeometry,
     HeatInputProfile,
     MultiChannelStructure,
-    TestStructure,
     WidthProfile,
 )
-from repro.thermal.properties import TABLE_I
 
 
 class TestChannelGeometry:

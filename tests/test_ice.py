@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.config import DEFAULT_EXPERIMENT
-from repro.floorplan import uniform_die_maps
 from repro.ice import (
     CavityLayer,
     LayerStack,

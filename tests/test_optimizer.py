@@ -16,7 +16,6 @@ from repro.core.baselines import (
     uniform_maximum_design,
     uniform_minimum_design,
 )
-from repro.thermal.geometry import WidthProfile
 from repro.thermal.properties import TABLE_I
 
 

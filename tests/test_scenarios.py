@@ -1,0 +1,283 @@
+"""Tests of the declarative scenario specs and the named registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import (
+    GridSpec,
+    OptimizerSpec,
+    SCENARIOS,
+    ScenarioSpec,
+    SolverSpec,
+    WorkloadSpec,
+    get_scenario,
+    register_scenario,
+    resolve_scenario,
+    scenario_names,
+)
+from repro.thermal.geometry import MultiChannelStructure, TestStructure, WidthProfile
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", list(SCENARIOS))
+    def test_registered_scenarios_round_trip_json(self, name):
+        spec = get_scenario(name)
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_round_trip_with_design_and_params(self):
+        spec = get_scenario("test-a").with_params(
+            flow_rate_per_channel=2e-8
+        ).with_design([(40e-6, 25e-6, 12e-6)])
+        restored = ScenarioSpec.from_dict(spec.to_dict())
+        assert restored == spec
+        assert restored.design == ((40e-6, 25e-6, 12e-6),)
+
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        spec = get_scenario("niagara-arch2")
+        spec.save(path)
+        assert ScenarioSpec.load(path) == spec
+
+    def test_from_dict_rejects_unknown_keys(self):
+        data = get_scenario("test-a").to_dict()
+        data["typo_field"] = 1
+        with pytest.raises(ValueError, match="typo_field"):
+            ScenarioSpec.from_dict(data)
+        data = get_scenario("test-a").to_dict()
+        data["grid"]["n_colz"] = 10
+        with pytest.raises(ValueError, match="n_colz"):
+            ScenarioSpec.from_dict(data)
+
+    def test_from_dict_requires_name(self):
+        with pytest.raises(ValueError, match="name"):
+            ScenarioSpec.from_dict({"description": "nameless"})
+
+
+class TestValidation:
+    def test_bad_workload_kind(self):
+        with pytest.raises(ValueError, match="workload.kind"):
+            WorkloadSpec(kind="test-c")
+
+    def test_bad_flux_range(self):
+        with pytest.raises(ValueError, match="low <= high"):
+            WorkloadSpec(kind="test-b", flux_range=(250.0, 50.0))
+
+    def test_bad_power_scenario(self):
+        with pytest.raises(ValueError, match="workload.power"):
+            WorkloadSpec(kind="architecture", architecture="arch1", power="idle")
+
+    def test_unknown_architecture(self):
+        with pytest.raises(ValueError, match="workload.architecture"):
+            WorkloadSpec(kind="architecture", architecture="arch9")
+
+    def test_bad_grid(self):
+        with pytest.raises(ValueError, match="n_grid_points"):
+            GridSpec(n_grid_points=2)
+        with pytest.raises(ValueError, match="n_cols"):
+            GridSpec(n_cols=1)
+
+    def test_bad_simulator(self):
+        with pytest.raises(ValueError, match="solver.simulator"):
+            SolverSpec(simulator="magic")
+
+    def test_bad_optimizer(self):
+        with pytest.raises(ValueError, match="max_pressure_drop_Pa"):
+            OptimizerSpec(max_pressure_drop_Pa=-1.0)
+        with pytest.raises(ValueError, match="n_segments"):
+            OptimizerSpec(n_segments=0)
+
+    def test_unknown_parameter_override(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            ScenarioSpec(name="x", params={"viscosity": 1.0})
+
+    def test_parameter_range_errors_surface_at_construction(self):
+        with pytest.raises(ValueError, match="scenario.params"):
+            ScenarioSpec(name="x", params={"channel_length": -1.0})
+
+    def test_bad_design(self):
+        with pytest.raises(ValueError, match="positive"):
+            ScenarioSpec(name="x", design=((-1e-6,),))
+        with pytest.raises(ValueError, match="no segment widths"):
+            ScenarioSpec(name="x", design=((),))
+
+    def test_empty_name(self):
+        with pytest.raises(ValueError, match="name"):
+            ScenarioSpec(name="")
+
+
+class TestBuilders:
+    def test_test_a_structure(self):
+        structure = get_scenario("test-a").build_structure()
+        assert isinstance(structure, TestStructure)
+        assert structure.total_power == pytest.approx(1.0, rel=1e-6)
+
+    def test_test_b_structure_is_deterministic(self):
+        first = get_scenario("test-b").build_structure()
+        second = get_scenario("test-b").build_structure()
+        assert (
+            first.heat_top.fingerprint() == second.heat_top.fingerprint()
+        )
+
+    def test_architecture_structure(self):
+        spec = get_scenario("niagara-arch1")
+        cavity = spec.build_structure()
+        assert isinstance(cavity, MultiChannelStructure)
+        assert cavity.n_lanes == spec.grid.n_lanes
+
+    def test_flux_override_scales_power(self):
+        spec = get_scenario("test-a")
+        doubled = spec.with_overrides(
+            workload=WorkloadSpec(kind="test-a", flux_w_per_cm2=100.0)
+        )
+        assert doubled.build_structure().total_power == pytest.approx(
+            2.0 * spec.build_structure().total_power
+        )
+
+    def test_params_override_flows_into_structure(self):
+        spec = get_scenario("test-a").with_params(flow_rate_per_channel=2e-8)
+        assert spec.build_structure().flow_rate == pytest.approx(2e-8)
+
+    def test_design_is_applied_to_structure_and_stack(self):
+        widths = (45e-6, 30e-6, 15e-6)
+        spec = get_scenario("test-a").with_design([widths])
+        structure = spec.build_structure()
+        assert tuple(structure.width_profile.segment_widths) == widths
+        stack = spec.build_stack()
+        cavity = stack.layer("cavity")
+        assert isinstance(cavity.width_profile, WidthProfile)
+        assert tuple(cavity.width_profile.segment_widths) == widths
+
+    def test_per_channel_expansion_matches_cavity_clustering(self):
+        # Lane assignment of the finite-volume render must agree with the
+        # cavity's sequential ceil(n/lanes) clustering, including when the
+        # lane count does not divide the channel count (110 channels, 4
+        # lanes -> clusters of 28).
+        import numpy as np
+
+        from repro.floorplan import get_architecture
+
+        spec = get_scenario("niagara-arch1").with_overrides(
+            grid=GridSpec(n_grid_points=61, n_lanes=4, n_rows=8, n_cols=10)
+        )
+        architecture = get_architecture("arch1")
+        config = spec.experiment_config()
+        cavity = spec.build_structure()
+        profiles = [
+            WidthProfile.uniform(
+                (10 + lane) * 1e-6, architecture.die_length
+            )
+            for lane in range(cavity.n_lanes)
+        ]
+        per_channel = architecture.per_channel_width_profiles(
+            profiles, config=config
+        )
+        n_physical = int(
+            round(architecture.die_width / config.params.channel_pitch)
+        )
+        assert len(per_channel) == n_physical == 110
+        cluster_size = int(np.ceil(n_physical / cavity.n_lanes))
+        assert cluster_size == cavity.cluster_size == 28
+        for channel, profile in enumerate(per_channel):
+            lane = min(channel // cluster_size, cavity.n_lanes - 1)
+            assert profile is profiles[lane], channel
+
+    def test_design_lane_count_mismatch(self):
+        spec = get_scenario("niagara-arch1").with_design([(40e-6,)])
+        with pytest.raises(ValueError, match="lane"):
+            spec.build_structure()
+
+    def test_with_design_accepts_width_profiles(self):
+        spec = get_scenario("test-a")
+        profile = WidthProfile.uniform(30e-6, spec.channel_length())
+        pinned = spec.with_design([profile])
+        assert pinned.design == ((30e-6,),)
+
+    def test_with_design_accepts_serialized_profiles(self):
+        # The mappings emitted by `repro optimize --json` pin back directly.
+        spec = get_scenario("test-a")
+        profile = WidthProfile.piecewise_constant(
+            [40e-6, 20e-6], spec.channel_length()
+        )
+        pinned = spec.with_design([profile.to_dict()])
+        assert pinned.design == ((40e-6, 20e-6),)
+
+    def test_width_profile_dict_round_trip_and_errors(self):
+        profile = WidthProfile.uniform(30e-6, 1e-2)
+        rebuilt = WidthProfile.from_dict(profile.to_dict())
+        assert rebuilt.fingerprint() == profile.fingerprint()
+        with pytest.raises(ValueError, match="width"):
+            WidthProfile.from_dict({"kind": "uniform", "length": 1e-2})
+        with pytest.raises(ValueError, match="kind"):
+            WidthProfile.from_dict({"kind": "spline", "length": 1e-2})
+
+    def test_single_channel_grid_normalizes_to_one_row(self):
+        spec = ScenarioSpec(
+            name="strip",
+            workload=WorkloadSpec(kind="test-a"),
+            grid=GridSpec(n_rows=44, n_cols=40),
+        )
+        assert spec.grid.n_rows == 1
+        assert spec.to_dict()["grid"]["n_rows"] == 1
+        assert spec.build_stack().n_rows == 1
+        # Architecture workloads keep their requested cross-flow grid.
+        assert get_scenario("niagara-arch1").grid.n_rows == 44
+
+    def test_single_channel_stack_is_one_row(self):
+        stack = get_scenario("test-b").build_stack()
+        assert stack.n_rows == 1
+        assert stack.die_width == pytest.approx(
+            get_scenario("test-b").experiment_config().params.channel_pitch
+        )
+
+    def test_architecture_stack_uses_grid(self):
+        spec = get_scenario("niagara-arch3")
+        stack = spec.build_stack()
+        assert (stack.n_rows, stack.n_cols) == (
+            spec.grid.n_rows,
+            spec.grid.n_cols,
+        )
+
+    def test_optimizer_settings_threading(self):
+        spec = get_scenario("niagara-arch1")
+        settings = spec.optimizer_settings()
+        assert settings.n_segments == spec.optimizer.n_segments
+        assert settings.n_grid_points == spec.grid.n_grid_points
+        assert settings.solver_backend == spec.solver.backend
+
+
+class TestRegistry:
+    def test_paper_scenarios_registered(self):
+        assert set(scenario_names()) >= {
+            "test-a",
+            "test-b",
+            "niagara-arch1",
+            "niagara-arch2",
+            "niagara-arch3",
+        }
+
+    def test_get_unknown_scenario(self):
+        with pytest.raises(ValueError, match="registered scenarios"):
+            get_scenario("does-not-exist")
+
+    def test_register_refuses_silent_overwrite(self):
+        spec = get_scenario("test-a")
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(spec)
+        assert register_scenario(spec, overwrite=True) is spec
+
+    def test_resolve_accepts_spec_name_path_and_mapping(self, tmp_path):
+        spec = get_scenario("test-a")
+        assert resolve_scenario(spec) is spec
+        assert resolve_scenario("test-a") == spec
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        assert resolve_scenario(path) == spec
+        assert resolve_scenario(str(path)) == spec
+        assert resolve_scenario(spec.to_dict()) == spec
+
+    def test_resolve_rejects_garbage(self):
+        with pytest.raises(ValueError, match="neither a registered scenario"):
+            resolve_scenario("no-such-scenario-or-file")
+        with pytest.raises(TypeError, match="ScenarioSpec"):
+            resolve_scenario(42)

@@ -1,0 +1,152 @@
+"""Dedicated tests of :class:`repro.ice.transient.TransientSolver`.
+
+The transient solver was previously only exercised indirectly; these tests
+drive it directly with time-varying power schedules and pin its long-time
+behaviour to the steady-state solver (backward Euler's fixed point *is* the
+steady solution ``A T = b``, so the agreement should be tight, not loose).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_EXPERIMENT
+from repro.ice import (
+    SteadyStateSolver,
+    TransientSolver,
+    two_die_stack_from_maps,
+)
+
+
+def make_stack(top_flux=50.0, bottom_flux=50.0, n_cols=16, n_rows=2):
+    return two_die_stack_from_maps(
+        top_flux,
+        bottom_flux,
+        die_length=DEFAULT_EXPERIMENT.params.channel_length,
+        die_width=n_rows * DEFAULT_EXPERIMENT.params.channel_pitch,
+        config=DEFAULT_EXPERIMENT,
+        n_cols=n_cols,
+        n_rows=n_rows,
+    )
+
+
+class TestSteadyStateConvergence:
+    def test_converges_tightly_to_steady_solver(self):
+        """Long-time transient == SteadyStateSolver, layer by layer."""
+        stack = make_stack()
+        steady = SteadyStateSolver(stack).solve()
+        # Large steps are fine: backward Euler contracts toward the exact
+        # steady state regardless of dt.
+        transient = TransientSolver(stack).run(
+            duration=50.0, time_step=0.5, store_every=100
+        )
+        final = transient.final_maps()
+        for name in steady.layer_maps:
+            np.testing.assert_allclose(
+                final.layer(name), steady.layer(name), atol=1e-6
+            )
+
+    def test_time_step_only_affects_the_path_not_the_limit(self):
+        stack = make_stack()
+        coarse = TransientSolver(stack).run(duration=50.0, time_step=1.0)
+        fine = TransientSolver(stack).run(duration=50.0, time_step=0.25)
+        assert coarse.final_maps().peak_temperature() == pytest.approx(
+            fine.final_maps().peak_temperature(), abs=1e-6
+        )
+
+    def test_initial_condition_is_forgotten(self):
+        stack = make_stack()
+        cold = TransientSolver(stack).run(
+            duration=50.0, time_step=0.5, initial_temperature=280.0
+        )
+        hot = TransientSolver(stack).run(
+            duration=50.0, time_step=0.5, initial_temperature=350.0
+        )
+        assert cold.final_maps().peak_temperature() == pytest.approx(
+            hot.final_maps().peak_temperature(), abs=1e-6
+        )
+
+
+class TestTimeVaryingSchedule:
+    def test_step_schedule_lands_on_the_rescheduled_steady_state(self):
+        """After a power step, the transient settles on the *new* steady state."""
+        stack = make_stack(top_flux=50.0, bottom_flux=50.0)
+
+        def schedule(time):
+            # Double the top-die power after 0.1 s, for the rest of the run.
+            return {"top_die": 100.0} if time > 0.1 else {}
+
+        transient = TransientSolver(stack, power_schedule=schedule).run(
+            duration=50.0, time_step=0.5
+        )
+        stepped_stack = make_stack(top_flux=100.0, bottom_flux=50.0)
+        stepped_steady = SteadyStateSolver(stepped_stack).solve()
+        final = transient.final_maps()
+        for name in stepped_steady.layer_maps:
+            np.testing.assert_allclose(
+                final.layer(name), stepped_steady.layer(name), atol=1e-6
+            )
+
+    def test_scalar_and_map_schedules_are_equivalent(self):
+        stack = make_stack()
+        full_map = np.full((stack.n_rows, stack.n_cols), 75.0)
+        scalar = TransientSolver(
+            stack, power_schedule=lambda t: {"top_die": 75.0}
+        ).run(duration=0.2, time_step=0.02)
+        mapped = TransientSolver(
+            stack, power_schedule=lambda t: {"top_die": full_map}
+        ).run(duration=0.2, time_step=0.02)
+        np.testing.assert_allclose(
+            scalar.layer_histories["top_die"],
+            mapped.layer_histories["top_die"],
+            atol=1e-9,
+        )
+
+    def test_square_wave_heats_and_cools(self):
+        stack = make_stack()
+
+        def square_wave(time):
+            # 0.1 s period, top die on for the first half of each period.
+            return {} if (time % 0.1) < 0.05 else {"top_die": 0.0}
+
+        transient = TransientSolver(stack, power_schedule=square_wave).run(
+            duration=0.3, time_step=0.005
+        )
+        peaks = transient.peak_history("top_die")
+        deltas = np.diff(peaks)
+        assert np.any(deltas > 1e-6) and np.any(deltas < -1e-6)
+
+    def test_rejects_wrong_shape_schedule_map(self):
+        stack = make_stack()
+        bad = np.zeros((stack.n_rows + 1, stack.n_cols))
+        solver = TransientSolver(stack, power_schedule=lambda t: {"top_die": bad})
+        with pytest.raises(ValueError, match="shape"):
+            solver.run(duration=0.01, time_step=0.005)
+
+    def test_rejects_unknown_layer_in_schedule(self):
+        stack = make_stack()
+        solver = TransientSolver(
+            stack, power_schedule=lambda t: {"nonexistent": 1.0}
+        )
+        with pytest.raises(KeyError):
+            solver.run(duration=0.01, time_step=0.005)
+
+
+class TestBookkeeping:
+    def test_store_every_bounds_snapshots(self):
+        stack = make_stack(n_cols=10, n_rows=1)
+        result = TransientSolver(stack).run(
+            duration=0.1, time_step=0.01, store_every=5
+        )
+        # Initial state + every 5th step (steps 5 and 10).
+        assert result.times.size == 3
+        assert result.n_steps == 2
+        assert result.times[0] == 0.0
+        assert result.times[-1] == pytest.approx(0.1)
+
+    def test_metadata_records_integration_settings(self):
+        stack = make_stack(n_cols=10, n_rows=1)
+        result = TransientSolver(stack).run(duration=0.05, time_step=0.01)
+        assert result.metadata["n_steps"] == 5
+        assert result.metadata["time_step"] == pytest.approx(0.01)

@@ -13,7 +13,6 @@ from repro.floorplan.workloads import (
     random_die_maps,
     test_a_structure as build_test_a_structure,
     test_b_fluxes as build_test_b_fluxes,
-    test_b_structure as build_test_b_structure,
     uniform_die_maps,
 )
 
