@@ -244,7 +244,13 @@ class FDMSimulator:
 
 
 class ICESimulator:
-    """The finite-volume (3D-ICE-like) path behind the simulator protocol."""
+    """The finite-volume (3D-ICE-like) path behind the simulator protocol.
+
+    The steady solve goes through the pluggable linear-solver backends of
+    :mod:`repro.thermal.backends`, selected by the scenario's
+    ``solver.backend`` field (the same field the FDM path uses), so
+    repeated runs of an unchanged stack reuse the cached factorization.
+    """
 
     name = "ice"
 
@@ -252,7 +258,8 @@ class ICESimulator:
         spec = resolve_scenario(spec)
         stack = spec.build_stack()
         start = time.perf_counter()
-        maps = SteadyStateSolver(stack).solve()
+        solver = SteadyStateSolver(stack, backend=spec.solver.backend)
+        maps = solver.solve()
         wall_time = time.perf_counter() - start
         config = spec.experiment_config()
         # The cavity's pressure drop is a property of the channel design,
@@ -277,7 +284,9 @@ class ICESimulator:
             max_pressure_drop_Pa=float(np.max(drops)),
             wall_time_s=wall_time,
             provenance={
-                "backend": str(maps.metadata.get("solver", "ice-steady")),
+                "backend": str(maps.metadata.get("backend", "auto")),
+                "solver": str(maps.metadata.get("solver", "ice-steady")),
+                "assembly": str(maps.metadata.get("assembly", "vectorized")),
                 "grid": list(maps.metadata.get("grid", ())),
                 "n_unknowns": maps.metadata.get("n_unknowns"),
                 "residual_norm": maps.metadata.get("residual_norm"),

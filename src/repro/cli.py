@@ -24,12 +24,20 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import Dict, List, Optional
 
 from .api import Session
 from .scenarios import SCENARIOS, ScenarioSpec, resolve_scenario
 
 __all__ = ["main", "build_parser"]
+
+
+def _time_once(function) -> float:
+    """Wall time of one call (seconds)."""
+    start = time.perf_counter()
+    function()
+    return time.perf_counter() - start
 
 
 def _emit(payload: Dict[str, object], args: argparse.Namespace) -> None:
@@ -43,9 +51,16 @@ def _emit(payload: Dict[str, object], args: argparse.Namespace) -> None:
         print(text)
 
 
-def _resolve(argument: str) -> ScenarioSpec:
-    """Resolve a CLI scenario argument (registered name or JSON file)."""
-    return resolve_scenario(argument)
+def _resolve(argument: str, backend: Optional[str] = None) -> ScenarioSpec:
+    """Resolve a CLI scenario argument (registered name or JSON file).
+
+    ``backend`` (from ``--backend``) overrides the spec's linear-solver
+    backend for both the FDM and the finite-volume solve paths.
+    """
+    spec = resolve_scenario(argument)
+    if backend:
+        spec = spec.with_solver(backend=backend)
+    return spec
 
 
 def _print_metrics(prefix: str, payload: Dict[str, object]) -> None:
@@ -96,7 +111,7 @@ def cmd_show(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     """``repro run`` -- simulate a scenario through one simulator family."""
-    spec = _resolve(args.scenario)
+    spec = _resolve(args.scenario, getattr(args, "backend", None))
     result = Session().run(spec, solver=args.solver)
     payload = result.to_dict()
     if args.json or args.output:
@@ -110,7 +125,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_validate(args: argparse.Namespace) -> int:
     """``repro validate`` -- cross-validate FDM against the ICE solver."""
-    spec = _resolve(args.scenario)
+    spec = _resolve(args.scenario, getattr(args, "backend", None))
     report = Session().cross_validate(spec)
     payload = report.to_dict()
     if args.json or args.output:
@@ -144,11 +159,59 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ice_bench_record(spec: ScenarioSpec) -> Dict[str, object]:
+    """Finite-volume benchmark record: vectorized vs loop assembly + solve."""
+    from .ice import SteadyStateSolver, assemble_system, assemble_system_loop
+
+    stack = spec.build_stack()
+    assemble_system(stack)  # warm the stack-pattern cache
+    vectorized_s = _time_once(lambda: assemble_system(stack))
+    loop_s = _time_once(lambda: assemble_system_loop(stack))
+    solver = SteadyStateSolver(stack, backend=spec.solver.backend)
+    cold_solve_s = _time_once(lambda: solver.solve(compute_residual=False))
+    warm_solve_s = _time_once(lambda: solver.solve(compute_residual=False))
+    return {
+        "simulator": "ice",
+        "backend": solver.backend.name,
+        "grid": [stack.n_rows, stack.n_cols],
+        "n_unknowns": solver.system.n_unknowns,
+        "assembly_vectorized_s": vectorized_s,
+        "assembly_loop_s": loop_s,
+        "assembly_speedup": loop_s / vectorized_s,
+        "solve_cold_s": cold_solve_s,
+        "solve_warm_s": warm_solve_s,
+    }
+
+
+def _gradient_bench_record(spec: ScenarioSpec) -> Dict[str, object]:
+    """Optimizer-gradient record: one batched SLSQP gradient evaluation.
+
+    Uses a private designer (and hence a private engine) so the session
+    statistics of the repeated runs stay untouched.
+    """
+    from .core.designer import ChannelModulationDesigner
+
+    designer = ChannelModulationDesigner.from_spec(spec)
+    optimizer = designer.optimizer
+    midpoint = optimizer.parameterization.midpoint_vector()
+    optimizer.engine.reset_stats()
+    batched_s = _time_once(lambda: optimizer.cost_gradient(midpoint))
+    stats = optimizer.engine.stats()
+    return {
+        "n_variables": int(optimizer.parameterization.n_variables),
+        "n_workers": int(optimizer.settings.n_workers),
+        "batched_gradient_s": batched_s,
+        "solves_per_iterate": stats["n_solves"],
+        "solve_many_calls": stats["n_batches"],
+        "batch_items": stats["n_batch_items"],
+    }
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
-    """``repro bench`` -- repeated runs: wall times and cache behaviour."""
+    """``repro bench`` -- repeated runs, finite-volume and gradient records."""
     if args.repeat < 1:
         raise ValueError("--repeat must be at least 1")
-    spec = _resolve(args.scenario)
+    spec = _resolve(args.scenario, getattr(args, "backend", None))
     session = Session()
     wall_times: List[float] = []
     last = None
@@ -166,6 +229,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "metrics": last.summary(),
         "provenance": last.provenance,
         "session": session.stats(),
+        "ice": _ice_bench_record(spec),
+        "optimizer_gradient": _gradient_bench_record(spec),
     }
     if args.json or args.output:
         _emit(payload, args)
@@ -181,6 +246,22 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 f"{stats['n_cache_hits']} cache hits "
                 f"(hit rate {stats['hit_rate']:.0%})"
             )
+        ice = payload["ice"]
+        print(
+            f"  ice assembly {ice['grid'][0]}x{ice['grid'][1]}: "
+            f"loop {ice['assembly_loop_s'] * 1e3:.2f} ms, vectorized "
+            f"{ice['assembly_vectorized_s'] * 1e3:.2f} ms "
+            f"({ice['assembly_speedup']:.0f}x), solve cold "
+            f"{ice['solve_cold_s'] * 1e3:.2f} ms / warm "
+            f"{ice['solve_warm_s'] * 1e3:.2f} ms [{ice['backend']}]"
+        )
+        gradient = payload["optimizer_gradient"]
+        print(
+            f"  gradient: {gradient['n_variables']} variables, "
+            f"{gradient['solves_per_iterate']} solves in "
+            f"{gradient['solve_many_calls']} solve_many call(s), "
+            f"{gradient['batched_gradient_s'] * 1e3:.2f} ms"
+        )
     return 0
 
 
@@ -200,6 +281,19 @@ def _add_output_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--output", metavar="FILE", help="also write the JSON payload to FILE"
+    )
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        metavar="NAME",
+        default=None,
+        help=(
+            "linear-solver backend for both solve paths (auto, sparse-lu, "
+            "sparse-iterative, dense, or a custom registered name; default: "
+            "the scenario's own)"
+        ),
     )
 
 
@@ -237,6 +331,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="simulator family (default: the scenario's own)",
     )
+    _add_backend_argument(run_parser)
     _add_output_arguments(run_parser)
     run_parser.set_defaults(func=cmd_run)
 
@@ -244,6 +339,7 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="cross-validate the FDM and ICE simulators"
     )
     _add_scenario_argument(validate_parser)
+    _add_backend_argument(validate_parser)
     _add_output_arguments(validate_parser)
     validate_parser.set_defaults(func=cmd_validate)
 
@@ -267,6 +363,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--solver", choices=("fdm", "ice"), default=None
     )
     bench_parser.add_argument("--repeat", type=int, default=3)
+    _add_backend_argument(bench_parser)
     _add_output_arguments(bench_parser)
     bench_parser.set_defaults(func=cmd_bench)
 

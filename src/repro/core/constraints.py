@@ -60,6 +60,10 @@ class PressureConstraints:
         the relaxed form).
     n_samples:
         Sample count of the trapezoidal pressure integral.
+    jacobian_step:
+        Forward-difference step of the explicit constraint Jacobians
+        (:meth:`margin_jacobian`, :meth:`balance_jacobian`); matches
+        SciPy's default derivative step.
     """
 
     parameterization: WidthParameterization
@@ -70,6 +74,7 @@ class PressureConstraints:
     enforce_equal_pressure: bool = True
     equal_pressure_tolerance: float = 0.05
     n_samples: int = 513
+    jacobian_step: float = float(np.sqrt(np.finfo(float).eps))
 
     def __post_init__(self) -> None:
         if self.flow_rate <= 0.0:
@@ -133,7 +138,42 @@ class PressureConstraints:
         """``1 - dP_i / dP_max`` per lane; non-negative when feasible."""
         return 1.0 - self.pressure_drops(vector) / self.max_pressure_drop
 
-    def as_scipy_constraints(self) -> List[Dict]:
+    def _balance(self, vector: np.ndarray) -> float:
+        """``tolerance - imbalance``; non-negative when hydraulically balanced."""
+        return self.equal_pressure_tolerance - self.imbalance(vector)
+
+    def _finite_difference_jacobian(self, function, vector: np.ndarray) -> np.ndarray:
+        """Forward-difference Jacobian of a constraint function.
+
+        The step direction flips to backward at the upper box bound so
+        evaluations stay inside the feasible hypercube.  Constraint
+        evaluations are pure hydraulics (no thermal solve), so the n+1
+        evaluations are cheap relative to one gradient batch.
+        """
+        vector = np.asarray(vector, dtype=float)
+        base = np.atleast_1d(np.asarray(function(vector), dtype=float))
+        jacobian = np.empty((base.size, vector.size))
+        for variable in range(vector.size):
+            step = (
+                self.jacobian_step
+                if vector[variable] + self.jacobian_step <= 1.0
+                else -self.jacobian_step
+            )
+            perturbed = vector.copy()
+            perturbed[variable] += step
+            shifted = np.atleast_1d(np.asarray(function(perturbed), dtype=float))
+            jacobian[:, variable] = (shifted - base) / step
+        return jacobian
+
+    def margin_jacobian(self, vector: np.ndarray) -> np.ndarray:
+        """Jacobian of the Eq. (9) normalized margins, shape ``(n_lanes, n)``."""
+        return self._finite_difference_jacobian(self._normalized_margin, vector)
+
+    def balance_jacobian(self, vector: np.ndarray) -> np.ndarray:
+        """Gradient of the Eq. (10) balance constraint, shape ``(n,)``."""
+        return self._finite_difference_jacobian(self._balance, vector)[0]
+
+    def as_scipy_constraints(self, with_jacobians: bool = False) -> List[Dict]:
         """Constraint dictionaries for :func:`scipy.optimize.minimize` (SLSQP).
 
         The Eq. (9) limit becomes one vector-valued inequality (one entry
@@ -143,20 +183,25 @@ class PressureConstraints:
         while the relaxed form keeps designs hydraulically balanced to
         within ``equal_pressure_tolerance`` of the allowed budget (the
         benchmarks report the achieved imbalance).
+
+        With ``with_jacobians=True`` each dictionary carries an explicit
+        ``jac`` entry, so SLSQP never falls back to its internal
+        finite differences for the constraints (used together with the
+        optimizer's batched cost gradient).
         """
         constraints: List[Dict] = [
             {"type": "ineq", "fun": self._normalized_margin}
         ]
+        if with_jacobians:
+            constraints[0]["jac"] = self.margin_jacobian
         multi_lane = (
             self.parameterization.n_lanes > 1 and not self.parameterization.shared
         )
         if self.enforce_equal_pressure and multi_lane:
-            tolerance = self.equal_pressure_tolerance
-
-            def balance(vector: np.ndarray) -> float:
-                return tolerance - self.imbalance(vector)
-
-            constraints.append({"type": "ineq", "fun": balance})
+            balance: Dict = {"type": "ineq", "fun": self._balance}
+            if with_jacobians:
+                balance["jac"] = self.balance_jacobian
+            constraints.append(balance)
         return constraints
 
     def summary(self, vector: np.ndarray) -> Dict[str, float]:

@@ -77,6 +77,8 @@ class EvaluationEngine:
         self.n_cache_misses = 0
         self.n_evictions = 0
         self.n_uncacheable = 0
+        self.n_batches = 0
+        self.n_batch_items = 0
 
     # -- cache keys ---------------------------------------------------------
 
@@ -209,53 +211,63 @@ class EvaluationEngine:
     ) -> List[ThermalSolution]:
         """Solve a batch of structures, deduplicated and optionally parallel.
 
-        Duplicate cacheable candidates (same fingerprint) are solved once;
-        all outstanding solves -- cacheable misses and uncacheable
-        (callable-profile) structures alike -- are fanned out over a
-        thread pool when the engine was created with ``n_workers > 1``.
-        Results come back in input order.
+        Already-cached candidates are gathered up front (one cache hit per
+        item); duplicate cacheable candidates (same fingerprint) are solved
+        once and shared across their batch positions without extra cache
+        traffic; all outstanding solves -- cacheable misses and uncacheable
+        (callable-profile) structures alike -- are fanned out over a thread
+        pool when the engine was created with ``n_workers > 1``.  Each task
+        returns its solution directly, so the gather phase never re-derives
+        keys or re-enters :meth:`solve` (a solution evicted mid-batch is
+        not silently solved twice).  Results come back in input order.
         """
         keys = [
             self._derive_key(structure, n_points, solver_kwargs)
             for structure in structures
         ]
         results: List[Optional[ThermalSolution]] = [None] * len(structures)
-        pending: Dict[Hashable, object] = {}
+        pending: "Dict[Hashable, List[int]]" = {}
         uncacheable: List[int] = []
-        for index, (structure, key) in enumerate(zip(structures, keys)):
+        with self._lock:
+            self.n_batches += 1
+            self.n_batch_items += len(structures)
+        for index, key in enumerate(keys):
             if key is None:
                 uncacheable.append(index)
                 continue
             with self._lock:
-                if key in self._cache:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache.move_to_end(key)
+                    self.n_cache_hits += 1
+                    results[index] = cached
                     continue
-            pending.setdefault(key, structure)
+            pending.setdefault(key, []).append(index)
 
-        def solve_cacheable(item):
-            key, structure = item
-            self.solve(structure, n_points=n_points, key=key, **solver_kwargs)
+        def solve_pending(item):
+            key, indices = item
+            solution = self.solve(
+                structures[indices[0]], n_points=n_points, key=key, **solver_kwargs
+            )
+            return indices, solution
 
         def solve_uncacheable(index):
-            results[index] = self.solve(
+            solution = self.solve(
                 structures[index], n_points=n_points, key=None, **solver_kwargs
             )
+            return [index], solution
 
-        tasks = [lambda item=item: solve_cacheable(item) for item in pending.items()]
+        tasks = [lambda item=item: solve_pending(item) for item in pending.items()]
         tasks += [lambda index=index: solve_uncacheable(index) for index in uncacheable]
         if self.n_workers > 1 and len(tasks) > 1:
             with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
-                list(pool.map(lambda task: task(), tasks))
+                outcomes = list(pool.map(lambda task: task(), tasks))
         else:
-            for task in tasks:
-                task()
-        return [
-            results[index]
-            if key is None
-            else self.solve(
-                structures[index], n_points=n_points, key=key, **solver_kwargs
-            )
-            for index, key in enumerate(keys)
-        ]
+            outcomes = [task() for task in tasks]
+        for indices, solution in outcomes:
+            for index in indices:
+                results[index] = solution
+        return results
 
     # -- management ---------------------------------------------------------
 
@@ -272,6 +284,8 @@ class EvaluationEngine:
             self.n_cache_misses = 0
             self.n_evictions = 0
             self.n_uncacheable = 0
+            self.n_batches = 0
+            self.n_batch_items = 0
 
     @property
     def cache_len(self) -> int:
@@ -295,6 +309,8 @@ class EvaluationEngine:
                 "n_cache_misses": self.n_cache_misses,
                 "n_evictions": self.n_evictions,
                 "n_uncacheable": self.n_uncacheable,
+                "n_batches": self.n_batches,
+                "n_batch_items": self.n_batch_items,
                 "hit_rate": (self.n_cache_hits / lookups) if lookups else 0.0,
             }
 

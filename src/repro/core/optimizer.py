@@ -9,20 +9,31 @@ and the resulting finite-dimensional nonlinear program
                                 dP_i(x) = dP_j(x)
 
 is handed to a gradient-based NLP solver.  The paper leaves the choice of
-NLP solver open; we use SciPy's SLSQP (with finite-difference gradients) and
-optionally refine from several starting points, which is sufficient for the
-problem sizes of the paper's experiments.
+NLP solver open; we use SciPy's SLSQP and optionally refine from several
+starting points, which is sufficient for the problem sizes of the paper's
+experiments.
 
-The expensive part of every evaluation is the steady-state thermal solve, so
-evaluations are memoized on the decision vector; SLSQP evaluates the cost
-and the constraints at the same iterates, and the cache removes the
-redundant solves.
+The expensive part of every evaluation is the steady-state thermal solve.
+Two mechanisms keep that cost down:
+
+* solutions are memoized on the design fingerprint in the evaluation
+  engine's LRU cache, so SLSQP's repeated cost/constraint evaluations at
+  one iterate reuse one solve; and
+* instead of SLSQP's *internal* finite differences (``n_variables + 1``
+  strictly sequential solves per gradient), the optimizer hands SLSQP an
+  explicit ``jac`` that evaluates all ``n + 1`` perturbed designs in a
+  single :meth:`~repro.core.engine.EvaluationEngine.solve_many` batch --
+  deduplicated against the cache and fanned out over the engine's thread
+  pool -- plus explicit (cheap, hydraulics-only) constraint Jacobians.
+  Multistart restarts likewise run concurrently off the shared engine when
+  ``n_workers > 1``.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import optimize
@@ -63,7 +74,14 @@ class OptimizerSettings:
     tolerance:
         SLSQP convergence tolerance (on the scaled cost).
     finite_difference_step:
-        Relative step of the finite-difference gradients.
+        Step of the finite-difference cost gradients (applied to the
+        normalized decision variables in [0, 1]).
+    use_batched_gradients:
+        Evaluate the cost gradient as one batched ``solve_many`` call (all
+        ``n + 1`` perturbed designs at once, parallel across ``n_workers``)
+        and hand SLSQP explicit cost/constraint Jacobians.  False restores
+        SLSQP's internal sequential finite differences (kept as the
+        benchmark baseline).
     multistart:
         Number of starting points.  The first start is always the uniform
         mid-width design; additional starts interpolate between the uniform
@@ -91,6 +109,7 @@ class OptimizerSettings:
     max_iterations: int = 80
     tolerance: float = 1e-8
     finite_difference_step: float = 1e-3
+    use_batched_gradients: bool = True
     multistart: int = 1
     enforce_equal_pressure: bool = True
     equal_pressure_tolerance: float = 0.05
@@ -223,6 +242,52 @@ class ChannelModulationOptimizer:
             return value
         return value / self._cost_scale
 
+    # -- batched gradients -------------------------------------------------------------
+
+    def gradient_points(
+        self, vector: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The forward-difference stencil around a decision vector.
+
+        Returns ``(steps, points)`` where ``points[i]`` perturbs component
+        ``i`` of ``vector`` by ``steps[i]``; the step flips to backward at
+        the upper box bound so every evaluated design stays inside the
+        fabrication limits.
+        """
+        vector = np.asarray(vector, dtype=float)
+        step = float(self.settings.finite_difference_step)
+        steps = np.where(vector + step <= 1.0, step, -step)
+        points = vector[None, :] + np.diag(steps)
+        return steps, points
+
+    def cost_gradient(self, vector: np.ndarray) -> np.ndarray:
+        """Finite-difference gradient of the (unscaled) objective.
+
+        All ``n_variables + 1`` designs of the stencil (the base point plus
+        one perturbation per variable) are solved in a *single*
+        :meth:`~repro.core.engine.EvaluationEngine.solve_many` batch:
+        duplicates and already-cached designs (typically the base point,
+        which SLSQP just evaluated) cost nothing, and the remaining solves
+        run in parallel across the engine's ``n_workers`` threads.
+        """
+        vector = np.asarray(vector, dtype=float)
+        steps, points = self.gradient_points(vector)
+        candidates = [self.candidate_structure(vector)] + [
+            self.candidate_structure(point) for point in points
+        ]
+        solutions = self.engine.solve_many(
+            candidates, n_points=self.settings.n_grid_points
+        )
+        values = np.array([float(self._objective(s)) for s in solutions])
+        return (values[1:] - values[0]) / steps
+
+    def _scaled_cost_gradient(self, vector: np.ndarray) -> np.ndarray:
+        """Gradient of :meth:`_scaled_cost` (the ``jac`` handed to SLSQP)."""
+        gradient = self.cost_gradient(vector)
+        if self._cost_scale is None or self._cost_scale == 0.0:
+            return gradient
+        return gradient / self._cost_scale
+
     def evaluate_design(
         self, profiles: Sequence[WidthProfile], label: str
     ) -> DesignEvaluation:
@@ -310,6 +375,57 @@ class ChannelModulationOptimizer:
                 low = mid
         return (1.0 - high) * vector + high * widest
 
+    # -- single SLSQP run --------------------------------------------------------------
+
+    def _minimize_from_start(
+        self,
+        start: np.ndarray,
+        constraints: List[dict],
+        bounds: List[Tuple[float, float]],
+        callback: Optional[Callable[[np.ndarray], None]],
+    ) -> Tuple[OptimizationTrace, np.ndarray, float, bool]:
+        """One SLSQP run from one starting point.
+
+        Returns ``(trace, repaired vector, cost, feasible)``.  Thread-safe
+        against concurrent runs sharing the evaluation engine, so the
+        multistart schedule can fan restarts out over a thread pool.
+        """
+        trace = OptimizationTrace()
+
+        def record(vector: np.ndarray) -> None:
+            solution = self.solve_candidate(vector)
+            trace.record(self._objective(solution), solution.thermal_gradient)
+            if callback is not None:
+                callback(vector)
+
+        jacobian = (
+            self._scaled_cost_gradient
+            if self.settings.use_batched_gradients
+            else None
+        )
+        result = optimize.minimize(
+            self._scaled_cost,
+            start,
+            method="SLSQP",
+            jac=jacobian,
+            bounds=bounds,
+            constraints=constraints,
+            callback=record,
+            options={
+                "maxiter": self.settings.max_iterations,
+                "ftol": self.settings.tolerance,
+                "eps": self.settings.finite_difference_step,
+            },
+        )
+        trace.converged = bool(result.success)
+        trace.message = str(result.message)
+        trace.n_evaluations = int(result.get("nfev", 0))
+        candidate_vector = np.clip(np.asarray(result.x, dtype=float), 0.0, 1.0)
+        candidate_vector = self._repair_feasibility(candidate_vector)
+        candidate_cost = self.cost(candidate_vector)
+        feasible = self.pressure.is_feasible(candidate_vector, slack=1e-2)
+        return trace, candidate_vector, candidate_cost, feasible
+
     # -- main entry point ----------------------------------------------------------------
 
     def optimize(
@@ -319,6 +435,13 @@ class ChannelModulationOptimizer:
     ) -> ModulationResult:
         """Run the direct sequential optimization and return the full result.
 
+        With ``settings.multistart > 1`` and ``settings.n_workers > 1`` the
+        SLSQP restarts run concurrently off the shared evaluation engine
+        (one thread per start, solutions deduplicated through the engine's
+        LRU cache); the best feasible optimum is selected deterministically
+        in start order, so concurrent and sequential schedules return the
+        same design.
+
         Parameters
         ----------
         initial_vector:
@@ -327,6 +450,8 @@ class ChannelModulationOptimizer:
         callback:
             Optional callable invoked with the decision vector at every
             accepted SLSQP iterate (after the built-in trace recording).
+            With concurrent restarts the callback may be invoked from
+            several worker threads.
         """
         geometry = self.structure.geometry
         minimum = self.evaluate_uniform(geometry.min_width, "uniform minimum")
@@ -346,46 +471,36 @@ class ChannelModulationOptimizer:
             if initial_vector is not None
             else self._starting_points()
         )
+
+        constraints = self.pressure.as_scipy_constraints(
+            with_jacobians=self.settings.use_batched_gradients
+        )
+        bounds = [(0.0, 1.0)] * self.parameterization.n_variables
         if len(starts) > 1 and self.settings.n_workers > 1:
-            # Warm the solution cache for every starting point in parallel
-            # before the (sequential) SLSQP runs consume them.
+            # Warm the solution cache for every starting point in one batch,
+            # then run the SLSQP restarts concurrently off the shared engine.
             self.evaluate_candidates(starts)
+            with ThreadPoolExecutor(
+                max_workers=min(self.settings.n_workers, len(starts))
+            ) as pool:
+                runs = list(
+                    pool.map(
+                        lambda start: self._minimize_from_start(
+                            start, constraints, bounds, callback
+                        ),
+                        starts,
+                    )
+                )
+        else:
+            runs = [
+                self._minimize_from_start(start, constraints, bounds, callback)
+                for start in starts
+            ]
 
         best_vector: Optional[np.ndarray] = None
         best_cost = np.inf
         best_trace = OptimizationTrace()
-        constraints = self.pressure.as_scipy_constraints()
-        bounds = [(0.0, 1.0)] * self.parameterization.n_variables
-
-        for start in starts:
-            trace = OptimizationTrace()
-
-            def record(vector: np.ndarray, trace=trace) -> None:
-                solution = self.solve_candidate(vector)
-                trace.record(self._objective(solution), solution.thermal_gradient)
-                if callback is not None:
-                    callback(vector)
-
-            result = optimize.minimize(
-                self._scaled_cost,
-                start,
-                method="SLSQP",
-                bounds=bounds,
-                constraints=constraints,
-                callback=record,
-                options={
-                    "maxiter": self.settings.max_iterations,
-                    "ftol": self.settings.tolerance,
-                    "eps": self.settings.finite_difference_step,
-                },
-            )
-            trace.converged = bool(result.success)
-            trace.message = str(result.message)
-            trace.n_evaluations = int(result.get("nfev", 0))
-            candidate_vector = np.clip(np.asarray(result.x, dtype=float), 0.0, 1.0)
-            candidate_vector = self._repair_feasibility(candidate_vector)
-            candidate_cost = self.cost(candidate_vector)
-            feasible = self.pressure.is_feasible(candidate_vector, slack=1e-2)
+        for trace, candidate_vector, candidate_cost, feasible in runs:
             if feasible and candidate_cost < best_cost:
                 best_cost = candidate_cost
                 best_vector = candidate_vector

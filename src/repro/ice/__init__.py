@@ -9,9 +9,19 @@ analytical model and rendering the full-die thermal maps of Figs. 1 and 9.
 
 from .stack import CavityLayer, LayerStack, SolidLayer
 from .results import ThermalMapResult, TransientResult
-from .solver import AssembledSystem, SteadyStateSolver
+from .solver import (
+    AssembledSystem,
+    StackPattern,
+    SteadyStateSolver,
+    assemble_system,
+    assemble_system_loop,
+    clear_stack_pattern_cache,
+    stack_pattern_cache_info,
+)
 from .transient import TransientSolver
 from .builders import (
+    multi_die_stack_from_architecture,
+    multi_die_stack_from_maps,
     two_die_stack_from_architecture,
     two_die_stack_from_floorplans,
     two_die_stack_from_maps,
@@ -25,8 +35,15 @@ __all__ = [
     "ThermalMapResult",
     "TransientResult",
     "AssembledSystem",
+    "StackPattern",
     "SteadyStateSolver",
     "TransientSolver",
+    "assemble_system",
+    "assemble_system_loop",
+    "clear_stack_pattern_cache",
+    "stack_pattern_cache_info",
+    "multi_die_stack_from_architecture",
+    "multi_die_stack_from_maps",
     "two_die_stack_from_architecture",
     "two_die_stack_from_floorplans",
     "two_die_stack_from_maps",

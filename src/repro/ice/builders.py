@@ -23,6 +23,8 @@ __all__ = [
     "two_die_stack_from_maps",
     "two_die_stack_from_floorplans",
     "two_die_stack_from_architecture",
+    "multi_die_stack_from_maps",
+    "multi_die_stack_from_architecture",
 ]
 
 
@@ -73,6 +75,94 @@ def two_die_stack_from_maps(
         n_cols=n_cols,
         n_rows=n_rows,
         ambient_temperature=params.inlet_temperature,
+    )
+
+
+def multi_die_stack_from_maps(
+    flux_maps_w_per_cm2: Sequence[Union[float, np.ndarray]],
+    die_length: float,
+    die_width: float,
+    *,
+    config: ExperimentConfig = DEFAULT_EXPERIMENT,
+    n_cols: int = 50,
+    n_rows: int = 55,
+    width_profile: Union[WidthProfile, Sequence[WidthProfile], None] = None,
+) -> LayerStack:
+    """A stack of N active dies with a microchannel cavity between each pair.
+
+    ``flux_maps_w_per_cm2`` lists one heat-flux map (or uniform scalar) per
+    die, bottom-up; a 4-entry list produces the 4-die / 3-cavity stacks of
+    the Fig. 7 Niagara experiments.  Every cavity shares the channel
+    geometry, coolant, flow rate and (optional) width profile.
+    """
+    if len(flux_maps_w_per_cm2) < 2:
+        raise ValueError("a multi-die stack needs at least two dies")
+    params = config.params
+    layers: list = []
+    for die_index, flux in enumerate(flux_maps_w_per_cm2):
+        if die_index > 0:
+            layers.append(
+                CavityLayer(
+                    name=f"cavity_{die_index - 1}",
+                    channel_height=params.channel_height,
+                    channel_pitch=params.channel_pitch,
+                    width_profile=width_profile,
+                    flow_rate_per_channel=params.flow_rate_per_channel,
+                    coolant=params.coolant,
+                    inlet_temperature=params.inlet_temperature,
+                    wall_material=params.silicon,
+                )
+            )
+        layers.append(
+            SolidLayer(
+                name=f"die_{die_index}",
+                material=params.silicon,
+                thickness=params.silicon_height,
+                heat_source=flux,
+            )
+        )
+    return LayerStack(
+        die_length=die_length,
+        die_width=die_width,
+        layers=layers,
+        n_cols=n_cols,
+        n_rows=n_rows,
+        ambient_temperature=params.inlet_temperature,
+    )
+
+
+def multi_die_stack_from_architecture(
+    architecture: Architecture,
+    n_dies: int = 4,
+    scenario: PowerScenario = "peak",
+    *,
+    config: ExperimentConfig = DEFAULT_EXPERIMENT,
+    n_cols: int = 50,
+    n_rows: int = 55,
+    width_profile: Union[WidthProfile, Sequence[WidthProfile], None] = None,
+) -> LayerStack:
+    """An N-die stacking that alternates an architecture's two die maps.
+
+    Extends the paper's two-die template (Fig. 7) to taller stacks by
+    repeating the bottom/top die floorplans bottom-up, with one cavity
+    between every pair of dies -- the shape used by the finite-volume
+    scaling benchmarks and the 4-die equivalence tests.
+    """
+    if n_dies < 2:
+        raise ValueError("a multi-die stack needs at least two dies")
+    maps = [
+        (architecture.bottom_die if die % 2 == 0 else architecture.top_die)
+        .power_density_map(n_cols, n_rows, scenario)
+        for die in range(n_dies)
+    ]
+    return multi_die_stack_from_maps(
+        maps,
+        architecture.bottom_die.die_length,
+        architecture.bottom_die.die_width,
+        config=config,
+        n_cols=n_cols,
+        n_rows=n_rows,
+        width_profile=width_profile,
     )
 
 

@@ -17,23 +17,147 @@ into ``n_rows x n_cols`` cells and assembles one energy balance per cell:
   the coolant is the only heat sink.
 
 This mirrors the structure of the 3D-ICE compact model used by the paper
-for validation and map rendering while remaining a few hundred lines of
-Python.  The resulting sparse linear system is solved with SuperLU.
+for validation and map rendering.
+
+Two assembly routes are provided, mirroring :mod:`repro.thermal.assembly`:
+
+* :func:`assemble_system` (the default ``AssembledSystem(stack)``) -- the
+  production path.  All coefficient (COO) triplets are produced with
+  vectorized NumPy operations in the exact emission order of the reference
+  loop (including the vectorized Shah & London ``heat_transfer_coefficient``
+  over the per-cell channel widths), and the sparsity structure -- which
+  depends only on the stack shape, the layer kinds and the zero-coefficient
+  mask -- is folded once per shape and cached as a :class:`StackPattern`.
+  Repeated assemblies of the same stack shape (width sweeps, an optimizer
+  in the loop, transient re-runs) only recompute the coefficient values.
+* :func:`assemble_system_loop` -- the original triple-nested Python-loop
+  assembly, kept verbatim as the reference implementation for the
+  equivalence test suite and the scaling benchmark.
+
+Both routes produce bit-identical matrices, right-hand sides and
+capacitance vectors (the equivalence suite asserts exact equality).  The
+linear systems are solved through the pluggable backends of
+:mod:`repro.thermal.backends` (SuperLU with factorization reuse by
+default), selected per solver via the ``backend`` argument.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple, Union
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 from scipy import sparse
-from scipy.sparse.linalg import spsolve
 
 from ..thermal import correlations
+from ..thermal.backends import SolverBackend, resolve_backend
 from .results import ThermalMapResult
 from .stack import CavityLayer, LayerStack, SolidLayer
 
-__all__ = ["SteadyStateSolver", "AssembledSystem"]
+__all__ = [
+    "AssembledSystem",
+    "StackPattern",
+    "SteadyStateSolver",
+    "assemble_system",
+    "assemble_system_loop",
+    "clear_stack_pattern_cache",
+    "stack_pattern_cache_info",
+]
+
+#: Assembly routes accepted by :class:`AssembledSystem`.
+ASSEMBLY_MODES: Tuple[str, ...] = ("vectorized", "loop")
+
+
+class StackPattern:
+    """Precomputed sparsity fold of the finite-volume system for one shape.
+
+    The pattern owns the canonical CSR index arrays and the scatter map
+    from raw COO entry order to CSR data slots, so refreshing a system for
+    new channel widths or heat maps is a single :func:`numpy.add.at` into a
+    preallocated data array -- no sorting, no duplicate folding, and a
+    bit-identical structure across solves (which the solver backends use to
+    recognize repeated matrices and reuse factorizations).
+    """
+
+    def __init__(
+        self, token: tuple, rows: np.ndarray, cols: np.ndarray, n_unknowns: int
+    ) -> None:
+        #: Hashable identity of this pattern (stack shape + layer kinds +
+        #: a digest of the zero-coefficient mask).
+        self.token = token
+        self.n_unknowns = int(n_unknowns)
+        self.n_entries = int(rows.size)
+        order = np.lexsort((cols, rows))
+        sorted_rows = rows[order]
+        sorted_cols = cols[order]
+        first = np.empty(self.n_entries, dtype=bool)
+        first[0] = True
+        first[1:] = (sorted_rows[1:] != sorted_rows[:-1]) | (
+            sorted_cols[1:] != sorted_cols[:-1]
+        )
+        slot_of_sorted = np.cumsum(first) - 1
+        entry_to_slot = np.empty(self.n_entries, dtype=np.intp)
+        entry_to_slot[order] = slot_of_sorted
+        self._entry_to_slot = entry_to_slot
+        unique_rows = sorted_rows[first]
+        self.nnz = int(unique_rows.size)
+        self._indices = sorted_cols[first].astype(np.int32, copy=True)
+        self._indptr = np.searchsorted(
+            unique_rows, np.arange(self.n_unknowns + 1)
+        ).astype(np.int32, copy=True)
+
+    def matrix(self, values: np.ndarray) -> sparse.csr_matrix:
+        """Fold raw COO values into a CSR matrix with the static structure."""
+        if values.shape != (self.n_entries,):
+            raise ValueError(
+                f"expected {self.n_entries} coefficient values, got {values.shape}"
+            )
+        data = np.zeros(self.nnz)
+        np.add.at(data, self._entry_to_slot, values)
+        return sparse.csr_matrix(
+            (data, self._indices, self._indptr),
+            shape=(self.n_unknowns, self.n_unknowns),
+        )
+
+
+_PATTERN_CACHE: "OrderedDict[tuple, StackPattern]" = OrderedDict()
+_PATTERN_CACHE_SIZE = 32
+_PATTERN_LOCK = threading.Lock()
+
+
+def _get_stack_pattern(
+    token: tuple, rows: np.ndarray, cols: np.ndarray, n_unknowns: int
+) -> StackPattern:
+    """Fetch (or build and cache) the fold for one stack shape."""
+    with _PATTERN_LOCK:
+        pattern = _PATTERN_CACHE.get(token)
+        if pattern is not None:
+            _PATTERN_CACHE.move_to_end(token)
+            return pattern
+    pattern = StackPattern(token, rows, cols, n_unknowns)
+    with _PATTERN_LOCK:
+        _PATTERN_CACHE[token] = pattern
+        while len(_PATTERN_CACHE) > _PATTERN_CACHE_SIZE:
+            _PATTERN_CACHE.popitem(last=False)
+    return pattern
+
+
+def clear_stack_pattern_cache() -> None:
+    """Drop every cached stack pattern (used by tests and benchmarks)."""
+    with _PATTERN_LOCK:
+        _PATTERN_CACHE.clear()
+
+
+def stack_pattern_cache_info() -> dict:
+    """Current size and keys of the stack-pattern cache."""
+    with _PATTERN_LOCK:
+        return {
+            "size": len(_PATTERN_CACHE),
+            "capacity": _PATTERN_CACHE_SIZE,
+            "keys": list(_PATTERN_CACHE.keys()),
+        }
 
 
 class AssembledSystem:
@@ -41,10 +165,25 @@ class AssembledSystem:
 
     Exposed separately so that the transient solver can reuse the exact same
     conduction/convection/advection matrix and only add capacitances.
+
+    Parameters
+    ----------
+    stack:
+        The layer stack to assemble.
+    method:
+        ``"vectorized"`` (default, NumPy whole-array triplet construction
+        over the cached :class:`StackPattern`) or ``"loop"`` (the original
+        triple-nested reference loops).  Both produce bit-identical
+        systems.
     """
 
-    def __init__(self, stack: LayerStack) -> None:
+    def __init__(self, stack: LayerStack, method: str = "vectorized") -> None:
+        if method not in ASSEMBLY_MODES:
+            raise ValueError(
+                f"method must be one of {list(ASSEMBLY_MODES)}, got {method!r}"
+            )
         self.stack = stack
+        self.method = method
         self.n_cells_per_layer = stack.n_rows * stack.n_cols
         self.n_unknowns = stack.n_layers * self.n_cells_per_layer
         self._rows: List[int] = []
@@ -52,7 +191,12 @@ class AssembledSystem:
         self._values: List[float] = []
         self.rhs = np.zeros(self.n_unknowns)
         self.capacitances = np.zeros(self.n_unknowns)
-        self._assemble()
+        self._pattern: Optional[StackPattern] = None
+        self._raw_values: Optional[np.ndarray] = None
+        if method == "vectorized":
+            self._assemble_vectorized()
+        else:
+            self._assemble_loop()
 
     # -- indexing ----------------------------------------------------------------
 
@@ -90,12 +234,270 @@ class AssembledSystem:
         g_y = k * t * self.stack.cell_length / self.stack.cell_width
         return g_x, g_y
 
-    # -- assembly -------------------------------------------------------------------------
+    def _cavity_row_widths(
+        self, layer: CavityLayer, x_centers: np.ndarray
+    ) -> Tuple[np.ndarray, float]:
+        """Average channel width per cell and channels crossing each row.
 
-    def _assemble(self) -> None:
+        Channels are grouped uniformly onto the rows of the cell grid; each
+        cell sees the mean width of the channels assigned to its row.
+        """
         stack = self.stack
         n_rows, n_cols = stack.n_rows, stack.n_cols
-        cell_area = stack.cell_area
+        n_channels = stack.channels_per_cavity()
+        channels_per_row = n_channels / n_rows
+        widths = layer.widths_for_channels(n_channels, stack.die_length, x_centers)
+        row_of_channel = np.minimum(
+            (np.arange(n_channels) * n_rows) // max(n_channels, 1), n_rows - 1
+        )
+        row_widths = np.zeros((n_rows, n_cols))
+        counts = np.zeros(n_rows)
+        for channel in range(n_channels):
+            row_widths[row_of_channel[channel]] += widths[channel]
+            counts[row_of_channel[channel]] += 1
+        counts[counts == 0] = 1.0
+        row_widths /= counts[:, None]
+        return row_widths, channels_per_row
+
+    # -- vectorized assembly -----------------------------------------------------
+
+    def _assemble_vectorized(self) -> None:
+        """Whole-array triplet construction in the loop's emission order.
+
+        Every layer contributes a ``(n_rows, n_cols, n_slots)`` block of
+        row/column/value candidates whose C-order ravel reproduces the
+        per-cell emission order of the reference loop exactly; structurally
+        absent entries (last-column/last-row neighbours, the inlet upstream
+        slot, zero wall fractions) are removed by a boolean mask, as is any
+        exactly-zero coefficient (matching ``_add``'s skip).  The surviving
+        entries are therefore element-for-element identical to the loop's
+        triplet stream, which makes the folded matrix bit-identical to the
+        loop-assembled one.
+        """
+        stack = self.stack
+        x_centers = stack.x_centers()
+        kinds: List[str] = []
+        rows_parts: List[np.ndarray] = []
+        cols_parts: List[np.ndarray] = []
+        vals_parts: List[np.ndarray] = []
+        mask_parts: List[np.ndarray] = []
+
+        def emit(rows, cols, vals, mask):
+            rows_parts.append(rows.reshape(-1))
+            cols_parts.append(cols.reshape(-1))
+            vals_parts.append(vals.reshape(-1))
+            mask_parts.append(mask.reshape(-1))
+
+        for layer_idx, layer in enumerate(stack.layers):
+            if layer.is_cavity:
+                kinds.append("cavity")
+                emit(*self._cavity_triplets(layer_idx, layer, x_centers))
+            else:
+                kinds.append("solid")
+                emit(*self._solid_triplets(layer_idx, layer))
+
+        # Vertical coupling between directly adjacent solid layers (no cavity
+        # in between).
+        for lower_idx in range(stack.n_layers - 1):
+            lower = stack.layers[lower_idx]
+            upper = stack.layers[lower_idx + 1]
+            if lower.is_cavity or upper.is_cavity:
+                continue
+            emit(*self._vertical_triplets(lower_idx, lower, upper))
+
+        rows = np.concatenate(rows_parts)
+        cols = np.concatenate(cols_parts)
+        values = np.concatenate(vals_parts)
+        mask = np.concatenate(mask_parts)
+        mask &= values != 0.0
+        digest = hashlib.blake2b(
+            np.packbits(mask).tobytes(), digest_size=16
+        ).hexdigest()
+        token = ("ice", stack.n_rows, stack.n_cols, tuple(kinds), digest)
+        self._pattern = _get_stack_pattern(
+            token, rows[mask], cols[mask], self.n_unknowns
+        )
+        self._raw_values = values[mask]
+
+    def _cell_indices(self, layer_idx: int) -> np.ndarray:
+        """Flat unknown indices of one layer's cells, shape ``(n_rows, n_cols)``."""
+        stack = self.stack
+        offset = layer_idx * self.n_cells_per_layer
+        return offset + np.arange(self.n_cells_per_layer).reshape(
+            stack.n_rows, stack.n_cols
+        )
+
+    def _solid_triplets(self, layer_idx: int, layer: SolidLayer):
+        """Lateral-conduction triplet block of one solid layer (8 slots/cell)."""
+        stack = self.stack
+        n_rows, n_cols = stack.n_rows, stack.n_cols
+        g_x, g_y = self._lateral_conductances(layer)
+        heat = layer.heat_map(n_rows, n_cols) * 1e4 * stack.cell_area  # W per cell
+        capacitance = (
+            layer.material.volumetric_heat_capacity
+            * layer.thickness
+            * stack.cell_area
+        )
+        start = layer_idx * self.n_cells_per_layer
+        stop = start + self.n_cells_per_layer
+        self.rhs[start:stop] += heat.reshape(-1)
+        self.capacitances[start:stop] = capacitance
+
+        here = self._cell_indices(layer_idx)
+        east = here + 1
+        south = here + n_cols
+        rows = np.stack(
+            [here, here, east, east, here, here, south, south], axis=-1
+        )
+        cols = np.stack(
+            [here, east, east, here, here, south, south, here], axis=-1
+        )
+        vals = np.empty((n_rows, n_cols, 8))
+        vals[..., 0] = g_x
+        vals[..., 1] = -g_x
+        vals[..., 2] = g_x
+        vals[..., 3] = -g_x
+        vals[..., 4] = g_y
+        vals[..., 5] = -g_y
+        vals[..., 6] = g_y
+        vals[..., 7] = -g_y
+        has_east = np.arange(n_cols)[None, :, None] + 1 < n_cols
+        has_south = np.arange(n_rows)[:, None, None] + 1 < n_rows
+        mask = np.empty((n_rows, n_cols, 8), dtype=bool)
+        mask[..., :4] = has_east
+        mask[..., 4:] = has_south
+        return rows, cols, vals, mask
+
+    def _cavity_triplets(
+        self, layer_idx: int, layer: CavityLayer, x_centers: np.ndarray
+    ):
+        """Convection/wall/advection triplet block of one cavity (14 slots/cell)."""
+        stack = self.stack
+        n_rows, n_cols = stack.n_rows, stack.n_cols
+        lower_idx, upper_idx = layer_idx - 1, layer_idx + 1
+        lower = stack.layers[lower_idx]
+        upper = stack.layers[upper_idx]
+        if lower.is_cavity or upper.is_cavity:
+            raise ValueError("a cavity layer must sit between two solid layers")
+
+        row_widths, channels_per_row = self._cavity_row_widths(layer, x_centers)
+        capacity_rate_cell = (
+            layer.coolant.volumetric_heat_capacity
+            * layer.flow_rate_per_channel
+            * channels_per_row
+        )
+        fluid_capacitance = (
+            layer.coolant.volumetric_heat_capacity
+            * layer.channel_height
+            * stack.cell_area
+        )
+        start = layer_idx * self.n_cells_per_layer
+        self.capacitances[start : start + self.n_cells_per_layer] = fluid_capacitance
+
+        coolant = self._cell_indices(layer_idx)
+        below = coolant - self.n_cells_per_layer
+        above = coolant + self.n_cells_per_layer
+        self.rhs[coolant[:, 0]] += capacity_rate_cell * layer.inlet_temperature
+
+        # Convective conductance channel->coolant for the channels crossing
+        # each cell, per adjacent die (half of the wetted perimeter each), in
+        # series with the half-thickness conduction of the adjacent solid
+        # layer.  The Shah & London correlation is evaluated once over the
+        # whole per-cell width grid.
+        h = correlations.heat_transfer_coefficient(
+            row_widths, layer.channel_height, layer.coolant
+        )
+        wetted_per_layer = (row_widths + layer.channel_height) * (
+            stack.cell_length * channels_per_row
+        )
+        g_convection = h * wetted_per_layer
+        g_solid = []
+        for solid in (lower, upper):
+            half_resistance = solid.thickness / (
+                2.0 * solid.material.thermal_conductivity * stack.cell_area
+            )
+            g_solid.append(1.0 / (half_resistance + 1.0 / g_convection))
+        g_lower, g_upper = g_solid
+
+        # Vertical conduction through the solid channel walls (fraction
+        # 1 - w/W of the cell footprint), connecting the two dies directly.
+        wall_fraction = np.maximum(1.0 - row_widths / layer.channel_pitch, 0.0)
+        wall_area = wall_fraction * stack.cell_area
+        with np.errstate(divide="ignore"):
+            resistance = (
+                lower.thickness
+                / (2.0 * lower.material.thermal_conductivity * wall_area)
+                + layer.channel_height
+                / (layer.wall_material.thermal_conductivity * wall_area)
+                + upper.thickness
+                / (2.0 * upper.material.thermal_conductivity * wall_area)
+            )
+            g_wall = 1.0 / resistance
+
+        upstream = coolant - 1
+        rows = np.stack(
+            [
+                below, below, coolant, coolant,       # convection to the lower die
+                above, above, coolant, coolant,       # convection to the upper die
+                below, below, above, above,           # wall conduction
+                coolant,                              # advection diagonal
+                coolant,                              # upwind neighbour
+            ],
+            axis=-1,
+        )
+        cols = np.stack(
+            [
+                below, coolant, coolant, below,
+                above, coolant, coolant, above,
+                below, above, above, below,
+                coolant,
+                upstream,
+            ],
+            axis=-1,
+        )
+        vals = np.empty((n_rows, n_cols, 14))
+        vals[..., 0] = g_lower
+        vals[..., 1] = -g_lower
+        vals[..., 2] = g_lower
+        vals[..., 3] = -g_lower
+        vals[..., 4] = g_upper
+        vals[..., 5] = -g_upper
+        vals[..., 6] = g_upper
+        vals[..., 7] = -g_upper
+        vals[..., 8] = g_wall
+        vals[..., 9] = -g_wall
+        vals[..., 10] = g_wall
+        vals[..., 11] = -g_wall
+        vals[..., 12] = capacity_rate_cell
+        vals[..., 13] = -capacity_rate_cell
+        mask = np.ones((n_rows, n_cols, 14), dtype=bool)
+        mask[..., 8:12] = (wall_fraction > 0.0)[..., None]
+        mask[:, 0, 13] = False  # the inlet column has no upstream neighbour
+        return rows, cols, vals, mask
+
+    def _vertical_triplets(
+        self, lower_idx: int, lower: SolidLayer, upper: SolidLayer
+    ):
+        """Solid-solid vertical coupling triplet block (4 slots/cell)."""
+        stack = self.stack
+        g_vertical = self._vertical_conductance_between(lower, upper)
+        a = self._cell_indices(lower_idx)
+        b = a + self.n_cells_per_layer
+        rows = np.stack([a, a, b, b], axis=-1)
+        cols = np.stack([a, b, b, a], axis=-1)
+        vals = np.empty((stack.n_rows, stack.n_cols, 4))
+        vals[..., 0] = g_vertical
+        vals[..., 1] = -g_vertical
+        vals[..., 2] = g_vertical
+        vals[..., 3] = -g_vertical
+        mask = np.ones((stack.n_rows, stack.n_cols, 4), dtype=bool)
+        return rows, cols, vals, mask
+
+    # -- reference loop assembly --------------------------------------------------
+
+    def _assemble_loop(self) -> None:
+        stack = self.stack
+        n_rows, n_cols = stack.n_rows, stack.n_cols
         x_centers = stack.x_centers()
 
         for layer_idx, layer in enumerate(stack.layers):
@@ -160,22 +562,7 @@ class AssembledSystem:
         if lower.is_cavity or upper.is_cavity:
             raise ValueError("a cavity layer must sit between two solid layers")
 
-        n_channels = stack.channels_per_cavity()
-        channels_per_row = n_channels / n_rows
-        widths = layer.widths_for_channels(n_channels, stack.die_length, x_centers)
-        # Average channel width seen by each cell row (channels are grouped
-        # uniformly onto the rows of the cell grid).
-        row_of_channel = np.minimum(
-            (np.arange(n_channels) * n_rows) // max(n_channels, 1), n_rows - 1
-        )
-        row_widths = np.zeros((n_rows, n_cols))
-        counts = np.zeros(n_rows)
-        for channel in range(n_channels):
-            row_widths[row_of_channel[channel]] += widths[channel]
-            counts[row_of_channel[channel]] += 1
-        counts[counts == 0] = 1.0
-        row_widths /= counts[:, None]
-
+        row_widths, channels_per_row = self._cavity_row_widths(layer, x_centers)
         capacity_rate_cell = (
             layer.coolant.volumetric_heat_capacity
             * layer.flow_rate_per_channel
@@ -254,8 +641,20 @@ class AssembledSystem:
 
     # -- matrix access -----------------------------------------------------------------------
 
+    @property
+    def pattern_token(self) -> Optional[tuple]:
+        """Identity of the sparsity structure (None for loop assembly)."""
+        return None if self._pattern is None else self._pattern.token
+
+    @property
+    def pattern(self) -> Optional[StackPattern]:
+        """The cached sparsity fold (None for loop assembly)."""
+        return self._pattern
+
     def matrix(self) -> sparse.csr_matrix:
-        """The assembled steady-state matrix ``A`` (CSR)."""
+        """The assembled steady-state matrix ``A`` (CSR, canonical form)."""
+        if self._pattern is not None:
+            return self._pattern.matrix(self._raw_values)
         return sparse.csr_matrix(
             (self._values, (self._rows, self._cols)),
             shape=(self.n_unknowns, self.n_unknowns),
@@ -277,28 +676,79 @@ class AssembledSystem:
         return layer_maps, coolant_maps
 
 
+def assemble_system(stack: LayerStack) -> AssembledSystem:
+    """Vectorized assembly of the finite-volume system (the production path)."""
+    return AssembledSystem(stack, method="vectorized")
+
+
+def assemble_system_loop(stack: LayerStack) -> AssembledSystem:
+    """Reference triple-nested-loop assembly (the original implementation).
+
+    Kept verbatim for the equivalence tests and as the baseline of the
+    scaling benchmark; production code uses :func:`assemble_system`.
+    """
+    return AssembledSystem(stack, method="loop")
+
+
 class SteadyStateSolver:
-    """Solve the steady-state temperature field of a layer stack."""
+    """Solve the steady-state temperature field of a layer stack.
 
-    def __init__(self, stack: LayerStack) -> None:
+    Parameters
+    ----------
+    stack:
+        The layer stack to solve.
+    backend:
+        Linear-solver backend: a registry name from
+        :mod:`repro.thermal.backends` (``"auto"``, ``"sparse-lu"``,
+        ``"sparse-iterative"``, ``"dense"``), a backend instance, or None
+        for the default (``"auto"``).  The sparse-LU backend reuses its
+        cached factorization across repeated solves of an unchanged stack.
+    assembly_mode:
+        ``"vectorized"`` (default) or ``"loop"`` (the reference assembly,
+        retained for equivalence testing and benchmarks).
+    """
+
+    def __init__(
+        self,
+        stack: LayerStack,
+        backend: Union[None, str, SolverBackend] = None,
+        assembly_mode: str = "vectorized",
+    ) -> None:
         self.stack = stack
-        self.system = AssembledSystem(stack)
+        self.system = AssembledSystem(stack, method=assembly_mode)
+        self.backend = resolve_backend(backend)
 
-    def solve(self) -> ThermalMapResult:
-        """Assemble and solve ``A T = b``; return per-layer thermal maps."""
+    def solve(self, compute_residual: bool = True) -> ThermalMapResult:
+        """Assemble and solve ``A T = b``; return per-layer thermal maps.
+
+        Parameters
+        ----------
+        compute_residual:
+            Report the max-norm residual of the solve in the result
+            metadata.  The residual costs one extra sparse matrix-vector
+            product per solve, so hot paths that solve the same stack shape
+            repeatedly (width sweeps, benchmarks) pass False; the default
+            keeps the diagnostic on for tests and one-off runs.
+        """
         matrix = self.system.matrix()
-        solution = spsolve(matrix.tocsc(), self.system.rhs)
+        solution = self.backend.solve(
+            matrix, self.system.rhs, self.system.pattern_token
+        )
         if not np.all(np.isfinite(solution)):
             raise RuntimeError("steady-state solve produced non-finite values")
-        residual = matrix @ solution - self.system.rhs
+        metadata = {
+            "solver": "ice-steady",
+            "backend": self.backend.name,
+            "assembly": self.system.method,
+            "n_unknowns": self.system.n_unknowns,
+            "grid": (self.stack.n_rows, self.stack.n_cols),
+        }
+        if compute_residual:
+            residual = matrix @ solution - self.system.rhs
+            metadata["residual_norm"] = float(np.max(np.abs(residual)))
         layer_maps, coolant_maps = self.system.split_solution(solution)
         return ThermalMapResult(
             layer_maps=layer_maps,
             coolant_maps=coolant_maps,
-            metadata={
-                "solver": "ice-steady",
-                "n_unknowns": self.system.n_unknowns,
-                "grid": (self.stack.n_rows, self.stack.n_cols),
-                "residual_norm": float(np.max(np.abs(residual))),
-            },
+            metadata=metadata,
         )

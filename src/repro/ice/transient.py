@@ -15,6 +15,13 @@ with the unconditionally stable backward Euler scheme::
 Power maps may change between steps by supplying a schedule of heat-source
 maps, which enables simple dynamic-thermal-management style experiments on
 top of the reproduction.
+
+The implicit step is solved through the pluggable backends of
+:mod:`repro.thermal.backends`: the default sparse-LU backend factorizes
+``C/dt + A`` once and reuses the factorization for every step -- and, via
+its keyed factorization cache, across repeated runs of the same stack and
+time step (re-running a transient after a parameter sweep pays only
+triangular solves).
 """
 
 from __future__ import annotations
@@ -23,8 +30,8 @@ from typing import Callable, Dict, Optional, Union
 
 import numpy as np
 from scipy import sparse
-from scipy.sparse.linalg import factorized
 
+from ..thermal.backends import SolverBackend, resolve_backend
 from .results import TransientResult
 from .solver import AssembledSystem
 from .stack import LayerStack
@@ -46,15 +53,27 @@ class TransientSolver:
         Optional callable mapping the simulation time (s) to a dictionary
         ``{layer name: heat-flux map in W/cm^2}``; layers not present in the
         dictionary keep their default sources.  Evaluated once per step.
+    backend:
+        Linear-solver backend for the implicit steps (a registry name from
+        :mod:`repro.thermal.backends`, a backend instance, or None for the
+        default ``"auto"``).
+    assembly_mode:
+        ``"vectorized"`` (default) or ``"loop"`` (the reference assembly,
+        retained for equivalence testing and benchmarks).
     """
 
     def __init__(
-        self, stack: LayerStack, power_schedule: Optional[PowerSchedule] = None
+        self,
+        stack: LayerStack,
+        power_schedule: Optional[PowerSchedule] = None,
+        backend: Union[None, str, SolverBackend] = None,
+        assembly_mode: str = "vectorized",
     ) -> None:
         self.stack = stack
-        self.system = AssembledSystem(stack)
+        self.system = AssembledSystem(stack, method=assembly_mode)
         self.power_schedule = power_schedule
-        self._matrix = self.system.matrix().tocsc()
+        self.backend = resolve_backend(backend)
+        self._matrix = self.system.matrix().tocsr()
         self._base_rhs = self.system.rhs.copy()
 
     # -- source updates -----------------------------------------------------------
@@ -131,8 +150,14 @@ class TransientSolver:
             capacitances[capacitances > 0.0]
         )
         c_over_dt = sparse.diags(capacitances / time_step)
-        implicit = (c_over_dt + self._matrix).tocsc()
-        solve_step = factorized(implicit)
+        implicit = (c_over_dt + self._matrix).tocsr()
+        # Identify the implicit system's structure to the backend so its
+        # factorization cache can recognize the unchanged matrix across
+        # steps and across repeated runs of the same stack/time step.
+        base_token = self.system.pattern_token
+        implicit_token = (
+            None if base_token is None else ("ice-implicit",) + base_token
+        )
 
         temperature = np.full(self.system.n_unknowns, start_temperature)
         times = [0.0]
@@ -140,7 +165,7 @@ class TransientSolver:
         for step in range(1, n_steps + 1):
             time = step * time_step
             rhs = self._rhs_at(time) + c_over_dt @ temperature
-            temperature = solve_step(rhs)
+            temperature = self.backend.solve(implicit, rhs, implicit_token)
             if step % store_every == 0 or step == n_steps:
                 times.append(time)
                 snapshots.append(temperature.copy())
@@ -166,6 +191,8 @@ class TransientSolver:
             layer_histories=layer_histories,
             metadata={
                 "solver": "ice-transient-backward-euler",
+                "backend": self.backend.name,
+                "assembly": self.system.method,
                 "time_step": time_step,
                 "n_steps": n_steps,
                 "store_every": store_every,

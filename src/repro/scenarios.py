@@ -241,10 +241,12 @@ class SolverSpec:
         finite-difference path through the evaluation engine) or ``"ice"``
         (finite-volume solver).
     backend:
-        Linear-solver backend of the finite-difference solves (a registry
-        name from :mod:`repro.thermal.backends`).
+        Linear-solver backend (a registry name from
+        :mod:`repro.thermal.backends`) used by both solve paths: the
+        finite-difference solves and the finite-volume steady solves.
     n_workers:
-        Thread-pool width of the evaluation engine.
+        Thread-pool width of the evaluation engine (batched solves and
+        concurrent multistart restarts).
     cache_size:
         Capacity of the engine's LRU solution cache.
     """

@@ -91,9 +91,15 @@ def hydraulic_diameter(width, height):
 
 
 def _polynomial(alpha, coefficients):
-    acc = 0.0
-    for power, coefficient in enumerate(coefficients):
-        acc += coefficient * alpha**power
+    # Horner evaluation on purpose: it uses only elementwise * and +, which
+    # produce bit-identical results whether ``alpha`` is a Python float or a
+    # NumPy array (``alpha**power`` does not -- NumPy's pow and libm's pow
+    # can differ in the last ulp).  The finite-volume assembly relies on
+    # this to keep its vectorized path bit-identical to the scalar
+    # reference loop.
+    acc = coefficients[-1]
+    for coefficient in reversed(coefficients[:-1]):
+        acc = acc * alpha + coefficient
     return acc
 
 

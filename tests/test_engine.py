@@ -238,6 +238,54 @@ class TestBatchedEvaluation:
         assert engine.stats()["n_solves"] == 1
         assert all(solution is solutions[0] for solution in solutions)
 
+    def test_batch_counters(self, test_a, geometry):
+        from repro.thermal.geometry import MultiChannelStructure
+
+        cavity = MultiChannelStructure.single(test_a)
+        widths = np.linspace(geometry.min_width, geometry.max_width, 4)
+        structures = _uniform_structures(cavity, widths, geometry)
+        engine = EvaluationEngine()
+        engine.solve_many(structures, n_points=41)
+        engine.solve_many(structures, n_points=41)
+        stats = engine.stats()
+        assert stats["n_batches"] == 2
+        assert stats["n_batch_items"] == 8
+        assert stats["n_solves"] == 4
+
+    def test_gather_uses_task_solutions_not_cache(self, test_a, geometry):
+        """Regression: the gather phase must not re-enter solve().
+
+        With a cache smaller than the batch, every solution is evicted
+        before the batch ends; the old gather re-solved each one silently.
+        Gathering from the task results keeps it at one solve per unique
+        design regardless of evictions.
+        """
+        from repro.thermal.geometry import MultiChannelStructure
+
+        cavity = MultiChannelStructure.single(test_a)
+        widths = np.linspace(geometry.min_width, geometry.max_width, 6)
+        structures = _uniform_structures(cavity, widths, geometry)
+        engine = EvaluationEngine(cache_size=2)
+        solutions = engine.solve_many(structures, n_points=41)
+        assert all(solution is not None for solution in solutions)
+        assert engine.stats()["n_solves"] == len(structures)
+        # The fields must belong to the right designs (narrow = coolest).
+        peaks = [solution.peak_temperature for solution in solutions]
+        assert peaks == sorted(peaks)
+
+    def test_cached_items_gathered_without_solving(self, test_a, geometry):
+        from repro.thermal.geometry import MultiChannelStructure
+
+        cavity = MultiChannelStructure.single(test_a)
+        structure = cavity.with_uniform_width(geometry.max_width)
+        engine = EvaluationEngine()
+        first = engine.solve(structure, n_points=41)
+        hits_before = engine.stats()["n_cache_hits"]
+        solutions = engine.solve_many([structure, structure], n_points=41)
+        assert all(solution is first for solution in solutions)
+        assert engine.stats()["n_cache_hits"] == hits_before + 2
+        assert engine.stats()["n_solves"] == 1
+
 
 class TestOptimizerIntegration:
     def test_solve_candidate_served_by_engine(self, optimizer):

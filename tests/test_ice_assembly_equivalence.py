@@ -1,0 +1,248 @@
+"""Bit-identical equivalence of the vectorized and loop ICE assembly.
+
+The vectorized finite-volume assembly (NumPy triplet construction over the
+cached :class:`~repro.ice.solver.StackPattern`) must reproduce the retained
+reference loop *exactly* -- same matrix coefficients bit for bit, same
+right-hand side, same capacitances -- across every stack class the solver
+supports: solid-only stacks, the single-cavity strip and 2D two-die stacks,
+modulated and per-channel width profiles, and the 4-die / 3-cavity Niagara
+stackings.  A transient run must likewise produce identical histories.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.floorplan import get_architecture
+from repro.ice import (
+    LayerStack,
+    SolidLayer,
+    SteadyStateSolver,
+    TransientSolver,
+    assemble_system,
+    assemble_system_loop,
+    clear_stack_pattern_cache,
+    multi_die_stack_from_architecture,
+    multi_die_stack_from_maps,
+    stack_pattern_cache_info,
+    two_die_stack_from_maps,
+)
+from repro.thermal.backends import SparseLUBackend
+from repro.thermal.geometry import WidthProfile
+from repro.thermal.properties import SILICON, TABLE_I
+
+
+def _canonical(matrix):
+    """Canonical CSR form (sorted indices, duplicates folded)."""
+    matrix = matrix.tocsr()
+    matrix.sum_duplicates()
+    matrix.sort_indices()
+    return matrix
+
+
+def assert_bit_identical(stack, label):
+    """The vectorized system must equal the loop system exactly."""
+    vectorized = assemble_system(stack)
+    loop = assemble_system_loop(stack)
+    a = _canonical(vectorized.matrix())
+    b = _canonical(loop.matrix())
+    assert np.array_equal(a.indptr, b.indptr), f"{label}: indptr differs"
+    assert np.array_equal(a.indices, b.indices), f"{label}: sparsity differs"
+    assert np.array_equal(a.data, b.data), f"{label}: coefficients differ"
+    assert np.array_equal(vectorized.rhs, loop.rhs), f"{label}: rhs differs"
+    assert np.array_equal(
+        vectorized.capacitances, loop.capacitances
+    ), f"{label}: capacitances differ"
+
+
+def _strip_stack(width_profile=None, n_cols=24):
+    return two_die_stack_from_maps(
+        50.0,
+        50.0,
+        die_length=0.01,
+        die_width=0.001,
+        n_cols=n_cols,
+        n_rows=1,
+        width_profile=width_profile,
+    )
+
+
+class TestBitIdenticalAssembly:
+    def test_solid_only_stack(self):
+        layers = [
+            SolidLayer(f"solid_{index}", SILICON, 50e-6, heat_source=25.0 * index)
+            for index in range(3)
+        ]
+        stack = LayerStack(0.01, 0.002, layers=layers, n_cols=9, n_rows=5)
+        assert_bit_identical(stack, "solid-only")
+
+    def test_single_cavity_strip(self):
+        assert_bit_identical(_strip_stack(), "single-cavity strip")
+
+    def test_single_cavity_2d_patterned_flux(self):
+        flux = np.arange(120.0).reshape(10, 12) + 10.0
+        stack = two_die_stack_from_maps(
+            flux,
+            flux[::-1],
+            die_length=0.01,
+            die_width=0.004,
+            n_cols=12,
+            n_rows=10,
+        )
+        assert_bit_identical(stack, "two-die 2D")
+
+    def test_modulated_width_profile(self):
+        narrowing = WidthProfile.from_function(
+            lambda z: 50e-6 - 3.8e-3 * z, 0.01
+        )
+        assert_bit_identical(_strip_stack(narrowing), "modulated width")
+
+    def test_per_channel_width_profiles(self):
+        profiles = [
+            WidthProfile.uniform(20e-6 + 5e-6 * (channel % 4), 0.01)
+            for channel in range(10)
+        ]
+        stack = two_die_stack_from_maps(
+            80.0,
+            40.0,
+            die_length=0.01,
+            die_width=0.001,
+            n_cols=16,
+            n_rows=4,
+            width_profile=profiles,
+        )
+        assert_bit_identical(stack, "per-channel widths")
+
+    def test_four_die_three_cavity_niagara(self):
+        stack = multi_die_stack_from_architecture(
+            get_architecture("arch1"), n_dies=4, n_cols=14, n_rows=14
+        )
+        assert stack.n_layers == 7
+        assert len(stack.cavity_layer_names()) == 3
+        assert_bit_identical(stack, "4-die/3-cavity niagara")
+
+    def test_multi_die_from_maps(self):
+        stack = multi_die_stack_from_maps(
+            [30.0, 90.0, 60.0, 120.0],
+            die_length=0.01,
+            die_width=0.003,
+            n_cols=10,
+            n_rows=6,
+        )
+        assert_bit_identical(stack, "4-die from maps")
+
+    def test_multi_die_requires_two_dies(self):
+        with pytest.raises(ValueError):
+            multi_die_stack_from_maps([50.0], die_length=0.01, die_width=0.001)
+
+    def test_rejects_unknown_assembly_method(self):
+        from repro.ice import AssembledSystem
+
+        with pytest.raises(ValueError):
+            AssembledSystem(_strip_stack(), method="magic")
+
+
+class TestStackPatternCache:
+    def test_pattern_reused_across_same_shape(self):
+        clear_stack_pattern_cache()
+        first = assemble_system(_strip_stack())
+        modulated = assemble_system(
+            _strip_stack(WidthProfile.uniform(TABLE_I.min_channel_width, 0.01))
+        )
+        assert first.pattern is modulated.pattern
+        assert stack_pattern_cache_info()["size"] == 1
+
+    def test_distinct_shapes_get_distinct_patterns(self):
+        clear_stack_pattern_cache()
+        a = assemble_system(_strip_stack(n_cols=24))
+        b = assemble_system(_strip_stack(n_cols=32))
+        assert a.pattern_token != b.pattern_token
+        assert stack_pattern_cache_info()["size"] == 2
+
+    def test_matrix_structure_is_static_across_designs(self):
+        first = assemble_system(_strip_stack()).matrix()
+        second = assemble_system(
+            _strip_stack(WidthProfile.uniform(TABLE_I.min_channel_width, 0.01))
+        ).matrix()
+        np.testing.assert_array_equal(first.indices, second.indices)
+        np.testing.assert_array_equal(first.indptr, second.indptr)
+        assert np.any(first.data != second.data)
+
+    def test_loop_assembly_has_no_pattern(self):
+        system = assemble_system_loop(_strip_stack())
+        assert system.pattern is None
+        assert system.pattern_token is None
+
+
+class TestSolverEquivalence:
+    def test_steady_solutions_identical(self):
+        stack = _strip_stack(n_cols=20)
+        backend = SparseLUBackend()
+        vectorized = SteadyStateSolver(stack, backend=backend).solve()
+        loop = SteadyStateSolver(
+            stack, backend=backend, assembly_mode="loop"
+        ).solve()
+        for name in vectorized.layer_names():
+            np.testing.assert_array_equal(
+                vectorized.layer(name), loop.layer(name)
+            )
+        # The two assemblies are factorized independently (the loop path
+        # carries no pattern token), yet bit-identical matrices make even
+        # the factorized solves agree exactly.
+        assert backend.stats()["n_factorizations"] == 2
+
+    def test_transient_histories_identical(self):
+        stack = _strip_stack(n_cols=16)
+        backend = SparseLUBackend()
+        vectorized = TransientSolver(stack, backend=backend).run(
+            duration=0.05, time_step=0.005
+        )
+        loop = TransientSolver(
+            stack, backend=backend, assembly_mode="loop"
+        ).run(duration=0.05, time_step=0.005)
+        assert set(vectorized.layer_histories) == set(loop.layer_histories)
+        np.testing.assert_array_equal(vectorized.times, loop.times)
+        for name, history in vectorized.layer_histories.items():
+            np.testing.assert_array_equal(history, loop.layer_histories[name])
+
+
+class TestBackendRouting:
+    def test_repeated_solves_reuse_factorization(self):
+        stack = _strip_stack(n_cols=20)
+        backend = SparseLUBackend()
+        solver = SteadyStateSolver(stack, backend=backend)
+        solver.solve()
+        solver.solve()
+        stats = backend.stats()
+        assert stats["n_factorizations"] == 1
+        assert stats["n_factorization_reuses"] >= 1
+
+    def test_backend_name_in_metadata(self):
+        result = SteadyStateSolver(_strip_stack(), backend="sparse-lu").solve()
+        assert result.metadata["backend"] == "sparse-lu"
+        assert result.metadata["assembly"] == "vectorized"
+
+    def test_residual_is_opt_in(self):
+        solver = SteadyStateSolver(_strip_stack())
+        with_residual = solver.solve()
+        without = solver.solve(compute_residual=False)
+        assert "residual_norm" in with_residual.metadata
+        assert "residual_norm" not in without.metadata
+        assert with_residual.metadata["residual_norm"] < 1e-6
+
+    def test_iterative_backend_matches_direct(self):
+        stack = two_die_stack_from_maps(
+            np.linspace(20.0, 150.0, 10 * 16).reshape(10, 16),
+            60.0,
+            die_length=0.01,
+            die_width=0.004,
+            n_cols=16,
+            n_rows=10,
+        )
+        direct = SteadyStateSolver(stack, backend="sparse-lu").solve()
+        iterative = SteadyStateSolver(stack, backend="sparse-iterative").solve()
+        for name in direct.layer_names():
+            np.testing.assert_allclose(
+                iterative.layer(name), direct.layer(name), rtol=0.0, atol=1e-8
+            )

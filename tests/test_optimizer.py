@@ -202,3 +202,109 @@ class TestMultiLaneOptimization:
         first_widths = profiles[0].segment_widths
         for profile in profiles[1:]:
             np.testing.assert_allclose(profile.segment_widths, first_widths)
+
+
+class TestBatchedGradients:
+    @pytest.fixture()
+    def optimizer(self, test_a):
+        return ChannelModulationOptimizer(
+            test_a,
+            OptimizerSettings(n_segments=5, n_grid_points=81, n_workers=4),
+        )
+
+    def test_gradient_points_stay_in_bounds(self, optimizer):
+        at_upper = np.ones(optimizer.parameterization.n_variables)
+        steps, points = optimizer.gradient_points(at_upper)
+        assert np.all(steps < 0.0)  # forward steps flip backward at the bound
+        assert np.all(points >= 0.0) and np.all(points <= 1.0)
+
+    def test_one_gradient_is_one_solve_many_batch(self, optimizer):
+        """Acceptance: n+1 perturbed solves go through ONE solve_many call."""
+        n_variables = optimizer.parameterization.n_variables
+        midpoint = optimizer.parameterization.midpoint_vector()
+        optimizer.engine.reset_stats()
+        gradient = optimizer.cost_gradient(midpoint)
+        stats = optimizer.engine.stats()
+        assert gradient.shape == (n_variables,)
+        assert stats["n_batches"] == 1
+        assert stats["n_batch_items"] == n_variables + 1
+        assert stats["n_solves"] <= n_variables + 1
+
+    def test_gradient_batch_dedupes_against_cache(self, optimizer):
+        midpoint = optimizer.parameterization.midpoint_vector()
+        optimizer.solve_candidate(midpoint)  # the base point is now cached
+        solves_before = optimizer.engine.stats()["n_solves"]
+        optimizer.cost_gradient(midpoint)
+        new_solves = optimizer.engine.stats()["n_solves"] - solves_before
+        assert new_solves == optimizer.parameterization.n_variables
+
+    def test_matches_sequential_finite_differences(self, optimizer):
+        midpoint = optimizer.parameterization.midpoint_vector()
+        batched = optimizer.cost_gradient(midpoint)
+        step = optimizer.settings.finite_difference_step
+        base = optimizer.cost(midpoint)
+        sequential = np.empty_like(batched)
+        for variable in range(midpoint.size):
+            perturbed = midpoint.copy()
+            perturbed[variable] += step
+            sequential[variable] = (optimizer.cost(perturbed) - base) / step
+        np.testing.assert_allclose(batched, sequential, rtol=1e-12, atol=0.0)
+
+    def test_batched_and_legacy_runs_agree(self, test_a):
+        results = {}
+        for batched in (True, False):
+            settings = OptimizerSettings(
+                n_segments=4,
+                n_grid_points=81,
+                max_iterations=25,
+                use_batched_gradients=batched,
+            )
+            optimizer = ChannelModulationOptimizer(test_a, settings)
+            results[batched] = optimizer.optimize()
+        gradients = {
+            key: result.optimal.thermal_gradient
+            for key, result in results.items()
+        }
+        # Different finite-difference stencils (bound-flipped vs one-sided)
+        # may walk slightly different SLSQP paths, but both must land on
+        # the same optimum within the solver tolerance.
+        assert gradients[True] == pytest.approx(gradients[False], rel=0.05)
+
+    def test_constraint_jacobians_attached(self, optimizer):
+        constraints = optimizer.pressure.as_scipy_constraints(with_jacobians=True)
+        midpoint = optimizer.parameterization.midpoint_vector()
+        for constraint in constraints:
+            assert "jac" in constraint
+            jacobian = np.atleast_2d(constraint["jac"](midpoint))
+            assert jacobian.shape[1] == midpoint.size
+            assert np.all(np.isfinite(jacobian))
+
+    def test_margin_jacobian_sign(self, optimizer):
+        """Widening any segment raises the margin (lower pressure drop)."""
+        midpoint = optimizer.parameterization.midpoint_vector()
+        jacobian = optimizer.pressure.margin_jacobian(midpoint)
+        assert np.all(jacobian > 0.0)
+
+
+class TestConcurrentMultistart:
+    def test_concurrent_matches_sequential(self, test_a):
+        results = {}
+        for n_workers in (1, 4):
+            settings = OptimizerSettings(
+                n_segments=3,
+                n_grid_points=81,
+                max_iterations=10,
+                multistart=3,
+                n_workers=n_workers,
+            )
+            optimizer = ChannelModulationOptimizer(test_a, settings)
+            results[n_workers] = optimizer.optimize()
+        np.testing.assert_allclose(
+            results[4].decision_vector,
+            results[1].decision_vector,
+            rtol=0.0,
+            atol=1e-12,
+        )
+        assert results[4].optimal.thermal_gradient == pytest.approx(
+            results[1].optimal.thermal_gradient, abs=1e-9
+        )
