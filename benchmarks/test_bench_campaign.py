@@ -1,0 +1,122 @@
+"""Campaign throughput benchmarks: serial vs thread vs process executors.
+
+Runs one flux x architecture sweep (coolant flux -- the per-channel flow
+rate -- crossed with the Fig. 7 Niagara stackings) through each built-in
+executor and emits a ``campaign_throughput`` BENCH record per executor::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_campaign.py -s \
+        | grep '^BENCH '
+
+Setting ``REPRO_BENCH_SMOKE=1`` shrinks the sweep and the grids to
+smoke-test size (the CI benchmark job).  The executors must agree on every
+per-scenario metric bit for bit -- the process workers run exactly the
+same solve path on their own engines -- so the records differ only in
+wall time and worker provenance.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.api import Session
+from repro.scenarios import GridSpec, OptimizerSpec, get_scenario
+from repro.sweeps import SweepAxis, SweepSpec
+
+#: Smoke mode: tiny sweep, no throughput assertions (CI runs this).
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip() not in ("", "0")
+
+#: Coolant flux axis (per-channel flow rate, m^3/s) x architecture axis.
+FLOW_RATES = (8.0e-9, 1.0e-8) if SMOKE else (6.0e-9, 8.0e-9, 1.0e-8, 1.2e-8)
+ARCHITECTURES = ("arch1", "arch2") if SMOKE else ("arch1", "arch2", "arch3")
+GRID = (
+    GridSpec(n_grid_points=41, n_lanes=2, n_rows=4, n_cols=8)
+    if SMOKE
+    else GridSpec(n_grid_points=101, n_lanes=3, n_rows=16, n_cols=16)
+)
+WORKERS = 2
+
+
+def emit_bench(record: dict) -> None:
+    """Print one machine-readable benchmark record."""
+    print("BENCH " + json.dumps(record, sort_keys=True))
+
+
+def flux_architecture_sweep() -> SweepSpec:
+    """The benchmark campaign: coolant flux x Niagara architecture."""
+    base = get_scenario("niagara-arch1").with_overrides(
+        grid=GRID, optimizer=OptimizerSpec(n_segments=3, max_iterations=5)
+    )
+    return SweepSpec(
+        name="bench-flux-arch",
+        base=base,
+        axes=(
+            SweepAxis(
+                "params.flow_rate_per_channel", FLOW_RATES, label="flux"
+            ),
+            SweepAxis("workload.architecture", ARCHITECTURES, label="arch"),
+        ),
+    )
+
+
+def test_campaign_throughput_records():
+    """Time the same sweep through every executor and emit BENCH records."""
+    sweep = flux_architecture_sweep()
+    n_scenarios = len(sweep.scenarios())
+    reference = None
+    rows = []
+    for executor in ("serial", "thread", "process"):
+        session = Session()
+        start = time.perf_counter()
+        campaign = session.run_many(sweep, executor=executor, workers=WORKERS)
+        wall = time.perf_counter() - start
+        assert campaign.n_failed == 0
+        assert len(campaign.records) == n_scenarios
+        metrics = [
+            (
+                record["result"]["peak_temperature_K"],
+                record["result"]["thermal_gradient_K"],
+                record["result"]["max_pressure_drop_Pa"],
+            )
+            for record in campaign.records
+        ]
+        if reference is None:
+            reference = metrics
+        else:
+            # Executors must agree bit for bit, not within a tolerance.
+            assert metrics == reference
+        counters = campaign.provenance["counters"]
+        record = {
+            "benchmark": "campaign_throughput",
+            "smoke": SMOKE,
+            "executor": executor,
+            "workers": campaign.workers,
+            "n_scenarios": n_scenarios,
+            "grid": [GRID.n_grid_points, GRID.n_lanes],
+            "wall_s": wall,
+            "scenarios_per_s": n_scenarios / wall if wall else float("inf"),
+            "n_solves": counters["n_solves"],
+            "n_cache_hits": counters["n_cache_hits"],
+        }
+        rows.append(record)
+        emit_bench(record)
+    print()
+    print(f"campaign throughput ({n_scenarios} scenarios, {WORKERS} workers)")
+    for row in rows:
+        print(
+            f"  {row['executor']:8s} {row['wall_s'] * 1e3:9.1f} ms "
+            f"({row['scenarios_per_s']:.1f} scenarios/s, "
+            f"{row['n_solves']} solves)"
+        )
+
+
+def test_campaign_store_roundtrip(tmp_path):
+    """The benchmark sweep resumes from its store without recomputation."""
+    sweep = flux_architecture_sweep()
+    out = tmp_path / "campaign.jsonl"
+    first = Session().run_many(sweep, executor="serial", out=out)
+    assert first.n_from_store == 0
+    again = Session().run_many(sweep, executor="serial", out=out)
+    assert again.n_from_store == len(sweep.scenarios())
+    assert again.provenance["counters"]["n_solves"] == 0

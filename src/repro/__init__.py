@@ -22,9 +22,21 @@ the ``repro`` console script (:mod:`repro.cli`) exposes the same facade
 from the shell (``repro list``, ``repro run test-a --json``, ``repro
 optimize``, ``repro bench``).
 
+Families of runs -- flux sweeps, architecture comparisons -- are first
+class: a :class:`~repro.sweeps.SweepSpec` expands one base scenario plus
+axes into an ordered scenario list, and :func:`run_many` executes it
+through a pluggable executor (``serial``/``thread``/``process``; the
+process executor scales past the GIL) while streaming records into a
+resumable :class:`~repro.campaign.CampaignStore`::
+
+    campaign = run_many("sweep.json", executor="process", workers=4,
+                        out="campaign.jsonl")
+
 Under the facade the package contains:
 
 * :mod:`repro.scenarios` -- declarative scenario specs and the registry;
+* :mod:`repro.sweeps` / :mod:`repro.exec` / :mod:`repro.campaign` -- the
+  batch layer: sweep expansion, campaign executors, streaming stores;
 * :mod:`repro.api` -- the simulator protocol (:class:`~repro.api.FDMSimulator`,
   :class:`~repro.api.ICESimulator`), the shared
   :class:`~repro.api.SimulationResult` schema and the session facade;
@@ -71,9 +83,14 @@ from .api import (
     cross_validate,
     get_simulator,
     optimize,
+    optimize_many,
     register_simulator,
     run,
+    run_many,
 )
+from .campaign import CampaignResult, CampaignStore
+from .exec import available_executors, get_executor, register_executor
+from .sweeps import SweepAxis, SweepSpec, expand_scenarios
 from .config import (
     DEFAULT_EXPERIMENT,
     EFFECTIVE_FLOW_RATE_ML_PER_MIN,
@@ -138,8 +155,18 @@ __all__ = [
     "cross_validate",
     "get_simulator",
     "optimize",
+    "optimize_many",
     "register_simulator",
     "run",
+    "run_many",
+    "CampaignResult",
+    "CampaignStore",
+    "SweepAxis",
+    "SweepSpec",
+    "available_executors",
+    "expand_scenarios",
+    "get_executor",
+    "register_executor",
     "GridSpec",
     "OptimizerSpec",
     "ScenarioSpec",

@@ -32,12 +32,15 @@ solves.
 from __future__ import annotations
 
 import inspect
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol, Tuple, runtime_checkable
+from typing import Callable, Dict, List, Optional, Protocol, Tuple, Union, runtime_checkable
 
 import numpy as np
 
+from ._compat import import_attribute
+from .exec.base import Executor
 from .core.designer import ChannelModulationDesigner
 from .core.engine import EvaluationEngine
 from .core.results import ModulationResult
@@ -66,6 +69,8 @@ __all__ = [
     "run",
     "optimize",
     "cross_validate",
+    "run_many",
+    "optimize_many",
 ]
 
 
@@ -296,28 +301,51 @@ class ICESimulator:
         )
 
 
-#: Registry of simulator factories keyed by family name.
-_SIMULATORS: Dict[str, Callable[..., Simulator]] = {
+#: Registry of simulator factories keyed by family name.  Values are
+#: factories (classes/callables) or lazy ``"module:attr"`` references
+#: resolved on first use -- registering a plugin by reference never forces
+#: an import, which makes registration order irrelevant.  Guarded by a
+#: lock so registration is safe from worker threads.
+_SIMULATORS: Dict[str, Union[str, Callable[..., Simulator]]] = {
     "fdm": FDMSimulator,
     "ice": ICESimulator,
 }
+_SIMULATORS_LOCK = threading.Lock()
 
 
 def available_simulators() -> List[str]:
-    """Names of the registered simulator families."""
-    return list(_SIMULATORS)
+    """Names of the registered simulator families (a snapshot copy)."""
+    with _SIMULATORS_LOCK:
+        return list(_SIMULATORS)
 
 
 def register_simulator(
-    name: str, factory: Callable[..., Simulator], overwrite: bool = False
+    name: str,
+    factory: Union[str, Callable[..., Simulator]],
+    overwrite: bool = False,
 ) -> None:
-    """Register a custom simulator factory under ``name``."""
-    if name in _SIMULATORS and not overwrite:
-        raise ValueError(
-            f"simulator {name!r} is already registered; "
-            "pass overwrite=True to replace it"
+    """Register a custom simulator factory under ``name``.
+
+    ``factory`` may be a callable (class or function building a
+    :class:`Simulator`) or a lazy ``"module:attr"`` string, resolved on
+    first use.  The lazy form is import-order-safe -- it can be
+    registered before its implementation module is importable (e.g. from
+    an entry-point shim) and ships cleanly to campaign worker processes.
+    """
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"simulator name must be a non-empty string, got {name!r}")
+    if not (callable(factory) or isinstance(factory, str)):
+        raise TypeError(
+            "simulator factory must be callable or a 'module:attr' string, "
+            f"got {type(factory).__name__}"
         )
-    _SIMULATORS[name] = factory
+    with _SIMULATORS_LOCK:
+        if name in _SIMULATORS and not overwrite:
+            raise ValueError(
+                f"simulator {name!r} is already registered; "
+                "pass overwrite=True to replace it"
+            )
+        _SIMULATORS[name] = factory
 
 
 def _accepts_engine(factory: Callable[..., Simulator]) -> bool:
@@ -332,6 +360,26 @@ def _accepts_engine(factory: Callable[..., Simulator]) -> bool:
     )
 
 
+def _resolve_simulator_factory(name: str) -> Callable[..., Simulator]:
+    """Look up a registered factory, resolving lazy references once."""
+    with _SIMULATORS_LOCK:
+        try:
+            factory = _SIMULATORS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown simulator {name!r}; available: {list(_SIMULATORS)}"
+            ) from None
+    if isinstance(factory, str):
+        resolved = import_attribute(factory, context=f"simulator {name!r}")
+        with _SIMULATORS_LOCK:
+            # Another thread may have resolved (or re-registered) the name
+            # meanwhile; only cache over the unresolved reference.
+            if _SIMULATORS.get(name) == factory:
+                _SIMULATORS[name] = resolved
+        factory = resolved
+    return factory
+
+
 def get_simulator(
     name: str, engine: Optional[EvaluationEngine] = None
 ) -> Simulator:
@@ -341,12 +389,7 @@ def get_simulator(
     accepts an ``engine`` keyword (not just the built-in FDM family), so
     custom engine-backed simulators keep Session cache sharing.
     """
-    try:
-        factory = _SIMULATORS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown simulator {name!r}; available: {available_simulators()}"
-        ) from None
+    factory = _resolve_simulator_factory(name)
     if engine is not None and _accepts_engine(factory):
         return factory(engine=engine)
     return factory()
@@ -437,17 +480,30 @@ class Session:
     ----------
     cache_size / n_workers:
         Optional session-wide overrides of the per-spec solver settings.
+    simulator:
+        Optional session-wide default simulator: a registered family name
+        (``"fdm"``/``"ice"``/custom) or a ready-built :class:`Simulator`
+        instance -- the instance form bypasses the string registry
+        entirely.  Per-call ``solver=...`` arguments still win.
     """
 
     def __init__(
         self,
         cache_size: Optional[int] = None,
         n_workers: Optional[int] = None,
+        simulator: Optional[Union[str, Simulator]] = None,
     ) -> None:
         self.cache_size = cache_size
         self.n_workers = n_workers
+        if simulator is not None and not isinstance(simulator, (str, Simulator)):
+            raise TypeError(
+                "Session simulator must be a registered family name or a "
+                f"Simulator instance, got {type(simulator).__name__}"
+            )
+        self.simulator = simulator
         # Keyed on (backend, n_workers, cache_size); see engine_for.
         self._engines: Dict[Tuple[str, int, int], EvaluationEngine] = {}
+        self._engines_lock = threading.Lock()
 
     def engine_for(self, spec: ScenarioSpec) -> EvaluationEngine:
         """The session engine serving this spec's solver settings.
@@ -456,32 +512,53 @@ class Session:
         triple; specs that only differ in problem content therefore share
         one solution cache, while a spec that asks for a different cache
         capacity gets its own engine instead of silently inheriting
-        another spec's.
+        another spec's.  Creation is locked, so thread-executor campaigns
+        racing on a cold session still share one engine per triple.
         """
         n_workers = self.n_workers or spec.solver.n_workers
         cache_size = self.cache_size or spec.solver.cache_size
         key = (spec.solver.backend, n_workers, cache_size)
-        if key not in self._engines:
-            self._engines[key] = EvaluationEngine(
-                solver_backend=spec.solver.backend,
-                cache_size=cache_size,
-                n_workers=n_workers,
-            )
-        return self._engines[key]
+        with self._engines_lock:
+            if key not in self._engines:
+                self._engines[key] = EvaluationEngine(
+                    solver_backend=spec.solver.backend,
+                    cache_size=cache_size,
+                    n_workers=n_workers,
+                )
+            return self._engines[key]
 
-    def run(self, scenario, solver: Optional[str] = None) -> SimulationResult:
-        """Run a scenario through the requested (or its default) simulator."""
-        spec = resolve_scenario(scenario)
-        name = solver or spec.solver.simulator
+    def _simulator_for(
+        self, spec: ScenarioSpec, solver: Optional[Union[str, Simulator]]
+    ) -> Simulator:
+        """Build/select the simulator serving one run call.
+
+        Precedence: per-call ``solver`` > session-wide ``simulator`` >
+        the spec's own ``solver.simulator``.  A :class:`Simulator`
+        instance is used as-is; names go through the registry and receive
+        the shared session engine when their factory accepts one.
+        """
+        choice = solver if solver is not None else self.simulator
+        if choice is None:
+            choice = spec.solver.simulator
+        if not isinstance(choice, str):
+            if isinstance(choice, Simulator):
+                return choice
+            raise TypeError(
+                "solver must be a registered family name or a Simulator "
+                f"instance, got {type(choice).__name__}"
+            )
+        factory = _resolve_simulator_factory(choice)
         # Build/look up the shared engine only for simulators that accept
         # one, so ICE-only sessions do not accumulate unused engines.
-        factory = _SIMULATORS.get(name)
-        engine = (
-            self.engine_for(spec)
-            if factory is not None and _accepts_engine(factory)
-            else None
-        )
-        return get_simulator(name, engine=engine).run(spec)
+        engine = self.engine_for(spec) if _accepts_engine(factory) else None
+        return get_simulator(choice, engine=engine)
+
+    def run(
+        self, scenario, solver: Optional[Union[str, Simulator]] = None
+    ) -> SimulationResult:
+        """Run a scenario through the requested (or its default) simulator."""
+        spec = resolve_scenario(scenario)
+        return self._simulator_for(spec, solver).run(spec)
 
     def optimize(self, scenario) -> OptimizationRunResult:
         """Run the optimal channel-modulation design flow on a scenario."""
@@ -512,10 +589,175 @@ class Session:
             ice=self.run(spec, solver="ice"),
         )
 
+    # -- campaigns ---------------------------------------------------------
+
+    def run_many(
+        self,
+        sweep,
+        *,
+        executor: Union[str, Executor] = "serial",
+        workers: int = 1,
+        solver: Optional[str] = None,
+        out=None,
+        action: str = "run",
+        progress: Optional[Callable[[Dict[str, object]], None]] = None,
+    ):
+        """Run a whole sweep through an executor, streaming into a store.
+
+        Parameters
+        ----------
+        sweep:
+            A :class:`~repro.sweeps.SweepSpec`, a sweep mapping or JSON
+            file path, a sequence of scenario-likes, or one scenario-like
+            (see :func:`~repro.sweeps.expand_scenarios`).
+        executor / workers:
+            A registered executor name (``"serial"``, ``"thread"``,
+            ``"process"`` or custom) or a ready-built executor instance;
+            ``workers`` sizes named executors.
+        solver:
+            Optional simulator-family override applied to every scenario.
+        out:
+            Optional campaign-store target: a JSONL path or a
+            :class:`~repro.campaign.CampaignStore`.  Completed records
+            stream into it; on re-runs, scenarios whose ``spec_hash`` is
+            already stored with ``status == "ok"`` are *not* recomputed.
+        action:
+            ``"run"`` (simulate) or ``"optimize"`` (Sec. IV design flow).
+        progress:
+            Optional callback invoked with each fresh record as it lands.
+
+        Returns
+        -------
+        :class:`~repro.campaign.CampaignResult` with per-scenario records
+        in sweep order and solve/cache counters aggregated across workers.
+        """
+        from .campaign import CampaignResult, CampaignStore
+        from .exec import get_executor
+        from .exec.base import CampaignTask, make_tasks, session_counters
+        from .sweeps import resolve_campaign
+
+        # The session-wide simulator override must be visible to the tasks
+        # themselves: record labels, resume keys and process workers all
+        # derive the effective simulator from the task, not from this
+        # session.  Instance overrides cannot be recorded or shipped to
+        # workers, so campaigns require a registered family name.
+        if solver is None and action == "run" and self.simulator is not None:
+            if not isinstance(self.simulator, str):
+                raise ValueError(
+                    "campaigns need a registered simulator family name; "
+                    "Session(simulator=<instance>) cannot be recorded in a "
+                    "campaign store or shipped to worker processes -- pass "
+                    "solver=<name> or register the simulator by name"
+                )
+            solver = self.simulator
+        name, specs = resolve_campaign(sweep)
+        tasks = make_tasks(specs, action=action, solver=solver)
+        if out is None or isinstance(out, CampaignStore):
+            store = out
+        else:
+            store = CampaignStore(out)
+        stored = store.load() if store is not None else {}
+        records: List[Optional[Dict[str, object]]] = [None] * len(tasks)
+        pending: List[CampaignTask] = []
+        for task in tasks:
+            previous = stored.get(task.key())
+            if previous is not None and previous.get("status") == "ok":
+                resumed = dict(previous)
+                resumed["index"] = task.index
+                resumed["source"] = "store"
+                records[task.index] = resumed
+            else:
+                pending.append(task)
+        if isinstance(executor, str):
+            executor_obj = get_executor(executor, workers=workers)
+        else:
+            executor_obj = executor
+        counters_before = session_counters(self)
+        start = time.perf_counter()
+        try:
+            for record in executor_obj.execute(pending, session=self):
+                record["executor"] = executor_obj.name
+                if store is not None:
+                    store.append(record)
+                record["source"] = "run"
+                records[record["index"]] = record
+                if progress is not None:
+                    progress(record)
+        finally:
+            # A dying worker pool or a raising progress callback must not
+            # leak the store handle -- every record streamed so far is
+            # flushed and the interrupted campaign stays resumable.
+            if store is not None:
+                store.close()
+        wall_time = time.perf_counter() - start
+        # Aggregate the campaign's engine counters: activity on this
+        # session's engines (serial/thread executors) plus the per-record
+        # deltas reported by executors that declare running their own
+        # sessions (shares_session=False: process workers, custom remote
+        # executors).  The default is shares_session=True -- a custom
+        # executor that simply runs execute_task on the caller's session
+        # must not have its activity counted twice.
+        counters_after = session_counters(self)
+        deltas = [
+            {
+                key: counters_after[key] - counters_before[key]
+                for key in counters_before
+            }
+        ]
+        if not getattr(executor_obj, "shares_session", True):
+            deltas.extend(
+                record["counters"]
+                for record in records
+                if record is not None
+                and record.get("source") == "run"
+                and record.get("counters")
+            )
+        counters = EvaluationEngine.merge_stats(deltas)
+        return CampaignResult(
+            name=name,
+            executor=executor_obj.name,
+            workers=getattr(executor_obj, "workers", workers),
+            records=records,
+            wall_time_s=wall_time,
+            n_from_store=sum(
+                1 for r in records if r is not None and r.get("source") == "store"
+            ),
+            store_path=store.path if store is not None else None,
+            provenance={
+                "action": action,
+                "solver": solver,
+                "n_scenarios": len(tasks),
+                "counters": counters,
+            },
+        )
+
+    def optimize_many(
+        self,
+        sweep,
+        *,
+        executor: Union[str, Executor] = "serial",
+        workers: int = 1,
+        out=None,
+        progress: Optional[Callable[[Dict[str, object]], None]] = None,
+    ):
+        """Run the Sec. IV design flow over a whole sweep (see run_many)."""
+        return self.run_many(
+            sweep,
+            executor=executor,
+            workers=workers,
+            out=out,
+            action="optimize",
+            progress=progress,
+        )
+
     def stats(self) -> Dict[str, Dict[str, object]]:
         """Cache/solve statistics of every engine the session created."""
         report: Dict[str, Dict[str, object]] = {}
-        for (backend, workers, cache_size), engine in self._engines.items():
+        with self._engines_lock:
+            # Snapshot: thread-executor tasks may create engines while
+            # another task is reading statistics.
+            engines = list(self._engines.items())
+        for (backend, workers, cache_size), engine in engines:
             label = f"{backend}@{workers}"
             if label in report:  # same backend/workers, other cache capacity
                 label = f"{backend}@{workers}/cache{cache_size}"
@@ -544,3 +786,18 @@ def cross_validate(
 ) -> CrossValidationResult:
     """Run both the FDM and ICE simulators on a scenario and compare."""
     return (session or Session()).cross_validate(scenario)
+
+
+def run_many(sweep, session: Optional[Session] = None, **kwargs):
+    """Run a whole sweep/campaign once (see :meth:`Session.run_many`).
+
+    Pass a :class:`Session` to share solution caches with other calls;
+    keyword arguments (``executor``, ``workers``, ``out``, ``solver``,
+    ``action``, ``progress``) are forwarded to :meth:`Session.run_many`.
+    """
+    return (session or Session()).run_many(sweep, **kwargs)
+
+
+def optimize_many(sweep, session: Optional[Session] = None, **kwargs):
+    """Optimize every scenario of a sweep (see :meth:`Session.optimize_many`)."""
+    return (session or Session()).optimize_many(sweep, **kwargs)

@@ -1,0 +1,302 @@
+"""Streaming campaign results: the JSONL store and the result facade.
+
+Long campaigns must survive interruption.  A :class:`CampaignStore` is an
+append-only JSONL file -- one self-describing record per completed
+scenario, flushed as soon as the executor yields it -- keyed by the
+record's ``spec_hash`` (a content hash over the spec plus the effective
+action/simulator family, see :meth:`repro.exec.base.CampaignTask.key`).
+On restart, :meth:`Session.run_many` loads the store and skips every task
+whose hash is already present with ``status == "ok"``: interrupt a
+12-hour sweep after scenario 700 and the re-run computes only the
+remaining 300, whatever executor either run used.
+
+A torn final line (the process died mid-write) is tolerated and dropped;
+any other malformed line raises, because silently skipping a *complete*
+line would silently recompute -- or worse, double-report -- a scenario.
+
+:class:`CampaignResult` is what :meth:`Session.run_many` returns: the
+records in sweep order plus campaign-level provenance (executor, worker
+count, wall time, and the solve/cache counters aggregated across workers).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from .core.engine import EvaluationEngine
+
+__all__ = ["CampaignStore", "CampaignResult", "summarize_records"]
+
+
+class CampaignStore:
+    """Append-only JSONL store of campaign records, keyed by spec hash.
+
+    Parameters
+    ----------
+    path:
+        The JSONL file; created on first :meth:`append`, loaded (if it
+        exists) by :meth:`load`.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self.path = os.fspath(path)
+        self._handle = None
+        self.n_dropped_torn = 0
+
+    # -- reading -----------------------------------------------------------
+
+    def load(self) -> Dict[str, Dict[str, object]]:
+        """Stored records keyed by ``spec_hash`` (later records win).
+
+        A malformed *final* line is treated as a torn write from an
+        interrupted campaign and dropped (counted in
+        ``n_dropped_torn``); malformed interior lines raise ``ValueError``
+        -- the file is not a campaign store.
+        """
+        records: Dict[str, Dict[str, object]] = {}
+        if not os.path.exists(self.path):
+            return records
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        for number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if number == len(lines):
+                    self.n_dropped_torn += 1
+                    continue
+                raise ValueError(
+                    f"{self.path}:{number}: malformed campaign record "
+                    "(not JSON); is this really a campaign JSONL file?"
+                ) from None
+            if not isinstance(record, dict) or "spec_hash" not in record:
+                raise ValueError(
+                    f"{self.path}:{number}: campaign records must be JSON "
+                    "objects with a 'spec_hash' key"
+                )
+            records[record["spec_hash"]] = record
+        return records
+
+    # -- writing -----------------------------------------------------------
+
+    def _prepare_append(self) -> None:
+        """Heal an interrupted store before appending to it.
+
+        A campaign killed mid-write leaves a torn, newline-less final
+        line.  Appending straight after it would glue the next record
+        onto the partial one, corrupting *both*; so before the first
+        append, a trailing partial line is truncated away (it is counted
+        in ``n_dropped_torn``) -- unless it is actually a complete JSON
+        record that merely lacks its newline, which is completed instead.
+        """
+        try:
+            with open(self.path, "rb") as handle:
+                data = handle.read()
+        except FileNotFoundError:
+            return
+        if not data or data.endswith(b"\n"):
+            return
+        tail = data[data.rfind(b"\n") + 1:]
+        try:
+            json.loads(tail.decode("utf-8"))
+            heal = True
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            heal = False
+        with open(self.path, "r+b") as handle:
+            if heal:
+                handle.seek(0, os.SEEK_END)
+                handle.write(b"\n")
+            else:
+                handle.truncate(len(data) - len(tail))
+                self.n_dropped_torn += 1
+
+    def append(self, record: Dict[str, object]) -> None:
+        """Append one record and flush, so interrupts lose at most one line."""
+        if "spec_hash" not in record:
+            raise ValueError("campaign records must carry a 'spec_hash' key")
+        if self._handle is None:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._prepare_append()
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Close the append handle (reopened automatically if needed)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CampaignStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<CampaignStore {self.path!r}>"
+
+
+def _sum_counters(records: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Sum the per-record engine counter deltas (absent counters count 0)."""
+    return EvaluationEngine.merge_stats(
+        [record.get("counters") or {} for record in records]
+    )
+
+
+def summarize_records(records: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Campaign-level roll-up of a sequence of campaign records.
+
+    Shared by :meth:`CampaignResult.summary` and ``repro campaign
+    summarize``, so a stored JSONL file summarizes exactly like a live
+    campaign.
+    """
+    ok = [r for r in records if r.get("status") == "ok"]
+    failed = [r for r in records if r.get("status") == "error"]
+    peaks = [
+        r["result"]["peak_temperature_K"]
+        for r in ok
+        if r.get("action") == "run" and isinstance(r.get("result"), dict)
+        and "peak_temperature_K" in r["result"]
+    ]
+    wall = sum(float(r.get("wall_time_s", 0.0)) for r in records)
+    summary: Dict[str, object] = {
+        "n_records": len(records),
+        "n_ok": len(ok),
+        "n_failed": len(failed),
+        # Thread-executor records carry counters: None (per-task deltas on
+        # a shared session are not attributable); when any such record is
+        # present the summed counters are a lower bound, flagged here.
+        "counters_complete": all(r.get("counters") is not None for r in records),
+        "actions": sorted({str(r.get("action")) for r in records}),
+        "solvers": sorted(
+            {str(r.get("solver")) for r in records if r.get("solver")}
+        ),
+        "workers_seen": sorted(
+            {
+                int(r["worker"]["pid"])
+                for r in records
+                if isinstance(r.get("worker"), dict) and "pid" in r["worker"]
+            }
+        ),
+        "task_wall_time_s": wall,
+        "counters": _sum_counters(records),
+        "failures": [
+            {"scenario": r.get("scenario"), "error": r.get("error")}
+            for r in failed
+        ],
+    }
+    if peaks:
+        summary["peak_temperature_K_min"] = min(peaks)
+        summary["peak_temperature_K_max"] = max(peaks)
+    return summary
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one campaign: ordered records plus provenance.
+
+    Attributes
+    ----------
+    name:
+        The sweep name (or ``"campaign"`` for ad-hoc scenario lists).
+    executor / workers:
+        Which executor ran the fresh tasks and with how many workers.
+    records:
+        One plain-data record per scenario, in sweep order.  Records
+        resumed from a store carry ``"source": "store"``; freshly-run
+        records carry ``"source": "run"``.
+    wall_time_s:
+        End-to-end campaign wall time (fresh work only).
+    n_from_store:
+        How many scenarios were served from the campaign store.
+    store_path:
+        The JSONL file records were streamed to, if any.
+    provenance:
+        Campaign-level context, including ``counters`` -- the engine
+        solve/cache counters attributable to this campaign, aggregated
+        across threads and worker processes.
+    """
+
+    name: str
+    executor: str
+    workers: int
+    records: List[Dict[str, object]]
+    wall_time_s: float
+    n_from_store: int = 0
+    store_path: Optional[str] = None
+    provenance: Dict[str, object] = field(default_factory=dict)
+
+    # -- access ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def n_ok(self) -> int:
+        """Scenarios that completed successfully."""
+        return sum(1 for r in self.records if r.get("status") == "ok")
+
+    @property
+    def n_failed(self) -> int:
+        """Scenarios whose record is an error."""
+        return sum(1 for r in self.records if r.get("status") == "error")
+
+    def record_for(self, scenario: str) -> Dict[str, object]:
+        """The record of a scenario by its expanded name."""
+        for record in self.records:
+            if record.get("scenario") == scenario:
+                return record
+        raise KeyError(f"no campaign record for scenario {scenario!r}")
+
+    def results(self) -> List[Optional[Dict[str, object]]]:
+        """The per-scenario result payloads in sweep order (None on error)."""
+        return [record.get("result") for record in self.records]
+
+    def metrics(self, key: str) -> List[Optional[float]]:
+        """One result metric across the campaign (None for failed runs)."""
+        return [
+            (record.get("result") or {}).get(key) for record in self.records
+        ]
+
+    # -- reporting ---------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        """Roll-up of the campaign (counts, failures, aggregated counters)."""
+        summary = summarize_records(self.records)
+        summary.update(
+            {
+                "name": self.name,
+                "executor": self.executor,
+                "workers": self.workers,
+                "wall_time_s": self.wall_time_s,
+                "n_from_store": self.n_from_store,
+                "store_path": self.store_path,
+                "counters": self.provenance.get("counters", summary["counters"]),
+            }
+        )
+        return summary
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible representation (summary + full records)."""
+        return {
+            "name": self.name,
+            "executor": self.executor,
+            "workers": self.workers,
+            "wall_time_s": self.wall_time_s,
+            "n_from_store": self.n_from_store,
+            "store_path": self.store_path,
+            "summary": self.summary(),
+            "provenance": self.provenance,
+            "records": self.records,
+        }

@@ -14,6 +14,13 @@ with ``--json`` / ``--output``, so runs can be scripted and diffed:
     repro optimize test-a --save-design opt.json
     repro run opt.json --solver ice          # render the optimized design
     repro bench test-a --repeat 3            # wall times + cache stats
+    repro sweep sweep.json --executor process --workers 4 \
+        --out campaign.jsonl                 # run a whole scenario family
+    repro campaign summarize campaign.jsonl  # roll up a stored campaign
+
+Campaigns stream one JSONL record per completed scenario into ``--out``;
+re-running the same sweep with the same ``--out`` file *resumes* -- stored
+scenarios are skipped by spec hash instead of recomputed.
 
 The console script is installed by the package (``pyproject.toml``); the
 module also runs as ``python -m repro.cli``.
@@ -28,7 +35,10 @@ import time
 from typing import Dict, List, Optional
 
 from .api import Session
+from .campaign import CampaignStore, summarize_records
+from .exec import available_executors, make_tasks
 from .scenarios import SCENARIOS, ScenarioSpec, resolve_scenario
+from .sweeps import SweepSpec, expand_scenarios, is_sweep_mapping
 
 __all__ = ["main", "build_parser"]
 
@@ -54,11 +64,20 @@ def _emit(payload: Dict[str, object], args: argparse.Namespace) -> None:
 def _resolve(argument: str, backend: Optional[str] = None) -> ScenarioSpec:
     """Resolve a CLI scenario argument (registered name or JSON file).
 
-    ``backend`` (from ``--backend``) overrides the spec's linear-solver
-    backend for both the FDM and the finite-volume solve paths.
+    ``backend`` (from ``--backend``) selects the linear-solver backend for
+    both the FDM and the finite-volume solve paths.  It fills in for the
+    spec's default (``"auto"``), but *conflicting* with a backend the
+    scenario pins explicitly is an error -- silently overriding a pinned
+    backend would make the flag and the file disagree about what ran.
     """
     spec = resolve_scenario(argument)
     if backend:
+        pinned = spec.solver.backend
+        if pinned != "auto" and pinned != backend:
+            raise ValueError(
+                f"--backend {backend} conflicts with the scenario's pinned "
+                f"solver.backend {pinned!r}; edit the spec or drop --backend"
+            )
         spec = spec.with_solver(backend=backend)
     return spec
 
@@ -265,6 +284,134 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_sweep(argument: str) -> object:
+    """Resolve a CLI sweep argument into something ``run_many`` accepts.
+
+    A path to a JSON file holding a sweep (has a ``base`` key) or a single
+    scenario, or a registered scenario name (a one-scenario campaign).
+    """
+    import os
+
+    if os.path.exists(argument):
+        with open(argument, "r", encoding="utf-8") as handle:
+            try:
+                data = json.load(handle)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{argument}: not valid JSON ({error})") from None
+        if is_sweep_mapping(data):
+            return SweepSpec.from_dict(data)
+        return ScenarioSpec.from_dict(data)
+    return resolve_scenario(argument)
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """``repro sweep`` -- run a scenario family through an executor."""
+    if args.optimize and args.solver:
+        raise ValueError(
+            "--solver does not apply to --optimize campaigns (the design "
+            "flow always runs on the FDM engine); drop --solver"
+        )
+    sweep = _load_sweep(args.sweep)
+    specs = expand_scenarios(sweep)
+    action = "optimize" if args.optimize else "run"
+    if args.dry_run:
+        # Emit the exact resume keys campaign records will carry, so the
+        # dry-run output can be matched against a store's spec_hash field.
+        rows = [
+            {"index": task.index, "scenario": task.spec.name, "spec_hash": task.key()}
+            for task in make_tasks(specs, action=action, solver=args.solver)
+        ]
+        if args.json:
+            print(json.dumps(rows, indent=2, sort_keys=True))
+        else:
+            for row in rows:
+                print(f"{row['index']:4d}  {row['scenario']}")
+            print(f"{len(rows)} scenario(s); nothing run (--dry-run)")
+        return 0
+
+    def report(record: Dict[str, object]) -> None:
+        status = record["status"]
+        tail = (
+            f"peak {record['result']['peak_temperature_K']:.3f} K"
+            if status == "ok" and record.get("action") == "run"
+            else (record.get("error") or "done")
+        )
+        print(
+            f"[{record['index'] + 1}/{len(specs)}] {record['scenario']}: "
+            f"{status} ({record['wall_time_s']:.3g} s) {tail}",
+            file=sys.stderr,
+        )
+
+    campaign = Session().run_many(
+        sweep,
+        executor=args.executor,
+        workers=args.workers,
+        solver=args.solver,
+        out=args.out,
+        action=action,
+        progress=report if not args.quiet else None,
+    )
+    payload = campaign.to_dict()
+    if args.json or args.output:
+        _emit(payload, args)
+    else:
+        summary = payload["summary"]
+        print(
+            f"{campaign.name}: {summary['n_ok']}/{summary['n_records']} ok "
+            f"via {campaign.executor} ({campaign.workers} worker(s)), "
+            f"{campaign.n_from_store} from store, "
+            f"wall {campaign.wall_time_s:.3g} s"
+        )
+        counters = summary["counters"]
+        print(
+            f"  engines: {counters['n_solves']} solves, "
+            f"{counters['n_cache_hits']} cache hits across all workers"
+        )
+        if campaign.store_path:
+            print(f"  campaign store: {campaign.store_path}")
+        for failure in summary["failures"]:
+            print(f"  FAILED {failure['scenario']}: {failure['error']}")
+    return 0 if campaign.n_failed == 0 else 1
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """``repro campaign summarize`` -- roll up a stored campaign JSONL."""
+    store = CampaignStore(args.file)
+    records = list(store.load().values())
+    records.sort(key=lambda record: record.get("index", 0))
+    summary = summarize_records(records)
+    summary["store_path"] = store.path
+    summary["n_dropped_torn"] = store.n_dropped_torn
+    if args.json or args.output:
+        _emit(summary, args)
+    else:
+        print(
+            f"{store.path}: {summary['n_ok']}/{summary['n_records']} ok, "
+            f"{summary['n_failed']} failed, task wall "
+            f"{summary['task_wall_time_s']:.3g} s, "
+            f"{len(summary['workers_seen'])} worker(s)"
+        )
+        counters = summary["counters"]
+        qualifier = (
+            ""
+            if summary["counters_complete"]
+            else " (lower bound: some records carry no per-task counters)"
+        )
+        print(
+            f"  engines: {counters['n_solves']} solves, "
+            f"{counters['n_cache_hits']} cache hits{qualifier}"
+        )
+        if "peak_temperature_K_max" in summary:
+            print(
+                f"  peak temperature: "
+                f"{summary['peak_temperature_K_min']:.3f} .. "
+                f"{summary['peak_temperature_K_max']:.3f} K"
+            )
+        for failure in summary["failures"]:
+            print(f"  FAILED {failure['scenario']}: {failure['error']}")
+    return 0
+
+
 # -- parser -----------------------------------------------------------------
 
 
@@ -354,6 +501,73 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_output_arguments(optimize_parser)
     optimize_parser.set_defaults(func=cmd_optimize)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="run a scenario family (sweep JSON, scenario file or name)",
+    )
+    sweep_parser.add_argument(
+        "sweep",
+        help=(
+            "sweep JSON file (base + axes), scenario JSON file, or "
+            "registered scenario name"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--executor",
+        default="serial",
+        help=(
+            "campaign executor: one of "
+            + "/".join(available_executors())
+            + " or a custom registered name (default: serial)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--workers", type=int, default=1, help="worker count for thread/process"
+    )
+    sweep_parser.add_argument(
+        "--solver",
+        choices=("fdm", "ice"),
+        default=None,
+        help="simulator family override for every scenario",
+    )
+    sweep_parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help=(
+            "campaign store (JSONL, one record per scenario); re-running "
+            "with the same file resumes instead of recomputing"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--optimize",
+        action="store_true",
+        help="run the Sec. IV design flow on every scenario instead of simulating",
+    )
+    sweep_parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="list the expanded scenarios without running anything",
+    )
+    sweep_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-scenario progress lines"
+    )
+    _add_output_arguments(sweep_parser)
+    sweep_parser.set_defaults(func=cmd_sweep)
+
+    campaign_parser = subparsers.add_parser(
+        "campaign", help="inspect stored campaign JSONL files"
+    )
+    campaign_sub = campaign_parser.add_subparsers(
+        dest="campaign_command", required=True
+    )
+    summarize_parser = campaign_sub.add_parser(
+        "summarize", help="roll up a campaign store (counts, counters, extrema)"
+    )
+    summarize_parser.add_argument("file", help="campaign JSONL file")
+    _add_output_arguments(summarize_parser)
+    summarize_parser.set_defaults(func=cmd_campaign)
 
     bench_parser = subparsers.add_parser(
         "bench", help="repeated runs: wall times and cache statistics"

@@ -34,10 +34,23 @@ from ..thermal.fdm import solve_structure
 from ..thermal.geometry import MultiChannelStructure, TestStructure
 from ..thermal.solution import ThermalSolution
 
-__all__ = ["EvaluationEngine"]
+__all__ = ["EvaluationEngine", "COUNTER_KEYS"]
 
 #: Sentinel meaning "derive the cache key from the structure fingerprint".
 _AUTO_KEY = object()
+
+#: The engine's monotonically-increasing solve/cache counters -- the
+#: fields campaign aggregation sums across engines, sessions and worker
+#: processes (:func:`EvaluationEngine.merge_stats`).
+COUNTER_KEYS = (
+    "n_solves",
+    "n_cache_hits",
+    "n_cache_misses",
+    "n_evictions",
+    "n_uncacheable",
+    "n_batches",
+    "n_batch_items",
+)
 
 
 class EvaluationEngine:
@@ -313,6 +326,22 @@ class EvaluationEngine:
                 "n_batch_items": self.n_batch_items,
                 "hit_rate": (self.n_cache_hits / lookups) if lookups else 0.0,
             }
+
+    @staticmethod
+    def merge_stats(stats_list: Sequence[Dict[str, object]]) -> Dict[str, object]:
+        """Sum counter fields across several :meth:`stats` payloads.
+
+        Used by campaigns to aggregate solve/cache activity across the
+        engines of one session and across worker processes; the hit rate
+        is recomputed from the merged totals.
+        """
+        merged: Dict[str, object] = dict.fromkeys(COUNTER_KEYS, 0)
+        for stats in stats_list:
+            for key in COUNTER_KEYS:
+                merged[key] += int(stats.get(key, 0))
+        lookups = merged["n_cache_hits"] + merged["n_cache_misses"]
+        merged["hit_rate"] = (merged["n_cache_hits"] / lookups) if lookups else 0.0
+        return merged
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         stats = self.stats()

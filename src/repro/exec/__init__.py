@@ -1,0 +1,104 @@
+"""Pluggable campaign executors: serial, thread and process fan-out.
+
+The executor layer turns an expanded sweep (an ordered list of
+:class:`~repro.exec.base.CampaignTask`) into a stream of plain-data
+campaign records.  Three implementations ship:
+
+========== ===================================================== ==========
+name       parallelism                                           caches
+========== ===================================================== ==========
+serial     none (the reference; record order == task order)      shared
+thread     ``ThreadPoolExecutor`` over the caller's session      shared
+process    ``ProcessPoolExecutor``; workers build own sessions   per worker
+========== ===================================================== ==========
+
+``serial`` and ``thread`` share the calling session's evaluation engines;
+``process`` is the executor that breaks the GIL bound of sparse-LU solves
+-- workers receive pickled specs and return ``SimulationResult.to_dict``
+payloads, bit-identical to serial execution.
+
+Custom executors implement the :class:`~repro.exec.base.Executor` protocol
+(``name`` + ``execute(tasks, session)``) and register under a name::
+
+    from repro.exec import register_executor
+
+    register_executor("slurm", SlurmExecutor)         # a factory, or
+    register_executor("slurm", "my_pkg.exec:Slurm")   # lazy module:attr
+
+String factories are resolved on first use, so registration never forces
+an import -- the same import-order-safe scheme the simulator registry
+uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Union
+
+from .base import ACTIONS, COUNTER_KEYS, CampaignTask, Executor, execute_task, make_tasks
+from .local import SerialExecutor, ThreadExecutor
+from .process import ProcessExecutor
+
+__all__ = [
+    "ACTIONS",
+    "COUNTER_KEYS",
+    "CampaignTask",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "available_executors",
+    "get_executor",
+    "register_executor",
+    "execute_task",
+    "make_tasks",
+]
+
+#: Registry of executor factories keyed by name.  Values are callables
+#: (``factory(workers=...)``) or lazy ``"module:attr"`` references
+#: resolved on first use.
+_EXECUTORS: Dict[str, Union[str, Callable[..., Executor]]] = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def available_executors() -> List[str]:
+    """Names of the registered executors, in registration order."""
+    return list(_EXECUTORS)
+
+
+def register_executor(
+    name: str,
+    factory: Union[str, Callable[..., Executor]],
+    overwrite: bool = False,
+) -> None:
+    """Register an executor factory (or lazy ``"module:attr"`` path)."""
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"executor name must be a non-empty string, got {name!r}")
+    if name in _EXECUTORS and not overwrite:
+        raise ValueError(
+            f"executor {name!r} is already registered; "
+            "pass overwrite=True to replace it"
+        )
+    _EXECUTORS[name] = factory
+
+
+def _resolve_factory(name: str) -> Callable[..., Executor]:
+    try:
+        factory = _EXECUTORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor {name!r}; available: {available_executors()}"
+        ) from None
+    if isinstance(factory, str):
+        from .._compat import import_attribute
+
+        factory = import_attribute(factory, context=f"executor {name!r}")
+        _EXECUTORS[name] = factory  # cache the resolved factory
+    return factory
+
+
+def get_executor(name: str, workers: int = 1) -> Executor:
+    """Build a registered executor by name with the given worker count."""
+    return _resolve_factory(name)(workers=workers)

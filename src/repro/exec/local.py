@@ -1,0 +1,80 @@
+"""In-process executors: serial and thread-pool campaign execution.
+
+Both run against the *caller's* :class:`~repro.api.Session`, so every task
+shares the session's evaluation engines and their LRU solution caches --
+a flux sweep that revisits a design the optimizer already solved is served
+from cache, exactly like a hand-written ``Session.run`` loop.
+
+``SerialExecutor`` is the reference implementation: records come back in
+task order, and a campaign run through it is bit-identical to looping
+``Session.run`` over the expanded scenarios yourself.
+
+``ThreadExecutor`` fans tasks out over a ``concurrent.futures`` thread
+pool.  The engines are thread-safe, but the sparse-LU workhorse holds the
+GIL during factorization, so threads mainly help mixed campaigns (ICE +
+FDM), GIL-releasing backends, and I/O-heavy custom simulators; the process
+executor (:mod:`repro.exec.process`) is the one that breaks the GIL bound.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from typing import Dict, Iterator, Sequence
+
+from .base import CampaignTask, execute_task
+
+__all__ = ["SerialExecutor", "ThreadExecutor"]
+
+
+class SerialExecutor:
+    """Run campaign tasks one after another on the calling thread."""
+
+    name = "serial"
+    #: Tasks run on the caller's session, so campaign statistics come from
+    #: the session's own counter delta (not from per-record counters).
+    shares_session = True
+
+    def __init__(self, workers: int = 1) -> None:
+        # The parameter is accepted for registry uniformity; serial
+        # execution always uses exactly one worker.
+        self.workers = 1
+
+    def execute(
+        self, tasks: Sequence[CampaignTask], session
+    ) -> Iterator[Dict[str, object]]:
+        for task in tasks:
+            yield execute_task(task, session)
+
+
+class ThreadExecutor:
+    """Fan campaign tasks out over a thread pool sharing one session."""
+
+    name = "thread"
+    #: See SerialExecutor: per-record counter deltas of overlapping thread
+    #: tasks can attribute shared engine activity to either task, so the
+    #: campaign layer aggregates from the session delta instead.
+    shares_session = True
+
+    def __init__(self, workers: int = 2) -> None:
+        if workers < 1:
+            raise ValueError(f"thread executor needs workers >= 1, got {workers}")
+        self.workers = int(workers)
+
+    def execute(
+        self, tasks: Sequence[CampaignTask], session
+    ) -> Iterator[Dict[str, object]]:
+        if not tasks:
+            return
+        if self.workers == 1 or len(tasks) == 1:
+            for task in tasks:
+                yield execute_task(task, session)
+            return
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            # task_counters=False: overlapping tasks on the shared session
+            # cannot attribute engine activity to themselves truthfully.
+            futures = [
+                pool.submit(execute_task, task, session, False)
+                for task in tasks
+            ]
+            for future in as_completed(futures):
+                yield future.result()

@@ -33,6 +33,7 @@ Example::
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from dataclasses import dataclass, fields, replace
@@ -706,6 +707,16 @@ class ScenarioSpec:
     def to_json(self, indent: Optional[int] = 2) -> str:
         """JSON representation of the spec."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def spec_hash(self) -> str:
+        """Content hash of the spec (sha256 over the canonical JSON form).
+
+        Two specs have equal hashes exactly when they are equal as specs
+        (same canonical plain-data form), so campaign stores can use the
+        hash as a resume key across processes and sessions.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     @classmethod
     def from_json(cls, text: str) -> "ScenarioSpec":

@@ -1,0 +1,476 @@
+"""Declarative sweep specifications -- families of scenarios as one value.
+
+The paper's headline results are not single runs but *families* of runs:
+flux sweeps (Fig. 4), architecture comparisons (Fig. 7), design-space
+explorations.  A :class:`SweepSpec` describes such a family declaratively
+-- one base :class:`~repro.scenarios.ScenarioSpec` plus *axes* that vary
+any spec field -- and expands deterministically into an ordered list of
+named scenarios that the executor layer (:mod:`repro.exec`) can run
+serially, over threads, or over worker processes.
+
+Three expansion shapes are supported, mirroring common experiment designs:
+
+* ``mode="grid"`` (default) -- the cartesian product of the axes, last
+  axis fastest (row-major, like :func:`itertools.product`);
+* ``mode="zip"`` -- axes advance in lockstep (all must share one length);
+* ``overrides`` -- an explicit list of override mappings; when axes are
+  also present every axis combination is crossed with every override.
+
+Axis fields are dotted paths into the scenario dictionary
+(:meth:`ScenarioSpec.to_dict`): ``"workload.flux_w_per_cm2"``,
+``"workload.architecture"``, ``"grid.n_grid_points"``,
+``"solver.backend"``, ``"optimizer.multistart"``,
+``"params.flow_rate_per_channel"`` and so on.  Every expanded scenario is
+rebuilt through :meth:`ScenarioSpec.from_dict`, so spec validation applies
+to each point of the sweep, and expansion is pure: the same sweep always
+produces the same scenarios with the same names.
+
+Like scenarios, sweeps round-trip losslessly through JSON
+(:meth:`SweepSpec.to_json` / :meth:`SweepSpec.from_json`), so a whole
+campaign can live in one checked-in file::
+
+    {
+      "name": "flux-arch",
+      "base": "niagara-arch1",
+      "axes": [
+        {"field": "workload.flux_w_per_cm2", "values": [50, 100, 150]},
+        {"field": "workload.architecture", "values": ["arch1", "arch2"]}
+      ]
+    }
+
+Example::
+
+    from repro.sweeps import SweepAxis, SweepSpec
+    from repro.scenarios import get_scenario
+
+    sweep = SweepSpec(
+        name="flux",
+        base=get_scenario("test-a"),
+        axes=(SweepAxis("workload.flux_w_per_cm2", (50.0, 100.0)),),
+    )
+    specs = sweep.scenarios()        # 2 ScenarioSpecs, deterministic names
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .scenarios import ScenarioSpec, resolve_scenario
+
+__all__ = [
+    "SweepAxis",
+    "SweepSpec",
+    "apply_field_overrides",
+    "expand_scenarios",
+    "is_sweep_mapping",
+    "resolve_campaign",
+]
+
+#: Expansion modes a sweep can request.
+SWEEP_MODES: Tuple[str, ...] = ("grid", "zip")
+
+#: Maximum length of the human-readable slug in expanded scenario names.
+_MAX_SLUG = 72
+
+
+def _set(instance, **values) -> None:
+    """Assign coerced values on a frozen dataclass instance."""
+    for name, value in values.items():
+        object.__setattr__(instance, name, value)
+
+
+def _canonical(value):
+    """Deep-convert a value to its canonical JSON shape.
+
+    Tuples become lists and mapping keys become strings, so an axis value
+    written in Python (``(30e-6, 40e-6)``, ``{"n_cols": 10}``) compares,
+    serializes and round-trips identically to the same value loaded from
+    a sweep JSON file.
+    """
+    if isinstance(value, Mapping):
+        return {str(key): _canonical(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    return value
+
+
+def _format_value(value) -> Optional[str]:
+    """Compact rendering of an axis value for scenario names, or None."""
+    if isinstance(value, bool):
+        return "on" if value else "off"
+    if isinstance(value, (int, float)):
+        return format(value, "g")
+    if isinstance(value, str) and value:
+        return value.replace("/", "-").replace(" ", "-")
+    return None
+
+
+def _assign(data: Dict[str, object], dotted: str, value) -> None:
+    """Set a dotted-path field inside a scenario dictionary in place."""
+    parts = dotted.split(".")
+    node = data
+    for part in parts[:-1]:
+        child = node.get(part)
+        if not isinstance(child, dict):
+            raise ValueError(
+                f"sweep field {dotted!r}: {part!r} is not a section of a "
+                f"scenario (sections: {sorted(k for k, v in data.items() if isinstance(v, dict))})"
+            )
+        node = child
+    node[parts[-1]] = value
+
+
+def apply_field_overrides(
+    base: ScenarioSpec,
+    overrides: Mapping[str, object],
+    name: Optional[str] = None,
+    description: Optional[str] = None,
+) -> ScenarioSpec:
+    """Rebuild ``base`` with dotted-path field overrides applied.
+
+    Overrides go through the plain-data representation and back through
+    :meth:`ScenarioSpec.from_dict`, so every expanded point is validated
+    exactly like a hand-written spec (unknown fields, range errors and
+    inconsistent sections are rejected with the scenarios' own messages).
+    """
+    data = base.to_dict()
+    for field, value in overrides.items():
+        _assign(data, field, value)
+    if name is not None:
+        data["name"] = name
+    if description is not None:
+        data["description"] = description
+    return ScenarioSpec.from_dict(data)
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One varied spec field: a dotted path and the values it takes.
+
+    Attributes
+    ----------
+    field:
+        Dotted path into :meth:`ScenarioSpec.to_dict` (for example
+        ``"workload.flux_w_per_cm2"`` or ``"solver.backend"``).
+    values:
+        The ordered values the field takes across the sweep.
+    label:
+        Optional short label used in expanded scenario names; defaults to
+        the last path segment.
+    """
+
+    field: str
+    values: Tuple[object, ...] = ()
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.field, str) or not self.field:
+            raise ValueError(
+                f"axis.field must be a non-empty dotted path, got {self.field!r}"
+            )
+        if self.field == "name" or self.field.startswith("name."):
+            raise ValueError(
+                "axis.field must not be 'name': expanded scenarios are "
+                "named deterministically by the sweep"
+            )
+        values = tuple(_canonical(value) for value in self.values)
+        if not values:
+            raise ValueError(f"axis {self.field!r} has no values")
+        _set(self, values=values, label=str(self.label))
+
+    @property
+    def display_label(self) -> str:
+        """The label used in expanded scenario names."""
+        return self.label or self.field.rsplit(".", 1)[-1]
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data (JSON-compatible) representation of the axis."""
+        payload: Dict[str, object] = {
+            "field": self.field,
+            "values": list(self.values),  # values are canonical already
+        }
+        if self.label:
+            payload["label"] = self.label
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SweepAxis":
+        """Rebuild an axis from :meth:`to_dict` output (with validation)."""
+        if not isinstance(data, Mapping):
+            raise ValueError(f"a sweep axis must be a mapping, got {type(data).__name__}")
+        unknown = sorted(set(data) - {"field", "values", "label"})
+        if unknown:
+            raise ValueError(
+                f"sweep axis: unknown field(s) {unknown}; allowed fields are "
+                "['field', 'label', 'values']"
+            )
+        if "field" not in data:
+            raise ValueError("sweep axis: the 'field' key is required")
+        return cls(
+            field=data["field"],
+            values=tuple(data.get("values", ())),
+            label=data.get("label", ""),
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A family of scenarios: one base spec plus the axes that vary it.
+
+    Attributes
+    ----------
+    name:
+        Sweep name; expanded scenarios are named ``{name}/{index}-{slug}``.
+    base:
+        The :class:`ScenarioSpec` every expansion starts from (a registered
+        scenario name or spec mapping is accepted at construction).
+    axes:
+        The varied fields (see :class:`SweepAxis`).
+    mode:
+        ``"grid"`` (cartesian product, last axis fastest) or ``"zip"``
+        (lockstep; all axes must share one length).
+    overrides:
+        Optional explicit list of dotted-field override mappings; each
+        axis combination is crossed with each override (override values
+        win on shared fields).  With no axes, the overrides alone define
+        the expansion.
+    description:
+        One-line human description of the campaign.
+    """
+
+    name: str
+    base: ScenarioSpec = None  # validated/coerced in __post_init__
+    axes: Tuple[SweepAxis, ...] = ()
+    mode: str = "grid"
+    overrides: Tuple[Tuple[Tuple[str, object], ...], ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError(f"sweep name must be a non-empty string, got {self.name!r}")
+        if self.base is None:
+            raise ValueError("sweep.base is required (a ScenarioSpec, name or mapping)")
+        if not isinstance(self.base, ScenarioSpec):
+            _set(self, base=resolve_scenario(self.base))
+        axes = []
+        for axis in self.axes:
+            if isinstance(axis, Mapping):
+                axis = SweepAxis.from_dict(axis)
+            if not isinstance(axis, SweepAxis):
+                raise ValueError(
+                    f"sweep.axes entries must be SweepAxis (or mappings), "
+                    f"got {type(axis).__name__}"
+                )
+            axes.append(axis)
+        _set(self, axes=tuple(axes), description=str(self.description))
+        fields = [axis.field for axis in self.axes]
+        duplicates = sorted({field for field in fields if fields.count(field) > 1})
+        if duplicates:
+            raise ValueError(f"sweep.axes repeat field(s) {duplicates}")
+        if self.mode not in SWEEP_MODES:
+            raise ValueError(
+                f"sweep.mode must be one of {list(SWEEP_MODES)}, got {self.mode!r}"
+            )
+        if self.mode == "zip" and self.axes:
+            lengths = {len(axis.values) for axis in self.axes}
+            if len(lengths) > 1:
+                raise ValueError(
+                    "sweep.mode 'zip' needs axes of equal length, got lengths "
+                    f"{[len(axis.values) for axis in self.axes]}"
+                )
+        overrides = []
+        for entry in self.overrides:
+            pairs_in = entry.items() if isinstance(entry, Mapping) else entry
+            pairs = tuple((str(key), _canonical(value)) for key, value in pairs_in)
+            for key, _ in pairs:
+                if key == "name":
+                    raise ValueError(
+                        "sweep.overrides must not set 'name': expanded "
+                        "scenarios are named deterministically by the sweep"
+                    )
+            overrides.append(pairs)
+        _set(self, overrides=tuple(overrides))
+        # Expanding eagerly surfaces bad fields/values at construction time
+        # (each point runs through ScenarioSpec.from_dict validation)
+        # instead of mid-campaign; the result is cached so later
+        # scenarios() calls (CLI totals, run_many) pay nothing.
+        _set(self, _expanded=tuple(self._expand()))
+
+    # -- expansion ---------------------------------------------------------
+
+    def _axis_combos(self) -> List[List[Tuple[str, object]]]:
+        """Ordered (field, value) combinations produced by the axes."""
+        if not self.axes:
+            return [[]]
+        per_axis = [
+            [(axis.field, value) for value in axis.values] for axis in self.axes
+        ]
+        if self.mode == "zip":
+            return [list(combo) for combo in zip(*per_axis)]
+        return [list(combo) for combo in itertools.product(*per_axis)]
+
+    @property
+    def n_scenarios(self) -> int:
+        """Number of scenarios the sweep expands into."""
+        return len(self._expanded)
+
+    def _slug(self, combo: Sequence[Tuple[str, object]], override_index: int) -> str:
+        """Human-readable tail of an expanded scenario name."""
+        labels = {axis.field: axis.display_label for axis in self.axes}
+        parts = []
+        for field, value in combo:
+            rendered = _format_value(value)
+            if rendered is not None:
+                parts.append(f"{labels.get(field, field)}={rendered}")
+        if len(self.overrides) > 1:
+            parts.append(f"case{override_index}")
+        slug = "_".join(parts)
+        return slug[:_MAX_SLUG]
+
+    def scenarios(self) -> List[ScenarioSpec]:
+        """The ordered, named scenario specs this sweep expands into.
+
+        Expansion is deterministic: grid mode walks the cartesian product
+        with the last axis fastest, zip mode walks the axes in lockstep,
+        and each combination is crossed with each explicit override (in
+        list order).  Names are ``{sweep}/{index:03d}-{slug}``.  The
+        expansion is computed once at construction and cached.
+        """
+        return list(self._expanded)
+
+    def _expand(self) -> List[ScenarioSpec]:
+        combos = self._axis_combos()
+        overrides = [dict(pairs) for pairs in self.overrides] or [{}]
+        expanded: List[ScenarioSpec] = []
+        index = 0
+        for combo in combos:
+            for override_index, override in enumerate(overrides):
+                merged = dict(combo)
+                merged.update(override)
+                slug = self._slug(combo, override_index)
+                name = f"{self.name}/{index:03d}" + (f"-{slug}" if slug else "")
+                description = self.description or (
+                    f"{self.name} sweep point {index} over {self.base.name}"
+                )
+                expanded.append(
+                    apply_field_overrides(
+                        self.base, merged, name=name, description=description
+                    )
+                )
+                index += 1
+        return expanded
+
+    def scenario_names(self) -> List[str]:
+        """Names of the expanded scenarios, in expansion order."""
+        return [spec.name for spec in self.scenarios()]
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data (JSON-compatible) representation of the sweep."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "base": self.base.to_dict(),
+            "axes": [axis.to_dict() for axis in self.axes],
+            "mode": self.mode,
+            "overrides": [dict(pairs) for pairs in self.overrides],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SweepSpec":
+        """Rebuild a sweep from :meth:`to_dict` output (with validation).
+
+        ``base`` may be a full scenario mapping, a registered scenario
+        name, or a :class:`ScenarioSpec`.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError(f"a sweep must be a mapping, got {type(data).__name__}")
+        allowed = {"name", "description", "base", "axes", "mode", "overrides"}
+        unknown = sorted(set(data) - allowed)
+        if unknown:
+            raise ValueError(
+                f"sweep: unknown field(s) {unknown}; allowed fields are "
+                f"{sorted(allowed)}"
+            )
+        for key in ("name", "base"):
+            if key not in data:
+                raise ValueError(f"sweep: the {key!r} field is required")
+        return cls(
+            name=data["name"],
+            base=data["base"],
+            axes=tuple(data.get("axes", ())),
+            mode=data.get("mode", "grid"),
+            overrides=tuple(data.get("overrides", ())),
+            description=data.get("description", ""),
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """JSON representation of the sweep."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        """Rebuild a sweep from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: Union[str, os.PathLike]) -> None:
+        """Write the sweep to a JSON file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: Union[str, os.PathLike]) -> "SweepSpec":
+        """Read a sweep from a JSON file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+
+def is_sweep_mapping(data) -> bool:
+    """True when a mapping looks like a sweep (has a ``base`` section)."""
+    return isinstance(data, Mapping) and "base" in data
+
+
+def resolve_campaign(sweep) -> Tuple[str, List[ScenarioSpec]]:
+    """Campaign name + ordered scenario specs of anything campaign-shaped.
+
+    Accepts a :class:`SweepSpec`, a sweep mapping (with a ``base`` key), a
+    path to a sweep *or* scenario JSON file, a sequence of scenario-likes,
+    or any single scenario-like accepted by
+    :func:`~repro.scenarios.resolve_scenario` (spec, registered name,
+    mapping) -- the latter expand to a one-scenario campaign.  The name is
+    the sweep's name (wherever the sweep came from), the single scenario's
+    name, or ``"campaign"`` for ad-hoc scenario sequences.
+    """
+    if is_sweep_mapping(sweep):
+        sweep = SweepSpec.from_dict(sweep)
+    elif isinstance(sweep, (str, os.PathLike)):
+        text = os.fspath(sweep)
+        if os.path.exists(text):
+            with open(text, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            sweep = (
+                SweepSpec.from_dict(data)
+                if is_sweep_mapping(data)
+                else ScenarioSpec.from_dict(data)
+            )
+        else:
+            sweep = resolve_scenario(text)
+    if isinstance(sweep, SweepSpec):
+        return sweep.name, sweep.scenarios()
+    if isinstance(sweep, Sequence) and not isinstance(sweep, (str, bytes, Mapping)):
+        return "campaign", [resolve_scenario(item) for item in sweep]
+    spec = resolve_scenario(sweep)
+    return spec.name, [spec]
+
+
+def expand_scenarios(sweep) -> List[ScenarioSpec]:
+    """The ordered scenario specs of anything campaign-shaped.
+
+    See :func:`resolve_campaign` for the accepted shapes.
+    """
+    return resolve_campaign(sweep)[1]

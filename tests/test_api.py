@@ -229,3 +229,119 @@ class TestSession:
             payload["ice"]["thermal_gradient_K"]
             - payload["fdm"]["thermal_gradient_K"]
         )
+
+
+class TestPickleRoundTrip:
+    """Specs and results must pickle: the process executor ships both."""
+
+    def test_simulation_result_pickles(self, small_test_a):
+        import pickle
+
+        result = run(small_test_a, solver="fdm")
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.to_dict() == result.to_dict()
+        assert clone.peak_temperature_K == result.peak_temperature_K
+        # The raw solution rides along too (needed by in-process reuse).
+        assert clone.solution is not None
+        assert clone.solution.peak_temperature == (
+            result.solution.peak_temperature
+        )
+
+    def test_ice_result_pickles(self, small_test_a):
+        import pickle
+
+        result = run(small_test_a, solver="ice")
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.to_dict() == result.to_dict()
+
+    def test_optimization_run_result_pickles(self, small_test_a):
+        import pickle
+
+        outcome = optimize(small_test_a)
+        clone = pickle.loads(pickle.dumps(outcome))
+        assert clone.to_dict() == outcome.to_dict()
+        assert clone.optimized_spec() == outcome.optimized_spec()
+
+
+class TestRegistryImportOrder:
+    def test_lazy_module_attr_factory(self, small_test_a):
+        """A "module:attr" registration resolves on first use only."""
+        register_simulator("fdm-lazy", "repro.api:FDMSimulator")
+        try:
+            assert "fdm-lazy" in available_simulators()
+            simulator = get_simulator("fdm-lazy")
+            assert isinstance(simulator, FDMSimulator)
+            result = Session().run(small_test_a, solver="fdm-lazy")
+            assert result.simulator == "fdm"
+        finally:
+            from repro import api
+
+            del api._SIMULATORS["fdm-lazy"]
+
+    def test_lazy_reference_to_missing_module_registers_fine(self):
+        """Registration never imports: bad references fail at *use* time."""
+        register_simulator("broken-lazy", "no_such_module:Simulator")
+        try:
+            assert "broken-lazy" in available_simulators()
+            with pytest.raises(ValueError, match="cannot import"):
+                get_simulator("broken-lazy")
+        finally:
+            from repro import api
+
+            del api._SIMULATORS["broken-lazy"]
+
+    def test_lazy_reference_to_missing_attribute(self):
+        register_simulator("broken-attr", "repro.api:NoSuchSimulator")
+        try:
+            with pytest.raises(ValueError, match="no attribute"):
+                get_simulator("broken-attr")
+        finally:
+            from repro import api
+
+            del api._SIMULATORS["broken-attr"]
+
+    def test_available_simulators_returns_a_snapshot(self):
+        names = available_simulators()
+        names.append("mutated")
+        assert "mutated" not in available_simulators()
+
+    def test_invalid_factory_type_is_rejected(self):
+        with pytest.raises(TypeError, match="callable"):
+            register_simulator("bad", 42)
+
+    def test_empty_name_is_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            register_simulator("", FDMSimulator)
+
+
+class TestSessionSimulatorOverride:
+    def test_session_default_simulator_name(self, small_test_a):
+        session = Session(simulator="ice")
+        assert session.run(small_test_a).simulator == "ice"
+        # A per-call override still wins.
+        assert session.run(small_test_a, solver="fdm").simulator == "fdm"
+
+    def test_session_simulator_instance(self, small_test_a):
+        """A ready-built Simulator bypasses the string registry entirely."""
+        calls = []
+
+        class Recording:
+            name = "recording"
+
+            def run(self, spec):
+                calls.append(spec.name)
+                return FDMSimulator().run(spec)
+
+        session = Session(simulator=Recording())
+        result = session.run(small_test_a)
+        assert calls == ["test-a"]
+        assert result.simulator == "fdm"
+
+    def test_per_call_simulator_instance(self, small_test_a):
+        engine_backed = FDMSimulator()
+        result = Session().run(small_test_a, solver=engine_backed)
+        assert result.simulator == "fdm"
+
+    def test_invalid_session_simulator_is_rejected(self):
+        with pytest.raises(TypeError, match="Simulator"):
+            Session(simulator=42)

@@ -1,0 +1,535 @@
+"""Tests of the campaign layer: executors, the JSONL store, run_many."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import Session
+from repro.campaign import CampaignStore, summarize_records
+from repro.exec import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    available_executors,
+    get_executor,
+    register_executor,
+)
+from repro.exec.base import CampaignTask, execute_task, make_tasks
+from repro.scenarios import GridSpec, OptimizerSpec, ScenarioSpec, get_scenario
+from repro.sweeps import SweepAxis, SweepSpec
+
+
+@pytest.fixture()
+def small_base() -> ScenarioSpec:
+    """A fast Test A base spec."""
+    return get_scenario("test-a").with_overrides(
+        grid=GridSpec(n_grid_points=61, n_lanes=1, n_rows=1, n_cols=20),
+        optimizer=OptimizerSpec(n_segments=2, max_iterations=3),
+    )
+
+
+@pytest.fixture()
+def small_sweep(small_base) -> SweepSpec:
+    """A 2x2 heat-flux x grid sweep of the fast base."""
+    return SweepSpec(
+        name="t",
+        base=small_base,
+        axes=(
+            SweepAxis("workload.flux_w_per_cm2", (40.0, 60.0)),
+            SweepAxis("grid.n_grid_points", (61, 81)),
+        ),
+    )
+
+
+def flux_architecture_sweep() -> SweepSpec:
+    """The acceptance campaign: 4 coolant-flux values x 3 architectures."""
+    base = get_scenario("niagara-arch1").with_overrides(
+        grid=GridSpec(n_grid_points=41, n_lanes=2, n_rows=4, n_cols=8),
+        optimizer=OptimizerSpec(n_segments=2, max_iterations=3),
+    )
+    return SweepSpec(
+        name="flux-arch",
+        base=base,
+        axes=(
+            SweepAxis(
+                "params.flow_rate_per_channel",
+                (6.0e-9, 8.0e-9, 1.0e-8, 1.2e-8),
+                label="flux",
+            ),
+            SweepAxis(
+                "workload.architecture", ("arch1", "arch2", "arch3"), label="arch"
+            ),
+        ),
+    )
+
+
+class TestExecutorRegistry:
+    def test_builtins_are_registered(self):
+        assert {"serial", "thread", "process"} <= set(available_executors())
+
+    def test_get_executor_builds_with_workers(self):
+        executor = get_executor("thread", workers=3)
+        assert isinstance(executor, ThreadExecutor)
+        assert executor.workers == 3
+
+    def test_unknown_executor_is_an_error(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            get_executor("no-such-executor")
+
+    def test_register_and_overwrite_guard(self):
+        class Custom(SerialExecutor):
+            name = "custom-exec"
+
+        register_executor("custom-exec", Custom, overwrite=True)
+        try:
+            assert isinstance(get_executor("custom-exec"), Custom)
+            with pytest.raises(ValueError, match="already registered"):
+                register_executor("custom-exec", Custom)
+        finally:
+            from repro.exec import _EXECUTORS
+
+            _EXECUTORS.pop("custom-exec", None)
+
+    def test_lazy_module_attr_registration(self):
+        register_executor(
+            "lazy-serial", "repro.exec.local:SerialExecutor", overwrite=True
+        )
+        try:
+            assert isinstance(get_executor("lazy-serial"), SerialExecutor)
+        finally:
+            from repro.exec import _EXECUTORS
+
+            _EXECUTORS.pop("lazy-serial", None)
+
+    def test_lazy_bad_reference_is_an_error(self):
+        register_executor("lazy-bad", "repro.exec.local:Missing", overwrite=True)
+        try:
+            with pytest.raises(ValueError, match="no attribute"):
+                get_executor("lazy-bad")
+        finally:
+            from repro.exec import _EXECUTORS
+
+            _EXECUTORS.pop("lazy-bad", None)
+
+
+class TestCampaignTask:
+    def test_key_covers_spec_action_and_solver(self, small_base):
+        task = CampaignTask(0, small_base)
+        assert task.key() == CampaignTask(5, small_base).key()  # index-free
+        assert task.key() != CampaignTask(0, small_base, solver="ice").key()
+        assert task.key() != CampaignTask(0, small_base, action="optimize").key()
+        other = small_base.with_overrides(name="other")
+        assert task.key() != CampaignTask(0, other).key()
+
+    def test_explicit_default_solver_hashes_like_none(self, small_base):
+        assert (
+            CampaignTask(0, small_base, solver="fdm").key()
+            == CampaignTask(0, small_base).key()
+        )
+
+    def test_bad_action_is_rejected(self, small_base):
+        with pytest.raises(ValueError, match="action"):
+            CampaignTask(0, small_base, action="explode")
+
+    def test_simulator_instances_are_rejected(self, small_base):
+        from repro.api import FDMSimulator
+
+        with pytest.raises(ValueError, match="family name"):
+            CampaignTask(0, small_base, solver=FDMSimulator())
+
+    def test_execute_task_captures_errors(self, small_base):
+        bad = small_base.with_overrides(name="bad")
+        task = CampaignTask(0, bad, solver="no-such-simulator")
+        record = execute_task(task, Session())
+        assert record["status"] == "error"
+        assert "no-such-simulator" in record["error"]
+        assert record["scenario"] == "bad"
+        assert "wall_time_s" in record
+
+
+class TestCampaignStore:
+    def test_append_and_load(self, tmp_path):
+        store = CampaignStore(tmp_path / "c.jsonl")
+        with store:
+            store.append({"spec_hash": "a", "status": "ok"})
+            store.append({"spec_hash": "b", "status": "error"})
+        loaded = CampaignStore(store.path).load()
+        assert set(loaded) == {"a", "b"}
+        assert loaded["a"]["status"] == "ok"
+
+    def test_later_records_win(self, tmp_path):
+        store = CampaignStore(tmp_path / "c.jsonl")
+        with store:
+            store.append({"spec_hash": "a", "status": "error"})
+            store.append({"spec_hash": "a", "status": "ok"})
+        assert CampaignStore(store.path).load()["a"]["status"] == "ok"
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert CampaignStore(tmp_path / "missing.jsonl").load() == {}
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        path.write_text(
+            json.dumps({"spec_hash": "a", "status": "ok"}) + "\n" + '{"spec_ha'
+        )
+        store = CampaignStore(path)
+        assert set(store.load()) == {"a"}
+        assert store.n_dropped_torn == 1
+
+    def test_append_after_torn_line_heals_the_store(self, tmp_path):
+        """Appending must not glue a record onto a torn final line."""
+        path = tmp_path / "c.jsonl"
+        path.write_text(
+            json.dumps({"spec_hash": "a", "status": "ok"}) + "\n" + '{"spec_ha'
+        )
+        store = CampaignStore(path)
+        with store:
+            store.append({"spec_hash": "b", "status": "ok"})
+        assert store.n_dropped_torn == 1
+        loaded = CampaignStore(path).load()
+        assert set(loaded) == {"a", "b"}
+
+    def test_append_completes_a_record_missing_its_newline(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        path.write_text(json.dumps({"spec_hash": "a", "status": "ok"}))  # no \n
+        store = CampaignStore(path)
+        with store:
+            store.append({"spec_hash": "b", "status": "ok"})
+        assert store.n_dropped_torn == 0
+        assert set(CampaignStore(path).load()) == {"a", "b"}
+
+    def test_malformed_interior_line_raises(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        path.write_text(
+            "not json\n" + json.dumps({"spec_hash": "a", "status": "ok"}) + "\n"
+        )
+        with pytest.raises(ValueError, match="malformed"):
+            CampaignStore(path).load()
+
+    def test_records_without_hash_are_rejected(self, tmp_path):
+        store = CampaignStore(tmp_path / "c.jsonl")
+        with pytest.raises(ValueError, match="spec_hash"):
+            store.append({"status": "ok"})
+
+
+class TestRunMany:
+    def test_serial_matches_session_run_loop(self, small_sweep):
+        campaign = Session().run_many(small_sweep, executor="serial")
+        assert campaign.n_ok == 4
+        assert campaign.n_failed == 0
+        session = Session()
+        for spec, record in zip(small_sweep.scenarios(), campaign.records):
+            reference = session.run(spec)
+            assert record["result"]["peak_temperature_K"] == (
+                reference.peak_temperature_K
+            )
+            assert record["result"]["thermal_gradient_K"] == (
+                reference.thermal_gradient_K
+            )
+            assert record["scenario"] == spec.name
+
+    def test_thread_matches_serial(self, small_sweep):
+        serial = Session().run_many(small_sweep, executor="serial")
+        threaded = Session().run_many(small_sweep, executor="thread", workers=2)
+        assert [r["result"]["peak_temperature_K"] for r in threaded.records] == [
+            r["result"]["peak_temperature_K"] for r in serial.records
+        ]
+        assert threaded.provenance["counters"]["n_solves"] == 4
+
+    def test_records_come_back_in_sweep_order(self, small_sweep):
+        campaign = Session().run_many(small_sweep, executor="thread", workers=2)
+        assert [r["index"] for r in campaign.records] == [0, 1, 2, 3]
+        assert [r["scenario"] for r in campaign.records] == (
+            small_sweep.scenario_names()
+        )
+
+    def test_executor_instance_is_accepted(self, small_sweep):
+        campaign = Session().run_many(small_sweep, executor=ThreadExecutor(2))
+        assert campaign.executor == "thread"
+        assert campaign.workers == 2
+
+    def test_solver_override_applies_to_every_scenario(self, small_base):
+        sweep = SweepSpec(
+            name="ice",
+            base=small_base,
+            axes=(SweepAxis("workload.flux_w_per_cm2", (40.0, 60.0)),),
+        )
+        campaign = Session().run_many(sweep, solver="ice")
+        assert all(
+            record["result"]["simulator"] == "ice" for record in campaign.records
+        )
+
+    def test_failures_do_not_abort_the_campaign(self, small_base):
+        # params.channel_length zero is caught by spec validation at
+        # expansion, so break one scenario at the simulator level instead:
+        # an unknown solver name fails inside the task.
+        good = small_base
+        campaign = Session().run_many(
+            [good, good.with_overrides(name="boom")],
+            solver=None,
+            executor="serial",
+        )
+        assert campaign.n_failed == 0  # sanity: both fine normally
+        failing = Session().run_many(
+            [good, good.with_overrides(name="boom")], solver="no-such"
+        )
+        assert failing.n_ok == 0
+        assert failing.n_failed == 2
+        assert all(r["status"] == "error" for r in failing.records)
+
+    def test_progress_callback_sees_every_fresh_record(self, small_sweep):
+        seen = []
+        Session().run_many(small_sweep, progress=lambda r: seen.append(r["index"]))
+        assert sorted(seen) == [0, 1, 2, 3]
+
+    def test_optimize_many_smoke(self, small_base):
+        sweep = SweepSpec(
+            name="opt",
+            base=small_base,
+            axes=(SweepAxis("workload.flux_w_per_cm2", (40.0, 60.0)),),
+        )
+        campaign = Session().optimize_many(sweep)
+        assert campaign.n_ok == 2
+        for record in campaign.records:
+            assert record["action"] == "optimize"
+            assert "optimal_design" in record["result"]
+
+    def test_module_level_wrappers(self, small_sweep):
+        from repro import optimize_many, run_many
+
+        campaign = run_many(small_sweep)
+        assert campaign.n_ok == 4
+        assert callable(optimize_many)
+
+    def test_summary_and_to_dict_are_json_compatible(self, small_sweep):
+        campaign = Session().run_many(small_sweep)
+        payload = json.dumps(campaign.to_dict())
+        assert "records" in json.loads(payload)
+        summary = campaign.summary()
+        assert summary["n_ok"] == 4
+        assert summary["counters"]["n_solves"] == 4
+
+
+class TestStoreResume:
+    def test_resume_skips_stored_scenarios(self, small_sweep, tmp_path):
+        out = tmp_path / "campaign.jsonl"
+        first = Session().run_many(small_sweep, out=out)
+        assert first.n_from_store == 0
+        assert first.provenance["counters"]["n_solves"] == 4
+        second = Session().run_many(small_sweep, out=out)
+        assert second.n_from_store == 4
+        assert second.provenance["counters"]["n_solves"] == 0
+        assert [r["source"] for r in second.records] == ["store"] * 4
+        # The stored metrics survive the round trip untouched.
+        assert [r["result"]["peak_temperature_K"] for r in second.records] == [
+            r["result"]["peak_temperature_K"] for r in first.records
+        ]
+
+    def test_interrupted_campaign_resumes_where_it_stopped(
+        self, small_sweep, tmp_path
+    ):
+        out = tmp_path / "campaign.jsonl"
+        Session().run_many(small_sweep, out=out)
+        # Simulate an interruption after two scenarios: keep only the
+        # first two stored lines (plus a torn third line).
+        lines = out.read_text().splitlines()
+        out.write_text("\n".join(lines[:2]) + "\n" + lines[2][:20])
+        resumed = Session().run_many(small_sweep, out=out)
+        assert resumed.n_from_store == 2
+        assert resumed.provenance["counters"]["n_solves"] == 2
+        assert resumed.n_ok == 4
+
+    def test_error_records_are_recomputed_on_resume(self, small_base, tmp_path):
+        out = tmp_path / "campaign.jsonl"
+        scenarios = [small_base]
+        failing = Session().run_many(scenarios, solver="no-such", out=out)
+        assert failing.n_failed == 1
+        healed = Session().run_many(scenarios, out=out)
+        assert healed.n_from_store == 0  # error records never satisfy resume
+        assert healed.n_ok == 1
+
+    def test_changed_spec_is_recomputed(self, small_base, tmp_path):
+        out = tmp_path / "campaign.jsonl"
+        Session().run_many([small_base], out=out)
+        changed = small_base.with_params(flow_rate_per_channel=8e-9)
+        second = Session().run_many([changed], out=out)
+        assert second.n_from_store == 0
+        assert second.provenance["counters"]["n_solves"] == 1
+
+
+class TestProcessExecutor:
+    def test_acceptance_flux_architecture_sweep_process_bit_identical(
+        self, tmp_path
+    ):
+        """ISSUE 4 acceptance: 12 scenarios, process workers=2, bitwise.
+
+        The process campaign's per-scenario results must equal a serial
+        ``Session.run`` loop exactly (==, not approx), and re-running with
+        the same ``--out`` store must resume without recomputing.
+        """
+        sweep = flux_architecture_sweep()
+        specs = sweep.scenarios()
+        assert len(specs) == 12
+        out = tmp_path / "campaign.jsonl"
+        campaign = Session().run_many(
+            sweep, executor="process", workers=2, out=out
+        )
+        assert campaign.n_ok == 12
+        session = Session()
+        for spec, record in zip(specs, campaign.records):
+            reference = session.run(spec)
+            result = record["result"]
+            assert result["peak_temperature_K"] == reference.peak_temperature_K
+            assert result["thermal_gradient_K"] == reference.thermal_gradient_K
+            assert result["coolant_rise_K"] == reference.coolant_rise_K
+            assert result["pressure_drops_Pa"] == list(
+                reference.pressure_drops_Pa
+            )
+        # Counters aggregated across the worker processes.
+        assert campaign.provenance["counters"]["n_solves"] == 12
+        pids = {record["worker"]["pid"] for record in campaign.records}
+        assert len(pids) >= 1
+        # Interrupt/resume: the stored campaign satisfies every task.
+        resumed = Session().run_many(
+            sweep, executor="process", workers=2, out=out
+        )
+        assert resumed.n_from_store == 12
+        assert resumed.provenance["counters"]["n_solves"] == 0
+
+    def test_single_worker_runs_in_process(self, small_sweep):
+        import os
+
+        campaign = Session().run_many(small_sweep, executor="process", workers=1)
+        assert campaign.n_ok == 4
+        assert all(
+            record["worker"]["pid"] == os.getpid()
+            for record in campaign.records
+        )
+
+    def test_process_executor_counts_worker_solves(self, small_sweep):
+        campaign = Session().run_many(small_sweep, executor="process", workers=2)
+        assert campaign.provenance["counters"]["n_solves"] == 4
+
+
+class TestSummarizeRecords:
+    def test_roll_up(self, small_sweep, tmp_path):
+        out = tmp_path / "campaign.jsonl"
+        Session().run_many(small_sweep, out=out)
+        records = sorted(
+            CampaignStore(out).load().values(), key=lambda r: r["index"]
+        )
+        summary = summarize_records(records)
+        assert summary["n_records"] == 4
+        assert summary["n_ok"] == 4
+        assert summary["n_failed"] == 0
+        assert summary["counters"]["n_solves"] == 4
+        assert summary["peak_temperature_K_max"] >= (
+            summary["peak_temperature_K_min"]
+        )
+
+
+class TestProcessExecutorGuard:
+    def test_instance_solver_cannot_enter_a_campaign(self, small_base):
+        from repro.api import FDMSimulator
+
+        with pytest.raises(ValueError, match="family name"):
+            make_tasks([small_base], solver=FDMSimulator())
+
+    def test_process_executor_worker_validation(self):
+        # workers=0/None means "use every core" for the process executor...
+        assert ProcessExecutor(workers=0).workers >= 1
+        with pytest.raises(ValueError, match="workers"):
+            ProcessExecutor(workers=-1)
+        # ...but the thread executor requires an explicit positive count.
+        with pytest.raises(ValueError, match="workers"):
+            ThreadExecutor(workers=0)
+
+
+class TestThreadCounterAttribution:
+    def test_thread_records_carry_no_per_task_counters(self, small_sweep):
+        """Concurrent shared-session tasks cannot attribute deltas truthfully."""
+        campaign = Session().run_many(small_sweep, executor="thread", workers=2)
+        assert all(record["counters"] is None for record in campaign.records)
+        # The campaign-level aggregation (session delta) is still exact.
+        assert campaign.provenance["counters"]["n_solves"] == 4
+        summary = summarize_records(campaign.records)
+        assert summary["counters_complete"] is False
+
+    def test_serial_and_process_records_keep_exact_counters(self, small_sweep):
+        serial = Session().run_many(small_sweep, executor="serial")
+        assert all(
+            record["counters"]["n_solves"] == 1 for record in serial.records
+        )
+        assert summarize_records(serial.records)["counters_complete"] is True
+
+
+class TestSessionOverrideInCampaigns:
+    def test_session_simulator_name_reaches_records_and_keys(self, small_base):
+        """Session(simulator=...) must be visible in records and resume keys."""
+        campaign = Session(simulator="ice").run_many([small_base])
+        record = campaign.records[0]
+        assert record["solver"] == "ice"
+        assert record["result"]["simulator"] == "ice"
+        # The resume key differs from the spec-default (fdm) key, so an
+        # ICE campaign can never satisfy an FDM resume (or vice versa).
+        fdm_key = CampaignTask(0, small_base).key()
+        assert record["spec_hash"] != fdm_key
+
+    def test_session_simulator_instance_is_rejected_for_campaigns(
+        self, small_base
+    ):
+        from repro.api import FDMSimulator
+
+        session = Session(simulator=FDMSimulator())
+        with pytest.raises(ValueError, match="family name"):
+            session.run_many([small_base])
+
+    def test_per_call_solver_still_wins(self, small_base):
+        campaign = Session(simulator="ice").run_many([small_base], solver="fdm")
+        assert campaign.records[0]["result"]["simulator"] == "fdm"
+
+    def test_optimize_campaign_ignores_session_simulator(self, small_base):
+        campaign = Session(simulator="ice").optimize_many([small_base])
+        assert campaign.n_ok == 1
+        assert campaign.records[0]["solver"] is None
+
+
+class TestCampaignNaming:
+    def test_sweep_file_keeps_its_name(self, small_sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        small_sweep.save(path)
+        campaign = Session().run_many(path)
+        assert campaign.name == "t"
+
+    def test_sweep_mapping_keeps_its_name(self, small_sweep):
+        campaign = Session().run_many(small_sweep.to_dict())
+        assert campaign.name == "t"
+
+    def test_single_scenario_campaign_uses_the_scenario_name(self, small_base):
+        campaign = Session().run_many(small_base)
+        assert campaign.name == small_base.name
+
+    def test_adhoc_sequence_is_named_campaign(self, small_base):
+        campaign = Session().run_many([small_base])
+        assert campaign.name == "campaign"
+
+
+class TestCustomExecutorCounters:
+    def test_shared_session_custom_executor_is_not_double_counted(
+        self, small_sweep
+    ):
+        """A custom executor without shares_session runs on the caller's
+        session; its activity must be counted once (the session delta)."""
+
+        class Naive:
+            name = "naive"
+            workers = 1
+
+            def execute(self, tasks, session):
+                for task in tasks:
+                    yield execute_task(task, session)
+
+        campaign = Session().run_many(small_sweep, executor=Naive())
+        assert campaign.provenance["counters"]["n_solves"] == 4  # not 8

@@ -153,3 +153,229 @@ class TestBench:
         )
         assert code == 2
         assert "repeat" in err
+
+
+class TestErrorPaths:
+    """User-input mistakes must exit non-zero with a one-line error."""
+
+    def test_unknown_scenario_name(self, capsys):
+        code, _, err = run_cli(capsys, "run", "no-such-scenario")
+        assert code == 2
+        lines = [line for line in err.splitlines() if line]
+        assert len(lines) == 1
+        assert lines[0].startswith("error:")
+        assert "registered scenarios" in lines[0]
+
+    def test_malformed_json_spec_file(self, capsys, tmp_path):
+        bad = tmp_path / "broken.json"
+        bad.write_text('{"name": "x", "workload": {')
+        code, _, err = run_cli(capsys, "run", str(bad))
+        assert code == 2
+        lines = [line for line in err.splitlines() if line]
+        assert len(lines) == 1
+        assert lines[0].startswith("error:")
+
+    def test_conflicting_backend_flag(self, capsys, tmp_path):
+        """--backend fighting a pinned spec backend is an error, not a silent override."""
+        spec = get_scenario("test-a").with_solver(backend="sparse-lu")
+        path = tmp_path / "pinned.json"
+        spec.with_overrides(name="pinned").save(path)
+        code, _, err = run_cli(capsys, "run", str(path), "--backend", "dense")
+        assert code == 2
+        lines = [line for line in err.splitlines() if line]
+        assert len(lines) == 1
+        assert "conflicts" in lines[0]
+
+    def test_backend_flag_fills_in_auto(self, capsys, small_spec_file):
+        """--backend on an `auto` spec is a selection, not a conflict."""
+        code, out, _ = run_cli(
+            capsys, "run", str(small_spec_file), "--backend", "dense", "--json"
+        )
+        assert code == 0
+        assert json.loads(out)["provenance"]["backend"] == "dense"
+
+    def test_matching_backend_flag_is_fine(self, capsys, tmp_path):
+        spec = get_scenario("test-a").with_overrides(
+            name="pinned-ok",
+            grid=GridSpec(n_grid_points=61, n_lanes=1, n_rows=1, n_cols=20),
+        ).with_solver(backend="dense")
+        path = tmp_path / "pinned.json"
+        spec.save(path)
+        code, _, _ = run_cli(
+            capsys, "run", str(path), "--backend", "dense", "--json"
+        )
+        assert code == 0
+
+
+@pytest.fixture()
+def sweep_file(tmp_path):
+    """A 2x2 sweep JSON file over a fast Test A base."""
+    from repro.sweeps import SweepAxis, SweepSpec
+
+    base = get_scenario("test-a").with_overrides(
+        name="sweep-base",
+        grid=GridSpec(n_grid_points=61, n_lanes=1, n_rows=1, n_cols=20),
+        optimizer=OptimizerSpec(n_segments=2, max_iterations=3),
+    )
+    sweep = SweepSpec(
+        name="cli-sweep",
+        base=base,
+        axes=(
+            SweepAxis("workload.flux_w_per_cm2", (40.0, 60.0), label="flux"),
+            SweepAxis("grid.n_grid_points", (61, 81), label="nz"),
+        ),
+    )
+    path = tmp_path / "sweep.json"
+    sweep.save(path)
+    return path
+
+
+class TestSweep:
+    def test_dry_run_lists_expansion(self, capsys, sweep_file):
+        code, out, _ = run_cli(capsys, "sweep", str(sweep_file), "--dry-run")
+        assert code == 0
+        assert "cli-sweep/000-flux=40_nz=61" in out
+        assert "4 scenario(s)" in out
+
+    def test_sweep_runs_and_stores(self, capsys, sweep_file, tmp_path):
+        out_file = tmp_path / "campaign.jsonl"
+        code, out, _ = run_cli(
+            capsys,
+            "sweep",
+            str(sweep_file),
+            "--out",
+            str(out_file),
+            "--quiet",
+            "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["summary"]["n_ok"] == 4
+        assert len(out_file.read_text().splitlines()) == 4
+
+    def test_sweep_resumes_from_store(self, capsys, sweep_file, tmp_path):
+        out_file = tmp_path / "campaign.jsonl"
+        run_cli(capsys, "sweep", str(sweep_file), "--out", str(out_file), "--quiet")
+        code, out, _ = run_cli(
+            capsys,
+            "sweep",
+            str(sweep_file),
+            "--out",
+            str(out_file),
+            "--quiet",
+            "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["n_from_store"] == 4
+        assert payload["summary"]["counters"]["n_solves"] == 0
+        # No duplicate lines were appended.
+        assert len(out_file.read_text().splitlines()) == 4
+
+    def test_sweep_thread_executor(self, capsys, sweep_file):
+        code, out, _ = run_cli(
+            capsys,
+            "sweep",
+            str(sweep_file),
+            "--executor",
+            "thread",
+            "--workers",
+            "2",
+            "--quiet",
+            "--json",
+        )
+        assert code == 0
+        assert json.loads(out)["summary"]["n_ok"] == 4
+
+    def test_sweep_accepts_plain_scenario(self, capsys, small_spec_file):
+        code, out, _ = run_cli(
+            capsys, "sweep", str(small_spec_file), "--quiet", "--json"
+        )
+        assert code == 0
+        assert json.loads(out)["summary"]["n_records"] == 1
+
+    def test_unknown_executor_is_an_error(self, capsys, sweep_file):
+        code, _, err = run_cli(
+            capsys, "sweep", str(sweep_file), "--executor", "bogus", "--quiet"
+        )
+        assert code == 2
+        assert "unknown executor" in err
+
+    def test_malformed_sweep_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        code, _, err = run_cli(capsys, "sweep", str(bad))
+        assert code == 2
+        assert err.startswith("error:")
+
+
+class TestCampaignSummarize:
+    def test_summarize_stored_campaign(self, capsys, sweep_file, tmp_path):
+        out_file = tmp_path / "campaign.jsonl"
+        run_cli(capsys, "sweep", str(sweep_file), "--out", str(out_file), "--quiet")
+        code, out, _ = run_cli(
+            capsys, "campaign", "summarize", str(out_file), "--json"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["n_records"] == 4
+        assert payload["n_ok"] == 4
+        assert payload["counters"]["n_solves"] == 4
+        assert payload["peak_temperature_K_max"] >= payload["peak_temperature_K_min"]
+
+    def test_summarize_human_output(self, capsys, sweep_file, tmp_path):
+        out_file = tmp_path / "campaign.jsonl"
+        run_cli(capsys, "sweep", str(sweep_file), "--out", str(out_file), "--quiet")
+        code, out, _ = run_cli(capsys, "campaign", "summarize", str(out_file))
+        assert code == 0
+        assert "4/4 ok" in out
+
+    def test_summarize_rejects_non_campaign_file(self, capsys, tmp_path):
+        bad = tmp_path / "not-a-campaign.jsonl"
+        bad.write_text("line one\nline two\n")
+        code, _, err = run_cli(capsys, "campaign", "summarize", str(bad))
+        assert code == 2
+        assert err.startswith("error:")
+
+
+class TestSweepOptimizeFlags:
+    def test_solver_with_optimize_is_a_conflict(self, capsys, sweep_file):
+        code, _, err = run_cli(
+            capsys, "sweep", str(sweep_file), "--optimize", "--solver", "ice"
+        )
+        assert code == 2
+        assert "--solver" in err
+
+    def test_optimize_campaign_runs(self, capsys, sweep_file, tmp_path):
+        out_file = tmp_path / "opt.jsonl"
+        code, out, _ = run_cli(
+            capsys,
+            "sweep",
+            str(sweep_file),
+            "--optimize",
+            "--out",
+            str(out_file),
+            "--quiet",
+            "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["summary"]["n_ok"] == 4
+        assert payload["summary"]["actions"] == ["optimize"]
+
+
+class TestDryRunHashes:
+    def test_dry_run_hashes_match_store_records(self, capsys, sweep_file, tmp_path):
+        """The dry-run spec_hash column is the store's resume key."""
+        code, out, _ = run_cli(
+            capsys, "sweep", str(sweep_file), "--dry-run", "--json"
+        )
+        assert code == 0
+        dry = {row["spec_hash"] for row in json.loads(out)}
+        out_file = tmp_path / "c.jsonl"
+        run_cli(capsys, "sweep", str(sweep_file), "--out", str(out_file), "--quiet")
+        stored = {
+            json.loads(line)["spec_hash"]
+            for line in out_file.read_text().splitlines()
+        }
+        assert dry == stored

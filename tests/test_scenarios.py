@@ -281,3 +281,39 @@ class TestRegistry:
             resolve_scenario("no-such-scenario-or-file")
         with pytest.raises(TypeError, match="ScenarioSpec"):
             resolve_scenario(42)
+
+
+class TestPickleRoundTrip:
+    """Specs must pickle losslessly: the process executor ships them."""
+
+    def test_every_registered_scenario_pickles(self):
+        import pickle
+
+        from repro.scenarios import SCENARIOS
+
+        for spec in SCENARIOS.values():
+            clone = pickle.loads(pickle.dumps(spec))
+            assert clone == spec
+            assert clone.to_dict() == spec.to_dict()
+            assert clone.spec_hash() == spec.spec_hash()
+
+    def test_spec_with_design_and_params_pickles(self):
+        import pickle
+
+        spec = (
+            get_scenario("test-a")
+            .with_params(flow_rate_per_channel=8e-9)
+            .with_design([(30e-6, 40e-6, 50e-6)])
+            .with_overrides(name="pickled")
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.design == ((30e-6, 40e-6, 50e-6),)
+        # The clone still builds working models.
+        assert clone.build_structure() is not None
+
+    def test_spec_hash_tracks_content_not_identity(self):
+        spec = get_scenario("test-a")
+        assert spec.spec_hash() == get_scenario("test-a").spec_hash()
+        changed = spec.with_params(flow_rate_per_channel=8e-9)
+        assert changed.spec_hash() != spec.spec_hash()
