@@ -108,6 +108,20 @@ from .scenarios import (
     resolve_scenario,
     scenario_names,
 )
+from .transient import PolicySpec, TraceSpec, TransientSpec
+from .transient_engine import (
+    TransientOutcome,
+    simulate_transient,
+    simulate_transient_many,
+)
+from .policies import (
+    BangBangFlowPolicy,
+    ConstantFlowPolicy,
+    FlowPolicy,
+    ProportionalFlowPolicy,
+    available_policies,
+    register_policy,
+)
 from .core import (
     ChannelModulationDesigner,
     ChannelModulationOptimizer,
@@ -176,6 +190,18 @@ __all__ = [
     "register_scenario",
     "resolve_scenario",
     "scenario_names",
+    "PolicySpec",
+    "TraceSpec",
+    "TransientSpec",
+    "TransientOutcome",
+    "simulate_transient",
+    "simulate_transient_many",
+    "BangBangFlowPolicy",
+    "ConstantFlowPolicy",
+    "FlowPolicy",
+    "ProportionalFlowPolicy",
+    "available_policies",
+    "register_policy",
     "DEFAULT_EXPERIMENT",
     "EFFECTIVE_FLOW_RATE_ML_PER_MIN",
     "ExperimentConfig",

@@ -4,10 +4,13 @@ from .metrics import (
     gradient_reduction,
     kelvin_to_celsius,
     peak_temperature,
+    piecewise_integral,
     spatial_gradient_magnitude,
     summarize_designs,
+    thermal_cycling_amplitude,
     thermal_gradient,
     thermal_stress_proxy,
+    time_above_threshold,
 )
 from .maps import (
     TEMPERATURE_RAMP,
@@ -26,6 +29,9 @@ __all__ = [
     "summarize_designs",
     "thermal_gradient",
     "thermal_stress_proxy",
+    "piecewise_integral",
+    "thermal_cycling_amplitude",
+    "time_above_threshold",
     "TEMPERATURE_RAMP",
     "format_table",
     "render_map",

@@ -22,6 +22,9 @@ __all__ = [
     "thermal_stress_proxy",
     "kelvin_to_celsius",
     "summarize_designs",
+    "time_above_threshold",
+    "thermal_cycling_amplitude",
+    "piecewise_integral",
 ]
 
 TemperatureField = Union[ThermalSolution, np.ndarray]
@@ -90,6 +93,79 @@ def thermal_stress_proxy(
 def kelvin_to_celsius(value: Union[float, np.ndarray]):
     """Convert Kelvin to degrees Celsius."""
     return np.asarray(value, dtype=float) - 273.15 if np.ndim(value) else value - 273.15
+
+
+def time_above_threshold(
+    times: np.ndarray, values: np.ndarray, threshold: float
+) -> float:
+    """Total time a step-wise temperature series spends above ``threshold``.
+
+    ``values[i]`` is the state reached at ``times[i]`` (a backward-Euler
+    trajectory): it is attributed to the step interval ``(times[i-1],
+    times[i]]``, so the initial condition at ``times[0]`` contributes no
+    time.  Used for the reliability-flavoured time-above-threshold metric
+    of transient campaign records.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.shape != values.shape:
+        raise ValueError(
+            f"times and values must have matching shapes, got "
+            f"{times.shape} vs {values.shape}"
+        )
+    if times.size < 2:
+        return 0.0
+    intervals = np.diff(times)
+    return float(np.sum(intervals[values[1:] > threshold]))
+
+
+def thermal_cycling_amplitude(
+    values: np.ndarray, warmup_fraction: float = 0.5
+) -> float:
+    """Peak-to-valley swing (K) of a temperature series after warm-up.
+
+    Thermal cycling -- the repeated expansion/contraction that drives
+    fatigue -- is measured on the settled part of the trace: the first
+    ``warmup_fraction`` of the samples (the heat-up from the initial
+    condition) is discarded and the max-min swing of the remainder is
+    returned.  For a converged steady workload this is ~0; for a duty-cycled
+    trace it is the steady oscillation amplitude.
+    """
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError(
+            f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
+        )
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return 0.0
+    window = values[int(values.size * warmup_fraction):]
+    return float(np.max(window) - np.min(window))
+
+
+def piecewise_integral(
+    times: np.ndarray, values: np.ndarray, end_time: float
+) -> float:
+    """Integral of a piecewise-constant series over ``[times[0], end_time]``.
+
+    ``values[i]`` holds from ``times[i]`` until ``times[i+1]`` (the last
+    value holds until ``end_time``).  Used to integrate pumping power over
+    a transient run's flow-scale schedule into pumping energy (J).
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.shape != values.shape or times.size == 0:
+        raise ValueError(
+            "times and values must be non-empty with matching shapes, got "
+            f"{times.shape} vs {values.shape}"
+        )
+    if np.any(np.diff(times) <= 0.0):
+        raise ValueError("times must increase strictly")
+    if end_time < times[-1]:
+        raise ValueError(
+            f"end_time {end_time} precedes the last breakpoint {times[-1]}"
+        )
+    edges = np.append(times, float(end_time))
+    return float(np.sum(values * np.diff(edges)))
 
 
 def summarize_designs(designs: Iterable) -> Dict[str, Dict[str, float]]:

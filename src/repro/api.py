@@ -89,16 +89,29 @@ class SimulationResult:
         Largest coolant inlet-to-outlet temperature rise.
     pressure_drops_Pa / max_pressure_drop_Pa:
         Per-lane Eq. (9) pressure drops of the scenario's channel design
-        and their maximum.
+        and their maximum, always evaluated at the *nominal* per-channel
+        flow (they describe the design, not a control trajectory).  For
+        policy-controlled transient runs the drop at the largest applied
+        flow scale is reported separately as
+        ``transient["max_pressure_drop_at_peak_flow_Pa"]``.
     wall_time_s:
         Wall-clock time of the solve.
+    transient:
+        Transient metrics (peak transient temperature, time above
+        threshold, thermal-cycling amplitude, pumping energy, flow-scale
+        schedule, ...) for scenarios with a transient section; ``None``
+        for steady runs.  For transient runs the headline
+        ``peak_temperature_K`` is the peak *over the whole run*, while
+        ``min_temperature_K``/``thermal_gradient_K`` describe the final
+        snapshot.
     provenance:
         Backend name, grid/unknown counts, cache statistics (FDM) or
         residual norm (ICE), and anything else worth auditing.
     solution:
         The raw solver output (:class:`~repro.thermal.solution.ThermalSolution`
-        for FDM, :class:`~repro.ice.results.ThermalMapResult` for ICE);
-        excluded from :meth:`to_dict`.
+        for FDM, :class:`~repro.ice.results.ThermalMapResult` for steady
+        ICE, :class:`~repro.ice.results.TransientResult` for transient
+        runs); excluded from :meth:`to_dict`.
     """
 
     scenario: str
@@ -110,6 +123,7 @@ class SimulationResult:
     pressure_drops_Pa: Tuple[float, ...]
     max_pressure_drop_Pa: float
     wall_time_s: float
+    transient: Optional[Dict[str, object]] = None
     provenance: Dict[str, object] = field(default_factory=dict)
     solution: object = field(default=None, repr=False, compare=False)
 
@@ -126,6 +140,7 @@ class SimulationResult:
             "pressure_drops_Pa": list(self.pressure_drops_Pa),
             "max_pressure_drop_Pa": self.max_pressure_drop_Pa,
             "wall_time_s": self.wall_time_s,
+            "transient": self.transient,
             "provenance": self.provenance,
         }
 
@@ -218,6 +233,12 @@ class FDMSimulator:
 
     def run(self, spec: ScenarioSpec) -> SimulationResult:
         spec = resolve_scenario(spec)
+        if spec.transient is not None:
+            raise ValueError(
+                f"scenario {spec.name!r} is transient; the analytical FDM "
+                "model is steady-state only -- run it with solver='ice' "
+                "(transient specs default to the ice simulator)"
+            )
         structure = spec.build_structure()
         if isinstance(structure, TestStructure):
             structure = MultiChannelStructure.single(structure)
@@ -255,12 +276,86 @@ class ICESimulator:
     :mod:`repro.thermal.backends`, selected by the scenario's
     ``solver.backend`` field (the same field the FDM path uses), so
     repeated runs of an unchanged stack reuse the cached factorization.
+
+    Scenarios with a transient section dispatch to the transient engine
+    (:mod:`repro.transient_engine`): trace-driven backward-Euler
+    integration with the runtime flow-control policy in the loop.  When a
+    shared session engine is supplied, whole transient outcomes are
+    memoized on the scenario's content hash -- re-running an unchanged
+    transient scenario in one session pays nothing.
+
+    Parameters
+    ----------
+    engine:
+        Optional shared :class:`~repro.core.engine.EvaluationEngine` used
+        only as a bounded memo cache for transient outcomes (the
+        finite-volume solves themselves do not go through it).
     """
 
     name = "ice"
 
+    def __init__(self, engine: Optional[EvaluationEngine] = None) -> None:
+        self.engine = engine
+
+    def _run_transient(self, spec: ScenarioSpec) -> SimulationResult:
+        from .transient_engine import simulate_transient
+
+        start = time.perf_counter()
+        computed = []
+
+        def compute():
+            computed.append(True)
+            return simulate_transient(spec)
+
+        if self.engine is not None:
+            key = ("ice-transient", spec.spec_hash())
+            outcome = self.engine.memo(key, compute)
+        else:
+            outcome = compute()
+        wall_time = time.perf_counter() - start
+        memoized = self.engine is not None and not computed
+        config = spec.experiment_config()
+        drops = _scenario_pressure_drops(spec, config)
+        final = outcome.result.final_maps()
+        transient_payload: Dict[str, object] = dict(outcome.metrics)
+        transient_payload.update(
+            {
+                "policy": spec.transient.policy.kind,
+                "duration_s": spec.transient.duration_s,
+                "time_step_s": spec.transient.time_step_s,
+                "n_steps": outcome.metadata["n_steps"],
+                "flow_times_s": [float(t) for t in outcome.flow_times_s],
+                "flow_scales": [float(s) for s in outcome.flow_scales],
+            }
+        )
+        return SimulationResult(
+            scenario=spec.name,
+            simulator=self.name,
+            peak_temperature_K=outcome.metrics["peak_transient_temperature_K"],
+            min_temperature_K=final.min_temperature(),
+            thermal_gradient_K=final.thermal_gradient(),
+            coolant_rise_K=float(outcome.coolant_rise_history_K[-1]),
+            pressure_drops_Pa=tuple(float(drop) for drop in drops),
+            max_pressure_drop_Pa=float(np.max(drops)),
+            wall_time_s=wall_time,
+            transient=transient_payload,
+            provenance={
+                "backend": str(outcome.metadata["backend"]),
+                "solver": "ice-transient-backward-euler",
+                "assembly": str(
+                    outcome.result.metadata.get("assembly", "vectorized")
+                ),
+                "n_unknowns": outcome.metadata["n_unknowns"],
+                "memoized": memoized,
+                "cache": self.engine.stats() if self.engine else None,
+            },
+            solution=outcome.result,
+        )
+
     def run(self, spec: ScenarioSpec) -> SimulationResult:
         spec = resolve_scenario(spec)
+        if spec.transient is not None:
+            return self._run_transient(spec)
         stack = spec.build_stack()
         start = time.perf_counter()
         solver = SteadyStateSolver(stack, backend=spec.solver.backend)
@@ -549,7 +644,8 @@ class Session:
             )
         factory = _resolve_simulator_factory(choice)
         # Build/look up the shared engine only for simulators that accept
-        # one, so ICE-only sessions do not accumulate unused engines.
+        # one (the FDM solution cache, the ICE transient-outcome memo), so
+        # sessions of engine-less custom simulators stay engine-free.
         engine = self.engine_for(spec) if _accepts_engine(factory) else None
         return get_simulator(choice, engine=engine)
 

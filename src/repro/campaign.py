@@ -196,6 +196,31 @@ def summarize_records(records: Sequence[Dict[str, object]]) -> Dict[str, object]
     if peaks:
         summary["peak_temperature_K_min"] = min(peaks)
         summary["peak_temperature_K_max"] = max(peaks)
+    transients = [
+        r["result"]["transient"]
+        for r in ok
+        if isinstance(r.get("result"), dict)
+        and isinstance(r["result"].get("transient"), dict)
+    ]
+    if transients:
+        transient_peaks = [
+            t["peak_transient_temperature_K"]
+            for t in transients
+            if "peak_transient_temperature_K" in t
+        ]
+        summary["n_transient"] = len(transients)
+        if transient_peaks:
+            summary["peak_transient_temperature_K_min"] = min(transient_peaks)
+            summary["peak_transient_temperature_K_max"] = max(transient_peaks)
+        summary["time_above_threshold_s_total"] = sum(
+            float(t.get("time_above_threshold_s", 0.0)) for t in transients
+        )
+        summary["pumping_energy_J_total"] = sum(
+            float(t.get("pumping_energy_J", 0.0)) for t in transients
+        )
+        summary["policies_seen"] = sorted(
+            {str(t.get("policy")) for t in transients if t.get("policy")}
+        )
     return summary
 
 

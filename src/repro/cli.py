@@ -94,6 +94,21 @@ def _print_metrics(prefix: str, payload: Dict[str, object]) -> None:
     ):
         if key in payload:
             print(f"  {key:24s} {payload[key]:.6g}")
+    transient = payload.get("transient")
+    if transient:
+        print(f"  transient ({transient.get('policy', '?')} policy)")
+        for key in (
+            "peak_transient_temperature_K",
+            "final_peak_temperature_K",
+            "time_above_threshold_s",
+            "thermal_cycling_amplitude_K",
+            "pumping_energy_J",
+            "mean_flow_scale",
+            "max_pressure_drop_at_peak_flow_Pa",
+            "n_flow_changes",
+        ):
+            if key in transient:
+                print(f"    {key:28s} {transient[key]:.6g}")
 
 
 # -- subcommands ------------------------------------------------------------
@@ -106,6 +121,7 @@ def cmd_list(args: argparse.Namespace) -> int:
             "name": spec.name,
             "workload": spec.workload.kind,
             "simulator": spec.solver.simulator,
+            "transient": spec.transient is not None,
             "description": spec.description,
         }
         for spec in SCENARIOS.values()
@@ -115,9 +131,8 @@ def cmd_list(args: argparse.Namespace) -> int:
         return 0
     width = max(len(row["name"]) for row in rows) if rows else 0
     for row in rows:
-        print(
-            f"{row['name']:{width}s}  [{row['workload']}]  {row['description']}"
-        )
+        kind = row["workload"] + (", transient" if row["transient"] else "")
+        print(f"{row['name']:{width}s}  [{kind}]  {row['description']}")
     return 0
 
 

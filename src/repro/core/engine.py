@@ -39,6 +39,10 @@ __all__ = ["EvaluationEngine", "COUNTER_KEYS"]
 #: Sentinel meaning "derive the cache key from the structure fingerprint".
 _AUTO_KEY = object()
 
+#: Sentinel distinguishing "absent from the cache" from a cached None
+#: (memoized factories may legitimately return None).
+_MISSING = object()
+
 #: The engine's monotonically-increasing solve/cache counters -- the
 #: fields campaign aggregation sums across engines, sessions and worker
 #: processes (:func:`EvaluationEngine.merge_stats`).
@@ -281,6 +285,33 @@ class EvaluationEngine:
             for index in indices:
                 results[index] = solution
         return results
+
+    def memo(self, key: Hashable, factory: Callable[[], object]) -> object:
+        """Explicitly-keyed memoization sharing the engine's LRU cache.
+
+        Producers other than the steady finite-difference solve -- e.g.
+        the finite-volume transient engine, which keys whole transient
+        outcomes on scenario content hashes -- use this to get the same
+        bounded cache, eviction policy and hit/miss accounting as
+        :meth:`solve`.  ``factory`` is invoked only on a miss.  Callers
+        own key hygiene: prefix keys with a producer tag so they can never
+        collide with structure fingerprints.
+        """
+        with self._lock:
+            cached = self._cache.get(key, _MISSING)
+            if cached is not _MISSING:
+                self._cache.move_to_end(key)
+                self.n_cache_hits += 1
+                return cached
+            self.n_cache_misses += 1
+        value = factory()
+        with self._lock:
+            self._cache[key] = value
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+                self.n_evictions += 1
+        return value
 
     # -- management ---------------------------------------------------------
 

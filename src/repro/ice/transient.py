@@ -36,9 +36,41 @@ from .results import TransientResult
 from .solver import AssembledSystem
 from .stack import LayerStack
 
-__all__ = ["TransientSolver"]
+__all__ = ["TransientSolver", "result_from_snapshots"]
 
 PowerSchedule = Callable[[float], Dict[str, Union[float, np.ndarray]]]
+
+
+def result_from_snapshots(
+    system: AssembledSystem,
+    stack: LayerStack,
+    times,
+    snapshots,
+    metadata: Dict[str, object],
+) -> TransientResult:
+    """Fold full-state snapshots into a per-solid-layer TransientResult.
+
+    Shared by :meth:`TransientSolver.run` and the transient engine
+    (:mod:`repro.transient_engine`), so both paths assemble histories --
+    and hence compare bit for bit -- through exactly one implementation.
+    """
+    layer_histories: Dict[str, np.ndarray] = {}
+    for layer_idx, layer in enumerate(stack.layers):
+        if layer.is_cavity:
+            continue
+        start = system.index(layer_idx, 0, 0)
+        stop = start + system.n_cells_per_layer
+        layer_histories[layer.name] = np.stack(
+            [
+                snapshot[start:stop].reshape(stack.n_rows, stack.n_cols)
+                for snapshot in snapshots
+            ]
+        )
+    return TransientResult(
+        times=np.asarray(times),
+        layer_histories=layer_histories,
+        metadata=metadata,
+    )
 
 
 class TransientSolver:
@@ -75,10 +107,11 @@ class TransientSolver:
         self.backend = resolve_backend(backend)
         self._matrix = self.system.matrix().tocsr()
         self._base_rhs = self.system.rhs.copy()
+        self._implicit: Dict[float, tuple] = {}
 
     # -- source updates -----------------------------------------------------------
 
-    def _rhs_at(self, time: float) -> np.ndarray:
+    def rhs_at(self, time: float) -> np.ndarray:
         """Right-hand side with the power schedule applied at ``time``."""
         if self.power_schedule is None:
             return self._base_rhs
@@ -108,6 +141,65 @@ class TransientSolver:
         return rhs
 
     # -- integration --------------------------------------------------------------------
+
+    def implicit_system(self, time_step: float) -> tuple:
+        """The backward-Euler system ``(implicit, C/dt, pattern_token)``.
+
+        Cached per time step, so chunked integrations (the transient
+        engine's policy-in-the-loop path) rebuild nothing between chunks.
+        The token identifies the implicit system's structure to the solver
+        backend, whose keyed factorization cache then recognizes the
+        unchanged matrix across steps, chunks and repeated runs.
+        """
+        time_step = float(time_step)
+        cached = self._implicit.get(time_step)
+        if cached is not None:
+            return cached
+        capacitances = self.system.capacitances.copy()
+        # Guard against zero capacitance (should not happen, but keeps the
+        # implicit matrix non-singular for degenerate stacks).
+        capacitances[capacitances <= 0.0] = np.min(
+            capacitances[capacitances > 0.0]
+        )
+        c_over_dt = sparse.diags(capacitances / time_step)
+        implicit = (c_over_dt + self._matrix).tocsr()
+        base_token = self.system.pattern_token
+        implicit_token = (
+            None if base_token is None else ("ice-implicit",) + base_token
+        )
+        cached = (implicit, c_over_dt, implicit_token)
+        self._implicit[time_step] = cached
+        return cached
+
+    def integrate(
+        self,
+        state: np.ndarray,
+        *,
+        step_offset: int,
+        n_steps: int,
+        time_step: float,
+        on_step: Callable[[int, float, np.ndarray], None],
+    ) -> np.ndarray:
+        """Advance a full state vector ``n_steps`` backward-Euler steps.
+
+        The absolute time of each step is ``(step_offset + step) *
+        time_step`` -- computed exactly as one unchunked run would, so an
+        integration split into chunks (the transient engine's
+        policy-in-the-loop path) evaluates power schedules at bit-identical
+        times.  ``on_step(step, time, state)`` is invoked after every step
+        with the 1-based step number *relative to this call*, the absolute
+        time and the new state vector (not a copy -- callbacks that keep it
+        must copy).  Returns the final state.  :meth:`run` is a convenience
+        wrapper over this primitive.
+        """
+        implicit, c_over_dt, implicit_token = self.implicit_system(time_step)
+        temperature = state
+        for step in range(1, int(n_steps) + 1):
+            time = (step_offset + step) * time_step
+            rhs = self.rhs_at(time) + c_over_dt @ temperature
+            temperature = self.backend.solve(implicit, rhs, implicit_token)
+            on_step(step, time, temperature)
+        return temperature
 
     def run(
         self,
@@ -143,52 +235,28 @@ class TransientSolver:
             else float(initial_temperature)
         )
 
-        capacitances = self.system.capacitances.copy()
-        # Guard against zero capacitance (should not happen, but keeps the
-        # implicit matrix non-singular for degenerate stacks).
-        capacitances[capacitances <= 0.0] = np.min(
-            capacitances[capacitances > 0.0]
-        )
-        c_over_dt = sparse.diags(capacitances / time_step)
-        implicit = (c_over_dt + self._matrix).tocsr()
-        # Identify the implicit system's structure to the backend so its
-        # factorization cache can recognize the unchanged matrix across
-        # steps and across repeated runs of the same stack/time step.
-        base_token = self.system.pattern_token
-        implicit_token = (
-            None if base_token is None else ("ice-implicit",) + base_token
-        )
-
         temperature = np.full(self.system.n_unknowns, start_temperature)
         times = [0.0]
         snapshots = [temperature.copy()]
-        for step in range(1, n_steps + 1):
-            time = step * time_step
-            rhs = self._rhs_at(time) + c_over_dt @ temperature
-            temperature = self.backend.solve(implicit, rhs, implicit_token)
+
+        def keep(step: int, time: float, state: np.ndarray) -> None:
             if step % store_every == 0 or step == n_steps:
                 times.append(time)
-                snapshots.append(temperature.copy())
+                snapshots.append(state.copy())
 
-        layer_histories: Dict[str, np.ndarray] = {}
-        for layer_idx, layer in enumerate(self.stack.layers):
-            if layer.is_cavity:
-                continue
-            start = self.system.index(layer_idx, 0, 0)
-            stop = start + self.system.n_cells_per_layer
-            history = np.stack(
-                [
-                    snapshot[start:stop].reshape(
-                        self.stack.n_rows, self.stack.n_cols
-                    )
-                    for snapshot in snapshots
-                ]
-            )
-            layer_histories[layer.name] = history
+        self.integrate(
+            temperature,
+            step_offset=0,
+            n_steps=n_steps,
+            time_step=time_step,
+            on_step=keep,
+        )
 
-        return TransientResult(
-            times=np.asarray(times),
-            layer_histories=layer_histories,
+        return result_from_snapshots(
+            self.system,
+            self.stack,
+            times,
+            snapshots,
             metadata={
                 "solver": "ice-transient-backward-euler",
                 "backend": self.backend.name,

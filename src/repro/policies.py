@@ -1,0 +1,219 @@
+"""Runtime coolant flow-control policies for transient scenarios.
+
+The paper's design flow shapes the channels *statically*; the runtime
+thermal-management companion work (fuzzy and flow-rate controllers for
+liquid-cooled 3D-MPSoCs, see PAPERS.md) instead modulates the *coolant
+flow* while the workload runs.  This module provides that runtime axis:
+a :class:`FlowPolicy` observes the stack's peak temperature once per
+control interval and answers with a flow *scale* -- the factor applied to
+the scenario's nominal per-channel flow rate for the next interval.
+
+Three built-in policies cover the classic control shapes:
+
+``constant``
+    A fixed scale (1.0 reproduces the uncontrolled scenario exactly).
+``bang-bang``
+    Two-level threshold control: ``high_scale`` while the observed peak
+    temperature is at or above ``threshold_K``, ``low_scale`` below it.
+``proportional``
+    ``scale = clip(1 + gain_per_K * (T_peak - setpoint_K))`` between
+    ``min_scale`` and ``max_scale``.
+
+Policies are deliberately *stateless* pure functions of the observation:
+the same temperature history always produces the same flow trajectory, so
+transient campaigns comparing policies are reproducible and the batched
+transient engine can treat constant-flow scenarios as one group.
+
+Custom policies register with :func:`register_policy`; anything exposing
+``initial_scale()`` and ``update(time_s, peak_temperature_K) -> float``
+works.  :func:`policy_from_spec` builds a policy from the serializable
+:class:`~repro.transient.PolicySpec` carried by transient scenarios.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List
+
+__all__ = [
+    "FlowPolicy",
+    "ConstantFlowPolicy",
+    "BangBangFlowPolicy",
+    "ProportionalFlowPolicy",
+    "available_policies",
+    "get_policy_factory",
+    "register_policy",
+    "policy_from_spec",
+]
+
+
+class FlowPolicy:
+    """Interface of a runtime flow-control policy.
+
+    A policy is queried once per control interval with the simulation time
+    and the peak silicon temperature observed at that time, and returns
+    the flow scale (a multiplier on the scenario's nominal per-channel
+    flow rate) to apply over the *next* interval.
+    """
+
+    #: Registry name of the policy kind.
+    name: str = "abstract"
+
+    def initial_scale(self) -> float:
+        """Flow scale applied before the first observation."""
+        return 1.0
+
+    def update(self, time_s: float, peak_temperature_K: float) -> float:
+        """Flow scale for the next control interval."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+class ConstantFlowPolicy(FlowPolicy):
+    """Fixed flow scale; ``scale=1`` is the uncontrolled scenario."""
+
+    name = "constant"
+
+    def __init__(self, scale: float = 1.0) -> None:
+        if scale <= 0.0:
+            raise ValueError(f"flow scale must be positive, got {scale}")
+        self.scale = float(scale)
+
+    def initial_scale(self) -> float:
+        return self.scale
+
+    def update(self, time_s, peak_temperature_K) -> float:
+        return self.scale
+
+
+class BangBangFlowPolicy(FlowPolicy):
+    """Two-level threshold (bang-bang) control on the observed peak."""
+
+    name = "bang-bang"
+
+    def __init__(
+        self,
+        threshold_K: float = 350.0,
+        low_scale: float = 1.0,
+        high_scale: float = 1.5,
+    ) -> None:
+        if threshold_K <= 0.0:
+            raise ValueError(f"threshold_K must be positive, got {threshold_K}")
+        if low_scale <= 0.0 or high_scale <= 0.0:
+            raise ValueError("flow scales must be positive")
+        self.threshold_K = float(threshold_K)
+        self.low_scale = float(low_scale)
+        self.high_scale = float(high_scale)
+
+    def initial_scale(self) -> float:
+        return self.low_scale
+
+    def update(self, time_s, peak_temperature_K) -> float:
+        if peak_temperature_K >= self.threshold_K:
+            return self.high_scale
+        return self.low_scale
+
+
+class ProportionalFlowPolicy(FlowPolicy):
+    """Proportional control around a peak-temperature setpoint."""
+
+    name = "proportional"
+
+    def __init__(
+        self,
+        setpoint_K: float = 345.0,
+        gain_per_K: float = 0.05,
+        min_scale: float = 0.25,
+        max_scale: float = 2.0,
+    ) -> None:
+        if setpoint_K <= 0.0:
+            raise ValueError(f"setpoint_K must be positive, got {setpoint_K}")
+        if min_scale <= 0.0 or max_scale < min_scale:
+            raise ValueError(
+                "flow scales must satisfy 0 < min_scale <= max_scale, got "
+                f"({min_scale}, {max_scale})"
+            )
+        self.setpoint_K = float(setpoint_K)
+        self.gain_per_K = float(gain_per_K)
+        self.min_scale = float(min_scale)
+        self.max_scale = float(max_scale)
+
+    def _clip(self, scale: float) -> float:
+        return min(max(scale, self.min_scale), self.max_scale)
+
+    def initial_scale(self) -> float:
+        return self._clip(1.0)
+
+    def update(self, time_s, peak_temperature_K) -> float:
+        error = peak_temperature_K - self.setpoint_K
+        return self._clip(1.0 + self.gain_per_K * error)
+
+
+_REGISTRY: Dict[str, Callable[..., FlowPolicy]] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def register_policy(
+    name: str, factory: Callable[..., FlowPolicy], overwrite: bool = False
+) -> None:
+    """Register a policy factory (class or callable) under ``name``."""
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"policy name must be a non-empty string, got {name!r}")
+    if not callable(factory):
+        raise TypeError("policy factory must be callable")
+    with _REGISTRY_LOCK:
+        if name in _REGISTRY and not overwrite:
+            raise ValueError(
+                f"flow policy {name!r} is already registered; "
+                "pass overwrite=True to replace it"
+            )
+        _REGISTRY[name] = factory
+
+
+def get_policy_factory(name: str) -> Callable[..., FlowPolicy]:
+    """Look up a policy factory by registry name."""
+    with _REGISTRY_LOCK:
+        factory = _REGISTRY.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown flow policy {name!r}; available: {available_policies()}"
+        )
+    return factory
+
+
+def available_policies() -> List[str]:
+    """Sorted names of the registered flow policies."""
+    with _REGISTRY_LOCK:
+        return sorted(_REGISTRY)
+
+
+def policy_from_spec(spec) -> FlowPolicy:
+    """Build a :class:`FlowPolicy` from a serializable ``PolicySpec``.
+
+    The mapping from spec fields to constructor arguments is fixed per
+    built-in kind; custom registered kinds receive the whole spec.
+    """
+    kind = spec.kind
+    if kind == "constant":
+        return ConstantFlowPolicy(scale=spec.scale)
+    if kind == "bang-bang":
+        return BangBangFlowPolicy(
+            threshold_K=spec.threshold_K,
+            low_scale=spec.low_scale,
+            high_scale=spec.high_scale,
+        )
+    if kind == "proportional":
+        return ProportionalFlowPolicy(
+            setpoint_K=spec.setpoint_K,
+            gain_per_K=spec.gain_per_K,
+            min_scale=spec.min_scale,
+            max_scale=spec.max_scale,
+        )
+    return get_policy_factory(kind)(spec)
+
+
+register_policy("constant", ConstantFlowPolicy)
+register_policy("bang-bang", BangBangFlowPolicy)
+register_policy("proportional", ProportionalFlowPolicy)

@@ -36,7 +36,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from dataclasses import dataclass, fields, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -58,6 +58,13 @@ from .thermal.geometry import (
     MultiChannelStructure,
     TestStructure,
     WidthProfile,
+)
+from .transient import (
+    PolicySpec,
+    TraceSpec,
+    TransientSpec,
+    _check_keys,
+    _set,
 )
 
 __all__ = [
@@ -94,23 +101,6 @@ PARAMETER_OVERRIDE_FIELDS: Tuple[str, ...] = (
     "max_channel_width",
     "channel_length",
 )
-
-
-def _check_keys(cls, data: Mapping, context: str) -> None:
-    """Reject unknown keys with a message listing the allowed ones."""
-    allowed = {field.name for field in fields(cls)}
-    unknown = sorted(set(data) - allowed)
-    if unknown:
-        raise ValueError(
-            f"{context}: unknown field(s) {unknown}; allowed fields are "
-            f"{sorted(allowed)}"
-        )
-
-
-def _set(instance, **values) -> None:
-    """Assign coerced values on a frozen dataclass instance."""
-    for name, value in values.items():
-        object.__setattr__(instance, name, value)
 
 
 @dataclass(frozen=True)
@@ -359,6 +349,12 @@ class ScenarioSpec:
         Optional explicit channel-width design: one tuple of
         piecewise-constant segment widths (meters) per modeled lane.
         ``None`` means the uniform maximum-width (conventional) design.
+    transient:
+        Optional :class:`~repro.transient.TransientSpec` turning the
+        scenario into a time-varying workload (power traces, runtime
+        flow-control policy, integration settings).  Transient scenarios
+        run through the finite-volume transient engine, so their solver
+        family must be ``"ice"``.
     """
 
     name: str
@@ -369,6 +365,7 @@ class ScenarioSpec:
     optimizer: OptimizerSpec = OptimizerSpec()
     params: Tuple[Tuple[str, float], ...] = ()
     design: Optional[Tuple[Tuple[float, ...], ...]] = None
+    transient: Optional[TransientSpec] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.name, str) or not self.name:
@@ -432,6 +429,22 @@ class ScenarioSpec:
                     )
                 design.append(widths)
             _set(self, design=tuple(design))
+        if self.transient is not None:
+            transient = self.transient
+            if isinstance(transient, Mapping):
+                transient = TransientSpec.from_dict(transient)
+            if not isinstance(transient, TransientSpec):
+                raise ValueError(
+                    "scenario.transient must be a TransientSpec (or mapping), "
+                    f"got {type(transient).__name__}"
+                )
+            _set(self, transient=transient)
+            # Transient scenarios run through the finite-volume transient
+            # engine; like the n_rows normalization above, pinning the
+            # simulator family here keeps the spec equal to what actually
+            # runs (to_dict shows simulator="ice").
+            if self.solver.simulator != "ice":
+                _set(self, solver=replace(self.solver, simulator="ice"))
 
     # -- derived configuration --------------------------------------------
 
@@ -662,6 +675,9 @@ class ScenarioSpec:
                 if self.design is None
                 else [list(segments) for segments in self.design]
             ),
+            "transient": (
+                None if self.transient is None else self.transient.to_dict()
+            ),
         }
 
     @classmethod
@@ -701,6 +717,7 @@ class ScenarioSpec:
                 tuple(segments) if not np.isscalar(segments) else (segments,)
                 for segments in design
             ),
+            transient=data.get("transient"),
             **sections,
         )
 
@@ -836,4 +853,66 @@ def _register_paper_scenarios() -> None:
         )
 
 
+def _register_transient_scenarios() -> None:
+    """Pre-populate the registry with trace-driven transient workloads."""
+    register_scenario(
+        ScenarioSpec(
+            name="test-a-burst",
+            description=(
+                "Test A structure under a bursty duty cycle: the top die "
+                "toggles 100/10 W/cm^2 every 0.1 s (finite-volume transient)"
+            ),
+            workload=WorkloadSpec(kind="test-a"),
+            grid=GridSpec(n_grid_points=241, n_lanes=1, n_rows=1, n_cols=80),
+            solver=SolverSpec(simulator="ice"),
+            transient=TransientSpec(
+                duration_s=1.0,
+                time_step_s=0.01,
+                traces=(
+                    TraceSpec(
+                        layer="top_die",
+                        kind="periodic",
+                        period_s=0.2,
+                        duty=0.5,
+                        high=100.0,
+                        low=10.0,
+                    ),
+                ),
+                policy=PolicySpec(kind="constant", control_interval_s=0.1),
+                store_every=5,
+                threshold_K=330.0,
+            ),
+        )
+    )
+    register_scenario(
+        ScenarioSpec(
+            name="niagara-arch1-dvfs",
+            description=(
+                "Fig. 7 arch1 under a DVFS-like power-state trace: the "
+                "compute die steps 120 -> 40 -> 90 W/cm^2 (finite-volume "
+                "transient)"
+            ),
+            workload=WorkloadSpec(kind="architecture", architecture="arch1"),
+            grid=GridSpec(n_grid_points=161, n_lanes=5, n_rows=44, n_cols=44),
+            solver=SolverSpec(simulator="ice"),
+            transient=TransientSpec(
+                duration_s=0.6,
+                time_step_s=0.02,
+                traces=(
+                    TraceSpec(
+                        layer="top_die",
+                        kind="piecewise",
+                        times=(0.0, 0.2, 0.4),
+                        values=(120.0, 40.0, 90.0),
+                    ),
+                ),
+                policy=PolicySpec(kind="constant", control_interval_s=0.1),
+                store_every=5,
+                threshold_K=335.0,
+            ),
+        )
+    )
+
+
 _register_paper_scenarios()
+_register_transient_scenarios()

@@ -78,6 +78,33 @@ class SolverBackend:
     ) -> np.ndarray:
         raise NotImplementedError
 
+    def solve_matrix(
+        self,
+        matrix: sparse.spmatrix,
+        rhs_matrix: np.ndarray,
+        pattern_token: Optional[tuple] = None,
+    ) -> np.ndarray:
+        """Solve one matrix against many right-hand sides at once.
+
+        ``rhs_matrix`` has shape ``(n, k)`` -- one column per right-hand
+        side -- and the result has the same shape.  The base implementation
+        loops over the columns through :meth:`solve`; direct backends
+        override it to hash and look up the factorization once for the
+        whole block (the batched transient engine's hot path).  Either way
+        each column equals the corresponding single-RHS solve bit for bit.
+        """
+        rhs_matrix = np.asarray(rhs_matrix)
+        if rhs_matrix.ndim != 2:
+            raise ValueError(
+                f"rhs_matrix must be 2-D (n, k), got shape {rhs_matrix.shape}"
+            )
+        return np.column_stack(
+            [
+                self.solve(matrix, rhs_matrix[:, column], pattern_token)
+                for column in range(rhs_matrix.shape[1])
+            ]
+        )
+
     def reset(self) -> None:
         """Drop any cached state (factorizations, counters)."""
 
@@ -96,6 +123,11 @@ class DenseBackend(SolverBackend):
 
     def solve(self, matrix, rhs, pattern_token=None):
         return np.linalg.solve(matrix.toarray(), rhs)
+
+    # solve_matrix keeps the base per-column loop: LAPACK's blocked
+    # multi-RHS back-substitution reorders additions, so a 2-D
+    # ``np.linalg.solve`` would not be bit-identical to the single-RHS
+    # solves this backend otherwise produces.
 
 
 class SparseLUBackend(SolverBackend):
@@ -127,8 +159,8 @@ class SparseLUBackend(SolverBackend):
             return (matrix.shape, matrix.nnz, digest.hexdigest())
         return (pattern_token, digest.hexdigest())
 
-    def solve(self, matrix, rhs, pattern_token=None):
-        matrix = matrix.tocsr() if not sparse.issparse(matrix) else matrix
+    def _factorization_for(self, matrix, pattern_token):
+        """The (possibly cached) SuperLU factorization of ``matrix``."""
         key = self._matrix_key(matrix, pattern_token)
         with self._lock:
             factorization = self._factorizations.get(key)
@@ -143,7 +175,35 @@ class SparseLUBackend(SolverBackend):
                     self._factorizations[key] = factorization
                     while len(self._factorizations) > self.factorization_cache_size:
                         self._factorizations.popitem(last=False)
-        return factorization.solve(rhs)
+        return factorization
+
+    def solve(self, matrix, rhs, pattern_token=None):
+        matrix = matrix.tocsr() if not sparse.issparse(matrix) else matrix
+        return self._factorization_for(matrix, pattern_token).solve(rhs)
+
+    def solve_matrix(self, matrix, rhs_matrix, pattern_token=None):
+        # One content hash + one factorization lookup for the whole block,
+        # then per-column back-substitution.  SuperLU *can* take a 2-D
+        # right-hand side, but its multi-RHS triangular solves go through
+        # blocked BLAS whose summation order differs from the single-RHS
+        # kernels -- columns would drift from single solves in the last
+        # bits.  Per-column solves over the shared factorization keep the
+        # bit-identity guarantee of the base class while still amortizing
+        # the hashing/lookup (the per-step cost that dominates batched
+        # transient stepping).
+        rhs_matrix = np.asarray(rhs_matrix)
+        if rhs_matrix.ndim != 2:
+            raise ValueError(
+                f"rhs_matrix must be 2-D (n, k), got shape {rhs_matrix.shape}"
+            )
+        matrix = matrix.tocsr() if not sparse.issparse(matrix) else matrix
+        factorization = self._factorization_for(matrix, pattern_token)
+        return np.column_stack(
+            [
+                factorization.solve(rhs_matrix[:, column])
+                for column in range(rhs_matrix.shape[1])
+            ]
+        )
 
     def reset(self):
         with self._lock:
@@ -252,6 +312,15 @@ class AutoBackend(SolverBackend):
         if matrix.shape[0] <= self.dense_cutoff:
             return get_backend("dense").solve(matrix, rhs, pattern_token)
         return get_backend("sparse-lu").solve(matrix, rhs, pattern_token)
+
+    def solve_matrix(self, matrix, rhs_matrix, pattern_token=None):
+        if matrix.shape[0] <= self.dense_cutoff:
+            return get_backend("dense").solve_matrix(
+                matrix, rhs_matrix, pattern_token
+            )
+        return get_backend("sparse-lu").solve_matrix(
+            matrix, rhs_matrix, pattern_token
+        )
 
     def stats(self):
         return {"dense_cutoff": self.dense_cutoff}

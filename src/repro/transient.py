@@ -1,0 +1,523 @@
+"""Transient workload specifications: power traces, schedules and policies.
+
+Everything batch-facing in the library describes *what to run* as frozen,
+JSON-round-trippable specs (:mod:`repro.scenarios`); this module extends
+that vocabulary to time-varying workloads:
+
+* :class:`TraceSpec` -- one per-block (per solid layer) power trace:
+  piecewise-constant flux segments, a periodic duty cycle, or a trace
+  loaded from a CSV/JSON file (:meth:`TraceSpec.from_file`, stored inline
+  so the spec stays self-contained);
+* :class:`PolicySpec` -- the serializable description of a runtime
+  coolant flow-control policy (built into a live
+  :class:`~repro.policies.FlowPolicy` by
+  :func:`repro.policies.policy_from_spec`);
+* :class:`TransientSpec` -- the full time axis of a scenario: duration,
+  backward-Euler step, traces, control policy, history subsampling and
+  the threshold used by the time-above-threshold metric.
+
+A :class:`~repro.scenarios.ScenarioSpec` carries an optional
+``transient`` field of this type; scenarios with one run through the
+finite-volume transient engine (:mod:`repro.transient_engine`) instead of
+the steady solvers.  All specs validate on construction and round-trip
+losslessly through ``to_dict``/``from_dict`` (and JSON), so transient
+scenarios serialize, hash, sweep and resume exactly like steady ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "TRACE_KINDS",
+    "POLICY_KINDS",
+    "TraceSpec",
+    "PolicySpec",
+    "TransientSpec",
+    "load_trace_file",
+]
+
+#: Trace shapes a spec can describe.
+TRACE_KINDS: Tuple[str, ...] = ("piecewise", "periodic")
+
+#: Built-in flow-control policy kinds (see :mod:`repro.policies`).
+POLICY_KINDS: Tuple[str, ...] = ("constant", "bang-bang", "proportional")
+
+
+def _set(instance, **values) -> None:
+    """Assign coerced values on a frozen dataclass instance."""
+    for name, value in values.items():
+        object.__setattr__(instance, name, value)
+
+
+def _check_keys(cls, data: Mapping, context: str) -> None:
+    """Reject unknown keys with a message listing the allowed ones."""
+    allowed = {field.name for field in fields(cls)}
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ValueError(
+            f"{context}: unknown field(s) {unknown}; allowed fields are "
+            f"{sorted(allowed)}"
+        )
+
+
+def load_trace_file(path: Union[str, os.PathLike]) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+    """Read ``(times, values)`` from a CSV or JSON trace file.
+
+    Two formats are accepted:
+
+    * CSV: two columns ``time,value`` per line; a non-numeric first line
+      is treated as a header and skipped;
+    * JSON: either ``{"times": [...], "values": [...]}`` or a list of
+      ``[time, value]`` pairs.
+
+    The times must start at 0 and increase strictly; the returned pair is
+    ready for :class:`TraceSpec` (``kind="piecewise"``), which stores the
+    samples inline so the resulting spec is self-contained.
+    """
+    name = os.fspath(path)
+    with open(name, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    stripped = text.lstrip()
+    if stripped.startswith("{") or stripped.startswith("["):
+        data = json.loads(text)
+        if isinstance(data, Mapping):
+            if "times" not in data or "values" not in data:
+                raise ValueError(
+                    f"{name}: a JSON trace object needs 'times' and 'values'"
+                )
+            times, values = data["times"], data["values"]
+        else:
+            try:
+                times = [pair[0] for pair in data]
+                values = [pair[1] for pair in data]
+            except (TypeError, IndexError):
+                raise ValueError(
+                    f"{name}: a JSON trace list must hold [time, value] pairs"
+                ) from None
+    else:
+        times, values = [], []
+        for number, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            parts = [part.strip() for part in line.split(",")]
+            if len(parts) < 2:
+                raise ValueError(
+                    f"{name}:{number}: expected 'time,value', got {line!r}"
+                )
+            try:
+                time, value = float(parts[0]), float(parts[1])
+            except ValueError:
+                if number == 1:  # header line
+                    continue
+                raise ValueError(
+                    f"{name}:{number}: non-numeric trace sample {line!r}"
+                ) from None
+            times.append(time)
+            values.append(value)
+    if not times:
+        raise ValueError(f"{name}: the trace file holds no samples")
+    return (
+        tuple(float(time) for time in times),
+        tuple(float(value) for value in values),
+    )
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """A time-varying heat-flux trace for one solid layer of the stack.
+
+    Attributes
+    ----------
+    layer:
+        Name of the solid layer the trace drives (``"top_die"``, ...).
+    kind:
+        ``"piecewise"`` (explicit breakpoints) or ``"periodic"`` (duty
+        cycle).
+    times / values:
+        Piecewise-constant samples: ``values[i]`` (W/cm^2) holds from
+        ``times[i]`` until ``times[i+1]`` (the last value holds to the end
+        of the run).  ``times`` must start at 0 and increase strictly.
+    period_s / duty / high / low:
+        Periodic traces: flux is ``high`` (W/cm^2) for the first
+        ``duty`` fraction of every ``period_s`` seconds and ``low``
+        otherwise.
+    """
+
+    layer: str
+    kind: str = "piecewise"
+    times: Tuple[float, ...] = ()
+    values: Tuple[float, ...] = ()
+    period_s: float = 0.0
+    duty: float = 0.5
+    high: float = 0.0
+    low: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.layer, str) or not self.layer:
+            raise ValueError(
+                f"trace.layer must be a non-empty layer name, got {self.layer!r}"
+            )
+        if self.kind not in TRACE_KINDS:
+            raise ValueError(
+                f"trace.kind must be one of {list(TRACE_KINDS)}, got {self.kind!r}"
+            )
+        _set(
+            self,
+            times=tuple(float(time) for time in self.times),
+            values=tuple(float(value) for value in self.values),
+            period_s=float(self.period_s),
+            duty=float(self.duty),
+            high=float(self.high),
+            low=float(self.low),
+        )
+        if self.kind == "piecewise":
+            if not self.times or len(self.times) != len(self.values):
+                raise ValueError(
+                    f"trace {self.layer!r}: piecewise traces need matching, "
+                    f"non-empty times/values, got {len(self.times)} times and "
+                    f"{len(self.values)} values"
+                )
+            if self.times[0] != 0.0:
+                raise ValueError(
+                    f"trace {self.layer!r}: times must start at 0, "
+                    f"got {self.times[0]}"
+                )
+            if any(b <= a for a, b in zip(self.times, self.times[1:])):
+                raise ValueError(
+                    f"trace {self.layer!r}: times must increase strictly, "
+                    f"got {self.times}"
+                )
+            if any(not np.isfinite(v) or v < 0.0 for v in self.values):
+                raise ValueError(
+                    f"trace {self.layer!r}: flux values must be finite and "
+                    f"non-negative, got {self.values}"
+                )
+        else:  # periodic
+            if self.period_s <= 0.0:
+                raise ValueError(
+                    f"trace {self.layer!r}: period_s must be positive, "
+                    f"got {self.period_s}"
+                )
+            if not 0.0 < self.duty <= 1.0:
+                raise ValueError(
+                    f"trace {self.layer!r}: duty must be in (0, 1], got {self.duty}"
+                )
+            if self.high < 0.0 or self.low < 0.0:
+                raise ValueError(
+                    f"trace {self.layer!r}: high/low fluxes must be "
+                    f"non-negative, got ({self.high}, {self.low})"
+                )
+
+    @classmethod
+    def from_file(cls, layer: str, path: Union[str, os.PathLike]) -> "TraceSpec":
+        """Load a CSV/JSON trace file into a self-contained piecewise trace."""
+        times, values = load_trace_file(path)
+        return cls(layer=layer, kind="piecewise", times=times, values=values)
+
+    def flux_at(self, time_s: float) -> float:
+        """The trace's areal heat flux (W/cm^2) at ``time_s``."""
+        if self.kind == "periodic":
+            phase = time_s % self.period_s
+            return self.high if phase < self.duty * self.period_s else self.low
+        index = int(np.searchsorted(self.times, time_s, side="right")) - 1
+        return self.values[max(index, 0)]
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data (JSON-compatible) representation of the trace."""
+        return {
+            "layer": self.layer,
+            "kind": self.kind,
+            "times": list(self.times),
+            "values": list(self.values),
+            "period_s": self.period_s,
+            "duty": self.duty,
+            "high": self.high,
+            "low": self.low,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TraceSpec":
+        """Rebuild a trace from :meth:`to_dict` output (with validation)."""
+        if not isinstance(data, Mapping):
+            raise ValueError(f"a trace must be a mapping, got {type(data).__name__}")
+        _check_keys(cls, data, "trace")
+        if "layer" not in data:
+            raise ValueError("trace: the 'layer' field is required")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Serializable description of a runtime flow-control policy.
+
+    The ``kind`` selects the policy family (see :mod:`repro.policies`);
+    only the fields that family reads are meaningful, the rest keep their
+    defaults so any spec round-trips losslessly.
+
+    Attributes
+    ----------
+    kind:
+        ``"constant"``, ``"bang-bang"``, ``"proportional"`` or a custom
+        registered policy name.
+    control_interval_s:
+        How often the policy observes the peak temperature and may change
+        the flow (seconds).  ``0`` disables runtime control entirely (the
+        initial scale applies for the whole run); threshold and
+        proportional policies require a positive interval.
+    scale:
+        The fixed flow scale of ``"constant"`` policies.
+    threshold_K / low_scale / high_scale:
+        Bang-bang trigger temperature and its two flow levels.
+    setpoint_K / gain_per_K / min_scale / max_scale:
+        Proportional setpoint, gain and clip range.
+    """
+
+    kind: str = "constant"
+    control_interval_s: float = 0.0
+    scale: float = 1.0
+    threshold_K: float = 350.0
+    low_scale: float = 1.0
+    high_scale: float = 1.5
+    setpoint_K: float = 345.0
+    gain_per_K: float = 0.05
+    min_scale: float = 0.25
+    max_scale: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, str) or not self.kind:
+            raise ValueError(
+                f"policy.kind must be a non-empty policy name, got {self.kind!r}"
+            )
+        _set(
+            self,
+            control_interval_s=float(self.control_interval_s),
+            scale=float(self.scale),
+            threshold_K=float(self.threshold_K),
+            low_scale=float(self.low_scale),
+            high_scale=float(self.high_scale),
+            setpoint_K=float(self.setpoint_K),
+            gain_per_K=float(self.gain_per_K),
+            min_scale=float(self.min_scale),
+            max_scale=float(self.max_scale),
+        )
+        if self.control_interval_s < 0.0:
+            raise ValueError(
+                f"policy.control_interval_s must be non-negative, "
+                f"got {self.control_interval_s}"
+            )
+        for name in ("scale", "low_scale", "high_scale", "min_scale", "max_scale"):
+            if getattr(self, name) <= 0.0:
+                raise ValueError(
+                    f"policy.{name} must be positive, got {getattr(self, name)}"
+                )
+        if self.min_scale > self.max_scale:
+            raise ValueError(
+                f"policy.min_scale must not exceed policy.max_scale, "
+                f"got ({self.min_scale}, {self.max_scale})"
+            )
+        if self.threshold_K <= 0.0 or self.setpoint_K <= 0.0:
+            raise ValueError("policy temperatures must be positive (Kelvin)")
+        if self.kind in ("bang-bang", "proportional") and self.control_interval_s <= 0.0:
+            raise ValueError(
+                f"policy.kind {self.kind!r} reacts to observed temperatures "
+                "and needs a positive control_interval_s"
+            )
+
+    @property
+    def is_reactive(self) -> bool:
+        """True when the policy can change the flow during the run."""
+        return self.control_interval_s > 0.0 and self.kind != "constant"
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data (JSON-compatible) representation of the policy."""
+        return {
+            "kind": self.kind,
+            "control_interval_s": self.control_interval_s,
+            "scale": self.scale,
+            "threshold_K": self.threshold_K,
+            "low_scale": self.low_scale,
+            "high_scale": self.high_scale,
+            "setpoint_K": self.setpoint_K,
+            "gain_per_K": self.gain_per_K,
+            "min_scale": self.min_scale,
+            "max_scale": self.max_scale,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PolicySpec":
+        """Rebuild a policy spec from :meth:`to_dict` output."""
+        if not isinstance(data, Mapping):
+            raise ValueError(f"a policy must be a mapping, got {type(data).__name__}")
+        _check_keys(cls, data, "policy")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class TransientSpec:
+    """The time axis of a scenario: traces, integration and control.
+
+    Attributes
+    ----------
+    duration_s / time_step_s:
+        Total simulated time and the backward-Euler step (seconds).  The
+        scheme is unconditionally stable, so the step only controls
+        accuracy.
+    traces:
+        Per-layer power traces (at most one per layer); layers without a
+        trace keep the scenario's static heat maps.
+    policy:
+        The runtime flow-control policy (constant scale 1 by default,
+        i.e. the uncontrolled scenario).
+    store_every:
+        Keep every ``store_every``-th field snapshot (plus the initial
+        and final states), bounding memory for long traces.  Scalar
+        observables (peak temperature, coolant rise) are tracked at every
+        step regardless.
+    initial_temperature_K:
+        Uniform initial temperature; ``None`` starts from the stack's
+        ambient (inlet) temperature.
+    threshold_K:
+        Temperature used by the time-above-threshold transient metric
+        (85 C by default).
+    """
+
+    duration_s: float = 1.0
+    time_step_s: float = 0.01
+    traces: Tuple[TraceSpec, ...] = ()
+    policy: PolicySpec = PolicySpec()
+    store_every: int = 1
+    initial_temperature_K: Optional[float] = None
+    threshold_K: float = 358.15
+
+    def __post_init__(self) -> None:
+        _set(
+            self,
+            duration_s=float(self.duration_s),
+            time_step_s=float(self.time_step_s),
+            store_every=int(self.store_every),
+            threshold_K=float(self.threshold_K),
+        )
+        if self.duration_s <= 0.0 or self.time_step_s <= 0.0:
+            raise ValueError(
+                "transient.duration_s and transient.time_step_s must be "
+                f"positive, got ({self.duration_s}, {self.time_step_s})"
+            )
+        if self.store_every < 1:
+            raise ValueError(
+                f"transient.store_every must be at least 1, got {self.store_every}"
+            )
+        if self.threshold_K <= 0.0:
+            raise ValueError(
+                f"transient.threshold_K must be positive (Kelvin), "
+                f"got {self.threshold_K}"
+            )
+        if self.initial_temperature_K is not None:
+            _set(self, initial_temperature_K=float(self.initial_temperature_K))
+            if self.initial_temperature_K <= 0.0:
+                raise ValueError(
+                    "transient.initial_temperature_K must be positive "
+                    f"(Kelvin), got {self.initial_temperature_K}"
+                )
+        traces = []
+        for trace in self.traces:
+            if isinstance(trace, Mapping):
+                trace = TraceSpec.from_dict(trace)
+            if not isinstance(trace, TraceSpec):
+                raise ValueError(
+                    "transient.traces entries must be TraceSpec (or "
+                    f"mappings), got {type(trace).__name__}"
+                )
+            traces.append(trace)
+        layers = [trace.layer for trace in traces]
+        duplicates = sorted({layer for layer in layers if layers.count(layer) > 1})
+        if duplicates:
+            raise ValueError(
+                f"transient.traces repeat layer(s) {duplicates}; at most one "
+                "trace per layer"
+            )
+        _set(self, traces=tuple(traces))
+        policy = self.policy
+        if isinstance(policy, Mapping):
+            policy = PolicySpec.from_dict(policy)
+        if not isinstance(policy, PolicySpec):
+            raise ValueError(
+                f"transient.policy must be a PolicySpec (or mapping), "
+                f"got {type(policy).__name__}"
+            )
+        _set(self, policy=policy)
+        if policy.control_interval_s > 0.0:
+            steps = policy.control_interval_s / self.time_step_s
+            if abs(steps - round(steps)) > 1e-9 or round(steps) < 1:
+                raise ValueError(
+                    "policy.control_interval_s must be a positive whole "
+                    f"multiple of transient.time_step_s, got "
+                    f"{policy.control_interval_s} vs {self.time_step_s}"
+                )
+
+    # -- derived integration parameters ------------------------------------
+
+    @property
+    def n_steps(self) -> int:
+        """Number of backward-Euler steps of the run."""
+        return max(int(round(self.duration_s / self.time_step_s)), 1)
+
+    @property
+    def control_steps(self) -> int:
+        """Steps per control interval (``n_steps`` when control is off)."""
+        if self.policy.control_interval_s <= 0.0:
+            return self.n_steps
+        return int(round(self.policy.control_interval_s / self.time_step_s))
+
+    def schedule(self):
+        """A ``time -> {layer: flux}`` callable over the traces (or None).
+
+        This is exactly the ``power_schedule`` shape consumed by
+        :class:`repro.ice.transient.TransientSolver`.
+        """
+        if not self.traces:
+            return None
+        traces = self.traces
+
+        def power_schedule(time_s: float) -> Dict[str, float]:
+            return {trace.layer: trace.flux_at(time_s) for trace in traces}
+
+        return power_schedule
+
+    # -- functional updates -------------------------------------------------
+
+    def with_policy(self, policy: Union[PolicySpec, Mapping]) -> "TransientSpec":
+        """Return a copy with the flow-control policy replaced."""
+        return replace(self, policy=policy)
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data (JSON-compatible) representation of the spec."""
+        return {
+            "duration_s": self.duration_s,
+            "time_step_s": self.time_step_s,
+            "traces": [trace.to_dict() for trace in self.traces],
+            "policy": self.policy.to_dict(),
+            "store_every": self.store_every,
+            "initial_temperature_K": self.initial_temperature_K,
+            "threshold_K": self.threshold_K,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TransientSpec":
+        """Rebuild a transient spec from :meth:`to_dict` output."""
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"a transient spec must be a mapping, got {type(data).__name__}"
+            )
+        _check_keys(cls, data, "transient")
+        payload = dict(data)
+        payload["traces"] = tuple(payload.get("traces", ()))
+        return cls(**payload)

@@ -1,0 +1,579 @@
+"""Trace-driven transient simulation: the policy-aware, batchable engine.
+
+This module turns a transient scenario (a
+:class:`~repro.scenarios.ScenarioSpec` carrying a
+:class:`~repro.transient.TransientSpec`) into a
+:class:`TransientOutcome`: the subsampled field history, per-step scalar
+observables (peak silicon temperature, coolant rise), the flow-scale
+schedule the runtime policy produced, and the transient metrics campaigns
+record (peak transient temperature, time above threshold, thermal-cycling
+amplitude, pumping energy).
+
+Two solve paths share one stepping core
+(:meth:`repro.ice.transient.TransientSolver.integrate`):
+
+:func:`simulate_transient`
+    The reference path: one scenario, stepped chunk by chunk.  At every
+    control interval the flow policy observes the peak temperature and may
+    change the flow scale; a scale change rebuilds the stack at the scaled
+    flow (the assembly's cached sparsity pattern makes this cheap) and the
+    solver backend's keyed factorization cache makes revisited scales --
+    e.g. the two levels of a bang-bang controller -- pay only triangular
+    solves.
+
+:func:`simulate_transient_many`
+    The vectorized path: scenarios whose implicit systems are
+    content-identical (same stack geometry, widths, flow and time step --
+    they may differ arbitrarily in traces and static heat maps) are
+    *grouped* and stepped together, one multi-RHS
+    :meth:`~repro.thermal.backends.SolverBackend.solve_matrix` call per
+    time step over one shared factorization.  Every trajectory is
+    bit-identical to what :func:`simulate_transient` produces for the same
+    scenario (the backend tests and the transient test suite assert exact
+    equality), so batching is purely a throughput optimization.
+
+Long traces do not blow memory: full-field snapshots are kept every
+``store_every`` steps only, while the scalar observables driving metrics
+and policies are tracked at every step.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from .analysis.metrics import (
+    piecewise_integral,
+    thermal_cycling_amplitude,
+    time_above_threshold,
+)
+from .hydraulics.network import FlowNetwork
+from .ice.results import TransientResult
+from .ice.transient import TransientSolver, result_from_snapshots
+from .policies import FlowPolicy, policy_from_spec
+from .scenarios import ScenarioSpec, resolve_scenario
+from .thermal.backends import SolverBackend, resolve_backend
+from .thermal.geometry import ChannelGeometry, WidthProfile
+
+__all__ = [
+    "TransientOutcome",
+    "simulate_transient",
+    "simulate_transient_many",
+]
+
+#: Flow scales are quantized to this many decimals before a stack is built
+#: for them, so revisited levels (bang-bang toggling, a proportional
+#: controller hovering at its clip) reuse contexts and factorizations
+#: instead of accumulating near-duplicate matrices.
+_SCALE_DECIMALS = 6
+
+
+@dataclass
+class TransientOutcome:
+    """Everything one transient run produced.
+
+    Attributes
+    ----------
+    scenario:
+        Name of the scenario that ran.
+    result:
+        The subsampled per-layer field history
+        (:class:`~repro.ice.results.TransientResult`, solid layers only).
+    step_times_s / peak_history_K / coolant_rise_history_K:
+        Scalar observables at *every* step (index 0 is the initial state):
+        absolute time, peak silicon temperature over all solid cells, and
+        the largest coolant outlet rise over the inlet temperature.
+    flow_times_s / flow_scales:
+        The flow-scale schedule the policy produced: ``flow_scales[i]``
+        applied from ``flow_times_s[i]`` until the next entry (or the end
+        of the run).
+    metrics:
+        The transient reducers campaigns record (peak transient
+        temperature, time above threshold, cycling amplitude, pumping
+        energy, ...).
+    metadata:
+        Provenance: backend, grouping, integration settings.
+    """
+
+    scenario: str
+    result: TransientResult
+    step_times_s: np.ndarray
+    peak_history_K: np.ndarray
+    coolant_rise_history_K: np.ndarray
+    flow_times_s: np.ndarray
+    flow_scales: np.ndarray
+    metrics: Dict[str, float] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+
+class _Context:
+    """One scenario's solver state at one flow scale."""
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        scale: float,
+        backend: SolverBackend,
+    ) -> None:
+        self.spec = spec
+        self.scale = float(scale)
+        transient = spec.transient
+        if self.scale == 1.0:
+            scaled = spec
+        else:
+            base_flow = spec.experiment_config().params.flow_rate_per_channel
+            scaled = spec.with_params(
+                flow_rate_per_channel=base_flow * self.scale
+            )
+        stack = scaled.build_stack()
+        for trace in transient.traces:
+            try:
+                index = stack.layer_index(trace.layer)
+            except KeyError:
+                raise ValueError(
+                    f"scenario {spec.name!r}: trace layer {trace.layer!r} is "
+                    f"not a layer of the stack; solid layers: "
+                    f"{stack.solid_layer_names()}"
+                ) from None
+            if stack.layers[index].is_cavity:
+                raise ValueError(
+                    f"scenario {spec.name!r}: trace layer {trace.layer!r} is "
+                    "a cavity; traces drive solid layers only"
+                )
+        self.stack = stack
+        self.solver = TransientSolver(
+            stack, power_schedule=transient.schedule(), backend=backend
+        )
+        system = self.solver.system
+        solid, coolant = [], []
+        for layer_index, layer in enumerate(stack.layers):
+            start = system.index(layer_index, 0, 0)
+            cells = np.arange(start, start + system.n_cells_per_layer)
+            (coolant if layer.is_cavity else solid).append(cells)
+        self.solid_cells = np.concatenate(solid)
+        self.coolant_cells = (
+            np.concatenate(coolant) if coolant else np.empty(0, dtype=int)
+        )
+        self.inlet_temperature = float(
+            spec.experiment_config().params.inlet_temperature
+        )
+
+    def peak(self, state: np.ndarray) -> float:
+        """Peak silicon temperature of a state vector (K)."""
+        return float(np.max(state[self.solid_cells]))
+
+    def coolant_rise(self, state: np.ndarray) -> float:
+        """Largest coolant rise over the inlet temperature (K)."""
+        if self.coolant_cells.size == 0:
+            return 0.0
+        return float(np.max(state[self.coolant_cells]) - self.inlet_temperature)
+
+    def start_temperature(self) -> float:
+        """Initial uniform temperature of the run (K)."""
+        initial = self.spec.transient.initial_temperature_K
+        if initial is not None:
+            return float(initial)
+        return float(self.stack.ambient_temperature)
+
+
+class _Recorder:
+    """Per-scenario history bookkeeping shared by both solve paths."""
+
+    def __init__(self, ctx: _Context, n_steps: int, store_every: int) -> None:
+        self.ctx = ctx
+        self.n_steps = int(n_steps)
+        self.store_every = int(store_every)
+        start = np.full(
+            ctx.solver.system.n_unknowns, ctx.start_temperature()
+        )
+        self.state = start
+        self.times: List[float] = [0.0]
+        self.snapshots: List[np.ndarray] = [start.copy()]
+        self.step_times: List[float] = [0.0]
+        self.peaks: List[float] = [ctx.peak(start)]
+        self.rises: List[float] = [ctx.coolant_rise(start)]
+        self.flow_times: List[float] = [0.0]
+        self.flow_scales: List[float] = [ctx.scale]
+
+    def observe(self, global_step: int, time: float, state: np.ndarray) -> None:
+        """Record one completed step (scalars always, fields subsampled)."""
+        self.step_times.append(time)
+        self.peaks.append(self.ctx.peak(state))
+        self.rises.append(self.ctx.coolant_rise(state))
+        if global_step % self.store_every == 0 or global_step == self.n_steps:
+            self.times.append(time)
+            self.snapshots.append(state.copy())
+
+    def change_flow(self, time: float, ctx: _Context) -> None:
+        """Record a policy-driven context (flow-scale) switch."""
+        self.ctx = ctx
+        self.flow_times.append(time)
+        self.flow_scales.append(ctx.scale)
+
+
+def _quantize(scale: float) -> float:
+    return round(float(scale), _SCALE_DECIMALS)
+
+
+def _hydraulics_at(
+    spec: ScenarioSpec, ctx: _Context, scale: float
+) -> tuple:
+    """``(pumping power W, max pressure drop Pa)`` at one flow scale.
+
+    Per-lane Eq. (9) pressure drops at the scaled per-channel flow feed
+    the per-channel pumping power ``dP * V_dot``; the mean over the
+    modeled lanes is scaled up to every physical channel of every cavity
+    (the lanes are the cavity's symmetric manifold clusters).
+    """
+    params = spec.experiment_config().params.with_overrides(
+        channel_length=spec.channel_length()
+    )
+    geometry = ChannelGeometry.from_parameters(params)
+    profiles = spec.width_profiles()
+    if profiles is None:
+        profiles = [
+            WidthProfile.uniform(geometry.max_width, geometry.length)
+        ] * spec.n_lanes
+    network = FlowNetwork(
+        geometry,
+        profiles,
+        flow_rate_per_channel=params.flow_rate_per_channel * scale,
+        coolant=params.coolant,
+    )
+    per_lane = network.total_pumping_power / network.n_channels
+    n_cavities = len(ctx.stack.cavity_layer_names())
+    n_physical = ctx.stack.channels_per_cavity() * max(n_cavities, 1)
+    return per_lane * n_physical, network.max_pressure_drop
+
+
+def _finalize(
+    spec: ScenarioSpec,
+    recorder: _Recorder,
+    backend: SolverBackend,
+    *,
+    batched: bool,
+    group_size: int,
+    wall_time_s: float,
+) -> TransientOutcome:
+    """Assemble histories, metrics and provenance into the outcome."""
+    transient = spec.transient
+    ctx = recorder.ctx
+    system = ctx.solver.system
+    result = result_from_snapshots(
+        system,
+        ctx.stack,
+        recorder.times,
+        recorder.snapshots,
+        metadata={
+            "solver": "ice-transient-backward-euler",
+            "backend": backend.name,
+            "assembly": system.method,
+            "time_step": transient.time_step_s,
+            "n_steps": transient.n_steps,
+            "store_every": transient.store_every,
+        },
+    )
+    step_times = np.asarray(recorder.step_times)
+    peaks = np.asarray(recorder.peaks)
+    rises = np.asarray(recorder.rises)
+    flow_times = np.asarray(recorder.flow_times)
+    flow_scales = np.asarray(recorder.flow_scales)
+    hydraulics = [_hydraulics_at(spec, ctx, scale) for scale in flow_scales]
+    pumping_powers = np.array([power for power, _ in hydraulics])
+    # Time integrals run over the time actually simulated: when duration_s
+    # is not a whole multiple of the step, round(duration/dt) steps were
+    # taken and the final recorded time -- not the requested duration --
+    # is the honest upper bound.
+    end_time = float(step_times[-1])
+    final = result.final_maps()
+    metrics: Dict[str, float] = {
+        "peak_transient_temperature_K": float(np.max(peaks)),
+        "final_peak_temperature_K": float(peaks[-1]),
+        "final_thermal_gradient_K": final.thermal_gradient(),
+        "time_above_threshold_s": time_above_threshold(
+            step_times, peaks, transient.threshold_K
+        ),
+        "threshold_K": transient.threshold_K,
+        "thermal_cycling_amplitude_K": thermal_cycling_amplitude(peaks),
+        "max_coolant_rise_K": float(np.max(rises)),
+        "pumping_energy_J": piecewise_integral(
+            flow_times, pumping_powers, end_time
+        ),
+        "mean_flow_scale": piecewise_integral(
+            flow_times, flow_scales, end_time
+        )
+        / end_time,
+        # The steady pressure_drops_Pa fields describe the channel design
+        # at *nominal* flow; this is the Eq. (9) worst-case drop at the
+        # largest flow scale the policy actually applied.
+        "max_pressure_drop_at_peak_flow_Pa": float(
+            max(drop for _, drop in hydraulics)
+        ),
+        "n_flow_changes": int(np.count_nonzero(np.diff(flow_scales))),
+    }
+    return TransientOutcome(
+        scenario=spec.name,
+        result=result,
+        step_times_s=step_times,
+        peak_history_K=peaks,
+        coolant_rise_history_K=rises,
+        flow_times_s=flow_times,
+        flow_scales=flow_scales,
+        metrics=metrics,
+        metadata={
+            "backend": backend.name,
+            "policy": transient.policy.kind,
+            "batched": batched,
+            "group_size": group_size,
+            "n_steps": transient.n_steps,
+            "time_step_s": transient.time_step_s,
+            "duration_s": transient.duration_s,
+            "simulated_duration_s": end_time,
+            "store_every": transient.store_every,
+            "n_unknowns": system.n_unknowns,
+            "wall_time_s": wall_time_s,
+        },
+    )
+
+
+def _require_transient(spec: ScenarioSpec) -> None:
+    if spec.transient is None:
+        raise ValueError(
+            f"scenario {spec.name!r} has no transient section; the transient "
+            "engine runs transient scenarios only (use the steady simulators "
+            "for steady specs)"
+        )
+
+
+def simulate_transient(
+    scenario,
+    backend: Union[None, str, SolverBackend] = None,
+) -> TransientOutcome:
+    """Run one transient scenario step by step (the reference path).
+
+    ``backend`` overrides the spec's solver backend (a registry name from
+    :mod:`repro.thermal.backends`, a backend instance, or None for the
+    spec's own).  The run is chunked by the policy's control interval;
+    with an inactive policy this is exactly one
+    :meth:`~repro.ice.transient.TransientSolver.integrate` call, so the
+    engine and the plain transient solver agree bit for bit.
+    """
+    spec = resolve_scenario(scenario)
+    _require_transient(spec)
+    backend = resolve_backend(
+        backend if backend is not None else spec.solver.backend
+    )
+    start_wall = _time.perf_counter()
+    transient = spec.transient
+    policy = policy_from_spec(transient.policy)
+    recorder = _integrate_controlled(spec, policy, backend)
+    wall_time = _time.perf_counter() - start_wall
+    return _finalize(
+        spec,
+        recorder,
+        backend,
+        batched=False,
+        group_size=1,
+        wall_time_s=wall_time,
+    )
+
+
+def _integrate_controlled(
+    spec: ScenarioSpec, policy: FlowPolicy, backend: SolverBackend
+) -> _Recorder:
+    """Step one scenario to the end, consulting the policy each interval."""
+    transient = spec.transient
+    n_steps = transient.n_steps
+    dt = transient.time_step_s
+    control_steps = transient.control_steps
+    contexts: Dict[float, _Context] = {}
+
+    def context_for(scale: float) -> _Context:
+        scale = _quantize(scale)
+        ctx = contexts.get(scale)
+        if ctx is None:
+            ctx = _Context(spec, scale, backend)
+            contexts[scale] = ctx
+        return ctx
+
+    ctx = context_for(policy.initial_scale())
+    recorder = _Recorder(ctx, n_steps, transient.store_every)
+    global_step = 0
+    while global_step < n_steps:
+        chunk = min(control_steps, n_steps - global_step)
+        offset = global_step
+
+        def on_step(step: int, time: float, state: np.ndarray) -> None:
+            recorder.observe(offset + step, time, state)
+
+        recorder.state = recorder.ctx.solver.integrate(
+            recorder.state,
+            step_offset=offset,
+            n_steps=chunk,
+            time_step=dt,
+            on_step=on_step,
+        )
+        global_step += chunk
+        if global_step < n_steps and transient.policy.control_interval_s > 0.0:
+            scale = _quantize(
+                policy.update(recorder.step_times[-1], recorder.peaks[-1])
+            )
+            if scale != recorder.ctx.scale:
+                recorder.change_flow(recorder.step_times[-1], context_for(scale))
+    return recorder
+
+
+# -- batched path -----------------------------------------------------------
+
+
+def _group_token(ctx: _Context, transient) -> tuple:
+    """Hashable identity of a scenario's implicit system and time axis.
+
+    Scenarios grouped under one token share the implicit matrix bit for
+    bit (same sparsity pattern and coefficient values -- geometry, widths,
+    flow and time step all agree), the same step count and the same
+    initial temperature, so their trajectories can advance through one
+    factorization; traces, static heat maps and thresholds may differ
+    freely (they only shape the right-hand sides and the metrics).
+    """
+    implicit, c_over_dt, token = ctx.solver.implicit_system(
+        transient.time_step_s
+    )
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(implicit.data.tobytes())
+    digest.update(implicit.indices.tobytes())
+    digest.update(implicit.indptr.tobytes())
+    return (
+        token,
+        digest.hexdigest(),
+        implicit.shape,
+        transient.time_step_s,
+        transient.n_steps,
+        transient.store_every,
+        ctx.start_temperature(),
+    )
+
+
+def simulate_transient_many(
+    scenarios: Sequence,
+    backend: Union[None, str, SolverBackend] = None,
+) -> List[TransientOutcome]:
+    """Run many transient scenarios, batching compatible ones per step.
+
+    Scenarios with an inactive (constant-flow) policy whose implicit
+    systems are content-identical advance together: one
+    :meth:`~repro.thermal.backends.SolverBackend.solve_matrix` call per
+    time step back-substitutes every member through one shared
+    factorization.  Scenarios with reactive policies -- whose flow (and
+    hence matrix) can diverge mid-run -- and singleton groups fall back to
+    :func:`simulate_transient`.  Results are returned in input order and
+    are bit-identical to the per-scenario reference path.
+    """
+    specs = [resolve_scenario(scenario) for scenario in scenarios]
+    for spec in specs:
+        _require_transient(spec)
+    outcomes: List[Optional[TransientOutcome]] = [None] * len(specs)
+    groups: Dict[tuple, List[int]] = {}
+    contexts: Dict[int, _Context] = {}
+    for index, spec in enumerate(specs):
+        spec_backend = resolve_backend(
+            backend if backend is not None else spec.solver.backend
+        )
+        if spec.transient.policy.is_reactive:
+            outcomes[index] = simulate_transient(spec, backend=spec_backend)
+            continue
+        policy = policy_from_spec(spec.transient.policy)
+        ctx = _Context(spec, _quantize(policy.initial_scale()), spec_backend)
+        contexts[index] = ctx
+        key = (id(spec_backend),) + _group_token(ctx, spec.transient)
+        groups.setdefault(key, []).append(index)
+    for members in groups.values():
+        if len(members) == 1:
+            index = members[0]
+            ctx = contexts[index]
+            start_wall = _time.perf_counter()
+            recorder = _Recorder(
+                ctx, specs[index].transient.n_steps,
+                specs[index].transient.store_every,
+            )
+            recorder.state = ctx.solver.integrate(
+                recorder.state,
+                step_offset=0,
+                n_steps=specs[index].transient.n_steps,
+                time_step=specs[index].transient.time_step_s,
+                on_step=lambda step, time, state: recorder.observe(
+                    step, time, state
+                ),
+            )
+            outcomes[index] = _finalize(
+                specs[index],
+                recorder,
+                ctx.solver.backend,
+                batched=False,
+                group_size=1,
+                wall_time_s=_time.perf_counter() - start_wall,
+            )
+            continue
+        outcomes_for = _integrate_group(
+            [specs[index] for index in members],
+            [contexts[index] for index in members],
+        )
+        for index, outcome in zip(members, outcomes_for):
+            outcomes[index] = outcome
+    return outcomes
+
+
+def _integrate_group(
+    specs: List[ScenarioSpec], contexts: List[_Context]
+) -> List[TransientOutcome]:
+    """Advance one group of matrix-compatible scenarios in lockstep."""
+    start_wall = _time.perf_counter()
+    transient = specs[0].transient
+    n_steps = transient.n_steps
+    dt = transient.time_step_s
+    lead = contexts[0].solver
+    implicit, c_over_dt, token = lead.implicit_system(dt)
+    backend = lead.backend
+    recorders = [
+        _Recorder(ctx, spec.transient.n_steps, spec.transient.store_every)
+        for spec, ctx in zip(specs, contexts)
+    ]
+    states = np.column_stack([recorder.state for recorder in recorders])
+    solve_matrix = getattr(backend, "solve_matrix", None)
+    for step in range(1, n_steps + 1):
+        time = step * dt
+        rhs = np.column_stack(
+            [ctx.solver.rhs_at(time) for ctx in contexts]
+        ) + c_over_dt @ states
+        if solve_matrix is not None:
+            states = solve_matrix(implicit, rhs, token)
+        else:  # custom backend without multi-RHS support
+            states = np.column_stack(
+                [
+                    backend.solve(implicit, rhs[:, column], token)
+                    for column in range(rhs.shape[1])
+                ]
+            )
+        for column, recorder in enumerate(recorders):
+            recorder.observe(step, time, states[:, column])
+    wall_time = _time.perf_counter() - start_wall
+    # One lockstep loop served the whole group: each member's wall time is
+    # its amortized share, so summing member times (what campaign
+    # summaries do) reports the real cost, not group_size times it.
+    outcomes = []
+    for spec, recorder in zip(specs, recorders):
+        outcome = _finalize(
+            spec,
+            recorder,
+            backend,
+            batched=True,
+            group_size=len(specs),
+            wall_time_s=wall_time / len(specs),
+        )
+        outcome.metadata["group_wall_time_s"] = wall_time
+        outcomes.append(outcome)
+    return outcomes

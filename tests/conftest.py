@@ -7,6 +7,9 @@ fast.
 
 from __future__ import annotations
 
+import json
+import os
+
 import pytest
 
 from repro.config import DEFAULT_EXPERIMENT, paper_parameters
@@ -20,6 +23,61 @@ from repro.thermal import (
     solve_structure,
     solve_trapezoidal,
 )
+
+
+# -- golden records ----------------------------------------------------------
+
+from golden_utils import GOLDEN_DIR, compare_golden  # noqa: E402
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the golden-record fixtures under tests/goldens/ "
+        "from the current results instead of comparing against them",
+    )
+
+
+@pytest.fixture()
+def golden(request):
+    """Compare a payload against its committed golden (or rewrite it).
+
+    Usage: ``golden("test-a", payload)``.  With ``--update-goldens`` the
+    fixture rewrites ``tests/goldens/<name>.json`` from the payload; in
+    normal runs it loads the file and asserts tolerance-aware equivalence.
+    """
+    update = request.config.getoption("--update-goldens")
+
+    def check(name, payload, *, rtol=1e-6, atol=1e-9):
+        path = os.path.join(GOLDEN_DIR, f"{name}.json")
+        # Canonicalize through JSON so tuples/arrays compare like the file.
+        payload = json.loads(json.dumps(payload))
+        if update:
+            os.makedirs(GOLDEN_DIR, exist_ok=True)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+            return
+        if not os.path.exists(path):
+            pytest.fail(
+                f"golden record {path} is missing; run "
+                f"'pytest tests/test_goldens.py --update-goldens' and commit "
+                "the result"
+            )
+        with open(path, "r", encoding="utf-8") as handle:
+            expected = json.load(handle)
+        mismatches = compare_golden(expected, payload, rtol=rtol, atol=atol)
+        if mismatches:
+            pytest.fail(
+                f"golden record {name} diverged "
+                f"({len(mismatches)} mismatch(es)):\n  "
+                + "\n  ".join(mismatches[:20])
+                + "\nIf the change is intentional, refresh with "
+                "'pytest tests/test_goldens.py --update-goldens'."
+            )
+
+    return check
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,76 @@
+"""Tolerance-aware comparison of golden-record payloads.
+
+Shared by the ``golden`` fixture (tests/conftest.py) and the comparator
+self-tests; kept in its own module because ``conftest`` is not an
+importable name when several conftest files are collected.
+"""
+
+from __future__ import annotations
+
+import numbers
+import os
+
+#: Directory of the committed golden-result fixtures.
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
+
+
+def compare_golden(expected, actual, *, rtol=1e-6, atol=1e-9, path="$"):
+    """Recursively diff a golden payload against a freshly-computed one.
+
+    Numbers compare with a relative/absolute tolerance (solver results
+    differ in the last bits across BLAS/LAPACK builds); container shapes,
+    keys, strings and booleans compare exactly.  Returns a list of
+    human-readable mismatch descriptions (empty when equivalent).
+    """
+    mismatches = []
+    if isinstance(expected, dict) or isinstance(actual, dict):
+        if not (isinstance(expected, dict) and isinstance(actual, dict)):
+            return [f"{path}: type {type(expected).__name__} != "
+                    f"{type(actual).__name__}"]
+        missing = sorted(set(expected) - set(actual))
+        extra = sorted(set(actual) - set(expected))
+        if missing:
+            mismatches.append(f"{path}: missing key(s) {missing}")
+        if extra:
+            mismatches.append(f"{path}: unexpected key(s) {extra}")
+        for key in sorted(set(expected) & set(actual)):
+            mismatches.extend(
+                compare_golden(
+                    expected[key], actual[key],
+                    rtol=rtol, atol=atol, path=f"{path}.{key}",
+                )
+            )
+        return mismatches
+    if isinstance(expected, list) or isinstance(actual, list):
+        if not (isinstance(expected, list) and isinstance(actual, list)):
+            return [f"{path}: type {type(expected).__name__} != "
+                    f"{type(actual).__name__}"]
+        if len(expected) != len(actual):
+            return [f"{path}: length {len(expected)} != {len(actual)}"]
+        for index, (left, right) in enumerate(zip(expected, actual)):
+            mismatches.extend(
+                compare_golden(
+                    left, right, rtol=rtol, atol=atol, path=f"{path}[{index}]"
+                )
+            )
+        return mismatches
+    # bool is a Number; compare it exactly (and never equal to a number:
+    # Python's True == 1.0 must not slip through a golden diff).
+    if isinstance(expected, bool) != isinstance(actual, bool):
+        return [f"{path}: type {type(expected).__name__} != "
+                f"{type(actual).__name__}"]
+    if (
+        isinstance(expected, numbers.Number)
+        and isinstance(actual, numbers.Number)
+        and not isinstance(expected, bool)
+        and not isinstance(actual, bool)
+    ):
+        if expected == actual:
+            return []
+        if abs(actual - expected) <= atol + rtol * abs(expected):
+            return []
+        return [f"{path}: {actual!r} != golden {expected!r} "
+                f"(rtol={rtol}, atol={atol})"]
+    if expected != actual:
+        return [f"{path}: {actual!r} != golden {expected!r}"]
+    return []

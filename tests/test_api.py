@@ -169,10 +169,16 @@ class TestSimulators:
         ice = run(small_test_a, solver="ice")
         assert fdm.pressure_drops_Pa == ice.pressure_drops_Pa
 
-    def test_ice_only_session_creates_no_engines(self, small_test_a):
+    def test_ice_steady_run_leaves_the_session_engine_idle(self, small_test_a):
+        # The ICE simulator accepts the shared session engine (it memoizes
+        # transient outcomes on it), but a steady solve must not touch it:
+        # no FDM solves, no cache traffic.
         session = Session()
         session.run(small_test_a, solver="ice")
-        assert session.stats() == {}
+        for stats in session.stats().values():
+            assert stats["n_solves"] == 0
+            assert stats["n_cache_hits"] == 0
+            assert stats["n_cache_misses"] == 0
 
 
 class TestSession:

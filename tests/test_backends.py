@@ -110,6 +110,50 @@ class TestFactorizationReuse:
         assert backend.stats()["cached_factorizations"] == 2
 
 
+class TestSolveMatrix:
+    """Multi-RHS solves must be bit-identical to per-column solves."""
+
+    def rhs_block(self, system, k=5):
+        rng = np.random.default_rng(7)
+        return np.column_stack(
+            [system.rhs * (1.0 + 0.1 * j) for j in range(k)]
+        ) + rng.standard_normal((system.rhs.size, k))
+
+    @pytest.mark.parametrize("name", ["sparse-lu", "dense", "auto"])
+    def test_columns_match_single_solves_bitwise(self, cavities, name):
+        backend = backends.get_backend(name)
+        system = assembly.assemble_system(cavities["multi"], n_points=41)
+        block = self.rhs_block(system)
+        solved = backend.solve_matrix(
+            system.matrix, block, system.pattern_token
+        )
+        for column in range(block.shape[1]):
+            np.testing.assert_array_equal(
+                solved[:, column],
+                backend.solve(
+                    system.matrix, block[:, column], system.pattern_token
+                ),
+            )
+
+    def test_sparse_lu_hashes_once_per_block(self, cavities):
+        backend = backends.SparseLUBackend()
+        system = assembly.assemble_system(cavities["multi"], n_points=41)
+        block = self.rhs_block(system)
+        backend.solve_matrix(system.matrix, block, system.pattern_token)
+        stats = backend.stats()
+        # One factorization for the whole block, no per-column lookups.
+        assert stats["n_factorizations"] == 1
+        assert stats["n_factorization_reuses"] == 0
+
+    def test_rejects_non_2d_blocks(self, cavities):
+        backend = backends.SparseLUBackend()
+        system = assembly.assemble_system(cavities["single"], n_points=41)
+        with pytest.raises(ValueError, match="2-D"):
+            backend.solve_matrix(
+                system.matrix, system.rhs, system.pattern_token
+            )
+
+
 class TestIterativeBackend:
     def test_solves_or_falls_back(self, cavities):
         backend = backends.SparseIterativeBackend()

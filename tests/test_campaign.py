@@ -533,3 +533,78 @@ class TestCustomExecutorCounters:
 
         campaign = Session().run_many(small_sweep, executor=Naive())
         assert campaign.provenance["counters"]["n_solves"] == 4  # not 8
+
+
+class TestStoreRobustness:
+    """Satellite coverage: torn-tail healing under interleaved
+    append/resume cycles, loud failure on malformed interior records, and
+    ``repro campaign summarize`` over a healed store."""
+
+    def tear_tail(self, path, keep_lines, stub_chars=25):
+        """Rewrite the store as ``keep_lines`` full records + a torn tail."""
+        lines = path.read_text().splitlines()
+        assert len(lines) > keep_lines
+        path.write_text(
+            "\n".join(lines[:keep_lines]) + "\n" + lines[keep_lines][:stub_chars]
+        )
+
+    def test_interleaved_append_resume_heals_every_torn_tail(
+        self, small_sweep, tmp_path
+    ):
+        out = tmp_path / "campaign.jsonl"
+        Session().run_many(small_sweep, out=out)
+        # Interrupt / resume twice, tearing the tail each time: each resume
+        # must truncate the partial line, recompute only what it lost, and
+        # leave a fully parseable store behind.
+        for keep, expected_from_store in ((3, 3), (2, 2)):
+            self.tear_tail(out, keep)
+            resumed = Session().run_many(small_sweep, out=out)
+            assert resumed.n_from_store == expected_from_store
+            assert resumed.n_ok == 4
+            reloaded = CampaignStore(out)
+            assert len(reloaded.load()) == 4
+            assert reloaded.n_dropped_torn == 0  # healed, not re-dropped
+            # No glued/corrupt lines: every stored line is valid JSON.
+            for line in out.read_text().splitlines():
+                json.loads(line)
+
+    def test_malformed_interior_record_is_a_loud_error_on_resume(
+        self, small_sweep, tmp_path
+    ):
+        out = tmp_path / "campaign.jsonl"
+        Session().run_many(small_sweep, out=out)
+        lines = out.read_text().splitlines()
+        lines[1] = '{"broken": '  # interior corruption, not a torn tail
+        out.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=":2: malformed"):
+            Session().run_many(small_sweep, out=out)
+
+    def test_cli_summarize_works_on_a_healed_store(
+        self, small_sweep, tmp_path, capsys
+    ):
+        from repro.cli import main as cli_main
+
+        out = tmp_path / "campaign.jsonl"
+        Session().run_many(small_sweep, out=out)
+        self.tear_tail(out, 3)
+        resumed = Session().run_many(small_sweep, out=out)
+        assert resumed.n_ok == 4
+        assert cli_main(["campaign", "summarize", str(out), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_records"] == 4
+        assert payload["n_ok"] == 4
+        assert payload["n_dropped_torn"] == 0
+
+    def test_cli_summarize_rejects_malformed_interior_records(
+        self, small_sweep, tmp_path, capsys
+    ):
+        from repro.cli import main as cli_main
+
+        out = tmp_path / "campaign.jsonl"
+        Session().run_many(small_sweep, out=out)
+        lines = out.read_text().splitlines()
+        lines[0] = "not json at all"
+        out.write_text("\n".join(lines) + "\n")
+        assert cli_main(["campaign", "summarize", str(out)]) == 2
+        err = capsys.readouterr().err
+        assert "malformed" in err and ":1:" in err

@@ -1,0 +1,121 @@
+"""Golden-record regression tests of the headline scenario results.
+
+Small JSON goldens under ``tests/goldens/`` pin the steady metrics of the
+paper's scenarios (``test-a``, ``test-b``, ``niagara-arch1``) through
+*both* simulator families, plus the transient metrics and subsampled peak
+history of a short trace-driven run.  Any change to the physics, the
+assembly, the solver backends or the metric reducers that shifts a
+reported number past tolerance fails here with a field-by-field diff.
+
+Refresh intentionally-changed goldens with::
+
+    PYTHONPATH=src python -m pytest tests/test_goldens.py --update-goldens
+
+and commit the rewritten files.  Comparison is tolerance-aware
+(rel. 1e-6 by default) so goldens are portable across BLAS/LAPACK builds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.scenarios import get_scenario
+from repro.transient_engine import simulate_transient
+
+#: The steady scenarios pinned by goldens, with the simulator families
+#: each must reproduce.
+STEADY_GOLDENS = ("test-a", "test-b", "niagara-arch1")
+
+
+def stable_metrics(result) -> dict:
+    """The machine-independent slice of a SimulationResult payload."""
+    payload = result.to_dict()
+    stable = {
+        key: payload[key]
+        for key in (
+            "scenario",
+            "simulator",
+            "peak_temperature_K",
+            "min_temperature_K",
+            "thermal_gradient_K",
+            "coolant_rise_K",
+            "pressure_drops_Pa",
+            "max_pressure_drop_Pa",
+        )
+    }
+    if payload.get("transient") is not None:
+        transient = dict(payload["transient"])
+        stable["transient"] = transient
+    return stable
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session()
+
+
+class TestComparator:
+    """The tolerance-aware diff itself must catch what it claims to."""
+
+    def test_within_tolerance_passes(self):
+        from golden_utils import compare_golden
+
+        expected = {"a": 1.0, "nested": {"b": [1.0, 2.0]}}
+        actual = {"a": 1.0 + 1e-9, "nested": {"b": [1.0, 2.0 - 1e-8]}}
+        assert compare_golden(expected, actual, rtol=1e-6) == []
+
+    def test_out_of_tolerance_and_shape_changes_fail(self):
+        from golden_utils import compare_golden
+
+        assert compare_golden({"a": 1.0}, {"a": 1.1}, rtol=1e-6)
+        assert compare_golden({"a": 1.0}, {}, rtol=1e-6)
+        assert compare_golden({"a": [1.0]}, {"a": [1.0, 2.0]})
+        assert compare_golden({"a": True}, {"a": 1.0})  # bools are exact
+        assert compare_golden({"a": "x"}, {"a": "y"})
+
+
+@pytest.mark.parametrize("name", STEADY_GOLDENS)
+def test_steady_goldens(name, session, golden):
+    spec = get_scenario(name)
+    golden(
+        name,
+        {
+            "fdm": stable_metrics(session.run(spec, solver="fdm")),
+            "ice": stable_metrics(session.run(spec, solver="ice")),
+        },
+    )
+
+
+def test_transient_golden(session, golden):
+    # A short version of the registered burst scenario keeps the golden
+    # small and the test fast while still exercising traces end to end.
+    base = get_scenario("test-a-burst")
+    spec = base.with_overrides(
+        name="test-a-burst-short",
+        transient=replace(base.transient, duration_s=0.4, store_every=4),
+    )
+    outcome = simulate_transient(spec)
+    result = session.run(spec)
+    golden(
+        "test-a-burst-short",
+        {
+            "metrics": stable_metrics(result),
+            # Every 5th per-step peak pins the trajectory shape without
+            # bloating the fixture.
+            "peak_history_K": [
+                float(value) for value in outcome.peak_history_K[::5]
+            ],
+            "times_s": [float(value) for value in outcome.step_times_s[::5]],
+        },
+        # 40 implicit steps accumulate a little more round-off spread
+        # across BLAS builds than one steady solve.
+        rtol=1e-5,
+    )
+    assert np.array_equal(
+        outcome.peak_history_K,
+        simulate_transient(spec).peak_history_K,
+    )
