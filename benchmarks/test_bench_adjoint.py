@@ -1,0 +1,165 @@
+"""Adjoint vs batched-FD gradient cost, and the value-refresh kernels.
+
+Times one full objective gradient of the Test A modulation problem
+through both strategies as the design dimension grows (n = 6, 12, 24
+segment widths), asserts the adjoint agrees with the finite-difference
+oracle, and emits the ``optimizer_adjoint`` ``BENCH {json}`` record:
+
+.. code-block:: console
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_adjoint.py -s \
+        | grep '^BENCH '
+
+The point of the record: batched FD needs ``2n`` solves per gradient so
+its cost grows linearly with the number of design variables, while the
+adjoint needs one forward and one transpose solve regardless of ``n`` --
+the per-gradient cost stays flat.  When Numba is importable the record
+also times the compiled COO->CSR value-refresh kernel against the NumPy
+one.  Setting ``REPRO_BENCH_SMOKE=1`` shrinks the problem to smoke-test
+size; the speedup assertion applies to the full-size run only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.core import ChannelModulationOptimizer, OptimizerSettings
+from repro.core.linear_system import available_refresh_kernels, get_refresh_kernel
+from repro.floorplan import test_a_structure as build_test_a
+from repro.thermal.assembly import assemble_system
+from repro.thermal.geometry import MultiChannelStructure
+
+#: Smoke mode: tiny problem, no speedup assertions (CI runs this).
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip() not in ("", "0")
+
+SIZES = (2, 4) if SMOKE else (6, 12, 24)
+N_GRID = 61 if SMOKE else 241
+#: Full-size acceptance: the adjoint gradient at n = 24 must beat the
+#: 48-solve batched-FD gradient by at least this factor.
+MIN_SPEEDUP_AT_24 = 5.0
+
+
+def emit_bench(record: dict) -> None:
+    """Print one machine-readable benchmark record."""
+    print("BENCH " + json.dumps(record, sort_keys=True))
+
+
+def _time_gradient(optimizer, gradient_fn, base_vector, repeats: int = 3):
+    """Best-of-N wall time of one gradient at *fresh* iterates.
+
+    Each repeat shifts the vector slightly so neither strategy is served
+    from the engine's solution cache, and evaluates the cost first --
+    mirroring SLSQP, which calls the jacobian right after the cost at the
+    same point (the forward solve is then warm for both strategies).
+    """
+    best = float("inf")
+    for repeat in range(repeats):
+        vector = np.clip(base_vector + 1e-3 * (repeat + 1), 0.0, 1.0)
+        optimizer.cost(vector)
+        start = time.perf_counter()
+        gradient_fn(vector)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def make_optimizer(config, n_segments: int) -> ChannelModulationOptimizer:
+    return ChannelModulationOptimizer(
+        build_test_a(config),
+        OptimizerSettings(
+            n_segments=n_segments,
+            n_grid_points=N_GRID,
+            gradient_mode="adjoint",
+        ),
+    )
+
+
+def test_adjoint_gradient_cost_is_flat(config, benchmark):
+    """One adjoint gradient stays ~constant while FD grows with n."""
+    rows = []
+    for n_segments in SIZES:
+        optimizer = make_optimizer(config, n_segments)
+        vector = np.linspace(0.35, 0.65, optimizer.parameterization.n_variables)
+        # Warm both paths: prime the pattern cache and the forward
+        # factorization so the timings measure the gradient, not setup.
+        adjoint_gradient = optimizer.adjoint_cost_gradient(vector)
+        fd_gradient = optimizer.cost_gradient(vector)
+        scale = np.max(np.abs(fd_gradient))
+        # The production fd-batched stencil is one-sided with step 1e-3,
+        # so it carries O(h) truncation; the tight 1e-6 agreement against
+        # central differences is asserted in tests/test_adjoint.py.
+        assert np.max(np.abs(adjoint_gradient - fd_gradient)) <= 1e-2 * scale
+
+        adjoint_s = _time_gradient(
+            optimizer, optimizer.adjoint_cost_gradient, vector
+        )
+        fd_s = _time_gradient(optimizer, optimizer.cost_gradient, vector)
+        rows.append(
+            {
+                "n_variables": optimizer.parameterization.n_variables,
+                "adjoint_s": adjoint_s,
+                "fd_batched_s": fd_s,
+                "speedup": fd_s / adjoint_s,
+            }
+        )
+
+    largest = rows[-1]
+    if not SMOKE:
+        assert largest["speedup"] >= MIN_SPEEDUP_AT_24
+        # "Flat": growing n 4x must not grow the adjoint cost anywhere
+        # near linearly (allow generous noise headroom).
+        assert rows[-1]["adjoint_s"] <= 2.0 * rows[0]["adjoint_s"]
+
+    bench_optimizer = make_optimizer(config, SIZES[-1])
+    bench_vector = np.linspace(
+        0.35, 0.65, bench_optimizer.parameterization.n_variables
+    )
+    bench_optimizer.adjoint_cost_gradient(bench_vector)  # warm
+    benchmark(lambda: bench_optimizer.adjoint_cost_gradient(bench_vector))
+
+    record = {
+        "benchmark": "optimizer_adjoint",
+        "objective": "gradient_norm",
+        "n_grid_points": N_GRID,
+        "sizes": rows,
+        "refresh": _refresh_record(),
+        "smoke": SMOKE,
+    }
+    emit_bench(record)
+    print()
+    for row in rows:
+        print(
+            f"n={row['n_variables']:>2}: adjoint "
+            f"{row['adjoint_s'] * 1e3:.2f} ms, fd-batched "
+            f"{row['fd_batched_s'] * 1e3:.2f} ms "
+            f"({row['speedup']:.1f}x)"
+        )
+
+
+def _refresh_record(repeats: int = 50) -> dict:
+    """Time the COO->CSR value-refresh kernels on the Test A pattern."""
+    system = assemble_system(
+        MultiChannelStructure.single(build_test_a()), n_points=N_GRID
+    )
+    fold = system.pattern.fold
+    values = np.asarray(system.values)
+
+    kernels = {}
+    for name in available_refresh_kernels():
+        kernel = get_refresh_kernel(name)
+        kernel(fold.entry_to_slot, values, fold.nnz)  # warm (numba compiles)
+        start = time.perf_counter()
+        for _ in range(repeats):
+            kernel(fold.entry_to_slot, values, fold.nnz)
+        kernels[name] = (time.perf_counter() - start) / repeats
+    record = {"n_entries": int(fold.n_entries), "kernel_s": kernels}
+    if "numba" in kernels:
+        record["numba_speedup"] = kernels["numpy"] / kernels["numba"]
+        np.testing.assert_array_equal(
+            get_refresh_kernel("numba")(fold.entry_to_slot, values, fold.nnz),
+            get_refresh_kernel("numpy")(fold.entry_to_slot, values, fold.nnz),
+        )
+    return record

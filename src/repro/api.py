@@ -672,6 +672,7 @@ class Session:
             provenance={
                 "backend": engine.stats()["backend"],
                 "n_grid_points": spec.grid.n_grid_points,
+                "gradient_mode": designer.optimizer.effective_gradient_mode,
                 "cache": engine.stats(),
             },
         )

@@ -175,7 +175,15 @@ def cmd_validate(args: argparse.Namespace) -> int:
 
 def cmd_optimize(args: argparse.Namespace) -> int:
     """``repro optimize`` -- run the Sec. IV channel-modulation flow."""
+    from dataclasses import replace
+
     spec = _resolve(args.scenario)
+    if args.gradient_mode:
+        # Validation lives in OptimizerSpec, so an unknown mode surfaces
+        # as the standard one-line `error: ...` with exit code 2.
+        spec = spec.with_overrides(
+            optimizer=replace(spec.optimizer, gradient_mode=args.gradient_mode)
+        )
     outcome = Session().optimize(spec)
     if args.save_design:
         outcome.optimized_spec().save(args.save_design)
@@ -188,6 +196,14 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         for key, value in summary.items():
             formatted = f"{value:.6g}" if isinstance(value, float) else value
             print(f"  {key:28s} {formatted}")
+        provenance = payload.get("provenance", {})
+        cache = provenance.get("cache", {})
+        print(
+            f"  gradient mode {provenance.get('gradient_mode', '?')}: "
+            f"{cache.get('n_adjoint_solves', 0)} adjoint gradients, "
+            f"{cache.get('n_transpose_solves', 0)} transpose solves, "
+            f"{cache.get('n_solves', 0)} forward solves"
+        )
         if args.save_design:
             print(f"  optimized scenario saved to {args.save_design}")
     return 0
@@ -241,6 +257,37 @@ def _gradient_bench_record(spec: ScenarioSpec) -> Dict[str, object]:
     }
 
 
+def _adjoint_bench_record(spec: ScenarioSpec) -> Dict[str, object]:
+    """Adjoint-gradient record: one adjoint vs one fd-batched evaluation.
+
+    Falls back to an fd-only record (``adjoint_supported: False``) when
+    the scenario's objective has no adjoint.
+    """
+    from .core.adjoint import supports_adjoint
+    from .core.designer import ChannelModulationDesigner
+
+    designer = ChannelModulationDesigner.from_spec(spec)
+    optimizer = designer.optimizer
+    midpoint = optimizer.parameterization.midpoint_vector()
+    record: Dict[str, object] = {
+        "n_variables": int(optimizer.parameterization.n_variables),
+        "objective": optimizer.settings.objective,
+        "adjoint_supported": supports_adjoint(optimizer.settings.objective),
+        "fd_batched_gradient_s": _time_once(
+            lambda: optimizer.cost_gradient(midpoint)
+        ),
+    }
+    if record["adjoint_supported"]:
+        optimizer.adjoint_cost_gradient(midpoint)  # warm the factorization
+        record["adjoint_gradient_s"] = _time_once(
+            lambda: optimizer.adjoint_cost_gradient(midpoint)
+        )
+        record["adjoint_speedup"] = (
+            record["fd_batched_gradient_s"] / record["adjoint_gradient_s"]
+        )
+    return record
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """``repro bench`` -- repeated runs, finite-volume and gradient records."""
     if args.repeat < 1:
@@ -265,6 +312,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "session": session.stats(),
         "ice": _ice_bench_record(spec),
         "optimizer_gradient": _gradient_bench_record(spec),
+        "optimizer_adjoint": _adjoint_bench_record(spec),
     }
     if args.json or args.output:
         _emit(payload, args)
@@ -296,6 +344,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"{gradient['solve_many_calls']} solve_many call(s), "
             f"{gradient['batched_gradient_s'] * 1e3:.2f} ms"
         )
+        adjoint = payload["optimizer_adjoint"]
+        if adjoint["adjoint_supported"]:
+            print(
+                f"  adjoint: {adjoint['adjoint_gradient_s'] * 1e3:.2f} ms "
+                f"vs fd-batched {adjoint['fd_batched_gradient_s'] * 1e3:.2f}"
+                f" ms ({adjoint['adjoint_speedup']:.1f}x)"
+            )
+        else:
+            print(
+                f"  adjoint: unsupported for objective "
+                f"{adjoint['objective']!r} (fd-batched "
+                f"{adjoint['fd_batched_gradient_s'] * 1e3:.2f} ms)"
+            )
     return 0
 
 
@@ -513,6 +574,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--save-design",
         metavar="FILE",
         help="save the scenario with the optimized design pinned into it",
+    )
+    optimize_parser.add_argument(
+        "--gradient-mode",
+        metavar="MODE",
+        default=None,
+        help=(
+            "cost-gradient strategy: adjoint (one forward + one transpose "
+            "solve per iterate; falls back to fd-batched for nonsmooth "
+            "objectives) or fd-batched (the finite-difference reference); "
+            "default: the scenario's own"
+        ),
     )
     _add_output_arguments(optimize_parser)
     optimize_parser.set_defaults(func=cmd_optimize)

@@ -54,6 +54,8 @@ COUNTER_KEYS = (
     "n_uncacheable",
     "n_batches",
     "n_batch_items",
+    "n_adjoint_solves",
+    "n_transpose_solves",
 )
 
 
@@ -96,6 +98,8 @@ class EvaluationEngine:
         self.n_uncacheable = 0
         self.n_batches = 0
         self.n_batch_items = 0
+        self.n_adjoint_solves = 0
+        self.n_transpose_solves = 0
 
     # -- cache keys ---------------------------------------------------------
 
@@ -286,6 +290,26 @@ class EvaluationEngine:
                 results[index] = solution
         return results
 
+    def solve_transpose(self, matrix, rhs, pattern_token=None):
+        """Solve ``A^T x = rhs`` through the engine's solver backend.
+
+        The adjoint gradient path calls this with the matrix of the most
+        recent forward assembly; the direct backends then reuse the cached
+        forward factorization (SuperLU solves the transposed system from
+        the same decomposition), so the adjoint costs one triangular solve.
+        """
+        from ..thermal.backends import resolve_backend
+
+        backend = resolve_backend(self.solver_backend)
+        with self._lock:
+            self.n_transpose_solves += 1
+        return backend.solve_transpose(matrix, rhs, pattern_token)
+
+    def count_adjoint_solve(self) -> None:
+        """Record one completed adjoint gradient evaluation."""
+        with self._lock:
+            self.n_adjoint_solves += 1
+
     def memo(self, key: Hashable, factory: Callable[[], object]) -> object:
         """Explicitly-keyed memoization sharing the engine's LRU cache.
 
@@ -330,6 +354,8 @@ class EvaluationEngine:
             self.n_uncacheable = 0
             self.n_batches = 0
             self.n_batch_items = 0
+            self.n_adjoint_solves = 0
+            self.n_transpose_solves = 0
 
     @property
     def cache_len(self) -> int:
@@ -355,6 +381,8 @@ class EvaluationEngine:
                 "n_uncacheable": self.n_uncacheable,
                 "n_batches": self.n_batches,
                 "n_batch_items": self.n_batch_items,
+                "n_adjoint_solves": self.n_adjoint_solves,
+                "n_transpose_solves": self.n_transpose_solves,
                 "hit_rate": (self.n_cache_hits / lookups) if lookups else 0.0,
             }
 

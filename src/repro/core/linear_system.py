@@ -1,0 +1,274 @@
+"""Shared machinery of the assembled linear thermal systems.
+
+Both model families assemble their sparse systems the same way: emit raw
+COO triplets in a deterministic order, fold duplicate coordinates into
+canonical CSR slots once per problem *shape*, and refresh only the
+coefficient values on every re-assembly.  This module owns that shared hot
+path, extracted from :mod:`repro.thermal.assembly` (the finite-difference
+cavity model) and :mod:`repro.ice.solver` (the finite-volume stack model):
+
+:class:`SparsityFold`
+    The canonical fold of a raw triplet stream: CSR index arrays, the
+    scatter map from raw entry order to CSR data slots, and the raw
+    row/column arrays themselves (kept because the adjoint machinery of
+    :mod:`repro.core.adjoint` evaluates ``lambda^T (dA) u`` directly over
+    raw entries without ever folding the perturbed matrix).
+
+:class:`PatternCache`
+    The bounded, thread-safe LRU used by both per-shape pattern caches.
+
+Value-refresh kernels
+    Folding raw values into CSR data is an unbuffered in-order scatter
+    (``data[slot[i]] += values[i]``).  The default kernel is
+    :func:`numpy.add.at`; an optional compiled tier (Numba, selected with
+    ``REPRO_JIT=1`` when the package is importable) runs the same
+    sequential loop in machine code and is bit-identical by construction
+    -- ``np.add.at`` is an unbuffered in-order accumulation, and so is the
+    compiled loop.  Missing Numba silently degrades to NumPy, so the
+    environment flag is always safe to set.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+
+__all__ = [
+    "PatternCache",
+    "SparsityFold",
+    "active_refresh_kernel",
+    "available_refresh_kernels",
+    "get_refresh_kernel",
+]
+
+#: Environment variable enabling the compiled value-refresh tier.
+JIT_ENV_VAR = "REPRO_JIT"
+
+
+# -- value-refresh kernels ---------------------------------------------------
+
+
+def _numpy_refresh(
+    entry_to_slot: np.ndarray, values: np.ndarray, nnz: int
+) -> np.ndarray:
+    """Reference scatter-accumulate: unbuffered, in raw entry order."""
+    data = np.zeros(nnz)
+    np.add.at(data, entry_to_slot, values)
+    return data
+
+
+_KERNELS: Dict[str, Callable[[np.ndarray, np.ndarray, int], np.ndarray]] = {
+    "numpy": _numpy_refresh,
+}
+_KERNEL_LOCK = threading.Lock()
+_NUMBA_STATE = {"probed": False, "available": False}
+
+
+def _probe_numba() -> bool:
+    """Build (once) the Numba scatter kernel; False when unavailable.
+
+    The compiled loop accumulates ``data[slot[i]] += values[i]``
+    sequentially -- the same unbuffered in-order semantics as
+    ``np.add.at`` -- so the two kernels produce bit-identical data arrays
+    (asserted by the test suite whenever Numba is importable).
+    """
+    with _KERNEL_LOCK:
+        if _NUMBA_STATE["probed"]:
+            return _NUMBA_STATE["available"]
+        _NUMBA_STATE["probed"] = True
+        try:
+            import numba
+        except ImportError:
+            _NUMBA_STATE["available"] = False
+            return False
+
+        @numba.njit(cache=False)
+        def _scatter(slots, values, data):  # pragma: no cover - compiled
+            for index in range(slots.size):
+                data[slots[index]] += values[index]
+
+        def _numba_refresh(entry_to_slot, values, nnz):
+            data = np.zeros(nnz)
+            _scatter(
+                entry_to_slot,
+                np.ascontiguousarray(values, dtype=np.float64),
+                data,
+            )
+            return data
+
+        _KERNELS["numba"] = _numba_refresh
+        _NUMBA_STATE["available"] = True
+        return True
+
+
+def available_refresh_kernels() -> Tuple[str, ...]:
+    """Names of the value-refresh kernels usable in this environment."""
+    _probe_numba()
+    return tuple(sorted(_KERNELS))
+
+
+def get_refresh_kernel(
+    name: str,
+) -> Callable[[np.ndarray, np.ndarray, int], np.ndarray]:
+    """Look up a refresh kernel by name (probing the compiled tier)."""
+    _probe_numba()
+    try:
+        return _KERNELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown refresh kernel {name!r}; available: "
+            f"{list(available_refresh_kernels())}"
+        ) from None
+
+
+def active_refresh_kernel() -> str:
+    """The refresh kernel the folds use right now.
+
+    ``"numba"`` when ``REPRO_JIT=1`` (or any truthy value) is set *and*
+    Numba imports; ``"numpy"`` otherwise.  Read per call, so tests and
+    benchmarks can flip the environment variable without reloading.
+    """
+    flag = os.environ.get(JIT_ENV_VAR, "").strip()
+    if flag not in ("", "0") and _probe_numba():
+        return "numba"
+    return "numpy"
+
+
+# -- the canonical fold ------------------------------------------------------
+
+
+class SparsityFold:
+    """Canonical CSR fold of a raw COO triplet stream for one shape.
+
+    Folds duplicate coordinates once (lexsort by row, then column; first
+    occurrence defines the slot) and keeps the scatter map from raw entry
+    order to CSR data slots, so re-assembling a system for new parameter
+    values is a single scatter-accumulate into a preallocated data array
+    -- no sorting, no duplicate folding, and a bit-identical structure
+    across refreshes (which the solver backends use to recognize repeated
+    matrices and reuse factorizations).
+
+    The raw ``rows``/``cols`` arrays are retained: the adjoint gradient
+    path evaluates ``lambda^T (dA/dw) u = sum_e (dv_e/dw) lambda[row_e]
+    u[col_e]`` directly over raw entries, which needs the coordinates in
+    the emitters' entry order.
+    """
+
+    def __init__(
+        self, rows: np.ndarray, cols: np.ndarray, n_unknowns: int
+    ) -> None:
+        rows = np.ascontiguousarray(rows, dtype=np.intp)
+        cols = np.ascontiguousarray(cols, dtype=np.intp)
+        if rows.shape != cols.shape or rows.ndim != 1:
+            raise ValueError("rows and cols must be equal-length 1-D arrays")
+        if rows.size == 0:
+            raise ValueError("cannot fold an empty triplet stream")
+        self.rows = rows
+        self.cols = cols
+        self.n_unknowns = int(n_unknowns)
+        self.n_entries = int(rows.size)
+
+        order = np.lexsort((cols, rows))
+        sorted_rows = rows[order]
+        sorted_cols = cols[order]
+        first = np.empty(self.n_entries, dtype=bool)
+        first[0] = True
+        first[1:] = (sorted_rows[1:] != sorted_rows[:-1]) | (
+            sorted_cols[1:] != sorted_cols[:-1]
+        )
+        slot_of_sorted = np.cumsum(first) - 1
+        entry_to_slot = np.empty(self.n_entries, dtype=np.intp)
+        entry_to_slot[order] = slot_of_sorted
+        self.entry_to_slot = entry_to_slot
+        unique_rows = sorted_rows[first]
+        self.nnz = int(unique_rows.size)
+        self.indices = sorted_cols[first].astype(np.int32, copy=True)
+        self.indptr = np.searchsorted(
+            unique_rows, np.arange(self.n_unknowns + 1)
+        ).astype(np.int32, copy=True)
+
+    def fold(self, values: np.ndarray) -> np.ndarray:
+        """Fold raw COO values into the CSR data array.
+
+        Goes through the active refresh kernel (NumPy by default, the
+        compiled tier under ``REPRO_JIT=1``); both kernels are unbuffered
+        in-order accumulations, so the result is bit-identical either way.
+        """
+        values = np.asarray(values)
+        if values.shape != (self.n_entries,):
+            raise ValueError(
+                f"expected {self.n_entries} coefficient values, "
+                f"got {values.shape}"
+            )
+        kernel = _KERNELS[active_refresh_kernel()]
+        return kernel(self.entry_to_slot, values, self.nnz)
+
+    def matrix(self, values: np.ndarray) -> sparse.csr_matrix:
+        """Fold raw COO values into a CSR matrix with the static structure."""
+        return sparse.csr_matrix(
+            (self.fold(values), self.indices, self.indptr),
+            shape=(self.n_unknowns, self.n_unknowns),
+        )
+
+
+# -- the shared pattern cache ------------------------------------------------
+
+
+class PatternCache:
+    """Bounded, thread-safe LRU of per-shape pattern objects.
+
+    One instance per pattern family (finite-difference cavity shapes,
+    finite-volume stack shapes).  ``get_or_build`` runs the factory
+    outside the lock -- concurrent builders of the same shape may race,
+    but patterns are immutable and the last writer simply wins.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get_or_build(
+        self, key: Hashable, factory: Callable[[], object]
+    ) -> object:
+        """The cached pattern for ``key``, building it on a miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                return entry
+        entry = factory()
+        with self._lock:
+            self._entries[key] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return entry
+
+    def get(self, key: Hashable) -> Optional[object]:
+        """The cached pattern for ``key`` (no build), refreshing recency."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
+
+    def clear(self) -> None:
+        """Drop every cached pattern (used by tests and benchmarks)."""
+        with self._lock:
+            self._entries.clear()
+
+    def info(self) -> dict:
+        """Current size, capacity and keys of the cache."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "keys": list(self._entries.keys()),
+            }

@@ -31,6 +31,7 @@ Two mechanisms keep that cost down:
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
@@ -45,13 +46,17 @@ from ..thermal.geometry import (
     WidthProfile,
 )
 from ..thermal.solution import ThermalSolution
+from .adjoint import AdjointGradient, supports_adjoint
 from .constraints import PressureConstraints
 from .engine import EvaluationEngine
 from .objectives import get_objective
 from .parameterization import WidthParameterization
 from .results import DesignEvaluation, ModulationResult, OptimizationTrace
 
-__all__ = ["OptimizerSettings", "ChannelModulationOptimizer"]
+__all__ = ["GRADIENT_MODES", "OptimizerSettings", "ChannelModulationOptimizer"]
+
+#: Cost-gradient evaluation strategies of the direct sequential solve.
+GRADIENT_MODES = ("adjoint", "fd-batched")
 
 
 @dataclass(frozen=True)
@@ -76,6 +81,15 @@ class OptimizerSettings:
     finite_difference_step:
         Step of the finite-difference cost gradients (applied to the
         normalized decision variables in [0, 1]).
+    gradient_mode:
+        Cost-gradient strategy: ``"adjoint"`` (default) evaluates the
+        exact gradient of the discrete linear system with one forward and
+        one transpose solve per iterate (see :mod:`repro.core.adjoint`),
+        independent of the number of design variables; ``"fd-batched"``
+        is the batched finite-difference reference oracle (``n + 1``
+        solves per iterate).  Objectives without an adjoint
+        (``temperature_range``, ``peak_temperature``) fall back to
+        ``"fd-batched"`` with a warning.
     use_batched_gradients:
         Evaluate the cost gradient as one batched ``solve_many`` call (all
         ``n + 1`` perturbed designs at once, parallel across ``n_workers``)
@@ -109,6 +123,7 @@ class OptimizerSettings:
     max_iterations: int = 80
     tolerance: float = 1e-8
     finite_difference_step: float = 1e-3
+    gradient_mode: str = "adjoint"
     use_batched_gradients: bool = True
     multistart: int = 1
     enforce_equal_pressure: bool = True
@@ -130,6 +145,11 @@ class OptimizerSettings:
             raise ValueError("n_workers must be at least 1")
         if self.cache_size < 1:
             raise ValueError("cache_size must be at least 1")
+        if self.gradient_mode not in GRADIENT_MODES:
+            raise ValueError(
+                f"gradient_mode must be one of {list(GRADIENT_MODES)}, "
+                f"got {self.gradient_mode!r}"
+            )
 
 
 class ChannelModulationOptimizer:
@@ -186,6 +206,27 @@ class ChannelModulationOptimizer:
             n_workers=settings.n_workers,
         )
         self._cost_scale: Optional[float] = None
+        #: The gradient strategy actually in effect: the requested mode,
+        #: demoted to "fd-batched" (loudly) when the objective is nonsmooth.
+        self.effective_gradient_mode = settings.gradient_mode
+        self._adjoint: Optional[AdjointGradient] = None
+        if settings.gradient_mode == "adjoint":
+            if supports_adjoint(settings.objective):
+                self._adjoint = AdjointGradient(
+                    structure=self.structure,
+                    parameterization=self.parameterization,
+                    objective=settings.objective,
+                    n_points=settings.n_grid_points,
+                    engine=self.engine,
+                )
+            else:
+                warnings.warn(
+                    f"objective {settings.objective!r} has no adjoint "
+                    "(nonsmooth); falling back to gradient_mode="
+                    "'fd-batched'",
+                    stacklevel=2,
+                )
+                self.effective_gradient_mode = "fd-batched"
 
     def _max_pressure_drop(self) -> float:
         """Pressure limit, taken from the Table I default unless overridden."""
@@ -281,9 +322,28 @@ class ChannelModulationOptimizer:
         values = np.array([float(self._objective(s)) for s in solutions])
         return (values[1:] - values[0]) / steps
 
+    def adjoint_cost_gradient(self, vector: np.ndarray) -> np.ndarray:
+        """Adjoint gradient of the (unscaled) objective.
+
+        One cached forward solve plus one transpose solve reusing the
+        forward factorization, regardless of the number of design
+        variables (see :mod:`repro.core.adjoint`).  Only available when
+        the objective supports it (``self._adjoint`` is set).
+        """
+        if self._adjoint is None:
+            raise RuntimeError(
+                "adjoint gradients are not available for objective "
+                f"{self.settings.objective!r} (effective mode is "
+                f"{self.effective_gradient_mode!r})"
+            )
+        return self._adjoint.gradient(vector)
+
     def _scaled_cost_gradient(self, vector: np.ndarray) -> np.ndarray:
         """Gradient of :meth:`_scaled_cost` (the ``jac`` handed to SLSQP)."""
-        gradient = self.cost_gradient(vector)
+        if self.effective_gradient_mode == "adjoint":
+            gradient = self.adjoint_cost_gradient(vector)
+        else:
+            gradient = self.cost_gradient(vector)
         if self._cost_scale is None or self._cost_scale == 0.0:
             return gradient
         return gradient / self._cost_scale

@@ -44,13 +44,12 @@ default), selected per solver via the ``backend`` argument.
 from __future__ import annotations
 
 import hashlib
-import threading
-from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 from scipy import sparse
 
+from ..core.linear_system import PatternCache, SparsityFold
 from ..thermal import correlations
 from ..thermal.backends import SolverBackend, resolve_backend
 from .results import ThermalMapResult
@@ -88,76 +87,38 @@ class StackPattern:
         #: a digest of the zero-coefficient mask).
         self.token = token
         self.n_unknowns = int(n_unknowns)
-        self.n_entries = int(rows.size)
-        order = np.lexsort((cols, rows))
-        sorted_rows = rows[order]
-        sorted_cols = cols[order]
-        first = np.empty(self.n_entries, dtype=bool)
-        first[0] = True
-        first[1:] = (sorted_rows[1:] != sorted_rows[:-1]) | (
-            sorted_cols[1:] != sorted_cols[:-1]
-        )
-        slot_of_sorted = np.cumsum(first) - 1
-        entry_to_slot = np.empty(self.n_entries, dtype=np.intp)
-        entry_to_slot[order] = slot_of_sorted
-        self._entry_to_slot = entry_to_slot
-        unique_rows = sorted_rows[first]
-        self.nnz = int(unique_rows.size)
-        self._indices = sorted_cols[first].astype(np.int32, copy=True)
-        self._indptr = np.searchsorted(
-            unique_rows, np.arange(self.n_unknowns + 1)
-        ).astype(np.int32, copy=True)
+        #: Canonical fold of the raw triplet stream (shared machinery with
+        #: the finite-difference cavity model).
+        self.fold = SparsityFold(rows, cols, self.n_unknowns)
+        self.n_entries = self.fold.n_entries
+        self.nnz = self.fold.nnz
 
     def matrix(self, values: np.ndarray) -> sparse.csr_matrix:
         """Fold raw COO values into a CSR matrix with the static structure."""
-        if values.shape != (self.n_entries,):
-            raise ValueError(
-                f"expected {self.n_entries} coefficient values, got {values.shape}"
-            )
-        data = np.zeros(self.nnz)
-        np.add.at(data, self._entry_to_slot, values)
-        return sparse.csr_matrix(
-            (data, self._indices, self._indptr),
-            shape=(self.n_unknowns, self.n_unknowns),
-        )
+        return self.fold.matrix(values)
 
 
-_PATTERN_CACHE: "OrderedDict[tuple, StackPattern]" = OrderedDict()
 _PATTERN_CACHE_SIZE = 32
-_PATTERN_LOCK = threading.Lock()
+_PATTERN_CACHE = PatternCache(_PATTERN_CACHE_SIZE)
 
 
 def _get_stack_pattern(
     token: tuple, rows: np.ndarray, cols: np.ndarray, n_unknowns: int
 ) -> StackPattern:
     """Fetch (or build and cache) the fold for one stack shape."""
-    with _PATTERN_LOCK:
-        pattern = _PATTERN_CACHE.get(token)
-        if pattern is not None:
-            _PATTERN_CACHE.move_to_end(token)
-            return pattern
-    pattern = StackPattern(token, rows, cols, n_unknowns)
-    with _PATTERN_LOCK:
-        _PATTERN_CACHE[token] = pattern
-        while len(_PATTERN_CACHE) > _PATTERN_CACHE_SIZE:
-            _PATTERN_CACHE.popitem(last=False)
-    return pattern
+    return _PATTERN_CACHE.get_or_build(
+        token, lambda: StackPattern(token, rows, cols, n_unknowns)
+    )
 
 
 def clear_stack_pattern_cache() -> None:
     """Drop every cached stack pattern (used by tests and benchmarks)."""
-    with _PATTERN_LOCK:
-        _PATTERN_CACHE.clear()
+    _PATTERN_CACHE.clear()
 
 
 def stack_pattern_cache_info() -> dict:
     """Current size and keys of the stack-pattern cache."""
-    with _PATTERN_LOCK:
-        return {
-            "size": len(_PATTERN_CACHE),
-            "capacity": _PATTERN_CACHE_SIZE,
-            "keys": list(_PATTERN_CACHE.keys()),
-        }
+    return _PATTERN_CACHE.info()
 
 
 class AssembledSystem:

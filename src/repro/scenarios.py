@@ -283,6 +283,7 @@ class OptimizerSpec:
     multistart: int = 1
     tolerance: float = 1e-8
     objective: str = "gradient_norm"
+    gradient_mode: str = "adjoint"
     shared_profile: bool = False
     enforce_equal_pressure: bool = True
     max_pressure_drop_Pa: Optional[float] = None
@@ -318,6 +319,13 @@ class OptimizerSpec:
             raise ValueError(
                 f"optimizer.objective must be a non-empty objective name, "
                 f"got {self.objective!r}"
+            )
+        from .core.optimizer import GRADIENT_MODES
+
+        if self.gradient_mode not in GRADIENT_MODES:
+            raise ValueError(
+                f"optimizer.gradient_mode must be one of "
+                f"{list(GRADIENT_MODES)}, got {self.gradient_mode!r}"
             )
         if self.max_pressure_drop_Pa is not None:
             _set(self, max_pressure_drop_Pa=float(self.max_pressure_drop_Pa))
@@ -472,6 +480,7 @@ class ScenarioSpec:
             n_segments=self.optimizer.n_segments,
             shared_profile=self.optimizer.shared_profile,
             objective=self.optimizer.objective,
+            gradient_mode=self.optimizer.gradient_mode,
             n_grid_points=self.grid.n_grid_points,
             max_iterations=self.optimizer.max_iterations,
             tolerance=self.optimizer.tolerance,
@@ -665,6 +674,7 @@ class ScenarioSpec:
                 "multistart": self.optimizer.multistart,
                 "tolerance": self.optimizer.tolerance,
                 "objective": self.optimizer.objective,
+                "gradient_mode": self.optimizer.gradient_mode,
                 "shared_profile": self.optimizer.shared_profile,
                 "enforce_equal_pressure": self.optimizer.enforce_equal_pressure,
                 "max_pressure_drop_Pa": self.optimizer.max_pressure_drop_Pa,

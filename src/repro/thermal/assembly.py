@@ -23,14 +23,13 @@ round-off.
 
 from __future__ import annotations
 
-import threading
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
 from scipy import sparse
 
+from ..core.linear_system import PatternCache, SparsityFold
 from . import conductances
 from .geometry import MultiChannelStructure
 
@@ -42,6 +41,7 @@ __all__ = [
     "assemble_system_loop",
     "clear_pattern_cache",
     "get_pattern",
+    "lane_conductance_rows",
     "lane_parameters",
     "pattern_cache_info",
 ]
@@ -65,6 +65,52 @@ class LaneParameters:
     reversed_flags: Tuple[bool, ...]
 
 
+def lane_conductance_rows(
+    structure: MultiChannelStructure,
+    z_grid: np.ndarray,
+    lane_index: int,
+    widths: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(g_v, g_w)`` rows of one lane, for the given (or its own) widths.
+
+    These are the only :class:`LaneParameters` rows that depend on the
+    channel-width profile, so the adjoint gradient path
+    (:mod:`repro.core.adjoint`) re-evaluates just them when perturbing one
+    lane's design variables.  Cluster scaling matches
+    :func:`lane_parameters`.
+    """
+    lane = structure.lanes[lane_index]
+    if widths is None:
+        widths = lane.width_profile(z_grid)
+    widths = np.atleast_1d(np.asarray(widths, dtype=float))
+    scale = float(structure.cluster_size_of_lane(lane_index))
+    g_v = (
+        np.asarray(
+            conductances.layer_to_coolant_conductance(
+                lane.geometry,
+                lane.silicon,
+                lane.coolant,
+                widths,
+                lane.flow_rate,
+                z_grid,
+                lane.developing_flow,
+            ),
+            dtype=float,
+        )
+        * scale
+    )
+    g_w = (
+        np.asarray(
+            conductances.sidewall_conductance(
+                lane.geometry, lane.silicon, widths
+            ),
+            dtype=float,
+        )
+        * scale
+    )
+    return g_v, g_w
+
+
 def lane_parameters(
     structure: MultiChannelStructure, z_grid: np.ndarray
 ) -> LaneParameters:
@@ -83,32 +129,8 @@ def lane_parameters(
     g_l = np.empty(n_lanes)
     cap = np.empty(n_lanes)
     for index, lane in enumerate(structure.lanes):
-        widths = np.atleast_1d(lane.width_profile(z_grid))
         scale = float(structure.cluster_size_of_lane(index))
-        g_v[index] = (
-            np.asarray(
-                conductances.layer_to_coolant_conductance(
-                    lane.geometry,
-                    lane.silicon,
-                    lane.coolant,
-                    widths,
-                    lane.flow_rate,
-                    z_grid,
-                    lane.developing_flow,
-                ),
-                dtype=float,
-            )
-            * scale
-        )
-        g_w[index] = (
-            np.asarray(
-                conductances.sidewall_conductance(
-                    lane.geometry, lane.silicon, widths
-                ),
-                dtype=float,
-            )
-            * scale
-        )
+        g_v[index], g_w[index] = lane_conductance_rows(structure, z_grid, index)
         q_top[index] = np.atleast_1d(lane.heat_top(z_grid))
         q_bottom[index] = np.atleast_1d(lane.heat_bottom(z_grid))
         g_l[index] = (
@@ -231,27 +253,13 @@ class SparsityPattern:
 
         raw_rows = np.concatenate([part.ravel() for part in rows])
         raw_cols = np.concatenate([part.ravel() for part in cols])
-        self.n_entries = raw_rows.size
 
-        # Fold duplicate coordinates into canonical CSR slots once.
-        order = np.lexsort((raw_cols, raw_rows))
-        sorted_rows = raw_rows[order]
-        sorted_cols = raw_cols[order]
-        first = np.empty(self.n_entries, dtype=bool)
-        first[0] = True
-        first[1:] = (sorted_rows[1:] != sorted_rows[:-1]) | (
-            sorted_cols[1:] != sorted_cols[:-1]
-        )
-        slot_of_sorted = np.cumsum(first) - 1
-        entry_to_slot = np.empty(self.n_entries, dtype=np.intp)
-        entry_to_slot[order] = slot_of_sorted
-        self._entry_to_slot = entry_to_slot
-        unique_rows = sorted_rows[first]
-        self.nnz = int(unique_rows.size)
-        self._indices = sorted_cols[first].astype(np.int32, copy=True)
-        self._indptr = np.searchsorted(
-            unique_rows, np.arange(self.n_unknowns + 1)
-        ).astype(np.int32, copy=True)
+        #: Canonical fold of the raw triplet stream (shared machinery with
+        #: the finite-volume stack model).  Exposes the raw ``rows``/``cols``
+        #: used by the adjoint stencils in :mod:`repro.core.adjoint`.
+        self.fold = SparsityFold(raw_rows, raw_cols, self.n_unknowns)
+        self.n_entries = self.fold.n_entries
+        self.nnz = self.fold.nnz
 
         self._inlet_mask = inlet_mask
 
@@ -287,6 +295,60 @@ class SparsityPattern:
         ]
         return np.concatenate([part.ravel() for part in parts])
 
+    def conductance_sensitivities(
+        self, weight: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fold per-entry adjoint weights into conductance sensitivities.
+
+        The coefficient stream of :meth:`values` is *affine* in the
+        conductance rows ``g_v`` and ``g_w`` with a fixed structural
+        pattern (``+1`` on the coupling entries, ``-1`` on the diagonals,
+        ``-2``/``+1``/``+1`` on the non-inlet coolant rows).  Given the
+        per-raw-entry weights ``w_e = lambda[row_e] * u[col_e]`` this
+        returns ``(s_v, s_w)`` of shape ``(n_lanes, n_points)`` such that
+        for any conductance perturbation
+
+            lambda^T (dA) u = sum(s_v * dg_v) + sum(s_w * dg_w)
+
+        -- the adjoint gradient then needs only the two perturbed
+        conductance rows per design variable, never a full value rebuild.
+        """
+        L, P = self.n_lanes, self.n_points
+        weight = np.asarray(weight)
+        if weight.shape != (self.n_entries,):
+            raise ValueError(
+                f"expected {self.n_entries} entry weights, got {weight.shape}"
+            )
+        s_v = np.zeros((L, P))
+        s_w = np.zeros((L, P))
+        offset = 0
+
+        def take(shape):
+            nonlocal offset
+            size = int(np.prod(shape))
+            part = weight[offset : offset + size].reshape(shape)
+            offset += size
+            return part
+
+        for _layer in (0, 1):
+            take((L, P - 1))  # conduction neighbours: width-independent
+            take((L, P - 1))
+            s_v += take((L, P))
+            s_w += take((L, P))
+            if self.lateral_coupling:
+                take((L - 1, P))
+                take((L - 1, P))
+            diagonal = take((L, P))
+            s_v -= diagonal
+            s_w -= diagonal
+        interior = ~self._inlet_mask
+        s_v -= 2.0 * np.where(interior, take((L, P)), 0.0)
+        take((L, P))  # advection neighbour: width-independent
+        s_v += np.where(interior, take((L, P)), 0.0)
+        s_v += np.where(interior, take((L, P)), 0.0)
+        assert offset == self.n_entries
+        return s_v, s_w
+
     def rhs(self, params: LaneParameters, inlet_temperature: float) -> np.ndarray:
         """Right-hand side vector for the given parameters."""
         rhs = np.empty(self.n_unknowns)
@@ -298,23 +360,13 @@ class SparsityPattern:
 
     def matrix(self, values: np.ndarray) -> sparse.csr_matrix:
         """Fold raw COO values into a CSR matrix with the static structure."""
-        if values.shape != (self.n_entries,):
-            raise ValueError(
-                f"expected {self.n_entries} coefficient values, got {values.shape}"
-            )
-        data = np.zeros(self.nnz)
-        np.add.at(data, self._entry_to_slot, values)
-        return sparse.csr_matrix(
-            (data, self._indices, self._indptr),
-            shape=(self.n_unknowns, self.n_unknowns),
-        )
+        return self.fold.matrix(values)
 
 
 # -- pattern cache ---------------------------------------------------------
 
-_PATTERN_CACHE: "OrderedDict[tuple, SparsityPattern]" = OrderedDict()
 _PATTERN_CACHE_SIZE = 64
-_PATTERN_LOCK = threading.Lock()
+_PATTERN_CACHE = PatternCache(_PATTERN_CACHE_SIZE)
 
 
 def get_pattern(
@@ -330,33 +382,22 @@ def get_pattern(
         bool(lateral_coupling) and n_lanes > 1,
         tuple(bool(flag) for flag in reversed_flags),
     )
-    with _PATTERN_LOCK:
-        pattern = _PATTERN_CACHE.get(key)
-        if pattern is not None:
-            _PATTERN_CACHE.move_to_end(key)
-            return pattern
-    pattern = SparsityPattern(n_lanes, n_points, lateral_coupling, reversed_flags)
-    with _PATTERN_LOCK:
-        _PATTERN_CACHE[key] = pattern
-        while len(_PATTERN_CACHE) > _PATTERN_CACHE_SIZE:
-            _PATTERN_CACHE.popitem(last=False)
-    return pattern
+    return _PATTERN_CACHE.get_or_build(
+        key,
+        lambda: SparsityPattern(
+            n_lanes, n_points, lateral_coupling, reversed_flags
+        ),
+    )
 
 
 def clear_pattern_cache() -> None:
     """Drop every cached sparsity pattern (used by tests and benchmarks)."""
-    with _PATTERN_LOCK:
-        _PATTERN_CACHE.clear()
+    _PATTERN_CACHE.clear()
 
 
 def pattern_cache_info() -> dict:
     """Current size and keys of the pattern cache."""
-    with _PATTERN_LOCK:
-        return {
-            "size": len(_PATTERN_CACHE),
-            "capacity": _PATTERN_CACHE_SIZE,
-            "keys": list(_PATTERN_CACHE.keys()),
-        }
+    return _PATTERN_CACHE.info()
 
 
 @dataclass
@@ -369,6 +410,9 @@ class AssembledSystem:
     params: LaneParameters
     lateral_conductance: float
     pattern: Optional[SparsityPattern] = None
+    #: Raw COO coefficient values in the pattern's entry order (None for
+    #: loop assembly).  The adjoint path differentiates these directly.
+    values: Optional[np.ndarray] = None
 
     @property
     def pattern_token(self) -> Optional[tuple]:
@@ -397,7 +441,8 @@ def assemble_system(
     pattern = get_pattern(
         structure.n_lanes, n_points, structure.lateral_coupling, params.reversed_flags
     )
-    matrix = pattern.matrix(pattern.values(params, g_lat, dz))
+    values = pattern.values(params, g_lat, dz)
+    matrix = pattern.matrix(values)
     rhs = pattern.rhs(params, structure.inlet_temperature)
     return AssembledSystem(
         matrix=matrix,
@@ -406,6 +451,7 @@ def assemble_system(
         params=params,
         lateral_conductance=g_lat,
         pattern=pattern,
+        values=values,
     )
 
 

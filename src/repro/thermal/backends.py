@@ -105,6 +105,25 @@ class SolverBackend:
             ]
         )
 
+    def solve_transpose(
+        self,
+        matrix: sparse.spmatrix,
+        rhs: np.ndarray,
+        pattern_token: Optional[tuple] = None,
+    ) -> np.ndarray:
+        """Solve ``A^T x = rhs`` (the adjoint system of :meth:`solve`).
+
+        The base implementation materializes the transposed matrix and
+        solves it like any other system; direct backends override this to
+        reuse the *forward* factorization (SuperLU solves both ``A x = b``
+        and ``A^T x = b`` from one decomposition), so an adjoint solve
+        after a forward solve of the same matrix costs only a triangular
+        solve.  The pattern token is wrapped so transposed structures never
+        collide with forward ones in structure-keyed caches.
+        """
+        token = None if pattern_token is None else ("transpose", pattern_token)
+        return self.solve(matrix.T.tocsr(), rhs, token)
+
     def reset(self) -> None:
         """Drop any cached state (factorizations, counters)."""
 
@@ -123,6 +142,9 @@ class DenseBackend(SolverBackend):
 
     def solve(self, matrix, rhs, pattern_token=None):
         return np.linalg.solve(matrix.toarray(), rhs)
+
+    def solve_transpose(self, matrix, rhs, pattern_token=None):
+        return np.linalg.solve(matrix.toarray().T, rhs)
 
     # solve_matrix keeps the base per-column loop: LAPACK's blocked
     # multi-RHS back-substitution reorders additions, so a 2-D
@@ -180,6 +202,16 @@ class SparseLUBackend(SolverBackend):
     def solve(self, matrix, rhs, pattern_token=None):
         matrix = matrix.tocsr() if not sparse.issparse(matrix) else matrix
         return self._factorization_for(matrix, pattern_token).solve(rhs)
+
+    def solve_transpose(self, matrix, rhs, pattern_token=None):
+        # SuperLU solves A^T x = b from the *forward* decomposition
+        # (``trans='T'``), so when the adjoint follows a forward solve of
+        # the same matrix -- the optimizer's hot path -- the factorization
+        # is a cache hit and the adjoint costs one triangular solve.
+        matrix = matrix.tocsr() if not sparse.issparse(matrix) else matrix
+        return self._factorization_for(matrix, pattern_token).solve(
+            rhs, trans="T"
+        )
 
     def solve_matrix(self, matrix, rhs_matrix, pattern_token=None):
         # One content hash + one factorization lookup for the whole block,
@@ -286,6 +318,18 @@ class SparseIterativeBackend(SolverBackend):
         self.n_iterative_solves += 1
         return solution
 
+    def solve_transpose(self, matrix, rhs, pattern_token=None):
+        # Run the same iterative machinery on the transposed system; the
+        # quality gates inside :meth:`solve` already fall back to the
+        # direct solver (which handles the transpose via ``trans='T'``)
+        # whenever the iteration misses direct-solve accuracy.
+        token = None if pattern_token is None else ("transpose", pattern_token)
+        try:
+            return self.solve(matrix.T.tocsr(), rhs, token)
+        except RuntimeError:  # pragma: no cover - defensive
+            self.n_fallbacks += 1
+            return self._fallback.solve_transpose(matrix, rhs, pattern_token)
+
     def reset(self):
         self._fallback.reset()
         self.n_iterative_solves = 0
@@ -320,6 +364,15 @@ class AutoBackend(SolverBackend):
             )
         return get_backend("sparse-lu").solve_matrix(
             matrix, rhs_matrix, pattern_token
+        )
+
+    def solve_transpose(self, matrix, rhs, pattern_token=None):
+        if matrix.shape[0] <= self.dense_cutoff:
+            return get_backend("dense").solve_transpose(
+                matrix, rhs, pattern_token
+            )
+        return get_backend("sparse-lu").solve_transpose(
+            matrix, rhs, pattern_token
         )
 
     def stats(self):

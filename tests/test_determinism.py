@@ -69,6 +69,30 @@ class TestMultistartDeterminism:
             threaded.result.optimal.solution.temperatures,
         )
 
+    def test_adjoint_gradients_are_schedule_independent(self):
+        # Pin gradient_mode explicitly (it is also the default): the
+        # adjoint path must not introduce any thread-order sensitivity --
+        # each restart's forward/transpose solves are independent.
+        def spec(n_workers):
+            base = seeded_spec(n_workers)
+            return base.with_overrides(
+                optimizer=OptimizerSpec(
+                    n_segments=3,
+                    max_iterations=6,
+                    multistart=3,
+                    gradient_mode="adjoint",
+                )
+            )
+
+        serial = Session().optimize(spec(1))
+        threaded = Session().optimize(spec(3))
+        assert serial.to_dict()["provenance"]["gradient_mode"] == "adjoint"
+        assert design_fingerprint(serial) == design_fingerprint(threaded)
+        np.testing.assert_array_equal(
+            serial.result.optimal.solution.temperatures,
+            threaded.result.optimal.solution.temperatures,
+        )
+
     def test_same_seed_reproduces_across_fresh_sessions(self):
         first = Session().optimize(seeded_spec(n_workers=1))
         second = Session().optimize(seeded_spec(n_workers=1))

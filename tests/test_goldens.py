@@ -90,6 +90,33 @@ def test_steady_goldens(name, session, golden):
     )
 
 
+def test_adjoint_optimize_golden(session, golden):
+    # Pin a short adjoint-driven optimization of Test A: the optimizer
+    # trajectory depends on every gradient component, so any drift in the
+    # adjoint assembly or the transpose solves shifts these summary
+    # numbers past tolerance.
+    base = get_scenario("test-a")
+    spec = base.with_overrides(
+        name="test-a-adjoint-short",
+        optimizer=replace(
+            base.optimizer, max_iterations=10, gradient_mode="adjoint"
+        ),
+    )
+    outcome = session.optimize(spec)
+    assert outcome.to_dict()["provenance"]["gradient_mode"] == "adjoint"
+    summary = outcome.result.summary()
+    golden(
+        "test-a-adjoint-short",
+        {
+            key: value
+            for key, value in summary.items()
+            if isinstance(value, (int, float, str, bool))
+        },
+        # An SLSQP trajectory accumulates round-off across iterations.
+        rtol=1e-5,
+    )
+
+
 def test_transient_golden(session, golden):
     # A short version of the registered burst scenario keeps the golden
     # small and the test fast while still exercising traces end to end.
