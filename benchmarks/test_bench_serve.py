@@ -1,0 +1,130 @@
+"""Serve-layer benchmark: HTTP job throughput and cache-hit latency.
+
+Submits the flux x architecture sweep to a live ``repro serve`` stack over
+real HTTP and emits a ``serve_throughput`` BENCH record comparing three
+paths for the same work::
+
+    direct      Session.run_many in-process (the no-service baseline)
+    http_cold   POST /v1/sweep -> poll to done, empty cache (solves happen)
+    http_cached identical fresh resubmission, 100% shared-cache replay
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_serve.py -s \
+        | grep '^BENCH '
+
+Setting ``REPRO_BENCH_SMOKE=1`` shrinks the sweep and the grid to
+smoke-test size (the CI benchmark job).  The cached path must finish with
+zero solver activity -- that assertion holds even in smoke mode.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.api import Session
+from repro.scenarios import GridSpec, OptimizerSpec, get_scenario
+from repro.serve import CampaignServer, CampaignService, ServiceClient
+from repro.sweeps import SweepAxis, SweepSpec
+
+#: Smoke mode: tiny sweep, no throughput assertions (CI runs this).
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip() not in ("", "0")
+
+FLOW_RATES = (8.0e-9, 1.0e-8) if SMOKE else (6.0e-9, 8.0e-9, 1.0e-8, 1.2e-8)
+ARCHITECTURES = ("arch1", "arch2") if SMOKE else ("arch1", "arch2", "arch3")
+GRID = (
+    GridSpec(n_grid_points=41, n_lanes=2, n_rows=4, n_cols=8)
+    if SMOKE
+    else GridSpec(n_grid_points=101, n_lanes=3, n_rows=16, n_cols=16)
+)
+WORKERS = 2
+
+
+def emit_bench(record: dict) -> None:
+    """Print one machine-readable benchmark record."""
+    print("BENCH " + json.dumps(record, sort_keys=True))
+
+
+def flux_architecture_sweep() -> SweepSpec:
+    """The benchmark campaign: coolant flux x Niagara architecture."""
+    base = get_scenario("niagara-arch1").with_overrides(
+        grid=GRID, optimizer=OptimizerSpec(n_segments=3, max_iterations=5)
+    )
+    return SweepSpec(
+        name="bench-serve",
+        base=base,
+        axes=(
+            SweepAxis(
+                "params.flow_rate_per_channel", FLOW_RATES, label="flux"
+            ),
+            SweepAxis("workload.architecture", ARCHITECTURES, label="arch"),
+        ),
+    )
+
+
+def test_serve_throughput_records(tmp_path):
+    """Time direct vs HTTP-cold vs HTTP-cached and emit BENCH records."""
+    sweep = flux_architecture_sweep()
+    n_scenarios = len(sweep.scenarios())
+    rows = []
+
+    start = time.perf_counter()
+    direct = Session().run_many(sweep, executor="process", workers=WORKERS)
+    direct_wall = time.perf_counter() - start
+    assert direct.n_failed == 0
+    rows.append(("direct", direct_wall, direct.provenance["counters"]["n_solves"]))
+
+    service = CampaignService(
+        tmp_path / "srv", executor="process", workers=WORKERS
+    )
+    server = CampaignServer(service).start_in_thread()
+    try:
+        client = ServiceClient(server.url)
+        sweep_doc = sweep.to_dict()
+
+        start = time.perf_counter()
+        job = client.submit_sweep(sweep_doc)
+        cold = client.wait(job["job_id"], timeout=1800, poll_s=0.05)
+        cold_wall = time.perf_counter() - start
+        assert cold["state"] == "done"
+        assert cold["n_ok"] == n_scenarios
+        rows.append(("http_cold", cold_wall, cold["summary"]["counters"]["n_solves"]))
+
+        start = time.perf_counter()
+        forced = client.submit_sweep(sweep_doc, fresh=True)
+        cached = client.wait(forced["job_id"], timeout=300, poll_s=0.02)
+        cached_wall = time.perf_counter() - start
+        assert cached["state"] == "done"
+        assert cached["summary"]["n_from_cache"] == n_scenarios
+        assert cached["summary"]["counters"]["n_solves"] == 0
+        rows.append(("http_cached", cached_wall, 0))
+    finally:
+        server.stop()
+
+    for path, wall, n_solves in rows:
+        emit_bench(
+            {
+                "benchmark": "serve_throughput",
+                "smoke": SMOKE,
+                "path": path,
+                "workers": WORKERS,
+                "n_scenarios": n_scenarios,
+                "grid": [GRID.n_grid_points, GRID.n_lanes],
+                "wall_s": wall,
+                "jobs_per_s": 1.0 / wall if wall else float("inf"),
+                "scenarios_per_s": n_scenarios / wall if wall else float("inf"),
+                "n_solves": n_solves,
+                "cache_hit_latency_s": (
+                    wall / n_scenarios if path == "http_cached" else None
+                ),
+            }
+        )
+    print()
+    print(f"serve throughput ({n_scenarios} scenarios, {WORKERS} workers)")
+    for path, wall, n_solves in rows:
+        print(
+            f"  {path:12s} {wall * 1e3:9.1f} ms "
+            f"({n_scenarios / wall:.1f} scenarios/s, {n_solves} solves)"
+        )

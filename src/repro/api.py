@@ -696,6 +696,7 @@ class Session:
         workers: int = 1,
         solver: Optional[str] = None,
         out=None,
+        cache=None,
         action: str = "run",
         progress: Optional[Callable[[Dict[str, object]], None]] = None,
     ):
@@ -718,6 +719,15 @@ class Session:
             :class:`~repro.campaign.CampaignStore`.  Completed records
             stream into it; on re-runs, scenarios whose ``spec_hash`` is
             already stored with ``status == "ok"`` are *not* recomputed.
+        cache:
+            Optional shared result cache: a
+            :class:`~repro.serve.cache.ResultCache` or a directory path.
+            Unlike ``out`` (which is scoped to one campaign), the cache
+            is content-addressed and shared across campaigns, sessions
+            and processes: every task is looked up by its resume key
+            before any solve, hits are replayed with zero counters
+            (``source == "cache"``), and fresh ok records (plus
+            store-resumed records not yet cached) are written back.
         action:
             ``"run"`` (simulate) or ``"optimize"`` (Sec. IV design flow).
         progress:
@@ -730,7 +740,12 @@ class Session:
         """
         from .campaign import CampaignResult, CampaignStore
         from .exec import get_executor
-        from .exec.base import CampaignTask, make_tasks, session_counters
+        from .exec.base import (
+            COUNTER_KEYS,
+            CampaignTask,
+            make_tasks,
+            session_counters,
+        )
         from .sweeps import resolve_campaign
 
         # The session-wide simulator override must be visible to the tasks
@@ -753,29 +768,58 @@ class Session:
             store = out
         else:
             store = CampaignStore(out)
+        if store is not None and store.closed:
+            # Caller-provided stores come back closed from a previous
+            # run_many (the finally below); resuming with the same object
+            # is legitimate, so reopen rather than raise.
+            store.reopen()
+        if cache is not None and not hasattr(cache, "get"):
+            from .serve.cache import ResultCache
+
+            cache = ResultCache(cache)
         stored = store.load() if store is not None else {}
-        records: List[Optional[Dict[str, object]]] = [None] * len(tasks)
-        pending: List[CampaignTask] = []
-        for task in tasks:
-            previous = stored.get(task.key())
-            if previous is not None and previous.get("status") == "ok":
-                resumed = dict(previous)
-                resumed["index"] = task.index
-                resumed["source"] = "store"
-                records[task.index] = resumed
-            else:
-                pending.append(task)
         if isinstance(executor, str):
             executor_obj = get_executor(executor, workers=workers)
         else:
             executor_obj = executor
-        counters_before = session_counters(self)
+        records: List[Optional[Dict[str, object]]] = [None] * len(tasks)
+        pending: List[CampaignTask] = []
         start = time.perf_counter()
         try:
+            for task in tasks:
+                previous = stored.get(task.key())
+                if previous is not None and previous.get("status") == "ok":
+                    resumed = dict(previous)
+                    resumed["index"] = task.index
+                    resumed["source"] = "store"
+                    records[task.index] = resumed
+                    if cache is not None and task.key() not in cache:
+                        cache.put(task.key(), resumed)
+                    continue
+                cached = cache.get(task.key()) if cache is not None else None
+                if cached is not None and cached.get("status") == "ok":
+                    # A shared-cache hit: replay the content fields and
+                    # zero the activity ones -- nothing was solved here.
+                    record = dict(cached)
+                    record["index"] = task.index
+                    record["executor"] = executor_obj.name
+                    record["counters"] = {key: 0 for key in COUNTER_KEYS}
+                    record["wall_time_s"] = 0.0
+                    if store is not None:
+                        store.append(record)
+                    record["source"] = "cache"
+                    records[task.index] = record
+                    if progress is not None:
+                        progress(record)
+                    continue
+                pending.append(task)
+            counters_before = session_counters(self)
             for record in executor_obj.execute(pending, session=self):
                 record["executor"] = executor_obj.name
                 if store is not None:
                     store.append(record)
+                if cache is not None and record.get("status") == "ok":
+                    cache.put(record["spec_hash"], record)
                 record["source"] = "run"
                 records[record["index"]] = record
                 if progress is not None:
@@ -818,6 +862,9 @@ class Session:
             wall_time_s=wall_time,
             n_from_store=sum(
                 1 for r in records if r is not None and r.get("source") == "store"
+            ),
+            n_from_cache=sum(
+                1 for r in records if r is not None and r.get("source") == "cache"
             ),
             store_path=store.path if store is not None else None,
             provenance={

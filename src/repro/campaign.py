@@ -14,6 +14,15 @@ A torn final line (the process died mid-write) is tolerated and dropped;
 any other malformed line raises, because silently skipping a *complete*
 line would silently recompute -- or worse, double-report -- a scenario.
 
+Million-scenario campaigns do not fit one append-only file comfortably:
+every resume re-reads the whole history and every append contends on one
+handle.  A store can therefore be **sharded** by spec-hash prefix: records
+land in ``<path>.d/<xx>.jsonl`` (``xx`` = the first two hex digits of the
+record's ``spec_hash``, 256 shards).  :meth:`load` always reads the legacy
+single file *and* any shard directory, so old stores keep working and a
+single-file store can be migrated by simply re-running the campaign with
+``sharded=True``.  Torn-tail healing applies per physical file.
+
 :class:`CampaignResult` is what :meth:`Session.run_many` returns: the
 records in sweep order plus campaign-level provenance (executor, worker
 count, wall time, and the solve/cache counters aggregated across workers).
@@ -21,6 +30,7 @@ count, wall time, and the solve/cache counters aggregated across workers).
 
 from __future__ import annotations
 
+import glob
 import json
 import os
 from dataclasses import dataclass, field
@@ -39,27 +49,55 @@ class CampaignStore:
     path:
         The JSONL file; created on first :meth:`append`, loaded (if it
         exists) by :meth:`load`.
+    sharded:
+        ``True`` appends into per-prefix shard files under ``<path>.d/``
+        instead of the single file; ``False`` forces the legacy single
+        file; ``None`` (default) auto-detects -- a store whose shard
+        directory already exists keeps sharding, anything else stays a
+        single file.  Reads always cover both layouts.
     """
 
-    def __init__(self, path: Union[str, os.PathLike]) -> None:
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        sharded: Optional[bool] = None,
+    ) -> None:
         self.path = os.fspath(path)
-        self._handle = None
+        self.shard_dir = self.path + ".d"
+        self._sharded = sharded
+        self._handles: Dict[str, object] = {}
+        self._closed = False
         self.n_dropped_torn = 0
+
+    @property
+    def is_sharded(self) -> bool:
+        """Whether appends go to shard files (explicit or auto-detected)."""
+        if self._sharded is not None:
+            return self._sharded
+        return os.path.isdir(self.shard_dir)
+
+    @property
+    def closed(self) -> bool:
+        """True after :meth:`close`; appends raise until :meth:`reopen`."""
+        return self._closed
+
+    def shard_paths(self) -> List[str]:
+        """The existing shard files, sorted by prefix."""
+        return sorted(glob.glob(os.path.join(self.shard_dir, "??.jsonl")))
 
     # -- reading -----------------------------------------------------------
 
-    def load(self) -> Dict[str, Dict[str, object]]:
-        """Stored records keyed by ``spec_hash`` (later records win).
+    def _read_file(
+        self, path: str, records: Dict[str, Dict[str, object]]
+    ) -> None:
+        """Fold one physical JSONL file into ``records`` (later wins).
 
         A malformed *final* line is treated as a torn write from an
-        interrupted campaign and dropped (counted in
-        ``n_dropped_torn``); malformed interior lines raise ``ValueError``
-        -- the file is not a campaign store.
+        interrupted campaign and dropped (counted in ``n_dropped_torn``);
+        malformed interior lines raise ``ValueError`` -- the file is not a
+        campaign store.
         """
-        records: Dict[str, Dict[str, object]] = {}
-        if not os.path.exists(self.path):
-            return records
-        with open(self.path, "r", encoding="utf-8") as handle:
+        with open(path, "r", encoding="utf-8") as handle:
             lines = handle.read().splitlines()
         for number, line in enumerate(lines, start=1):
             if not line.strip():
@@ -71,21 +109,34 @@ class CampaignStore:
                     self.n_dropped_torn += 1
                     continue
                 raise ValueError(
-                    f"{self.path}:{number}: malformed campaign record "
+                    f"{path}:{number}: malformed campaign record "
                     "(not JSON); is this really a campaign JSONL file?"
                 ) from None
             if not isinstance(record, dict) or "spec_hash" not in record:
                 raise ValueError(
-                    f"{self.path}:{number}: campaign records must be JSON "
+                    f"{path}:{number}: campaign records must be JSON "
                     "objects with a 'spec_hash' key"
                 )
             records[record["spec_hash"]] = record
+
+    def load(self) -> Dict[str, Dict[str, object]]:
+        """Stored records keyed by ``spec_hash`` (later records win).
+
+        Reads the legacy single file first and any shard files second, so
+        a store migrated to shards prefers the sharded records; each
+        physical file gets its own torn-final-line tolerance.
+        """
+        records: Dict[str, Dict[str, object]] = {}
+        if os.path.exists(self.path):
+            self._read_file(self.path, records)
+        for shard in self.shard_paths():
+            self._read_file(shard, records)
         return records
 
     # -- writing -----------------------------------------------------------
 
-    def _prepare_append(self) -> None:
-        """Heal an interrupted store before appending to it.
+    def _prepare_append(self, path: str) -> None:
+        """Heal an interrupted file before appending to it.
 
         A campaign killed mid-write leaves a torn, newline-less final
         line.  Appending straight after it would glue the next record
@@ -95,7 +146,7 @@ class CampaignStore:
         record that merely lacks its newline, which is completed instead.
         """
         try:
-            with open(self.path, "rb") as handle:
+            with open(path, "rb") as handle:
                 data = handle.read()
         except FileNotFoundError:
             return
@@ -107,7 +158,7 @@ class CampaignStore:
             heal = True
         except (UnicodeDecodeError, json.JSONDecodeError):
             heal = False
-        with open(self.path, "r+b") as handle:
+        with open(path, "r+b") as handle:
             if heal:
                 handle.seek(0, os.SEEK_END)
                 handle.write(b"\n")
@@ -115,24 +166,49 @@ class CampaignStore:
                 handle.truncate(len(data) - len(tail))
                 self.n_dropped_torn += 1
 
+    def _target_path(self, spec_hash: str) -> str:
+        """The physical file a record belongs to (shard or legacy)."""
+        if not self.is_sharded:
+            return self.path
+        prefix = str(spec_hash)[:2].lower()
+        if len(prefix) < 2 or any(c not in "0123456789abcdef" for c in prefix):
+            # Records with non-hash keys (hand-written stores) fall into a
+            # dedicated overflow shard instead of being rejected.
+            prefix = "xx"
+        return os.path.join(self.shard_dir, f"{prefix}.jsonl")
+
     def append(self, record: Dict[str, object]) -> None:
         """Append one record and flush, so interrupts lose at most one line."""
         if "spec_hash" not in record:
             raise ValueError("campaign records must carry a 'spec_hash' key")
-        if self._handle is None:
-            directory = os.path.dirname(self.path)
+        if self._closed:
+            raise ValueError(
+                f"campaign store {self.path!r} is closed; call reopen() (or "
+                "build a new CampaignStore) before appending more records"
+            )
+        target = self._target_path(str(record["spec_hash"]))
+        handle = self._handles.get(target)
+        if handle is None:
+            directory = os.path.dirname(target)
             if directory:
                 os.makedirs(directory, exist_ok=True)
-            self._prepare_append()
-            self._handle = open(self.path, "a", encoding="utf-8")
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
-        self._handle.flush()
+            self._prepare_append(target)
+            handle = open(target, "a", encoding="utf-8")
+            self._handles[target] = handle
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+        handle.flush()
 
     def close(self) -> None:
-        """Close the append handle (reopened automatically if needed)."""
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        """Close every append handle and mark the store closed (idempotent)."""
+        for handle in self._handles.values():
+            handle.close()
+        self._handles.clear()
+        self._closed = True
+
+    def reopen(self) -> "CampaignStore":
+        """Make a closed store appendable again (handles reopen lazily)."""
+        self._closed = False
+        return self
 
     def __enter__(self) -> "CampaignStore":
         return self
@@ -141,7 +217,8 @@ class CampaignStore:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"<CampaignStore {self.path!r}>"
+        layout = "sharded" if self.is_sharded else "single-file"
+        return f"<CampaignStore {self.path!r} ({layout})>"
 
 
 def _sum_counters(records: Sequence[Dict[str, object]]) -> Dict[str, object]:
@@ -242,6 +319,9 @@ class CampaignResult:
         End-to-end campaign wall time (fresh work only).
     n_from_store:
         How many scenarios were served from the campaign store.
+    n_from_cache:
+        How many scenarios were served from a shared result cache
+        (see :class:`repro.serve.cache.ResultCache`) without solving.
     store_path:
         The JSONL file records were streamed to, if any.
     provenance:
@@ -256,6 +336,7 @@ class CampaignResult:
     records: List[Dict[str, object]]
     wall_time_s: float
     n_from_store: int = 0
+    n_from_cache: int = 0
     store_path: Optional[str] = None
     provenance: Dict[str, object] = field(default_factory=dict)
 
@@ -306,6 +387,7 @@ class CampaignResult:
                 "workers": self.workers,
                 "wall_time_s": self.wall_time_s,
                 "n_from_store": self.n_from_store,
+                "n_from_cache": self.n_from_cache,
                 "store_path": self.store_path,
                 "counters": self.provenance.get("counters", summary["counters"]),
             }
@@ -320,6 +402,7 @@ class CampaignResult:
             "workers": self.workers,
             "wall_time_s": self.wall_time_s,
             "n_from_store": self.n_from_store,
+            "n_from_cache": self.n_from_cache,
             "store_path": self.store_path,
             "summary": self.summary(),
             "provenance": self.provenance,

@@ -17,10 +17,15 @@ with ``--json`` / ``--output``, so runs can be scripted and diffed:
     repro sweep sweep.json --executor process --workers 4 \
         --out campaign.jsonl                 # run a whole scenario family
     repro campaign summarize campaign.jsonl  # roll up a stored campaign
+    repro serve --data-dir ./serve-data --port 8080   # campaign service
+    repro submit sweep.json --url http://127.0.0.1:8080 --wait
+    repro jobs --url http://127.0.0.1:8080   # list service jobs
 
 Campaigns stream one JSONL record per completed scenario into ``--out``;
 re-running the same sweep with the same ``--out`` file *resumes* -- stored
-scenarios are skipped by spec hash instead of recomputed.
+scenarios are skipped by spec hash instead of recomputed.  ``repro serve``
+puts the same campaigns behind a durable HTTP service (see
+:mod:`repro.serve`); ``submit``/``jobs`` are its thin clients.
 
 The console script is installed by the package (``pyproject.toml``); the
 module also runs as ``python -m repro.cli``.
@@ -424,6 +429,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         solver=args.solver,
         out=args.out,
+        cache=args.cache,
         action=action,
         progress=report if not args.quiet else None,
     )
@@ -436,6 +442,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             f"{campaign.name}: {summary['n_ok']}/{summary['n_records']} ok "
             f"via {campaign.executor} ({campaign.workers} worker(s)), "
             f"{campaign.n_from_store} from store, "
+            f"{campaign.n_from_cache} from cache, "
             f"wall {campaign.wall_time_s:.3g} s"
         )
         counters = summary["counters"]
@@ -458,14 +465,19 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     summary = summarize_records(records)
     summary["store_path"] = store.path
     summary["n_dropped_torn"] = store.n_dropped_torn
+    summary["sharded"] = store.is_sharded
+    summary["n_shards"] = len(store.shard_paths())
     if args.json or args.output:
         _emit(summary, args)
     else:
+        layout = (
+            f", {summary['n_shards']} shard(s)" if summary["sharded"] else ""
+        )
         print(
             f"{store.path}: {summary['n_ok']}/{summary['n_records']} ok, "
             f"{summary['n_failed']} failed, task wall "
             f"{summary['task_wall_time_s']:.3g} s, "
-            f"{len(summary['workers_seen'])} worker(s)"
+            f"{len(summary['workers_seen'])} worker(s){layout}"
         )
         counters = summary["counters"]
         qualifier = (
@@ -485,6 +497,125 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             )
         for failure in summary["failures"]:
             print(f"  FAILED {failure['scenario']}: {failure['error']}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve`` -- run the campaign service HTTP front door."""
+    from .serve import CampaignServer, CampaignService
+
+    service = CampaignService(
+        args.data_dir,
+        executor=args.executor,
+        workers=args.workers,
+        pool_size=args.pool_size,
+    )
+    server = CampaignServer(service, host=args.host, port=args.port)
+    server.start_in_thread()
+    print(
+        f"repro serve listening on {server.url} "
+        f"(data dir {service.data_dir}, executor {service.executor} "
+        f"x{service.workers}, {args.pool_size} job worker(s))",
+        file=sys.stderr,
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.stop()
+    return 0
+
+
+def _campaign_payload(argument: str) -> object:
+    """A CLI campaign argument as the JSON value a submission carries.
+
+    Files are sent as their parsed JSON (sweep or scenario mapping);
+    anything else is sent verbatim as a registered scenario name -- the
+    server validates eagerly, so typos come back as HTTP 400s.
+    """
+    import os
+
+    if os.path.exists(argument):
+        with open(argument, "r", encoding="utf-8") as handle:
+            try:
+                return json.load(handle)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{argument}: not valid JSON ({error})") from None
+    return argument
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """``repro submit`` -- queue a campaign on a running service."""
+    from .serve import ServiceClient
+
+    client = ServiceClient(args.url)
+    payload = _campaign_payload(args.campaign)
+    if args.optimize:
+        job = client.submit_optimize(payload, fresh=args.fresh)
+    elif isinstance(payload, dict) and is_sweep_mapping(payload):
+        job = client.submit_sweep(payload, fresh=args.fresh)
+    else:
+        job = client.submit_run(payload, solver=args.solver, fresh=args.fresh)
+    if args.wait:
+        job = client.wait(job["job_id"], timeout=args.timeout)
+    if args.json or args.output:
+        _emit(job, args)
+    else:
+        dedup = " (deduplicated: already queued)" if job.get("resubmitted") else ""
+        print(
+            f"job {job['job_id']}: {job['state']} "
+            f"({job['kind']}, {job['n_total']} scenario(s)){dedup}"
+        )
+        if job.get("error"):
+            print(f"  error: {job['error']}")
+        summary = job.get("summary")
+        if summary:
+            print(
+                f"  {summary['n_ok']}/{summary['n_records']} ok, "
+                f"{summary['n_from_store']} from store, "
+                f"{summary['n_from_cache']} from cache, "
+                f"wall {summary['wall_time_s']:.3g} s"
+            )
+    return 0 if job["state"] in ("submitted", "running", "done") else 1
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    """``repro jobs`` -- inspect a running service's queue."""
+    from .serve import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.job_id and args.records:
+        records = client.records(args.job_id)
+        for record in records:
+            print(json.dumps(record, sort_keys=True))
+        return 0
+    if args.job_id:
+        detail = client.job(args.job_id)
+        if args.json or args.output:
+            _emit(detail, args)
+        else:
+            print(
+                f"job {detail['job_id']}: {detail['state']} "
+                f"({detail['kind']}, {detail['n_ok']}/{detail['n_total']} ok)"
+            )
+            if detail.get("error"):
+                print(f"  error: {detail['error']}")
+        return 0
+    jobs = client.jobs()
+    if args.json or args.output:
+        _emit({"jobs": jobs}, args)
+        return 0
+    if not jobs:
+        print("no jobs")
+        return 0
+    for job in jobs:
+        done = job.get("progress", {}).get("n_done", "?")
+        print(
+            f"{job['job_id']}  {job['state']:9s} {job['kind']:8s} "
+            f"{done}/{job['n_total']}"
+        )
     return 0
 
 
@@ -628,6 +759,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sweep_parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help=(
+            "shared result-cache directory (content-addressed by spec "
+            "hash); hits are replayed without solving, across campaigns "
+            "and processes"
+        ),
+    )
+    sweep_parser.add_argument(
         "--optimize",
         action="store_true",
         help="run the Sec. IV design flow on every scenario instead of simulating",
@@ -655,6 +796,108 @@ def build_parser() -> argparse.ArgumentParser:
     summarize_parser.add_argument("file", help="campaign JSONL file")
     _add_output_arguments(summarize_parser)
     summarize_parser.set_defaults(func=cmd_campaign)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the campaign service (durable queue + HTTP API)"
+    )
+    serve_parser.add_argument(
+        "--data-dir",
+        default="serve-data",
+        help=(
+            "service state directory: job journal, shared result cache and "
+            "per-job sharded campaign stores (default: ./serve-data)"
+        ),
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="TCP port (0 picks an ephemeral port; default: 8080)",
+    )
+    serve_parser.add_argument(
+        "--executor",
+        default="process",
+        help=(
+            "campaign executor jobs run under: one of "
+            + "/".join(available_executors())
+            + " or a custom registered name (default: process)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=2, help="executor workers per job"
+    )
+    serve_parser.add_argument(
+        "--pool-size", type=int, default=1, help="jobs run concurrently"
+    )
+    serve_parser.set_defaults(func=cmd_serve)
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="queue a campaign on a running 'repro serve' instance"
+    )
+    submit_parser.add_argument(
+        "campaign",
+        help=(
+            "sweep JSON file (base + axes), scenario JSON file, or "
+            "registered scenario name"
+        ),
+    )
+    submit_parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:8080",
+        help="service URL (default: http://127.0.0.1:8080)",
+    )
+    submit_parser.add_argument(
+        "--solver",
+        choices=("fdm", "ice"),
+        default=None,
+        help="simulator family override (single-scenario submissions)",
+    )
+    submit_parser.add_argument(
+        "--optimize",
+        action="store_true",
+        help="run the Sec. IV design flow instead of simulating",
+    )
+    submit_parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help=(
+            "force a new job even if an identical one exists (typically "
+            "served from the shared result cache without solving)"
+        ),
+    )
+    submit_parser.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until the job finishes and report its summary",
+    )
+    submit_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="--wait timeout in seconds (default: 600)",
+    )
+    _add_output_arguments(submit_parser)
+    submit_parser.set_defaults(func=cmd_submit)
+
+    jobs_parser = subparsers.add_parser(
+        "jobs", help="inspect the jobs of a running 'repro serve' instance"
+    )
+    jobs_parser.add_argument(
+        "job_id", nargs="?", default=None, help="job id (default: list all)"
+    )
+    jobs_parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:8080",
+        help="service URL (default: http://127.0.0.1:8080)",
+    )
+    jobs_parser.add_argument(
+        "--records",
+        action="store_true",
+        help="dump the job's stored records as NDJSON (requires a job id)",
+    )
+    _add_output_arguments(jobs_parser)
+    jobs_parser.set_defaults(func=cmd_jobs)
 
     bench_parser = subparsers.add_parser(
         "bench", help="repeated runs: wall times and cache statistics"

@@ -49,6 +49,7 @@ __all__ = [
     "available_executors",
     "get_executor",
     "register_executor",
+    "unregister_executor",
     "execute_task",
     "make_tasks",
 ]
@@ -82,6 +83,21 @@ def register_executor(
             "pass overwrite=True to replace it"
         )
     _EXECUTORS[name] = factory
+
+
+def unregister_executor(name: str) -> None:
+    """Remove a registered executor (ValueError when unknown).
+
+    The built-in executors cannot be removed -- campaigns and the serve
+    layer assume ``serial``/``thread``/``process`` always resolve.
+    """
+    if name in ("serial", "thread", "process"):
+        raise ValueError(f"the built-in executor {name!r} cannot be unregistered")
+    if name not in _EXECUTORS:
+        raise ValueError(
+            f"unknown executor {name!r}; available: {available_executors()}"
+        )
+    del _EXECUTORS[name]
 
 
 def _resolve_factory(name: str) -> Callable[..., Executor]:

@@ -1,0 +1,41 @@
+"""``repro.serve`` -- the long-running campaign service.
+
+The batch campaign layer (``repro.exec`` + ``repro.campaign``) turned
+scenario specs into frozen, hashable, JSON-round-trippable work units;
+this package puts a service in front of them:
+
+- :class:`JobQueue` (``queue.py``): durable JSONL job journal with
+  crash-safe replay and content-hash idempotent resubmission.
+- :class:`ResultCache` (``cache.py``): content-addressed shared result
+  cache consulted before any solve.
+- :class:`WorkerSupervisor` (``workers.py``): worker pool draining the
+  queue through the registered campaign executors.
+- :class:`CampaignService` (``service.py``): the transport-free core
+  tying queue + cache + workers + sharded per-job campaign stores to one
+  data directory.
+- :class:`CampaignServer` (``server.py``): the asyncio HTTP/1.1 front
+  door (``repro serve``).
+- :class:`ServiceClient` (``client.py``): the stdlib HTTP client used by
+  ``repro submit`` / ``repro jobs`` and the tests.
+"""
+
+from .cache import ResultCache, cacheable_record
+from .client import ServiceClient, ServiceError
+from .queue import JOB_STATES, Job, JobQueue, job_hash
+from .server import CampaignServer
+from .service import CampaignService
+from .workers import WorkerSupervisor
+
+__all__ = [
+    "CampaignServer",
+    "CampaignService",
+    "Job",
+    "JobQueue",
+    "JOB_STATES",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceError",
+    "WorkerSupervisor",
+    "cacheable_record",
+    "job_hash",
+]

@@ -1,0 +1,152 @@
+"""A content-addressed shared result cache: ``spec_hash -> result JSON``.
+
+The campaign store answers "did *this campaign* already run this task?";
+the result cache answers the multi-tenant question -- "did *anyone* ever
+run this task?".  Keys are the campaign resume keys
+(:meth:`repro.exec.base.CampaignTask.key`): a sha256 over the full
+scenario spec plus the effective action and simulator family, so a hit is
+by construction the exact payload the solve would have produced.
+
+Entries are one JSON file each, fanned out over two directory levels by
+hash prefix (``<root>/<aa>/<bb>/<hash>.json``) so even million-entry
+caches keep directory listings small.  Writes are atomic (temp file +
+``os.replace``), which makes concurrent writers from different jobs,
+worker threads or processes safe: the worst case is the same content
+written twice.
+
+:meth:`repro.api.Session.run_many` consults a cache (when given one, see
+the ``cache`` argument) *before any solve*, which is how the serve layer
+guarantees identical queries from different clients never recompute.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, Iterator, Optional, Union
+
+__all__ = ["ResultCache"]
+
+#: Record fields a cache entry keeps.  Everything campaign-positional
+#: (index, source, executor, wall time, counters, worker pid) is stripped:
+#: a cached result is shared across campaigns, so only the content-derived
+#: fields may survive.
+_CACHED_FIELDS = ("spec_hash", "scenario", "action", "solver", "status", "result")
+
+
+def cacheable_record(record: Dict[str, object]) -> Dict[str, object]:
+    """The shareable subset of a campaign record (content fields only)."""
+    return {key: record[key] for key in _CACHED_FIELDS if key in record}
+
+
+class ResultCache:
+    """Content-addressed on-disk cache of ok campaign records.
+
+    Parameters
+    ----------
+    root:
+        Directory the entries live under (created lazily on first put).
+    """
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = os.fspath(root)
+        self.n_hits = 0
+        self.n_misses = 0
+        self.n_puts = 0
+
+    def _check_key(self, key: str) -> str:
+        if not isinstance(key, str) or len(key) < 8 or not all(
+            c in "0123456789abcdef" for c in key
+        ):
+            raise ValueError(
+                f"cache keys must be lowercase hex content hashes, got {key!r}"
+            )
+        return key
+
+    def path_for(self, key: str) -> str:
+        """The entry file of a key: ``<root>/<aa>/<bb>/<key>.json``."""
+        key = self._check_key(key)
+        return os.path.join(self.root, key[:2], key[2:4], f"{key}.json")
+
+    # -- access ------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The cached record for a key, or None (counted as hit/miss)."""
+        try:
+            with open(self.path_for(key), "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            self.n_misses += 1
+            return None
+        except json.JSONDecodeError:
+            # A torn entry (writer died between replace steps cannot
+            # happen, but a corrupted disk can): treat as a miss -- the
+            # solve re-runs and the put overwrites the bad entry.
+            self.n_misses += 1
+            return None
+        self.n_hits += 1
+        return entry
+
+    def put(self, key: str, record: Dict[str, object]) -> None:
+        """Store an ok record under its content key (atomic, idempotent).
+
+        Only successful records are cacheable -- errors must be retried,
+        not replayed to other clients.
+        """
+        if record.get("status") != "ok":
+            raise ValueError(
+                "only status='ok' records are cacheable, got "
+                f"{record.get('status')!r}"
+            )
+        path = self.path_for(key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        payload = json.dumps(cacheable_record(record), sort_keys=True)
+        descriptor, temp_path = tempfile.mkstemp(
+            prefix=".tmp-", suffix=".json", dir=directory
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except FileNotFoundError:
+                pass
+            raise
+        self.n_puts += 1
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self.path_for(key))
+
+    def keys(self) -> Iterator[str]:
+        """Every cached key (walks the fan-out directories)."""
+        if not os.path.isdir(self.root):
+            return
+        for level_one in sorted(os.listdir(self.root)):
+            first = os.path.join(self.root, level_one)
+            if not os.path.isdir(first):
+                continue
+            for level_two in sorted(os.listdir(first)):
+                second = os.path.join(first, level_two)
+                if not os.path.isdir(second):
+                    continue
+                for name in sorted(os.listdir(second)):
+                    if name.endswith(".json") and not name.startswith("."):
+                        yield name[: -len(".json")]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/put counters of this cache handle (not of the disk)."""
+        return {
+            "n_hits": self.n_hits,
+            "n_misses": self.n_misses,
+            "n_puts": self.n_puts,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<ResultCache {self.root!r}>"

@@ -1,0 +1,161 @@
+"""A small HTTP client for the campaign service (stdlib ``http.client``).
+
+Used by the ``repro submit`` / ``repro jobs`` CLI commands and by the
+end-to-end tests, so the service is always exercised through real HTTP
+rather than in-process shortcuts.  Errors come back as
+:class:`ServiceError` carrying the HTTP status and the server's
+``{"error": ...}`` message.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(ValueError):
+    """An HTTP error from the service (carries ``status`` and message)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Talk to a :class:`~repro.serve.server.CampaignServer` at a URL."""
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        if parts.scheme not in ("", "http"):
+            raise ValueError(
+                f"only http:// service URLs are supported, got {url!r}"
+            )
+        if not parts.hostname:
+            raise ValueError(f"service URL has no host: {url!r}")
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.timeout = timeout
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, object]] = None,
+    ) -> Tuple[int, str, bytes]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+            content_type = response.getheader("Content-Type", "")
+            return response.status, content_type, data
+        finally:
+            connection.close()
+
+    def _json(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        status, _content_type, data = self._request(method, path, payload)
+        try:
+            document = json.loads(data.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            document = {"error": data.decode("utf-8", "replace").strip()}
+        if status >= 400:
+            raise ServiceError(status, str(document.get("error", "unknown")))
+        return document
+
+    # -- reads -------------------------------------------------------------
+
+    def healthz(self) -> Dict[str, object]:
+        return self._json("GET", "/v1/healthz")
+
+    def scenarios(self) -> List[Dict[str, object]]:
+        return self._json("GET", "/v1/scenarios")["scenarios"]
+
+    def jobs(self) -> List[Dict[str, object]]:
+        return self._json("GET", "/v1/jobs")["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def records(self, job_id: str) -> List[Dict[str, object]]:
+        """The job's stored records (parses the NDJSON stream)."""
+        status, _content_type, data = self._request(
+            "GET", f"/v1/jobs/{job_id}/records"
+        )
+        if status >= 400:
+            try:
+                message = json.loads(data.decode("utf-8")).get("error", "")
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                message = data.decode("utf-8", "replace").strip()
+            raise ServiceError(status, str(message))
+        return [
+            json.loads(line)
+            for line in data.decode("utf-8").splitlines()
+            if line.strip()
+        ]
+
+    # -- submissions -------------------------------------------------------
+
+    def submit_run(
+        self,
+        scenario: object,
+        solver: Optional[str] = None,
+        fresh: bool = False,
+    ) -> Dict[str, object]:
+        payload: Dict[str, object] = {"scenario": scenario, "fresh": fresh}
+        if solver is not None:
+            payload["solver"] = solver
+        return self._json("POST", "/v1/run", payload)
+
+    def submit_sweep(
+        self, sweep: object, fresh: bool = False
+    ) -> Dict[str, object]:
+        return self._json("POST", "/v1/sweep", {"sweep": sweep, "fresh": fresh})
+
+    def submit_optimize(
+        self, campaign: object, fresh: bool = False
+    ) -> Dict[str, object]:
+        return self._json(
+            "POST", "/v1/optimize", {"scenario": campaign, "fresh": fresh}
+        )
+
+    # -- polling -----------------------------------------------------------
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 120.0,
+        poll_s: float = 0.1,
+    ) -> Dict[str, object]:
+        """Poll a job until it is done/failed; returns the final detail."""
+        deadline = time.monotonic() + timeout
+        while True:
+            detail = self.job(job_id)
+            if detail["state"] in ("done", "failed"):
+                return detail
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {detail['state']!r} after {timeout}s"
+                )
+            time.sleep(poll_s)

@@ -1,0 +1,88 @@
+"""The worker-pool supervisor that drains the durable job queue.
+
+A :class:`WorkerSupervisor` owns ``pool_size`` daemon threads, each
+looping claim → run → mark done/failed against one
+:class:`~repro.serve.service.CampaignService`.  Parallelism *within* a
+job comes from the campaign executor the service was configured with
+(``process`` scales past the GIL); the pool size only controls how many
+jobs are in flight at once, so a single supervisor thread is the right
+default for a small box.
+
+Job failures are contained: an exception from ``run_job`` marks that job
+failed (with the exception text in the journal) and the worker moves on.
+Only claim/mark bookkeeping errors stop a worker, and those are logged
+to stderr rather than silently swallowed.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import traceback
+from typing import List
+
+__all__ = ["WorkerSupervisor"]
+
+
+class WorkerSupervisor:
+    """Drains ``service.queue`` through ``service.run_job`` on threads."""
+
+    #: Seconds a worker blocks in ``claim`` before re-checking shutdown.
+    CLAIM_TIMEOUT_S = 0.25
+
+    def __init__(self, service, pool_size: int = 1) -> None:
+        if pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        self.service = service
+        self.pool_size = int(pool_size)
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+
+    @property
+    def running(self) -> bool:
+        return any(thread.is_alive() for thread in self._threads)
+
+    def start(self) -> "WorkerSupervisor":
+        """Start the pool (idempotent while running)."""
+        if self.running:
+            return self
+        self._stop.clear()
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-serve-worker-{index}",
+                daemon=True,
+            )
+            for index in range(self.pool_size)
+        ]
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def stop(self, join: bool = True) -> None:
+        """Signal the pool to stop; with ``join``, wait for in-flight jobs."""
+        self._stop.set()
+        self.service.queue.notify_all()
+        if join:
+            for thread in self._threads:
+                thread.join()
+        self._threads = []
+
+    def _worker_loop(self) -> None:
+        queue = self.service.queue
+        while not self._stop.is_set():
+            try:
+                job = queue.claim(timeout=self.CLAIM_TIMEOUT_S)
+            except Exception:  # journal trouble: stop this worker loudly
+                traceback.print_exc(file=sys.stderr)
+                return
+            if job is None:
+                continue
+            try:
+                summary = self.service.run_job(job)
+            except Exception as error:
+                queue.mark_failed(
+                    job.job_id, f"{type(error).__name__}: {error}"
+                )
+            else:
+                queue.mark_done(job.job_id, summary)

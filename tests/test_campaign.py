@@ -608,3 +608,196 @@ class TestStoreRobustness:
         assert cli_main(["campaign", "summarize", str(out)]) == 2
         err = capsys.readouterr().err
         assert "malformed" in err and ":1:" in err
+
+class TestShardedStore:
+    """Tentpole coverage: spec-hash-prefix sharding of the campaign store."""
+
+    def test_appends_land_in_prefix_shards(self, tmp_path):
+        store = CampaignStore(tmp_path / "c.jsonl", sharded=True)
+        with store:
+            store.append({"spec_hash": "ab" * 32, "status": "ok"})
+            store.append({"spec_hash": "cd" * 32, "status": "ok"})
+            store.append({"spec_hash": "abff" + "0" * 60, "status": "ok"})
+        shards = store.shard_paths()
+        assert [s.rsplit("/", 1)[-1] for s in shards] == ["ab.jsonl", "cd.jsonl"]
+        assert not (tmp_path / "c.jsonl").exists()  # nothing in the legacy file
+        loaded = CampaignStore(tmp_path / "c.jsonl").load()  # auto-detected
+        assert len(loaded) == 3
+
+    def test_sharding_is_autodetected_from_the_shard_dir(self, tmp_path):
+        first = CampaignStore(tmp_path / "c.jsonl", sharded=True)
+        with first:
+            first.append({"spec_hash": "ab" * 32, "status": "ok"})
+        second = CampaignStore(tmp_path / "c.jsonl")  # no explicit flag
+        assert second.is_sharded
+        with second:
+            second.append({"spec_hash": "cd" * 32, "status": "ok"})
+        assert len(second.shard_paths()) == 2
+
+    def test_legacy_single_file_and_shards_merge_on_load(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        legacy = CampaignStore(path, sharded=False)
+        with legacy:
+            legacy.append({"spec_hash": "ab" * 32, "status": "error", "n": 1})
+            legacy.append({"spec_hash": "cd" * 32, "status": "ok", "n": 1})
+        sharded = CampaignStore(path, sharded=True)
+        with sharded:
+            sharded.append({"spec_hash": "ab" * 32, "status": "ok", "n": 2})
+        loaded = CampaignStore(path).load()
+        assert len(loaded) == 2
+        assert loaded["ab" * 32]["n"] == 2  # shard records win over legacy
+        assert loaded["cd" * 32]["n"] == 1  # legacy-only records survive
+
+    def test_non_hex_keys_fall_into_the_overflow_shard(self, tmp_path):
+        store = CampaignStore(tmp_path / "c.jsonl", sharded=True)
+        with store:
+            store.append({"spec_hash": "Z!" + "0" * 62, "status": "ok"})
+        assert (tmp_path / "c.jsonl.d" / "xx.jsonl").exists()
+        assert len(CampaignStore(tmp_path / "c.jsonl").load()) == 1
+
+    def test_torn_tail_is_per_shard(self, tmp_path):
+        store = CampaignStore(tmp_path / "c.jsonl", sharded=True)
+        with store:
+            store.append({"spec_hash": "ab" * 32, "status": "ok"})
+            store.append({"spec_hash": "cd" * 32, "status": "ok"})
+        shard = tmp_path / "c.jsonl.d" / "ab.jsonl"
+        shard.write_text(shard.read_text() + '{"torn')
+        reloaded = CampaignStore(tmp_path / "c.jsonl")
+        assert len(reloaded.load()) == 2
+        assert reloaded.n_dropped_torn == 1
+
+    def test_run_many_resumes_transparently_over_shards(
+        self, small_sweep, tmp_path
+    ):
+        out = CampaignStore(tmp_path / "campaign.jsonl", sharded=True)
+        first = Session().run_many(small_sweep, out=out)
+        assert first.n_ok == 4
+        assert len(out.shard_paths()) >= 1
+        resumed = Session().run_many(
+            small_sweep, out=CampaignStore(tmp_path / "campaign.jsonl")
+        )
+        assert resumed.n_from_store == 4
+        assert resumed.provenance["counters"]["n_solves"] == 0
+
+    def test_summarize_covers_shards(self, small_sweep, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        out = CampaignStore(tmp_path / "campaign.jsonl", sharded=True)
+        Session().run_many(small_sweep, out=out)
+        assert cli_main(
+            ["campaign", "summarize", str(tmp_path / "campaign.jsonl"), "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_records"] == 4
+        assert payload["sharded"] is True
+        assert payload["n_shards"] == len(out.shard_paths())
+
+
+class TestStoreCloseRegression:
+    """Satellite bugfix: append/close must be safe after close()."""
+
+    def test_close_is_idempotent(self, tmp_path):
+        store = CampaignStore(tmp_path / "c.jsonl")
+        store.append({"spec_hash": "a", "status": "ok"})
+        store.close()
+        store.close()  # second close must not raise
+        assert store.closed
+
+    def test_append_after_close_is_a_clear_error(self, tmp_path):
+        store = CampaignStore(tmp_path / "c.jsonl")
+        store.append({"spec_hash": "a", "status": "ok"})
+        store.close()
+        with pytest.raises(ValueError, match="closed.*reopen"):
+            store.append({"spec_hash": "b", "status": "ok"})
+        # The failed append must not have corrupted the file.
+        assert set(CampaignStore(store.path).load()) == {"a"}
+
+    def test_reopen_makes_the_store_appendable_again(self, tmp_path):
+        store = CampaignStore(tmp_path / "c.jsonl")
+        store.append({"spec_hash": "a", "status": "ok"})
+        store.close()
+        store.reopen()
+        store.append({"spec_hash": "b", "status": "ok"})
+        store.close()
+        assert set(CampaignStore(store.path).load()) == {"a", "b"}
+
+    def test_run_many_reuses_a_caller_provided_store_object(
+        self, small_sweep, tmp_path
+    ):
+        """run_many closes the store; passing the same object again must
+        resume, not raise append-after-close."""
+        store = CampaignStore(tmp_path / "campaign.jsonl")
+        Session().run_many(small_sweep, out=store)
+        assert store.closed
+        resumed = Session().run_many(small_sweep, out=store)
+        assert resumed.n_from_store == 4
+
+
+class TestRunManyResultCache:
+    """Tentpole integration: the shared result cache inside run_many."""
+
+    def test_second_campaign_is_served_from_cache(self, small_sweep, tmp_path):
+        cache_dir = tmp_path / "cache"
+        first = Session().run_many(small_sweep, cache=cache_dir)
+        assert first.n_from_cache == 0
+        assert first.provenance["counters"]["n_solves"] == 4
+        second = Session().run_many(small_sweep, cache=cache_dir)
+        assert second.n_from_cache == 4
+        assert second.provenance["counters"]["n_solves"] == 0
+        assert [r["source"] for r in second.records] == ["cache"] * 4
+        for a, b in zip(first.records, second.records):
+            assert a["result"] == b["result"]  # bit-identical replay
+            assert b["counters"] == {key: 0 for key in b["counters"]}
+
+    def test_cache_accepts_a_resultcache_instance(self, small_base, tmp_path):
+        from repro.serve.cache import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        Session().run_many([small_base], cache=cache)
+        assert cache.stats()["n_puts"] == 1
+        again = Session().run_many([small_base], cache=cache)
+        assert again.n_from_cache == 1
+        assert cache.stats()["n_hits"] == 1
+
+    def test_store_hits_backfill_the_cache(self, small_sweep, tmp_path):
+        out = tmp_path / "campaign.jsonl"
+        Session().run_many(small_sweep, out=out)  # no cache involved
+        from repro.serve.cache import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        resumed = Session().run_many(small_sweep, out=out, cache=cache)
+        assert resumed.n_from_store == 4
+        assert len(cache) == 4  # store records were promoted into the cache
+        fresh = Session().run_many(small_sweep, cache=cache)
+        assert fresh.n_from_cache == 4
+
+    def test_cache_hits_stream_into_the_store(self, small_sweep, tmp_path):
+        cache_dir = tmp_path / "cache"
+        Session().run_many(small_sweep, cache=cache_dir)
+        out = tmp_path / "campaign.jsonl"
+        cached = Session().run_many(small_sweep, out=out, cache=cache_dir)
+        assert cached.n_from_cache == 4
+        # The store now satisfies resume on its own (cache deleted).
+        import shutil
+
+        shutil.rmtree(cache_dir)
+        resumed = Session().run_many(small_sweep, out=out)
+        assert resumed.n_from_store == 4
+
+    def test_error_records_are_not_cached(self, small_base, tmp_path):
+        cache_dir = tmp_path / "cache"
+        failing = Session().run_many(
+            [small_base], solver="no-such", cache=cache_dir
+        )
+        assert failing.n_failed == 1
+        retried = Session().run_many([small_base], solver="no-such", cache=cache_dir)
+        assert retried.n_from_cache == 0  # errors must re-run, not replay
+
+    def test_progress_sees_cache_hits(self, small_sweep, tmp_path):
+        cache_dir = tmp_path / "cache"
+        Session().run_many(small_sweep, cache=cache_dir)
+        seen = []
+        Session().run_many(
+            small_sweep, cache=cache_dir, progress=lambda r: seen.append(r["source"])
+        )
+        assert seen == ["cache"] * 4

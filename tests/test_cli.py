@@ -379,3 +379,104 @@ class TestDryRunHashes:
             for line in out_file.read_text().splitlines()
         }
         assert dry == stored
+
+class TestSweepCache:
+    def test_sweep_cache_flag_replays_without_solving(
+        self, capsys, sweep_file, tmp_path
+    ):
+        cache_dir = tmp_path / "cache"
+        code, out, _ = run_cli(
+            capsys, "sweep", str(sweep_file), "--cache", str(cache_dir),
+            "--quiet", "--json",
+        )
+        assert code == 0
+        assert json.loads(out)["n_from_cache"] == 0
+        code, out, _ = run_cli(
+            capsys, "sweep", str(sweep_file), "--cache", str(cache_dir),
+            "--quiet", "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["n_from_cache"] == 4
+        assert payload["summary"]["counters"]["n_solves"] == 0
+
+
+@pytest.fixture()
+def live_server(tmp_path):
+    """A running serve stack for CLI client tests (ephemeral port)."""
+    from repro.serve import CampaignServer, CampaignService
+
+    service = CampaignService(tmp_path / "srv", executor="serial", workers=1)
+    server = CampaignServer(service).start_in_thread()
+    yield server
+    server.stop()
+
+
+class TestServeClients:
+    def test_submit_wait_and_jobs_round_trip(
+        self, capsys, live_server, small_spec_file
+    ):
+        code, out, _ = run_cli(
+            capsys, "submit", str(small_spec_file),
+            "--url", live_server.url, "--wait", "--json",
+        )
+        assert code == 0
+        job = json.loads(out)
+        assert job["state"] == "done"
+        assert job["n_ok"] == 1
+
+        code, out, _ = run_cli(capsys, "jobs", "--url", live_server.url)
+        assert code == 0
+        assert job["job_id"] in out and "done" in out
+
+        code, out, _ = run_cli(
+            capsys, "jobs", job["job_id"], "--url", live_server.url, "--json"
+        )
+        assert code == 0
+        assert json.loads(out)["state"] == "done"
+
+        code, out, _ = run_cli(
+            capsys, "jobs", job["job_id"], "--url", live_server.url, "--records"
+        )
+        assert code == 0
+        records = [json.loads(line) for line in out.splitlines() if line]
+        assert len(records) == 1 and records[0]["status"] == "ok"
+
+    def test_submit_detects_sweep_files(self, capsys, live_server, tmp_path):
+        from repro.scenarios import get_scenario
+        from repro.sweeps import SweepAxis, SweepSpec
+
+        base = get_scenario("test-a").with_overrides(
+            grid=GridSpec(n_grid_points=61, n_lanes=1, n_rows=1, n_cols=20),
+            optimizer=OptimizerSpec(n_segments=2, max_iterations=3),
+        )
+        sweep = SweepSpec(
+            name="cli-serve-sweep",
+            base=base,
+            axes=(SweepAxis("workload.flux_w_per_cm2", (40.0, 60.0)),),
+        )
+        path = tmp_path / "sweep.json"
+        sweep.save(path)
+        code, out, _ = run_cli(
+            capsys, "submit", str(path), "--url", live_server.url,
+            "--wait", "--json",
+        )
+        assert code == 0
+        job = json.loads(out)
+        assert job["kind"] == "sweep"
+        assert job["n_ok"] == 2
+
+    def test_submit_unknown_scenario_is_exit_2(self, capsys, live_server):
+        code, _, err = run_cli(
+            capsys, "submit", "no-such-scenario", "--url", live_server.url
+        )
+        assert code == 2
+        assert err.startswith("error:")
+
+    def test_clients_report_connection_failures_cleanly(self, capsys):
+        # Port 1 is never listening; the OSError maps to exit code 2.
+        code, _, err = run_cli(
+            capsys, "jobs", "--url", "http://127.0.0.1:1"
+        )
+        assert code == 2
+        assert err.startswith("error:")

@@ -1,0 +1,101 @@
+"""Focused tests of the exec/ registry error paths and worker fallbacks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    available_executors,
+    get_executor,
+    register_executor,
+    unregister_executor,
+)
+
+
+@pytest.fixture()
+def registered(request):
+    """Register an executor for one test and guarantee cleanup."""
+
+    def _register(name, factory):
+        register_executor(name, factory, overwrite=True)
+        request.addfinalizer(lambda: unregister_executor(name))
+        return name
+
+    return _register
+
+
+class TestUnknownExecutor:
+    def test_error_names_the_missing_executor(self):
+        with pytest.raises(ValueError, match="'definitely-missing'"):
+            get_executor("definitely-missing")
+
+    def test_error_lists_the_available_ones(self):
+        with pytest.raises(ValueError, match="serial"):
+            get_executor("definitely-missing")
+
+
+class TestLazyFactoryFailures:
+    def test_unimportable_module_is_a_clear_error(self, registered):
+        registered("broken-module", "no_such_module_xyz:Executor")
+        with pytest.raises(ValueError, match="cannot import"):
+            get_executor("broken-module")
+
+    def test_missing_attribute_is_a_clear_error(self, registered):
+        registered("broken-attr", "repro.exec.local:NoSuchExecutor")
+        with pytest.raises(ValueError, match="no attribute"):
+            get_executor("broken-attr")
+
+    def test_failed_resolution_is_not_cached_as_broken(self, registered):
+        """A bad reference can be re-registered and then resolves."""
+        name = registered("flaky", "no_such_module_xyz:Executor")
+        with pytest.raises(ValueError):
+            get_executor(name)
+        register_executor(name, "repro.exec.local:SerialExecutor", overwrite=True)
+        assert isinstance(get_executor(name), SerialExecutor)
+
+
+class TestUnregister:
+    def test_unregister_removes_the_name(self):
+        register_executor("ephemeral", SerialExecutor, overwrite=True)
+        unregister_executor("ephemeral")
+        assert "ephemeral" not in available_executors()
+        with pytest.raises(ValueError, match="unknown executor"):
+            get_executor("ephemeral")
+
+    def test_builtins_cannot_be_unregistered(self):
+        for name in ("serial", "thread", "process"):
+            with pytest.raises(ValueError, match="cannot be unregistered"):
+                unregister_executor(name)
+
+    def test_unregistering_the_unknown_is_an_error(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            unregister_executor("never-registered")
+
+
+class TestWorkerFallbacks:
+    def test_process_workers_zero_falls_back_to_cpu_count(self, monkeypatch):
+        import repro.exec.process as process_module
+
+        monkeypatch.setattr(process_module.os, "cpu_count", lambda: 7)
+        assert ProcessExecutor(workers=0).workers == 7
+        assert ProcessExecutor(workers=None).workers == 7
+
+    def test_process_workers_zero_without_cpu_count_means_one(self, monkeypatch):
+        """os.cpu_count() may return None (POSIX allows it): fall back to 1."""
+        import repro.exec.process as process_module
+
+        monkeypatch.setattr(process_module.os, "cpu_count", lambda: None)
+        assert ProcessExecutor(workers=0).workers == 1
+
+    def test_negative_workers_are_rejected(self):
+        with pytest.raises(ValueError, match="workers >= 1"):
+            ProcessExecutor(workers=-2)
+
+    def test_get_executor_passes_workers_through(self):
+        assert get_executor("process", workers=3).workers == 3
+        assert get_executor("thread", workers=5).workers == 5
+        assert isinstance(get_executor("serial"), SerialExecutor)
+        assert isinstance(get_executor("thread"), ThreadExecutor)

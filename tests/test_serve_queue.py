@@ -1,0 +1,248 @@
+"""Tests of the serve primitives: the durable job queue and the result cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.cache import ResultCache, cacheable_record
+from repro.serve.queue import JobQueue, job_hash
+
+
+def ok_record(spec_hash="ab" * 32, **extra):
+    record = {
+        "spec_hash": spec_hash,
+        "scenario": "t",
+        "action": "run",
+        "solver": "fdm",
+        "status": "ok",
+        "result": {"peak_temperature_K": 331.25},
+        "index": 3,
+        "source": "run",
+        "executor": "serial",
+        "wall_time_s": 0.01,
+        "counters": {"n_solves": 1},
+    }
+    record.update(extra)
+    return record
+
+
+class TestJobLifecycle:
+    def test_submit_claim_done(self, tmp_path):
+        queue = JobQueue(tmp_path / "queue.jsonl")
+        job, resubmitted = queue.submit("sweep", {"x": 1}, task_keys=["a1" * 32])
+        assert not resubmitted
+        assert job.state == "submitted"
+        assert job.n_total == 1
+        assert job.job_id == job.hash[:12]
+        claimed = queue.claim(timeout=0.1)
+        assert claimed.job_id == job.job_id
+        assert claimed.state == "running"
+        queue.mark_done(job.job_id, {"n_ok": 1})
+        assert queue.get(job.job_id).state == "done"
+        assert queue.get(job.job_id).summary == {"n_ok": 1}
+        assert queue.counts()["done"] == 1
+
+    def test_failed_jobs_record_the_error(self, tmp_path):
+        queue = JobQueue(tmp_path / "queue.jsonl")
+        job, _ = queue.submit("run", "test-a", task_keys=["a1" * 32])
+        queue.claim(timeout=0.1)
+        queue.mark_failed(job.job_id, "RuntimeError: boom")
+        final = queue.get(job.job_id)
+        assert final.state == "failed"
+        assert "boom" in final.error
+
+    def test_claim_times_out_empty(self, tmp_path):
+        queue = JobQueue(tmp_path / "queue.jsonl")
+        assert queue.claim(timeout=0.01) is None
+
+    def test_claim_is_fifo(self, tmp_path):
+        queue = JobQueue(tmp_path / "queue.jsonl")
+        first, _ = queue.submit("run", "a", task_keys=["a1" * 32])
+        second, _ = queue.submit("run", "b", task_keys=["b2" * 32])
+        assert queue.claim(timeout=0.1).job_id == first.job_id
+        assert queue.claim(timeout=0.1).job_id == second.job_id
+
+    def test_unknown_job_is_a_keyerror(self, tmp_path):
+        queue = JobQueue(tmp_path / "queue.jsonl")
+        with pytest.raises(KeyError, match="nope"):
+            queue.get("nope")
+
+    def test_progress_is_in_memory_only(self, tmp_path):
+        path = tmp_path / "queue.jsonl"
+        queue = JobQueue(path)
+        job, _ = queue.submit("run", "a", task_keys=["a1" * 32])
+        queue.update_progress(job.job_id, n_done=2, n_total=4)
+        assert queue.get(job.job_id).progress == {"n_done": 2, "n_total": 4}
+        queue.close()
+        assert JobQueue(path).get(job.job_id).progress == {}
+
+
+class TestIdempotentSubmission:
+    def test_identical_resubmission_returns_existing_job(self, tmp_path):
+        queue = JobQueue(tmp_path / "queue.jsonl")
+        job, _ = queue.submit("sweep", {"x": 1}, task_keys=["a1" * 32, "b2" * 32])
+        again, resubmitted = queue.submit(
+            "sweep", {"x": 1}, task_keys=["a1" * 32, "b2" * 32]
+        )
+        assert resubmitted
+        assert again.job_id == job.job_id
+        assert queue.counts()["submitted"] == 1
+
+    def test_done_jobs_still_satisfy_resubmission(self, tmp_path):
+        queue = JobQueue(tmp_path / "queue.jsonl")
+        job, _ = queue.submit("sweep", {"x": 1}, task_keys=["a1" * 32])
+        queue.claim(timeout=0.1)
+        queue.mark_done(job.job_id, {})
+        again, resubmitted = queue.submit("sweep", {"x": 1}, task_keys=["a1" * 32])
+        assert resubmitted and again.job_id == job.job_id
+
+    def test_failed_jobs_never_satisfy_resubmission(self, tmp_path):
+        queue = JobQueue(tmp_path / "queue.jsonl")
+        job, _ = queue.submit("sweep", {"x": 1}, task_keys=["a1" * 32])
+        queue.claim(timeout=0.1)
+        queue.mark_failed(job.job_id, "boom")
+        retry, resubmitted = queue.submit("sweep", {"x": 1}, task_keys=["a1" * 32])
+        assert not resubmitted
+        assert retry.job_id != job.job_id
+
+    def test_fresh_forces_a_new_job(self, tmp_path):
+        queue = JobQueue(tmp_path / "queue.jsonl")
+        job, _ = queue.submit("sweep", {"x": 1}, task_keys=["a1" * 32])
+        forced, resubmitted = queue.submit(
+            "sweep", {"x": 1}, task_keys=["a1" * 32], fresh=True
+        )
+        assert not resubmitted
+        assert forced.job_id != job.job_id
+        assert forced.hash == job.hash  # same content, distinct job
+
+    def test_hash_covers_kind_and_task_keys(self):
+        keys = ["a1" * 32, "b2" * 32]
+        assert job_hash("sweep", keys) == job_hash("sweep", list(keys))
+        assert job_hash("sweep", keys) != job_hash("optimize", keys)
+        assert job_hash("sweep", keys) != job_hash("sweep", keys[:1])
+
+
+class TestJournalDurability:
+    def test_replay_restores_all_states(self, tmp_path):
+        path = tmp_path / "queue.jsonl"
+        queue = JobQueue(path)
+        done, _ = queue.submit("sweep", {"x": 1}, task_keys=["a1" * 32])
+        queue.claim(timeout=0.1)
+        queue.mark_done(done.job_id, {"n_ok": 1})
+        failed, _ = queue.submit("run", "b", task_keys=["b2" * 32])
+        queue.claim(timeout=0.1)
+        queue.mark_failed(failed.job_id, "boom")
+        waiting, _ = queue.submit("run", "c", task_keys=["c3" * 32])
+        queue.close()
+
+        replayed = JobQueue(path)
+        assert replayed.get(done.job_id).state == "done"
+        assert replayed.get(done.job_id).summary == {"n_ok": 1}
+        assert replayed.get(failed.job_id).error == "boom"
+        assert replayed.claim(timeout=0.1).job_id == waiting.job_id
+
+    def test_running_jobs_are_requeued_as_recovered(self, tmp_path):
+        """A job mid-flight when the process dies is requeued on replay."""
+        path = tmp_path / "queue.jsonl"
+        queue = JobQueue(path)
+        job, _ = queue.submit("sweep", {"x": 1}, task_keys=["a1" * 32])
+        queue.claim(timeout=0.1)
+        queue.close()  # die without mark_done: journal ends at "running"
+
+        replayed = JobQueue(path)
+        assert replayed.n_recovered == 1
+        recovered = replayed.claim(timeout=0.1)
+        assert recovered.job_id == job.job_id
+        assert recovered.recovered
+
+    def test_torn_final_line_is_tolerated_and_healed(self, tmp_path):
+        path = tmp_path / "queue.jsonl"
+        queue = JobQueue(path)
+        job, _ = queue.submit("sweep", {"x": 1}, task_keys=["a1" * 32])
+        queue.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "running", "job_id"')  # torn write
+
+        replayed = JobQueue(path)
+        assert replayed.get(job.job_id).state == "submitted"
+        replayed.claim(timeout=0.1)  # appends: the torn tail must be healed
+        replayed.close()
+        lines = path.read_text().splitlines()
+        assert all(json.loads(line) for line in lines)
+
+    def test_malformed_interior_line_raises(self, tmp_path):
+        path = tmp_path / "queue.jsonl"
+        path.write_text('not json\n{"event": "submitted", "job_id": "x"}\n')
+        with pytest.raises(ValueError, match="queue.jsonl:1"):
+            JobQueue(path)
+
+    def test_unknown_event_raises(self, tmp_path):
+        path = tmp_path / "queue.jsonl"
+        path.write_text('{"event": "exploded", "job_id": "x"}\n')
+        with pytest.raises(ValueError, match="exploded"):
+            JobQueue(path)
+
+
+class TestResultCache:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = "ab" * 32
+        cache.put(key, ok_record(key))
+        entry = cache.get(key)
+        assert entry["result"] == {"peak_temperature_K": 331.25}
+        assert entry["status"] == "ok"
+        assert cache.stats() == {"n_hits": 1, "n_misses": 0, "n_puts": 1}
+
+    def test_entries_strip_campaign_positional_fields(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = "ab" * 32
+        cache.put(key, ok_record(key))
+        entry = cache.get(key)
+        for volatile in ("index", "source", "executor", "wall_time_s", "counters"):
+            assert volatile not in entry
+        assert cacheable_record(ok_record(key)) == entry
+
+    def test_two_level_fanout_layout(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = "deadbeef" * 8
+        cache.put(key, ok_record(key))
+        assert cache.path_for(key).endswith(f"de/ad/{key}.json")
+        assert key in cache
+        assert list(cache.keys()) == [key]
+        assert len(cache) == 1
+
+    def test_miss_is_counted(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.get("ab" * 32) is None
+        assert cache.stats()["n_misses"] == 1
+
+    def test_only_ok_records_are_cacheable(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        with pytest.raises(ValueError, match="status='ok'"):
+            cache.put("ab" * 32, ok_record(status="error"))
+
+    def test_non_hash_keys_are_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        with pytest.raises(ValueError, match="lowercase hex"):
+            cache.path_for("../../etc/passwd")
+        with pytest.raises(ValueError, match="lowercase hex"):
+            cache.path_for("abc")  # too short to fan out
+
+    def test_corrupt_entry_is_a_miss_then_overwritten(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path / "cache")
+        key = "ab" * 32
+        cache.put(key, ok_record(key))
+        with open(cache.path_for(key), "w", encoding="utf-8") as handle:
+            handle.write('{"torn')
+        assert cache.get(key) is None
+        cache.put(key, ok_record(key))
+        assert cache.get(key)["status"] == "ok"
+        assert not [
+            name
+            for name in os.listdir(os.path.dirname(cache.path_for(key)))
+            if name.startswith(".tmp-")
+        ]

@@ -1,0 +1,227 @@
+"""Tests of CampaignService: submission, execution, caching, crash recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Session
+from repro.exec.base import make_tasks
+from repro.scenarios import GridSpec, OptimizerSpec, ScenarioSpec, get_scenario
+from repro.serve import CampaignService
+from repro.sweeps import SweepAxis, SweepSpec
+
+
+@pytest.fixture()
+def small_base() -> ScenarioSpec:
+    return get_scenario("test-a").with_overrides(
+        grid=GridSpec(n_grid_points=61, n_lanes=1, n_rows=1, n_cols=20),
+        optimizer=OptimizerSpec(n_segments=2, max_iterations=3),
+    )
+
+
+@pytest.fixture()
+def small_sweep(small_base) -> SweepSpec:
+    return SweepSpec(
+        name="svc",
+        base=small_base,
+        axes=(
+            SweepAxis("workload.flux_w_per_cm2", (40.0, 60.0)),
+            SweepAxis("grid.n_grid_points", (61, 81)),
+        ),
+    )
+
+
+def serial_service(tmp_path, **kwargs) -> CampaignService:
+    kwargs.setdefault("executor", "serial")
+    kwargs.setdefault("workers", 1)
+    return CampaignService(tmp_path / "srv", **kwargs)
+
+
+def physics(result):
+    """A result payload minus its volatile fields (wall time, provenance)."""
+    return {
+        key: value
+        for key, value in result.items()
+        if key not in ("wall_time_s", "provenance")
+    }
+
+
+class TestSubmission:
+    def test_submission_is_validated_eagerly(self, tmp_path):
+        service = serial_service(tmp_path)
+        with pytest.raises(ValueError, match="no-such-scenario"):
+            service.submit("run", "no-such-scenario")
+        assert service.queue.counts()["submitted"] == 0
+
+    def test_unknown_kind_is_an_error(self, tmp_path):
+        service = serial_service(tmp_path)
+        with pytest.raises(ValueError, match="job kind"):
+            service.submit("explode", "test-a")
+
+    def test_run_jobs_take_exactly_one_scenario(self, tmp_path, small_sweep):
+        service = serial_service(tmp_path)
+        with pytest.raises(ValueError, match="exactly one scenario"):
+            service.submit("run", small_sweep.to_dict())
+
+    def test_unknown_executor_is_an_error(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown executor"):
+            CampaignService(tmp_path / "srv", executor="slurm")
+
+    def test_job_hash_matches_campaign_task_keys(self, tmp_path, small_base):
+        """The dedup key is content-derived: name and inline spec collide."""
+        service = serial_service(tmp_path)
+        job, _ = service.submit("run", "test-a")
+        again, resubmitted = service.submit("run", get_scenario("test-a").to_dict())
+        assert resubmitted and again.job_id == job.job_id
+        tasks = make_tasks([get_scenario("test-a")], action="run", solver=None)
+        assert job.n_total == len(tasks)
+
+
+class TestExecution:
+    def test_sweep_job_end_to_end(self, tmp_path, small_sweep):
+        with serial_service(tmp_path) as service:
+            job, _ = service.submit("sweep", small_sweep.to_dict())
+            import time
+
+            deadline = time.monotonic() + 120
+            while service.queue.get(job.job_id).state not in ("done", "failed"):
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+            final = service.queue.get(job.job_id)
+        assert final.state == "done"
+        assert final.summary["n_ok"] == 4
+        assert final.progress["n_done"] == 4
+
+        records = service.job_records(job.job_id)
+        assert [record["index"] for record in records] == [0, 1, 2, 3]
+        reference = Session().run_many(small_sweep, executor="serial")
+        for record, expected in zip(records, reference.records):
+            assert physics(record["result"]) == physics(expected["result"])
+
+        detail = service.job_detail(job.job_id)
+        assert detail["n_records"] == 4
+        assert detail["n_ok"] == 4
+        assert detail["n_failed"] == 0
+
+        # The per-job store is sharded on disk.
+        assert service.job_store(job.job_id).is_sharded
+        assert len(service.job_store(job.job_id).shard_paths()) >= 1
+
+    def test_fresh_resubmission_is_served_from_cache(self, tmp_path, small_sweep):
+        """Acceptance: identical resubmission -> n_solves delta = 0."""
+        with serial_service(tmp_path) as service:
+            client_view = service.submit("sweep", small_sweep.to_dict())
+            job = client_view[0]
+            self._wait(service, job.job_id)
+            forced, resubmitted = service.submit(
+                "sweep", small_sweep.to_dict(), fresh=True
+            )
+            assert not resubmitted and forced.job_id != job.job_id
+            self._wait(service, forced.job_id)
+            final = service.queue.get(forced.job_id)
+        assert final.state == "done"
+        assert final.summary["n_from_cache"] == 4
+        assert final.summary["counters"]["n_solves"] == 0
+        first = service.job_records(job.job_id)
+        second = service.job_records(forced.job_id)
+        assert [physics(r["result"]) for r in first] == [
+            physics(r["result"]) for r in second
+        ]
+
+    def test_failing_job_is_marked_failed_not_fatal(
+        self, tmp_path, small_base, monkeypatch
+    ):
+        with serial_service(tmp_path) as service:
+            monkeypatch.setattr(
+                type(service.session),
+                "run_many",
+                lambda *a, **k: (_ for _ in ()).throw(RuntimeError("boom")),
+            )
+            job, _ = service.submit("run", "test-a")
+            self._wait(service, job.job_id)
+            final = service.queue.get(job.job_id)
+            assert final.state == "failed"
+            assert "RuntimeError: boom" in final.error
+            # ... and the failure is retryable: resubmission is not deduped.
+            monkeypatch.undo()
+            retry, resubmitted = service.submit("run", "test-a")
+            assert not resubmitted and retry.job_id != job.job_id
+
+    @staticmethod
+    def _wait(service, job_id, timeout=120.0):
+        import time
+
+        deadline = time.monotonic() + timeout
+        while service.queue.get(job_id).state not in ("done", "failed"):
+            assert time.monotonic() < deadline, f"job {job_id} never finished"
+            time.sleep(0.02)
+
+
+class TestCrashRecovery:
+    def test_restart_resumes_from_journal_and_store(self, tmp_path, small_sweep):
+        """Acceptance: kill mid-campaign, restart, zero recomputed records.
+
+        The crash is simulated exactly as a kill leaves things: the journal
+        ends at the job's "running" event and the job's sharded store holds
+        the records completed so far.
+        """
+        service = serial_service(tmp_path)
+        job, _ = service.submit("sweep", small_sweep.to_dict())
+        claimed = service.queue.claim(timeout=1.0)
+        assert claimed.job_id == job.job_id
+
+        # Complete 2 of the 4 scenarios into the job's store, then "die".
+        specs = small_sweep.scenarios()
+        partial = Session().run_many(
+            specs[:2], out=service.job_store(job.job_id), cache=service.cache
+        )
+        assert partial.n_ok == 2
+        service.queue.close()  # no done/failed event: a crash, not a finish
+
+        restarted = CampaignService(
+            tmp_path / "srv", executor="serial", workers=1
+        )
+        assert restarted.queue.n_recovered == 1
+        assert restarted.healthz()["n_recovered"] == 1
+        with restarted:
+            TestExecution._wait(restarted, job.job_id)
+            final = restarted.queue.get(job.job_id)
+        assert final.state == "done"
+        assert final.recovered
+        # Zero recomputation: the two stored records were resumed, and the
+        # store-level n_from_store proves no ok-record was solved twice.
+        assert final.summary["n_ok"] == 4
+        assert final.summary["n_from_store"] == 2
+        records = restarted.job_records(job.job_id)
+        assert len(records) == 4
+        reference = Session().run_many(small_sweep, executor="serial")
+        by_hash = {r["spec_hash"]: r for r in reference.records}
+        for record in records:
+            assert physics(record["result"]) == physics(
+                by_hash[record["spec_hash"]]["result"]
+            )
+
+
+class TestIntrospection:
+    def test_healthz_shape(self, tmp_path):
+        service = serial_service(tmp_path)
+        health = service.healthz()
+        assert health["status"] == "ok"
+        assert health["executor"] == "serial"
+        assert health["jobs"] == {
+            "submitted": 0,
+            "running": 0,
+            "done": 0,
+            "failed": 0,
+        }
+        assert set(health["cache"]) == {"n_hits", "n_misses", "n_puts"}
+
+    def test_scenario_rows_cover_the_registry(self, tmp_path):
+        service = serial_service(tmp_path)
+        names = {row["name"] for row in service.scenario_rows()}
+        assert {"test-a", "test-b", "niagara-arch1"} <= names
+
+    def test_records_of_unknown_job_raise(self, tmp_path):
+        service = serial_service(tmp_path)
+        with pytest.raises(KeyError, match="nope"):
+            service.job_records("nope")
