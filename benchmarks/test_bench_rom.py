@@ -1,0 +1,154 @@
+"""Reduced-order transient tier: full solver vs ROM vs cached ROM.
+
+Times one ≥100-step trace-driven arch1 transient through the full
+backward-Euler engine, through the Krylov reduced-order tier with a cold
+model cache (the build pays the Arnoldi solves), and again with the
+cache warm (the steady state of sweeps and policy control), asserts the
+measured-error contract, and emits the ``transient_rom`` ``BENCH {json}``
+record:
+
+.. code-block:: console
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_rom.py -s \
+        | grep '^BENCH '
+
+Setting ``REPRO_BENCH_SMOKE=1`` shrinks the problem to smoke-test size
+(the CI benchmark job archives the records); the ≥10x speedup and
+≤0.1 K error assertions apply to the full-size run only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.rom import clear_rom_cache, rom_cache_stats
+from repro.scenarios import GridSpec, ScenarioSpec, SolverSpec, WorkloadSpec
+from repro.thermal.backends import SparseLUBackend
+from repro.transient import PolicySpec, RomSpec, TraceSpec, TransientSpec
+from repro.transient_engine import simulate_transient
+
+#: Smoke mode: tiny problem, no speedup assertions (CI runs this).
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip() not in ("", "0")
+
+N_COLS = 16 if SMOKE else 44
+N_ROWS = 1 if SMOKE else 44
+N_STEPS = 20 if SMOKE else 400
+ROM_ORDER = 24 if SMOKE else 48
+
+WORKLOAD = (
+    WorkloadSpec(kind="test-a")
+    if SMOKE
+    else WorkloadSpec(kind="architecture", architecture="arch1")
+)
+
+
+def emit_bench(record: dict) -> None:
+    """Print one machine-readable benchmark record."""
+    print("BENCH " + json.dumps(record, sort_keys=True))
+
+
+def _time_once(function, repeats: int = 2) -> float:
+    """Best-of-``repeats`` wall time (first call may pay one-off setup)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def make_specs():
+    """``(full, rom)`` variants of one trace-driven transient scenario."""
+    full = ScenarioSpec(
+        name="bench-rom",
+        workload=WORKLOAD,
+        grid=GridSpec(n_grid_points=61, n_lanes=1, n_rows=N_ROWS,
+                      n_cols=N_COLS),
+        solver=SolverSpec(simulator="ice"),
+        transient=TransientSpec(
+            duration_s=N_STEPS * 0.01,
+            time_step_s=0.01,
+            traces=(
+                TraceSpec(layer="top_die", kind="periodic", period_s=0.08,
+                          duty=0.5, high=120.0, low=20.0),
+            ),
+            policy=PolicySpec(kind="constant", control_interval_s=0.0),
+            store_every=max(N_STEPS // 4, 1),
+        ),
+    )
+    rom = replace(
+        full,
+        transient=replace(
+            full.transient, rom=RomSpec(mode="rom", order=ROM_ORDER)
+        ),
+    )
+    return full, rom
+
+
+def test_transient_rom_speedup(benchmark):
+    """ROM vs full engine: >=10x warm with <=0.1 K measured error."""
+    full_spec, rom_spec = make_specs()
+
+    full_backend = SparseLUBackend()
+    full_s = _time_once(
+        lambda: simulate_transient(full_spec, backend=full_backend)
+    )
+    full_outcome = simulate_transient(full_spec, backend=full_backend)
+
+    clear_rom_cache()
+    rom_backend = SparseLUBackend()
+    rom_cold_s = _time_once(
+        lambda: simulate_transient(rom_spec, backend=rom_backend), repeats=1
+    )
+    rom_warm_s = _time_once(
+        lambda: simulate_transient(rom_spec, backend=rom_backend)
+    )
+    rom_outcome = simulate_transient(rom_spec, backend=rom_backend)
+
+    # Accuracy contract: the engine's self-measured checkpoint error and
+    # the true trajectory error both stay within the acceptance band.
+    measured_err = rom_outcome.metrics["rom_peak_abs_err_K"]
+    true_err = float(
+        np.max(
+            np.abs(
+                full_outcome.peak_history_K - rom_outcome.peak_history_K
+            )
+        )
+    )
+    assert measured_err <= 0.1
+    assert true_err <= 0.1
+    assert rom_outcome.metadata["n_rom_builds"] == 0  # cache was warm
+    assert rom_cache_stats()["n_hits"] >= 2
+
+    benchmark(lambda: simulate_transient(rom_spec, backend=rom_backend))
+
+    record = {
+        "benchmark": "transient_rom",
+        "n_steps": N_STEPS,
+        "grid": [N_ROWS, N_COLS],
+        "n_unknowns": rom_outcome.metadata["n_unknowns"],
+        "rom_order": rom_outcome.metrics["rom_order"],
+        "full_s": full_s,
+        "rom_cold_s": rom_cold_s,
+        "rom_warm_s": rom_warm_s,
+        "speedup_warm": full_s / rom_warm_s,
+        "speedup_cold": full_s / rom_cold_s,
+        "rom_peak_abs_err_K": measured_err,
+        "true_peak_abs_err_K": true_err,
+        "smoke": SMOKE,
+    }
+    emit_bench(record)
+    print()
+    print(
+        f"transient rom {N_STEPS} steps ({record['n_unknowns']} unknowns, "
+        f"order {record['rom_order']}): full {full_s * 1e3:.1f} ms, rom "
+        f"cold {rom_cold_s * 1e3:.1f} ms, warm {rom_warm_s * 1e3:.1f} ms "
+        f"({record['speedup_warm']:.1f}x warm, err {measured_err:.2e} K)"
+    )
+    if not SMOKE:
+        assert record["speedup_warm"] >= 10.0

@@ -305,7 +305,17 @@ class ICESimulator:
 
         def compute():
             computed.append(True)
-            return simulate_transient(spec)
+            result = simulate_transient(spec)
+            # ROM activity counts once per actual integration (memo hits
+            # replay the outcome without building or stepping anything).
+            if self.engine is not None:
+                self.engine.n_rom_builds += int(
+                    result.metadata.get("n_rom_builds", 0)
+                )
+                self.engine.n_rom_steps += int(
+                    result.metadata.get("n_rom_steps", 0)
+                )
+            return result
 
         if self.engine is not None:
             key = ("ice-transient", spec.spec_hash())

@@ -111,6 +111,8 @@ def _print_metrics(prefix: str, payload: Dict[str, object]) -> None:
             "mean_flow_scale",
             "max_pressure_drop_at_peak_flow_Pa",
             "n_flow_changes",
+            "rom_order",
+            "rom_peak_abs_err_K",
         ):
             if key in transient:
                 print(f"    {key:28s} {transient[key]:.6g}")
@@ -500,6 +502,31 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cache_gc(args: argparse.Namespace) -> int:
+    """``repro cache gc`` -- expire and cap the shared result cache."""
+    import os
+
+    from .serve import ResultCache
+
+    if args.max_age is None and args.max_entries is None:
+        print(
+            "nothing to do: pass --max-age and/or --max-entries",
+            file=sys.stderr,
+        )
+        return 2
+    cache = ResultCache(os.path.join(args.data_dir, "cache"))
+    report = cache.gc(max_age_s=args.max_age, max_entries=args.max_entries)
+    report["cache_root"] = cache.root
+    if args.json or args.output:
+        _emit(report, args)
+    else:
+        print(
+            f"{cache.root}: scanned {report['n_scanned']}, removed "
+            f"{report['n_removed']}, kept {report['n_kept']}"
+        )
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """``repro serve`` -- run the campaign service HTTP front door."""
     from .serve import CampaignServer, CampaignService
@@ -509,6 +536,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         executor=args.executor,
         workers=args.workers,
         pool_size=args.pool_size,
+        max_pending=args.max_pending,
     )
     server = CampaignServer(service, host=args.host, port=args.port)
     server.start_in_thread()
@@ -830,7 +858,44 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--pool-size", type=int, default=1, help="jobs run concurrently"
     )
+    serve_parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        help=(
+            "backpressure: reject new submissions (HTTP 429) once this many "
+            "jobs are queued (default: unbounded)"
+        ),
+    )
     serve_parser.set_defaults(func=cmd_serve)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="manage the shared result cache of a serve data dir"
+    )
+    cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
+    gc_parser = cache_sub.add_parser(
+        "gc", help="expire old cache entries and/or cap the entry count"
+    )
+    gc_parser.add_argument(
+        "--data-dir",
+        default="serve-data",
+        help="service state directory holding the cache (default: ./serve-data)",
+    )
+    gc_parser.add_argument(
+        "--max-age",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="remove entries older than this many seconds",
+    )
+    gc_parser.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        help="keep at most this many entries (oldest removed first)",
+    )
+    _add_output_arguments(gc_parser)
+    gc_parser.set_defaults(func=cmd_cache_gc)
 
     submit_parser = subparsers.add_parser(
         "submit", help="queue a campaign on a running 'repro serve' instance"

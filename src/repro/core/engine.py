@@ -56,6 +56,8 @@ COUNTER_KEYS = (
     "n_batch_items",
     "n_adjoint_solves",
     "n_transpose_solves",
+    "n_rom_builds",
+    "n_rom_steps",
 )
 
 
@@ -100,6 +102,8 @@ class EvaluationEngine:
         self.n_batch_items = 0
         self.n_adjoint_solves = 0
         self.n_transpose_solves = 0
+        self.n_rom_builds = 0
+        self.n_rom_steps = 0
 
     # -- cache keys ---------------------------------------------------------
 
@@ -356,6 +360,8 @@ class EvaluationEngine:
             self.n_batch_items = 0
             self.n_adjoint_solves = 0
             self.n_transpose_solves = 0
+            self.n_rom_builds = 0
+            self.n_rom_steps = 0
 
     @property
     def cache_len(self) -> int:
@@ -383,6 +389,8 @@ class EvaluationEngine:
                 "n_batch_items": self.n_batch_items,
                 "n_adjoint_solves": self.n_adjoint_solves,
                 "n_transpose_solves": self.n_transpose_solves,
+                "n_rom_builds": self.n_rom_builds,
+                "n_rom_steps": self.n_rom_steps,
                 "hit_rate": (self.n_cache_hits / lookups) if lookups else 0.0,
             }
 

@@ -1,0 +1,364 @@
+"""Krylov reduced-order models for the transient path.
+
+The transient engine integrates the full finite-volume state every
+backward-Euler step: ``(C/dt + A) T_{n+1} = C/dt T_n + b(t_n)``.  For the
+questions campaigns actually ask -- "peak temperature over this trace",
+"time above threshold" -- the state wanders a low-dimensional subspace:
+the thermal operator is strongly dissipative and the inputs (static heat
+maps plus a handful of per-layer traces) span a few directions.  This
+module projects the implicit system onto a block-Krylov subspace built
+from exactly those directions, so a step becomes one small dense
+triangular solve (order ~tens) instead of a sparse back-substitution over
+every cell.
+
+:func:`build_reduced_model` runs a block-Arnoldi recurrence on the
+backward-Euler propagation operator ``P = (C/dt + A)^{-1} C/dt``: the
+starting block holds the uniform initial-state direction, the implicit
+solve of the static load ``b0`` and the implicit solves of the sampled
+trace input directions, and successive blocks apply ``P`` with two-pass
+modified Gram-Schmidt re-orthonormalization.  Directions whose residual
+norm falls below ``tolerance`` (relative to their pre-projection norm) are
+deflated, so the realized order adapts to how much of the space the
+inputs actually excite.  The dense reduced operators ``Vᵀ(C/dt + A)V``
+(LU-factorized once) and ``Vᵀ(C/dt)V`` step the reduced state; *output
+maps* -- the basis restricted to the solid and coolant cells -- track the
+per-step peak temperature and coolant rise without lifting the full
+state, which is reconstructed (``T ≈ V x``) only for stored snapshots and
+on demand.
+
+Because the Arnoldi solves go through the scenario's solver backend with
+the implicit system's pattern token, building a model warms the very
+factorization the full path (and the checkpoint error probes) would use.
+
+:func:`reduced_model_for` is a small bounded, thread-safe LRU over built
+models keyed by the same content identity the batched transient engine
+groups on (implicit-matrix digest + input digests + build settings), so
+quantized flow-scale levels, control chunks, repeated scenarios and
+MPC rollout contexts reuse bases instead of rebuilding them.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+from scipy.linalg import lu_factor, lu_solve
+
+__all__ = [
+    "ReducedTransientModel",
+    "build_reduced_model",
+    "reduced_model_for",
+    "clear_rom_cache",
+    "rom_cache_stats",
+]
+
+#: Deflation never goes below this, whatever ``tolerance`` says: directions
+#: at the roundoff floor carry no information and destabilize the basis.
+_DEFLATION_FLOOR = 1e-13
+
+#: Bound on the model cache: bases are dense ``n x order`` arrays, so a
+#: handful covers the flow-scale levels a controller visits without
+#: letting a scale-sweeping campaign hoard memory.
+_CACHE_MAX_ENTRIES = 8
+
+
+class ReducedTransientModel:
+    """A projected backward-Euler integrator with peak-tracking outputs.
+
+    Instances are immutable after construction and safe to share across
+    scenarios and threads: :meth:`step` only reads the factorized reduced
+    operators.  Build one with :func:`build_reduced_model`.
+    """
+
+    def __init__(
+        self,
+        basis: np.ndarray,
+        reduced_implicit_lu,
+        reduced_c_over_dt: np.ndarray,
+        projected_base_rhs: np.ndarray,
+        base_rhs: np.ndarray,
+        rhs_fn: Callable[[float], np.ndarray],
+        input_rows: Optional[np.ndarray],
+        outputs: Dict[str, np.ndarray],
+        n_build_solves: int,
+    ) -> None:
+        self.basis = basis
+        self._lu = reduced_implicit_lu
+        self._c_over_dt_r = reduced_c_over_dt
+        # Dense propagation matrix of the reduced recurrence
+        # ``x' = P x + M^{-1} Vᵀb``: precomputing ``P = M^{-1} Cr`` turns
+        # the per-step triangular solve into one tiny matvec, and lets
+        # the engine advance whole control chunks with BLAS-level loops.
+        self._propagation = lu_solve(reduced_implicit_lu, reduced_c_over_dt)
+        self._projected_base_rhs = projected_base_rhs
+        self._base_rhs = base_rhs
+        self._rhs_fn = rhs_fn
+        self._input_rows = input_rows
+        self._basis_input_rows = (
+            None if input_rows is None else basis[input_rows, :].copy()
+        )
+        # Output maps: the basis restricted to a named cell selection, so
+        # observables are small dense matvecs instead of full lifts.
+        self._outputs = {
+            name: basis[rows, :].copy() for name, rows in outputs.items()
+        }
+        self.n_build_solves = int(n_build_solves)
+
+    @property
+    def order(self) -> int:
+        """Realized basis size (after tolerance-driven deflation)."""
+        return int(self.basis.shape[1])
+
+    @property
+    def n_unknowns(self) -> int:
+        """Dimension of the full state the model reduces."""
+        return int(self.basis.shape[0])
+
+    # -- state transport ----------------------------------------------------
+
+    def project(self, state: np.ndarray) -> np.ndarray:
+        """Galerkin projection of a full state onto the basis."""
+        return self.basis.T @ state
+
+    def lift(self, reduced_state: np.ndarray) -> np.ndarray:
+        """Reconstruct the full state ``T ≈ V x`` (lift-on-demand)."""
+        return self.basis @ reduced_state
+
+    # -- stepping -----------------------------------------------------------
+
+    def project_rhs(self, time: float) -> np.ndarray:
+        """``Vᵀ b(time)`` without touching rows the traces cannot reach.
+
+        The right-hand side differs from the static load only on the
+        trace-driven rows, so the projection is the precomputed
+        ``Vᵀ b0`` plus a small correction over those rows; a model built
+        without ``input_rows`` falls back to the full projection.
+        """
+        rhs = self._rhs_fn(time)
+        if rhs is self._base_rhs:
+            return self._projected_base_rhs
+        if self._basis_input_rows is None:
+            return self.basis.T @ rhs
+        rows = self._input_rows
+        delta = rhs[rows] - self._base_rhs[rows]
+        return self._projected_base_rhs + self._basis_input_rows.T @ delta
+
+    def step(self, reduced_state: np.ndarray, time: float) -> np.ndarray:
+        """One reduced backward-Euler step to absolute ``time``."""
+        rhs = self.project_rhs(time) + self._c_over_dt_r @ reduced_state
+        return lu_solve(self._lu, rhs)
+
+    @property
+    def propagation(self) -> np.ndarray:
+        """The dense reduced propagation matrix ``P = M^{-1} Vᵀ(C/dt)V``."""
+        return self._propagation
+
+    def solve_projected(self, projected_rhs: np.ndarray) -> np.ndarray:
+        """``M^{-1} r`` for one projected rhs vector or a matrix of them.
+
+        With the propagation matrix this factors the recurrence as
+        ``x_{k+1} = P x_k + M^{-1} Vᵀ b_k``: callers batch every ``b_k``
+        of a control chunk into one dense solve, then advance with one
+        tiny matvec per step.
+        """
+        return lu_solve(self._lu, projected_rhs)
+
+    # -- outputs ------------------------------------------------------------
+
+    def output(self, name: str, reduced_state: np.ndarray) -> np.ndarray:
+        """The named output map applied to a reduced state."""
+        return self._outputs[name] @ reduced_state
+
+    def output_max(self, name: str, reduced_state: np.ndarray) -> float:
+        """Max of an output map (empty selections are ``-inf``-free 0.0)."""
+        values = self._outputs[name] @ reduced_state
+        if values.size == 0:
+            return 0.0
+        return float(np.max(values))
+
+    def output_max_many(
+        self, name: str, reduced_states: np.ndarray
+    ) -> np.ndarray:
+        """Per-column maxima of an output map over a ``(order, k)`` block.
+
+        One BLAS-3 product covers a whole control chunk of states; empty
+        selections yield zeros (mirroring :meth:`output_max`).
+        """
+        output_map = self._outputs[name]
+        if output_map.shape[0] == 0:
+            return np.zeros(reduced_states.shape[1])
+        return np.max(output_map @ reduced_states, axis=0)
+
+
+def _orthonormalize_into(
+    columns: List[np.ndarray], vector: np.ndarray, tolerance: float
+) -> Optional[np.ndarray]:
+    """Two-pass MGS of ``vector`` against ``columns``; None if deflated."""
+    norm0 = float(np.linalg.norm(vector))
+    if norm0 == 0.0 or not np.isfinite(norm0):
+        return None
+    vector = vector / norm0
+    for _ in range(2):  # second pass restores orthogonality lost to roundoff
+        for column in columns:
+            vector = vector - column * float(column @ vector)
+    norm = float(np.linalg.norm(vector))
+    if norm <= max(tolerance, _DEFLATION_FLOOR):
+        return None
+    vector = vector / norm
+    columns.append(vector)
+    return vector
+
+
+def build_reduced_model(
+    implicit,
+    c_over_dt,
+    solve: Callable[[np.ndarray], np.ndarray],
+    base_rhs: np.ndarray,
+    input_directions: Sequence[np.ndarray],
+    rhs_fn: Callable[[float], np.ndarray],
+    *,
+    order: int,
+    tolerance: float,
+    input_rows: Optional[np.ndarray] = None,
+    outputs: Optional[Dict[str, np.ndarray]] = None,
+) -> ReducedTransientModel:
+    """Block-Arnoldi projection of one implicit backward-Euler system.
+
+    Parameters
+    ----------
+    implicit / c_over_dt:
+        The sparse ``C/dt + A`` matrix and the ``C/dt`` diagonal returned
+        by :meth:`repro.ice.transient.TransientSolver.implicit_system`.
+    solve:
+        ``rhs -> implicit^{-1} rhs`` through the scenario's solver backend
+        (which caches the factorization under the implicit token).
+    base_rhs:
+        The static load vector; its implicit solve seeds the basis and its
+        projection is precomputed for the stepping hot path.
+    input_directions:
+        Extra input directions (sampled trace deltas); each is solved
+        through ``implicit`` and joins the starting block.
+    rhs_fn:
+        ``time -> b(time)``, evaluated by :meth:`ReducedTransientModel.step`.
+    order:
+        Maximum basis size; the realized order may be smaller when the
+        Krylov space closes or ``tolerance`` deflates directions.
+    tolerance:
+        Relative deflation threshold of the Gram-Schmidt recurrence.
+    input_rows:
+        Row indices the traces can modify (for the cheap per-step rhs
+        projection); None projects the full rhs every step.
+    outputs:
+        Named cell selections to build output maps for (e.g. solid /
+        coolant cells).
+    """
+    n = int(implicit.shape[0])
+    order = max(1, min(int(order), n))
+    tolerance = float(tolerance)
+    columns: List[np.ndarray] = []
+    n_solves = 0
+
+    # Starting block: the uniform-state direction (any uniform initial
+    # condition is then represented exactly), the static-load response and
+    # the trace input responses.
+    seeds = [np.ones(n)]
+    for direction in (base_rhs, *input_directions):
+        direction = np.asarray(direction, dtype=float)
+        if float(np.linalg.norm(direction)) == 0.0:
+            continue
+        seeds.append(solve(direction))
+        n_solves += 1
+
+    block: List[np.ndarray] = []
+    for seed in seeds:
+        kept = _orthonormalize_into(columns, seed, tolerance)
+        if kept is not None:
+            block.append(kept)
+        if len(columns) >= order:
+            break
+
+    # Arnoldi recurrence on the propagation operator P = implicit^{-1} C/dt.
+    while len(columns) < order and block:
+        next_block: List[np.ndarray] = []
+        for vector in block:
+            propagated = solve(c_over_dt @ vector)
+            n_solves += 1
+            kept = _orthonormalize_into(columns, propagated, tolerance)
+            if kept is not None:
+                next_block.append(kept)
+            if len(columns) >= order:
+                break
+        block = next_block
+
+    basis = np.column_stack(columns)
+    reduced_implicit = basis.T @ (implicit @ basis)
+    reduced_c = basis.T @ (c_over_dt @ basis)
+    return ReducedTransientModel(
+        basis=basis,
+        reduced_implicit_lu=lu_factor(reduced_implicit),
+        reduced_c_over_dt=reduced_c,
+        projected_base_rhs=basis.T @ np.asarray(base_rhs, dtype=float),
+        base_rhs=np.asarray(base_rhs),
+        rhs_fn=rhs_fn,
+        input_rows=(
+            None if input_rows is None else np.asarray(input_rows, dtype=int)
+        ),
+        outputs=outputs or {},
+        n_build_solves=n_solves,
+    )
+
+
+# -- bounded model cache -----------------------------------------------------
+
+_CACHE: "OrderedDict[tuple, ReducedTransientModel]" = OrderedDict()
+_CACHE_LOCK = threading.Lock()
+_CACHE_STATS = {"n_hits": 0, "n_misses": 0, "n_evictions": 0}
+
+
+def reduced_model_for(
+    key: tuple, factory: Callable[[], ReducedTransientModel]
+) -> tuple:
+    """``(model, built)`` for a content key, through the bounded cache.
+
+    ``key`` must capture everything the build depends on (implicit-matrix
+    content, input content, order, tolerance, backend); callers in the
+    transient engine derive it from the same digests
+    ``simulate_transient_many`` groups on.  The factory runs outside the
+    lock; when two threads race, the first insertion wins and the loser's
+    model is discarded (both are bit-identical by construction).
+    """
+    with _CACHE_LOCK:
+        model = _CACHE.get(key)
+        if model is not None:
+            _CACHE.move_to_end(key)
+            _CACHE_STATS["n_hits"] += 1
+            return model, False
+        _CACHE_STATS["n_misses"] += 1
+    model = factory()
+    with _CACHE_LOCK:
+        existing = _CACHE.get(key)
+        if existing is not None:
+            return existing, False
+        _CACHE[key] = model
+        while len(_CACHE) > _CACHE_MAX_ENTRIES:
+            _CACHE.popitem(last=False)
+            _CACHE_STATS["n_evictions"] += 1
+    return model, True
+
+
+def clear_rom_cache() -> None:
+    """Empty the model cache and reset its statistics (tests, benchmarks)."""
+    with _CACHE_LOCK:
+        _CACHE.clear()
+        for counter in _CACHE_STATS:
+            _CACHE_STATS[counter] = 0
+
+
+def rom_cache_stats() -> Dict[str, int]:
+    """Snapshot of the cache counters plus its current size."""
+    with _CACHE_LOCK:
+        stats = dict(_CACHE_STATS)
+        stats["n_entries"] = len(_CACHE)
+    return stats

@@ -18,11 +18,22 @@ Three built-in policies cover the classic control shapes:
 ``proportional``
     ``scale = clip(1 + gain_per_K * (T_peak - setpoint_K))`` between
     ``min_scale`` and ``max_scale``.
+``mpc``
+    Model-predictive planning: each control interval the policy rolls a
+    reduced-order model (:mod:`repro.core.rom`) ``horizon_s`` seconds
+    forward for each candidate flow scale and commits the *cheapest*
+    (lowest) scale whose predicted peak temperature stays under
+    ``threshold_K`` -- planning instead of reacting, affordable only
+    because the rollouts are reduced.  The transient engine binds the
+    rollout capability via :meth:`ModelPredictiveFlowPolicy.bind_planner`;
+    without a planner the policy degrades to bang-bang on the observation.
 
 Policies are deliberately *stateless* pure functions of the observation:
 the same temperature history always produces the same flow trajectory, so
 transient campaigns comparing policies are reproducible and the batched
-transient engine can treat constant-flow scenarios as one group.
+transient engine can treat constant-flow scenarios as one group.  (The
+MPC policy keeps this determinism: its planner is a deterministic
+function of the simulation state.)
 
 Custom policies register with :func:`register_policy`; anything exposing
 ``initial_scale()`` and ``update(time_s, peak_temperature_K) -> float``
@@ -33,13 +44,14 @@ works.  :func:`policy_from_spec` builds a policy from the serializable
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 __all__ = [
     "FlowPolicy",
     "ConstantFlowPolicy",
     "BangBangFlowPolicy",
     "ProportionalFlowPolicy",
+    "ModelPredictiveFlowPolicy",
     "available_policies",
     "get_policy_factory",
     "register_policy",
@@ -151,6 +163,76 @@ class ProportionalFlowPolicy(FlowPolicy):
         return self._clip(1.0 + self.gain_per_K * error)
 
 
+class ModelPredictiveFlowPolicy(FlowPolicy):
+    """Horizon-planning flow control over a reduced-order rollout model.
+
+    Built from a whole :class:`~repro.transient.PolicySpec` (the custom-
+    kind factory convention): ``threshold_K`` is the planning constraint,
+    ``min_scale``/``max_scale`` bound ``n_candidates`` evenly spaced
+    candidate scales, and ``horizon_s`` is the lookahead.  Each control
+    interval the policy asks its planner -- bound by the transient engine
+    via :meth:`bind_planner` -- for the predicted peak temperature of
+    every candidate over the horizon, scanning cheapest (lowest pumping
+    power, i.e. lowest scale) first, and commits the first candidate that
+    keeps the prediction under the threshold; if none does it commits
+    ``max_scale``.  Without a planner (e.g. a policy driven outside the
+    transient engine) it degrades to bang-bang between the extreme
+    candidates.
+    """
+
+    name = "mpc"
+
+    def __init__(self, spec) -> None:
+        threshold = float(spec.threshold_K)
+        min_scale = float(spec.min_scale)
+        max_scale = float(spec.max_scale)
+        horizon = float(spec.horizon_s)
+        n_candidates = int(spec.n_candidates)
+        if threshold <= 0.0:
+            raise ValueError(f"threshold_K must be positive, got {threshold}")
+        if min_scale <= 0.0 or max_scale < min_scale:
+            raise ValueError(
+                "flow scales must satisfy 0 < min_scale <= max_scale, got "
+                f"({min_scale}, {max_scale})"
+            )
+        if horizon <= 0.0:
+            raise ValueError(f"horizon_s must be positive, got {horizon}")
+        if n_candidates < 2:
+            raise ValueError(
+                f"n_candidates must be at least 2, got {n_candidates}"
+            )
+        self.threshold_K = threshold
+        self.horizon_s = horizon
+        # Ascending, so the planning scan commits the cheapest feasible
+        # candidate first.
+        self.candidates = tuple(
+            min_scale + (max_scale - min_scale) * index / (n_candidates - 1)
+            for index in range(n_candidates)
+        )
+        self._planner: Optional[Callable[[float, float], float]] = None
+
+    def bind_planner(self, planner: Callable[[float, float], float]) -> None:
+        """Attach ``planner(scale, horizon_s) -> predicted peak T (K)``."""
+        self._planner = planner
+
+    def initial_scale(self) -> float:
+        # Nominal flow (clipped into the candidate band) until the first
+        # planned decision: the planner has not seen the trace yet, and
+        # opening at the cheapest candidate would let the first burst
+        # overshoot before any control is possible.
+        return min(max(1.0, self.candidates[0]), self.candidates[-1])
+
+    def update(self, time_s, peak_temperature_K) -> float:
+        if self._planner is None:  # no rollout model: react, don't plan
+            if peak_temperature_K >= self.threshold_K:
+                return self.candidates[-1]
+            return self.candidates[0]
+        for scale in self.candidates:
+            if self._planner(scale, self.horizon_s) <= self.threshold_K:
+                return scale
+        return self.candidates[-1]
+
+
 _REGISTRY: Dict[str, Callable[..., FlowPolicy]] = {}
 _REGISTRY_LOCK = threading.Lock()
 
@@ -211,9 +293,12 @@ def policy_from_spec(spec) -> FlowPolicy:
             min_scale=spec.min_scale,
             max_scale=spec.max_scale,
         )
+    if kind == "mpc":
+        return ModelPredictiveFlowPolicy(spec)
     return get_policy_factory(kind)(spec)
 
 
 register_policy("constant", ConstantFlowPolicy)
 register_policy("bang-bang", BangBangFlowPolicy)
 register_policy("proportional", ProportionalFlowPolicy)
+register_policy("mpc", ModelPredictiveFlowPolicy)

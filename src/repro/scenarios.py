@@ -61,6 +61,7 @@ from .thermal.geometry import (
 )
 from .transient import (
     PolicySpec,
+    RomSpec,
     TraceSpec,
     TransientSpec,
     _check_keys,
@@ -891,6 +892,36 @@ def _register_transient_scenarios() -> None:
                 policy=PolicySpec(kind="constant", control_interval_s=0.1),
                 store_every=5,
                 threshold_K=330.0,
+            ),
+        )
+    )
+    register_scenario(
+        ScenarioSpec(
+            name="test-a-burst-rom",
+            description=(
+                "test-a-burst integrated through the Krylov reduced-order "
+                "tier (order-48 basis, measured-error reporting)"
+            ),
+            workload=WorkloadSpec(kind="test-a"),
+            grid=GridSpec(n_grid_points=241, n_lanes=1, n_rows=1, n_cols=80),
+            solver=SolverSpec(simulator="ice"),
+            transient=TransientSpec(
+                duration_s=1.0,
+                time_step_s=0.01,
+                traces=(
+                    TraceSpec(
+                        layer="top_die",
+                        kind="periodic",
+                        period_s=0.2,
+                        duty=0.5,
+                        high=100.0,
+                        low=10.0,
+                    ),
+                ),
+                policy=PolicySpec(kind="constant", control_interval_s=0.1),
+                store_every=5,
+                threshold_K=330.0,
+                rom=RomSpec(mode="rom", order=48),
             ),
         )
     )

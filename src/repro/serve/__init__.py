@@ -21,7 +21,7 @@ this package puts a service in front of them:
 
 from .cache import ResultCache, cacheable_record
 from .client import ServiceClient, ServiceError
-from .queue import JOB_STATES, Job, JobQueue, job_hash
+from .queue import JOB_STATES, Job, JobQueue, QueueFullError, job_hash
 from .server import CampaignServer
 from .service import CampaignService
 from .workers import WorkerSupervisor
@@ -32,6 +32,7 @@ __all__ = [
     "Job",
     "JobQueue",
     "JOB_STATES",
+    "QueueFullError",
     "ResultCache",
     "ServiceClient",
     "ServiceError",

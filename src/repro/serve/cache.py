@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from typing import Dict, Iterator, Optional, Union
 
 __all__ = ["ResultCache"]
@@ -54,6 +55,8 @@ class ResultCache:
         self.n_hits = 0
         self.n_misses = 0
         self.n_puts = 0
+        self.n_gc_runs = 0
+        self.n_gc_removed = 0
 
     def _check_key(self, key: str) -> str:
         if not isinstance(key, str) or len(key) < 8 or not all(
@@ -140,12 +143,75 @@ class ResultCache:
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())
 
+    # -- garbage collection -------------------------------------------------
+
+    def gc(
+        self,
+        max_age_s: Optional[float] = None,
+        max_entries: Optional[int] = None,
+    ) -> Dict[str, int]:
+        """Expire old entries and cap the cache size (both optional).
+
+        ``max_age_s`` removes entries whose file modification time is
+        older than that many seconds; ``max_entries`` then removes the
+        *oldest* surviving entries until at most that many remain.
+        Removal is one atomic ``os.remove`` per entry, so readers racing
+        a gc see either a hit or a clean miss, never a torn file; an
+        entry another process already removed is counted as gone, not an
+        error.  Returns ``{"n_scanned", "n_removed", "n_kept"}``.
+        """
+        if max_age_s is not None and max_age_s < 0:
+            raise ValueError(f"max_age_s must be >= 0, got {max_age_s}")
+        if max_entries is not None and max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        now = time.time()
+        entries = []  # (mtime, path)
+        n_scanned = 0
+        n_removed = 0
+        for key in self.keys():
+            path = self.path_for(key)
+            try:
+                mtime = os.path.getmtime(path)
+            except FileNotFoundError:
+                continue  # raced another gc / writer: already gone
+            n_scanned += 1
+            entries.append((mtime, path))
+        survivors = []
+        for mtime, path in entries:
+            if max_age_s is not None and now - mtime > max_age_s:
+                n_removed += self._remove(path)
+            else:
+                survivors.append((mtime, path))
+        if max_entries is not None and len(survivors) > max_entries:
+            survivors.sort()  # oldest first
+            excess = len(survivors) - max_entries
+            for _, path in survivors[:excess]:
+                n_removed += self._remove(path)
+            survivors = survivors[excess:]
+        self.n_gc_runs += 1
+        self.n_gc_removed += n_removed
+        return {
+            "n_scanned": n_scanned,
+            "n_removed": n_removed,
+            "n_kept": len(survivors),
+        }
+
+    @staticmethod
+    def _remove(path: str) -> int:
+        try:
+            os.remove(path)
+        except FileNotFoundError:
+            pass  # concurrent removal: the entry is gone either way
+        return 1
+
     def stats(self) -> Dict[str, int]:
         """Hit/miss/put counters of this cache handle (not of the disk)."""
         return {
             "n_hits": self.n_hits,
             "n_misses": self.n_misses,
             "n_puts": self.n_puts,
+            "n_gc_runs": self.n_gc_runs,
+            "n_gc_removed": self.n_gc_removed,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

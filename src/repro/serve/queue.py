@@ -38,7 +38,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
-__all__ = ["Job", "JobQueue", "JOB_STATES"]
+__all__ = ["Job", "JobQueue", "QueueFullError", "JOB_STATES"]
 
 #: The lifecycle states a job moves through.
 JOB_STATES = ("submitted", "running", "done", "failed")
@@ -50,6 +50,15 @@ _EVENT_STATE = {
     "done": "done",
     "failed": "failed",
 }
+
+
+class QueueFullError(RuntimeError):
+    """Raised by :meth:`JobQueue.submit` when ``max_pending`` is reached.
+
+    The HTTP layer maps this to 429 so clients can back off and retry;
+    idempotent resubmissions of existing jobs never raise it (they queue
+    no new work).
+    """
 
 
 def job_hash(kind: str, task_keys: List[str]) -> str:
@@ -138,14 +147,22 @@ class Job:
 class JobQueue:
     """Durable FIFO job queue journaled to one JSONL file."""
 
-    def __init__(self, path: Union[str, os.PathLike]) -> None:
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        max_pending: Optional[int] = None,
+    ) -> None:
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         self.path = os.fspath(path)
+        self.max_pending = max_pending
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
         self._jobs: Dict[str, Job] = {}
         self._pending: List[str] = []
         self._handle = None
         self.n_recovered = 0
+        self.n_rejected = 0
         self._replay()
 
     # -- journal -----------------------------------------------------------
@@ -267,6 +284,12 @@ class JobQueue:
         same content hash satisfied the submission.  ``fresh=True`` always
         creates a new job (a forced re-run -- typically served from the
         shared result cache).
+
+        When the queue was built with ``max_pending``, a submission that
+        would queue *new* work while that many jobs are already pending
+        raises :class:`QueueFullError` (backpressure).  Idempotent
+        resubmissions are exempt -- they add nothing to the backlog -- and
+        journal replay ignores the cap (recovered work is never dropped).
         """
         options = dict(options or {})
         content = job_hash(kind, task_keys)
@@ -275,6 +298,16 @@ class JobQueue:
                 for job in self._jobs.values():
                     if job.hash == content and job.state != "failed":
                         return job, True
+            if (
+                self.max_pending is not None
+                and len(self._pending) >= self.max_pending
+            ):
+                self.n_rejected += 1
+                raise QueueFullError(
+                    f"job queue is full: {len(self._pending)} pending jobs "
+                    f"(max_pending={self.max_pending}); retry once the "
+                    "backlog drains"
+                )
             job_id = content[:12]
             suffix = 1
             while job_id in self._jobs:

@@ -34,6 +34,8 @@ import json
 import threading
 from typing import Dict, Optional, Tuple
 
+from .queue import QueueFullError
+
 __all__ = ["CampaignServer"]
 
 #: Largest accepted request body; campaign sweeps are small JSON.
@@ -46,6 +48,7 @@ _REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
 }
 
@@ -306,12 +309,15 @@ class CampaignServer:
             missing = "'scenario' or 'sweep'"
         if campaign is None:
             raise _HttpError(400, f"request must carry {missing}")
-        job, resubmitted = self.service.submit(
-            kind,
-            campaign,
-            solver=request.get("solver"),
-            fresh=bool(request.get("fresh", False)),
-        )
+        try:
+            job, resubmitted = self.service.submit(
+                kind,
+                campaign,
+                solver=request.get("solver"),
+                fresh=bool(request.get("fresh", False)),
+            )
+        except QueueFullError as error:
+            raise _HttpError(429, str(error))
         document = job.to_dict()
         document["resubmitted"] = resubmitted
         return document

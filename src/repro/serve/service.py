@@ -55,6 +55,11 @@ class CampaignService:
         count.
     pool_size:
         How many jobs run concurrently (supervisor threads).
+    max_pending:
+        Backpressure cap on *pending* (queued, not yet running) jobs;
+        submissions of new work beyond it raise
+        :class:`~repro.serve.queue.QueueFullError` (HTTP 429 at the
+        front door).  None (default) keeps the queue unbounded.
     session:
         Optional shared :class:`~repro.api.Session`; by default the
         service builds one, so in-process executors share solution caches
@@ -68,6 +73,7 @@ class CampaignService:
         executor: str = "process",
         workers: int = 2,
         pool_size: int = 1,
+        max_pending: Optional[int] = None,
         session: Optional[Session] = None,
     ) -> None:
         if executor not in available_executors():
@@ -79,7 +85,10 @@ class CampaignService:
         os.makedirs(self.data_dir, exist_ok=True)
         self.executor = executor
         self.workers = int(workers)
-        self.queue = JobQueue(os.path.join(self.data_dir, "queue.jsonl"))
+        self.queue = JobQueue(
+            os.path.join(self.data_dir, "queue.jsonl"),
+            max_pending=max_pending,
+        )
         self.cache = ResultCache(os.path.join(self.data_dir, "cache"))
         self.session = session or Session()
         self.supervisor = WorkerSupervisor(self, pool_size=pool_size)
@@ -226,6 +235,8 @@ class CampaignService:
             "pool_size": self.supervisor.pool_size,
             "jobs": self.queue.counts(),
             "n_recovered": self.queue.n_recovered,
+            "max_pending": self.queue.max_pending,
+            "n_rejected": self.queue.n_rejected,
             "cache": self.cache.stats(),
             "n_scenarios_registered": len(SCENARIOS),
         }

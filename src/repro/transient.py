@@ -36,8 +36,11 @@ import numpy as np
 __all__ = [
     "TRACE_KINDS",
     "POLICY_KINDS",
+    "ROM_MODES",
+    "ROM_AUTO_MIN_STEPS",
     "TraceSpec",
     "PolicySpec",
+    "RomSpec",
     "TransientSpec",
     "load_trace_file",
 ]
@@ -46,7 +49,14 @@ __all__ = [
 TRACE_KINDS: Tuple[str, ...] = ("piecewise", "periodic")
 
 #: Built-in flow-control policy kinds (see :mod:`repro.policies`).
-POLICY_KINDS: Tuple[str, ...] = ("constant", "bang-bang", "proportional")
+POLICY_KINDS: Tuple[str, ...] = ("constant", "bang-bang", "proportional", "mpc")
+
+#: Reduced-order-model dispatch modes (see :class:`RomSpec`).
+ROM_MODES: Tuple[str, ...] = ("off", "rom", "auto")
+
+#: ``mode="auto"`` picks the reduced integrator for traces at least this
+#: many steps long (shorter traces cannot amortize the basis build).
+ROM_AUTO_MIN_STEPS = 32
 
 
 def _set(instance, **values) -> None:
@@ -264,19 +274,27 @@ class PolicySpec:
     Attributes
     ----------
     kind:
-        ``"constant"``, ``"bang-bang"``, ``"proportional"`` or a custom
-        registered policy name.
+        ``"constant"``, ``"bang-bang"``, ``"proportional"``, ``"mpc"`` or
+        a custom registered policy name.
     control_interval_s:
         How often the policy observes the peak temperature and may change
         the flow (seconds).  ``0`` disables runtime control entirely (the
-        initial scale applies for the whole run); threshold and
-        proportional policies require a positive interval.
+        initial scale applies for the whole run); threshold, proportional
+        and model-predictive policies require a positive interval.
     scale:
         The fixed flow scale of ``"constant"`` policies.
     threshold_K / low_scale / high_scale:
         Bang-bang trigger temperature and its two flow levels.
     setpoint_K / gain_per_K / min_scale / max_scale:
-        Proportional setpoint, gain and clip range.
+        Proportional setpoint, gain and clip range.  ``"mpc"`` reuses
+        ``threshold_K`` as the planning constraint and
+        ``min_scale``/``max_scale`` as the candidate range.
+    horizon_s / n_candidates:
+        Model-predictive planning: each control interval the policy rolls
+        a reduced model ``horizon_s`` seconds forward for each of
+        ``n_candidates`` flow scales between ``min_scale`` and
+        ``max_scale`` and commits the cheapest scale whose predicted peak
+        stays under ``threshold_K``.
     """
 
     kind: str = "constant"
@@ -289,6 +307,8 @@ class PolicySpec:
     gain_per_K: float = 0.05
     min_scale: float = 0.25
     max_scale: float = 2.0
+    horizon_s: float = 0.0
+    n_candidates: int = 4
 
     def __post_init__(self) -> None:
         if not isinstance(self.kind, str) or not self.kind:
@@ -306,6 +326,8 @@ class PolicySpec:
             gain_per_K=float(self.gain_per_K),
             min_scale=float(self.min_scale),
             max_scale=float(self.max_scale),
+            horizon_s=float(self.horizon_s),
+            n_candidates=int(self.n_candidates),
         )
         if self.control_interval_s < 0.0:
             raise ValueError(
@@ -324,10 +346,23 @@ class PolicySpec:
             )
         if self.threshold_K <= 0.0 or self.setpoint_K <= 0.0:
             raise ValueError("policy temperatures must be positive (Kelvin)")
-        if self.kind in ("bang-bang", "proportional") and self.control_interval_s <= 0.0:
+        if self.horizon_s < 0.0:
+            raise ValueError(
+                f"policy.horizon_s must be non-negative, got {self.horizon_s}"
+            )
+        if self.n_candidates < 2:
+            raise ValueError(
+                f"policy.n_candidates must be at least 2, got {self.n_candidates}"
+            )
+        if self.kind in ("bang-bang", "proportional", "mpc") and self.control_interval_s <= 0.0:
             raise ValueError(
                 f"policy.kind {self.kind!r} reacts to observed temperatures "
                 "and needs a positive control_interval_s"
+            )
+        if self.kind == "mpc" and self.horizon_s <= 0.0:
+            raise ValueError(
+                "policy.kind 'mpc' plans over a horizon and needs a "
+                f"positive horizon_s, got {self.horizon_s}"
             )
 
     @property
@@ -348,6 +383,8 @@ class PolicySpec:
             "gain_per_K": self.gain_per_K,
             "min_scale": self.min_scale,
             "max_scale": self.max_scale,
+            "horizon_s": self.horizon_s,
+            "n_candidates": self.n_candidates,
         }
 
     @classmethod
@@ -356,6 +393,81 @@ class PolicySpec:
         if not isinstance(data, Mapping):
             raise ValueError(f"a policy must be a mapping, got {type(data).__name__}")
         _check_keys(cls, data, "policy")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class RomSpec:
+    """Reduced-order-model settings for the transient integrator.
+
+    Attributes
+    ----------
+    mode:
+        ``"off"`` (default; the full finite-volume integrator, bit-
+        identical to earlier releases), ``"rom"`` (always use the Krylov
+        reduced integrator of :mod:`repro.core.rom`) or ``"auto"``
+        (reduced for traces of at least ``ROM_AUTO_MIN_STEPS`` steps,
+        full otherwise).
+    order:
+        Maximum Krylov basis size; the realized order may be smaller when
+        the subspace closes or ``tolerance`` deflates directions, and is
+        reported as ``rom_order`` in the transient metrics.
+    tolerance:
+        Relative deflation threshold of the block-Arnoldi recurrence:
+        candidate directions whose orthogonal remainder falls below this
+        fraction of their norm are dropped.
+    check_every:
+        Stride (in steps) of the error checkpoints: at every checkpoint
+        one *full* backward-Euler step is taken from the lifted reduced
+        state and the peak-temperature discrepancy is folded into the
+        reported ``rom_peak_abs_err_K``.  ``0`` picks ``n_steps // 4``
+        (at least 1); the final step is always checked.
+    """
+
+    mode: str = "off"
+    order: int = 48
+    tolerance: float = 1e-9
+    check_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ROM_MODES:
+            raise ValueError(
+                f"rom.mode must be one of {list(ROM_MODES)}, got {self.mode!r}"
+            )
+        _set(
+            self,
+            order=int(self.order),
+            tolerance=float(self.tolerance),
+            check_every=int(self.check_every),
+        )
+        if self.order < 1:
+            raise ValueError(f"rom.order must be at least 1, got {self.order}")
+        if not 0.0 < self.tolerance < 1.0:
+            raise ValueError(
+                f"rom.tolerance must be in (0, 1), got {self.tolerance}"
+            )
+        if self.check_every < 0:
+            raise ValueError(
+                f"rom.check_every must be non-negative, got {self.check_every}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data (JSON-compatible) representation of the settings."""
+        return {
+            "mode": self.mode,
+            "order": self.order,
+            "tolerance": self.tolerance,
+            "check_every": self.check_every,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RomSpec":
+        """Rebuild ROM settings from :meth:`to_dict` output."""
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"a rom block must be a mapping, got {type(data).__name__}"
+            )
+        _check_keys(cls, data, "rom")
         return cls(**data)
 
 
@@ -386,6 +498,10 @@ class TransientSpec:
     threshold_K:
         Temperature used by the time-above-threshold transient metric
         (85 C by default).
+    rom:
+        Reduced-order-model settings (:class:`RomSpec`); ``mode="off"``
+        by default, keeping trajectories bit-identical to the full
+        integrator.
     """
 
     duration_s: float = 1.0
@@ -395,6 +511,7 @@ class TransientSpec:
     store_every: int = 1
     initial_temperature_K: Optional[float] = None
     threshold_K: float = 358.15
+    rom: RomSpec = RomSpec()
 
     def __post_init__(self) -> None:
         _set(
@@ -452,6 +569,15 @@ class TransientSpec:
                 f"got {type(policy).__name__}"
             )
         _set(self, policy=policy)
+        rom = self.rom
+        if isinstance(rom, Mapping):
+            rom = RomSpec.from_dict(rom)
+        if not isinstance(rom, RomSpec):
+            raise ValueError(
+                f"transient.rom must be a RomSpec (or mapping), "
+                f"got {type(rom).__name__}"
+            )
+        _set(self, rom=rom)
         if policy.control_interval_s > 0.0:
             steps = policy.control_interval_s / self.time_step_s
             if abs(steps - round(steps)) > 1e-9 or round(steps) < 1:
@@ -474,6 +600,15 @@ class TransientSpec:
         if self.policy.control_interval_s <= 0.0:
             return self.n_steps
         return int(round(self.policy.control_interval_s / self.time_step_s))
+
+    @property
+    def rom_active(self) -> bool:
+        """Whether the reduced integrator should run this trajectory."""
+        if self.rom.mode == "rom":
+            return True
+        if self.rom.mode == "auto":
+            return self.n_steps >= ROM_AUTO_MIN_STEPS
+        return False
 
     def schedule(self):
         """A ``time -> {layer: flux}`` callable over the traces (or None).
@@ -508,6 +643,7 @@ class TransientSpec:
             "store_every": self.store_every,
             "initial_temperature_K": self.initial_temperature_K,
             "threshold_K": self.threshold_K,
+            "rom": self.rom.to_dict(),
         }
 
     @classmethod

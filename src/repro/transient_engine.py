@@ -40,9 +40,10 @@ and policies are tracked at every step.
 from __future__ import annotations
 
 import hashlib
+import json
 import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -51,6 +52,7 @@ from .analysis.metrics import (
     thermal_cycling_amplitude,
     time_above_threshold,
 )
+from .core.rom import ReducedTransientModel, build_reduced_model, reduced_model_for
 from .hydraulics.network import FlowNetwork
 from .ice.results import TransientResult
 from .ice.transient import TransientSolver, result_from_snapshots
@@ -258,6 +260,7 @@ def _finalize(
     batched: bool,
     group_size: int,
     wall_time_s: float,
+    rom_stats: Optional[Dict[str, object]] = None,
 ) -> TransientOutcome:
     """Assemble histories, metrics and provenance into the outcome."""
     transient = spec.transient
@@ -315,6 +318,37 @@ def _finalize(
         ),
         "n_flow_changes": int(np.count_nonzero(np.diff(flow_scales))),
     }
+    metadata: Dict[str, object] = {
+        "backend": backend.name,
+        "policy": transient.policy.kind,
+        "batched": batched,
+        "group_size": group_size,
+        "n_steps": transient.n_steps,
+        "time_step_s": transient.time_step_s,
+        "duration_s": transient.duration_s,
+        "simulated_duration_s": end_time,
+        "store_every": transient.store_every,
+        "n_unknowns": system.n_unknowns,
+        "wall_time_s": wall_time_s,
+    }
+    if rom_stats is not None and (
+        rom_stats.get("rom")
+        or rom_stats.get("n_rom_builds")
+        or rom_stats.get("n_rom_steps")
+    ):
+        # Measured-error contract: rom_* metrics appear exactly when the
+        # trajectory itself was reduced; MPC rollouts over a full
+        # trajectory surface only the build/step counters in metadata.
+        if rom_stats.get("rom"):
+            metrics["rom_order"] = int(rom_stats["rom_order"])
+            metrics["rom_peak_abs_err_K"] = float(
+                rom_stats["rom_peak_abs_err_K"]
+            )
+            metadata["rom_check_stride"] = int(rom_stats["rom_check_stride"])
+        metadata["rom"] = bool(rom_stats.get("rom", False))
+        metadata["rom_mode"] = transient.rom.mode
+        metadata["n_rom_builds"] = int(rom_stats.get("n_rom_builds", 0))
+        metadata["n_rom_steps"] = int(rom_stats.get("n_rom_steps", 0))
     return TransientOutcome(
         scenario=spec.name,
         result=result,
@@ -324,19 +358,7 @@ def _finalize(
         flow_times_s=flow_times,
         flow_scales=flow_scales,
         metrics=metrics,
-        metadata={
-            "backend": backend.name,
-            "policy": transient.policy.kind,
-            "batched": batched,
-            "group_size": group_size,
-            "n_steps": transient.n_steps,
-            "time_step_s": transient.time_step_s,
-            "duration_s": transient.duration_s,
-            "simulated_duration_s": end_time,
-            "store_every": transient.store_every,
-            "n_unknowns": system.n_unknowns,
-            "wall_time_s": wall_time_s,
-        },
+        metadata=metadata,
     )
 
 
@@ -370,7 +392,7 @@ def simulate_transient(
     start_wall = _time.perf_counter()
     transient = spec.transient
     policy = policy_from_spec(transient.policy)
-    recorder = _integrate_controlled(spec, policy, backend)
+    recorder, rom_stats = _integrate_controlled(spec, policy, backend)
     wall_time = _time.perf_counter() - start_wall
     return _finalize(
         spec,
@@ -379,18 +401,110 @@ def simulate_transient(
         batched=False,
         group_size=1,
         wall_time_s=wall_time,
+        rom_stats=rom_stats,
     )
+
+
+def _reduced_model_for(
+    ctx: _Context, transient, backend: SolverBackend
+) -> tuple:
+    """``(model, built)`` for one context, through the bounded ROM cache.
+
+    The cache key is derived from the same content the batched engine
+    groups on -- the implicit matrix's byte digest -- extended with the
+    input content (static-load digest, trace specs, duration) and the
+    build settings, so any two scenarios that would build bit-identical
+    bases share one.
+    """
+    solver = ctx.solver
+    rom = transient.rom
+    implicit, c_over_dt, token = solver.implicit_system(transient.time_step_s)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(implicit.data.tobytes())
+    digest.update(implicit.indices.tobytes())
+    digest.update(implicit.indptr.tobytes())
+    base_rhs = solver.rhs_at(0.0)
+    rhs_digest = hashlib.blake2b(base_rhs.tobytes(), digest_size=16)
+    key = (
+        "transient-rom",
+        backend.name,
+        token,
+        digest.hexdigest(),
+        implicit.shape[0],
+        rhs_digest.hexdigest(),
+        tuple(
+            json.dumps(trace.to_dict(), sort_keys=True)
+            for trace in transient.traces
+        ),
+        transient.time_step_s,
+        transient.duration_s,
+        rom.order,
+        rom.tolerance,
+    )
+
+    system = solver.system
+    row_blocks = []
+    for trace in transient.traces:
+        start = system.index(ctx.stack.layer_index(trace.layer), 0, 0)
+        row_blocks.append(np.arange(start, start + system.n_cells_per_layer))
+    input_rows = (
+        np.unique(np.concatenate(row_blocks)) if row_blocks else None
+    )
+
+    def factory() -> ReducedTransientModel:
+        # Sample the trace-driven load at a handful of times across the
+        # run (plus the first step) so the starting block spans every
+        # spatial pattern the schedule can produce.
+        directions = []
+        sample_times = sorted(
+            {transient.time_step_s}
+            | {
+                fraction * transient.duration_s
+                for fraction in (0.125, 0.375, 0.625, 0.875)
+            }
+        )
+        for sample_time in sample_times:
+            delta = solver.rhs_at(sample_time) - base_rhs
+            if float(np.linalg.norm(delta)) > 0.0:
+                directions.append(delta)
+
+        def solve(rhs: np.ndarray) -> np.ndarray:
+            return solver.backend.solve(implicit, rhs, token)
+
+        return build_reduced_model(
+            implicit,
+            c_over_dt,
+            solve,
+            base_rhs,
+            directions,
+            solver.rhs_at,
+            order=rom.order,
+            tolerance=rom.tolerance,
+            input_rows=input_rows,
+            outputs={"solid": ctx.solid_cells, "coolant": ctx.coolant_cells},
+        )
+
+    return reduced_model_for(key, factory)
 
 
 def _integrate_controlled(
     spec: ScenarioSpec, policy: FlowPolicy, backend: SolverBackend
-) -> _Recorder:
-    """Step one scenario to the end, consulting the policy each interval."""
+) -> tuple:
+    """Step one scenario to the end, consulting the policy each interval.
+
+    Returns ``(recorder, rom_stats)``.  The trajectory advances through
+    the full integrator or the reduced one depending on the spec's
+    ``rom`` block; either way, a planning policy (one exposing
+    ``bind_planner``) is handed a reduced-rollout planner, so MPC control
+    is affordable even over full trajectories.
+    """
     transient = spec.transient
     n_steps = transient.n_steps
     dt = transient.time_step_s
     control_steps = transient.control_steps
     contexts: Dict[float, _Context] = {}
+    models: Dict[float, ReducedTransientModel] = {}
+    rom_stats: Dict[str, object] = {"n_rom_builds": 0, "n_rom_steps": 0}
 
     def context_for(scale: float) -> _Context:
         scale = _quantize(scale)
@@ -400,8 +514,53 @@ def _integrate_controlled(
             contexts[scale] = ctx
         return ctx
 
+    def model_for(ctx: _Context) -> ReducedTransientModel:
+        model = models.get(ctx.scale)
+        if model is None:
+            model, built = _reduced_model_for(ctx, transient, backend)
+            models[ctx.scale] = model
+            if built:
+                rom_stats["n_rom_builds"] += 1
+        return model
+
     ctx = context_for(policy.initial_scale())
     recorder = _Recorder(ctx, n_steps, transient.store_every)
+
+    if hasattr(policy, "bind_planner"):
+
+        def plan(scale: float, horizon_s: float) -> float:
+            """Predicted peak T over the horizon at one candidate scale."""
+            model = model_for(context_for(_quantize(scale)))
+            x = model.project(recorder.state)
+            steps = max(1, int(round(horizon_s / dt)))
+            base_step = int(round(recorder.step_times[-1] / dt))
+            predicted = -np.inf
+            for ahead in range(1, steps + 1):
+                x = model.step(x, (base_step + ahead) * dt)
+                predicted = max(predicted, model.output_max("solid", x))
+            rom_stats["n_rom_steps"] += steps
+            return float(predicted)
+
+        policy.bind_planner(plan)
+
+    if transient.rom_active:
+        _advance_reduced(spec, policy, recorder, context_for, model_for, rom_stats)
+    else:
+        _advance_full(spec, policy, recorder, context_for)
+    return recorder, rom_stats
+
+
+def _advance_full(
+    spec: ScenarioSpec,
+    policy: FlowPolicy,
+    recorder: _Recorder,
+    context_for: Callable[[float], _Context],
+) -> None:
+    """The reference path: full-state backward-Euler stepping."""
+    transient = spec.transient
+    n_steps = transient.n_steps
+    dt = transient.time_step_s
+    control_steps = transient.control_steps
     global_step = 0
     while global_step < n_steps:
         chunk = min(control_steps, n_steps - global_step)
@@ -424,7 +583,102 @@ def _integrate_controlled(
             )
             if scale != recorder.ctx.scale:
                 recorder.change_flow(recorder.step_times[-1], context_for(scale))
-    return recorder
+
+
+def _advance_reduced(
+    spec: ScenarioSpec,
+    policy: FlowPolicy,
+    recorder: _Recorder,
+    context_for: Callable[[float], _Context],
+    model_for: Callable[[_Context], ReducedTransientModel],
+    rom_stats: Dict[str, object],
+) -> None:
+    """The reduced path: project, step in the Krylov subspace, lift on demand.
+
+    Scalar observables (peak temperature, coolant rise) come from the
+    model's output maps every step; full states are reconstructed only at
+    stored-snapshot steps and control-interval boundaries.  At every
+    ``check_stride`` steps (and at the final step) one *full* implicit
+    step is taken from the lifted reduced state and its peak is compared
+    to the reduced prediction -- the maximum discrepancy is reported as
+    ``rom_peak_abs_err_K``.
+    """
+    transient = spec.transient
+    n_steps = transient.n_steps
+    dt = transient.time_step_s
+    control_steps = transient.control_steps
+    store_every = transient.store_every
+    check_stride = transient.rom.check_every or max(1, n_steps // 4)
+    max_abs_err = 0.0
+    orders: List[int] = []
+    global_step = 0
+    while global_step < n_steps:
+        chunk = min(control_steps, n_steps - global_step)
+        ctx = recorder.ctx
+        model = model_for(ctx)
+        orders.append(model.order)
+        implicit, c_over_dt, token = ctx.solver.implicit_system(dt)
+        x = model.project(recorder.state)
+        # The chunk advances through the factored recurrence
+        # ``x_{k+1} = P x_k + M^{-1} Vᵀ b_k``: all rhs projections solve
+        # in one dense call, each step is one order-sized matvec, and the
+        # scalar observables of the whole chunk come from two BLAS-3
+        # products over the stacked reduced states.
+        times = (global_step + np.arange(1, chunk + 1)) * dt
+        projected = np.empty((model.order, chunk))
+        for column, time in enumerate(times):
+            projected[:, column] = model.project_rhs(float(time))
+        forced = model.solve_projected(projected)
+        propagation = model.propagation
+        states = np.empty((model.order, chunk))
+        x_start = x
+        for column in range(chunk):
+            x = propagation @ x + forced[:, column]
+            states[:, column] = x
+        rom_stats["n_rom_steps"] = int(rom_stats["n_rom_steps"]) + chunk
+        peaks = model.output_max_many("solid", states)
+        if ctx.coolant_cells.size == 0:
+            rises = np.zeros(chunk)
+        else:
+            rises = (
+                model.output_max_many("coolant", states)
+                - ctx.inlet_temperature
+            )
+        recorder.step_times.extend(float(time) for time in times)
+        recorder.peaks.extend(float(peak) for peak in peaks)
+        recorder.rises.extend(float(rise) for rise in rises)
+        for column in range(chunk):
+            global_index = global_step + column + 1
+            checkpoint = (
+                global_index % check_stride == 0 or global_index == n_steps
+            )
+            if checkpoint:
+                x_prev = states[:, column - 1] if column else x_start
+                reference = ctx.solver.backend.solve(
+                    implicit,
+                    ctx.solver.rhs_at(float(times[column]))
+                    + c_over_dt @ model.lift(x_prev),
+                    token,
+                )
+                max_abs_err = max(
+                    max_abs_err,
+                    abs(ctx.peak(reference) - float(peaks[column])),
+                )
+            if global_index % store_every == 0 or global_index == n_steps:
+                recorder.times.append(float(times[column]))
+                recorder.snapshots.append(model.lift(states[:, column]))
+        recorder.state = model.lift(states[:, -1])
+        global_step += chunk
+        if global_step < n_steps and transient.policy.control_interval_s > 0.0:
+            scale = _quantize(
+                policy.update(recorder.step_times[-1], recorder.peaks[-1])
+            )
+            if scale != recorder.ctx.scale:
+                recorder.change_flow(recorder.step_times[-1], context_for(scale))
+    rom_stats["rom"] = True
+    rom_stats["rom_order"] = max(orders)
+    rom_stats["rom_peak_abs_err_K"] = float(max_abs_err)
+    rom_stats["rom_check_stride"] = int(check_stride)
 
 
 # -- batched path -----------------------------------------------------------
@@ -483,7 +737,11 @@ def simulate_transient_many(
         spec_backend = resolve_backend(
             backend if backend is not None else spec.solver.backend
         )
-        if spec.transient.policy.is_reactive:
+        if spec.transient.rom_active or spec.transient.policy.is_reactive:
+            # ROM scenarios route through the reference path: the global
+            # model cache already amortizes basis builds across members,
+            # and reusing one code path keeps serial/batched trajectories
+            # bit-identical by construction.
             outcomes[index] = simulate_transient(spec, backend=spec_backend)
             continue
         policy = policy_from_spec(spec.transient.policy)

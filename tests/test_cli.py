@@ -480,3 +480,83 @@ class TestServeClients:
         )
         assert code == 2
         assert err.startswith("error:")
+
+
+class TestCacheGc:
+    @staticmethod
+    def seed_cache(data_dir, n):
+        import os
+        import time
+
+        from repro.serve.cache import ResultCache
+
+        cache = ResultCache(os.path.join(data_dir, "cache"))
+        now = time.time()
+        for index in range(n):
+            key = f"{index:02x}" * 32
+            cache.put(
+                key,
+                {
+                    "spec_hash": key,
+                    "scenario": f"s{index}",
+                    "action": "run",
+                    "solver": "fdm",
+                    "status": "ok",
+                    "result": {"peak_temperature_K": 300.0},
+                },
+            )
+            mtime = now - (n - index) * 100.0
+            os.utime(cache.path_for(key), (mtime, mtime))
+        return cache
+
+    def test_gc_by_entry_cap(self, capsys, tmp_path):
+        self.seed_cache(tmp_path, 4)
+        code, out, _ = run_cli(
+            capsys,
+            "cache",
+            "gc",
+            "--data-dir",
+            str(tmp_path),
+            "--max-entries",
+            "1",
+            "--json",
+        )
+        assert code == 0
+        report = json.loads(out)
+        assert report["n_removed"] == 3
+        assert report["n_kept"] == 1
+        assert report["cache_root"].endswith("cache")
+
+    def test_gc_by_age(self, capsys, tmp_path):
+        self.seed_cache(tmp_path, 4)  # entries aged 400..100 s
+        code, out, _ = run_cli(
+            capsys,
+            "cache",
+            "gc",
+            "--data-dir",
+            str(tmp_path),
+            "--max-age",
+            "250",
+            "--json",
+        )
+        assert code == 0
+        assert json.loads(out)["n_removed"] == 2
+
+    def test_gc_without_limits_is_an_error(self, capsys, tmp_path):
+        code, _, err = run_cli(capsys, "cache", "gc", "--data-dir", str(tmp_path))
+        assert code == 2
+        assert "--max-age" in err and "--max-entries" in err
+
+    def test_gc_human_output(self, capsys, tmp_path):
+        self.seed_cache(tmp_path, 2)
+        code, out, _ = run_cli(
+            capsys,
+            "cache",
+            "gc",
+            "--data-dir",
+            str(tmp_path),
+            "--max-entries",
+            "0",
+        )
+        assert code == 0
+        assert "removed 2" in out

@@ -146,3 +146,32 @@ def test_transient_golden(session, golden):
         outcome.peak_history_K,
         simulate_transient(spec).peak_history_K,
     )
+
+
+def test_transient_rom_golden(session, golden):
+    # The registered reduced-order burst scenario: pins the ROM
+    # trajectory *and* its measured-error contract (rom_order,
+    # rom_peak_abs_err_K) through the Session payload.
+    outcome = simulate_transient("test-a-burst-rom")
+    result = session.run("test-a-burst-rom")
+    assert result.transient["rom_peak_abs_err_K"] <= 1e-3
+    golden(
+        "test-a-burst-rom",
+        {
+            "metrics": stable_metrics(result),
+            "peak_history_K": [
+                float(value) for value in outcome.peak_history_K[::10]
+            ],
+            "times_s": [float(value) for value in outcome.step_times_s[::10]],
+        },
+        # The reduced trajectory round-off spreads like the full one's;
+        # the absolute floor keeps the ~1e-12 K measured-error metric
+        # (pure round-off, machine-dependent) from failing on relative
+        # terms.
+        rtol=1e-5,
+        atol=1e-6,
+    )
+    assert np.array_equal(
+        outcome.peak_history_K,
+        simulate_transient("test-a-burst-rom").peak_history_K,
+    )

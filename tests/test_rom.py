@@ -1,0 +1,462 @@
+"""The Krylov reduced-order transient tier: accuracy, caching, MPC.
+
+Covers the reduced-order acceptance criteria:
+
+* property-based (Hypothesis) comparison of ROM vs full-solver
+  trajectories across randomized traces, orders and grid sizes, with the
+  observed peak-temperature error tied to the spec's ``rom.tolerance``
+  contract (a basis spanning the whole state space must agree to
+  round-off; truncated bases must agree to the measured error the engine
+  itself reports);
+* ``mode: off`` stays bit-identical to the full path (the PR 5 contract);
+* the reduced path is bit-identical serial vs batched and run to run;
+* the bounded ROM cache: hits across repeated runs, eviction, stats;
+* engine counters (``n_rom_builds`` / ``n_rom_steps``) through
+  ``COUNTER_KEYS``, the Session and campaign summaries;
+* the MPC policy: planning picks the cheapest feasible candidate, beats
+  no planner degradation, and rides the reduced rollouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import COUNTER_KEYS
+from repro.core.rom import (
+    build_reduced_model,
+    clear_rom_cache,
+    reduced_model_for,
+    rom_cache_stats,
+)
+from repro.policies import ModelPredictiveFlowPolicy, policy_from_spec
+from repro.scenarios import (
+    GridSpec,
+    ScenarioSpec,
+    SolverSpec,
+    WorkloadSpec,
+    get_scenario,
+)
+from repro.transient import (
+    ROM_AUTO_MIN_STEPS,
+    PolicySpec,
+    RomSpec,
+    TraceSpec,
+    TransientSpec,
+)
+from repro.transient_engine import simulate_transient, simulate_transient_many
+
+
+def rom_scenario(
+    name="tiny-rom",
+    n_cols=12,
+    duration=0.2,
+    time_step=0.01,
+    period=0.08,
+    high=120.0,
+    low=20.0,
+    rom=None,
+    policy=None,
+    store_every=2,
+):
+    """A fast single-channel transient scenario with a configurable rom block."""
+    if policy is None:
+        policy = PolicySpec(kind="constant", control_interval_s=0.05)
+    return ScenarioSpec(
+        name=name,
+        workload=WorkloadSpec(kind="test-a"),
+        grid=GridSpec(n_grid_points=61, n_lanes=1, n_rows=1, n_cols=n_cols),
+        solver=SolverSpec(simulator="ice"),
+        transient=TransientSpec(
+            duration_s=duration,
+            time_step_s=time_step,
+            traces=(
+                TraceSpec(
+                    layer="top_die",
+                    kind="periodic",
+                    period_s=period,
+                    duty=0.5,
+                    high=high,
+                    low=low,
+                ),
+            ),
+            policy=policy,
+            store_every=store_every,
+            threshold_K=320.0,
+            rom=rom if rom is not None else RomSpec(),
+        ),
+    )
+
+
+@pytest.fixture(autouse=True)
+def fresh_rom_cache():
+    clear_rom_cache()
+    yield
+    clear_rom_cache()
+
+
+# -- spec surface ------------------------------------------------------------
+
+
+class TestRomSpec:
+    def test_round_trip(self):
+        rom = RomSpec(mode="auto", order=32, tolerance=1e-8, check_every=7)
+        assert RomSpec.from_dict(rom.to_dict()) == rom
+
+    def test_defaults_off(self):
+        spec = rom_scenario()
+        assert spec.transient.rom.mode == "off"
+        assert not spec.transient.rom_active
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(mode="sometimes"),
+            dict(order=0),
+            dict(tolerance=0.0),
+            dict(tolerance=1.5),
+            dict(check_every=-1),
+        ],
+    )
+    def test_rejects_malformed(self, kwargs):
+        with pytest.raises(ValueError):
+            RomSpec(**kwargs)
+
+    def test_auto_activates_on_long_runs_only(self):
+        long_run = rom_scenario(
+            duration=ROM_AUTO_MIN_STEPS * 0.01, rom=RomSpec(mode="auto")
+        )
+        short_run = rom_scenario(
+            duration=(ROM_AUTO_MIN_STEPS - 1) * 0.01, rom=RomSpec(mode="auto")
+        )
+        assert long_run.transient.rom_active
+        assert not short_run.transient.rom_active
+
+    def test_rom_block_round_trips_through_scenario_json(self):
+        spec = rom_scenario(rom=RomSpec(mode="rom", order=24))
+        recovered = ScenarioSpec.from_dict(spec.to_dict())
+        assert recovered.transient.rom == spec.transient.rom
+
+    def test_spec_hash_sees_rom_block(self):
+        off = rom_scenario()
+        on = rom_scenario(rom=RomSpec(mode="rom"))
+        assert off.spec_hash() != on.spec_hash()
+
+
+# -- accuracy: ROM vs full solver -------------------------------------------
+
+
+class TestRomAccuracy:
+    def test_full_order_basis_is_near_exact(self):
+        # order >= n_unknowns: the Krylov space is the full space, so the
+        # reduced trajectory reproduces the full one to round-off.
+        spec = rom_scenario(n_cols=8)
+        n = 5 * 8  # 5 layers x n_cols cells
+        full = simulate_transient(spec)
+        reduced = simulate_transient(
+            replace(
+                spec,
+                transient=replace(
+                    spec.transient, rom=RomSpec(mode="rom", order=n)
+                ),
+            )
+        )
+        assert np.max(
+            np.abs(full.peak_history_K - reduced.peak_history_K)
+        ) < 1e-6
+        assert reduced.metrics["rom_peak_abs_err_K"] < 1e-6
+        assert reduced.metrics["rom_order"] <= n
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        n_cols=st.integers(min_value=6, max_value=14),
+        order=st.integers(min_value=20, max_value=80),
+        high=st.floats(min_value=40.0, max_value=200.0),
+        low=st.floats(min_value=5.0, max_value=39.0),
+        period_steps=st.integers(min_value=4, max_value=12),
+    )
+    def test_rom_tracks_full_peak_trajectory(
+        self, n_cols, order, high, low, period_steps
+    ):
+        # Randomized traces, orders and grids: the engine's own measured
+        # error (one full reference step per checkpoint) must bound the
+        # true trajectory error up to the tolerance contract, and a
+        # generous absolute bound holds throughout.
+        clear_rom_cache()
+        tolerance = 1e-9
+        spec = rom_scenario(
+            n_cols=n_cols,
+            period=period_steps * 0.01,
+            high=high,
+            low=low,
+            rom=RomSpec(mode="rom", order=order, tolerance=tolerance),
+        )
+        full = simulate_transient(spec)
+        reduced = simulate_transient(spec)
+        observed = float(
+            np.max(np.abs(full.peak_history_K - reduced.peak_history_K))
+        )
+        measured = reduced.metrics["rom_peak_abs_err_K"]
+        # Tolerance-tied: the deflation threshold bounds how much basis
+        # truncation is allowed, so with these small systems the reduced
+        # trajectory stays within a small multiple of round-off of the
+        # full one -- and the self-reported error must be of the same
+        # order as the true error, never wildly optimistic.
+        bound = max(1e-5, tolerance * 1e4)
+        assert observed <= bound
+        assert measured <= bound
+        assert reduced.metrics["rom_order"] <= order
+
+    def test_mode_off_is_bit_identical_to_full_path(self):
+        spec = rom_scenario()
+        explicit_off = replace(
+            spec, transient=replace(spec.transient, rom=RomSpec(mode="off"))
+        )
+        a = simulate_transient(spec)
+        b = simulate_transient(explicit_off)
+        assert np.array_equal(a.peak_history_K, b.peak_history_K)
+        assert np.array_equal(a.step_times_s, b.step_times_s)
+        assert "rom_order" not in a.metrics
+        assert "rom_order" not in b.metrics
+        assert "rom" not in a.metadata
+
+    def test_reduced_with_reactive_policy_switches_flow(self):
+        policy = PolicySpec(
+            kind="bang-bang",
+            threshold_K=315.0,
+            high_scale=2.0,
+            control_interval_s=0.05,
+        )
+        spec = rom_scenario(policy=policy, rom=RomSpec(mode="rom", order=60))
+        full = simulate_transient(
+            replace(spec, transient=replace(spec.transient, rom=RomSpec()))
+        )
+        reduced = simulate_transient(spec)
+        assert np.array_equal(reduced.flow_scales, full.flow_scales)
+        assert np.max(
+            np.abs(full.peak_history_K - reduced.peak_history_K)
+        ) < 1e-5
+
+
+# -- determinism -------------------------------------------------------------
+
+
+class TestRomDeterminism:
+    def test_serial_vs_batched_bit_identical(self):
+        spec = rom_scenario(rom=RomSpec(mode="rom", order=40))
+        other = replace(spec, name="tiny-rom-b")
+        serial = [simulate_transient(spec), simulate_transient(other)]
+        clear_rom_cache()
+        batched = simulate_transient_many([spec, other])
+        for a, b in zip(serial, batched):
+            assert np.array_equal(a.peak_history_K, b.peak_history_K)
+            assert np.array_equal(a.coolant_rise_history_K, b.coolant_rise_history_K)
+            assert np.array_equal(a.step_times_s, b.step_times_s)
+            assert a.metrics["rom_peak_abs_err_K"] == b.metrics["rom_peak_abs_err_K"]
+
+    def test_run_to_run_bit_identical(self):
+        spec = rom_scenario(rom=RomSpec(mode="rom", order=40))
+        first = simulate_transient(spec)
+        again = simulate_transient(spec)  # warm cache: same model object
+        clear_rom_cache()
+        cold = simulate_transient(spec)  # rebuilt basis: same arithmetic
+        assert np.array_equal(first.peak_history_K, again.peak_history_K)
+        assert np.array_equal(first.peak_history_K, cold.peak_history_K)
+
+
+# -- the bounded model cache -------------------------------------------------
+
+
+class TestRomCache:
+    def test_repeat_runs_hit_the_cache(self):
+        spec = rom_scenario(rom=RomSpec(mode="rom", order=30))
+        first = simulate_transient(spec)
+        assert first.metadata["n_rom_builds"] == 1
+        again = simulate_transient(spec)
+        assert again.metadata["n_rom_builds"] == 0
+        stats = rom_cache_stats()
+        assert stats["n_entries"] == 1
+        assert stats["n_hits"] >= 1
+
+    def test_eviction_is_bounded(self):
+        from repro.core import rom as rom_module
+
+        for index in range(rom_module._CACHE_MAX_ENTRIES + 3):
+            key = ("test-entry", index)
+            reduced_model_for(key, lambda: object())
+        stats = rom_cache_stats()
+        assert stats["n_entries"] == rom_module._CACHE_MAX_ENTRIES
+        assert stats["n_evictions"] == 3
+
+    def test_first_insertion_wins(self):
+        sentinel = object()
+        model, built = reduced_model_for(("k",), lambda: sentinel)
+        assert built and model is sentinel
+        other, built = reduced_model_for(("k",), lambda: object())
+        assert not built and other is sentinel
+
+
+# -- counters through the engine / Session / campaign ------------------------
+
+
+class TestRomCounters:
+    def test_counter_keys_cover_rom(self):
+        assert "n_rom_builds" in COUNTER_KEYS
+        assert "n_rom_steps" in COUNTER_KEYS
+
+    def test_session_accumulates_rom_counters(self):
+        from repro.api import Session
+
+        session = Session()
+        session.run("test-a-burst-rom")
+        stats = list(session.stats().values())
+        assert sum(s.get("n_rom_builds", 0) for s in stats) == 1
+        assert sum(s.get("n_rom_steps", 0) for s in stats) == 100
+        # A memoized replay adds nothing.
+        session.run("test-a-burst-rom")
+        stats = list(session.stats().values())
+        assert sum(s.get("n_rom_builds", 0) for s in stats) == 1
+
+    def test_outcome_metadata_reports_rom_provenance(self):
+        outcome = simulate_transient("test-a-burst-rom")
+        assert outcome.metadata["rom"] is True
+        assert outcome.metadata["rom_mode"] == "rom"
+        assert outcome.metadata["n_rom_steps"] == 100
+        assert outcome.metadata["rom_check_stride"] >= 1
+        assert outcome.metrics["rom_peak_abs_err_K"] <= 0.1
+
+
+# -- the MPC policy ----------------------------------------------------------
+
+
+def mpc_policy_spec(**overrides):
+    base = dict(
+        kind="mpc",
+        threshold_K=330.0,
+        min_scale=0.5,
+        max_scale=2.0,
+        control_interval_s=0.05,
+        horizon_s=0.05,
+        n_candidates=4,
+    )
+    base.update(overrides)
+    return PolicySpec(**base)
+
+
+class TestModelPredictiveFlowPolicy:
+    def test_registered_and_built_from_spec(self):
+        policy = policy_from_spec(mpc_policy_spec())
+        assert isinstance(policy, ModelPredictiveFlowPolicy)
+        assert policy.candidates == (0.5, 1.0, 1.5, 2.0)
+        # Nominal flow until the first planned decision, clipped into the
+        # candidate band.
+        assert policy.initial_scale() == 1.0
+        cold = policy_from_spec(mpc_policy_spec(min_scale=1.2, max_scale=2.0))
+        assert cold.initial_scale() == 1.2
+        hot = policy_from_spec(mpc_policy_spec(min_scale=0.2, max_scale=0.8))
+        assert hot.initial_scale() == 0.8
+
+    def test_spec_requires_horizon_and_candidates(self):
+        with pytest.raises(ValueError, match="horizon_s"):
+            PolicySpec(kind="mpc", control_interval_s=0.05)
+        with pytest.raises(ValueError, match="n_candidates"):
+            mpc_policy_spec(n_candidates=1)
+
+    def test_picks_cheapest_feasible_candidate(self):
+        policy = policy_from_spec(mpc_policy_spec())
+        # Planner: higher flow -> lower predicted peak; only >=1.5 feasible.
+        policy.bind_planner(lambda scale, horizon: 345.0 - 10.0 * scale)
+        assert policy.update(0.0, 300.0) == 1.5
+
+    def test_infeasible_horizon_commits_max_scale(self):
+        policy = policy_from_spec(mpc_policy_spec())
+        policy.bind_planner(lambda scale, horizon: 400.0)
+        assert policy.update(0.0, 300.0) == 2.0
+
+    def test_degrades_to_bang_bang_without_planner(self):
+        policy = policy_from_spec(mpc_policy_spec())
+        assert policy.update(0.0, 340.0) == 2.0
+        assert policy.update(0.0, 300.0) == 0.5
+
+    def test_mpc_plans_ahead_of_bang_bang(self):
+        # The MPC run may raise flow *before* the observed peak crosses
+        # the threshold; its trajectory must respect the planning
+        # contract end to end and report rollout provenance.
+        spec = rom_scenario(
+            duration=0.3,
+            policy=mpc_policy_spec(threshold_K=316.0),
+        )
+        outcome = simulate_transient(spec)
+        assert outcome.metadata["n_rom_builds"] >= 1
+        assert outcome.metadata["n_rom_steps"] > 0
+        assert outcome.metadata["rom"] is False  # trajectory stayed full
+        assert "rom_order" not in outcome.metrics
+        assert set(np.unique(outcome.flow_scales)) <= {0.5, 1.0, 1.5, 2.0}
+
+    def test_mpc_over_reduced_trajectory(self):
+        spec = rom_scenario(
+            duration=0.3,
+            policy=mpc_policy_spec(threshold_K=316.0),
+            rom=RomSpec(mode="rom", order=50),
+        )
+        outcome = simulate_transient(spec)
+        assert outcome.metadata["rom"] is True
+        assert outcome.metrics["rom_peak_abs_err_K"] <= 0.1
+
+
+# -- unit surface of core/rom ------------------------------------------------
+
+
+class TestBuildReducedModel:
+    def test_dense_identity_system_round_trips(self):
+        import scipy.sparse as sp
+
+        n = 10
+        implicit = sp.identity(n, format="csr") * 2.0
+        c_over_dt = sp.identity(n, format="csr")
+        base = np.linspace(1.0, 2.0, n)
+        model = build_reduced_model(
+            implicit,
+            c_over_dt,
+            lambda rhs: rhs / 2.0,
+            base,
+            [],
+            lambda time: base,
+            order=n,
+            tolerance=1e-12,
+            outputs={"all": np.arange(n)},
+        )
+        x = model.project(np.ones(n))
+        assert np.allclose(model.lift(x), np.ones(n))
+        stepped = model.step(x, 0.0)
+        expected = (base + np.ones(n)) / 2.0
+        assert np.allclose(model.lift(stepped), expected)
+        assert model.output_max("all", stepped) == pytest.approx(
+            float(np.max(expected))
+        )
+
+    def test_order_clamped_and_deflation_shrinks_basis(self):
+        import scipy.sparse as sp
+
+        n = 6
+        implicit = sp.identity(n, format="csr")
+        c_over_dt = sp.identity(n, format="csr")
+        base = np.ones(n)
+        # Identity propagation: every Arnoldi direction collapses onto the
+        # seed, so the basis deflates to a single vector.
+        model = build_reduced_model(
+            implicit,
+            c_over_dt,
+            lambda rhs: rhs,
+            base,
+            [base * 3.0],
+            lambda time: base,
+            order=50,
+            tolerance=1e-10,
+        )
+        assert model.order == 1
+        assert model.n_unknowns == n

@@ -125,6 +125,54 @@ class TestHttpErrors:
         assert b"400" in response.split(b"\r\n", 1)[0]
 
 
+class TestBackpressure:
+    @pytest.fixture()
+    def full_server(self, tmp_path):
+        """A server capped at one pending job, with the workers parked.
+
+        Stopping the supervisor keeps submissions from being claimed, so
+        the queue stays deterministically full for the 429 assertions.
+        """
+        service = CampaignService(
+            tmp_path / "srv", executor="serial", workers=1, max_pending=1
+        )
+        server = CampaignServer(service).start_in_thread()
+        service.supervisor.stop()
+        yield server
+        server.stop()
+
+    def test_submit_beyond_cap_is_429(self, full_server, small_base):
+        client = ServiceClient(full_server.url)
+        first = client.submit_run(small_base.to_dict())
+        assert first["state"] == "submitted"
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_run(
+                small_base.with_overrides(name="variant").to_dict()
+            )
+        assert excinfo.value.status == 429
+        assert "queue is full" in excinfo.value.message
+        assert "max_pending=1" in excinfo.value.message
+
+    def test_idempotent_resubmission_is_exempt(self, full_server, small_base):
+        client = ServiceClient(full_server.url)
+        job = client.submit_run(small_base.to_dict())
+        again = client.submit_run(small_base.to_dict())
+        assert again["resubmitted"]
+        assert again["job_id"] == job["job_id"]
+
+    def test_healthz_reports_backpressure(self, full_server, small_base):
+        client = ServiceClient(full_server.url)
+        client.submit_run(small_base.to_dict())
+        with pytest.raises(ServiceError):
+            client.submit_run(
+                small_base.with_overrides(name="variant").to_dict()
+            )
+        health = client.healthz()
+        assert health["max_pending"] == 1
+        assert health["n_rejected"] == 1
+        assert "n_gc_runs" in health["cache"]
+
+
 class TestAcceptance:
     def test_http_sweep_is_bit_identical_to_process_run_many(
         self, client, small_sweep

@@ -193,7 +193,13 @@ class TestResultCache:
         entry = cache.get(key)
         assert entry["result"] == {"peak_temperature_K": 331.25}
         assert entry["status"] == "ok"
-        assert cache.stats() == {"n_hits": 1, "n_misses": 0, "n_puts": 1}
+        assert cache.stats() == {
+            "n_hits": 1,
+            "n_misses": 0,
+            "n_puts": 1,
+            "n_gc_runs": 0,
+            "n_gc_removed": 0,
+        }
 
     def test_entries_strip_campaign_positional_fields(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
@@ -246,3 +252,131 @@ class TestResultCache:
             for name in os.listdir(os.path.dirname(cache.path_for(key)))
             if name.startswith(".tmp-")
         ]
+
+
+class TestResultCacheGc:
+    @staticmethod
+    def fill(cache, n, age_step_s=100.0):
+        """n entries with strictly increasing mtimes (oldest first)."""
+        import os
+        import time
+
+        now = time.time()
+        keys = [f"{index:02x}" * 32 for index in range(n)]
+        for index, key in enumerate(keys):
+            cache.put(key, ok_record(key))
+            mtime = now - (n - index) * age_step_s
+            os.utime(cache.path_for(key), (mtime, mtime))
+        return keys
+
+    def test_age_expiry_removes_only_old_entries(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        keys = self.fill(cache, 4, age_step_s=100.0)  # ages 400..100 s
+        report = cache.gc(max_age_s=250.0)
+        assert report == {"n_scanned": 4, "n_removed": 2, "n_kept": 2}
+        assert keys[0] not in cache and keys[1] not in cache
+        assert keys[2] in cache and keys[3] in cache
+
+    def test_entry_cap_removes_oldest_first(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        keys = self.fill(cache, 5)
+        report = cache.gc(max_entries=2)
+        assert report["n_removed"] == 3
+        assert report["n_kept"] == 2
+        assert [key for key in keys if key in cache] == keys[3:]
+
+    def test_age_and_cap_compose(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        keys = self.fill(cache, 6, age_step_s=100.0)  # ages 600..100 s
+        report = cache.gc(max_age_s=450.0, max_entries=2)
+        assert report["n_removed"] == 4
+        assert [key for key in keys if key in cache] == keys[4:]
+
+    def test_noop_gc_keeps_everything_but_counts_the_run(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        self.fill(cache, 3)
+        report = cache.gc()
+        assert report == {"n_scanned": 3, "n_removed": 0, "n_kept": 3}
+        stats = cache.stats()
+        assert stats["n_gc_runs"] == 1
+        assert stats["n_gc_removed"] == 0
+
+    def test_negative_limits_are_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        with pytest.raises(ValueError, match="max_age_s"):
+            cache.gc(max_age_s=-1.0)
+        with pytest.raises(ValueError, match="max_entries"):
+            cache.gc(max_entries=-1)
+
+    def test_gc_tolerates_concurrently_removed_entries(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path / "cache")
+        keys = self.fill(cache, 3)
+        os.remove(cache.path_for(keys[0]))
+        report = cache.gc(max_entries=0)
+        assert report["n_scanned"] == 2
+        assert report["n_removed"] == 2
+        assert len(cache) == 0
+
+    def test_removed_entries_become_clean_misses(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        keys = self.fill(cache, 2)
+        cache.gc(max_entries=1)
+        assert cache.get(keys[0]) is None
+        assert cache.get(keys[1])["status"] == "ok"
+        assert cache.stats()["n_gc_removed"] == 1
+
+
+class TestSubmitBackpressure:
+    def submit(self, queue, name, index):
+        return queue.submit(
+            "run", {"scenario": name}, task_keys=[f"{index:02x}" * 32]
+        )
+
+    def test_submissions_beyond_the_cap_raise(self, tmp_path):
+        from repro.serve.queue import QueueFullError
+
+        queue = JobQueue(tmp_path / "queue.jsonl", max_pending=2)
+        self.submit(queue, "a", 0)
+        self.submit(queue, "b", 1)
+        with pytest.raises(QueueFullError, match="max_pending=2"):
+            self.submit(queue, "c", 2)
+        assert queue.n_rejected == 1
+
+    def test_resubmission_of_a_pending_job_is_exempt(self, tmp_path):
+        queue = JobQueue(tmp_path / "queue.jsonl", max_pending=1)
+        job, resubmitted = self.submit(queue, "a", 0)
+        assert not resubmitted
+        again, resubmitted = self.submit(queue, "a", 0)
+        assert resubmitted and again.job_id == job.job_id
+        assert queue.n_rejected == 0
+
+    def test_draining_the_queue_reopens_submission(self, tmp_path):
+        from repro.serve.queue import QueueFullError
+
+        queue = JobQueue(tmp_path / "queue.jsonl", max_pending=1)
+        job, _ = self.submit(queue, "a", 0)
+        with pytest.raises(QueueFullError):
+            self.submit(queue, "b", 1)
+        claimed = queue.claim(timeout=1.0)
+        assert claimed.job_id == job.job_id
+        self.submit(queue, "b", 1)  # pending slot freed by the claim
+
+    def test_default_queue_is_unbounded(self, tmp_path):
+        queue = JobQueue(tmp_path / "queue.jsonl")
+        assert queue.max_pending is None
+        for index in range(20):
+            self.submit(queue, f"s{index}", index)
+
+    def test_cap_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="max_pending"):
+            JobQueue(tmp_path / "queue.jsonl", max_pending=0)
+
+    def test_replay_ignores_the_cap(self, tmp_path):
+        """A journal holding more pending jobs than the cap must load."""
+        queue = JobQueue(tmp_path / "queue.jsonl")
+        for index in range(3):
+            self.submit(queue, f"s{index}", index)
+        reopened = JobQueue(tmp_path / "queue.jsonl", max_pending=1)
+        assert reopened.counts()["submitted"] == 3

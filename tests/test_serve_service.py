@@ -214,7 +214,13 @@ class TestIntrospection:
             "done": 0,
             "failed": 0,
         }
-        assert set(health["cache"]) == {"n_hits", "n_misses", "n_puts"}
+        assert set(health["cache"]) == {
+            "n_hits",
+            "n_misses",
+            "n_puts",
+            "n_gc_runs",
+            "n_gc_removed",
+        }
 
     def test_scenario_rows_cover_the_registry(self, tmp_path):
         service = serial_service(tmp_path)
