@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Active learning: train a GP surrogate on the flux x architecture campaign.
+
+This example walks the full ``repro.ml`` loop on the paper's 3D-MPSoC
+design space (Sec. V architectures, coolant flow rate as the knob):
+
+1. run a small seed campaign over flow rate x Niagara architecture into a
+   campaign store (the labelled training set),
+2. fit an exact Gaussian-process surrogate from that store,
+3. check it against a held-out exact solve -- the truth must land inside
+   the model's own 3 sigma,
+4. run active-learning rounds: score a denser candidate sweep with the
+   expected-improvement acquisition, solve only the most informative
+   points, refit, and watch the mean predictive std shrink,
+5. use the final surrogate to scan the whole design space in microseconds
+   per query.
+
+Run it with ``python examples/active_learning.py`` (or step 4 from the
+shell with ``repro ml active campaign.jsonl candidates.json``).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import Session, build_dataset, get_scenario, make_surrogate, select_batch
+from repro.scenarios import GridSpec, OptimizerSpec
+from repro.sweeps import SweepAxis, SweepSpec, apply_field_overrides
+
+#: Coarse grids keep every exact solve under ~10 ms; the surrogate's
+#: whole point is making even these cheap solves unnecessary in bulk.
+GRID = GridSpec(n_grid_points=41, n_lanes=2, n_rows=4, n_cols=8)
+OPTIMIZER = OptimizerSpec(n_segments=2, max_iterations=3)
+
+ARCHITECTURES = ("arch1", "arch2", "arch3")
+SEED_FLOWS = (6.0e-9, 9.0e-9, 1.2e-8)
+POOL_FLOWS = tuple(float(f) for f in np.linspace(6.0e-9, 1.2e-8, 7))
+
+
+def base_spec():
+    return get_scenario("niagara-arch1").with_overrides(
+        grid=GRID, optimizer=OPTIMIZER
+    )
+
+
+def flux_architecture_sweep(name, flows):
+    return SweepSpec(
+        name=name,
+        base=base_spec(),
+        axes=(
+            SweepAxis("params.flow_rate_per_channel", flows, label="flow"),
+            SweepAxis("workload.architecture", ARCHITECTURES, label="arch"),
+        ),
+    )
+
+
+def main() -> None:
+    session = Session()
+    workdir = Path(tempfile.mkdtemp(prefix="repro-active-"))
+    store = workdir / "campaign.jsonl"
+
+    # 1. The seed campaign: 3 flow rates x 3 architectures, exact solves.
+    seed = flux_architecture_sweep("al-seed", SEED_FLOWS)
+    campaign = session.run_many(seed, out=store)
+    print(
+        f"seed campaign: {campaign.n_ok} exact solves "
+        f"into {store.name} ({campaign.wall_time_s:.2f} s)"
+    )
+
+    # 2. Fit the exact GP from the store.
+    dataset = build_dataset(store)
+    model = make_surrogate("gp").fit(dataset)
+    target = "peak_temperature_K"
+    index = list(model.targets).index(target)
+    print(
+        f"GP fitted on {dataset.X.shape[0]} samples, "
+        f"features: {', '.join(dataset.schema.column_names())}"
+    )
+
+    # 3. Held-out check: an interior point the model never saw.
+    held_out = apply_field_overrides(
+        base_spec(),
+        {
+            "params.flow_rate_per_channel": 8.0e-9,
+            "workload.architecture": "arch2",
+        },
+        name="al-held-out",
+    )
+    truth = session.run(held_out).peak_temperature_K
+    mean, std = model.predict_specs([held_out])
+    error = abs(float(mean[0, index]) - truth)
+    print(
+        f"held-out (8 nl/s, arch2): predicted "
+        f"{float(mean[0, index]):.3f} +/- {float(std[0, index]):.3f} K, "
+        f"truth {truth:.3f} K -> error {error:.3f} K "
+        f"({'inside' if error <= 3 * float(std[0, index]) else 'OUTSIDE'} 3 sigma)"
+    )
+
+    # 4. Active-learning rounds over a denser candidate pool.  Labelled
+    # points are excluded by physical identity, so each round only ever
+    # pays for genuinely new solves -- and the store accumulates them.
+    pool = flux_architecture_sweep("al-pool", POOL_FLOWS)
+    for round_index in range(2):
+        dataset = build_dataset(store)
+        model = make_surrogate("gp").fit(dataset)
+        _, std_pool = model.predict_specs(pool.scenarios())
+        before = float(std_pool[:, index].mean())
+
+        selection = select_batch(
+            model,
+            pool,
+            n_points=4,
+            acquisition="ei",
+            target=target,
+            exclude=dataset.specs,
+        )
+        labels = [
+            spec.name.rsplit("/", 1)[-1] for spec in selection.sweep.scenarios()
+        ]
+        campaign = session.run_many(selection.sweep, out=store)
+
+        refit = make_surrogate("gp").fit(
+            build_dataset(store, schema=dataset.schema)
+        )
+        _, std_after = refit.predict_specs(pool.scenarios())
+        after = float(std_after[:, index].mean())
+        print(
+            f"round {round_index + 1}: solved {campaign.n_ok} points "
+            f"({', '.join(labels)}); mean std over the pool "
+            f"{before:.4f} -> {after:.4f} K"
+        )
+
+    # 5. The payoff: scan the full design space from the surrogate alone.
+    final = make_surrogate("gp").fit(build_dataset(store))
+    scan_flows = np.linspace(6.0e-9, 1.2e-8, 25)
+    print()
+    print("predicted peak temperature (K) across the design space:")
+    header = "  flow [nl/s] " + "".join(f"{a:>10s}" for a in ARCHITECTURES)
+    print(header)
+    for flow in scan_flows[:: len(scan_flows) // 8]:
+        specs = [
+            apply_field_overrides(
+                base_spec(),
+                {
+                    "params.flow_rate_per_channel": float(flow),
+                    "workload.architecture": arch,
+                },
+            )
+            for arch in ARCHITECTURES
+        ]
+        mean, _ = final.predict_specs(specs)
+        row = "".join(f"{float(m):10.2f}" for m in mean[:, index])
+        print(f"  {flow * 1e9:11.2f} {row}")
+
+
+if __name__ == "__main__":
+    main()

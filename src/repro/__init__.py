@@ -52,6 +52,10 @@ Under the facade the package contains:
 * :mod:`repro.core` -- the paper's contribution: the optimal channel-width
   modulation design flow (Sec. IV), served by a batched, LRU-cached
   :class:`~repro.core.engine.EvaluationEngine`;
+* :mod:`repro.ml` -- surrogate models trained from campaign stores
+  (exact GP / random-feature ridge), deterministic spec featurization and
+  active-learning batch selection; served with uncertainty gating by
+  :mod:`repro.serve` (``POST /v1/predict``);
 * :mod:`repro.analysis` -- metrics, ASCII map rendering and experiment
   reporting.
 
@@ -137,6 +141,18 @@ from .floorplan import (
     test_a_structure,
     test_b_structure,
 )
+from .ml import (
+    FeatureSchema,
+    GaussianProcessSurrogate,
+    RandomFeatureSurrogate,
+    Surrogate,
+    build_dataset,
+    infer_schema,
+    load_model,
+    make_surrogate,
+    save_model,
+    select_batch,
+)
 from .thermal import (
     ChannelGeometry,
     HeatInputProfile,
@@ -212,6 +228,16 @@ __all__ = [
     "EvaluationEngine",
     "ModulationResult",
     "OptimizerSettings",
+    "FeatureSchema",
+    "GaussianProcessSurrogate",
+    "RandomFeatureSurrogate",
+    "Surrogate",
+    "build_dataset",
+    "infer_schema",
+    "load_model",
+    "make_surrogate",
+    "save_model",
+    "select_batch",
     "Architecture",
     "architecture_names",
     "get_architecture",

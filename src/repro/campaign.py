@@ -34,7 +34,7 @@ import glob
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from .core.engine import EvaluationEngine
 
@@ -87,13 +87,15 @@ class CampaignStore:
 
     # -- reading -----------------------------------------------------------
 
-    def _read_file(
-        self, path: str, records: Dict[str, Dict[str, object]]
-    ) -> None:
-        """Fold one physical JSONL file into ``records`` (later wins).
+    def _scan_file(
+        self, path: str, count_torn: bool = True
+    ) -> Iterator[Tuple[int, Dict[str, object]]]:
+        """Yield ``(line_number, record)`` pairs from one physical file.
 
         A malformed *final* line is treated as a torn write from an
-        interrupted campaign and dropped (counted in ``n_dropped_torn``);
+        interrupted campaign and dropped (counted in ``n_dropped_torn``
+        unless ``count_torn`` is ``False`` -- the second pass of
+        :meth:`iter_records` re-reads files already counted once);
         malformed interior lines raise ``ValueError`` -- the file is not a
         campaign store.
         """
@@ -106,7 +108,8 @@ class CampaignStore:
                 record = json.loads(line)
             except json.JSONDecodeError:
                 if number == len(lines):
-                    self.n_dropped_torn += 1
+                    if count_torn:
+                        self.n_dropped_torn += 1
                     continue
                 raise ValueError(
                     f"{path}:{number}: malformed campaign record "
@@ -117,7 +120,22 @@ class CampaignStore:
                     f"{path}:{number}: campaign records must be JSON "
                     "objects with a 'spec_hash' key"
                 )
+            yield number, record
+
+    def _read_file(
+        self, path: str, records: Dict[str, Dict[str, object]]
+    ) -> None:
+        """Fold one physical JSONL file into ``records`` (later wins)."""
+        for _, record in self._scan_file(path):
             records[record["spec_hash"]] = record
+
+    def _physical_paths(self) -> List[str]:
+        """Every physical file of the store, legacy first then shards."""
+        paths: List[str] = []
+        if os.path.exists(self.path):
+            paths.append(self.path)
+        paths.extend(self.shard_paths())
+        return paths
 
     def load(self) -> Dict[str, Dict[str, object]]:
         """Stored records keyed by ``spec_hash`` (later records win).
@@ -127,11 +145,42 @@ class CampaignStore:
         physical file gets its own torn-final-line tolerance.
         """
         records: Dict[str, Dict[str, object]] = {}
-        if os.path.exists(self.path):
-            self._read_file(self.path, records)
-        for shard in self.shard_paths():
-            self._read_file(shard, records)
+        for path in self._physical_paths():
+            self._read_file(path, records)
         return records
+
+    def iter_records(self) -> Iterator[Dict[str, object]]:
+        """Stream the store's records one at a time, deduped by spec hash.
+
+        Same later-wins / shard-over-legacy semantics as :meth:`load`
+        (including torn-final-line tolerance per physical file), but only
+        one record payload is held at a time: a first index pass notes
+        *where* each spec hash's winning record lives (a hash-to-position
+        map, no payloads), then a second pass re-reads the files in the
+        same order and yields only the winners.  Appends racing the
+        iteration are not guaranteed to be seen -- the view is the store
+        as it was when the call began.
+
+        Records stream in physical order (legacy file first, then shards
+        sorted by prefix; line order within a file), so consumers like
+        ``repro campaign summarize`` and :mod:`repro.ml.dataset` can fold
+        arbitrarily large stores without materializing them.
+        """
+        paths = self._physical_paths()
+        winners: Dict[str, Tuple[int, int]] = {}
+        for file_index, path in enumerate(paths):
+            for number, record in self._scan_file(path):
+                winners[str(record["spec_hash"])] = (file_index, number)
+        for file_index, path in enumerate(paths):
+            try:
+                for number, record in self._scan_file(path, count_torn=False):
+                    key = str(record["spec_hash"])
+                    if winners.get(key) == (file_index, number):
+                        yield record
+            except FileNotFoundError:
+                # The file vanished between passes (e.g. a concurrent
+                # migration); its winning records are simply skipped.
+                continue
 
     # -- writing -----------------------------------------------------------
 
@@ -221,83 +270,112 @@ class CampaignStore:
         return f"<CampaignStore {self.path!r} ({layout})>"
 
 
-def _sum_counters(records: Sequence[Dict[str, object]]) -> Dict[str, object]:
-    """Sum the per-record engine counter deltas (absent counters count 0)."""
-    return EvaluationEngine.merge_stats(
-        [record.get("counters") or {} for record in records]
-    )
-
-
-def summarize_records(records: Sequence[Dict[str, object]]) -> Dict[str, object]:
-    """Campaign-level roll-up of a sequence of campaign records.
+def summarize_records(
+    records: Iterable[Dict[str, object]],
+) -> Dict[str, object]:
+    """Campaign-level roll-up of an iterable of campaign records.
 
     Shared by :meth:`CampaignResult.summary` and ``repro campaign
     summarize``, so a stored JSONL file summarizes exactly like a live
-    campaign.
+    campaign.  The fold is single-pass and holds only the running
+    aggregates (plus the failure list), so it composes with
+    :meth:`CampaignStore.iter_records` to summarize stores of any size
+    without materializing them.
     """
-    ok = [r for r in records if r.get("status") == "ok"]
-    failed = [r for r in records if r.get("status") == "error"]
-    peaks = [
-        r["result"]["peak_temperature_K"]
-        for r in ok
-        if r.get("action") == "run" and isinstance(r.get("result"), dict)
-        and "peak_temperature_K" in r["result"]
-    ]
-    wall = sum(float(r.get("wall_time_s", 0.0)) for r in records)
-    summary: Dict[str, object] = {
-        "n_records": len(records),
-        "n_ok": len(ok),
-        "n_failed": len(failed),
+    n_records = n_ok = n_failed = 0
+    counters_complete = True
+    actions: set = set()
+    solvers: set = set()
+    workers_seen: set = set()
+    wall = 0.0
+    counters = EvaluationEngine.merge_stats([])
+    failures: List[Dict[str, object]] = []
+    peak_min = peak_max = None
+    n_transient = 0
+    transient_peak_min = transient_peak_max = None
+    time_above_total = 0.0
+    pumping_total = 0.0
+    policies_seen: set = set()
+
+    for record in records:
+        n_records += 1
+        status = record.get("status")
+        result = record.get("result")
+        if status == "ok":
+            n_ok += 1
+        elif status == "error":
+            n_failed += 1
+            failures.append(
+                {"scenario": record.get("scenario"), "error": record.get("error")}
+            )
         # Thread-executor records carry counters: None (per-task deltas on
         # a shared session are not attributable); when any such record is
         # present the summed counters are a lower bound, flagged here.
-        "counters_complete": all(r.get("counters") is not None for r in records),
-        "actions": sorted({str(r.get("action")) for r in records}),
-        "solvers": sorted(
-            {str(r.get("solver")) for r in records if r.get("solver")}
-        ),
-        "workers_seen": sorted(
-            {
-                int(r["worker"]["pid"])
-                for r in records
-                if isinstance(r.get("worker"), dict) and "pid" in r["worker"]
-            }
-        ),
+        if record.get("counters") is None:
+            counters_complete = False
+        counters = EvaluationEngine.merge_stats(
+            [counters, record.get("counters") or {}]
+        )
+        actions.add(str(record.get("action")))
+        if record.get("solver"):
+            solvers.add(str(record.get("solver")))
+        worker = record.get("worker")
+        if isinstance(worker, dict) and "pid" in worker:
+            workers_seen.add(int(worker["pid"]))
+        wall += float(record.get("wall_time_s", 0.0))
+        if status == "ok" and isinstance(result, dict):
+            if (
+                record.get("action") == "run"
+                and "peak_temperature_K" in result
+            ):
+                peak = result["peak_temperature_K"]
+                peak_min = peak if peak_min is None else min(peak_min, peak)
+                peak_max = peak if peak_max is None else max(peak_max, peak)
+            transient = result.get("transient")
+            if isinstance(transient, dict):
+                n_transient += 1
+                if "peak_transient_temperature_K" in transient:
+                    tpeak = transient["peak_transient_temperature_K"]
+                    transient_peak_min = (
+                        tpeak
+                        if transient_peak_min is None
+                        else min(transient_peak_min, tpeak)
+                    )
+                    transient_peak_max = (
+                        tpeak
+                        if transient_peak_max is None
+                        else max(transient_peak_max, tpeak)
+                    )
+                time_above_total += float(
+                    transient.get("time_above_threshold_s", 0.0)
+                )
+                pumping_total += float(transient.get("pumping_energy_J", 0.0))
+                if transient.get("policy"):
+                    policies_seen.add(str(transient.get("policy")))
+
+    summary: Dict[str, object] = {
+        "n_records": n_records,
+        "n_ok": n_ok,
+        "n_failed": n_failed,
+        "counters_complete": counters_complete,
+        "actions": sorted(actions),
+        "solvers": sorted(solvers),
+        "workers_seen": sorted(workers_seen),
         "task_wall_time_s": wall,
-        "counters": _sum_counters(records),
-        "failures": [
-            {"scenario": r.get("scenario"), "error": r.get("error")}
-            for r in failed
-        ],
+        "counters": counters,
+        "failures": failures,
     }
-    if peaks:
-        summary["peak_temperature_K_min"] = min(peaks)
-        summary["peak_temperature_K_max"] = max(peaks)
-    transients = [
-        r["result"]["transient"]
-        for r in ok
-        if isinstance(r.get("result"), dict)
-        and isinstance(r["result"].get("transient"), dict)
-    ]
-    if transients:
-        transient_peaks = [
-            t["peak_transient_temperature_K"]
-            for t in transients
-            if "peak_transient_temperature_K" in t
-        ]
-        summary["n_transient"] = len(transients)
-        if transient_peaks:
-            summary["peak_transient_temperature_K_min"] = min(transient_peaks)
-            summary["peak_transient_temperature_K_max"] = max(transient_peaks)
-        summary["time_above_threshold_s_total"] = sum(
-            float(t.get("time_above_threshold_s", 0.0)) for t in transients
-        )
-        summary["pumping_energy_J_total"] = sum(
-            float(t.get("pumping_energy_J", 0.0)) for t in transients
-        )
-        summary["policies_seen"] = sorted(
-            {str(t.get("policy")) for t in transients if t.get("policy")}
-        )
+    if peak_min is not None:
+        summary["peak_temperature_K_min"] = peak_min
+        summary["peak_temperature_K_max"] = peak_max
+    if n_transient:
+        summary["n_transient"] = n_transient
+        if transient_peak_min is not None:
+            summary["peak_transient_temperature_K_min"] = transient_peak_min
+            summary["peak_transient_temperature_K_max"] = transient_peak_max
+        summary["time_above_threshold_s_total"] = time_above_total
+        summary["pumping_energy_J_total"] = pumping_total
+        summary["policies_seen"] = sorted(policies_seen)
     return summary
 
 

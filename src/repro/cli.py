@@ -17,9 +17,13 @@ with ``--json`` / ``--output``, so runs can be scripted and diffed:
     repro sweep sweep.json --executor process --workers 4 \
         --out campaign.jsonl                 # run a whole scenario family
     repro campaign summarize campaign.jsonl  # roll up a stored campaign
+    repro campaign export campaign.jsonl --out data.csv  # features + metrics
     repro serve --data-dir ./serve-data --port 8080   # campaign service
     repro submit sweep.json --url http://127.0.0.1:8080 --wait
     repro jobs --url http://127.0.0.1:8080   # list service jobs
+    repro ml fit campaign.jsonl --model-dir models    # train a surrogate
+    repro ml predict test-a --model-dir models        # mean + std, no solve
+    repro ml active campaign.jsonl candidates.json --model-dir models
 
 Campaigns stream one JSONL record per completed scenario into ``--out``;
 re-running the same sweep with the same ``--out`` file *resumes* -- stored
@@ -462,9 +466,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 def cmd_campaign(args: argparse.Namespace) -> int:
     """``repro campaign summarize`` -- roll up a stored campaign JSONL."""
     store = CampaignStore(args.file)
-    records = list(store.load().values())
-    records.sort(key=lambda record: record.get("index", 0))
-    summary = summarize_records(records)
+    # iter_records streams shard by shard, so summarizing never loads the
+    # whole store; the fold in summarize_records is single-pass too.
+    summary = summarize_records(store.iter_records())
     summary["store_path"] = store.path
     summary["n_dropped_torn"] = store.n_dropped_torn
     summary["sharded"] = store.is_sharded
@@ -500,6 +504,191 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         for failure in summary["failures"]:
             print(f"  FAILED {failure['scenario']}: {failure['error']}")
     return 0
+
+
+def cmd_campaign_export(args: argparse.Namespace) -> int:
+    """``repro campaign export`` -- dump features + metrics rows.
+
+    One row per unique ok record: ``spec_hash``, ``scenario``, the
+    numeric feature columns of :mod:`repro.ml.features` (constants kept
+    -- an export is documentation) and the requested target metrics.
+    CSV by default, a JSON array with ``--json``.
+    """
+    from .ml.dataset import DEFAULT_TARGETS, build_dataset
+
+    targets = tuple(args.target) if args.target else DEFAULT_TARGETS
+    dataset = build_dataset(
+        CampaignStore(args.file), targets=targets, drop_constant=False
+    )
+    feature_names = dataset.schema.column_names()
+    header = ["spec_hash", "scenario"] + feature_names + list(dataset.targets)
+    rows = [
+        [dataset.spec_hashes[i], dataset.scenarios[i]]
+        + [float(v) for v in dataset.X[i]]
+        + [float(v) for v in dataset.y[i]]
+        for i in range(dataset.n_samples)
+    ]
+    if args.json:
+        payload = [dict(zip(header, row)) for row in rows]
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+        else:
+            print(text)
+    else:
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(header)
+        writer.writerows(rows)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8", newline="") as handle:
+                handle.write(buffer.getvalue())
+        else:
+            sys.stdout.write(buffer.getvalue())
+    skipped = sum(dataset.skipped.values())
+    print(
+        f"exported {dataset.n_samples} row(s) x {len(header)} column(s)"
+        + (f" to {args.out}" if args.out else "")
+        + (f"; skipped {skipped} record(s) {dataset.skipped}" if skipped else ""),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_ml_fit(args: argparse.Namespace) -> int:
+    """``repro ml fit`` -- train a surrogate on a campaign store."""
+    from .ml import build_dataset, make_surrogate, save_model
+    from .ml.dataset import DEFAULT_TARGETS
+
+    targets = tuple(args.target) if args.target else DEFAULT_TARGETS
+    dataset = build_dataset(CampaignStore(args.file), targets=targets)
+    model = make_surrogate(args.model).fit(dataset)
+    model_id = save_model(model, args.model_dir)
+    payload = model.describe()
+    payload["model_id"] = model_id
+    payload["model_dir"] = args.model_dir
+    payload["dataset"] = dataset.summary()
+    if args.json or args.output:
+        _emit(payload, args)
+    else:
+        print(
+            f"fitted {args.model} surrogate on {dataset.n_samples} sample(s) "
+            f"({', '.join(dataset.targets)})"
+        )
+        print(f"  features: {', '.join(dataset.schema.column_names())}")
+        print(f"  saved as {model_id} in {args.model_dir}")
+    return 0
+
+
+def cmd_ml_predict(args: argparse.Namespace) -> int:
+    """``repro ml predict`` -- surrogate mean + std for a scenario, no solve."""
+    from .ml import load_model
+
+    spec = _resolve(args.scenario)
+    model = load_model(args.model_dir, args.model_id)
+    mean, std = model.predict_specs([spec])
+    payload: Dict[str, object] = {
+        "scenario": spec.name,
+        "model": model.name,
+        "mean": {
+            target: float(mean[0, i]) for i, target in enumerate(model.targets)
+        },
+        "std": {
+            target: float(std[0, i]) for i, target in enumerate(model.targets)
+        },
+    }
+    if args.json or args.output:
+        _emit(payload, args)
+    else:
+        print(f"{spec.name} via {model.name} surrogate (no solve)")
+        for target in model.targets:
+            print(
+                f"  {target:36s} {payload['mean'][target]:.6g} "
+                f"+/- {payload['std'][target]:.3g}"
+            )
+    return 0
+
+
+def cmd_ml_active(args: argparse.Namespace) -> int:
+    """``repro ml active`` -- one active-learning round over a store.
+
+    Fits a surrogate on the store, scores the candidate sweep with the
+    chosen acquisition, runs the selected batch through the ordinary
+    campaign machinery *into the same store* (so the round is resumable
+    and interruptible like any sweep), refits, and reports how much the
+    mean predictive std over the candidates shrank.
+    """
+    from .ml import build_dataset, make_surrogate, select_batch
+    from .ml.dataset import DEFAULT_TARGETS
+
+    targets = tuple(args.target) if args.target else DEFAULT_TARGETS
+    candidates = _load_sweep(args.candidates)
+    if not isinstance(candidates, SweepSpec):
+        raise ValueError(
+            f"{args.candidates}: candidates must be a sweep JSON file "
+            "(a 'base' plus axes), not a single scenario"
+        )
+    store = CampaignStore(args.file)
+    dataset = build_dataset(store, targets=targets)
+    model = make_surrogate(args.model).fit(dataset)
+    # Exclude by spec payload, not resume key: the training sweep and the
+    # candidate pool are usually named differently, and physical identity
+    # is what "already labelled" means (see repro.ml.active.physical_key).
+    selection = select_batch(
+        model,
+        candidates,
+        n_points=args.n_points,
+        acquisition=args.acquisition,
+        exclude=dataset.specs,
+    )
+    payload = selection.to_dict()
+    payload["n_training_samples"] = dataset.n_samples
+    if args.dry_run:
+        payload["dry_run"] = True
+        if args.json or args.output:
+            _emit(payload, args)
+        else:
+            print(
+                f"would run {len(selection.indices)} point(s) "
+                f"[{args.acquisition} on {selection.target}]; "
+                f"mean candidate std {selection.mean_std:.4g}"
+            )
+            for name in selection.sweep.scenario_names():
+                print(f"  {name}")
+        return 0
+    campaign = Session().run_many(
+        selection.sweep,
+        executor=args.executor,
+        workers=args.workers,
+        out=store,
+    )
+    refit_dataset = build_dataset(
+        store, targets=targets, schema=dataset.schema
+    )
+    refit = make_surrogate(args.model).fit(refit_dataset)
+    _, std_after = refit.predict_specs(candidates.scenarios())
+    target_index = list(refit.targets).index(selection.target)
+    payload["campaign"] = campaign.summary()
+    payload["mean_std_after"] = float(std_after[:, target_index].mean())
+    payload["n_training_samples_after"] = refit_dataset.n_samples
+    if args.json or args.output:
+        _emit(payload, args)
+    else:
+        print(
+            f"ran {len(selection.indices)} point(s) "
+            f"[{args.acquisition} on {selection.target}]: "
+            f"{campaign.n_ok} ok, {campaign.n_from_store} from store"
+        )
+        print(
+            f"  mean candidate std: {selection.mean_std:.4g} -> "
+            f"{payload['mean_std_after']:.4g} "
+            f"({dataset.n_samples} -> {refit_dataset.n_samples} samples)"
+        )
+    return 0 if campaign.n_failed == 0 else 1
 
 
 def cmd_cache_gc(args: argparse.Namespace) -> int:
@@ -824,6 +1013,143 @@ def build_parser() -> argparse.ArgumentParser:
     summarize_parser.add_argument("file", help="campaign JSONL file")
     _add_output_arguments(summarize_parser)
     summarize_parser.set_defaults(func=cmd_campaign)
+
+    export_parser = campaign_sub.add_parser(
+        "export",
+        help="dump the store as a feature/metric table (CSV or JSON)",
+    )
+    export_parser.add_argument("file", help="campaign JSONL file")
+    export_parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="write the table here instead of stdout",
+    )
+    export_parser.add_argument(
+        "--target",
+        action="append",
+        metavar="PATH",
+        default=None,
+        help=(
+            "dotted result path to include as a metric column (repeatable; "
+            "default: peak_temperature_K and max_pressure_drop_Pa)"
+        ),
+    )
+    export_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a JSON array of row objects instead of CSV",
+    )
+    export_parser.set_defaults(func=cmd_campaign_export)
+
+    ml_parser = subparsers.add_parser(
+        "ml",
+        help="surrogate models: fit from campaigns, predict, active learning",
+    )
+    ml_sub = ml_parser.add_subparsers(dest="ml_command", required=True)
+
+    ml_fit_parser = ml_sub.add_parser(
+        "fit", help="train a surrogate on a campaign store's ok records"
+    )
+    ml_fit_parser.add_argument("file", help="campaign JSONL file to train on")
+    ml_fit_parser.add_argument(
+        "--model",
+        choices=("gp", "rff"),
+        default="gp",
+        help="surrogate family: exact GP or random-feature ridge (default: gp)",
+    )
+    ml_fit_parser.add_argument(
+        "--target",
+        action="append",
+        metavar="PATH",
+        default=None,
+        help=(
+            "dotted result path to regress on (repeatable; default: "
+            "peak_temperature_K and max_pressure_drop_Pa)"
+        ),
+    )
+    ml_fit_parser.add_argument(
+        "--model-dir",
+        metavar="DIR",
+        default="models",
+        help="content-addressed model directory (default: ./models)",
+    )
+    _add_output_arguments(ml_fit_parser)
+    ml_fit_parser.set_defaults(func=cmd_ml_fit)
+
+    ml_predict_parser = ml_sub.add_parser(
+        "predict", help="surrogate mean and uncertainty for a scenario, no solve"
+    )
+    _add_scenario_argument(ml_predict_parser)
+    ml_predict_parser.add_argument(
+        "--model-dir",
+        metavar="DIR",
+        default="models",
+        help="model directory written by 'repro ml fit' (default: ./models)",
+    )
+    ml_predict_parser.add_argument(
+        "--model-id",
+        metavar="ID",
+        default=None,
+        help="specific saved model (default: the latest fit)",
+    )
+    _add_output_arguments(ml_predict_parser)
+    ml_predict_parser.set_defaults(func=cmd_ml_predict)
+
+    ml_active_parser = ml_sub.add_parser(
+        "active",
+        help="one active-learning round: fit, pick informative points, run them",
+    )
+    ml_active_parser.add_argument(
+        "file", help="campaign JSONL store to train on and run into"
+    )
+    ml_active_parser.add_argument(
+        "candidates", help="sweep JSON file (base + axes) defining the pool"
+    )
+    ml_active_parser.add_argument(
+        "--model",
+        choices=("gp", "rff"),
+        default="gp",
+        help="surrogate family (default: gp)",
+    )
+    ml_active_parser.add_argument(
+        "--target",
+        action="append",
+        metavar="PATH",
+        default=None,
+        help="dotted result path(s) to model (repeatable; default: built-ins)",
+    )
+    ml_active_parser.add_argument(
+        "--n-points",
+        type=int,
+        default=4,
+        help="batch size: scenarios to run this round (default: 4)",
+    )
+    ml_active_parser.add_argument(
+        "--acquisition",
+        choices=("max_variance", "ucb", "ei"),
+        default="max_variance",
+        help="how to score candidates (default: max_variance)",
+    )
+    ml_active_parser.add_argument(
+        "--executor",
+        default="serial",
+        help=(
+            "campaign executor for the selected batch: one of "
+            + "/".join(available_executors())
+            + " (default: serial)"
+        ),
+    )
+    ml_active_parser.add_argument(
+        "--workers", type=int, default=1, help="worker count for thread/process"
+    )
+    ml_active_parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report the selection without running anything",
+    )
+    _add_output_arguments(ml_active_parser)
+    ml_active_parser.set_defaults(func=cmd_ml_active)
 
     serve_parser = subparsers.add_parser(
         "serve", help="run the campaign service (durable queue + HTTP API)"

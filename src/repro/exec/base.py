@@ -12,6 +12,11 @@ A record carries:
 ``index / scenario / spec_hash / action / solver``
     Which task produced it (``spec_hash`` is the resume key: a content
     hash over the spec *and* the effective action/simulator family).
+``spec``
+    The full :meth:`ScenarioSpec.to_dict` payload, so a store doubles as
+    self-describing supervised data for :mod:`repro.ml` (records written
+    before this field existed are handled by ``dataset.build_dataset``'s
+    ``specs=`` fallback).
 ``status``
     ``"ok"`` or ``"error"``; failed scenarios do not abort the campaign.
 ``result``
@@ -160,6 +165,10 @@ def execute_task(
         "spec_hash": task.key(),
         "action": task.action,
         "solver": task.effective_solver(),
+        # The full spec rides along so a store is self-describing
+        # supervised data (spec -> metrics) for repro.ml, not just a
+        # resume ledger of opaque hashes.
+        "spec": task.spec.to_dict(),
         "status": "ok",
     }
     try:

@@ -1,0 +1,62 @@
+"""Surrogate modelling over campaign stores (see ROADMAP item 4).
+
+The subpackage turns completed campaigns into trained models and back
+into new campaigns:
+
+* :mod:`repro.ml.features` -- deterministic spec -> feature vectors
+  (:class:`FeatureSchema`);
+* :mod:`repro.ml.dataset` -- stream a :class:`~repro.campaign.CampaignStore`
+  into ``(X, y)`` matrices (:func:`build_dataset`);
+* :mod:`repro.ml.models` -- the :class:`Surrogate` protocol plus exact-GP
+  and random-Fourier-feature implementations with content-addressed
+  save/load;
+* :mod:`repro.ml.active` -- acquisition functions that select the next
+  batch of scenarios as an ordinary resumable sweep
+  (:func:`select_batch`).
+"""
+
+from .active import (
+    ACQUISITIONS,
+    ActiveSelection,
+    acquisition_scores,
+    candidate_keys,
+    physical_key,
+    select_batch,
+)
+from .dataset import DEFAULT_TARGETS, Dataset, build_dataset, target_value
+from .features import FeatureField, FeatureSchema, flatten_spec, infer_schema
+from .models import (
+    SURROGATES,
+    GaussianProcessSurrogate,
+    RandomFeatureSurrogate,
+    Surrogate,
+    list_models,
+    load_model,
+    make_surrogate,
+    save_model,
+)
+
+__all__ = [
+    "ACQUISITIONS",
+    "DEFAULT_TARGETS",
+    "SURROGATES",
+    "ActiveSelection",
+    "Dataset",
+    "FeatureField",
+    "FeatureSchema",
+    "GaussianProcessSurrogate",
+    "RandomFeatureSurrogate",
+    "Surrogate",
+    "acquisition_scores",
+    "build_dataset",
+    "candidate_keys",
+    "physical_key",
+    "flatten_spec",
+    "infer_schema",
+    "list_models",
+    "load_model",
+    "make_surrogate",
+    "save_model",
+    "select_batch",
+    "target_value",
+]

@@ -1,0 +1,281 @@
+"""Campaign stores as supervised datasets: records -> ``(X, y)`` matrices.
+
+Every campaign JSONL is a labelled dataset in disguise -- each ok record
+pairs a full :class:`~repro.scenarios.ScenarioSpec` (the ``"spec"`` field
+records have carried since repro.ml landed) with the metrics the solver
+produced.  :func:`build_dataset` streams a :class:`~repro.campaign.CampaignStore`
+(legacy single-file and ``campaign.jsonl.d/`` shard layouts alike, via
+:meth:`~repro.campaign.CampaignStore.iter_records`) into the numeric form
+surrogates train on:
+
+* ``X`` -- one row per unique ``spec_hash``, encoded by a
+  :class:`~repro.ml.features.FeatureSchema` (inferred from the stored
+  specs when not supplied);
+* ``y`` -- one column per requested target metric, resolved by dotted
+  path into the record's result payload (``"peak_temperature_K"``,
+  ``"max_pressure_drop_Pa"``, ``"transient.pumping_energy_J"``, ...).
+
+Only ``status == "ok"`` records of the requested action are used;
+duplicates (the same task re-run) keep the *later* record, matching the
+store's own resume semantics.  Records predating the ``"spec"`` field can
+still train a model by passing ``specs=`` -- the candidate specs are
+re-keyed with :meth:`~repro.exec.base.CampaignTask.key` and matched by
+hash.  Everything skipped is counted, never silently dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..campaign import CampaignStore
+from ..exec.base import CampaignTask
+from ..scenarios import ScenarioSpec
+from .features import FeatureSchema, infer_schema
+
+__all__ = [
+    "DEFAULT_TARGETS",
+    "Dataset",
+    "build_dataset",
+    "target_value",
+]
+
+#: Commonly-modelled target metrics and the dotted result paths they
+#: resolve to.  Any dotted path into the result payload is accepted;
+#: these are just the ones the paper's co-design loop cares about.
+DEFAULT_TARGETS: Tuple[str, ...] = (
+    "peak_temperature_K",
+    "max_pressure_drop_Pa",
+)
+
+#: All the curated targets the CLI advertises (transient metrics only
+#: exist on records whose scenario ran a transient schedule).
+KNOWN_TARGETS: Tuple[str, ...] = (
+    "peak_temperature_K",
+    "max_pressure_drop_Pa",
+    "coolant_rise_K",
+    "thermal_gradient_K",
+    "transient.pumping_energy_J",
+    "transient.peak_transient_temperature_K",
+    "transient.time_above_threshold_s",
+)
+
+
+def target_value(record: Mapping, target: str) -> Optional[float]:
+    """Resolve one dotted target path inside a record's result payload.
+
+    Returns ``None`` when any path segment is missing or the leaf is not
+    a number -- the caller decides whether that skips the record.
+    """
+    node: object = record.get("result")
+    for segment in target.split("."):
+        if not isinstance(node, Mapping) or segment not in node:
+            return None
+        node = node[segment]
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return None
+    return float(node)
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A supervised view of a campaign store.
+
+    Attributes
+    ----------
+    X:
+        Feature matrix, shape ``(n_samples, schema.n_features)``.
+    y:
+        Target matrix, shape ``(n_samples, len(targets))``.
+    targets:
+        The dotted result paths the ``y`` columns hold, in order.
+    schema:
+        The :class:`FeatureSchema` that produced ``X`` (ship it with any
+        model fit on this dataset -- predictions must encode queries with
+        the same columns).
+    spec_hashes / scenarios:
+        Row-aligned provenance: which task and expanded scenario name
+        each sample came from.
+    specs:
+        Row-aligned plain-data spec payloads (useful for re-running or
+        exporting samples).
+    skipped:
+        Why records were left out: ``{"not_ok", "wrong_action",
+        "missing_spec", "missing_target"}`` counts.
+    """
+
+    X: np.ndarray
+    y: np.ndarray
+    targets: Tuple[str, ...]
+    schema: FeatureSchema
+    spec_hashes: Tuple[str, ...] = ()
+    scenarios: Tuple[str, ...] = ()
+    specs: Tuple[Mapping, ...] = ()
+    skipped: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_samples(self) -> int:
+        """Rows in the dataset."""
+        return int(self.X.shape[0])
+
+    def column(self, target: str) -> np.ndarray:
+        """One target's column of ``y`` by its dotted path."""
+        if target not in self.targets:
+            raise KeyError(
+                f"dataset has no target {target!r}; it holds {list(self.targets)}"
+            )
+        return self.y[:, self.targets.index(target)]
+
+    def summary(self) -> Dict[str, object]:
+        """Plain-data description (counts, targets, per-target ranges)."""
+        ranges = {}
+        for index, target in enumerate(self.targets):
+            if self.n_samples:
+                column = self.y[:, index]
+                ranges[target] = {
+                    "min": float(column.min()),
+                    "max": float(column.max()),
+                    "mean": float(column.mean()),
+                }
+        return {
+            "n_samples": self.n_samples,
+            "n_features": int(self.X.shape[1]),
+            "targets": list(self.targets),
+            "feature_columns": self.schema.column_names(),
+            "skipped": dict(self.skipped),
+            "target_ranges": ranges,
+        }
+
+
+def _iter_source(
+    source: Union[CampaignStore, str, Iterable[Mapping]],
+) -> Iterable[Mapping]:
+    """Normalize a dataset source to an iterable of campaign records."""
+    if isinstance(source, CampaignStore):
+        return source.iter_records()
+    if isinstance(source, (str, bytes)) or hasattr(source, "__fspath__"):
+        return CampaignStore(source).iter_records()
+    return source
+
+
+def _spec_index(
+    specs: Optional[Sequence[Union[ScenarioSpec, Mapping]]],
+    action: str,
+    solver: Optional[str],
+) -> Dict[str, Dict[str, object]]:
+    """Map task resume keys to spec payloads for pre-``spec``-field stores."""
+    index: Dict[str, Dict[str, object]] = {}
+    for entry in specs or ():
+        spec = (
+            entry
+            if isinstance(entry, ScenarioSpec)
+            else ScenarioSpec.from_dict(entry)
+        )
+        task = CampaignTask(index=0, spec=spec, action=action, solver=solver)
+        index[task.key()] = spec.to_dict()
+    return index
+
+
+def build_dataset(
+    source: Union[CampaignStore, str, Iterable[Mapping]],
+    targets: Sequence[str] = DEFAULT_TARGETS,
+    schema: Optional[FeatureSchema] = None,
+    specs: Optional[Sequence[Union[ScenarioSpec, Mapping]]] = None,
+    action: str = "run",
+    solver: Optional[str] = None,
+    drop_constant: bool = True,
+) -> Dataset:
+    """Stream a campaign store into a supervised :class:`Dataset`.
+
+    Parameters
+    ----------
+    source:
+        A :class:`CampaignStore`, a store path (legacy file and/or its
+        ``.d/`` shard directory), or any iterable of campaign records
+        (e.g. ``CampaignResult.records``).
+    targets:
+        Dotted result paths to regress on (see :data:`KNOWN_TARGETS` for
+        the curated list).  A record missing *any* requested target is
+        skipped (counted under ``"missing_target"``).
+    schema:
+        The feature encoding; inferred from the surviving specs with
+        :func:`~repro.ml.features.infer_schema` when omitted.
+    specs:
+        Candidate specs for stores whose records predate the ``"spec"``
+        field: they are re-keyed with the task resume key and matched by
+        ``spec_hash``.  Records with neither an embedded spec nor a match
+        here count under ``"missing_spec"``.
+    action / solver:
+        Which task family to train on (default: plain ``"run"`` records,
+        any solver).  ``action=None`` accepts every action.
+    drop_constant:
+        Passed to :func:`infer_schema` when ``schema`` is omitted; keep
+        ``False`` for exports where constant columns are documentation.
+    """
+    targets = tuple(targets)
+    if not targets:
+        raise ValueError("build_dataset needs at least one target metric")
+    fallback = _spec_index(specs, action or "run", solver)
+    skipped = {
+        "not_ok": 0,
+        "wrong_action": 0,
+        "missing_spec": 0,
+        "missing_target": 0,
+    }
+    # Later records win, matching CampaignStore.load(); iter_records()
+    # already dedupes stores, this handles raw record iterables too.
+    rows: Dict[str, Tuple[Dict[str, object], str, List[float]]] = {}
+    for record in _iter_source(source):
+        if record.get("status") != "ok":
+            skipped["not_ok"] += 1
+            continue
+        if action is not None and record.get("action") != action:
+            skipped["wrong_action"] += 1
+            continue
+        if solver is not None and record.get("solver") != solver:
+            skipped["wrong_action"] += 1
+            continue
+        spec_hash = str(record.get("spec_hash"))
+        spec = record.get("spec")
+        if not isinstance(spec, Mapping):
+            spec = fallback.get(spec_hash)
+        if spec is None:
+            skipped["missing_spec"] += 1
+            continue
+        values = [target_value(record, target) for target in targets]
+        if any(value is None for value in values):
+            skipped["missing_target"] += 1
+            continue
+        rows[spec_hash] = (
+            dict(spec),
+            str(record.get("scenario")),
+            [float(value) for value in values],
+        )
+
+    spec_hashes = tuple(rows)
+    spec_dicts = tuple(rows[key][0] for key in spec_hashes)
+    scenarios = tuple(rows[key][1] for key in spec_hashes)
+    if schema is None:
+        if not rows:
+            raise ValueError(
+                "the campaign source produced no usable training records "
+                f"(skipped: {skipped}); cannot infer a feature schema"
+            )
+        schema = infer_schema(spec_dicts, drop_constant=drop_constant)
+    X = schema.matrix(spec_dicts)
+    if rows:
+        y = np.asarray([rows[key][2] for key in spec_hashes], dtype=float)
+    else:
+        y = np.empty((0, len(targets)), dtype=float)
+    return Dataset(
+        X=X,
+        y=y,
+        targets=targets,
+        schema=schema,
+        spec_hashes=spec_hashes,
+        scenarios=scenarios,
+        specs=spec_dicts,
+        skipped=skipped,
+    )

@@ -1,0 +1,374 @@
+"""Deterministic spec -> feature-vector extraction for surrogate models.
+
+A surrogate learns ``spec -> metrics`` from campaign records, so it needs
+a *stable, numeric* view of a :class:`~repro.scenarios.ScenarioSpec`.  A
+:class:`FeatureSchema` provides exactly that: an ordered tuple of
+:class:`FeatureField` entries, each naming one dotted-path field of the
+spec's plain-data form (the same paths :mod:`repro.sweeps` axes use --
+``"workload.flux_w_per_cm2"``, ``"params.flow_rate_per_channel"``,
+``"workload.architecture"``, ...), encoded as
+
+* one column per **numeric** field (ints, floats, bools), or
+* one column per vocabulary entry for a **categorical** (string) field
+  (one-hot).  A value outside the stored vocabulary encodes as all
+  zeros -- maximally far from every training point, so a GP's predictive
+  std flags it as out-of-distribution instead of silently aliasing it
+  onto a known category.
+
+Schemas round-trip losslessly through JSON (:meth:`FeatureSchema.to_dict`
+/ :meth:`FeatureSchema.from_dict`), so a pickled model can be audited and
+a service can validate queries against the exact columns it was trained
+on.  Extraction is pure: the same spec always produces the same vector,
+whatever order its dictionary form lists the fields in.
+
+:func:`infer_schema` builds a schema from example specs by flattening
+each spec to its dotted scalar leaves and keeping the fields that are
+present in *every* example (by default only those that actually vary --
+constant columns carry no information for a surrogate, and dropping them
+keeps kernels well-conditioned).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..scenarios import ScenarioSpec
+
+__all__ = [
+    "FeatureField",
+    "FeatureSchema",
+    "flatten_spec",
+    "infer_schema",
+]
+
+#: Field kinds a schema can encode.
+FIELD_KINDS: Tuple[str, ...] = ("numeric", "categorical")
+
+#: Dotted paths never used as features: free-text provenance that varies
+#: per expanded scenario without describing the physics.
+EXCLUDED_PATHS: Tuple[str, ...] = ("name", "description")
+
+
+def _is_excluded(path: str) -> bool:
+    return any(
+        path == prefix or path.startswith(prefix + ".")
+        for prefix in EXCLUDED_PATHS
+    )
+
+
+def flatten_spec(spec: Union[ScenarioSpec, Mapping]) -> Dict[str, object]:
+    """Flatten a spec (or its dict form) to ``{dotted path: scalar leaf}``.
+
+    Numbers and bools stay as-is, strings are kept for categorical
+    encoding, ``None`` leaves are skipped, and list entries get indexed
+    path segments (``"design.0.1"``), so variable-length sections simply
+    contribute different key sets.  The result is order-independent:
+    flattening a spec dict with shuffled keys yields the same mapping.
+    """
+    if isinstance(spec, ScenarioSpec):
+        spec = spec.to_dict()
+    if not isinstance(spec, Mapping):
+        raise ValueError(
+            f"expected a ScenarioSpec or its mapping form, got "
+            f"{type(spec).__name__}"
+        )
+    flat: Dict[str, object] = {}
+
+    def walk(prefix: str, node: object) -> None:
+        if isinstance(node, Mapping):
+            for key, value in node.items():
+                walk(f"{prefix}.{key}" if prefix else str(key), value)
+        elif isinstance(node, (list, tuple)):
+            for index, value in enumerate(node):
+                walk(f"{prefix}.{index}", value)
+        elif node is None:
+            return
+        elif isinstance(node, (bool, int, float, str)):
+            if not _is_excluded(prefix):
+                flat[prefix] = node
+
+    walk("", spec)
+    return flat
+
+
+@dataclass(frozen=True)
+class FeatureField:
+    """One schema entry: a dotted path and how it encodes.
+
+    Attributes
+    ----------
+    path:
+        Dotted path into the flattened spec (see :func:`flatten_spec`).
+    kind:
+        ``"numeric"`` (one column, the float value) or ``"categorical"``
+        (one column per vocabulary entry, one-hot).
+    vocabulary:
+        The ordered category values of a categorical field; empty for
+        numeric fields.
+    """
+
+    path: str
+    kind: str = "numeric"
+    vocabulary: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.path, str) or not self.path:
+            raise ValueError(
+                f"feature path must be a non-empty dotted path, got {self.path!r}"
+            )
+        if self.kind not in FIELD_KINDS:
+            raise ValueError(
+                f"feature kind must be one of {list(FIELD_KINDS)}, got {self.kind!r}"
+            )
+        vocabulary = tuple(str(value) for value in self.vocabulary)
+        if self.kind == "categorical" and not vocabulary:
+            raise ValueError(
+                f"categorical feature {self.path!r} needs a non-empty vocabulary"
+            )
+        if self.kind == "numeric" and vocabulary:
+            raise ValueError(
+                f"numeric feature {self.path!r} must not carry a vocabulary"
+            )
+        object.__setattr__(self, "vocabulary", vocabulary)
+
+    @property
+    def n_columns(self) -> int:
+        """How many matrix columns this field occupies."""
+        return len(self.vocabulary) if self.kind == "categorical" else 1
+
+    def column_names(self) -> List[str]:
+        """The column labels this field contributes."""
+        if self.kind == "numeric":
+            return [self.path]
+        return [f"{self.path}={value}" for value in self.vocabulary]
+
+    def encode(self, value: object) -> List[float]:
+        """Encode one leaf value into this field's columns."""
+        if self.kind == "numeric":
+            if isinstance(value, bool):
+                return [1.0 if value else 0.0]
+            if not isinstance(value, (int, float)):
+                raise ValueError(
+                    f"feature {self.path!r} expects a number, got {value!r}"
+                )
+            return [float(value)]
+        row = [0.0] * len(self.vocabulary)
+        text = str(value)
+        if text in self.vocabulary:
+            row[self.vocabulary.index(text)] = 1.0
+        # Unknown categories stay all-zero: far from every training
+        # point, so uncertainty-gated serving routes them to an exact
+        # solve instead of aliasing them onto a known category.
+        return row
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data (JSON-compatible) representation of the field."""
+        payload: Dict[str, object] = {"path": self.path, "kind": self.kind}
+        if self.vocabulary:
+            payload["vocabulary"] = list(self.vocabulary)
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FeatureField":
+        """Rebuild a field from :meth:`to_dict` output (with validation)."""
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"a feature field must be a mapping, got {type(data).__name__}"
+            )
+        unknown = sorted(set(data) - {"path", "kind", "vocabulary"})
+        if unknown:
+            raise ValueError(
+                f"feature field: unknown key(s) {unknown}; allowed keys are "
+                "['kind', 'path', 'vocabulary']"
+            )
+        return cls(
+            path=data.get("path", ""),
+            kind=data.get("kind", "numeric"),
+            vocabulary=tuple(data.get("vocabulary", ())),
+        )
+
+
+@dataclass(frozen=True)
+class FeatureSchema:
+    """An ordered, JSON-round-trippable spec -> vector encoding.
+
+    Attributes
+    ----------
+    fields:
+        The encoded fields, in column order (see :class:`FeatureField`).
+    """
+
+    fields: Tuple[FeatureField, ...] = ()
+
+    def __post_init__(self) -> None:
+        fields = []
+        for entry in self.fields:
+            if isinstance(entry, Mapping):
+                entry = FeatureField.from_dict(entry)
+            if not isinstance(entry, FeatureField):
+                raise ValueError(
+                    "schema fields must be FeatureField (or mappings), got "
+                    f"{type(entry).__name__}"
+                )
+            fields.append(entry)
+        paths = [field.path for field in fields]
+        duplicates = sorted({path for path in paths if paths.count(path) > 1})
+        if duplicates:
+            raise ValueError(f"feature schema repeats path(s) {duplicates}")
+        object.__setattr__(self, "fields", tuple(fields))
+
+    @property
+    def n_features(self) -> int:
+        """Total matrix columns across all fields."""
+        return sum(field.n_columns for field in self.fields)
+
+    def column_names(self) -> List[str]:
+        """Ordered labels of every matrix column."""
+        names: List[str] = []
+        for field in self.fields:
+            names.extend(field.column_names())
+        return names
+
+    def paths(self) -> List[str]:
+        """The dotted paths the schema encodes, in order."""
+        return [field.path for field in self.fields]
+
+    # -- extraction --------------------------------------------------------
+
+    def extract(self, spec: Union[ScenarioSpec, Mapping]) -> np.ndarray:
+        """The feature vector of one spec (shape ``(n_features,)``).
+
+        Raises ``ValueError`` when a numeric field is missing from the
+        spec -- a schema mismatch must surface, not silently zero-fill.
+        Missing *categorical* fields encode as all zeros (the same
+        out-of-vocabulary encoding unknown categories get).
+        """
+        flat = flatten_spec(spec)
+        row: List[float] = []
+        for field in self.fields:
+            if field.path in flat:
+                row.extend(field.encode(flat[field.path]))
+            elif field.kind == "categorical":
+                row.extend([0.0] * field.n_columns)
+            else:
+                raise ValueError(
+                    f"spec has no value at feature path {field.path!r}; it "
+                    "cannot be encoded against this schema (was the model "
+                    "trained on a different scenario family?)"
+                )
+        return np.asarray(row, dtype=float)
+
+    def matrix(
+        self, specs: Iterable[Union[ScenarioSpec, Mapping]]
+    ) -> np.ndarray:
+        """The stacked feature matrix of many specs (``(n, n_features)``)."""
+        rows = [self.extract(spec) for spec in specs]
+        if not rows:
+            return np.empty((0, self.n_features), dtype=float)
+        return np.vstack(rows)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data (JSON-compatible) representation of the schema."""
+        return {"fields": [field.to_dict() for field in self.fields]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FeatureSchema":
+        """Rebuild a schema from :meth:`to_dict` output (with validation)."""
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"a feature schema must be a mapping, got {type(data).__name__}"
+            )
+        unknown = sorted(set(data) - {"fields"})
+        if unknown:
+            raise ValueError(
+                f"feature schema: unknown key(s) {unknown}; the only allowed "
+                "key is 'fields'"
+            )
+        return cls(fields=tuple(data.get("fields", ())))
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """JSON representation of the schema."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FeatureSchema":
+        """Rebuild a schema from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+
+def infer_schema(
+    specs: Sequence[Union[ScenarioSpec, Mapping]],
+    include: Optional[Sequence[str]] = None,
+    drop_constant: bool = True,
+) -> FeatureSchema:
+    """Build a :class:`FeatureSchema` from example specs.
+
+    Flattens every spec and keeps the dotted paths present in *all* of
+    them (a field some specs lack cannot be a dense matrix column);
+    numeric leaves become numeric fields, string leaves categorical
+    fields whose vocabulary is the sorted set of observed values.
+
+    Parameters
+    ----------
+    specs:
+        The example specs (``ScenarioSpec`` or mapping form).
+    include:
+        Optional explicit dotted paths; inference is then restricted to
+        exactly these (missing or mixed-type paths raise).
+    drop_constant:
+        Drop fields taking a single value across the examples (default).
+        Constant columns carry no information and degrade kernel
+        conditioning; pass ``False`` to keep them (e.g. for CSV export,
+        where every column is documentation).
+    """
+    if not specs:
+        raise ValueError("cannot infer a feature schema from zero specs")
+    flats = [flatten_spec(spec) for spec in specs]
+    common = set(flats[0])
+    for flat in flats[1:]:
+        common &= set(flat)
+    if include is not None:
+        include = list(include)
+        missing = sorted(set(include) - common)
+        if missing:
+            raise ValueError(
+                f"feature path(s) {missing} are not present in every "
+                "example spec; present everywhere: "
+                f"{sorted(common)}"
+            )
+        paths = include
+    else:
+        paths = sorted(common)
+    fields: List[FeatureField] = []
+    for path in paths:
+        values = [flat[path] for flat in flats]
+        has_string = any(isinstance(value, str) for value in values)
+        if has_string and not all(isinstance(value, str) for value in values):
+            raise ValueError(
+                f"feature path {path!r} mixes strings and numbers across "
+                "the example specs; it cannot be encoded consistently"
+            )
+        if drop_constant and include is None and len(set(values)) < 2:
+            continue
+        if has_string:
+            fields.append(
+                FeatureField(
+                    path=path,
+                    kind="categorical",
+                    vocabulary=tuple(sorted(set(values))),
+                )
+            )
+        else:
+            fields.append(FeatureField(path=path, kind="numeric"))
+    if not fields:
+        raise ValueError(
+            "feature schema inference found no varying fields across the "
+            "example specs; pass include=[...] or drop_constant=False"
+        )
+    return FeatureSchema(fields=tuple(fields))

@@ -33,7 +33,15 @@ __all__ = ["ResultCache"]
 #: (index, source, executor, wall time, counters, worker pid) is stripped:
 #: a cached result is shared across campaigns, so only the content-derived
 #: fields may survive.
-_CACHED_FIELDS = ("spec_hash", "scenario", "action", "solver", "status", "result")
+_CACHED_FIELDS = (
+    "spec_hash",
+    "scenario",
+    "action",
+    "solver",
+    "spec",
+    "status",
+    "result",
+)
 
 
 def cacheable_record(record: Dict[str, object]) -> Dict[str, object]:
@@ -50,13 +58,22 @@ class ResultCache:
         Directory the entries live under (created lazily on first put).
     """
 
+    #: Root-level file the cumulative gc counters persist to.  It lives
+    #: outside the two-level hash fan-out, so :meth:`keys` (which only
+    #: descends directories) never mistakes it for an entry.
+    GC_STATS_FILE = "gc-stats.json"
+
     def __init__(self, root: Union[str, os.PathLike]) -> None:
         self.root = os.fspath(root)
         self.n_hits = 0
         self.n_misses = 0
         self.n_puts = 0
-        self.n_gc_runs = 0
-        self.n_gc_removed = 0
+        # Unlike the per-handle traffic counters above, the gc counters
+        # are durable: they reload from <root>/gc-stats.json so healthz
+        # keeps reporting past gc work across service restarts.
+        stats = self._load_gc_stats()
+        self.n_gc_runs = stats["n_gc_runs"]
+        self.n_gc_removed = stats["n_gc_removed"]
 
     def _check_key(self, key: str) -> str:
         if not isinstance(key, str) or len(key) < 8 or not all(
@@ -190,6 +207,7 @@ class ResultCache:
             survivors = survivors[excess:]
         self.n_gc_runs += 1
         self.n_gc_removed += n_removed
+        self._save_gc_stats()
         return {
             "n_scanned": n_scanned,
             "n_removed": n_removed,
@@ -204,8 +222,54 @@ class ResultCache:
             pass  # concurrent removal: the entry is gone either way
         return 1
 
+    # -- durable gc counters -------------------------------------------------
+
+    def _gc_stats_path(self) -> str:
+        return os.path.join(self.root, self.GC_STATS_FILE)
+
+    def _load_gc_stats(self) -> Dict[str, int]:
+        """The persisted cumulative gc counters (zeros when absent/torn)."""
+        try:
+            with open(self._gc_stats_path(), "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return {"n_gc_runs": 0, "n_gc_removed": 0}
+        if not isinstance(payload, dict):
+            return {"n_gc_runs": 0, "n_gc_removed": 0}
+        return {
+            "n_gc_runs": int(payload.get("n_gc_runs", 0)),
+            "n_gc_removed": int(payload.get("n_gc_removed", 0)),
+        }
+
+    def _save_gc_stats(self) -> None:
+        """Atomically persist the cumulative gc counters (same temp +
+        ``os.replace`` discipline as entry writes)."""
+        os.makedirs(self.root, exist_ok=True)
+        payload = json.dumps(
+            {"n_gc_runs": self.n_gc_runs, "n_gc_removed": self.n_gc_removed},
+            sort_keys=True,
+        )
+        descriptor, temp_path = tempfile.mkstemp(
+            prefix=".tmp-", suffix=".json", dir=self.root
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            os.replace(temp_path, self._gc_stats_path())
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except FileNotFoundError:
+                pass
+            raise
+
     def stats(self) -> Dict[str, int]:
-        """Hit/miss/put counters of this cache handle (not of the disk)."""
+        """Counters of this cache handle.
+
+        The traffic counters (``n_hits/n_misses/n_puts``) are per handle
+        and reset on restart; the gc counters are cumulative across every
+        handle that ever gc'd this root (persisted in ``gc-stats.json``).
+        """
         return {
             "n_hits": self.n_hits,
             "n_misses": self.n_misses,

@@ -140,6 +140,39 @@ class ServiceClient:
             "POST", "/v1/optimize", {"scenario": campaign, "fresh": fresh}
         )
 
+    # -- surrogate serving -------------------------------------------------
+
+    def predict(
+        self,
+        scenario: object,
+        exact_if_std_above: Optional[float] = None,
+        target: Optional[str] = None,
+        solver: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """``POST /v1/predict``: a surrogate answer or an exact fallback job."""
+        payload: Dict[str, object] = {"scenario": scenario}
+        if exact_if_std_above is not None:
+            payload["exact_if_std_above"] = exact_if_std_above
+        if target is not None:
+            payload["target"] = target
+        if solver is not None:
+            payload["solver"] = solver
+        return self._json("POST", "/v1/predict", payload)
+
+    def fit(
+        self,
+        job_ids: Optional[List[str]] = None,
+        model: str = "gp",
+        targets: Optional[List[str]] = None,
+    ) -> Dict[str, object]:
+        """``POST /v1/ml/fit``: (re)train the serving surrogate."""
+        payload: Dict[str, object] = {"model": model}
+        if job_ids is not None:
+            payload["job_ids"] = job_ids
+        if targets is not None:
+            payload["targets"] = targets
+        return self._json("POST", "/v1/ml/fit", payload)
+
     # -- polling -----------------------------------------------------------
 
     def wait(

@@ -18,9 +18,15 @@ Routes::
     POST /v1/run                {"scenario": ..., "solver"?, "fresh"?}
     POST /v1/sweep              {"sweep": ..., "fresh"?}
     POST /v1/optimize           {"scenario"|"sweep": ..., "fresh"?}
+    POST /v1/predict            {"scenario": ..., "exact_if_std_above"?,
+                                 "target"?, "solver"?}
+    POST /v1/ml/fit             {"job_ids"?, "model"?, "targets"?}
 
 Submission endpoints respond ``202 Accepted`` with the job dict (plus
 ``"resubmitted": true`` when the durable queue deduplicated the job).
+``/v1/predict`` answers ``200`` with ``{"source": "surrogate", "mean",
+"std"}`` when the model is confident, or ``202`` with the enqueued exact
+job when the predictive std exceeds ``exact_if_std_above``.
 Validation errors are 400s with ``{"error": ...}``; unknown jobs/routes
 are 404s.  The server runs the asyncio loop on a dedicated thread
 (:meth:`CampaignServer.start_in_thread`) or blocks the caller
@@ -282,6 +288,19 @@ class CampaignServer:
             return await asyncio.to_thread(
                 self._submit, segments[0], body
             )
+        if segments == ["predict"]:
+            self._require(method, "POST")
+            document = await asyncio.to_thread(self._predict, body)
+            # Confident surrogate answers are complete (200); fallbacks
+            # enqueue a job and mirror the submission endpoints (202).
+            status = 202 if document.get("source") == "exact" else 200
+            await self._send_json(writer, status, document)
+            return None
+        if segments == ["ml", "fit"]:
+            self._require(method, "POST")
+            document = await asyncio.to_thread(self._fit, body)
+            await self._send_json(writer, 200, document)
+            return None
         raise _HttpError(404, f"no such path: {path}")
 
     @staticmethod
@@ -321,6 +340,66 @@ class CampaignServer:
         document = job.to_dict()
         document["resubmitted"] = resubmitted
         return document
+
+    @staticmethod
+    def _json_body(body: bytes) -> Dict[str, object]:
+        try:
+            request = json.loads(body.decode("utf-8")) if body else {}
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise _HttpError(400, f"request body is not JSON: {error}")
+        if not isinstance(request, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        return request
+
+    def _predict(self, body: bytes) -> Dict[str, object]:
+        request = self._json_body(body)
+        scenario = request.get("scenario")
+        if scenario is None:
+            raise _HttpError(400, "request must carry 'scenario'")
+        threshold = request.get("exact_if_std_above")
+        if threshold is not None:
+            try:
+                threshold = float(threshold)
+            except (TypeError, ValueError):
+                raise _HttpError(
+                    400, "'exact_if_std_above' must be a number"
+                ) from None
+        try:
+            return self.service.predict(
+                scenario,
+                exact_if_std_above=threshold,
+                target=request.get("target"),
+                solver=request.get("solver"),
+            )
+        except QueueFullError as error:
+            raise _HttpError(429, str(error)) from None
+        except ValueError as error:
+            raise _HttpError(400, str(error)) from None
+
+    def _fit(self, body: bytes) -> Dict[str, object]:
+        request = self._json_body(body)
+        job_ids = request.get("job_ids")
+        if job_ids is not None and (
+            not isinstance(job_ids, list)
+            or not all(isinstance(item, str) for item in job_ids)
+        ):
+            raise _HttpError(400, "'job_ids' must be a list of job id strings")
+        targets = request.get("targets")
+        if targets is not None and (
+            not isinstance(targets, list)
+            or not all(isinstance(item, str) for item in targets)
+        ):
+            raise _HttpError(400, "'targets' must be a list of metric paths")
+        try:
+            return self.service.fit_surrogate(
+                job_ids=job_ids,
+                model=str(request.get("model", "gp")),
+                targets=targets,
+            )
+        except KeyError as error:
+            raise _HttpError(404, str(error).strip("'\"")) from None
+        except ValueError as error:
+            raise _HttpError(400, str(error)) from None
 
     async def _stream_records(
         self, writer: asyncio.StreamWriter, job_id: str

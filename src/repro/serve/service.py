@@ -8,6 +8,7 @@ and tests drive it directly.  It owns one data directory::
       queue.jsonl                      durable job journal (JobQueue)
       cache/<aa>/<bb>/<hash>.json      shared result cache (ResultCache)
       jobs/<job_id>/campaign.jsonl.d/  sharded per-job campaign store
+      models/<digest>/model.pkl        content-addressed surrogate bundles
 
 Submissions are validated eagerly (the campaign is expanded to scenario
 specs before anything is queued, so a bad spec is a 400 at submit time,
@@ -22,7 +23,10 @@ re-runs of a finished job) never recompute.
 
 from __future__ import annotations
 
+import itertools
+import json
 import os
+import threading
 import time
 from typing import Dict, List, Optional, Tuple
 
@@ -30,7 +34,9 @@ from ..api import Session
 from ..campaign import CampaignStore
 from ..exec import available_executors
 from ..exec.base import make_tasks
-from ..scenarios import SCENARIOS
+from ..ml.dataset import DEFAULT_TARGETS, build_dataset
+from ..ml.models import load_model, make_surrogate, save_model
+from ..scenarios import SCENARIOS, resolve_scenario
 from ..sweeps import resolve_campaign
 from .cache import ResultCache
 from .queue import Job, JobQueue
@@ -93,6 +99,15 @@ class CampaignService:
         self.session = session or Session()
         self.supervisor = WorkerSupervisor(self, pool_size=pool_size)
         self.started_at = time.time()
+        # Surrogate serving state: the model dir persists across
+        # restarts, the in-memory handle loads lazily on first use.
+        self.ml_dir = os.path.join(self.data_dir, "models")
+        self._surrogate = None
+        self._model_id: Optional[str] = None
+        self._ml_lock = threading.Lock()
+        self.n_surrogate_fits = 0
+        self.n_surrogate_predictions = 0
+        self.n_exact_fallbacks = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -191,6 +206,147 @@ class CampaignService:
         summary["job_id"] = job.job_id
         return summary
 
+    # -- surrogate serving -------------------------------------------------
+
+    def _job_ids(self) -> List[str]:
+        """Every job id with a store on disk, oldest submission first."""
+        jobs = sorted(self.queue.jobs(), key=lambda job: job.submitted_at)
+        return [job.job_id for job in jobs]
+
+    def fit_surrogate(
+        self,
+        job_ids: Optional[List[str]] = None,
+        model: str = "gp",
+        targets: Optional[List[str]] = None,
+    ) -> Dict[str, object]:
+        """Fit (and persist) a surrogate on stored job records.
+
+        ``job_ids=None`` trains on every job the queue knows about --
+        the whole data directory is one growing dataset.  The fitted
+        model is saved to the content-addressed model dir and becomes
+        the serving model immediately.
+        """
+        ids = job_ids if job_ids is not None else self._job_ids()
+        for job_id in ids:
+            self.queue.get(job_id)  # 404 on unknown ids before any I/O
+        records = itertools.chain.from_iterable(
+            self.job_store(job_id).iter_records() for job_id in ids
+        )
+        dataset = build_dataset(
+            records, targets=tuple(targets or DEFAULT_TARGETS)
+        )
+        surrogate = make_surrogate(model).fit(dataset)
+        with self._ml_lock:
+            model_id = save_model(surrogate, self.ml_dir)
+            self._surrogate = surrogate
+            self._model_id = model_id
+            self.n_surrogate_fits += 1
+        payload = surrogate.describe()
+        payload["model_id"] = model_id
+        payload["dataset"] = dataset.summary()
+        payload["job_ids"] = list(ids)
+        return payload
+
+    def _serving_model(self):
+        """The in-memory surrogate, loading the persisted latest lazily."""
+        with self._ml_lock:
+            if self._surrogate is None:
+                try:
+                    with open(
+                        os.path.join(self.ml_dir, "latest.json"),
+                        "r",
+                        encoding="utf-8",
+                    ) as handle:
+                        self._model_id = str(json.load(handle)["model_id"])
+                    self._surrogate = load_model(self.ml_dir, self._model_id)
+                except FileNotFoundError:
+                    raise ValueError(
+                        "no surrogate has been fitted yet; POST /v1/ml/fit "
+                        "(or run 'repro ml fit') after a campaign completes"
+                    ) from None
+            return self._surrogate, self._model_id
+
+    def predict(
+        self,
+        scenario,
+        *,
+        exact_if_std_above: Optional[float] = None,
+        target: Optional[str] = None,
+        solver: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """Answer a scenario query from the surrogate, or fall through.
+
+        Returns ``{"source": "surrogate", "mean": {...}, "std": {...}}``
+        keyed per target when the model is confident.  When
+        ``exact_if_std_above`` is given and the gating target's
+        predictive std exceeds it, the query instead becomes an ordinary
+        exact job (``{"source": "exact", "job": {...}}``) -- the same
+        submission path as ``POST /v1/run``, so the answer lands in the
+        job store, feeds the shared cache, and grows the surrogate's next
+        training set.
+        """
+        spec = resolve_scenario(scenario)
+        surrogate, model_id = self._serving_model()
+        if target is None:
+            gate_target = surrogate.targets[0]
+        elif target in surrogate.targets:
+            gate_target = target
+        else:
+            raise ValueError(
+                f"model has no target {target!r}; it predicts "
+                f"{list(surrogate.targets)}"
+            )
+        mean, std = surrogate.predict_specs([spec])
+        means = {
+            name: float(mean[0, i]) for i, name in enumerate(surrogate.targets)
+        }
+        stds = {
+            name: float(std[0, i]) for i, name in enumerate(surrogate.targets)
+        }
+        gate_std = stds[gate_target]
+        if exact_if_std_above is not None and gate_std > exact_if_std_above:
+            with self._ml_lock:
+                self.n_exact_fallbacks += 1
+            job, resubmitted = self.submit(
+                "run", spec.to_dict(), solver=solver
+            )
+            document = job.to_dict()
+            document["resubmitted"] = resubmitted
+            return {
+                "source": "exact",
+                "scenario": spec.name,
+                "target": gate_target,
+                "std": gate_std,
+                "exact_if_std_above": exact_if_std_above,
+                "job": document,
+            }
+        with self._ml_lock:
+            self.n_surrogate_predictions += 1
+        return {
+            "source": "surrogate",
+            "scenario": spec.name,
+            "target": gate_target,
+            "mean": means,
+            "std": stds,
+            "model_id": model_id,
+            "exact_if_std_above": exact_if_std_above,
+        }
+
+    def ml_stats(self) -> Dict[str, object]:
+        """Surrogate counters + serving-model identity (for healthz)."""
+        with self._ml_lock:
+            return {
+                "n_surrogate_fits": self.n_surrogate_fits,
+                "n_surrogate_predictions": self.n_surrogate_predictions,
+                "n_exact_fallbacks": self.n_exact_fallbacks,
+                "model_id": self._model_id,
+                "targets": (
+                    list(self._surrogate.targets)
+                    if self._surrogate is not None
+                    else []
+                ),
+            }
+
     # -- introspection -----------------------------------------------------
 
     def job_detail(self, job_id: str) -> Dict[str, object]:
@@ -207,7 +363,7 @@ class CampaignService:
     def job_records(self, job_id: str) -> List[Dict[str, object]]:
         """The stored records of a job so far, in sweep (index) order."""
         self.queue.get(job_id)  # 404 on unknown jobs, even before any record
-        records = list(self.job_store(job_id).load().values())
+        records = list(self.job_store(job_id).iter_records())
         records.sort(key=lambda record: record.get("index", 0))
         return records
 
@@ -238,5 +394,6 @@ class CampaignService:
             "max_pending": self.queue.max_pending,
             "n_rejected": self.queue.n_rejected,
             "cache": self.cache.stats(),
+            "ml": self.ml_stats(),
             "n_scenarios_registered": len(SCENARIOS),
         }

@@ -342,26 +342,43 @@ class SweepSpec:
         """
         return list(self._expanded)
 
-    def _expand(self) -> List[ScenarioSpec]:
-        combos = self._axis_combos()
+    def override_mappings(self) -> List[Dict[str, object]]:
+        """The merged dotted-field overrides of each expansion point.
+
+        One mapping per expanded scenario, aligned with :meth:`scenarios`
+        (axis combination values first, explicit override values winning
+        on shared fields).  This is the sweep's expansion *recipe* in
+        plain data: ``SweepSpec(name, base, overrides=override_mappings())``
+        reproduces the same points -- which is how
+        :mod:`repro.ml.active` turns acquisition-selected candidates back
+        into an ordinary, resumable campaign.
+        """
+        mappings: List[Dict[str, object]] = []
         overrides = [dict(pairs) for pairs in self.overrides] or [{}]
-        expanded: List[ScenarioSpec] = []
-        index = 0
-        for combo in combos:
-            for override_index, override in enumerate(overrides):
+        for combo in self._axis_combos():
+            for override in overrides:
                 merged = dict(combo)
                 merged.update(override)
-                slug = self._slug(combo, override_index)
-                name = f"{self.name}/{index:03d}" + (f"-{slug}" if slug else "")
-                description = self.description or (
-                    f"{self.name} sweep point {index} over {self.base.name}"
+                mappings.append(merged)
+        return mappings
+
+    def _expand(self) -> List[ScenarioSpec]:
+        combos = self._axis_combos()
+        n_overrides = len(self.overrides) or 1
+        expanded: List[ScenarioSpec] = []
+        for index, merged in enumerate(self.override_mappings()):
+            combo = combos[index // n_overrides]
+            override_index = index % n_overrides
+            slug = self._slug(combo, override_index)
+            name = f"{self.name}/{index:03d}" + (f"-{slug}" if slug else "")
+            description = self.description or (
+                f"{self.name} sweep point {index} over {self.base.name}"
+            )
+            expanded.append(
+                apply_field_overrides(
+                    self.base, merged, name=name, description=description
                 )
-                expanded.append(
-                    apply_field_overrides(
-                        self.base, merged, name=name, description=description
-                    )
-                )
-                index += 1
+            )
         return expanded
 
     def scenario_names(self) -> List[str]:

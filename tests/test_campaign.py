@@ -429,6 +429,72 @@ class TestSummarizeRecords:
             summary["peak_temperature_K_min"]
         )
 
+    def test_streaming_iterator_matches_bulk_load(self, small_sweep, tmp_path):
+        out = tmp_path / "campaign.jsonl"
+        Session().run_many(small_sweep, out=out)
+        store = CampaignStore(out)
+        assert summarize_records(store.iter_records()) == summarize_records(
+            store.load().values()
+        )
+
+    def test_generator_input_is_consumed_single_pass(self, small_sweep):
+        campaign = Session().run_many(small_sweep)
+        summary = summarize_records(record for record in campaign.records)
+        assert summary["n_records"] == 4
+
+
+class TestIterRecords:
+    def test_yields_only_winners_in_file_order(self, tmp_path):
+        store = CampaignStore(tmp_path / "c.jsonl")
+        with store:
+            store.append({"spec_hash": "ab" * 32, "status": "error", "n": 1})
+            store.append({"spec_hash": "cd" * 32, "status": "ok", "n": 1})
+            store.append({"spec_hash": "ab" * 32, "status": "ok", "n": 2})
+        records = list(CampaignStore(tmp_path / "c.jsonl").iter_records())
+        assert [record["n"] for record in records] == [1, 2]
+        assert {record["spec_hash"] for record in records} == {
+            "ab" * 32,
+            "cd" * 32,
+        }
+
+    def test_matches_load_over_legacy_plus_shards(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        legacy = CampaignStore(path, sharded=False)
+        with legacy:
+            legacy.append({"spec_hash": "ab" * 32, "status": "error", "n": 1})
+            legacy.append({"spec_hash": "cd" * 32, "status": "ok", "n": 1})
+        sharded = CampaignStore(path, sharded=True)
+        with sharded:
+            sharded.append({"spec_hash": "ab" * 32, "status": "ok", "n": 2})
+        store = CampaignStore(path)
+        streamed = {
+            record["spec_hash"]: record for record in store.iter_records()
+        }
+        assert streamed == store.load()
+
+    def test_torn_tail_is_not_double_counted(self, tmp_path):
+        store = CampaignStore(tmp_path / "c.jsonl")
+        with store:
+            store.append({"spec_hash": "ab" * 32, "status": "ok"})
+        with open(tmp_path / "c.jsonl", "a", encoding="utf-8") as handle:
+            handle.write('{"spec_hash": "truncat')
+        reopened = CampaignStore(tmp_path / "c.jsonl")
+        assert len(list(reopened.iter_records())) == 1
+        # The two scan passes of iter_records count the torn line once.
+        assert reopened.n_dropped_torn == 1
+
+    def test_empty_store_yields_nothing(self, tmp_path):
+        assert list(CampaignStore(tmp_path / "missing.jsonl").iter_records()) == []
+
+    def test_records_carry_their_spec(self, small_sweep, tmp_path):
+        """Campaign records are self-describing training data: each ok
+        record embeds the expanded spec it was solved from."""
+        out = tmp_path / "campaign.jsonl"
+        Session().run_many(small_sweep, out=out)
+        for record in CampaignStore(out).iter_records():
+            spec = ScenarioSpec.from_dict(record["spec"])
+            assert spec.name == record["scenario"]
+
 
 class TestProcessExecutorGuard:
     def test_instance_solver_cannot_enter_a_campaign(self, small_base):

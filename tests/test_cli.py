@@ -560,3 +560,179 @@ class TestCacheGc:
         )
         assert code == 0
         assert "removed 2" in out
+
+
+class TestCampaignExportAndMl:
+    """``repro campaign export`` and the ``repro ml`` command family."""
+
+    @pytest.fixture()
+    def campaign_files(self, tmp_path):
+        """A completed 3x2 campaign store plus a denser candidate sweep."""
+        base = get_scenario("test-a").with_overrides(
+            grid=GridSpec(n_grid_points=61, n_lanes=1, n_rows=1, n_cols=20),
+            optimizer=OptimizerSpec(n_segments=2, max_iterations=3),
+        )
+        sweep = {
+            "name": "train",
+            "base": base.to_dict(),
+            "axes": [
+                {"field": "workload.flux_w_per_cm2", "values": [40.0, 50.0, 60.0]},
+                {"field": "grid.n_grid_points", "values": [61, 81]},
+            ],
+        }
+        candidates = {
+            "name": "pool",
+            "base": base.to_dict(),
+            "axes": [
+                {
+                    "field": "workload.flux_w_per_cm2",
+                    "values": [40.0, 45.0, 50.0, 55.0, 60.0],
+                },
+                {"field": "grid.n_grid_points", "values": [61, 71, 81]},
+            ],
+        }
+        sweep_file = tmp_path / "sweep.json"
+        sweep_file.write_text(json.dumps(sweep))
+        candidates_file = tmp_path / "candidates.json"
+        candidates_file.write_text(json.dumps(candidates))
+        store = tmp_path / "campaign.jsonl"
+        from repro.api import Session
+
+        Session().run_many(str(sweep_file), out=store)
+        return store, candidates_file, base
+
+    def test_export_csv(self, capsys, campaign_files, tmp_path):
+        store, _, _ = campaign_files
+        out = tmp_path / "data.csv"
+        code, _, err = run_cli(
+            capsys, "campaign", "export", str(store), "--out", str(out)
+        )
+        assert code == 0
+        assert "exported 6 row(s)" in err
+        import csv
+
+        with open(out, newline="", encoding="utf-8") as handle:
+            rows = list(csv.reader(handle))
+        header, body = rows[0], rows[1:]
+        assert header[:2] == ["spec_hash", "scenario"]
+        # Constant feature columns are kept (documentation), targets last.
+        assert "workload.flux_w_per_cm2" in header
+        assert "workload.kind=test-a" in header
+        assert header[-2:] == ["peak_temperature_K", "max_pressure_drop_Pa"]
+        assert len(body) == 6
+        assert all(len(row) == len(header) for row in body)
+
+    def test_export_json_rows(self, capsys, campaign_files):
+        store, _, _ = campaign_files
+        code, out, _ = run_cli(
+            capsys, "campaign", "export", str(store), "--json"
+        )
+        assert code == 0
+        rows = json.loads(out)
+        assert len(rows) == 6
+        assert {"spec_hash", "scenario", "peak_temperature_K"} <= set(rows[0])
+
+    def test_export_custom_target(self, capsys, campaign_files):
+        store, _, _ = campaign_files
+        code, out, _ = run_cli(
+            capsys,
+            "campaign",
+            "export",
+            str(store),
+            "--target",
+            "coolant_rise_K",
+            "--json",
+        )
+        assert code == 0
+        rows = json.loads(out)
+        assert "coolant_rise_K" in rows[0]
+        assert "peak_temperature_K" not in rows[0]
+
+    def test_ml_fit_predict_round_trip(self, capsys, campaign_files, tmp_path):
+        store, _, base = campaign_files
+        models = tmp_path / "models"
+        code, out, _ = run_cli(
+            capsys,
+            "ml",
+            "fit",
+            str(store),
+            "--model-dir",
+            str(models),
+            "--json",
+        )
+        assert code == 0
+        fitted = json.loads(out)
+        assert fitted["model"] == "gp"
+        assert fitted["dataset"]["n_samples"] == 6
+
+        spec_file = tmp_path / "query.json"
+        base.save(spec_file)
+        code, out, _ = run_cli(
+            capsys,
+            "ml",
+            "predict",
+            str(spec_file),
+            "--model-dir",
+            str(models),
+            "--json",
+        )
+        assert code == 0
+        predicted = json.loads(out)
+        # The base point is a training point: tight mean, tiny std.
+        assert abs(predicted["mean"]["peak_temperature_K"] - 332.497) < 0.1
+        assert predicted["std"]["peak_temperature_K"] < 0.5
+
+    def test_ml_predict_without_a_model_is_an_error(
+        self, capsys, small_spec_file, tmp_path
+    ):
+        code, _, err = run_cli(
+            capsys,
+            "ml",
+            "predict",
+            str(small_spec_file),
+            "--model-dir",
+            str(tmp_path / "empty"),
+        )
+        assert code == 2
+        assert "error" in err
+
+    def test_ml_active_dry_run(self, capsys, campaign_files, tmp_path):
+        store, candidates, _ = campaign_files
+        code, out, _ = run_cli(
+            capsys,
+            "ml",
+            "active",
+            str(store),
+            str(candidates),
+            "--n-points",
+            "3",
+            "--dry-run",
+            "--json",
+        )
+        assert code == 0
+        selection = json.loads(out)
+        assert selection["dry_run"] is True
+        assert len(selection["indices"]) == 3
+        # The six training points are excluded from the 15-point pool.
+        assert selection["n_excluded"] == 6
+        assert selection["n_candidates"] == 9
+
+    def test_ml_active_runs_and_shrinks_uncertainty(
+        self, capsys, campaign_files
+    ):
+        store, candidates, _ = campaign_files
+        code, out, _ = run_cli(
+            capsys,
+            "ml",
+            "active",
+            str(store),
+            str(candidates),
+            "--n-points",
+            "3",
+            "--json",
+        )
+        assert code == 0
+        round_result = json.loads(out)
+        assert round_result["campaign"]["n_ok"] == 3
+        assert round_result["mean_std_after"] < round_result["mean_std"]
+        assert round_result["n_training_samples_after"] == 9

@@ -1,0 +1,220 @@
+"""Tests of repro.ml.active: acquisitions and active-learning rounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.campaign import CampaignStore
+from repro.ml import build_dataset, make_surrogate, select_batch
+from repro.ml.active import (
+    ACQUISITIONS,
+    acquisition_scores,
+    candidate_keys,
+    physical_key,
+)
+from repro.scenarios import GridSpec, OptimizerSpec, get_scenario
+from repro.sweeps import SweepAxis, SweepSpec
+
+
+@pytest.fixture()
+def small_base():
+    return get_scenario("test-a").with_overrides(
+        grid=GridSpec(n_grid_points=61, n_lanes=1, n_rows=1, n_cols=20),
+        optimizer=OptimizerSpec(n_segments=2, max_iterations=3),
+    )
+
+
+@pytest.fixture()
+def training_sweep(small_base):
+    return SweepSpec(
+        name="train",
+        base=small_base,
+        axes=(
+            SweepAxis("workload.flux_w_per_cm2", (40.0, 50.0, 60.0)),
+            SweepAxis("grid.n_grid_points", (61, 81)),
+        ),
+    )
+
+
+@pytest.fixture()
+def candidate_sweep(small_base):
+    return SweepSpec(
+        name="pool",
+        base=small_base,
+        axes=(
+            SweepAxis(
+                "workload.flux_w_per_cm2", (40.0, 45.0, 50.0, 55.0, 60.0)
+            ),
+            SweepAxis("grid.n_grid_points", (61, 71, 81)),
+        ),
+    )
+
+
+class TestAcquisitionScores:
+    def test_max_variance_is_the_std(self):
+        std = np.array([0.1, 0.5, 0.2])
+        scores = acquisition_scores("max_variance", np.zeros(3), std)
+        assert np.array_equal(scores, std)
+
+    def test_ucb_trades_mean_against_std(self):
+        mean = np.array([1.0, 0.0])
+        std = np.array([0.0, 0.0])
+        scores = acquisition_scores("ucb", mean, std, kappa=2.0)
+        # Pure exploitation with zero std: lower mean wins (minimization).
+        assert scores[1] > scores[0]
+
+    def test_ei_prefers_likely_improvement(self):
+        mean = np.array([0.0, 10.0])
+        std = np.array([1.0, 1.0])
+        scores = acquisition_scores("ei", mean, std, best=5.0)
+        assert scores[0] > scores[1]
+
+    def test_ei_zero_std_falls_back_to_plain_improvement(self):
+        mean = np.array([3.0, 7.0])
+        std = np.zeros(2)
+        scores = acquisition_scores("ei", mean, std, best=5.0)
+        assert scores.tolist() == [2.0, 0.0]
+
+    def test_ei_without_best_raises(self):
+        with pytest.raises(ValueError, match="best"):
+            acquisition_scores("ei", np.zeros(2), np.ones(2))
+
+    def test_unknown_acquisition_raises(self):
+        with pytest.raises(ValueError, match="unknown acquisition"):
+            acquisition_scores("thompson", np.zeros(2), np.ones(2))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="align"):
+            acquisition_scores("max_variance", np.zeros(2), np.ones(3))
+
+
+class TestCandidateKeys:
+    def test_keys_match_campaign_spec_hashes(self, training_sweep, tmp_path):
+        campaign = Session().run_many(
+            training_sweep, out=tmp_path / "c.jsonl"
+        )
+        stored = {record["spec_hash"] for record in campaign.records}
+        assert set(candidate_keys(training_sweep)) == stored
+
+
+class TestSelectBatch:
+    @pytest.fixture()
+    def fitted(self, training_sweep, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        Session().run_many(training_sweep, out=path)
+        dataset = build_dataset(CampaignStore(path))
+        return dataset, make_surrogate("gp").fit(dataset)
+
+    def test_selection_is_a_runnable_sweep(self, fitted, candidate_sweep):
+        _, model = fitted
+        selection = select_batch(model, candidate_sweep, n_points=3)
+        assert len(selection.indices) == 3
+        assert selection.sweep.name == "pool-active"
+        assert len(selection.sweep.scenarios()) == 3
+        # Selected points reproduce candidate scenarios exactly (same
+        # resume keys modulo the expanded name).
+        chosen = [
+            candidate_sweep.scenarios()[i].to_dict() for i in selection.indices
+        ]
+        emitted = [spec.to_dict() for spec in selection.sweep.scenarios()]
+        for a, b in zip(chosen, emitted):
+            for naming in ("name", "description"):
+                a.pop(naming), b.pop(naming)
+            assert a == b
+
+    def test_scores_are_descending(self, fitted, candidate_sweep):
+        _, model = fitted
+        selection = select_batch(model, candidate_sweep, n_points=5)
+        assert list(selection.scores) == sorted(selection.scores, reverse=True)
+
+    def test_exclude_by_spec_ignores_sweep_naming(self, fitted, candidate_sweep):
+        # The training sweep is named "train", the pool "pool", so their
+        # resume keys never coincide; exclusion works on spec payloads
+        # (physical identity) instead.
+        dataset, model = fitted
+        selection = select_batch(
+            model, candidate_sweep, n_points=100, exclude=dataset.specs
+        )
+        # The 3x2 training grid is inside the 5x3 pool: 6 excluded, 9 live.
+        assert selection.n_excluded == 6
+        assert selection.n_candidates == 9
+        assert len(selection.indices) == 9
+        labelled = {physical_key(spec) for spec in dataset.specs}
+        pool = candidate_sweep.scenarios()
+        assert all(
+            physical_key(pool[i]) not in labelled for i in selection.indices
+        )
+
+    def test_exclude_by_resume_key_still_works(self, fitted, candidate_sweep):
+        _, model = fitted
+        keys = candidate_keys(candidate_sweep)
+        selection = select_batch(
+            model, candidate_sweep, n_points=100, exclude=keys[:5]
+        )
+        assert selection.n_excluded == 5
+        assert all(i >= 5 for i in selection.indices)
+
+    def test_everything_excluded_raises(self, fitted, candidate_sweep):
+        _, model = fitted
+        with pytest.raises(ValueError, match="excluded"):
+            select_batch(
+                model,
+                candidate_sweep,
+                exclude=candidate_keys(candidate_sweep),
+            )
+
+    def test_every_acquisition_runs(self, fitted, candidate_sweep):
+        _, model = fitted
+        for name in ACQUISITIONS:
+            selection = select_batch(
+                model, candidate_sweep, n_points=2, acquisition=name
+            )
+            assert selection.acquisition == name
+            assert len(selection.indices) == 2
+
+    def test_to_dict_is_json_friendly(self, fitted, candidate_sweep):
+        import json
+
+        _, model = fitted
+        selection = select_batch(model, candidate_sweep, n_points=2)
+        payload = json.loads(json.dumps(selection.to_dict()))
+        assert payload["acquisition"] == "max_variance"
+        assert len(payload["scenarios"]) == 2
+
+
+class TestActiveRound:
+    def test_round_shrinks_uncertainty_and_resumes(
+        self, training_sweep, candidate_sweep, tmp_path
+    ):
+        """Acceptance: one active round measurably shrinks mean std and
+        the selected batch is an ordinary resumable campaign."""
+        path = tmp_path / "campaign.jsonl"
+        session = Session()
+        session.run_many(training_sweep, out=path)
+        store = CampaignStore(path)
+        dataset = build_dataset(store)
+        model = make_surrogate("gp").fit(dataset)
+        selection = select_batch(
+            model,
+            candidate_sweep,
+            n_points=4,
+            exclude=dataset.specs,
+        )
+        before = selection.mean_std
+
+        # The round streams into the same store...
+        first = session.run_many(selection.sweep, out=store)
+        assert first.n_ok == 4
+        assert first.n_from_store == 0
+        # ...and re-running it resumes instead of recomputing.
+        again = session.run_many(selection.sweep, out=store)
+        assert again.n_from_store == 4
+
+        refit_dataset = build_dataset(store)
+        assert refit_dataset.n_samples == dataset.n_samples + 4
+        refit = make_surrogate("gp").fit(refit_dataset)
+        _, std = refit.predict_specs(candidate_sweep.scenarios())
+        after = float(std[:, 0].mean())
+        assert after < before

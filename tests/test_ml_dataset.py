@@ -1,0 +1,177 @@
+"""Tests of repro.ml.dataset: campaign stores as supervised datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.campaign import CampaignStore
+from repro.ml.dataset import (
+    DEFAULT_TARGETS,
+    KNOWN_TARGETS,
+    build_dataset,
+    target_value,
+)
+from repro.scenarios import GridSpec, OptimizerSpec, get_scenario
+from repro.sweeps import SweepAxis, SweepSpec
+
+
+@pytest.fixture()
+def small_base():
+    return get_scenario("test-a").with_overrides(
+        grid=GridSpec(n_grid_points=61, n_lanes=1, n_rows=1, n_cols=20),
+        optimizer=OptimizerSpec(n_segments=2, max_iterations=3),
+    )
+
+
+@pytest.fixture()
+def small_sweep(small_base):
+    return SweepSpec(
+        name="ds",
+        base=small_base,
+        axes=(
+            SweepAxis("workload.flux_w_per_cm2", (40.0, 60.0)),
+            SweepAxis("grid.n_grid_points", (61, 81)),
+        ),
+    )
+
+
+@pytest.fixture()
+def store(small_sweep, tmp_path):
+    path = tmp_path / "campaign.jsonl"
+    Session().run_many(small_sweep, out=path)
+    return CampaignStore(path)
+
+
+class TestTargetValue:
+    def test_resolves_top_level_metrics(self):
+        record = {"result": {"peak_temperature_K": 330.0}}
+        assert target_value(record, "peak_temperature_K") == 330.0
+
+    def test_resolves_nested_paths(self):
+        record = {"result": {"transient": {"pumping_energy_J": 1.5}}}
+        assert target_value(record, "transient.pumping_energy_J") == 1.5
+
+    def test_missing_segment_is_none(self):
+        assert target_value({"result": {}}, "peak_temperature_K") is None
+        assert target_value({}, "peak_temperature_K") is None
+
+    def test_non_numeric_leaves_are_none(self):
+        assert target_value({"result": {"x": "hot"}}, "x") is None
+        assert target_value({"result": {"x": True}}, "x") is None
+
+
+class TestBuildDataset:
+    def test_shapes_and_provenance(self, store):
+        ds = build_dataset(store)
+        assert ds.X.shape == (4, 2)
+        assert ds.y.shape == (4, 2)
+        assert ds.targets == DEFAULT_TARGETS
+        assert len(ds.spec_hashes) == 4
+        assert len(ds.scenarios) == 4
+        assert all(name.startswith("ds/") for name in ds.scenarios)
+        assert set(ds.schema.paths()) == {
+            "grid.n_grid_points",
+            "workload.flux_w_per_cm2",
+        }
+
+    def test_accepts_path_and_record_iterable(self, store):
+        from_path = build_dataset(str(store.path))
+        from_records = build_dataset(list(store.iter_records()))
+        assert np.array_equal(from_path.X, from_records.X)
+        assert np.array_equal(from_path.y, from_records.y)
+
+    def test_duplicates_keep_the_later_record(self, store):
+        records = list(store.iter_records())
+        doctored = dict(records[0])
+        doctored["result"] = dict(doctored["result"])
+        doctored["result"]["peak_temperature_K"] = 999.0
+        ds = build_dataset(records + [doctored])
+        assert ds.n_samples == 4
+        row = ds.spec_hashes.index(doctored["spec_hash"])
+        assert ds.column("peak_temperature_K")[row] == 999.0
+
+    def test_failed_and_wrong_action_records_are_counted(self, store):
+        records = list(store.iter_records())
+        records.append({**records[0], "spec_hash": "x1", "status": "error"})
+        records.append({**records[1], "spec_hash": "x2", "action": "optimize"})
+        ds = build_dataset(records)
+        assert ds.n_samples == 4
+        assert ds.skipped["not_ok"] == 1
+        assert ds.skipped["wrong_action"] == 1
+
+    def test_missing_target_is_counted(self, store):
+        # With no usable record there is nothing to infer a schema from.
+        with pytest.raises(ValueError, match="no usable"):
+            build_dataset(store, targets=("transient.pumping_energy_J",))
+        # A caller-supplied schema gets the empty dataset plus the counts.
+        schema = build_dataset(store.reopen()).schema
+        ds = build_dataset(
+            store.reopen(),
+            targets=("transient.pumping_energy_J",),
+            schema=schema,
+        )
+        assert ds.n_samples == 0
+        assert ds.y.shape == (0, 1)
+        assert ds.skipped["missing_target"] == 4
+
+    def test_schema_reuse_keeps_column_layout(self, store):
+        first = build_dataset(store)
+        again = build_dataset(store.reopen(), schema=first.schema)
+        assert again.schema == first.schema
+        assert np.array_equal(first.X, again.X)
+
+    def test_legacy_records_train_via_specs_fallback(self, store, small_sweep):
+        # Strip the embedded spec, as records written before repro.ml were.
+        legacy = []
+        for record in store.iter_records():
+            record = dict(record)
+            record.pop("spec")
+            legacy.append(record)
+        with pytest.raises(ValueError, match="no usable"):
+            build_dataset(legacy)
+        ds = build_dataset(legacy, specs=small_sweep.scenarios())
+        assert ds.n_samples == 4
+        assert ds.skipped["missing_spec"] == 0
+
+    def test_unmatched_legacy_records_count_missing_spec(self, store):
+        legacy = []
+        for record in store.iter_records():
+            record = dict(record)
+            record.pop("spec")
+            legacy.append(record)
+        full = build_dataset(store.reopen())
+        ds = build_dataset(
+            legacy + list(store.iter_records())[:1], schema=full.schema
+        )
+        assert ds.n_samples == 1
+        # All four legacy copies counted (the later spec-bearing record
+        # rescues one hash, but the skip already happened in stream order).
+        assert ds.skipped["missing_spec"] == 4
+        assert full.n_samples == 4
+
+    def test_column_lookup_and_errors(self, store):
+        ds = build_dataset(store)
+        column = ds.column("peak_temperature_K")
+        assert column.shape == (4,)
+        assert np.all(column > 273.15)
+        with pytest.raises(KeyError, match="no target"):
+            ds.column("nope")
+
+    def test_zero_targets_is_an_error(self, store):
+        with pytest.raises(ValueError, match="at least one target"):
+            build_dataset(store, targets=())
+
+    def test_summary_is_json_friendly(self, store):
+        import json
+
+        ds = build_dataset(store)
+        summary = json.loads(json.dumps(ds.summary()))
+        assert summary["n_samples"] == 4
+        assert summary["targets"] == list(DEFAULT_TARGETS)
+        ranges = summary["target_ranges"]["peak_temperature_K"]
+        assert ranges["min"] <= ranges["mean"] <= ranges["max"]
+
+    def test_known_targets_cover_defaults(self):
+        assert set(DEFAULT_TARGETS) <= set(KNOWN_TARGETS)

@@ -1,0 +1,173 @@
+"""Tests of repro.ml.features: flattening, encoding, schema inference."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ml.features import (
+    FeatureField,
+    FeatureSchema,
+    flatten_spec,
+    infer_schema,
+)
+from repro.scenarios import GridSpec, OptimizerSpec, get_scenario
+from repro.sweeps import apply_field_overrides
+
+
+def small_spec(**dotted):
+    base = get_scenario("test-a").with_overrides(
+        grid=GridSpec(n_grid_points=61, n_lanes=1, n_rows=1, n_cols=20),
+        optimizer=OptimizerSpec(n_segments=2, max_iterations=3),
+    )
+    return apply_field_overrides(base, dotted) if dotted else base
+
+
+class TestFlattenSpec:
+    def test_dotted_scalar_leaves(self):
+        flat = flatten_spec(small_spec().to_dict())
+        assert flat["grid.n_grid_points"] == 61
+        assert flat["workload.kind"] == "test-a"
+
+    def test_name_and_description_are_excluded(self):
+        flat = flatten_spec(small_spec().to_dict())
+        assert "name" not in flat
+        assert "description" not in flat
+
+    def test_list_indices_become_path_segments(self):
+        flat = flatten_spec({"a": {"b": [10, 20]}})
+        assert flat == {"a.b.0": 10, "a.b.1": 20}
+
+    def test_none_leaves_are_skipped(self):
+        flat = flatten_spec({"a": None, "b": 1})
+        assert flat == {"b": 1}
+
+
+class TestFeatureField:
+    def test_numeric_encodes_one_column(self):
+        field = FeatureField(path="grid.n_grid_points", kind="numeric")
+        assert field.n_columns == 1
+        assert field.encode(61) == [61.0]
+
+    def test_categorical_one_hot(self):
+        field = FeatureField(
+            path="workload.kind",
+            kind="categorical",
+            vocabulary=("test-a", "test-b"),
+        )
+        assert field.n_columns == 2
+        assert field.column_names() == [
+            "workload.kind=test-a",
+            "workload.kind=test-b",
+        ]
+        assert field.encode("test-b") == [0.0, 1.0]
+
+    def test_unknown_category_is_all_zeros(self):
+        field = FeatureField(
+            path="workload.kind",
+            kind="categorical",
+            vocabulary=("test-a", "test-b"),
+        )
+        assert field.encode("mystery") == [0.0, 0.0]
+
+    def test_non_numeric_leaf_on_numeric_field_raises(self):
+        field = FeatureField(path="grid.n_grid_points", kind="numeric")
+        with pytest.raises(ValueError, match="expects a number"):
+            field.encode("61")
+
+
+class TestFeatureSchema:
+    def test_duplicate_paths_are_rejected(self):
+        field = FeatureField(path="a", kind="numeric")
+        with pytest.raises(ValueError, match="repeats"):
+            FeatureSchema(fields=(field, field))
+
+    def test_extract_and_matrix_agree(self):
+        specs = [
+            small_spec(),
+            small_spec(**{"workload.flux_w_per_cm2": 55.0}),
+        ]
+        schema = infer_schema([spec.to_dict() for spec in specs])
+        X = schema.matrix([spec.to_dict() for spec in specs])
+        assert X.shape == (2, schema.n_features)
+        row = schema.extract(specs[1].to_dict())
+        assert np.allclose(X[1], row)
+
+    def test_missing_numeric_path_raises_on_extract(self):
+        schema = FeatureSchema(
+            fields=(FeatureField(path="nowhere.at_all", kind="numeric"),)
+        )
+        with pytest.raises(ValueError, match="nowhere.at_all"):
+            schema.extract(small_spec().to_dict())
+
+    def test_missing_categorical_path_is_all_zeros(self):
+        schema = FeatureSchema(
+            fields=(
+                FeatureField(
+                    path="nowhere.at_all",
+                    kind="categorical",
+                    vocabulary=("x", "y"),
+                ),
+            )
+        )
+        row = schema.extract(small_spec().to_dict())
+        assert row.tolist() == [0.0, 0.0]
+
+    def test_json_round_trip_is_identity(self):
+        specs = [
+            small_spec(),
+            small_spec(**{"workload.flux_w_per_cm2": 55.0}),
+        ]
+        schema = infer_schema([spec.to_dict() for spec in specs])
+        clone = FeatureSchema.from_json(schema.to_json())
+        assert clone == schema
+        # to_dict is JSON-clean (no tuples leaking through).
+        assert json.loads(json.dumps(schema.to_dict())) == schema.to_dict()
+
+
+class TestInferSchema:
+    def test_constant_columns_are_dropped_by_default(self):
+        specs = [
+            small_spec().to_dict(),
+            small_spec(**{"workload.flux_w_per_cm2": 55.0}).to_dict(),
+        ]
+        schema = infer_schema(specs)
+        assert schema.paths() == ["workload.flux_w_per_cm2"]
+
+    def test_drop_constant_false_keeps_everything_common(self):
+        specs = [
+            small_spec().to_dict(),
+            small_spec(**{"workload.flux_w_per_cm2": 55.0}).to_dict(),
+        ]
+        schema = infer_schema(specs, drop_constant=False)
+        paths = set(schema.paths())
+        assert "grid.n_grid_points" in paths
+        assert "workload.kind" in paths
+
+    def test_string_fields_become_categorical_with_sorted_vocab(self):
+        specs = [{"k": "b", "x": 1}, {"k": "a", "x": 2}]
+        schema = infer_schema(specs)
+        by_path = {field.path: field for field in schema.fields}
+        assert by_path["k"].kind == "categorical"
+        assert by_path["k"].vocabulary == ("a", "b")
+
+    def test_mixed_types_on_one_path_raise(self):
+        with pytest.raises(ValueError, match="mixes"):
+            infer_schema([{"k": "s", "x": 1}, {"k": 3, "x": 2}])
+
+    def test_no_varying_fields_raises(self):
+        spec = small_spec().to_dict()
+        with pytest.raises(ValueError, match="no varying"):
+            infer_schema([spec, spec])
+
+    def test_include_restricts_the_paths(self):
+        specs = [
+            small_spec().to_dict(),
+            small_spec(
+                **{"workload.flux_w_per_cm2": 55.0, "grid.n_grid_points": 81}
+            ).to_dict(),
+        ]
+        schema = infer_schema(specs, include=["grid.n_grid_points"])
+        assert schema.paths() == ["grid.n_grid_points"]

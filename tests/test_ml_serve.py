@@ -1,0 +1,240 @@
+"""End-to-end tests of surrogate serving: fit over HTTP, gated /v1/predict."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.campaign import CampaignStore
+from repro.ml import build_dataset, make_surrogate
+from repro.scenarios import GridSpec, OptimizerSpec, ScenarioSpec, get_scenario
+from repro.serve import CampaignServer, CampaignService, ServiceClient, ServiceError
+from repro.sweeps import SweepAxis, SweepSpec, apply_field_overrides
+
+
+@pytest.fixture()
+def small_base() -> ScenarioSpec:
+    return get_scenario("test-a").with_overrides(
+        grid=GridSpec(n_grid_points=61, n_lanes=1, n_rows=1, n_cols=20),
+        optimizer=OptimizerSpec(n_segments=2, max_iterations=3),
+    )
+
+
+@pytest.fixture()
+def training_sweep(small_base) -> SweepSpec:
+    return SweepSpec(
+        name="ml",
+        base=small_base,
+        axes=(
+            SweepAxis("workload.flux_w_per_cm2", (40.0, 50.0, 60.0)),
+            SweepAxis("grid.n_grid_points", (61, 81)),
+        ),
+    )
+
+
+@pytest.fixture()
+def server(tmp_path):
+    service = CampaignService(tmp_path / "srv", executor="serial", workers=1)
+    server = CampaignServer(service).start_in_thread()
+    yield server
+    server.stop()
+
+
+@pytest.fixture()
+def client(server) -> ServiceClient:
+    return ServiceClient(server.url)
+
+
+@pytest.fixture()
+def trained(client, training_sweep):
+    """A server whose queue holds one finished campaign and a fitted GP."""
+    job = client.submit_sweep(training_sweep.to_dict())
+    client.wait(job["job_id"])
+    fitted = client.fit()
+    return fitted
+
+
+def physics(result):
+    return {
+        key: value
+        for key, value in result.items()
+        if key not in ("wall_time_s", "provenance")
+    }
+
+
+class TestFitOverHttp:
+    def test_fit_reports_model_and_dataset(self, trained):
+        assert trained["model"] == "gp"
+        assert trained["n_samples"] == 6
+        assert trained["dataset"]["n_samples"] == 6
+        assert sorted(trained["dataset"]["feature_columns"]) == [
+            "grid.n_grid_points",
+            "workload.flux_w_per_cm2",
+        ]
+        assert len(trained["model_id"]) == 16
+
+    def test_fit_without_jobs_is_a_client_error(self, client):
+        with pytest.raises(ServiceError) as info:
+            client.fit()
+        assert info.value.status == 400
+
+    def test_fit_with_unknown_job_is_404(self, client):
+        with pytest.raises(ServiceError) as info:
+            client.fit(job_ids=["nope"])
+        assert info.value.status == 404
+
+    def test_refit_updates_the_serving_model(self, client, trained, small_base):
+        second = client.fit(model="rff")
+        assert second["model"] == "rff"
+        predicted = client.predict(small_base.to_dict())
+        assert predicted["model_id"] == second["model_id"]
+
+
+class TestPredictGating:
+    def test_in_distribution_answers_from_the_surrogate(
+        self, client, trained, small_base
+    ):
+        query = apply_field_overrides(
+            small_base, {"workload.flux_w_per_cm2": 45.0}
+        )
+        answer = client.predict(query.to_dict(), exact_if_std_above=0.5)
+        assert answer["source"] == "surrogate"
+        assert answer["model_id"] == trained["model_id"]
+        assert set(answer["mean"]) == {
+            "peak_temperature_K",
+            "max_pressure_drop_Pa",
+        }
+        assert answer["std"]["peak_temperature_K"] < 0.5
+        assert "job" not in answer
+
+    def test_far_ood_falls_through_to_an_exact_job(
+        self, client, trained, small_base
+    ):
+        query = apply_field_overrides(
+            small_base, {"workload.flux_w_per_cm2": 250.0}
+        )
+        answer = client.predict(query.to_dict(), exact_if_std_above=0.5)
+        assert answer["source"] == "exact"
+        assert answer["std"] > 0.5
+        job_id = answer["job"]["job_id"]
+
+        # The fallback job is an ordinary exact solve: its stored record
+        # matches a serial in-process run of the same spec bit for bit
+        # (timings and provenance aside).
+        client.wait(job_id)
+        (record,) = client.records(job_id)
+        (reference,) = Session().run_many([query]).records
+        assert record["spec_hash"] == reference["spec_hash"]
+        assert physics(record["result"]) == physics(reference["result"])
+
+    def test_held_out_truth_is_within_the_models_3_sigma(
+        self, client, trained, small_base
+    ):
+        query = apply_field_overrides(
+            small_base, {"workload.flux_w_per_cm2": 45.0}
+        )
+        answer = client.predict(query.to_dict())
+        truth = Session().run(query).peak_temperature_K
+        mean = answer["mean"]["peak_temperature_K"]
+        std = answer["std"]["peak_temperature_K"]
+        assert abs(mean - truth) <= 3.0 * std + 1e-6
+
+    def test_without_threshold_surrogate_always_answers(
+        self, client, trained, small_base
+    ):
+        query = apply_field_overrides(
+            small_base, {"workload.flux_w_per_cm2": 250.0}
+        )
+        answer = client.predict(query.to_dict())
+        assert answer["source"] == "surrogate"
+
+    def test_predict_before_any_fit_is_a_clear_400(self, client, small_base):
+        with pytest.raises(ServiceError) as info:
+            client.predict(small_base.to_dict())
+        assert info.value.status == 400
+        assert "no surrogate" in info.value.message
+
+    def test_unknown_gate_target_is_rejected(self, client, trained, small_base):
+        with pytest.raises(ServiceError) as info:
+            client.predict(small_base.to_dict(), target="nope")
+        assert info.value.status == 400
+
+    def test_healthz_counts_surrogate_traffic(self, client, trained, small_base):
+        client.predict(small_base.to_dict(), exact_if_std_above=0.5)
+        far = apply_field_overrides(
+            small_base, {"workload.flux_w_per_cm2": 250.0}
+        )
+        client.predict(far.to_dict(), exact_if_std_above=0.5)
+        ml = client.healthz()["ml"]
+        assert ml["n_surrogate_fits"] == 1
+        assert ml["n_surrogate_predictions"] == 1
+        assert ml["n_exact_fallbacks"] == 1
+        assert ml["model_id"] == trained["model_id"]
+
+
+class TestFluxArchitectureAcceptance:
+    def test_gp_generalizes_across_flux_and_architecture(self, tmp_path):
+        """Fit on the paper's flux x architecture campaign with one point
+        held out; the exact value must land inside the model's own 3 sigma."""
+        base = get_scenario("niagara-arch1").with_overrides(
+            grid=GridSpec(n_grid_points=41, n_lanes=2, n_rows=4, n_cols=8),
+            optimizer=OptimizerSpec(n_segments=2, max_iterations=3),
+        )
+        sweep = SweepSpec(
+            name="flux-arch",
+            base=base,
+            axes=(
+                SweepAxis(
+                    "params.flow_rate_per_channel",
+                    (6.0e-9, 8.0e-9, 1.0e-8, 1.2e-8),
+                    label="flux",
+                ),
+                SweepAxis(
+                    "workload.architecture",
+                    ("arch1", "arch2", "arch3"),
+                    label="arch",
+                ),
+            ),
+        )
+        path = tmp_path / "flux-arch.jsonl"
+        campaign = Session().run_many(sweep, out=path)
+        assert campaign.n_ok == 12
+
+        # Hold out the (8e-9, arch2) interior point.
+        held_out = apply_field_overrides(
+            base,
+            {
+                "params.flow_rate_per_channel": 8.0e-9,
+                "workload.architecture": "arch2",
+            },
+        )
+        truth = Session().run(held_out).peak_temperature_K
+        records = [
+            record
+            for record in CampaignStore(path).iter_records()
+            if not (
+                record["spec"]["workload"]["architecture"] == "arch2"
+                and record["spec"]["params"]["flow_rate_per_channel"] == 8.0e-9
+            )
+        ]
+        assert len(records) == 11
+        dataset = build_dataset(records)
+        # Architecture one-hots plus the flux column.
+        names = dataset.schema.column_names()
+        assert "params.flow_rate_per_channel" in names
+        assert any(name.startswith("workload.architecture=") for name in names)
+
+        model = make_surrogate("gp").fit(dataset)
+        mean, std = model.predict_specs([held_out])
+        index = list(model.targets).index("peak_temperature_K")
+        error = abs(float(mean[0, index]) - truth)
+        assert error <= 3.0 * float(std[0, index]) + 1e-6
+        # And the interpolation is genuinely tight, not saved by a huge std.
+        assert error < 0.5
+
+        # Training points reproduce themselves with uncertainty that is
+        # tiny relative to the campaign's temperature spread.
+        _, std_train = model.predict(dataset.X)
+        spread = float(np.ptp(dataset.column("peak_temperature_K")))
+        assert float(np.max(std_train[:, index])) < 0.05 * spread

@@ -1,0 +1,187 @@
+"""Property-based (hypothesis) tests of the repro.ml invariants.
+
+Randomized coverage of what the surrogate layer must guarantee by
+construction:
+
+* :class:`FeatureSchema` encoding is a pure function of spec *content* --
+  JSON round-trips of the schema and key-order shuffles of the spec
+  never change a feature vector;
+* the exact GP interpolates its training data, is (near) certain there,
+  and its predictive std grows monotonically along rays leaving the
+  training region.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.ml.dataset import Dataset  # noqa: E402
+from repro.ml.features import FeatureSchema, infer_schema  # noqa: E402
+from repro.ml.models import GaussianProcessSurrogate  # noqa: E402
+
+#: A modest example budget keeps the randomized suite inside tier-1 time.
+COMMON = settings(max_examples=25, deadline=None)
+
+
+def shuffled_dict(data, rng):
+    """Deep copy of a plain-data payload with every dict's key order shuffled."""
+    if isinstance(data, dict):
+        keys = list(data)
+        rng.shuffle(keys)
+        return {key: shuffled_dict(data[key], rng) for key in keys}
+    if isinstance(data, list):
+        return [shuffled_dict(item, rng) for item in data]
+    return data
+
+
+# -- strategies --------------------------------------------------------------
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+leaf = st.one_of(
+    finite,
+    st.integers(min_value=-1000, max_value=1000),
+    st.sampled_from(["alpha", "beta", "gamma"]),
+)
+
+#: Flat two-section spec payloads: every draw shares the same paths, so a
+#: schema inferred from a batch applies to every member.
+path_names = ("a", "b", "c", "d")
+
+
+@st.composite
+def spec_batches(draw):
+    """2-6 spec payloads over a fixed path set with a varying numeric field."""
+    n = draw(st.integers(min_value=2, max_value=6))
+    kinds = {
+        name: draw(st.sampled_from(["numeric", "categorical"]))
+        for name in path_names
+    }
+    specs = []
+    for index in range(n):
+        section = {}
+        for name in path_names:
+            if kinds[name] == "numeric":
+                section[name] = draw(finite)
+            else:
+                section[name] = draw(
+                    st.sampled_from(["alpha", "beta", "gamma"])
+                )
+        # Guarantee at least one varying numeric field so inference
+        # always succeeds.
+        section["vary"] = float(index)
+        specs.append({"section": section})
+    return specs
+
+
+class TestSchemaProperties:
+    @COMMON
+    @given(specs=spec_batches(), seed=st.integers(min_value=0, max_value=2**32))
+    def test_json_round_trip_preserves_every_feature_vector(self, specs, seed):
+        schema = infer_schema(specs)
+        clone = FeatureSchema.from_json(schema.to_json())
+        assert clone == schema
+        for spec in specs:
+            assert np.array_equal(schema.extract(spec), clone.extract(spec))
+
+    @COMMON
+    @given(specs=spec_batches(), seed=st.integers(min_value=0, max_value=2**32))
+    def test_key_order_never_changes_features(self, specs, seed):
+        rng = random.Random(seed)
+        schema = infer_schema(specs)
+        for spec in specs:
+            shuffled = shuffled_dict(json.loads(json.dumps(spec)), rng)
+            assert np.array_equal(schema.extract(spec), schema.extract(shuffled))
+
+    @COMMON
+    @given(specs=spec_batches())
+    def test_inference_is_deterministic_in_spec_order(self, specs):
+        assert infer_schema(specs) == infer_schema(list(reversed(specs)))
+
+    @COMMON
+    @given(specs=spec_batches())
+    def test_matrix_width_matches_schema(self, specs):
+        schema = infer_schema(specs)
+        X = schema.matrix(specs)
+        assert X.shape == (len(specs), schema.n_features)
+        assert len(schema.column_names()) == schema.n_features
+
+
+def gp_dataset(points, values):
+    """Wrap plain arrays as the Dataset the surrogates train on."""
+    X = np.asarray(points, dtype=float)
+    y = np.asarray(values, dtype=float).reshape(len(points), -1)
+    schema = infer_schema(
+        [{"x": {f"d{j}": float(v) for j, v in enumerate(row)}} for row in X]
+    )
+    return Dataset(X=X, y=y, targets=("f",), schema=schema)
+
+
+@st.composite
+def gp_problems(draw):
+    """Distinct 1-D training points and bounded smooth-ish targets."""
+    n = draw(st.integers(min_value=3, max_value=8))
+    xs = draw(
+        st.lists(
+            st.floats(min_value=-5.0, max_value=5.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+            unique_by=lambda v: round(v, 2),
+        )
+    )
+    # A smooth deterministic function keeps targets consistent with a
+    # noiseless-GP prior (arbitrary random targets would be fair game
+    # too, but make interpolation tolerances meaningless).
+    ys = [np.sin(x) + 0.3 * x for x in xs]
+    return xs, ys
+
+
+class TestGaussianProcessProperties:
+    @COMMON
+    @given(problem=gp_problems())
+    def test_interpolates_and_is_confident_at_training_points(self, problem):
+        xs, ys = problem
+        dataset = gp_dataset([[x] for x in xs], ys)
+        model = GaussianProcessSurrogate().fit(dataset)
+        mean, std = model.predict(dataset.X)
+        spread = max(float(np.ptp(dataset.y)), 1e-3)
+        assert np.allclose(mean[:, 0], dataset.y[:, 0], atol=0.05 * spread)
+        # Near-zero epistemic uncertainty where the data is.
+        assert float(std.max()) <= 0.1 * spread
+
+    @COMMON
+    @given(problem=gp_problems())
+    def test_std_grows_monotonically_leaving_the_data(self, problem):
+        xs, ys = problem
+        dataset = gp_dataset([[x] for x in xs], ys)
+        model = GaussianProcessSurrogate().fit(dataset)
+        edge = max(xs)
+        # March away from the convex hull of the data: the epistemic std
+        # must be non-decreasing (up to numerical noise).
+        offsets = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0]
+        stds = [
+            float(model.predict(np.array([[edge + offset]]))[1][0, 0])
+            for offset in offsets
+        ]
+        for near, far in zip(stds, stds[1:]):
+            assert far >= near - 1e-9
+
+    @COMMON
+    @given(problem=gp_problems())
+    def test_far_field_std_exceeds_training_std(self, problem):
+        xs, ys = problem
+        dataset = gp_dataset([[x] for x in xs], ys)
+        model = GaussianProcessSurrogate().fit(dataset)
+        _, std_on = model.predict(dataset.X)
+        _, std_far = model.predict(np.array([[max(xs) + 50.0]]))
+        assert float(std_far[0, 0]) > float(std_on.max())

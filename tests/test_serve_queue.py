@@ -308,6 +308,48 @@ class TestResultCacheGc:
         with pytest.raises(ValueError, match="max_entries"):
             cache.gc(max_entries=-1)
 
+    def test_gc_counters_survive_a_restart(self, tmp_path):
+        # Regression: gc runs/removals used to be per-handle, so 'repro
+        # cache gc' (a fresh process each time) always reported zeros.
+        cache = ResultCache(tmp_path / "cache")
+        self.fill(cache, 4)
+        cache.gc(max_entries=2)
+        cache.gc()
+        stats = cache.stats()
+        assert stats["n_gc_runs"] == 2
+        assert stats["n_gc_removed"] == 2
+
+        reopened = ResultCache(tmp_path / "cache")
+        durable = reopened.stats()
+        assert durable["n_gc_runs"] == 2
+        assert durable["n_gc_removed"] == 2
+        # Traffic counters are per-handle by design and start at zero.
+        assert durable["n_hits"] == 0 and durable["n_misses"] == 0
+        # The stats file does not masquerade as a cache entry.
+        assert len(list(reopened.keys())) == 2
+
+    def test_gc_counters_accumulate_across_handles(self, tmp_path):
+        first = ResultCache(tmp_path / "cache")
+        self.fill(first, 3)
+        first.gc(max_entries=1)
+        second = ResultCache(tmp_path / "cache")
+        second.gc()
+        assert second.stats()["n_gc_runs"] == 2
+        assert second.stats()["n_gc_removed"] == 2
+
+    def test_torn_gc_stats_file_resets_to_zero(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        self.fill(cache, 2)
+        cache.gc()
+        import os
+
+        stats_file = os.path.join(cache.root, "gc-stats.json")
+        assert os.path.exists(stats_file)
+        with open(stats_file, "w", encoding="utf-8") as handle:
+            handle.write("{torn")
+        reopened = ResultCache(tmp_path / "cache")
+        assert reopened.stats()["n_gc_runs"] == 0
+
     def test_gc_tolerates_concurrently_removed_entries(self, tmp_path):
         import os
 
