@@ -1,0 +1,101 @@
+"""Benchmark the temperature-dependent coolant (Picard) overhead.
+
+Runs the same steady scenario once with the constant Table I properties
+and once with the ``water`` coolant model on both model families, and
+emits the ``picard_overhead`` ``BENCH {json}`` record: per-family wall
+times, the overhead ratio and the iterations-to-convergence count.
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_picard.py -s \
+        | grep '^BENCH '
+
+Because the Picard loop reuses the cached sparsity pattern and only
+refreshes the conductance values per pass, the overhead should stay
+close to ``n_iterations`` forward solves, not ``n_iterations`` full
+assemblies.  Setting ``REPRO_BENCH_SMOKE=1`` shrinks the grid so CI can
+smoke-test the record shape.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.api import Session
+from repro.scenarios import GridSpec, get_scenario
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip() not in ("", "0")
+
+N_REPEATS = 2 if SMOKE else 5
+
+
+def emit_bench(record: dict) -> None:
+    """Print one machine-readable BENCH record (JSON on a single line)."""
+    print("BENCH " + json.dumps(record, sort_keys=True))
+
+
+def _scenario(coolant_model: str, simulator: str):
+    spec = get_scenario("test-a").with_solver(simulator=simulator)
+    if SMOKE:
+        spec = spec.with_overrides(
+            grid=GridSpec(n_grid_points=61, n_lanes=1, n_rows=1, n_cols=20)
+        )
+    return spec.with_overrides(coolant_model=coolant_model)
+
+
+def _time_run(spec) -> tuple:
+    """Best-of-N wall time plus the last result payload (fresh sessions,
+    so the constant path cannot serve the water path from cache)."""
+    best = float("inf")
+    result = None
+    for _ in range(N_REPEATS):
+        session = Session()
+        start = time.perf_counter()
+        result = session.run(spec)
+        best = min(best, time.perf_counter() - start)
+    return best, result.to_dict()
+
+
+def test_picard_overhead_record(benchmark):
+    rows = []
+    for simulator in ("fdm", "ice"):
+        constant_s, constant_payload = _time_run(_scenario("constant", simulator))
+        water_s, water_payload = _time_run(_scenario("water", simulator))
+        picard = water_payload["provenance"]["picard"]
+        assert picard["converged"], picard
+        assert not picard["fell_back"], picard
+        assert "picard" not in constant_payload["provenance"]
+        rows.append(
+            {
+                "simulator": simulator,
+                "constant_s": constant_s,
+                "water_s": water_s,
+                "overhead": water_s / constant_s,
+                "n_iterations": picard["n_iterations"],
+                "peak_shift_K": (
+                    water_payload["peak_temperature_K"]
+                    - constant_payload["peak_temperature_K"]
+                ),
+            }
+        )
+
+    bench_spec = _scenario("water", "fdm")
+    bench_session = Session()
+    bench_session.run(bench_spec)  # warm the pattern cache
+    benchmark(lambda: Session().run(bench_spec))
+
+    record = {
+        "benchmark": "picard_overhead",
+        "scenario": "test-a",
+        "families": rows,
+        "smoke": SMOKE,
+    }
+    emit_bench(record)
+    print()
+    for row in rows:
+        print(
+            f"{row['simulator']}: constant {row['constant_s'] * 1e3:.1f} ms, "
+            f"water {row['water_s'] * 1e3:.1f} ms "
+            f"({row['overhead']:.2f}x, {row['n_iterations']} Picard "
+            f"iteration(s), peak shift {row['peak_shift_K']:+.3f} K)"
+        )

@@ -116,6 +116,10 @@ def time_above_threshold(
     if times.size < 2:
         return 0.0
     intervals = np.diff(times)
+    if np.any(intervals <= 0.0):
+        # A shuffled or duplicated time axis would silently add negative
+        # (or zero-width) step intervals to the total.
+        raise ValueError("times must be strictly increasing")
     return float(np.sum(intervals[values[1:] > threshold]))
 
 

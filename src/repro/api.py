@@ -43,6 +43,7 @@ from ._compat import import_attribute
 from .exec.base import Executor
 from .core.designer import ChannelModulationDesigner
 from .core.engine import EvaluationEngine
+from .core.picard import PicardSettings
 from .core.results import ModulationResult
 from .hydraulics.network import FlowNetwork
 from .ice.solver import SteadyStateSolver
@@ -53,6 +54,7 @@ from .thermal.geometry import (
     TestStructure,
     WidthProfile,
 )
+from .thermal.properties import get_coolant_model
 
 
 __all__ = [
@@ -201,6 +203,21 @@ def _scenario_pressure_drops(spec: ScenarioSpec, config) -> np.ndarray:
     return network.pressure_drops
 
 
+def _picard_options(spec: ScenarioSpec) -> Dict[str, object]:
+    """Solver kwargs for a temperature-dependent coolant scenario.
+
+    Empty for the default ``"constant"`` model -- the solvers are then
+    called with exactly the pre-Picard signature, so engine cache keys
+    (which fold extra solver kwargs in) and results stay bit-identical.
+    """
+    if spec.coolant_model == "constant":
+        return {}
+    return {
+        "coolant_model": get_coolant_model(spec.coolant_model),
+        "picard": PicardSettings.from_solver_spec(spec.solver),
+    }
+
+
 class FDMSimulator:
     """The analytical finite-difference path behind the simulator protocol.
 
@@ -244,9 +261,24 @@ class FDMSimulator:
             structure = MultiChannelStructure.single(structure)
         engine = self._engine_for(spec)
         start = time.perf_counter()
-        solution = engine.solve(structure, n_points=spec.grid.n_grid_points)
+        solution = engine.solve(
+            structure,
+            n_points=spec.grid.n_grid_points,
+            **_picard_options(spec),
+        )
         wall_time = time.perf_counter() - start
         drops = _lane_pressure_drops(structure)
+        provenance = {
+            "backend": engine.stats()["backend"],
+            "n_grid_points": spec.grid.n_grid_points,
+            "n_lanes": structure.n_lanes,
+            "n_physical_channels": structure.n_physical_channels,
+            "cost_J": solution.cost,
+            "cache": engine.stats(),
+        }
+        picard_info = solution.metadata.get("picard")
+        if picard_info is not None:
+            provenance["picard"] = dict(picard_info)
         return SimulationResult(
             scenario=spec.name,
             simulator=self.name,
@@ -257,14 +289,7 @@ class FDMSimulator:
             pressure_drops_Pa=tuple(float(drop) for drop in drops),
             max_pressure_drop_Pa=float(np.max(drops)),
             wall_time_s=wall_time,
-            provenance={
-                "backend": engine.stats()["backend"],
-                "n_grid_points": spec.grid.n_grid_points,
-                "n_lanes": structure.n_lanes,
-                "n_physical_channels": structure.n_physical_channels,
-                "cost_J": solution.cost,
-                "cache": engine.stats(),
-            },
+            provenance=provenance,
             solution=solution,
         )
 
@@ -368,9 +393,15 @@ class ICESimulator:
             return self._run_transient(spec)
         stack = spec.build_stack()
         start = time.perf_counter()
-        solver = SteadyStateSolver(stack, backend=spec.solver.backend)
+        solver = SteadyStateSolver(
+            stack, backend=spec.solver.backend, **_picard_options(spec)
+        )
         maps = solver.solve()
         wall_time = time.perf_counter() - start
+        picard_info = maps.metadata.get("picard")
+        if picard_info is not None and self.engine is not None:
+            self.engine.n_picard_iterations += int(picard_info["n_iterations"])
+            self.engine.n_picard_fallbacks += int(bool(picard_info["fell_back"]))
         config = spec.experiment_config()
         # The cavity's pressure drop is a property of the channel design,
         # not of the thermal model, so both simulators report the same
@@ -401,6 +432,11 @@ class ICESimulator:
                 "n_unknowns": maps.metadata.get("n_unknowns"),
                 "residual_norm": maps.metadata.get("residual_norm"),
                 "cache": None,
+                **(
+                    {"picard": dict(picard_info)}
+                    if picard_info is not None
+                    else {}
+                ),
             },
             solution=maps,
         )

@@ -296,6 +296,8 @@ def summarize_records(
     time_above_total = 0.0
     pumping_total = 0.0
     policies_seen: set = set()
+    n_laminar_violated = 0
+    max_reynolds = None
 
     for record in records:
         n_records += 1
@@ -352,6 +354,15 @@ def summarize_records(
                 pumping_total += float(transient.get("pumping_energy_J", 0.0))
                 if transient.get("policy"):
                     policies_seen.add(str(transient.get("policy")))
+                if transient.get("laminar_violated"):
+                    n_laminar_violated += 1
+                if "max_reynolds" in transient:
+                    reynolds = float(transient["max_reynolds"])
+                    max_reynolds = (
+                        reynolds
+                        if max_reynolds is None
+                        else max(max_reynolds, reynolds)
+                    )
 
     summary: Dict[str, object] = {
         "n_records": n_records,
@@ -376,6 +387,11 @@ def summarize_records(
         summary["time_above_threshold_s_total"] = time_above_total
         summary["pumping_energy_J_total"] = pumping_total
         summary["policies_seen"] = sorted(policies_seen)
+        # Correlation-validity roll-up: how many transient runs pushed the
+        # flow past the laminar regime, and the worst Reynolds number seen.
+        summary["n_laminar_violated"] = n_laminar_violated
+        if max_reynolds is not None:
+            summary["max_reynolds"] = max_reynolds
     return summary
 
 

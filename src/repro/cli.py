@@ -103,6 +103,17 @@ def _print_metrics(prefix: str, payload: Dict[str, object]) -> None:
     ):
         if key in payload:
             print(f"  {key:24s} {payload[key]:.6g}")
+    picard = (payload.get("provenance") or {}).get("picard")
+    if picard:
+        state = (
+            "converged"
+            if picard.get("converged")
+            else "fell back to constant properties"
+        )
+        print(
+            f"  picard: {picard.get('coolant_model', '?')} model, "
+            f"{picard.get('n_iterations', 0)} iteration(s), {state}"
+        )
     transient = payload.get("transient")
     if transient:
         print(f"  transient ({transient.get('policy', '?')} policy)")
@@ -115,11 +126,17 @@ def _print_metrics(prefix: str, payload: Dict[str, object]) -> None:
             "mean_flow_scale",
             "max_pressure_drop_at_peak_flow_Pa",
             "n_flow_changes",
+            "max_reynolds",
             "rom_order",
             "rom_peak_abs_err_K",
         ):
             if key in transient:
                 print(f"    {key:28s} {transient[key]:.6g}")
+        if transient.get("laminar_violated"):
+            print(
+                "    laminar_violated: Re exceeds the laminar limit; the "
+                "Shah & London correlations are extrapolating"
+            )
 
 
 # -- subcommands ------------------------------------------------------------
@@ -157,6 +174,9 @@ def cmd_show(args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     """``repro run`` -- simulate a scenario through one simulator family."""
     spec = _resolve(args.scenario, getattr(args, "backend", None))
+    coolant_model = getattr(args, "coolant_model", None)
+    if coolant_model is not None:
+        spec = spec.with_overrides(coolant_model=coolant_model)
     result = Session().run(spec, solver=args.solver)
     payload = result.to_dict()
     if args.json or args.output:
@@ -901,6 +921,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("fdm", "ice"),
         default=None,
         help="simulator family (default: the scenario's own)",
+    )
+    run_parser.add_argument(
+        "--coolant-model",
+        metavar="NAME",
+        default=None,
+        help=(
+            "coolant property model (e.g. 'water' for temperature-"
+            "dependent properties via Picard iteration; default: the "
+            "scenario's own, normally 'constant')"
+        ),
     )
     _add_backend_argument(run_parser)
     _add_output_arguments(run_parser)

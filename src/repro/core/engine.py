@@ -58,6 +58,8 @@ COUNTER_KEYS = (
     "n_transpose_solves",
     "n_rom_builds",
     "n_rom_steps",
+    "n_picard_iterations",
+    "n_picard_fallbacks",
 )
 
 
@@ -104,6 +106,8 @@ class EvaluationEngine:
         self.n_transpose_solves = 0
         self.n_rom_builds = 0
         self.n_rom_steps = 0
+        self.n_picard_iterations = 0
+        self.n_picard_fallbacks = 0
 
     # -- cache keys ---------------------------------------------------------
 
@@ -217,8 +221,12 @@ class EvaluationEngine:
             backend=self.solver_backend,
             **solver_kwargs,
         )
+        picard_info = solution.metadata.get("picard")
         with self._lock:
             self.n_solves += 1
+            if picard_info is not None:
+                self.n_picard_iterations += int(picard_info["n_iterations"])
+                self.n_picard_fallbacks += int(bool(picard_info["fell_back"]))
             if key is not None:
                 self._cache[key] = solution
                 self._cache.move_to_end(key)
@@ -362,6 +370,8 @@ class EvaluationEngine:
             self.n_transpose_solves = 0
             self.n_rom_builds = 0
             self.n_rom_steps = 0
+            self.n_picard_iterations = 0
+            self.n_picard_fallbacks = 0
 
     @property
     def cache_len(self) -> int:
@@ -391,6 +401,8 @@ class EvaluationEngine:
                 "n_transpose_solves": self.n_transpose_solves,
                 "n_rom_builds": self.n_rom_builds,
                 "n_rom_steps": self.n_rom_steps,
+                "n_picard_iterations": self.n_picard_iterations,
+                "n_picard_fallbacks": self.n_picard_fallbacks,
                 "hit_rate": (self.n_cache_hits / lookups) if lookups else 0.0,
             }
 

@@ -136,15 +136,34 @@ class AssembledSystem:
         over the cached :class:`StackPattern`) or ``"loop"`` (the original
         triple-nested reference loops).  Both produce bit-identical
         systems.
+    coolant_films:
+        Optional mapping of cavity layer index to a film coolant record
+        (an array-valued :class:`~repro.thermal.properties.CoolantState`)
+        used *only* for the Shah & London heat-transfer-coefficient
+        evaluation of that cavity.  The capacity rate, inlet enthalpy rhs
+        and fluid capacitance keep the layer's own constant coolant, so
+        the sparsity mask -- and hence the cached pattern token -- is
+        unchanged and each Picard iteration is a pure value refresh.
+        Vectorized assembly only.
     """
 
-    def __init__(self, stack: LayerStack, method: str = "vectorized") -> None:
+    def __init__(
+        self,
+        stack: LayerStack,
+        method: str = "vectorized",
+        coolant_films: Optional[Dict[int, object]] = None,
+    ) -> None:
         if method not in ASSEMBLY_MODES:
             raise ValueError(
                 f"method must be one of {list(ASSEMBLY_MODES)}, got {method!r}"
             )
+        if coolant_films and method != "vectorized":
+            raise ValueError(
+                "coolant film overrides require the vectorized assembly"
+            )
         self.stack = stack
         self.method = method
+        self.coolant_films = coolant_films or {}
         self.n_cells_per_layer = stack.n_rows * stack.n_cols
         self.n_unknowns = stack.n_layers * self.n_cells_per_layer
         self._rows: List[int] = []
@@ -364,9 +383,12 @@ class AssembledSystem:
         # each cell, per adjacent die (half of the wetted perimeter each), in
         # series with the half-thickness conduction of the adjacent solid
         # layer.  The Shah & London correlation is evaluated once over the
-        # whole per-cell width grid.
+        # whole per-cell width grid -- against the per-cell film properties
+        # when a Picard iteration supplied an override for this cavity.
         h = correlations.heat_transfer_coefficient(
-            row_widths, layer.channel_height, layer.coolant
+            row_widths,
+            layer.channel_height,
+            self.coolant_films.get(layer_idx, layer.coolant),
         )
         wetted_per_layer = (row_widths + layer.channel_height) * (
             stack.cell_length * channels_per_row
@@ -667,6 +689,16 @@ class SteadyStateSolver:
     assembly_mode:
         ``"vectorized"`` (default) or ``"loop"`` (the reference assembly,
         retained for equivalence testing and benchmarks).
+    coolant_model:
+        Optional :class:`~repro.thermal.properties.CoolantModel`.  None or
+        a constant-mode model leaves the solve bit-identical to the
+        constant-property path; a polynomial model wraps it in a Picard
+        outer iteration (:mod:`repro.core.picard`) that refreshes the
+        convective conductances from film properties at the per-cell bulk
+        coolant temperatures.  Requires the vectorized assembly.
+    picard:
+        Optional :class:`~repro.core.picard.PicardSettings` convergence
+        knobs (defaults apply when omitted).  Ignored for constant models.
     """
 
     def __init__(
@@ -674,10 +706,33 @@ class SteadyStateSolver:
         stack: LayerStack,
         backend: Union[None, str, SolverBackend] = None,
         assembly_mode: str = "vectorized",
+        coolant_model=None,
+        picard=None,
     ) -> None:
         self.stack = stack
         self.system = AssembledSystem(stack, method=assembly_mode)
         self.backend = resolve_backend(backend)
+        temperature_dependent = (
+            coolant_model is not None and not coolant_model.is_constant
+        )
+        if temperature_dependent and assembly_mode != "vectorized":
+            raise ValueError(
+                "temperature-dependent coolant models require the vectorized "
+                "assembly (the Picard refresh reuses the cached pattern)"
+            )
+        self.coolant_model = coolant_model if temperature_dependent else None
+        self.picard = picard
+
+    def _cavity_slices(self) -> List[Tuple[int, int, int]]:
+        """``(layer_idx, start, stop)`` of every cavity layer's cells."""
+        slices = []
+        for layer_idx, layer in enumerate(self.stack.layers):
+            if layer.is_cavity:
+                start = self.system.index(layer_idx, 0, 0)
+                slices.append(
+                    (layer_idx, start, start + self.system.n_cells_per_layer)
+                )
+        return slices
 
     def solve(self, compute_residual: bool = True) -> ThermalMapResult:
         """Assemble and solve ``A T = b``; return per-layer thermal maps.
@@ -697,6 +752,9 @@ class SteadyStateSolver:
         )
         if not np.all(np.isfinite(solution)):
             raise RuntimeError("steady-state solve produced non-finite values")
+        picard_info = None
+        if self.coolant_model is not None:
+            solution, matrix, picard_info = self._solve_picard(solution)
         metadata = {
             "solver": "ice-steady",
             "backend": self.backend.name,
@@ -704,6 +762,8 @@ class SteadyStateSolver:
             "n_unknowns": self.system.n_unknowns,
             "grid": (self.stack.n_rows, self.stack.n_cols),
         }
+        if picard_info is not None:
+            metadata["picard"] = picard_info
         if compute_residual:
             residual = matrix @ solution - self.system.rhs
             metadata["residual_norm"] = float(np.max(np.abs(residual)))
@@ -713,3 +773,60 @@ class SteadyStateSolver:
             coolant_maps=coolant_maps,
             metadata=metadata,
         )
+
+    def _solve_picard(self, base_solution: np.ndarray):
+        """Picard outer iteration over the cavity coolant temperatures.
+
+        Each iteration builds a *fresh* :class:`AssembledSystem` with the
+        film-property overrides (the rhs is accumulated with ``+=`` during
+        assembly, so refreshing an existing system in place would
+        double-count it); the sparsity mask is unchanged by construction
+        (``h > 0``), so the pattern comes straight from the cache and only
+        the value fold plus one backend factorization are paid.
+        """
+        from ..core.picard import (
+            PicardSettings,
+            picard_iterate,
+            picard_metadata,
+        )
+
+        model = self.coolant_model
+        settings = (
+            self.picard if self.picard is not None else PicardSettings()
+        )
+        slices = self._cavity_slices()
+        stack = self.stack
+        shape = (stack.n_rows, stack.n_cols)
+        last = {"matrix": None}
+
+        def field_of(vector: np.ndarray) -> np.ndarray:
+            return np.concatenate(
+                [vector[start:stop] for _, start, stop in slices]
+            )
+
+        def refresh(field: np.ndarray):
+            films = {}
+            offset = 0
+            for layer_idx, start, stop in slices:
+                cells = field[offset : offset + (stop - start)]
+                films[layer_idx] = model.film(cells.reshape(shape))
+                offset += stop - start
+            refreshed = AssembledSystem(
+                stack, method=self.system.method, coolant_films=films
+            )
+            matrix = refreshed.matrix()
+            last["matrix"] = matrix
+            vector = self.backend.solve(
+                matrix, refreshed.rhs, refreshed.pattern_token
+            )
+            return vector, field_of(vector)
+
+        outcome = picard_iterate(
+            base_solution, field_of(base_solution), refresh, settings
+        )
+        if outcome.fell_back or last["matrix"] is None:
+            matrix = self.system.matrix()
+        else:
+            matrix = last["matrix"]
+        info = picard_metadata(model.name, settings, outcome)
+        return outcome.solution, matrix, info

@@ -36,7 +36,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields as dataclass_fields, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -59,6 +59,7 @@ from .thermal.geometry import (
     TestStructure,
     WidthProfile,
 )
+from .thermal.properties import get_coolant_model
 from .transient import (
     PolicySpec,
     RomSpec,
@@ -102,6 +103,26 @@ PARAMETER_OVERRIDE_FIELDS: Tuple[str, ...] = (
     "max_channel_width",
     "channel_length",
 )
+
+
+def _non_default_fields(obj, *names) -> Dict[str, object]:
+    """Serialize late-added optional fields only when set away from default.
+
+    Spec-hash stability policy: the canonical plain-data form of a spec is
+    frozen by :meth:`ScenarioSpec.spec_hash` (campaign stores and the serve
+    queue key on it), so optional fields added *after* a release must be
+    omitted from :meth:`to_dict` while they hold their dataclass defaults.
+    Otherwise every registered scenario's hash would churn on upgrade and
+    all resume keys would silently miss.  New sub-spec fields should go
+    through this helper; pre-existing fields keep serializing
+    unconditionally (their presence is part of the frozen form).
+    """
+    defaults = {field.name: field.default for field in dataclass_fields(obj)}
+    return {
+        name: getattr(obj, name)
+        for name in names
+        if getattr(obj, name) != defaults[name]
+    }
 
 
 @dataclass(frozen=True)
@@ -241,12 +262,20 @@ class SolverSpec:
         concurrent multistart restarts).
     cache_size:
         Capacity of the engine's LRU solution cache.
+    picard_tolerance_K / picard_max_iterations / picard_relaxation:
+        Convergence knobs of the Picard outer iteration used when the
+        scenario requests a temperature-dependent coolant model
+        (``ScenarioSpec.coolant_model != "constant"``); ignored otherwise.
+        See :class:`repro.core.picard.PicardSettings`.
     """
 
     simulator: str = "fdm"
     backend: str = "auto"
     n_workers: int = 1
     cache_size: int = 4096
+    picard_tolerance_K: float = 1e-4
+    picard_max_iterations: int = 25
+    picard_relaxation: float = 1.0
 
     def __post_init__(self) -> None:
         if self.simulator not in SIMULATOR_KINDS:
@@ -267,6 +296,27 @@ class SolverSpec:
         if self.cache_size < 1:
             raise ValueError(
                 f"solver.cache_size must be at least 1, got {self.cache_size}"
+            )
+        _set(
+            self,
+            picard_tolerance_K=float(self.picard_tolerance_K),
+            picard_max_iterations=int(self.picard_max_iterations),
+            picard_relaxation=float(self.picard_relaxation),
+        )
+        if self.picard_tolerance_K <= 0.0:
+            raise ValueError(
+                f"solver.picard_tolerance_K must be positive, "
+                f"got {self.picard_tolerance_K}"
+            )
+        if self.picard_max_iterations < 1:
+            raise ValueError(
+                f"solver.picard_max_iterations must be at least 1, "
+                f"got {self.picard_max_iterations}"
+            )
+        if not 0.0 < self.picard_relaxation <= 1.0:
+            raise ValueError(
+                f"solver.picard_relaxation must be in (0, 1], "
+                f"got {self.picard_relaxation}"
             )
 
 
@@ -364,6 +414,15 @@ class ScenarioSpec:
         flow-control policy, integration settings).  Transient scenarios
         run through the finite-volume transient engine, so their solver
         family must be ``"ice"``.
+    coolant_model:
+        Name of a registered coolant property model
+        (:data:`repro.thermal.properties.COOLANT_MODEL_LIBRARY`).  The
+        default ``"constant"`` is the paper's frozen-property assumption
+        and leaves every solve bit-identical to a spec without the field;
+        any other model (e.g. ``"water"``) wraps the steady solves in the
+        Picard outer iteration of :mod:`repro.core.picard`.  Temperature-
+        dependent models are steady-state only: combining one with a
+        transient spec raises at construction.
     """
 
     name: str
@@ -375,6 +434,7 @@ class ScenarioSpec:
     params: Tuple[Tuple[str, float], ...] = ()
     design: Optional[Tuple[Tuple[float, ...], ...]] = None
     transient: Optional[TransientSpec] = None
+    coolant_model: str = "constant"
 
     def __post_init__(self) -> None:
         if not isinstance(self.name, str) or not self.name:
@@ -454,6 +514,16 @@ class ScenarioSpec:
             # runs (to_dict shows simulator="ice").
             if self.solver.simulator != "ice":
                 _set(self, solver=replace(self.solver, simulator="ice"))
+        _set(self, coolant_model=str(self.coolant_model))
+        # Raises ValueError (listing the registered models) on unknown names.
+        get_coolant_model(self.coolant_model)
+        if self.transient is not None and self.coolant_model != "constant":
+            raise ValueError(
+                "scenario.coolant_model: temperature-dependent coolant "
+                "models are steady-state only (the Picard outer iteration "
+                "wraps steady solves); transient scenarios must use "
+                f"'constant', got {self.coolant_model!r}"
+            )
 
     # -- derived configuration --------------------------------------------
 
@@ -644,8 +714,15 @@ class ScenarioSpec:
     # -- serialization ----------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
-        """Plain-data (JSON-compatible) representation of the spec."""
-        return {
+        """Plain-data (JSON-compatible) representation of the spec.
+
+        Fields added after the spec-hash freeze (the Picard solver knobs
+        and ``coolant_model``) are serialized through
+        :func:`_non_default_fields` -- present only when set away from
+        their defaults -- so pre-existing specs keep their canonical form
+        and :meth:`spec_hash` byte-for-byte.
+        """
+        data = {
             "name": self.name,
             "description": self.description,
             "workload": {
@@ -690,6 +767,16 @@ class ScenarioSpec:
                 None if self.transient is None else self.transient.to_dict()
             ),
         }
+        data["solver"].update(
+            _non_default_fields(
+                self.solver,
+                "picard_tolerance_K",
+                "picard_max_iterations",
+                "picard_relaxation",
+            )
+        )
+        data.update(_non_default_fields(self, "coolant_model"))
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "ScenarioSpec":
@@ -729,6 +816,7 @@ class ScenarioSpec:
                 for segments in design
             ),
             transient=data.get("transient"),
+            coolant_model=data.get("coolant_model", "constant"),
             **sections,
         )
 

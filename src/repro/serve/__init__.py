@@ -20,7 +20,7 @@ this package puts a service in front of them:
 """
 
 from .cache import ResultCache, cacheable_record
-from .client import ServiceClient, ServiceError
+from .client import ServiceClient, ServiceConnectionError, ServiceError
 from .queue import JOB_STATES, Job, JobQueue, QueueFullError, job_hash
 from .server import CampaignServer
 from .service import CampaignService
@@ -35,6 +35,7 @@ __all__ = [
     "QueueFullError",
     "ResultCache",
     "ServiceClient",
+    "ServiceConnectionError",
     "ServiceError",
     "WorkerSupervisor",
     "cacheable_record",

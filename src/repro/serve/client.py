@@ -15,7 +15,7 @@ import time
 from typing import Dict, List, Optional, Tuple
 from urllib.parse import urlsplit
 
-__all__ = ["ServiceClient", "ServiceError"]
+__all__ = ["ServiceClient", "ServiceError", "ServiceConnectionError"]
 
 
 class ServiceError(ValueError):
@@ -25,6 +25,22 @@ class ServiceError(ValueError):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+
+
+class ServiceConnectionError(ValueError):
+    """The service could not be reached (connection, timeout, protocol).
+
+    A ``ValueError`` so the CLI's standard error path renders it as a
+    one-line ``error: ...`` message with exit code 2 instead of dumping a
+    raw ``ConnectionRefusedError`` (or ``http.client``-protocol) traceback
+    at the user when the server is down or mid-restart.
+    """
+
+    def __init__(self, url: str, reason: BaseException) -> None:
+        detail = str(reason).strip() or type(reason).__name__
+        super().__init__(f"cannot reach the campaign service at {url}: {detail}")
+        self.url = url
+        self.reason = reason
 
 
 class ServiceClient:
@@ -66,6 +82,11 @@ class ServiceClient:
             data = response.read()
             content_type = response.getheader("Content-Type", "")
             return response.status, content_type, data
+        except (OSError, http.client.HTTPException) as error:
+            # OSError covers refused/reset connections and socket timeouts;
+            # HTTPException (NOT an OSError) covers a server dying
+            # mid-response.  Both become the CLI-friendly one-liner.
+            raise ServiceConnectionError(self.url, error) from error
         finally:
             connection.close()
 

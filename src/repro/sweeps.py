@@ -388,7 +388,15 @@ class SweepSpec:
     # -- serialization -----------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
-        """Plain-data (JSON-compatible) representation of the sweep."""
+        """Plain-data (JSON-compatible) representation of the sweep.
+
+        This form feeds the serve queue's ``job_hash`` resume keys, so the
+        fields below are frozen: they serialize unconditionally, byte for
+        byte.  Any optional field added in the future must be omitted
+        while it holds its default (see
+        :func:`repro.scenarios._non_default_fields`) so stored sweep
+        hashes keep resolving.
+        """
         return {
             "name": self.name,
             "description": self.description,

@@ -70,6 +70,7 @@ def lane_conductance_rows(
     z_grid: np.ndarray,
     lane_index: int,
     widths: Optional[np.ndarray] = None,
+    coolant=None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """``(g_v, g_w)`` rows of one lane, for the given (or its own) widths.
 
@@ -78,6 +79,12 @@ def lane_conductance_rows(
     (:mod:`repro.core.adjoint`) re-evaluates just them when perturbing one
     lane's design variables.  Cluster scaling matches
     :func:`lane_parameters`.
+
+    ``coolant`` overrides the lane's own coolant record for the ``g_v``
+    evaluation -- the Picard outer iteration passes an array-valued
+    :class:`~repro.thermal.properties.CoolantState` (film properties at
+    the lane's bulk coolant temperatures) to refresh the convective
+    conductances without touching the lane itself.
     """
     lane = structure.lanes[lane_index]
     if widths is None:
@@ -89,7 +96,7 @@ def lane_conductance_rows(
             conductances.layer_to_coolant_conductance(
                 lane.geometry,
                 lane.silicon,
-                lane.coolant,
+                lane.coolant if coolant is None else coolant,
                 widths,
                 lane.flow_rate,
                 z_grid,

@@ -22,6 +22,7 @@ import numpy as np
 from .properties import Coolant
 
 __all__ = [
+    "LAMINAR_REYNOLDS_LIMIT",
     "aspect_ratio",
     "hydraulic_diameter",
     "nusselt_fully_developed_h1",
@@ -53,6 +54,12 @@ _NU_T_INFINITE_PLATES = 7.541
 # the hydraulics module where needed.
 _SHAH_LONDON_FRE = (1.0, -1.3553, 1.9467, -1.7012, 0.9564, -0.2537)
 _FRE_INFINITE_PLATES = 24.0
+
+#: Upper Reynolds bound of the laminar regime the Shah & London
+#: correlations are valid for.  Above it the transient flow-scaling
+#: policies are extrapolating; the transient engine records a
+#: ``laminar_violated`` flag instead of doing so silently.
+LAMINAR_REYNOLDS_LIMIT = 2300.0
 
 
 def _is_scalar(*values) -> bool:
@@ -219,7 +226,12 @@ def heat_transfer_coefficient(
     width, height:
         Local channel cross-section in meters.
     coolant:
-        Coolant property record.
+        Coolant property record -- a constant-property
+        :class:`~repro.thermal.properties.Coolant` or an array-valued
+        :class:`~repro.thermal.properties.CoolantState` (film properties
+        per cell); array fields broadcast elementwise against the
+        geometry, which is how the Picard outer iteration feeds
+        temperature-dependent ``k_f(T)`` into the conductance refresh.
     flow_rate:
         Per-channel volumetric flow rate in m^3/s.  Only needed when
         ``developing`` is True.
@@ -259,7 +271,7 @@ class ChannelFlowState:
     @property
     def is_laminar(self) -> bool:
         """True when the Reynolds number is inside the laminar regime."""
-        return self.reynolds < 2300.0
+        return self.reynolds < LAMINAR_REYNOLDS_LIMIT
 
 
 def characterize_flow(

@@ -40,6 +40,7 @@ factorization reuse, ``sparse-iterative``, ``dense``, or ``auto``).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional, Union
 
 import numpy as np
@@ -47,6 +48,7 @@ import numpy as np
 from . import assembly
 from .backends import SolverBackend, resolve_backend
 from .geometry import MultiChannelStructure, TestStructure
+from .properties import CoolantModel
 from .solution import ThermalSolution
 
 __all__ = ["solve_finite_difference", "solve_structure"]
@@ -58,6 +60,8 @@ def solve_finite_difference(
     lane_pitch: Optional[float] = None,
     backend: Union[None, str, SolverBackend] = None,
     assembly_mode: str = "vectorized",
+    coolant_model: Optional[CoolantModel] = None,
+    picard=None,
 ) -> ThermalSolution:
     """Solve a multi-channel cavity and return a :class:`ThermalSolution`.
 
@@ -80,9 +84,25 @@ def solve_finite_difference(
     assembly_mode:
         ``"vectorized"`` (default) or ``"loop"`` (the reference Python-loop
         assembly, retained for equivalence testing and benchmarks).
+    coolant_model:
+        Optional :class:`~repro.thermal.properties.CoolantModel`.  None or
+        a constant-mode model leaves this function bit-identical to the
+        constant-property path; a polynomial model wraps the solve in a
+        Picard outer iteration (:mod:`repro.core.picard`) that refreshes
+        the layer-to-coolant conductances from film properties at the bulk
+        coolant temperatures.  Requires the vectorized assembly.
+    picard:
+        Optional :class:`~repro.core.picard.PicardSettings` convergence
+        knobs (defaults apply when omitted).  Ignored for constant models.
     """
     if n_points < 3:
         raise ValueError("n_points must be at least 3")
+    temperature_dependent = coolant_model is not None and not coolant_model.is_constant
+    if temperature_dependent and assembly_mode != "vectorized":
+        raise ValueError(
+            "temperature-dependent coolant models require the vectorized "
+            "assembly (the Picard refresh reuses the cached sparsity pattern)"
+        )
     if assembly_mode == "vectorized":
         system = assembly.assemble_system(structure, n_points, lane_pitch)
     elif assembly_mode == "loop":
@@ -96,6 +116,45 @@ def solve_finite_difference(
         raise RuntimeError("finite-difference solve produced non-finite values")
 
     n_lanes = structure.n_lanes
+    picard_info = None
+    if temperature_dependent:
+        from ..core.picard import (
+            PicardSettings,
+            picard_iterate,
+            picard_metadata,
+        )
+
+        settings = picard if picard is not None else PicardSettings()
+        pattern = system.pattern
+        dz = system.z_grid[1] - system.z_grid[0]
+
+        def refresh(coolant_field: np.ndarray):
+            # Only the layer-to-coolant conductances g_v depend on the film
+            # properties (h = Nu k_f(T) / D_h); the capacity rate keeps the
+            # base volumetric heat capacity, so the rhs and the sparsity
+            # mask are unchanged and the refresh reuses the cached pattern.
+            g_v = np.empty_like(system.params.g_v)
+            for lane_index in range(n_lanes):
+                film = coolant_model.film(coolant_field[lane_index])
+                g_v[lane_index], _ = assembly.lane_conductance_rows(
+                    structure, system.z_grid, lane_index, coolant=film
+                )
+            params = replace(system.params, g_v=g_v)
+            values = pattern.values(params, system.lateral_conductance, dz)
+            vector = solver.solve(
+                pattern.matrix(values), system.rhs, pattern.token
+            )
+            return vector, vector.reshape(3, n_lanes, n_points)[2]
+
+        outcome = picard_iterate(
+            solution_vector,
+            solution_vector.reshape(3, n_lanes, n_points)[2],
+            refresh,
+            settings,
+        )
+        solution_vector = outcome.solution
+        picard_info = picard_metadata(coolant_model.name, settings, outcome)
+
     fields = solution_vector.reshape(3, n_lanes, n_points)
     temperatures = fields[:2].copy()
     coolant = fields[2].copy()
@@ -104,21 +163,24 @@ def solve_finite_difference(
     gradient = np.gradient(temperatures, system.z_grid, axis=2)
     heat_flows = -system.params.g_l[None, :, None] * gradient
 
+    metadata = {
+        "solver": "finite-difference",
+        "n_points": n_points,
+        "n_lanes": n_lanes,
+        "cluster_size": structure.cluster_size,
+        "lateral_conductance": float(system.lateral_conductance),
+        "backend": solver.name,
+        "assembly": assembly_mode,
+    }
+    if picard_info is not None:
+        metadata["picard"] = picard_info
     return ThermalSolution(
         z=system.z_grid,
         temperatures=temperatures,
         heat_flows=heat_flows,
         coolant_temperatures=coolant,
         inlet_temperature=structure.inlet_temperature,
-        metadata={
-            "solver": "finite-difference",
-            "n_points": n_points,
-            "n_lanes": n_lanes,
-            "cluster_size": structure.cluster_size,
-            "lateral_conductance": float(system.lateral_conductance),
-            "backend": solver.name,
-            "assembly": assembly_mode,
-        },
+        metadata=metadata,
     )
 
 

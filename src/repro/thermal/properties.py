@@ -15,7 +15,9 @@ and Pascal for pressures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, Tuple, Union
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -262,3 +264,269 @@ class PaperParameters:
 
 #: Module-level immutable default configuration (Table I).
 TABLE_I = PaperParameters()
+
+
+# --- Temperature-dependent coolant models ---------------------------------
+
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def _polynomial(value: ArrayLike, coefficients: Tuple[float, ...]) -> ArrayLike:
+    """Evaluate ``sum(c_i * value**i)`` by Horner's rule.
+
+    Coefficients are in ascending order of power.  Kept local (rather than
+    importing :func:`repro.thermal.correlations._polynomial`) so the
+    property library stays import-leaf.
+    """
+    accumulator = np.full_like(np.asarray(value, dtype=float), coefficients[-1])
+    for coefficient in reversed(coefficients[:-1]):
+        accumulator = accumulator * value + coefficient
+    return accumulator
+
+
+@dataclass(frozen=True)
+class CoolantState:
+    """Coolant properties evaluated at a film-temperature field.
+
+    Duck-types :class:`Coolant` -- every field may be a per-cell array, so
+    the Shah-London correlation helpers in
+    :mod:`repro.thermal.correlations` broadcast elementwise through it.
+    No positivity validation runs here (arrays are produced by a clamped
+    :class:`CoolantModel`, which guarantees positive values over its
+    validity range).
+    """
+
+    name: str
+    thermal_conductivity: ArrayLike
+    volumetric_heat_capacity: ArrayLike
+    dynamic_viscosity: ArrayLike
+    density: ArrayLike
+    prandtl: ArrayLike
+
+    @property
+    def specific_heat(self) -> ArrayLike:
+        """Specific heat capacity ``c_p`` in J/(kg.K)."""
+        return self.volumetric_heat_capacity / self.density
+
+    @property
+    def kinematic_viscosity(self) -> ArrayLike:
+        """Kinematic viscosity ``nu = mu / rho`` in m^2/s."""
+        return self.dynamic_viscosity / self.density
+
+
+#: Polynomial fits of liquid-water properties versus absolute temperature
+#: (ascending coefficient order; COMSOL-style piecewise fits, single-branch
+#: over the liquid range).  Validity: ~275--370 K at atmospheric pressure.
+WATER_MU_COEFFICIENTS: Tuple[float, ...] = (
+    1.3799566804,
+    -0.021224019151,
+    1.3604562827e-4,
+    -4.6454090319e-7,
+    8.9042735735e-10,
+    -9.0790692686e-13,
+    3.8457331488e-16,
+)
+WATER_K_COEFFICIENTS: Tuple[float, ...] = (
+    -0.869083936,
+    0.00894880345,
+    -1.58366345e-5,
+    7.97543259e-9,
+)
+WATER_RHO_COEFFICIENTS: Tuple[float, ...] = (
+    838.466135,
+    1.40050603,
+    -0.0030112376,
+    3.71822313e-7,
+)
+WATER_CP_COEFFICIENTS: Tuple[float, ...] = (
+    12010.1471,
+    -80.4072879,
+    0.309866854,
+    -5.38186884e-4,
+    3.62536437e-7,
+)
+
+
+@dataclass(frozen=True)
+class CoolantModel:
+    """A coolant whose properties may depend on the bulk temperature.
+
+    ``mode="constant"`` reproduces the paper's assumption 2 bit-identically:
+    :meth:`film` returns the ``base`` :class:`Coolant` object itself, so a
+    constant-mode solve evaluates exactly the code path (and floating-point
+    stream) it evaluated before this class existed.  ``mode="polynomial"``
+    evaluates the fitted property polynomials at the (clamped) film
+    temperature and returns an array-valued :class:`CoolantState`.
+
+    Attributes
+    ----------
+    name:
+        Registry name (``"constant"``, ``"water"``).
+    mode:
+        ``"constant"`` or ``"polynomial"``.
+    base:
+        The constant-property coolant used for ``mode="constant"``, for
+        the initial (first Picard iterate) solve, and as the fallback
+        when the outer iteration diverges.
+    t_min / t_max:
+        Validity range of the fits in Kelvin; film temperatures are
+        clamped into it before evaluation (liquid single phase only).
+    mu/k/rho/cp_coefficients:
+        Ascending polynomial coefficients of each property fit.
+    """
+
+    name: str
+    mode: str = "constant"
+    base: Coolant = WATER
+    t_min: float = 275.0
+    t_max: float = 370.0
+    mu_coefficients: Tuple[float, ...] = ()
+    k_coefficients: Tuple[float, ...] = ()
+    rho_coefficients: Tuple[float, ...] = ()
+    cp_coefficients: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("constant", "polynomial"):
+            raise ValueError(
+                f"coolant model mode must be 'constant' or 'polynomial', "
+                f"got {self.mode!r}"
+            )
+        if self.t_min >= self.t_max:
+            raise ValueError("t_min must be strictly smaller than t_max")
+        if self.mode == "polynomial":
+            for attr in (
+                "mu_coefficients",
+                "k_coefficients",
+                "rho_coefficients",
+                "cp_coefficients",
+            ):
+                if not getattr(self, attr):
+                    raise ValueError(
+                        f"polynomial coolant model {self.name!r} needs "
+                        f"non-empty {attr}"
+                    )
+
+    @property
+    def is_constant(self) -> bool:
+        return self.mode == "constant"
+
+    def clamp(self, temperature: ArrayLike) -> ArrayLike:
+        """Clamp a temperature field into the fit's validity range."""
+        return np.clip(np.asarray(temperature, dtype=float), self.t_min, self.t_max)
+
+    def mu(self, temperature: ArrayLike) -> ArrayLike:
+        """Dynamic viscosity ``mu(T)`` in Pa.s."""
+        if self.is_constant:
+            return np.full_like(
+                np.asarray(temperature, dtype=float), self.base.dynamic_viscosity
+            )
+        return _polynomial(self.clamp(temperature), self.mu_coefficients)
+
+    def k_f(self, temperature: ArrayLike) -> ArrayLike:
+        """Thermal conductivity ``k_f(T)`` in W/(m.K)."""
+        if self.is_constant:
+            return np.full_like(
+                np.asarray(temperature, dtype=float), self.base.thermal_conductivity
+            )
+        return _polynomial(self.clamp(temperature), self.k_coefficients)
+
+    def rho(self, temperature: ArrayLike) -> ArrayLike:
+        """Mass density ``rho(T)`` in kg/m^3."""
+        if self.is_constant:
+            return np.full_like(
+                np.asarray(temperature, dtype=float), self.base.density
+            )
+        return _polynomial(self.clamp(temperature), self.rho_coefficients)
+
+    def cp(self, temperature: ArrayLike) -> ArrayLike:
+        """Specific heat ``c_p(T)`` in J/(kg.K)."""
+        if self.is_constant:
+            return np.full_like(
+                np.asarray(temperature, dtype=float), self.base.specific_heat
+            )
+        return _polynomial(self.clamp(temperature), self.cp_coefficients)
+
+    def film(self, temperature: ArrayLike):
+        """Coolant properties at a film-temperature field.
+
+        ``mode="constant"`` returns the ``base`` :class:`Coolant` object
+        itself (not a copy), so downstream conductance evaluations are
+        bit-identical to the constant-property code path.  Polynomial mode
+        returns an array-valued :class:`CoolantState`.
+        """
+        if self.is_constant:
+            return self.base
+        clamped = self.clamp(temperature)
+        mu = _polynomial(clamped, self.mu_coefficients)
+        k = _polynomial(clamped, self.k_coefficients)
+        rho = _polynomial(clamped, self.rho_coefficients)
+        cp = _polynomial(clamped, self.cp_coefficients)
+        return CoolantState(
+            name=f"{self.name} (film)",
+            thermal_conductivity=k,
+            volumetric_heat_capacity=rho * cp,
+            dynamic_viscosity=mu,
+            density=rho,
+            prandtl=mu * cp / k,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible representation (round-trips via from_dict)."""
+        return {
+            "name": self.name,
+            "mode": self.mode,
+            "base": self.base.name,
+            "t_min": self.t_min,
+            "t_max": self.t_max,
+            "mu_coefficients": list(self.mu_coefficients),
+            "k_coefficients": list(self.k_coefficients),
+            "rho_coefficients": list(self.rho_coefficients),
+            "cp_coefficients": list(self.cp_coefficients),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CoolantModel":
+        base = COOLANT_LIBRARY[str(data.get("base", WATER.name))]
+        return cls(
+            name=str(data["name"]),
+            mode=str(data.get("mode", "constant")),
+            base=base,
+            t_min=float(data.get("t_min", 275.0)),
+            t_max=float(data.get("t_max", 370.0)),
+            mu_coefficients=tuple(data.get("mu_coefficients", ())),
+            k_coefficients=tuple(data.get("k_coefficients", ())),
+            rho_coefficients=tuple(data.get("rho_coefficients", ())),
+            cp_coefficients=tuple(data.get("cp_coefficients", ())),
+        )
+
+
+#: The default model: the paper's constant-property water (assumption 2).
+CONSTANT_COOLANT_MODEL = CoolantModel(name="constant", mode="constant", base=WATER)
+
+#: Temperature-dependent water over the liquid range.
+WATER_COOLANT_MODEL = CoolantModel(
+    name="water",
+    mode="polynomial",
+    base=WATER,
+    mu_coefficients=WATER_MU_COEFFICIENTS,
+    k_coefficients=WATER_K_COEFFICIENTS,
+    rho_coefficients=WATER_RHO_COEFFICIENTS,
+    cp_coefficients=WATER_CP_COEFFICIENTS,
+)
+
+COOLANT_MODEL_LIBRARY: Dict[str, CoolantModel] = {
+    CONSTANT_COOLANT_MODEL.name: CONSTANT_COOLANT_MODEL,
+    WATER_COOLANT_MODEL.name: WATER_COOLANT_MODEL,
+}
+
+
+def get_coolant_model(name: str) -> CoolantModel:
+    """Look up a registered coolant model by name."""
+    try:
+        return COOLANT_MODEL_LIBRARY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown coolant model {name!r}; "
+            f"available: {sorted(COOLANT_MODEL_LIBRARY)}"
+        ) from None

@@ -634,7 +634,15 @@ class TransientSpec:
     # -- serialization ------------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
-        """Plain-data (JSON-compatible) representation of the spec."""
+        """Plain-data (JSON-compatible) representation of the spec.
+
+        This form feeds :meth:`repro.scenarios.ScenarioSpec.spec_hash`, so
+        the fields below are frozen: they serialize unconditionally, byte
+        for byte.  Any optional field added in the future must be omitted
+        while it holds its default (see
+        :func:`repro.scenarios._non_default_fields`) so stored hashes of
+        existing transient scenarios keep resolving.
+        """
         return {
             "duration_s": self.duration_s,
             "time_step_s": self.time_step_s,

@@ -59,6 +59,7 @@ from .ice.transient import TransientSolver, result_from_snapshots
 from .policies import FlowPolicy, policy_from_spec
 from .scenarios import ScenarioSpec, resolve_scenario
 from .thermal.backends import SolverBackend, resolve_backend
+from .thermal.correlations import LAMINAR_REYNOLDS_LIMIT, reynolds_number
 from .thermal.geometry import ChannelGeometry, WidthProfile
 
 __all__ = [
@@ -252,6 +253,33 @@ def _hydraulics_at(
     return per_lane * n_physical, network.max_pressure_drop
 
 
+def _max_reynolds(spec: ScenarioSpec, flow_scales: np.ndarray) -> float:
+    """Worst-case channel Reynolds number over the applied flow scales.
+
+    The Shah & London correlations behind every convective conductance are
+    laminar-only; a runtime policy scaling the flow up can silently push
+    the channels past that regime.  Re is evaluated at the narrowest
+    channel cross-section (fixed per-channel flow -> the smallest
+    ``w + h`` maximizes ``Re = 2 rho V_dot / (mu (w + h))``) and at the
+    largest applied flow scale.
+    """
+    params = spec.experiment_config().params.with_overrides(
+        channel_length=spec.channel_length()
+    )
+    geometry = ChannelGeometry.from_parameters(params)
+    profiles = spec.width_profiles()
+    if profiles is None:
+        min_width = geometry.max_width
+    else:
+        min_width = min(min(p.segment_widths) for p in profiles)
+    peak_flow = params.flow_rate_per_channel * float(np.max(flow_scales))
+    return float(
+        reynolds_number(
+            peak_flow, min_width, params.channel_height, params.coolant
+        )
+    )
+
+
 def _finalize(
     spec: ScenarioSpec,
     recorder: _Recorder,
@@ -318,6 +346,13 @@ def _finalize(
         ),
         "n_flow_changes": int(np.count_nonzero(np.diff(flow_scales))),
     }
+    # Correlation-validity check: every conductance in the model comes
+    # from laminar-only correlations, so flag (instead of silently
+    # extrapolating) when the policy's peak flow leaves the laminar
+    # regime at the narrowest channel cross-section.
+    max_reynolds = _max_reynolds(spec, flow_scales)
+    metrics["max_reynolds"] = max_reynolds
+    metrics["laminar_violated"] = bool(max_reynolds >= LAMINAR_REYNOLDS_LIMIT)
     metadata: Dict[str, object] = {
         "backend": backend.name,
         "policy": transient.policy.kind,

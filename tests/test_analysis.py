@@ -140,3 +140,51 @@ class TestReporting:
     def test_paper_comparison_row_handles_zero_reference(self):
         row = paper_comparison_row("x", "metric", 0.0, 1.0)
         assert row["relative_deviation"] == "n/a"
+
+
+class TestTransientMetricEdgeCases:
+    """Edge cases of the transient metric reducers (analysis/metrics.py)."""
+
+    def test_time_above_threshold_rejects_non_monotonic_times(self):
+        from repro.analysis.metrics import time_above_threshold
+
+        times = np.array([0.0, 0.2, 0.1, 0.3])
+        values = np.array([300.0, 340.0, 340.0, 340.0])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            time_above_threshold(times, values, 330.0)
+        # Duplicated samples are just as silent a corruption.
+        with pytest.raises(ValueError, match="strictly increasing"):
+            time_above_threshold(
+                np.array([0.0, 0.1, 0.1]), values[:3], 330.0
+            )
+
+    def test_time_above_threshold_monotonic_still_works(self):
+        from repro.analysis.metrics import time_above_threshold
+
+        times = np.array([0.0, 0.1, 0.2, 0.3])
+        values = np.array([300.0, 340.0, 340.0, 300.0])
+        assert time_above_threshold(times, values, 330.0) == pytest.approx(0.2)
+
+    def test_piecewise_integral_end_time_before_last_breakpoint(self):
+        from repro.analysis.metrics import piecewise_integral
+
+        times = np.array([0.0, 1.0, 2.0])
+        values = np.array([1.0, 2.0, 3.0])
+        # An end_time inside the breakpoint grid would silently drop the
+        # last piece(s); the reducer refuses instead of guessing.
+        with pytest.raises(ValueError, match="precedes the last breakpoint"):
+            piecewise_integral(times, values, 1.5)
+        with pytest.raises(ValueError, match="precedes the last breakpoint"):
+            piecewise_integral(times, values, -0.5)
+        # end_time exactly at the last breakpoint: the final value holds
+        # for zero time.
+        assert piecewise_integral(times, values, 2.0) == pytest.approx(3.0)
+
+    def test_thermal_cycling_amplitude_single_sample_window(self):
+        from repro.analysis.metrics import thermal_cycling_amplitude
+
+        assert thermal_cycling_amplitude(np.array([340.0])) == 0.0
+        # Two samples with the default 0.5 warm-up leave one sample in the
+        # settled window: amplitude must be 0, not NaN.
+        assert thermal_cycling_amplitude(np.array([300.0, 340.0])) == 0.0
+        assert thermal_cycling_amplitude(np.array([])) == 0.0

@@ -474,12 +474,45 @@ class TestServeClients:
         assert err.startswith("error:")
 
     def test_clients_report_connection_failures_cleanly(self, capsys):
-        # Port 1 is never listening; the OSError maps to exit code 2.
+        # Port 1 is never listening; ServiceClient maps the refused
+        # connection to a one-line ValueError naming the URL.
         code, _, err = run_cli(
             capsys, "jobs", "--url", "http://127.0.0.1:1"
         )
         assert code == 2
         assert err.startswith("error:")
+        assert "cannot reach the campaign service" in err
+        assert "http://127.0.0.1:1" in err
+        assert err.count("\n") <= 1  # one line, no traceback
+
+    def test_submit_against_dead_server_is_one_line_exit_2(
+        self, capsys, small_spec_file
+    ):
+        code, _, err = run_cli(
+            capsys, "submit", str(small_spec_file),
+            "--url", "http://127.0.0.1:1",
+        )
+        assert code == 2
+        assert err.startswith("error: cannot reach the campaign service")
+        assert err.count("\n") <= 1
+
+    def test_client_wraps_protocol_errors_too(self, monkeypatch):
+        # A server dying mid-response raises http.client.HTTPException,
+        # which is NOT an OSError and used to escape as a raw traceback.
+        import http.client
+
+        from repro.serve.client import ServiceClient, ServiceConnectionError
+
+        client = ServiceClient("http://127.0.0.1:9")
+
+        def boom(self, *args, **kwargs):
+            raise http.client.BadStatusLine("garbage")
+
+        monkeypatch.setattr(http.client.HTTPConnection, "request", boom)
+        with pytest.raises(ServiceConnectionError, match="cannot reach"):
+            client.jobs()
+        with pytest.raises(ValueError):  # the CLI catches it as ValueError
+            client.jobs()
 
 
 class TestCacheGc:

@@ -3,12 +3,16 @@
 from __future__ import annotations
 
 import dataclasses
+import json
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.thermal.properties import (
     COOLANT_LIBRARY,
     Coolant,
+    CoolantModel,
+    WATER_COOLANT_MODEL,
     MATERIAL_LIBRARY,
     PaperParameters,
     SILICON,
@@ -113,3 +117,86 @@ class TestPaperParameters:
 
     def test_flow_rate_reporting(self):
         assert TABLE_I.flow_rate_ml_per_min == pytest.approx(4.8)
+
+
+class TestCoolantModelProperties:
+    """Hypothesis property tests of the temperature-dependent water model."""
+
+    def test_constant_mode_validation(self):
+        with pytest.raises(ValueError, match="mode"):
+            CoolantModel(name="x", mode="table")
+        with pytest.raises(ValueError, match="t_min"):
+            CoolantModel(name="x", mode="constant", t_min=400.0, t_max=300.0)
+        with pytest.raises(ValueError, match="coefficients"):
+            CoolantModel(name="x", mode="polynomial")
+
+    @given(
+        st.floats(min_value=276.0, max_value=369.0),
+        st.floats(min_value=0.1, max_value=20.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_viscosity_monotone_decreasing(self, temperature, delta):
+        import numpy as np
+
+        model = WATER_COOLANT_MODEL
+        warmer = model.clamp(temperature + delta)
+        mu_cold = float(model.mu(np.asarray(temperature)))
+        mu_warm = float(model.mu(np.asarray(warmer)))
+        assert mu_cold > 0.0 and mu_warm > 0.0
+        if warmer > temperature:
+            assert mu_warm < mu_cold
+
+    @given(st.floats(min_value=100.0, max_value=500.0))
+    @settings(max_examples=80, deadline=None)
+    def test_film_properties_positive_and_clamped(self, temperature):
+        import numpy as np
+
+        state = WATER_COOLANT_MODEL.film(np.asarray(temperature))
+        for value in (
+            state.thermal_conductivity,
+            state.volumetric_heat_capacity,
+            state.dynamic_viscosity,
+            state.density,
+            state.prandtl,
+        ):
+            assert np.all(np.asarray(value) > 0.0)
+        # Clamping: far outside the fit range the state equals the edge.
+        edge = 275.0 if temperature < 275.0 else min(temperature, 370.0)
+        reference = WATER_COOLANT_MODEL.film(np.asarray(edge))
+        assert float(state.dynamic_viscosity) == pytest.approx(
+            float(reference.dynamic_viscosity)
+        )
+
+    @given(
+        st.sampled_from(["constant", "polynomial"]),
+        st.floats(min_value=200.0, max_value=299.0),
+        st.floats(min_value=301.0, max_value=500.0),
+        st.lists(
+            st.floats(
+                min_value=-2.0,
+                max_value=2.0,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_through_dict(self, mode, t_min, t_max, coefficients):
+        coefficient_tuple = tuple(coefficients)
+        model = CoolantModel(
+            name="rt",
+            mode=mode,
+            base=WATER,
+            t_min=t_min,
+            t_max=t_max,
+            mu_coefficients=coefficient_tuple,
+            k_coefficients=coefficient_tuple,
+            rho_coefficients=coefficient_tuple,
+            cp_coefficients=coefficient_tuple,
+        )
+        rebuilt = CoolantModel.from_dict(
+            json.loads(json.dumps(model.to_dict()))
+        )
+        assert rebuilt == model

@@ -654,3 +654,55 @@ class TestEngineMemo:
         assert engine.n_evictions == 1
         engine.memo(("t", 1), build(1))
         assert calls == [1, 2, 3, 1]
+
+
+class TestLaminarValidity:
+    """The transient engine records Reynolds-number validity (metrics keys
+    ``max_reynolds`` / ``laminar_violated``) instead of silently applying
+    the laminar Nusselt correlation outside its regime."""
+
+    def test_default_flow_is_laminar_and_recorded(self):
+        outcome = simulate_transient(tiny_transient_spec())
+        metrics = outcome.metrics
+        assert metrics["max_reynolds"] > 0.0
+        assert metrics["max_reynolds"] < 2300.0
+        assert metrics["laminar_violated"] is False
+
+    def test_high_flow_sets_the_violation_flag(self):
+        # 2e-7 m^3/s per channel pushes Re well past the 2300 laminar
+        # limit (the default effective flow sits near Re ~ 150).
+        spec = tiny_transient_spec().with_params(flow_rate_per_channel=2e-7)
+        outcome = simulate_transient(spec)
+        assert outcome.metrics["max_reynolds"] > 2300.0
+        assert outcome.metrics["laminar_violated"] is True
+
+    def test_max_reynolds_uses_the_peak_flow_scale(self):
+        from repro.transient_engine import _max_reynolds
+
+        spec = tiny_transient_spec()
+        at_one = _max_reynolds(spec, np.array([1.0]))
+        at_two = _max_reynolds(spec, np.array([0.5, 2.0, 1.0]))
+        assert at_two == pytest.approx(2.0 * at_one)
+
+    def test_campaign_summary_rolls_up_laminar_violations(self):
+        from repro.campaign import summarize_records
+
+        def record(violated, reynolds):
+            return {
+                "status": "ok",
+                "action": "run",
+                "counters": {},
+                "result": {
+                    "transient": {
+                        "peak_transient_temperature_K": 340.0,
+                        "laminar_violated": violated,
+                        "max_reynolds": reynolds,
+                    }
+                },
+            }
+
+        summary = summarize_records(
+            [record(False, 150.0), record(True, 2990.0), record(True, 2400.0)]
+        )
+        assert summary["n_laminar_violated"] == 2
+        assert summary["max_reynolds"] == pytest.approx(2990.0)
